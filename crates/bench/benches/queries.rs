@@ -1,0 +1,105 @@
+//! Wall-clock benchmarks (Criterion): build time and query latency per
+//! index kind. The deterministic I/O tables live in `src/bin/e*`; these
+//! add the real-time view on the same workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segdb_core::binary2l::{Binary2LConfig, TwoLevelBinary};
+use segdb_core::interval2l::{Interval2LConfig, TwoLevelInterval};
+use segdb_core::{FullScan, StabThenFilter};
+use segdb_geom::gen::{strips, vertical_queries};
+use segdb_pager::{Pager, PagerConfig};
+use std::hint::black_box;
+
+const N: usize = 20_000;
+
+fn pager() -> Pager {
+    Pager::new(PagerConfig { page_size: 4096, cache_pages: 0 })
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let set = strips(N, 1 << 17, 16, 300, 77);
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    g.bench_function("solution1", |b| {
+        b.iter(|| {
+            let p = pager();
+            black_box(TwoLevelBinary::build(&p, Binary2LConfig::default(), set.clone()).unwrap());
+        })
+    });
+    g.bench_function("solution2", |b| {
+        b.iter(|| {
+            let p = pager();
+            black_box(TwoLevelInterval::build(&p, Interval2LConfig::default(), set.clone()).unwrap());
+        })
+    });
+    g.bench_function("stab_filter", |b| {
+        b.iter(|| {
+            let p = pager();
+            black_box(StabThenFilter::build(&p, &set).unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let set = strips(N, 1 << 17, 16, 300, 77);
+    let queries = vertical_queries(&set, 64, 10, 99);
+
+    let p1 = pager();
+    let s1 = TwoLevelBinary::build(&p1, Binary2LConfig::default(), set.clone()).unwrap();
+    let p2 = pager();
+    let s2 = TwoLevelInterval::build(&p2, Interval2LConfig::default(), set.clone()).unwrap();
+    let p3 = pager();
+    let s3 = StabThenFilter::build(&p3, &set).unwrap();
+    let p4 = pager();
+    let s4 = FullScan::build(&p4, &set).unwrap();
+
+    let mut g = c.benchmark_group("vs_query");
+    for (name, f) in [
+        ("solution1", &mut (|q: &segdb_geom::VerticalQuery| s1.query(&p1, q).unwrap().0.len())
+            as &mut dyn FnMut(&segdb_geom::VerticalQuery) -> usize),
+        ("solution2", &mut (|q| s2.query(&p2, q).unwrap().0.len())),
+        ("stab_filter", &mut (|q| s3.query(&p3, q).unwrap().0.len())),
+        ("full_scan", &mut (|q| s4.query(&p4, q).unwrap().0.len())),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, N), &queries, |b, qs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                black_box(f(q))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let set = strips(N, 1 << 17, 16, 300, 77);
+    let mut g = c.benchmark_group("insert");
+    g.sample_size(10);
+    g.bench_function("solution1_20k", |b| {
+        b.iter(|| {
+            let p = pager();
+            let mut t = TwoLevelBinary::build(&p, Binary2LConfig::default(), vec![]).unwrap();
+            for s in &set {
+                t.insert(&p, *s).unwrap();
+            }
+            black_box(t.len())
+        })
+    });
+    g.bench_function("solution2_20k", |b| {
+        b.iter(|| {
+            let p = pager();
+            let mut t = TwoLevelInterval::build(&p, Interval2LConfig::default(), vec![]).unwrap();
+            for s in &set {
+                t.insert(&p, *s).unwrap();
+            }
+            black_box(t.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_builds, bench_queries, bench_inserts);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Leaf-linked forward cursor.
+//!
+//! A cursor buffers the current leaf's records (the leaf was already paid
+//! for by the positioning read) and follows `next` links, costing exactly
+//! one read per additional leaf — the `O(t)` reporting term of every
+//! query bound in the paper.
+
+use crate::node::Node;
+use crate::record::Record;
+use segdb_pager::{PageId, Pager, PagerError, Result, NULL_PAGE};
+
+/// Forward cursor over the leaf level. Obtain via
+/// [`crate::BPlusTree::lower_bound`] / [`crate::BPlusTree::cursor_first`],
+/// or jump straight to a known leaf with [`Cursor::jump`] (fractional
+/// cascading).
+#[derive(Debug)]
+pub struct Cursor<R> {
+    records: Vec<R>,
+    idx: usize,
+    next: PageId,
+}
+
+impl<R: Record> Cursor<R> {
+    /// Cursor over an already-decoded leaf.
+    pub(crate) fn at(records: Vec<R>, idx: usize, next: PageId) -> Self {
+        Cursor { records, idx, next }
+    }
+
+    /// Jump to the head of a known leaf page (one read). This is the §4.3
+    /// bridge-navigation entry: no root descent.
+    pub fn jump(pager: &Pager, leaf: PageId) -> Result<Self> {
+        match pager.with_page(leaf, |buf| Node::<R>::decode(buf))?? {
+            Node::Leaf { records, next } => {
+                let mut c = Cursor::at(records, 0, next);
+                c.normalize(pager)?;
+                Ok(c)
+            }
+            Node::Internal { .. } => Err(PagerError::Corrupt("cursor jump hit internal node")),
+        }
+    }
+
+    /// Ensure the cursor either points at a record or is exhausted,
+    /// hopping over empty tails.
+    pub(crate) fn normalize(&mut self, pager: &Pager) -> Result<()> {
+        while self.idx >= self.records.len() {
+            if self.next == NULL_PAGE {
+                return Ok(());
+            }
+            match pager.with_page(self.next, |buf| Node::<R>::decode(buf))?? {
+                Node::Leaf { records, next } => {
+                    self.records = records;
+                    self.idx = 0;
+                    self.next = next;
+                }
+                Node::Internal { .. } => {
+                    return Err(PagerError::Corrupt("leaf chain points to internal node"))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The record under the cursor, if any (no I/O).
+    pub fn peek(&self) -> Option<&R> {
+        self.records.get(self.idx)
+    }
+
+    /// The already-buffered records of the current leaf and the cursor's
+    /// index within them (no I/O). Fractional cascading looks *backwards*
+    /// in this buffer for the nearest bridge before the run start.
+    pub fn buffered(&self) -> (&[R], usize) {
+        (&self.records, self.idx)
+    }
+
+    /// Yield the current record and advance. Costs one read exactly when
+    /// the cursor crosses into the next leaf.
+    pub fn next(&mut self, pager: &Pager) -> Result<Option<R>> {
+        if self.idx >= self.records.len() {
+            return Ok(None);
+        }
+        let r = self.records[self.idx];
+        self.idx += 1;
+        self.normalize(pager)?;
+        Ok(Some(r))
+    }
+
+    /// Consume records while `pred` holds, collecting them into `out`.
+    /// Stops at the first record failing `pred` (which stays current).
+    pub fn take_while_into(
+        &mut self,
+        pager: &Pager,
+        mut pred: impl FnMut(&R) -> bool,
+        out: &mut Vec<R>,
+    ) -> Result<()> {
+        self.for_each_while(pager, &mut pred, |r| out.push(r))
+    }
+
+    /// Visit records while `pred` holds, applying `f` to each. Stops at
+    /// the first record failing `pred` (which stays current).
+    pub fn for_each_while(
+        &mut self,
+        pager: &Pager,
+        mut pred: impl FnMut(&R) -> bool,
+        mut f: impl FnMut(R),
+    ) -> Result<()> {
+        while let Some(r) = self.peek() {
+            if !pred(r) {
+                break;
+            }
+            f(*r);
+            self.idx += 1;
+            self.normalize(pager)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{KeyOrder, KeyValue};
+    use crate::tree::BPlusTree;
+    use segdb_pager::PagerConfig;
+
+    fn kv(k: i64) -> KeyValue {
+        KeyValue { key: k, value: k as u64 }
+    }
+
+    #[test]
+    fn take_while_and_peek() {
+        let p = Pager::new(PagerConfig { page_size: 128, cache_pages: 0 });
+        let recs: Vec<KeyValue> = (0..50).map(kv).collect();
+        let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        let mut c = t.cursor_first(&p).unwrap();
+        assert_eq!(c.peek().unwrap().key, 0);
+        let mut out = Vec::new();
+        c.take_while_into(&p, |r| r.key < 20, &mut out).unwrap();
+        assert_eq!(out.len(), 20);
+        assert_eq!(c.peek().unwrap().key, 20);
+        // Continue to the end.
+        let mut rest = Vec::new();
+        c.take_while_into(&p, |_| true, &mut rest).unwrap();
+        assert_eq!(rest.len(), 30);
+        assert!(c.peek().is_none());
+        assert!(c.next(&p).unwrap().is_none());
+    }
+
+    #[test]
+    fn scan_io_is_one_read_per_leaf() {
+        let p = Pager::new(PagerConfig { page_size: 128, cache_pages: 0 });
+        let recs: Vec<KeyValue> = (0..70).map(kv).collect(); // 10 leaves at cap 7
+        let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        let mut c = t.cursor_first(&p).unwrap();
+        p.reset_stats();
+        let mut n = 0;
+        while c.next(&p).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 70);
+        // First leaf was buffered during positioning; 9 more leaf reads.
+        assert_eq!(p.stats().reads, 9);
+    }
+
+    #[test]
+    fn jump_reads_leaf_directly() {
+        let p = Pager::new(PagerConfig { page_size: 128, cache_pages: 0 });
+        let recs: Vec<KeyValue> = (0..30).map(kv).collect();
+        let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        // Find some leaf id via a cursor walk on the underlying pages:
+        // jump to the root is invalid if the tree has internal nodes.
+        if t.height() > 0 {
+            assert!(Cursor::<KeyValue>::jump(&p, t.root_page()).is_err());
+        }
+    }
+}

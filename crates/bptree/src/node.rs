@@ -1,0 +1,189 @@
+//! Node layout and codec.
+//!
+//! One node = one page. Layout (little-endian):
+//!
+//! ```text
+//! leaf:     [tag=1:u8][count:u16][next:u32][records: count × R]
+//! internal: [tag=2:u8][count:u16][children: (count+1) × u32][seps: count × R]
+//! ```
+//!
+//! `count` for an internal node is the number of separators; it routes
+//! `count + 1` children. Separator `i` satisfies
+//! `max(subtree i) < sep[i] ≤ min(subtree i+1)`.
+
+use crate::record::Record;
+use segdb_pager::{ByteReader, ByteWriter, PageId, PagerError, Result, NULL_PAGE};
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+const LEAF_HEADER: usize = 1 + 2 + 4;
+const INT_HEADER: usize = 1 + 2 + 4; // tag + count + first child
+
+/// Decoded node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node<R> {
+    /// Leaf: sorted records plus the forward sibling link.
+    Leaf {
+        /// Sorted records.
+        records: Vec<R>,
+        /// Next leaf in key order, or [`NULL_PAGE`].
+        next: PageId,
+    },
+    /// Internal router node.
+    Internal {
+        /// `seps.len() + 1` children.
+        children: Vec<PageId>,
+        /// Separators; see module docs for the invariant.
+        seps: Vec<R>,
+    },
+}
+
+impl<R: Record> Node<R> {
+    /// Maximum records in a leaf for the given page size.
+    pub fn leaf_capacity(page_size: usize) -> usize {
+        page_size.saturating_sub(LEAF_HEADER) / R::ENCODED_SIZE
+    }
+
+    /// Maximum separators in an internal node for the given page size.
+    pub fn internal_capacity(page_size: usize) -> usize {
+        page_size.saturating_sub(INT_HEADER) / (R::ENCODED_SIZE + 4)
+    }
+
+    /// Serialize into a zeroed page image.
+    pub fn encode(&self, buf: &mut [u8]) -> Result<()> {
+        let mut w = ByteWriter::new(buf);
+        match self {
+            Node::Leaf { records, next } => {
+                w.u8(TAG_LEAF)?;
+                w.u16(records.len() as u16)?;
+                w.u32(*next)?;
+                for r in records {
+                    r.encode(&mut w)?;
+                }
+            }
+            Node::Internal { children, seps } => {
+                if children.len() != seps.len() + 1 {
+                    return Err(PagerError::Corrupt("internal child/sep arity"));
+                }
+                w.u8(TAG_INTERNAL)?;
+                w.u16(seps.len() as u16)?;
+                for c in children {
+                    w.u32(*c)?;
+                }
+                for s in seps {
+                    s.encode(&mut w)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a page image.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(buf);
+        match r.u8()? {
+            TAG_LEAF => {
+                let count = r.u16()? as usize;
+                let next = r.u32()?;
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    records.push(R::decode(&mut r)?);
+                }
+                Ok(Node::Leaf { records, next })
+            }
+            TAG_INTERNAL => {
+                let count = r.u16()? as usize;
+                let mut children = Vec::with_capacity(count + 1);
+                for _ in 0..=count {
+                    children.push(r.u32()?);
+                }
+                let mut seps = Vec::with_capacity(count);
+                for _ in 0..count {
+                    seps.push(R::decode(&mut r)?);
+                }
+                Ok(Node::Internal { children, seps })
+            }
+            _ => Err(PagerError::Corrupt("unknown b+tree node tag")),
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of records (leaf) or separators (internal).
+    pub fn count(&self) -> usize {
+        match self {
+            Node::Leaf { records, .. } => records.len(),
+            Node::Internal { seps, .. } => seps.len(),
+        }
+    }
+}
+
+/// An empty leaf (the initial root).
+pub fn empty_leaf<R: Record>() -> Node<R> {
+    Node::Leaf {
+        records: Vec::new(),
+        next: NULL_PAGE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::KeyValue;
+
+    fn kv(k: i64) -> KeyValue {
+        KeyValue { key: k, value: k as u64 }
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let n = Node::Leaf {
+            records: vec![kv(1), kv(5), kv(9)],
+            next: 77,
+        };
+        let mut buf = vec![0u8; 128];
+        n.encode(&mut buf).unwrap();
+        assert_eq!(Node::<KeyValue>::decode(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let n = Node::Internal {
+            children: vec![3, 4, 5],
+            seps: vec![kv(10), kv(20)],
+        };
+        let mut buf = vec![0u8; 128];
+        n.encode(&mut buf).unwrap();
+        let d = Node::<KeyValue>::decode(&buf).unwrap();
+        assert_eq!(d, n);
+        assert!(!d.is_leaf());
+        assert_eq!(d.count(), 2);
+    }
+
+    #[test]
+    fn capacities() {
+        // 16-byte records: leaf gets (128-7)/16 = 7, internal (128-7)/20 = 6.
+        assert_eq!(Node::<KeyValue>::leaf_capacity(128), 7);
+        assert_eq!(Node::<KeyValue>::internal_capacity(128), 6);
+        assert_eq!(Node::<KeyValue>::leaf_capacity(4), 0);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let n: Node<KeyValue> = Node::Internal {
+            children: vec![1],
+            seps: vec![kv(1)],
+        };
+        let mut buf = vec![0u8; 64];
+        assert!(n.encode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let buf = vec![9u8; 32];
+        assert!(Node::<KeyValue>::decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,934 @@
+//! The B⁺-tree proper: bulk load, search, insert, delete, validation.
+
+use crate::cursor::Cursor;
+use crate::node::{empty_leaf, Node};
+use crate::record::{Probe, Record, RecordOrd};
+use segdb_pager::{PageId, Pager, PagerError, Result, NULL_PAGE};
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+
+/// Serialized identity of a B⁺-tree: what a parent structure stores in
+/// its own node page to re-[`BPlusTree::attach`] the tree later. 16 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeState {
+    /// Root page.
+    pub root: PageId,
+    /// Height (0 = root is a leaf).
+    pub height: u32,
+    /// Record count.
+    pub len: u64,
+}
+
+impl TreeState {
+    /// Encoded size in bytes.
+    pub const ENCODED_SIZE: usize = 16;
+
+    /// Serialize into a parent node page.
+    pub fn encode(&self, w: &mut segdb_pager::ByteWriter<'_>) -> Result<()> {
+        w.u32(self.root)?;
+        w.u32(self.height)?;
+        w.u64(self.len)
+    }
+
+    /// Deserialize from a parent node page.
+    pub fn decode(r: &mut segdb_pager::ByteReader<'_>) -> Result<Self> {
+        Ok(TreeState {
+            root: r.u32()?,
+            height: r.u32()?,
+            len: r.u64()?,
+        })
+    }
+}
+
+/// An external-memory B⁺-tree. See crate docs.
+///
+/// ```
+/// use segdb_pager::{Pager, PagerConfig};
+/// use segdb_bptree::record::{KeyOrder, KeyValue};
+/// use segdb_bptree::BPlusTree;
+///
+/// let pager = Pager::new(PagerConfig::default());
+/// let recs: Vec<KeyValue> = (0..100).map(|k| KeyValue { key: k * 2, value: k as u64 }).collect();
+/// let mut tree = BPlusTree::bulk_load(&pager, KeyOrder, &recs).unwrap();
+/// tree.insert(&pager, KeyValue { key: 7, value: 999 }).unwrap();
+/// let mut cur = tree
+///     .lower_bound(&pager, &|r: &KeyValue| (7i64, 0u64).cmp(&(r.key, 0)))
+///     .unwrap();
+/// assert_eq!(cur.next(&pager).unwrap().unwrap().value, 999);
+/// ```
+#[derive(Debug)]
+pub struct BPlusTree<R: Record, O: RecordOrd<R>> {
+    root: PageId,
+    /// 0 ⇔ the root is a leaf.
+    height: u32,
+    len: u64,
+    leaf_cap: usize,
+    int_cap: usize,
+    ord: O,
+    _r: PhantomData<R>,
+}
+
+fn read_node<R: Record>(pager: &Pager, id: PageId) -> Result<Node<R>> {
+    pager.with_page(id, |buf| Node::decode(buf))?
+}
+
+fn write_node<R: Record>(pager: &Pager, id: PageId, node: &Node<R>) -> Result<()> {
+    pager.overwrite_page(id, |buf| node.encode(buf))?
+}
+
+impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
+    /// Create an empty tree (allocates one leaf page).
+    pub fn create(pager: &Pager, ord: O) -> Result<Self> {
+        let leaf_cap = Node::<R>::leaf_capacity(pager.page_size());
+        let int_cap = Node::<R>::internal_capacity(pager.page_size());
+        if leaf_cap < 2 || int_cap < 2 {
+            return Err(PagerError::PageOverflow {
+                what: "b+tree node",
+                requested: 2,
+                capacity: leaf_cap.min(int_cap),
+            });
+        }
+        let root = pager.allocate()?;
+        write_node(pager, root, &empty_leaf::<R>())?;
+        Ok(BPlusTree {
+            root,
+            height: 0,
+            len: 0,
+            leaf_cap,
+            int_cap,
+            ord,
+            _r: PhantomData,
+        })
+    }
+
+    /// Bulk-load from records **sorted** under `ord` (debug-asserted).
+    /// Produces full leaves (with a tail rebalance so every node meets
+    /// minimum occupancy), the cheapest way the 2LDS builders materialize
+    /// their multislab lists.
+    pub fn bulk_load(pager: &Pager, ord: O, records: &[R]) -> Result<Self> {
+        let mut tree = Self::create(pager, ord)?;
+        if records.is_empty() {
+            return Ok(tree);
+        }
+        debug_assert!(
+            records.windows(2).all(|w| tree.ord.cmp_records(&w[0], &w[1]) == Ordering::Less),
+            "bulk_load input must be strictly sorted"
+        );
+        // The fresh empty root leaf is replaced; free it.
+        pager.free(tree.root)?;
+
+        // Split `records` into chunks of size cap, rebalancing the last two.
+        let chunks = split_chunks(records.len(), tree.leaf_cap, (tree.leaf_cap / 2).max(1));
+        let mut level: Vec<(PageId, R)> = Vec::with_capacity(chunks.len());
+        let mut pages: Vec<PageId> = Vec::with_capacity(chunks.len());
+        for _ in 0..chunks.len() {
+            pages.push(pager.allocate()?);
+        }
+        let mut off = 0usize;
+        for (i, &sz) in chunks.iter().enumerate() {
+            let recs = &records[off..off + sz];
+            off += sz;
+            let node = Node::Leaf {
+                records: recs.to_vec(),
+                next: if i + 1 < pages.len() { pages[i + 1] } else { NULL_PAGE },
+            };
+            write_node(pager, pages[i], &node)?;
+            level.push((pages[i], recs[0]));
+        }
+        // Build internal levels until a single node remains.
+        let mut height = 0u32;
+        while level.len() > 1 {
+            height += 1;
+            let fanout = tree.int_cap + 1;
+            // Non-root internal nodes need ≥ int_cap/2 separators, i.e.
+            // int_cap/2 + 1 children.
+            let chunks = split_chunks(level.len(), fanout, (tree.int_cap / 2).max(1) + 1);
+            let mut next_level = Vec::with_capacity(chunks.len());
+            let mut off = 0usize;
+            for &sz in &chunks {
+                let group = &level[off..off + sz];
+                off += sz;
+                let id = pager.allocate()?;
+                let node = Node::Internal {
+                    children: group.iter().map(|&(p, _)| p).collect(),
+                    seps: group[1..].iter().map(|&(_, r)| r).collect(),
+                };
+                write_node(pager, id, &node)?;
+                next_level.push((id, group[0].1));
+            }
+            level = next_level;
+        }
+        tree.root = level[0].0;
+        tree.height = height;
+        tree.len = records.len() as u64;
+        Ok(tree)
+    }
+
+    /// The serializable identity of this tree.
+    pub fn state(&self) -> TreeState {
+        TreeState {
+            root: self.root,
+            height: self.height,
+            len: self.len,
+        }
+    }
+
+    /// Reconstruct a tree handle from a serialized [`TreeState`].
+    ///
+    /// No I/O; capacities are recomputed from the pager's page size, which
+    /// must match the one the tree was built with.
+    pub fn attach(pager: &Pager, ord: O, state: TreeState) -> Result<Self> {
+        let leaf_cap = Node::<R>::leaf_capacity(pager.page_size());
+        let int_cap = Node::<R>::internal_capacity(pager.page_size());
+        if leaf_cap < 2 || int_cap < 2 {
+            return Err(PagerError::PageOverflow {
+                what: "b+tree node",
+                requested: 2,
+                capacity: leaf_cap.min(int_cap),
+            });
+        }
+        Ok(BPlusTree {
+            root: state.root,
+            height: state.height,
+            len: state.len,
+            leaf_cap,
+            int_cap,
+            ord,
+            _r: PhantomData,
+        })
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (0 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Root page (bridges and tests need stable access).
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// The comparator.
+    pub fn ord(&self) -> &O {
+        &self.ord
+    }
+
+    /// Position a cursor at the first record `r` with `probe ≤ r`
+    /// (lower bound). Costs one read per level.
+    pub fn lower_bound(&self, pager: &Pager, probe: &impl Probe<R>) -> Result<Cursor<R>> {
+        let mut id = self.root;
+        loop {
+            match read_node::<R>(pager, id)? {
+                Node::Internal { children, seps } => {
+                    // Skip children whose whole range sorts before the
+                    // probe. `sep[i]` is the minimum of child `i+1`, so on
+                    // `probe ≥ sep[i]` the lower bound cannot be in
+                    // children `0..=i`.
+                    let idx = seps
+                        .iter()
+                        .take_while(|s| probe.cmp_record(s) != Ordering::Less)
+                        .count();
+                    id = children[idx];
+                }
+                Node::Leaf { records, next } => {
+                    let idx = records
+                        .iter()
+                        .take_while(|r| probe.cmp_record(r) == Ordering::Greater)
+                        .count();
+                    let mut cur = Cursor::at(records, idx, next);
+                    // If positioned past the last record, hop to the next
+                    // leaf so `peek` is the true lower bound.
+                    cur.normalize(pager)?;
+                    return Ok(cur);
+                }
+            }
+        }
+    }
+
+    /// The page id of the leaf a lower-bound descent for `probe` lands
+    /// on. Used by fractional cascading to materialize bridge pointers.
+    pub fn leaf_page_of(&self, pager: &Pager, probe: &impl Probe<R>) -> Result<PageId> {
+        let mut id = self.root;
+        loop {
+            match read_node::<R>(pager, id)? {
+                Node::Internal { children, seps } => {
+                    let idx = seps
+                        .iter()
+                        .take_while(|s| probe.cmp_record(s) != Ordering::Less)
+                        .count();
+                    id = children[idx];
+                }
+                Node::Leaf { .. } => return Ok(id),
+            }
+        }
+    }
+
+    /// Find the record comparing `Equal` to `rec` (under the tree order)
+    /// and patch it in place with `f`. `f` must not change fields the
+    /// comparator reads. Returns whether a record was patched.
+    pub fn modify(&self, pager: &Pager, rec: &R, f: impl FnOnce(&mut R)) -> Result<bool> {
+        let mut id = self.root;
+        loop {
+            match read_node::<R>(pager, id)? {
+                Node::Internal { children, seps } => {
+                    let idx = seps
+                        .iter()
+                        .take_while(|s| self.ord.cmp_records(rec, s) != Ordering::Less)
+                        .count();
+                    id = children[idx];
+                }
+                Node::Leaf { mut records, next } => {
+                    let pos = records
+                        .iter()
+                        .position(|r| self.ord.cmp_records(r, rec) == Ordering::Equal);
+                    return match pos {
+                        None => Ok(false),
+                        Some(pos) => {
+                            f(&mut records[pos]);
+                            debug_assert_eq!(
+                                self.ord.cmp_records(&records[pos], rec),
+                                Ordering::Equal,
+                                "modify changed the record's order"
+                            );
+                            write_node(pager, id, &Node::Leaf { records, next })?;
+                            Ok(true)
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    /// Cursor at the smallest record.
+    pub fn cursor_first(&self, pager: &Pager) -> Result<Cursor<R>> {
+        let mut id = self.root;
+        loop {
+            match read_node::<R>(pager, id)? {
+                Node::Internal { children, .. } => id = children[0],
+                Node::Leaf { records, next } => {
+                    let mut cur = Cursor::at(records, 0, next);
+                    cur.normalize(pager)?;
+                    return Ok(cur);
+                }
+            }
+        }
+    }
+
+    /// Decode one leaf page directly — the fractional-cascading "bridge
+    /// jump" entry point (§4.3): land on a leaf without a root descent.
+    pub fn read_leaf(pager: &Pager, leaf: PageId) -> Result<(Vec<R>, PageId)> {
+        match read_node::<R>(pager, leaf)? {
+            Node::Leaf { records, next } => Ok((records, next)),
+            Node::Internal { .. } => Err(PagerError::Corrupt("bridge jump hit internal node")),
+        }
+    }
+
+    /// All records in order (used by rebuilds; `O(n)` leaf reads).
+    pub fn scan_all(&self, pager: &Pager) -> Result<Vec<R>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut cur = self.cursor_first(pager)?;
+        while let Some(r) = cur.next(pager)? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    /// Insert `rec`. Returns `false` (no-op) if a record comparing
+    /// `Equal` already exists. `O(height)` reads + writes, plus splits.
+    pub fn insert(&mut self, pager: &Pager, rec: R) -> Result<bool> {
+        // Descend, keeping the path (page, decoded node, chosen child idx).
+        let mut path: Vec<(PageId, Vec<PageId>, Vec<R>, usize)> = Vec::new();
+        let mut id = self.root;
+        let (mut leaf_records, mut leaf_next) = loop {
+            match read_node::<R>(pager, id)? {
+                Node::Internal { children, seps } => {
+                    let idx = seps
+                        .iter()
+                        .take_while(|s| self.ord.cmp_records(&rec, s) != Ordering::Less)
+                        .count();
+                    let child = children[idx];
+                    path.push((id, children, seps, idx));
+                    id = child;
+                }
+                Node::Leaf { records, next } => break (records, next),
+            }
+        };
+        let leaf_id = id;
+        let pos = leaf_records
+            .iter()
+            .take_while(|r| self.ord.cmp_records(r, &rec) == Ordering::Less)
+            .count();
+        if pos < leaf_records.len() && self.ord.cmp_records(&leaf_records[pos], &rec) == Ordering::Equal {
+            return Ok(false);
+        }
+        leaf_records.insert(pos, rec);
+        self.len += 1;
+
+        if leaf_records.len() <= self.leaf_cap {
+            write_node(pager, leaf_id, &Node::Leaf { records: leaf_records, next: leaf_next })?;
+            return Ok(true);
+        }
+
+        // Split the leaf.
+        let mid = leaf_records.len() / 2;
+        let right_records = leaf_records.split_off(mid);
+        let right_id = pager.allocate()?;
+        let mut promoted = (right_records[0], right_id);
+        // `split_left` tracks the left sibling of the promoted entry, so a
+        // root split knows both children of the new root.
+        let mut split_left = leaf_id;
+        write_node(pager, right_id, &Node::Leaf { records: right_records, next: leaf_next })?;
+        leaf_next = right_id;
+        write_node(pager, leaf_id, &Node::Leaf { records: leaf_records, next: leaf_next })?;
+
+        // Propagate splits upward.
+        loop {
+            match path.pop() {
+                None => {
+                    // Split reached the root: grow the tree.
+                    let new_root = pager.allocate()?;
+                    let node = Node::Internal {
+                        children: vec![split_left, promoted.1],
+                        seps: vec![promoted.0],
+                    };
+                    write_node(pager, new_root, &node)?;
+                    self.root = new_root;
+                    self.height += 1;
+                    return Ok(true);
+                }
+                Some((pid, mut children, mut seps, idx)) => {
+                    seps.insert(idx, promoted.0);
+                    children.insert(idx + 1, promoted.1);
+                    if seps.len() <= self.int_cap {
+                        write_node(pager, pid, &Node::Internal { children, seps })?;
+                        return Ok(true);
+                    }
+                    // Split internal node: middle separator moves up.
+                    let mid = seps.len() / 2;
+                    let up = seps[mid];
+                    let right_seps = seps.split_off(mid + 1);
+                    seps.pop(); // remove `up`
+                    let right_children = children.split_off(mid + 1);
+                    let right_id = pager.allocate()?;
+                    write_node(pager, right_id, &Node::Internal { children: right_children, seps: right_seps })?;
+                    write_node(pager, pid, &Node::Internal { children, seps })?;
+                    split_left = pid;
+                    promoted = (up, right_id);
+                }
+            }
+        }
+    }
+
+    /// Remove the record comparing `Equal` to `rec`. Returns whether a
+    /// record was removed. Rebalances by borrow/merge.
+    pub fn remove(&mut self, pager: &Pager, rec: &R) -> Result<bool> {
+        let mut path: Vec<(PageId, Vec<PageId>, Vec<R>, usize)> = Vec::new();
+        let mut id = self.root;
+        let (mut records, next) = loop {
+            match read_node::<R>(pager, id)? {
+                Node::Internal { children, seps } => {
+                    let idx = seps
+                        .iter()
+                        .take_while(|s| self.ord.cmp_records(rec, s) != Ordering::Less)
+                        .count();
+                    let child = children[idx];
+                    path.push((id, children, seps, idx));
+                    id = child;
+                }
+                Node::Leaf { records, next } => break (records, next),
+            }
+        };
+        let leaf_id = id;
+        let pos = match records
+            .iter()
+            .position(|r| self.ord.cmp_records(r, rec) == Ordering::Equal)
+        {
+            Some(p) => p,
+            None => return Ok(false),
+        };
+        records.remove(pos);
+        self.len -= 1;
+        let min_leaf = (self.leaf_cap / 2).max(1);
+        write_node(pager, leaf_id, &Node::Leaf { records: records.clone(), next })?;
+        if records.len() >= min_leaf || path.is_empty() {
+            return Ok(true);
+        }
+        self.rebalance_leaf(pager, leaf_id, records, next, path)?;
+        Ok(true)
+    }
+
+    /// Free every page of the tree (used by amortized rebuilds).
+    pub fn destroy(self, pager: &Pager) -> Result<()> {
+        fn walk<R: Record>(pager: &Pager, id: PageId) -> Result<()> {
+            if let Node::Internal { children, .. } = read_node::<R>(pager, id)? {
+                for c in children {
+                    walk::<R>(pager, c)?;
+                }
+            }
+            pager.free(id)
+        }
+        walk::<R>(pager, self.root)
+    }
+
+    /// Deep structural validation (tests / debug builds).
+    ///
+    /// Checks: uniform leaf depth, occupancy bounds, in-node order,
+    /// separator invariants, leaf-chain consistency and record count.
+    pub fn validate(&self, pager: &Pager) -> Result<()> {
+        let mut leaf_pages = Vec::new();
+        let mut count = 0u64;
+        self.validate_node(pager, self.root, self.height, true, None, None, &mut leaf_pages, &mut count)?;
+        if count != self.len {
+            return Err(PagerError::Corrupt("b+tree len mismatch"));
+        }
+        // Leaf chain equals in-order leaf sequence.
+        for w in leaf_pages.windows(2) {
+            let (_, next) = Self::read_leaf(pager, w[0])?;
+            if next != w[1] {
+                return Err(PagerError::Corrupt("b+tree leaf chain broken"));
+            }
+        }
+        if let Some(&last) = leaf_pages.last() {
+            let (_, next) = Self::read_leaf(pager, last)?;
+            if next != NULL_PAGE {
+                return Err(PagerError::Corrupt("b+tree last leaf has next"));
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn validate_node(
+        &self,
+        pager: &Pager,
+        id: PageId,
+        depth_left: u32,
+        is_root: bool,
+        lo: Option<&R>,
+        hi: Option<&R>,
+        leaf_pages: &mut Vec<PageId>,
+        count: &mut u64,
+    ) -> Result<()> {
+        let in_bounds = |r: &R| {
+            lo.is_none_or(|lo| self.ord.cmp_records(lo, r) != Ordering::Greater)
+                && hi.is_none_or(|hi| self.ord.cmp_records(r, hi) == Ordering::Less)
+        };
+        match read_node::<R>(pager, id)? {
+            Node::Leaf { records, .. } => {
+                if depth_left != 0 {
+                    return Err(PagerError::Corrupt("leaf at wrong depth"));
+                }
+                if !is_root && records.len() < (self.leaf_cap / 2).max(1) {
+                    return Err(PagerError::Corrupt("leaf underfull"));
+                }
+                if records.len() > self.leaf_cap {
+                    return Err(PagerError::Corrupt("leaf overfull"));
+                }
+                for w in records.windows(2) {
+                    if self.ord.cmp_records(&w[0], &w[1]) != Ordering::Less {
+                        return Err(PagerError::Corrupt("leaf records out of order"));
+                    }
+                }
+                if !records.iter().all(in_bounds) {
+                    return Err(PagerError::Corrupt("leaf record outside separator bounds"));
+                }
+                *count += records.len() as u64;
+                leaf_pages.push(id);
+            }
+            Node::Internal { children, seps } => {
+                if depth_left == 0 {
+                    return Err(PagerError::Corrupt("internal node at leaf depth"));
+                }
+                let min_int = (self.int_cap / 2).max(1);
+                if !is_root && seps.len() < min_int {
+                    return Err(PagerError::Corrupt("internal underfull"));
+                }
+                if is_root && seps.is_empty() {
+                    return Err(PagerError::Corrupt("internal root with no separator"));
+                }
+                if seps.len() > self.int_cap {
+                    return Err(PagerError::Corrupt("internal overfull"));
+                }
+                for w in seps.windows(2) {
+                    if self.ord.cmp_records(&w[0], &w[1]) != Ordering::Less {
+                        return Err(PagerError::Corrupt("separators out of order"));
+                    }
+                }
+                if !seps.iter().all(in_bounds) {
+                    return Err(PagerError::Corrupt("separator outside bounds"));
+                }
+                for (i, &c) in children.iter().enumerate() {
+                    let lo2 = if i == 0 { lo } else { Some(&seps[i - 1]) };
+                    let hi2 = if i == seps.len() { hi } else { Some(&seps[i]) };
+                    self.validate_node(pager, c, depth_left - 1, false, lo2, hi2, leaf_pages, count)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn rebalance_leaf(
+        &mut self,
+        pager: &Pager,
+        leaf_id: PageId,
+        records: Vec<R>,
+        next: PageId,
+        mut path: Vec<(PageId, Vec<PageId>, Vec<R>, usize)>,
+    ) -> Result<()> {
+        let min_leaf = (self.leaf_cap / 2).max(1);
+        let (pid, mut children, mut seps, idx) = path.pop().expect("non-root underflow has parent");
+
+        // Try borrowing from the left sibling.
+        if idx > 0 {
+            let left_id = children[idx - 1];
+            if let Node::Leaf { records: mut lrecs, next: lnext } = read_node::<R>(pager, left_id)? {
+                if lrecs.len() > min_leaf {
+                    let moved = lrecs.pop().expect("left sibling nonempty");
+                    let mut recs = records;
+                    recs.insert(0, moved);
+                    seps[idx - 1] = moved;
+                    write_node(pager, left_id, &Node::Leaf { records: lrecs, next: lnext })?;
+                    write_node(pager, leaf_id, &Node::Leaf { records: recs, next })?;
+                    write_node(pager, pid, &Node::Internal { children, seps })?;
+                    return Ok(());
+                }
+                // Merge leaf into left sibling.
+                let mut merged = lrecs;
+                merged.extend(records);
+                write_node(pager, left_id, &Node::Leaf { records: merged, next })?;
+                pager.free(leaf_id)?;
+                children.remove(idx);
+                seps.remove(idx - 1);
+                return self.finish_internal_underflow(pager, pid, children, seps, path);
+            }
+            return Err(PagerError::Corrupt("leaf sibling is internal"));
+        }
+
+        // Borrow from / merge with the right sibling.
+        let right_id = children[idx + 1];
+        if let Node::Leaf { records: mut rrecs, next: rnext } = read_node::<R>(pager, right_id)? {
+            if rrecs.len() > min_leaf {
+                let moved = rrecs.remove(0);
+                let mut recs = records;
+                recs.push(moved);
+                seps[idx] = rrecs[0];
+                write_node(pager, right_id, &Node::Leaf { records: rrecs, next: rnext })?;
+                write_node(pager, leaf_id, &Node::Leaf { records: recs, next })?;
+                write_node(pager, pid, &Node::Internal { children, seps })?;
+                return Ok(());
+            }
+            let mut merged = records;
+            merged.extend(rrecs);
+            write_node(pager, leaf_id, &Node::Leaf { records: merged, next: rnext })?;
+            pager.free(right_id)?;
+            children.remove(idx + 1);
+            seps.remove(idx);
+            return self.finish_internal_underflow(pager, pid, children, seps, path);
+        }
+        Err(PagerError::Corrupt("leaf sibling is internal"))
+    }
+
+    fn finish_internal_underflow(
+        &mut self,
+        pager: &Pager,
+        pid: PageId,
+        children: Vec<PageId>,
+        seps: Vec<R>,
+        mut path: Vec<(PageId, Vec<PageId>, Vec<R>, usize)>,
+    ) -> Result<()> {
+        let min_int = (self.int_cap / 2).max(1);
+        let is_root = pid == self.root;
+        if is_root {
+            if seps.is_empty() {
+                // Root collapse.
+                self.root = children[0];
+                self.height -= 1;
+                pager.free(pid)?;
+            } else {
+                write_node(pager, pid, &Node::Internal { children, seps })?;
+            }
+            return Ok(());
+        }
+        if seps.len() >= min_int {
+            write_node(pager, pid, &Node::Internal { children, seps })?;
+            return Ok(());
+        }
+        // Internal underflow: borrow or merge via the grandparent.
+        let (gid, mut gchildren, mut gseps, gidx) = path.pop().expect("non-root has parent");
+        if gidx > 0 {
+            let left_id = gchildren[gidx - 1];
+            if let Node::Internal { children: mut lch, seps: mut lseps } = read_node::<R>(pager, left_id)? {
+                if lseps.len() > min_int {
+                    // Rotate right through the grandparent separator.
+                    let mut children = children;
+                    let mut seps = seps;
+                    let moved_child = lch.pop().expect("left internal nonempty");
+                    let moved_sep = lseps.pop().expect("left internal nonempty");
+                    children.insert(0, moved_child);
+                    seps.insert(0, gseps[gidx - 1]);
+                    gseps[gidx - 1] = moved_sep;
+                    write_node(pager, left_id, &Node::Internal { children: lch, seps: lseps })?;
+                    write_node(pager, pid, &Node::Internal { children, seps })?;
+                    write_node(pager, gid, &Node::Internal { children: gchildren, seps: gseps })?;
+                    return Ok(());
+                }
+                // Merge pid into left sibling.
+                lseps.push(gseps[gidx - 1]);
+                lseps.extend(seps);
+                lch.extend(children);
+                write_node(pager, left_id, &Node::Internal { children: lch, seps: lseps })?;
+                pager.free(pid)?;
+                gchildren.remove(gidx);
+                gseps.remove(gidx - 1);
+                return self.finish_internal_underflow(pager, gid, gchildren, gseps, path);
+            }
+            return Err(PagerError::Corrupt("internal sibling is leaf"));
+        }
+        let right_id = gchildren[gidx + 1];
+        if let Node::Internal { children: mut rch, seps: mut rseps } = read_node::<R>(pager, right_id)? {
+            if rseps.len() > min_int {
+                let mut children = children;
+                let mut seps = seps;
+                let moved_child = rch.remove(0);
+                let moved_sep = rseps.remove(0);
+                children.push(moved_child);
+                seps.push(gseps[gidx]);
+                gseps[gidx] = moved_sep;
+                write_node(pager, right_id, &Node::Internal { children: rch, seps: rseps })?;
+                write_node(pager, pid, &Node::Internal { children, seps })?;
+                write_node(pager, gid, &Node::Internal { children: gchildren, seps: gseps })?;
+                return Ok(());
+            }
+            let mut children = children;
+            let mut seps = seps;
+            seps.push(gseps[gidx]);
+            seps.extend(rseps);
+            children.extend(rch);
+            write_node(pager, pid, &Node::Internal { children, seps })?;
+            pager.free(right_id)?;
+            gchildren.remove(gidx + 1);
+            gseps.remove(gidx);
+            return self.finish_internal_underflow(pager, gid, gchildren, gseps, path);
+        }
+        Err(PagerError::Corrupt("internal sibling is leaf"))
+    }
+}
+
+/// Split `total` items into chunks of at most `cap`, rebalancing the last
+/// two chunks so no chunk falls below `min` (when there are ≥ 2 chunks).
+/// Requires `cap ≥ 2·min − 1` so the rebalance always succeeds.
+fn split_chunks(total: usize, cap: usize, min: usize) -> Vec<usize> {
+    assert!(cap >= 2 && min >= 1 && cap >= 2 * min - 1);
+    if total == 0 {
+        return vec![];
+    }
+    let mut sizes: Vec<usize> = Vec::with_capacity(total.div_ceil(cap));
+    let mut left = total;
+    while left > 0 {
+        let take = left.min(cap);
+        sizes.push(take);
+        left -= take;
+    }
+    let k = sizes.len();
+    if k >= 2 && sizes[k - 1] < min {
+        let deficit = min - sizes[k - 1];
+        sizes[k - 1] += deficit;
+        sizes[k - 2] -= deficit;
+        debug_assert!(sizes[k - 2] >= min);
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{KeyOrder, KeyValue};
+    use segdb_pager::PagerConfig;
+
+    fn pager(page: usize) -> Pager {
+        Pager::new(PagerConfig { page_size: page, cache_pages: 0 })
+    }
+
+    fn kv(k: i64) -> KeyValue {
+        KeyValue { key: k, value: (k as u64).wrapping_mul(3) }
+    }
+
+    fn probe(k: i64) -> impl Fn(&KeyValue) -> Ordering {
+        move |r: &KeyValue| (k, 0u64).cmp(&(r.key, 0))
+    }
+
+    #[test]
+    fn split_chunks_properties() {
+        assert_eq!(split_chunks(0, 4, 2), Vec::<usize>::new());
+        assert_eq!(split_chunks(4, 4, 2), vec![4]);
+        assert_eq!(split_chunks(5, 4, 2), vec![3, 2]);
+        // [4, 4, 1] has an underfull tail; one item moves left-to-right.
+        assert_eq!(split_chunks(9, 4, 2), vec![4, 3, 2]);
+        for total in 1..200 {
+            for cap in 2..12usize {
+                for min in 1..=cap.div_ceil(2) {
+                    let s = split_chunks(total, cap, min);
+                    assert_eq!(s.iter().sum::<usize>(), total);
+                    assert!(s.iter().all(|&x| x <= cap));
+                    if s.len() >= 2 {
+                        assert!(s.iter().all(|&x| x >= min), "{total} {cap} {min} {s:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_and_scan() {
+        let p = pager(128);
+        let recs: Vec<KeyValue> = (0..500).map(kv).collect();
+        let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        t.validate(&p).unwrap();
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.scan_all(&p).unwrap(), recs);
+        assert!(t.height() >= 2, "500 records at cap 7 should be deep");
+    }
+
+    #[test]
+    fn lower_bound_semantics() {
+        let p = pager(128);
+        let recs: Vec<KeyValue> = (0..100).map(|i| kv(i * 2)).collect(); // evens
+        let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        // Exact hit.
+        let mut c = t.lower_bound(&p, &probe(40)).unwrap();
+        assert_eq!(c.next(&p).unwrap().unwrap().key, 40);
+        // Between keys.
+        let mut c = t.lower_bound(&p, &probe(41)).unwrap();
+        assert_eq!(c.next(&p).unwrap().unwrap().key, 42);
+        // Before all.
+        let mut c = t.lower_bound(&p, &probe(-5)).unwrap();
+        assert_eq!(c.next(&p).unwrap().unwrap().key, 0);
+        // Past all.
+        let mut c = t.lower_bound(&p, &probe(999)).unwrap();
+        assert!(c.next(&p).unwrap().is_none());
+    }
+
+    #[test]
+    fn insert_incremental_matches_bulk() {
+        let p = pager(128);
+        let mut t = BPlusTree::create(&p, KeyOrder).unwrap();
+        // Insert in shuffled-ish order.
+        let mut keys: Vec<i64> = (0..300).collect();
+        // deterministic shuffle
+        for i in 0..keys.len() {
+            let j = (i * 7919 + 13) % keys.len();
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            assert!(t.insert(&p, kv(k)).unwrap());
+        }
+        t.validate(&p).unwrap();
+        assert_eq!(t.len(), 300);
+        let got: Vec<i64> = t.scan_all(&p).unwrap().iter().map(|r| r.key).collect();
+        assert_eq!(got, (0..300).collect::<Vec<_>>());
+        // Duplicate is rejected.
+        assert!(!t.insert(&p, kv(5)).unwrap());
+        assert_eq!(t.len(), 300);
+    }
+
+    #[test]
+    fn remove_all_in_random_order() {
+        let p = pager(128);
+        let recs: Vec<KeyValue> = (0..300).map(kv).collect();
+        let mut t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        let mut keys: Vec<i64> = (0..300).collect();
+        for i in 0..keys.len() {
+            let j = (i * 104729 + 7) % keys.len();
+            keys.swap(i, j);
+        }
+        for (n, &k) in keys.iter().enumerate() {
+            assert!(t.remove(&p, &kv(k)).unwrap(), "missing {k}");
+            if n % 17 == 0 {
+                t.validate(&p).unwrap();
+            }
+        }
+        t.validate(&p).unwrap();
+        assert!(t.is_empty());
+        assert!(!t.remove(&p, &kv(0)).unwrap());
+        // Structure collapsed back to a single leaf root.
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn interleaved_insert_remove_storm() {
+        let p = pager(128);
+        let mut t = BPlusTree::create(&p, KeyOrder).unwrap();
+        let mut expect = std::collections::BTreeSet::new();
+        let mut x: u64 = 0x243F6A8885A308D3;
+        for step in 0..3000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x % 500) as i64;
+            if x & 1 == 0 {
+                t.insert(&p, kv(k)).unwrap();
+                expect.insert(k);
+            } else {
+                t.remove(&p, &kv(k)).unwrap();
+                expect.remove(&k);
+            }
+            if step % 500 == 0 {
+                t.validate(&p).unwrap();
+            }
+        }
+        t.validate(&p).unwrap();
+        let got: Vec<i64> = t.scan_all(&p).unwrap().iter().map(|r| r.key).collect();
+        assert_eq!(got, expect.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn destroy_frees_every_page() {
+        let p = pager(128);
+        let recs: Vec<KeyValue> = (0..500).map(kv).collect();
+        let before = p.live_pages();
+        let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        assert!(p.live_pages() > before);
+        t.destroy(&p).unwrap();
+        assert_eq!(p.live_pages(), before);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let p = pager(128);
+        let t = BPlusTree::<KeyValue, _>::create(&p, KeyOrder).unwrap();
+        t.validate(&p).unwrap();
+        assert!(t.is_empty());
+        let mut c = t.lower_bound(&p, &probe(0)).unwrap();
+        assert!(c.next(&p).unwrap().is_none());
+        assert!(t.scan_all(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn too_small_page_rejected() {
+        let p = pager(24);
+        assert!(BPlusTree::<KeyValue, _>::create(&p, KeyOrder).is_err());
+    }
+
+    #[test]
+    fn search_io_is_logarithmic() {
+        let p = pager(128); // leaf cap 7, int cap 6 → fanout 7
+        let recs: Vec<KeyValue> = (0..5000).map(kv).collect();
+        let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        p.reset_stats();
+        let _ = t.lower_bound(&p, &probe(2500)).unwrap();
+        let reads = p.stats().reads;
+        // height+1 pages, height ≈ log_7(5000/7) ≈ 4
+        assert!(reads <= (t.height() + 2) as u64, "reads={reads}");
+        assert!(reads >= 2);
+    }
+}

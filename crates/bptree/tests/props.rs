@@ -1,0 +1,104 @@
+//! Model-based property tests: the B⁺-tree must behave exactly like an
+//! in-memory ordered set under arbitrary operation sequences, on multiple
+//! page sizes, while always passing deep validation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use segdb_bptree::record::{KeyOrder, KeyValue};
+use segdb_bptree::BPlusTree;
+use segdb_pager::{Pager, PagerConfig};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    LowerBound(i64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-64i64..64).prop_map(Op::Insert),
+        (-64i64..64).prop_map(Op::Remove),
+        (-70i64..70).prop_map(Op::LowerBound),
+    ]
+}
+
+fn kv(k: i64) -> KeyValue {
+    KeyValue { key: k, value: (k * 17) as u64 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn behaves_like_btreemap(ops in vec(op(), 1..250), page in prop_oneof![Just(80usize), Just(128), Just(512)]) {
+        let pager = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+        let mut tree = BPlusTree::create(&pager, KeyOrder).unwrap();
+        let mut model: BTreeMap<i64, u64> = BTreeMap::new();
+
+        for o in &ops {
+            match *o {
+                Op::Insert(k) => {
+                    let did = tree.insert(&pager, kv(k)).unwrap();
+                    let expected = model.insert(k, kv(k).value).is_none();
+                    prop_assert_eq!(did, expected);
+                }
+                Op::Remove(k) => {
+                    let did = tree.remove(&pager, &kv(k)).unwrap();
+                    let expected = model.remove(&k).is_some();
+                    prop_assert_eq!(did, expected);
+                }
+                Op::LowerBound(k) => {
+                    let mut c = tree
+                        .lower_bound(&pager, &move |r: &KeyValue| (k, 0u64).cmp(&(r.key, 0)))
+                        .unwrap();
+                    let got = c.next(&pager).unwrap().map(|r| r.key);
+                    let expected = model.range(k..).next().map(|(&k2, _)| k2);
+                    prop_assert_eq!(got, expected);
+                }
+            }
+        }
+        tree.validate(&pager).unwrap();
+        let scanned: Vec<(i64, u64)> = tree.scan_all(&pager).unwrap().iter().map(|r| (r.key, r.value)).collect();
+        let expected: Vec<(i64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(mut keys in vec(-1000i64..1000, 1..300)) {
+        keys.sort_unstable();
+        keys.dedup();
+        let pager = Pager::new(PagerConfig { page_size: 96, cache_pages: 0 });
+        let recs: Vec<KeyValue> = keys.iter().map(|&k| kv(k)).collect();
+        let bulk = BPlusTree::bulk_load(&pager, KeyOrder, &recs).unwrap();
+        bulk.validate(&pager).unwrap();
+        let mut inc = BPlusTree::create(&pager, KeyOrder).unwrap();
+        for &k in &keys {
+            inc.insert(&pager, kv(k)).unwrap();
+        }
+        inc.validate(&pager).unwrap();
+        prop_assert_eq!(bulk.scan_all(&pager).unwrap(), inc.scan_all(&pager).unwrap());
+    }
+
+    /// With a stateful comparator ordering records by key descending, the
+    /// tree must respect that order everywhere.
+    #[test]
+    fn custom_comparator_respected(mut keys in vec(-500i64..500, 1..120)) {
+        keys.sort_unstable();
+        keys.dedup();
+        struct Desc;
+        impl segdb_bptree::RecordOrd<KeyValue> for Desc {
+            fn cmp_records(&self, a: &KeyValue, b: &KeyValue) -> Ordering {
+                (b.key, b.value).cmp(&(a.key, a.value))
+            }
+        }
+        let pager = Pager::new(PagerConfig { page_size: 96, cache_pages: 0 });
+        let mut recs: Vec<KeyValue> = keys.iter().map(|&k| kv(k)).collect();
+        recs.reverse(); // descending = sorted under Desc
+        let t = BPlusTree::bulk_load(&pager, Desc, &recs).unwrap();
+        t.validate(&pager).unwrap();
+        prop_assert_eq!(t.scan_all(&pager).unwrap(), recs);
+    }
+}

@@ -1,0 +1,283 @@
+#![warn(missing_docs)]
+
+//! # segdb-cli — the segment database from the command line
+//!
+//! ```text
+//! segdb-cli gen <family> <n> <seed>                      # emit CSV to stdout
+//! segdb-cli build <db> <csv> [options]                   # build a persistent DB
+//! segdb-cli info <db>                                    # superblock + space summary
+//! segdb-cli query <db> line <x> <y>                      # stabbing line through (x,y)
+//! segdb-cli query <db> segment <x1> <y1> <x2> <y2>       # VS query (aligned endpoints)
+//! segdb-cli query <db> ray-up <x> <y> | ray-down <x> <y>
+//! segdb-cli query <db> free <x1> <y1> <x2> <y2>          # any-direction (§5 extension)
+//! segdb-cli insert <db> <id> <x1> <y1> <x2> <y2>
+//! segdb-cli remove <db> <id> <x1> <y1> <x2> <y2>
+//!
+//! build options:
+//!   --page-size <bytes>     block size (default 4096)
+//!   --index <kind>          binary | interval | scan | stab (default interval)
+//!   --direction <dx,dy>     fixed query direction (default 0,1)
+//!   --arbitrary             also build the any-direction extension
+//!   --trust                 skip the NCT validation sweep
+//! ```
+//!
+//! The CSV format is `id,x1,y1,x2,y2`, one segment per line; `#` starts
+//! a comment. All logic lives in this library crate so the integration
+//! tests drive [`run`] directly.
+
+use segdb_core::{DbError, IndexKind, SegmentDatabase};
+use segdb_geom::gen::Family;
+use segdb_geom::Segment;
+use std::fmt::Write as _;
+
+/// Everything that can go wrong at the CLI surface.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the string is a usage hint.
+    Usage(String),
+    /// Input file problems.
+    Io(String),
+    /// Database-level failure.
+    Db(DbError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(s) => write!(f, "usage error: {s}"),
+            CliError::Io(s) => write!(f, "I/O error: {s}"),
+            CliError::Db(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<DbError> for CliError {
+    fn from(e: DbError) -> Self {
+        CliError::Db(e)
+    }
+}
+
+fn usage<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError::Usage(msg.into()))
+}
+
+/// Parse a CSV body (`id,x1,y1,x2,y2` lines) into segments.
+pub fn parse_csv(body: &str) -> Result<Vec<Segment>, CliError> {
+    let mut out = Vec::new();
+    for (ln, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split(',').map(str::trim);
+        let mut next_i64 = |what: &str| -> Result<i64, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::Io(format!("line {}: missing {what}", ln + 1)))?
+                .parse::<i64>()
+                .map_err(|e| CliError::Io(format!("line {}: bad {what}: {e}", ln + 1)))
+        };
+        let id = next_i64("id")? as u64;
+        let (x1, y1, x2, y2) = (next_i64("x1")?, next_i64("y1")?, next_i64("x2")?, next_i64("y2")?);
+        let seg = Segment::new(id, (x1, y1), (x2, y2))
+            .map_err(|e| CliError::Io(format!("line {}: {e}", ln + 1)))?;
+        out.push(seg);
+    }
+    Ok(out)
+}
+
+/// Render segments as the CSV format `parse_csv` accepts.
+pub fn to_csv(segs: &[Segment]) -> String {
+    let mut s = String::with_capacity(segs.len() * 24);
+    s.push_str("# id,x1,y1,x2,y2\n");
+    for seg in segs {
+        let _ = writeln!(s, "{},{},{},{},{}", seg.id, seg.a.x, seg.a.y, seg.b.x, seg.b.y);
+    }
+    s
+}
+
+fn parse_index(s: &str) -> Result<IndexKind, CliError> {
+    Ok(match s {
+        "binary" => IndexKind::TwoLevelBinary,
+        "interval" => IndexKind::TwoLevelInterval,
+        "scan" => IndexKind::FullScan,
+        "stab" => IndexKind::StabThenFilter,
+        _ => return usage(format!("unknown index kind '{s}' (binary|interval|scan|stab)")),
+    })
+}
+
+fn parse_family(s: &str) -> Result<Family, CliError> {
+    Family::ALL
+        .into_iter()
+        .find(|f| f.name() == s)
+        .map_or_else(|| usage(format!("unknown family '{s}'")), Ok)
+}
+
+fn want<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, CliError> {
+    args.get(i).map(String::as_str).map_or_else(|| usage(format!("missing {what}")), Ok)
+}
+
+fn num(args: &[String], i: usize, what: &str) -> Result<i64, CliError> {
+    want(args, i, what)?
+        .parse()
+        .map_err(|e| CliError::Usage(format!("bad {what}: {e}")))
+}
+
+/// Run one CLI invocation (`args` excludes the program name); returns the
+/// text that would be printed.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match want(args, 0, "command")? {
+        "gen" => {
+            let family = parse_family(want(args, 1, "family")?)?;
+            let n = num(args, 2, "n")? as usize;
+            let seed = num(args, 3, "seed")? as u64;
+            Ok(to_csv(&family.generate(n, seed)))
+        }
+        "build" => {
+            let db_path = want(args, 1, "db path")?;
+            let csv_path = want(args, 2, "csv path")?;
+            let body = std::fs::read_to_string(csv_path).map_err(|e| CliError::Io(e.to_string()))?;
+            let segs = parse_csv(&body)?;
+            let mut builder = SegmentDatabase::builder().persist_to(db_path);
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--page-size" => {
+                        builder = builder.page_size(num(args, i + 1, "page size")? as usize);
+                        i += 2;
+                    }
+                    "--index" => {
+                        builder = builder.index(parse_index(want(args, i + 1, "index kind")?)?);
+                        i += 2;
+                    }
+                    "--direction" => {
+                        let spec = want(args, i + 1, "direction")?;
+                        let (dx, dy) = spec
+                            .split_once(',')
+                            .ok_or_else(|| CliError::Usage("direction must be dx,dy".into()))?;
+                        let dx = dx.trim().parse().map_err(|_| CliError::Usage("bad dx".into()))?;
+                        let dy = dy.trim().parse().map_err(|_| CliError::Usage("bad dy".into()))?;
+                        builder = builder.direction(dx, dy)?;
+                        i += 2;
+                    }
+                    "--arbitrary" => {
+                        builder = builder.enable_arbitrary_queries();
+                        i += 1;
+                    }
+                    "--trust" => {
+                        builder = builder.trust_input();
+                        i += 1;
+                    }
+                    other => return usage(format!("unknown build option '{other}'")),
+                }
+            }
+            let db = builder.build(segs)?;
+            Ok(format!(
+                "built {} segments into {} ({} blocks)\n",
+                db.len(),
+                db_path,
+                db.space_blocks()
+            ))
+        }
+        "info" => {
+            let db = SegmentDatabase::open(want(args, 1, "db path")?, 0)?;
+            let d = db.direction();
+            Ok(format!(
+                "segments: {}\nblocks:   {}\npage:     {} bytes\ndirection: ({}, {})\n",
+                db.len(),
+                db.space_blocks(),
+                db.pager().page_size(),
+                d.dx(),
+                d.dy(),
+            ))
+        }
+        "query" => {
+            let db = SegmentDatabase::open(want(args, 1, "db path")?, 0)?;
+            let shape = want(args, 2, "query shape")?;
+            let (hits, trace) = match shape {
+                "line" => db.query_line((num(args, 3, "x")?, num(args, 4, "y")?))?,
+                "ray-up" => db.query_ray_up((num(args, 3, "x")?, num(args, 4, "y")?))?,
+                "ray-down" => db.query_ray_down((num(args, 3, "x")?, num(args, 4, "y")?))?,
+                "segment" => db.query_segment(
+                    (num(args, 3, "x1")?, num(args, 4, "y1")?),
+                    (num(args, 5, "x2")?, num(args, 6, "y2")?),
+                )?,
+                "free" => db.query_free_segment(
+                    (num(args, 3, "x1")?, num(args, 4, "y1")?),
+                    (num(args, 5, "x2")?, num(args, 6, "y2")?),
+                )?,
+                other => return usage(format!("unknown query shape '{other}'")),
+            };
+            let mut out = String::new();
+            for h in &hits {
+                let _ = writeln!(out, "{},{},{},{},{}", h.id, h.a.x, h.a.y, h.b.x, h.b.y);
+            }
+            let _ = writeln!(out, "# {} hits, {} block reads", hits.len(), trace.io.reads);
+            Ok(out)
+        }
+        "insert" | "remove" => {
+            let op = args[0].clone();
+            let path = want(args, 1, "db path")?.to_string();
+            let mut db = SegmentDatabase::open(&path, 0)?;
+            let seg = Segment::new(
+                num(args, 2, "id")? as u64,
+                (num(args, 3, "x1")?, num(args, 4, "y1")?),
+                (num(args, 5, "x2")?, num(args, 6, "y2")?),
+            )
+            .map_err(|e| CliError::Io(e.to_string()))?;
+            let msg = if op == "insert" {
+                db.insert(seg)?;
+                format!("inserted {seg}\n")
+            } else {
+                let found = db.remove(&seg)?;
+                format!("{} {seg}\n", if found { "removed" } else { "not found:" })
+            };
+            db.save()?;
+            Ok(msg)
+        }
+        other => usage(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let segs = vec![
+            Segment::new(1, (0, 0), (5, 5)).unwrap(),
+            Segment::new(2, (-3, 9), (4, 9)).unwrap(),
+        ];
+        let csv = to_csv(&segs);
+        assert_eq!(parse_csv(&csv).unwrap(), segs);
+    }
+
+    #[test]
+    fn csv_errors_carry_line_numbers() {
+        let err = parse_csv("1,2,3,4,5\nbogus").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_csv("1,2,3").unwrap_err();
+        assert!(err.to_string().contains("x2"), "{err}");
+        let err = parse_csv("7,0,0,0,0").unwrap_err();
+        assert!(err.to_string().contains("coincide"), "{err}");
+    }
+
+    #[test]
+    fn bad_commands_are_usage_errors() {
+        let a = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(matches!(run(&a(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&a(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&a(&["gen", "nope", "5", "1"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&a(&["query"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn gen_emits_parseable_csv() {
+        let a: Vec<String> = ["gen", "grid", "100", "7"].iter().map(|s| s.to_string()).collect();
+        let csv = run(&a).unwrap();
+        let segs = parse_csv(&csv).unwrap();
+        assert!(!segs.is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! Binary entry point; all logic lives in the library for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match segdb_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("segdb-cli: {e}");
+            eprintln!(
+                "commands: gen | build | info | query | insert | remove  (see crate docs)"
+            );
+            std::process::exit(2);
+        }
+    }
+}

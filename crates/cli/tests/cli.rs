@@ -1,0 +1,89 @@
+//! End-to-end CLI flows: generate → build → info → query → mutate →
+//! re-query, all through the public `run` entry point.
+
+use segdb_cli::{parse_csv, run};
+
+fn a(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("segdb-cli-{name}-{}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn full_workflow() {
+    let csv_path = tmp("wf.csv");
+    let db_path = tmp("wf.db");
+
+    // 1. Generate a workload.
+    let csv = run(&a(&["gen", "temporal", "400", "11"])).unwrap();
+    std::fs::write(&csv_path, &csv).unwrap();
+    let set = parse_csv(&csv).unwrap();
+
+    // 2. Build a persistent database with the any-direction extension.
+    let out = run(&a(&["build", &db_path, &csv_path, "--page-size", "1024", "--index", "binary", "--arbitrary"])).unwrap();
+    assert!(out.contains("built 400 segments"), "{out}");
+
+    // 3. Info reads the superblock.
+    let out = run(&a(&["info", &db_path])).unwrap();
+    assert!(out.contains("segments: 400"), "{out}");
+    assert!(out.contains("1024 bytes"), "{out}");
+
+    // 4. Query: a line through a known segment's left endpoint.
+    let s = set[0];
+    let out = run(&a(&["query", &db_path, "line", &s.a.x.to_string(), "0"])).unwrap();
+    assert!(out.lines().any(|l| l.starts_with(&format!("{},", s.id))), "{out}");
+    assert!(out.contains("block reads"));
+
+    // 5. Free (arbitrary-direction) query works thanks to --arbitrary.
+    let out = run(&a(&["query", &db_path, "free", "0", "0", "30000", "900"])).unwrap();
+    assert!(out.contains("hits"), "{out}");
+
+    // 6. Mutations persist.
+    run(&a(&["insert", &db_path, "99999", "70000", "-50", "70010", "-45"])).unwrap();
+    let out = run(&a(&["query", &db_path, "line", "70005", "0"])).unwrap();
+    assert!(out.lines().any(|l| l.starts_with("99999,")), "{out}");
+    let out = run(&a(&["remove", &db_path, "99999", "70000", "-50", "70010", "-45"])).unwrap();
+    assert!(out.starts_with("removed"), "{out}");
+    let out = run(&a(&["query", &db_path, "line", "70005", "0"])).unwrap();
+    assert!(!out.lines().any(|l| l.starts_with("99999,")), "{out}");
+
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&db_path).ok();
+}
+
+#[test]
+fn build_rejects_crossing_input() {
+    let csv_path = tmp("cross.csv");
+    let db_path = tmp("cross.db");
+    std::fs::write(&csv_path, "1,0,0,10,10\n2,0,10,10,0\n").unwrap();
+    let err = run(&a(&["build", &db_path, &csv_path])).unwrap_err();
+    assert!(err.to_string().contains("cross"), "{err}");
+    // --trust skips validation (the caller takes responsibility).
+    let out = run(&a(&["build", &db_path, &csv_path, "--trust", "--index", "scan"])).unwrap();
+    assert!(out.contains("built 2 segments"));
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&db_path).ok();
+}
+
+#[test]
+fn sheared_build_and_query() {
+    let csv_path = tmp("shear.csv");
+    let db_path = tmp("shear.db");
+    let csv = run(&a(&["gen", "temporal", "100", "3"])).unwrap();
+    std::fs::write(&csv_path, &csv).unwrap();
+    run(&a(&["build", &db_path, &csv_path, "--direction", "1,4"])).unwrap();
+    let out = run(&a(&["info", &db_path])).unwrap();
+    assert!(out.contains("direction: (1, 4)"), "{out}");
+    // Misaligned segment query fails cleanly.
+    let err = run(&a(&["query", &db_path, "segment", "0", "0", "10", "0"])).unwrap_err();
+    assert!(err.to_string().contains("aligned"), "{err}");
+    // Aligned one works: (0,0) → (1,4) lies on a (1,4)-line.
+    let out = run(&a(&["query", &db_path, "segment", "0", "0", "1", "4"])).unwrap();
+    assert!(out.contains("hits"));
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&db_path).ok();
+}

@@ -1,0 +1,234 @@
+//! Baselines the paper's structures are benchmarked against.
+//!
+//! The paper has no experimental section, so these are the comparison
+//! points a 1998 practitioner would have reached for:
+//!
+//! * [`FullScan`] — segments in a page chain, every query reads all
+//!   `O(n)` blocks. The floor any index must beat, and the correctness
+//!   oracle.
+//! * [`StabThenFilter`] — an external interval tree over the segments'
+//!   x-projections (the classical *stabbing query* reduction of §1)
+//!   answering "which segments' x-ranges contain `x₀`", followed by an
+//!   exact intersection filter. Costs `O(log_B n + t_stab)` where
+//!   `t_stab ≥ t` counts segments crossing the whole vertical *line* —
+//!   the gap between stabbing and VS queries that motivates the paper.
+
+use crate::report::QueryTrace;
+use segdb_geom::{Segment, VerticalQuery};
+use segdb_itree::{Interval, IntervalTree, IntervalTreeConfig};
+use crate::chain;
+use segdb_pager::{PageId, Pager, Result, StatScope};
+use std::collections::HashMap;
+
+/// The `O(n)`-per-query exhaustive baseline (and correctness oracle).
+#[derive(Debug)]
+pub struct FullScan {
+    head: PageId,
+    len: u64,
+}
+
+impl FullScan {
+    /// Store the set in a page chain.
+    pub fn build(pager: &Pager, segs: &[Segment]) -> Result<Self> {
+        Ok(FullScan {
+            head: chain::write(pager, segs)?,
+            len: segs.len() as u64,
+        })
+    }
+
+    /// Serializable identity.
+    pub fn state(&self) -> (PageId, u64) {
+        (self.head, self.len)
+    }
+
+    /// Reconstruct from a serialized identity.
+    pub fn attach(head: PageId, len: u64) -> Self {
+        FullScan { head, len }
+    }
+
+    /// Stored segment count.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Answer a VS query by scanning everything.
+    pub fn query(&self, pager: &Pager, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace)> {
+        let scope = StatScope::begin(pager);
+        let mut out = Vec::new();
+        chain::scan(pager, self.head, |s| {
+            if q.hits(&s) {
+                out.push(s);
+            }
+        })?;
+        let hits = out.len() as u32;
+        Ok((
+            out,
+            QueryTrace {
+                hits,
+                io: scope.finish(),
+                ..QueryTrace::default()
+            },
+        ))
+    }
+}
+
+/// Stabbing-index baseline: x-projection interval tree plus exact filter.
+#[derive(Debug)]
+pub struct StabThenFilter {
+    tree: IntervalTree,
+    /// The filter needs full geometry; the x-tree only stores ids, so the
+    /// baseline keeps a page-chained side table `id → segment`, loaded on
+    /// demand per query batch. To keep the I/O accounting honest the
+    /// whole segment is instead packed into the interval payload — the
+    /// side map below is built once at attach time from the chain.
+    segments: HashMap<u64, Segment>,
+    chain: PageId,
+}
+
+impl StabThenFilter {
+    /// Build the x-projection tree and the segment side table.
+    pub fn build(pager: &Pager, segs: &[Segment]) -> Result<Self> {
+        let intervals: Vec<Interval> = segs
+            .iter()
+            .map(|s| Interval::new(s.id, s.a.x, s.b.x))
+            .collect();
+        let tree = IntervalTree::build(pager, IntervalTreeConfig::default(), intervals)?;
+        let chain = chain::write(pager, segs)?;
+        let mut segments = HashMap::with_capacity(segs.len());
+        for s in segs {
+            segments.insert(s.id, *s);
+        }
+        Ok(StabThenFilter {
+            tree,
+            segments,
+            chain,
+        })
+    }
+
+    /// Serializable identity: the x-projection tree plus the side chain.
+    pub fn state(&self) -> (segdb_itree::tree::ItState, PageId) {
+        (self.tree.state(), self.chain)
+    }
+
+    /// Reconstruct from a serialized identity; reloads the side table
+    /// from the chain.
+    pub fn attach(pager: &Pager, tree: segdb_itree::tree::ItState, chain: PageId) -> Result<Self> {
+        let tree = IntervalTree::attach(pager, IntervalTreeConfig::default(), tree)?;
+        let mut segments = HashMap::new();
+        chain::scan(pager, chain, |s| {
+            segments.insert(s.id, s);
+        })?;
+        Ok(StabThenFilter { tree, segments, chain })
+    }
+
+    /// Stored segment count.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Candidates whose x-range contains the query abscissa, then exact
+    /// filter. The trace's `second_level_probes` records the candidate
+    /// count — the `t_stab − t` waste this baseline pays.
+    pub fn query(&self, pager: &Pager, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace)> {
+        let scope = StatScope::begin(pager);
+        let mut candidates = Vec::new();
+        self.tree.stab_into(pager, q.x(), &mut candidates)?;
+        let mut out = Vec::with_capacity(candidates.len());
+        for c in &candidates {
+            let seg = self.segments[&c.id];
+            if q.hits(&seg) {
+                out.push(seg);
+            }
+        }
+        let hits = out.len() as u32;
+        Ok((
+            out,
+            QueryTrace {
+                second_level_probes: candidates.len() as u32,
+                hits,
+                io: scope.finish(),
+                ..QueryTrace::default()
+            },
+        ))
+    }
+
+    /// The raw segment chain (tests).
+    pub fn chain_head(&self) -> PageId {
+        self.chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ids;
+    use segdb_geom::gen::{mixed_map, vertical_queries};
+    use segdb_geom::query::scan_oracle;
+    use segdb_pager::PagerConfig;
+
+    fn pager() -> Pager {
+        Pager::new(PagerConfig { page_size: 512, cache_pages: 0 })
+    }
+
+    #[test]
+    fn full_scan_matches_oracle() {
+        let p = pager();
+        let set = mixed_map(500, 3);
+        let fs = FullScan::build(&p, &set).unwrap();
+        assert_eq!(fs.len(), set.len() as u64);
+        for q in vertical_queries(&set, 20, 100, 5) {
+            let (hits, trace) = fs.query(&p, &q).unwrap();
+            assert_eq!(ids(&hits), ids(&scan_oracle(&set, &q)));
+            assert_eq!(trace.hits as usize, hits.len());
+            assert!(trace.io.reads > 0);
+        }
+    }
+
+    #[test]
+    fn full_scan_reads_all_blocks_every_time() {
+        let p = pager();
+        let set = mixed_map(1000, 7);
+        let fs = FullScan::build(&p, &set).unwrap();
+        let q = VerticalQuery::Line { x: i64::MIN / 4 }; // certainly empty
+        let (hits, trace) = fs.query(&p, &q).unwrap();
+        assert!(hits.is_empty());
+        let expected_pages = set.len().div_ceil(chain::cap(512));
+        assert_eq!(trace.io.reads as usize, expected_pages);
+    }
+
+    #[test]
+    fn stab_then_filter_matches_oracle() {
+        let p = pager();
+        let set = mixed_map(600, 11);
+        let sf = StabThenFilter::build(&p, &set).unwrap();
+        for q in vertical_queries(&set, 30, 50, 13) {
+            let (hits, trace) = sf.query(&p, &q).unwrap();
+            assert_eq!(ids(&hits), ids(&scan_oracle(&set, &q)));
+            assert!(trace.second_level_probes >= trace.hits, "stab ⊇ hits");
+        }
+    }
+
+    #[test]
+    fn stab_filter_wastes_io_on_short_queries() {
+        // Long segments + short query window: t_stab ≫ t.
+        let p = pager();
+        let set: Vec<Segment> = (0..300)
+            .map(|i| Segment::new(i, (0, 8 * i as i64), (1 << 20, 8 * i as i64 + 1)).unwrap())
+            .collect();
+        let sf = StabThenFilter::build(&p, &set).unwrap();
+        let q = VerticalQuery::segment(1 << 10, 0, 20);
+        let (hits, trace) = sf.query(&p, &q).unwrap();
+        assert!(hits.len() <= 4);
+        assert!(trace.second_level_probes == 300, "all 300 stab candidates");
+    }
+}

@@ -1,0 +1,623 @@
+//! The user-facing segment database.
+//!
+//! [`SegmentDatabase`] owns the pager, the chosen index structure and the
+//! fixed query [`Direction`]. Segments are sheared into the canonical
+//! frame at ingestion; query answers are sheared back, so callers only
+//! ever see their own coordinates. The inverse shear is exact (integer
+//! division that provably divides), so round-tripping is lossless.
+
+use crate::anyquery::AnyQueryIndex;
+use crate::baseline::{FullScan, StabThenFilter};
+use crate::binary2l::{Binary2LConfig, TwoLevelBinary};
+use crate::interval2l::{Interval2LConfig, TwoLevelInterval};
+use crate::persist::Superblock;
+use crate::report::{normalize, QueryTrace};
+use segdb_geom::nct::verify_nct;
+use segdb_geom::transform::Direction;
+use segdb_geom::{GeomError, Point, Segment, VerticalQuery};
+use segdb_itree::tree::ItState;
+use segdb_pager::{FileDevice, Pager, PagerConfig, PagerError};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which index backs the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Solution 1 (§3, Theorem 1): `O(n)` space, supports insert+delete.
+    TwoLevelBinary,
+    /// Solution 2 (§4, Theorem 2): `O(n log B)` space, fastest queries,
+    /// semi-dynamic (insert only).
+    TwoLevelInterval,
+    /// Exhaustive scan baseline.
+    FullScan,
+    /// Stabbing-index + filter baseline.
+    StabThenFilter,
+}
+
+/// Database-level errors.
+#[derive(Debug)]
+pub enum DbError {
+    /// Invalid geometry (crossings, coordinate range, bad direction…).
+    Geom(GeomError),
+    /// Storage-layer failure.
+    Pager(PagerError),
+    /// Operation the chosen index does not support.
+    Unsupported(&'static str),
+    /// Query segment endpoints do not lie on a common line of the fixed
+    /// direction.
+    NotAligned,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Geom(e) => write!(f, "geometry: {e}"),
+            DbError::Pager(e) => write!(f, "storage: {e}"),
+            DbError::Unsupported(w) => write!(f, "unsupported operation: {w}"),
+            DbError::NotAligned => write!(f, "query endpoints not aligned with the fixed direction"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<GeomError> for DbError {
+    fn from(e: GeomError) -> Self {
+        DbError::Geom(e)
+    }
+}
+
+impl From<PagerError> for DbError {
+    fn from(e: PagerError) -> Self {
+        DbError::Pager(e)
+    }
+}
+
+#[derive(Debug)]
+enum Index {
+    Binary(TwoLevelBinary),
+    Interval(TwoLevelInterval),
+    Scan(FullScan),
+    Stab(StabThenFilter),
+}
+
+/// Builder for [`SegmentDatabase`].
+#[derive(Debug)]
+pub struct SegmentDatabaseBuilder {
+    page_size: usize,
+    cache_pages: usize,
+    direction: Direction,
+    kind: IndexKind,
+    validate_nct: bool,
+    persist: Option<PathBuf>,
+    arbitrary: bool,
+}
+
+impl Default for SegmentDatabaseBuilder {
+    fn default() -> Self {
+        SegmentDatabaseBuilder {
+            page_size: 4096,
+            cache_pages: 0,
+            direction: Direction::VERTICAL,
+            kind: IndexKind::TwoLevelInterval,
+            validate_nct: true,
+            persist: None,
+            arbitrary: false,
+        }
+    }
+}
+
+impl SegmentDatabaseBuilder {
+    /// Page (block) size in bytes.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Buffer-pool capacity in pages (0 = pure I/O model).
+    pub fn cache_pages(mut self, pages: usize) -> Self {
+        self.cache_pages = pages;
+        self
+    }
+
+    /// Fixed query direction (default vertical).
+    pub fn direction(mut self, dx: i64, dy: i64) -> Result<Self, DbError> {
+        self.direction = Direction::new(dx, dy)?;
+        Ok(self)
+    }
+
+    /// Index structure (default [`IndexKind::TwoLevelInterval`]).
+    pub fn index(mut self, kind: IndexKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Skip the NCT validation sweep (for very large trusted inputs).
+    pub fn trust_input(mut self) -> Self {
+        self.validate_nct = false;
+        self
+    }
+
+    /// Additionally build the §5 future-work extension: an auxiliary
+    /// candidate-filter index enabling
+    /// [`SegmentDatabase::query_free_segment`] — intersection queries by
+    /// segments of **any** direction (at non-optimal, candidate-bounded
+    /// cost; see [`crate::anyquery`]).
+    pub fn enable_arbitrary_queries(mut self) -> Self {
+        self.arbitrary = true;
+        self
+    }
+
+    /// Build on a persistent single-file store at `path` (created or
+    /// truncated) instead of the in-memory disk. The database is saved
+    /// and synced after the build; call [`SegmentDatabase::save`] after
+    /// later mutations and [`SegmentDatabase::open`] to reload.
+    pub fn persist_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist = Some(path.into());
+        self
+    }
+
+    /// Build the database over `segments` (given in user coordinates).
+    pub fn build(self, segments: Vec<Segment>) -> Result<SegmentDatabase, DbError> {
+        let pager = match &self.persist {
+            None => Pager::new(PagerConfig {
+                page_size: self.page_size,
+                cache_pages: self.cache_pages,
+            }),
+            Some(path) => Pager::with_device(
+                Box::new(FileDevice::create(path, self.page_size)?),
+                self.cache_pages,
+            ),
+        };
+        let transformed: Vec<Segment> = segments
+            .iter()
+            .map(|s| self.direction.apply_segment(s))
+            .collect::<Result<_, _>>()?;
+        if self.validate_nct {
+            verify_nct(&transformed)?;
+        }
+        let index = match self.kind {
+            IndexKind::TwoLevelBinary => {
+                Index::Binary(TwoLevelBinary::build(&pager, Binary2LConfig::default(), transformed)?)
+            }
+            IndexKind::TwoLevelInterval => Index::Interval(TwoLevelInterval::build(
+                &pager,
+                Interval2LConfig::default(),
+                transformed,
+            )?),
+            IndexKind::FullScan => Index::Scan(FullScan::build(&pager, &transformed)?),
+            IndexKind::StabThenFilter => Index::Stab(StabThenFilter::build(&pager, &transformed)?),
+        };
+        let any = if self.arbitrary {
+            // Rebuild the transformed set (moved into the index above).
+            let transformed: Vec<Segment> = segments
+                .iter()
+                .map(|s| self.direction.apply_segment(s))
+                .collect::<Result<_, _>>()?;
+            Some(AnyQueryIndex::build(&pager, &transformed)?)
+        } else {
+            None
+        };
+        let db = SegmentDatabase {
+            pager,
+            direction: self.direction,
+            index,
+            any,
+        };
+        if self.persist.is_some() {
+            db.save()?;
+        }
+        Ok(db)
+    }
+}
+
+/// A segment database answering generalized-segment intersection queries
+/// of a fixed direction, per the paper. See crate docs.
+#[derive(Debug)]
+pub struct SegmentDatabase {
+    pager: Pager,
+    direction: Direction,
+    index: Index,
+    any: Option<AnyQueryIndex>,
+}
+
+impl SegmentDatabase {
+    /// Start building a database.
+    pub fn builder() -> SegmentDatabaseBuilder {
+        SegmentDatabaseBuilder::default()
+    }
+
+    /// Re-open a database previously built with
+    /// [`SegmentDatabaseBuilder::persist_to`] and saved.
+    pub fn open(path: impl AsRef<Path>, cache_pages: usize) -> Result<Self, DbError> {
+        let pager = Pager::with_device(Box::new(FileDevice::open(path)?), cache_pages);
+        let sb = Superblock::decode(&pager.get_meta()?)?;
+        let direction = sb.direction_obj()?;
+        let index = match sb.kind {
+            IndexKind::TwoLevelBinary => {
+                Index::Binary(TwoLevelBinary::attach(sb.binary_config(), sb.root, sb.len))
+            }
+            IndexKind::TwoLevelInterval => Index::Interval(TwoLevelInterval::attach(
+                &pager,
+                sb.interval_config(),
+                sb.root,
+                sb.len,
+                sb.aux,
+                sb.aux2,
+            )),
+            IndexKind::FullScan => Index::Scan(FullScan::attach(sb.root, sb.len)),
+            IndexKind::StabThenFilter => Index::Stab(StabThenFilter::attach(
+                &pager,
+                ItState { root: sb.root, len: sb.len },
+                sb.aux,
+            )?),
+        };
+        let any = match sb.any {
+            None => None,
+            Some(st) => Some(AnyQueryIndex::attach(&pager, st)?),
+        };
+        Ok(SegmentDatabase {
+            pager,
+            direction,
+            index,
+            any,
+        })
+    }
+
+    /// Persist the database identity into the device's superblock and
+    /// durably sync. Required after mutations on a persistent database
+    /// (a crash before `save` loses the index roots, not the pages).
+    pub fn save(&self) -> Result<(), DbError> {
+        let (kind, root, len, aux) = match &self.index {
+            Index::Binary(t) => {
+                let (root, len) = t.state();
+                (IndexKind::TwoLevelBinary, root, len, 0)
+            }
+            Index::Interval(t) => {
+                let (root, len, th, tc) = t.state();
+                return self.save_with(IndexKind::TwoLevelInterval, root, len, th, tc);
+            }
+            Index::Scan(t) => {
+                let (root, len) = t.state();
+                (IndexKind::FullScan, root, len, 0)
+            }
+            Index::Stab(t) => {
+                let (it, chain) = t.state();
+                (IndexKind::StabThenFilter, it.root, it.len, chain)
+            }
+        };
+        self.save_with(kind, root, len, aux, 0)
+    }
+
+    fn save_with(&self, kind: IndexKind, root: segdb_pager::PageId, len: u64, aux: segdb_pager::PageId, aux2: u64) -> Result<(), DbError> {
+        let sb = Superblock {
+            direction: (self.direction.dx(), self.direction.dy()),
+            kind,
+            root,
+            len,
+            aux,
+            aux2,
+            // The facade builds with default configs; record them so
+            // attach reconstructs identically.
+            pst_fanout: 0,
+            fanout: 0,
+            bridge_d: Interval2LConfig::default().bridge_d as u32,
+            bridges: true,
+            rebuild_min: Binary2LConfig::default().rebuild_min,
+            any: self.any.as_ref().map(|a| a.state()),
+        };
+        self.pager.set_meta(&sb.encode()?)?;
+        self.pager.sync()?;
+        Ok(())
+    }
+
+    /// Number of stored segments.
+    pub fn len(&self) -> u64 {
+        match &self.index {
+            Index::Binary(t) => t.len(),
+            Index::Interval(t) => t.len(),
+            Index::Scan(t) => t.len(),
+            Index::Stab(t) => t.len(),
+        }
+    }
+
+    /// True when no segments are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed query direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The underlying pager (I/O statistics, space accounting).
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    /// Blocks of secondary storage currently allocated.
+    pub fn space_blocks(&self) -> usize {
+        self.pager.live_pages()
+    }
+
+    /// Report every segment intersected by the **full line** of the
+    /// fixed direction through `anchor`.
+    pub fn query_line(&self, anchor: impl Into<Point>) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+        let q = self.direction.make_query(anchor.into(), None, None)?;
+        self.run(&q)
+    }
+
+    /// Report every segment intersected by the ray from `anchor` in the
+    /// fixed direction (increasing ordinate).
+    pub fn query_ray_up(&self, anchor: impl Into<Point>) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+        let a = anchor.into();
+        let q = self.direction.make_query(a, Some(a.y), None)?;
+        self.run(&q)
+    }
+
+    /// Report every segment intersected by the ray from `anchor` against
+    /// the fixed direction (decreasing ordinate).
+    pub fn query_ray_down(&self, anchor: impl Into<Point>) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+        let a = anchor.into();
+        let q = self.direction.make_query(a, None, Some(a.y))?;
+        self.run(&q)
+    }
+
+    /// Report every segment intersected by the query segment `p1—p2`,
+    /// whose endpoints must lie on a common line of the fixed direction.
+    pub fn query_segment(
+        &self,
+        p1: impl Into<Point>,
+        p2: impl Into<Point>,
+    ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+        let (p1, p2) = (p1.into(), p2.into());
+        let (t1, t2) = (self.direction.apply_point(p1)?, self.direction.apply_point(p2)?);
+        if t1.x != t2.x {
+            return Err(DbError::NotAligned);
+        }
+        let (lo, hi) = if t1.y <= t2.y { (t1.y, t2.y) } else { (t2.y, t1.y) };
+        let q = self.direction.make_query(p1, Some(lo), Some(hi))?;
+        self.run(&q)
+    }
+
+    /// Run a canonical-frame query directly (benchmarks use this to sweep
+    /// parameters without the anchor arithmetic).
+    pub fn query_canonical(&self, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+        self.run(q)
+    }
+
+    /// Insert a segment (user coordinates). The set must stay NCT —
+    /// violations are the caller's responsibility (checked lazily by
+    /// [`SegmentDatabase::validate`]).
+    pub fn insert(&mut self, seg: Segment) -> Result<(), DbError> {
+        let t = self.direction.apply_segment(&seg)?;
+        match &mut self.index {
+            Index::Binary(x) => x.insert(&self.pager, t)?,
+            Index::Interval(x) => x.insert(&self.pager, t)?,
+            Index::Scan(_) => return Err(DbError::Unsupported("insert into FullScan baseline")),
+            Index::Stab(_) => return Err(DbError::Unsupported("insert into StabThenFilter baseline")),
+        }
+        if let Some(any) = &mut self.any {
+            any.insert(&self.pager, t)?;
+        }
+        Ok(())
+    }
+
+    /// Report every stored segment intersected by the query segment
+    /// `p1—p2` of **arbitrary** direction — the paper's §5 future work,
+    /// served by the candidate-filter extension (requires
+    /// [`SegmentDatabaseBuilder::enable_arbitrary_queries`]). The trace's
+    /// `second_level_probes` records the candidate count.
+    pub fn query_free_segment(
+        &self,
+        p1: impl Into<Point>,
+        p2: impl Into<Point>,
+    ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+        let any = self
+            .any
+            .as_ref()
+            .ok_or(DbError::Unsupported("arbitrary queries not enabled at build time"))?;
+        let (p1, p2) = (p1.into(), p2.into());
+        let q = Segment::new(
+            u64::MAX,
+            self.direction.apply_point(p1)?,
+            self.direction.apply_point(p2)?,
+        )?;
+        let scope = segdb_pager::StatScope::begin(&self.pager);
+        let (hits, candidates) = any.query(&self.pager, &q)?;
+        let hits = hits
+            .iter()
+            .map(|s| self.direction.unapply_segment(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let hits = normalize(hits);
+        let trace = QueryTrace {
+            second_level_probes: candidates,
+            hits: hits.len() as u32,
+            io: scope.finish(),
+            ..QueryTrace::default()
+        };
+        Ok((hits, trace))
+    }
+
+    /// Delete a stored segment. Native in the Theorem-1 structure; the
+    /// paper's Theorem-2 structure is semi-dynamic, so its deletes go
+    /// through the lazy-tombstone extension (see
+    /// [`crate::interval2l::TwoLevelInterval::remove`]).
+    pub fn remove(&mut self, seg: &Segment) -> Result<bool, DbError> {
+        let t = self.direction.apply_segment(seg)?;
+        if let Some(any) = &mut self.any {
+            any.remove(&self.pager, &t)?;
+        }
+        match &mut self.index {
+            Index::Binary(x) => Ok(x.remove(&self.pager, &t)?),
+            Index::Interval(x) => Ok(x.remove(&self.pager, &t)?),
+            Index::Scan(_) | Index::Stab(_) => Err(DbError::Unsupported("delete from baseline")),
+        }
+    }
+
+    /// Deep structural validation of the whole index.
+    pub fn validate(&self) -> Result<(), DbError> {
+        match &self.index {
+            Index::Binary(x) => x.validate(&self.pager)?,
+            Index::Interval(x) => x.validate(&self.pager)?,
+            Index::Scan(_) | Index::Stab(_) => {}
+        }
+        if let Some(any) = &self.any {
+            any.validate(&self.pager)?;
+        }
+        Ok(())
+    }
+
+    fn run(&self, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+        let (hits, trace) = match &self.index {
+            Index::Binary(x) => x.query(&self.pager, q)?,
+            Index::Interval(x) => x.query(&self.pager, q)?,
+            Index::Scan(x) => x.query(&self.pager, q)?,
+            Index::Stab(x) => x.query(&self.pager, q)?,
+        };
+        // Back to user coordinates.
+        let hits = hits
+            .iter()
+            .map(|s| self.direction.unapply_segment(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((normalize(hits), trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ids;
+    use segdb_geom::gen::{mixed_map, vertical_queries};
+    use segdb_geom::query::scan_oracle;
+
+    const KINDS: [IndexKind; 4] = [
+        IndexKind::TwoLevelBinary,
+        IndexKind::TwoLevelInterval,
+        IndexKind::FullScan,
+        IndexKind::StabThenFilter,
+    ];
+
+    #[test]
+    fn all_kinds_agree_on_vertical_queries() {
+        let set = mixed_map(400, 17);
+        let queries = vertical_queries(&set, 20, 120, 23);
+        for kind in KINDS {
+            let db = SegmentDatabase::builder()
+                .page_size(512)
+                .index(kind)
+                .build(set.clone())
+                .unwrap();
+            db.validate().unwrap();
+            assert_eq!(db.len(), set.len() as u64);
+            for q in &queries {
+                let (hits, _) = db.query_canonical(q).unwrap();
+                assert_eq!(ids(&hits), ids(&scan_oracle(&set, q)), "{kind:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sheared_direction_roundtrips() {
+        // A set that is NCT after shearing along (1, 2).
+        let raw: Vec<Segment> = (0..200)
+            .map(|i| {
+                let y = 8 * i as i64;
+                Segment::new(i, (0, y), (500, y + 3)).unwrap()
+            })
+            .collect();
+        let db = SegmentDatabase::builder()
+            .page_size(512)
+            .direction(1, 2)
+            .unwrap()
+            .build(raw.clone())
+            .unwrap();
+        let (hits, _) = db.query_line((10, 0)).unwrap();
+        // Answers come back in original coordinates.
+        for h in &hits {
+            assert_eq!(h, &raw[h.id as usize]);
+        }
+        // Brute-force check in original space: the query line through
+        // (10, 0) along (1, 2) is y = 2(x − 10); a segment is hit iff it
+        // straddles that line within its span.
+        let oracle: Vec<u64> = raw
+            .iter()
+            .filter(|s| {
+                let f = |x: i64| 2 * (x - 10);
+                let (ya, yb) = (s.a.y - f(s.a.x), s.b.y - f(s.b.x));
+                ya.signum() * yb.signum() <= 0
+            })
+            .map(|s| s.id)
+            .collect();
+        assert_eq!(ids(&hits), oracle);
+    }
+
+    #[test]
+    fn misaligned_segment_query_rejected() {
+        let db = SegmentDatabase::builder()
+            .page_size(512)
+            .build(vec![Segment::new(0, (0, 0), (10, 0)).unwrap()])
+            .unwrap();
+        assert!(matches!(
+            db.query_segment((0, 0), (5, 3)),
+            Err(DbError::NotAligned)
+        ));
+        let (hits, _) = db.query_segment((5, -1), (5, 1)).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn crossing_input_rejected() {
+        let set = vec![
+            Segment::new(0, (0, 0), (10, 10)).unwrap(),
+            Segment::new(1, (0, 10), (10, 0)).unwrap(),
+        ];
+        let err = SegmentDatabase::builder().build(set).unwrap_err();
+        assert!(matches!(err, DbError::Geom(GeomError::Crossing(0, 1))));
+    }
+
+    #[test]
+    fn insert_and_remove_through_facade() {
+        let set = mixed_map(200, 29);
+        let mut db = SegmentDatabase::builder()
+            .page_size(512)
+            .index(IndexKind::TwoLevelBinary)
+            .build(vec![])
+            .unwrap();
+        for s in &set {
+            db.insert(*s).unwrap();
+        }
+        db.validate().unwrap();
+        assert_eq!(db.len(), set.len() as u64);
+        assert!(db.remove(&set[0]).unwrap());
+        assert_eq!(db.len(), set.len() as u64 - 1);
+        // The Theorem-2 structure is semi-dynamic in the paper; our
+        // lazy-tombstone extension makes removal work there too.
+        let mut db2 = SegmentDatabase::builder()
+            .page_size(512)
+            .index(IndexKind::TwoLevelInterval)
+            .build(set.clone())
+            .unwrap();
+        db2.insert(Segment::new(9999, (1 << 20, 0), (1 << 20, 5)).unwrap()).unwrap();
+        assert!(db2.remove(&set[0]).unwrap());
+        assert!(!db2.remove(&set[0]).unwrap(), "second removal finds nothing");
+        db2.validate().unwrap();
+        assert_eq!(db2.len(), set.len() as u64);
+    }
+
+    #[test]
+    fn rays_and_lines_through_facade() {
+        let set = vec![
+            Segment::new(0, (0, 0), (10, 0)).unwrap(),
+            Segment::new(1, (0, 10), (10, 10)).unwrap(),
+        ];
+        let db = SegmentDatabase::builder().page_size(512).build(set).unwrap();
+        let (hits, _) = db.query_line((5, 0)).unwrap();
+        assert_eq!(hits.len(), 2);
+        let (hits, _) = db.query_ray_up((5, 5)).unwrap();
+        assert_eq!(ids(&hits), vec![1]);
+        let (hits, _) = db.query_ray_down((5, 5)).unwrap();
+        assert_eq!(ids(&hits), vec![0]);
+    }
+}

@@ -1,0 +1,1304 @@
+//! Solution 2 (paper §4, Theorem 2): the interval-tree two-level
+//! structure with fractional cascading.
+//!
+//! **First level** (§4.1) — an external-interval-tree decomposition: each
+//! node carries `k` boundary lines (endpoint quantiles) cutting its range
+//! into `k+1` slabs; a segment stays at the topmost node where it meets a
+//! boundary, everything else drops into the slab child. `k = Θ(B)`
+//! (page-size bounded), so the height is `O(log_B n)`.
+//!
+//! **Second level** (§4.2), per node — each assigned segment is split:
+//!
+//! * lies on boundary `sᵢ` → interval set `Cᵢ`;
+//! * **short fragments**: the part before the first crossed boundary
+//!   `s_f` goes to the left-side PST `L_f`, the part after the last
+//!   crossed boundary `s_l` to the right-side PST `R_l`;
+//! * **long (central) fragment**: the part spanning complete slabs
+//!   `f+1 … l` is filed, segment-tree style, at its `O(log₂ B)`
+//!   *allocation nodes* in `G` (see [`gtree`]), each node's *multislab
+//!   list* being a B⁺-tree ordered by the exact ordinate at the
+//!   multislab's reference line ([`msrec::MsOrder`]).
+//!
+//! **Fractional cascading** (§4.3) — parent and child multislab lists
+//! are merged at the parent's split line and every `(d+1)`-th merged
+//! element is selected, satisfying the paper's `d`-property. Where the
+//! paper inserts *augmented bridge fragments* into the neighbouring
+//! list, this implementation materializes each selection as a **pointer
+//! on the nearest preceding real parent element**, aimed at the child
+//! leaf a position search for the selected element lands on (cut
+//! fragments are not exactly comparable at every query line; pointers
+//! on pure lists are — DESIGN.md discusses the substitution). Density
+//! and landing direction are preserved: pointer gaps in the parent are
+//! ≤ `d+2` elements, and a pointer taken from *before* the reported
+//! run's start lands at or before the child's run start. A query walks
+//! `G` root→leaf paying one full B⁺-tree descent only at the root;
+//! below it jumps through the bridge found just before the run start
+//! and re-anchors with a short forward scan. If a bridge is missing or
+//! stale (inserts mark the node dirty until the amortized rebuild), the
+//! query falls back to a full descent — correctness never depends on
+//! bridge freshness, only speed does (measured by experiment E7).
+//!
+//! **Insertions** (Theorem 2(iii)) — route to the owning node, insert
+//! into the three structures, maintain weights, partially rebuild
+//! α-unbalanced subtrees, and rebuild a node's bridges once enough
+//! inserts accumulate.
+
+pub mod gtree;
+pub mod msrec;
+
+use crate::chain;
+use crate::report::QueryTrace;
+use gtree::{allocation, path as g_path, skeleton, GNode};
+use msrec::{MsOrder, MsRec};
+use segdb_bptree::{BPlusTree, Cursor, TreeState};
+use segdb_geom::predicates::y_at_x_cmp;
+use segdb_geom::{Segment, VerticalQuery};
+use segdb_itree::overlap::{IntervalSet, IntervalSetState};
+use segdb_itree::{Interval, IntervalTreeConfig};
+use segdb_pager::{ByteReader, ByteWriter, PageId, Pager, PagerError, Result, StatScope, NULL_PAGE};
+use segdb_pst::{Pst, PstConfig, PstState, Side};
+use std::cmp::Ordering;
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+/// Bridge-navigation forward-scan cap before falling back to a descent.
+const JUMP_SCAN_CAP: usize = 64;
+
+/// Construction knobs for [`TwoLevelInterval`].
+#[derive(Debug, Clone, Copy)]
+pub struct Interval2LConfig {
+    /// PST flavour for the short-fragment structures.
+    pub pst: PstConfig,
+    /// Boundaries per first-level node (`None` = page-size maximum, the
+    /// paper's `b = Θ(B)`).
+    pub fanout: Option<usize>,
+    /// The `d` of the `d`-property (`≥ 2`); bridges every `d+1` merged
+    /// elements. Larger `d` = fewer augmented copies, longer re-anchor
+    /// scans (ablation E7).
+    pub bridge_d: usize,
+    /// Disable bridges entirely (the Lemma 4 configuration, for the
+    /// ablation).
+    pub bridges: bool,
+    /// Weight-rebuild threshold, as in Solution 1.
+    pub rebuild_min: u64,
+}
+
+impl Default for Interval2LConfig {
+    fn default() -> Self {
+        Interval2LConfig {
+            pst: PstConfig::packed(),
+            fanout: None,
+            bridge_d: 2,
+            bridges: true,
+            rebuild_min: 32,
+        }
+    }
+}
+
+/// Max boundary count for a page size.
+fn max_fanout(page_size: usize) -> usize {
+    // bytes(k) ≈ fixed 40 + k·(8 sizes + 8 bnd + 4 child + 28 C + 40 LR
+    // + 32 G states)
+    ((page_size.saturating_sub(48)) / 120).max(1)
+}
+
+/// Sentinel-aware interval-set state ("absent" = root NULL, no pages).
+fn absent_set() -> IntervalSetState {
+    IntervalSetState {
+        tree: segdb_itree::tree::ItState { root: NULL_PAGE, len: 0 },
+        starts: TreeState { root: NULL_PAGE, height: 0, len: 0 },
+    }
+}
+
+fn set_is_absent(s: &IntervalSetState) -> bool {
+    s.tree.root == NULL_PAGE
+}
+
+fn list_is_absent(s: &TreeState) -> bool {
+    s.root == NULL_PAGE
+}
+
+fn absent_list() -> TreeState {
+    TreeState { root: NULL_PAGE, height: 0, len: 0 }
+}
+
+/// Decoded first-level node.
+#[derive(Debug)]
+enum Node {
+    Leaf { head: PageId, count: u64 },
+    Internal(Box<Internal>),
+}
+
+#[derive(Debug)]
+struct Internal {
+    /// `k` strictly increasing boundary abscissae.
+    boundaries: Vec<i64>,
+    /// `k+1` slab children ([`NULL_PAGE`] = empty).
+    children: Vec<PageId>,
+    /// Per-child subtree segment counts.
+    child_sizes: Vec<u64>,
+    /// Total segments in this subtree (own included).
+    total: u64,
+    /// Per-boundary on-line interval sets (absent-sentinel aware).
+    c: Vec<IntervalSetState>,
+    /// Per-boundary left-side short-fragment PSTs.
+    l: Vec<PstState>,
+    /// Per-boundary right-side short-fragment PSTs.
+    r: Vec<PstState>,
+    /// Multislab list per `G` skeleton node (absent-sentinel aware).
+    g: Vec<TreeState>,
+    /// Real (non-augmented) fragments across all of `g`.
+    g_total: u64,
+    /// Bridges unusable until rebuilt.
+    bridges_dirty: bool,
+    /// Inserts into `g` since the last bridge rebuild.
+    g_inserts: u32,
+}
+
+impl Node {
+    fn encode(&self, buf: &mut [u8]) -> Result<()> {
+        let mut w = ByteWriter::new(buf);
+        match self {
+            Node::Leaf { head, count } => {
+                w.u8(TAG_LEAF)?;
+                w.u32(*head)?;
+                w.u64(*count)
+            }
+            Node::Internal(n) => {
+                let k = n.boundaries.len();
+                if n.children.len() != k + 1
+                    || n.child_sizes.len() != k + 1
+                    || n.c.len() != k
+                    || n.l.len() != k
+                    || n.r.len() != k
+                    || n.g.len() != skeleton(k).len()
+                {
+                    return Err(PagerError::Corrupt("interval2l node arity"));
+                }
+                w.u8(TAG_INTERNAL)?;
+                w.u16(k as u16)?;
+                w.u64(n.total)?;
+                w.u64(n.g_total)?;
+                w.u8(u8::from(n.bridges_dirty))?;
+                w.u32(n.g_inserts)?;
+                for &b in &n.boundaries {
+                    w.i64(b)?;
+                }
+                for &c in &n.children {
+                    w.u32(c)?;
+                }
+                for &s in &n.child_sizes {
+                    w.u64(s)?;
+                }
+                for s in &n.c {
+                    s.encode(&mut w)?;
+                }
+                for s in &n.l {
+                    s.encode(&mut w)?;
+                }
+                for s in &n.r {
+                    s.encode(&mut w)?;
+                }
+                for s in &n.g {
+                    s.encode(&mut w)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let mut r = ByteReader::new(buf);
+        match r.u8()? {
+            TAG_LEAF => Ok(Node::Leaf {
+                head: r.u32()?,
+                count: r.u64()?,
+            }),
+            TAG_INTERNAL => {
+                let k = r.u16()? as usize;
+                let total = r.u64()?;
+                let g_total = r.u64()?;
+                let bridges_dirty = r.u8()? != 0;
+                let g_inserts = r.u32()?;
+                let mut boundaries = Vec::with_capacity(k);
+                for _ in 0..k {
+                    boundaries.push(r.i64()?);
+                }
+                let mut children = Vec::with_capacity(k + 1);
+                for _ in 0..=k {
+                    children.push(r.u32()?);
+                }
+                let mut child_sizes = Vec::with_capacity(k + 1);
+                for _ in 0..=k {
+                    child_sizes.push(r.u64()?);
+                }
+                let mut c = Vec::with_capacity(k);
+                for _ in 0..k {
+                    c.push(IntervalSetState::decode(&mut r)?);
+                }
+                let mut l = Vec::with_capacity(k);
+                for _ in 0..k {
+                    l.push(PstState::decode(&mut r)?);
+                }
+                let mut rr = Vec::with_capacity(k);
+                for _ in 0..k {
+                    rr.push(PstState::decode(&mut r)?);
+                }
+                let glen = skeleton(k).len();
+                let mut g = Vec::with_capacity(glen);
+                for _ in 0..glen {
+                    g.push(TreeState::decode(&mut r)?);
+                }
+                Ok(Node::Internal(Box::new(Internal {
+                    boundaries,
+                    children,
+                    child_sizes,
+                    total,
+                    c,
+                    l,
+                    r: rr,
+                    g,
+                    g_total,
+                    bridges_dirty,
+                    g_inserts,
+                })))
+            }
+            _ => Err(PagerError::Corrupt("unknown interval2l node tag")),
+        }
+    }
+}
+
+/// Where a segment lands relative to a node's boundaries.
+enum Placement {
+    /// Vertical, lying on boundary `i`.
+    OnLine(usize),
+    /// Crosses boundaries `f..=l`.
+    Crossing { f: usize, l: usize },
+    /// Strictly inside slab `j`.
+    Child(usize),
+}
+
+fn place(boundaries: &[i64], s: &Segment) -> Placement {
+    let k = boundaries.len();
+    if s.is_vertical() {
+        let f = boundaries.partition_point(|&b| b < s.a.x);
+        if f < k && boundaries[f] == s.a.x {
+            return Placement::OnLine(f);
+        }
+        return Placement::Child(f);
+    }
+    let f = boundaries.partition_point(|&b| b < s.a.x);
+    if f < k && boundaries[f] <= s.b.x {
+        let l = boundaries.partition_point(|&b| b <= s.b.x) - 1;
+        Placement::Crossing { f, l }
+    } else {
+        Placement::Child(f)
+    }
+}
+
+/// The Section-4 two-level structure. See module docs.
+///
+/// ```
+/// use segdb_pager::{Pager, PagerConfig};
+/// use segdb_core::interval2l::{Interval2LConfig, TwoLevelInterval};
+/// use segdb_geom::{Segment, VerticalQuery};
+///
+/// let pager = Pager::new(PagerConfig::default());
+/// let set: Vec<Segment> = (0..100)
+///     .map(|i| Segment::new(i, (0, 10 * i as i64), (1000, 10 * i as i64 + 1)).unwrap())
+///     .collect();
+/// let t = TwoLevelInterval::build(&pager, Interval2LConfig::default(), set).unwrap();
+/// let (hits, _) = t.query(&pager, &VerticalQuery::segment(500, 0, 95)).unwrap();
+/// assert_eq!(hits.len(), 10);
+/// ```
+#[derive(Debug)]
+pub struct TwoLevelInterval {
+    root: PageId,
+    /// Live (non-tombstoned) segment count.
+    len: u64,
+    /// Lazily-deleted segment ids (chain head; see `segdb_pst::tombs`).
+    tomb_head: PageId,
+    tomb_count: u64,
+    cfg: Interval2LConfig,
+    k_max: usize,
+}
+
+impl TwoLevelInterval {
+    /// Build from an NCT segment set.
+    pub fn build(pager: &Pager, cfg: Interval2LConfig, segs: Vec<Segment>) -> Result<Self> {
+        let k_max = cfg
+            .fanout
+            .map_or(max_fanout(pager.page_size()), |f| f.min(max_fanout(pager.page_size())))
+            .max(1);
+        let len = segs.len() as u64;
+        let this = TwoLevelInterval {
+            root: NULL_PAGE,
+            len,
+            tomb_head: NULL_PAGE,
+            tomb_count: 0,
+            cfg,
+            k_max,
+        };
+        let root = this.build_rec(pager, segs)?;
+        Ok(TwoLevelInterval { root, ..this })
+    }
+
+    /// Serializable identity: `(root page, live count, tombstone chain,
+    /// tombstone count)`. The config is context the owner persists
+    /// alongside.
+    pub fn state(&self) -> (PageId, u64, PageId, u64) {
+        (self.root, self.len, self.tomb_head, self.tomb_count)
+    }
+
+    /// Reconstruct from a serialized identity.
+    pub fn attach(
+        pager: &Pager,
+        cfg: Interval2LConfig,
+        root: PageId,
+        len: u64,
+        tomb_head: PageId,
+        tomb_count: u64,
+    ) -> Self {
+        let k_max = cfg
+            .fanout
+            .map_or(max_fanout(pager.page_size()), |f| f.min(max_fanout(pager.page_size())))
+            .max(1);
+        TwoLevelInterval { root, len, tomb_head, tomb_count, cfg, k_max }
+    }
+
+    /// Stored segment count.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Answer a VS query.
+    pub fn query(&self, pager: &Pager, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace)> {
+        let scope = StatScope::begin(pager);
+        let mut trace = QueryTrace::default();
+        let mut out = Vec::new();
+        let (x0, lo, hi) = (q.x(), q.lo(), q.hi());
+        let mut page = self.root;
+        while page != NULL_PAGE {
+            trace.first_level_nodes += 1;
+            match read_node(pager, page)? {
+                Node::Leaf { head, .. } => {
+                    chain::scan(pager, head, |s| {
+                        if q.hits(&s) {
+                            out.push(s);
+                        }
+                    })?;
+                    break;
+                }
+                Node::Internal(n) => {
+                    let k = n.boundaries.len();
+                    let j = n.boundaries.partition_point(|&b| b < x0);
+                    let boundary_hit = j < k && n.boundaries[j] == x0;
+                    if boundary_hit {
+                        // C_j: on-line verticals.
+                        if !set_is_absent(&n.c[j]) {
+                            let c = IntervalSet::attach(pager, IntervalTreeConfig::default(), n.c[j])?;
+                            let mut ivs = Vec::new();
+                            c.overlap_into(pager, lo, hi, &mut ivs)?;
+                            trace.second_level_probes += 1;
+                            for iv in ivs {
+                                out.push(
+                                    Segment::new(iv.id, (x0, iv.lo), (x0, iv.hi))
+                                        .map_err(|_| PagerError::Corrupt("bad C_i interval"))?,
+                                );
+                            }
+                        }
+                        // L_j: every segment whose first crossed boundary
+                        // is s_j meets the query line at its base point.
+                        let l = Pst::attach(pager, n.boundaries[j], Side::Left, self.cfg.pst, n.l[j])?;
+                        l.query_into(pager, x0, lo, hi, &mut out)?;
+                        trace.second_level_probes += 1;
+                        // Long fragments spanning slab j (f < j ≤ l).
+                        self.g_query(pager, &n, j, x0, lo, hi, &mut out, &mut trace)?;
+                        break;
+                    }
+                    // Strictly inside slab j: R_{j−1}, L_j, G, descend.
+                    if j >= 1 {
+                        let r = Pst::attach(pager, n.boundaries[j - 1], Side::Right, self.cfg.pst, n.r[j - 1])?;
+                        r.query_into(pager, x0, lo, hi, &mut out)?;
+                        trace.second_level_probes += 1;
+                    }
+                    if j < k {
+                        let l = Pst::attach(pager, n.boundaries[j], Side::Left, self.cfg.pst, n.l[j])?;
+                        l.query_into(pager, x0, lo, hi, &mut out)?;
+                        trace.second_level_probes += 1;
+                    }
+                    self.g_query(pager, &n, j, x0, lo, hi, &mut out, &mut trace)?;
+                    page = n.children[j];
+                }
+            }
+        }
+        if self.tomb_count > 0 {
+            let tombs: std::collections::HashSet<u64> =
+                segdb_pst::tombs::load(pager, self.tomb_head)?.into_iter().collect();
+            out.retain(|s| !tombs.contains(&s.id));
+        }
+        trace.hits = out.len() as u32;
+        trace.io = scope.finish();
+        Ok((out, trace))
+    }
+
+    /// Insert a segment (semi-dynamic, Theorem 2(iii)).
+    pub fn insert(&mut self, pager: &Pager, seg: Segment) -> Result<()> {
+        if self.tomb_count > 0 {
+            // Re-inserting a tombstoned id would stay hidden: purge first.
+            let tombs = segdb_pst::tombs::load(pager, self.tomb_head)?;
+            if tombs.contains(&seg.id) {
+                self.rebuild_live(pager)?;
+            }
+        }
+        self.len += 1;
+        if self.root == NULL_PAGE {
+            self.root = self.leaf_from(pager, &[seg])?;
+            return Ok(());
+        }
+        let mut path: Vec<PageId> = Vec::new();
+        let mut page = self.root;
+        loop {
+            match read_node(pager, page)? {
+                Node::Leaf { head, count } => {
+                    let new_head = chain::push(pager, head, &seg)?;
+                    let count = count + 1;
+                    if count as usize > 2 * chain::cap(pager.page_size()) {
+                        let segs = chain::collect(pager, new_head)?;
+                        chain::destroy(pager, new_head)?;
+                        self.build_rec_at(pager, segs, page)?;
+                    } else {
+                        write_node(pager, page, &Node::Leaf { head: new_head, count })?;
+                    }
+                    break;
+                }
+                Node::Internal(mut n) => {
+                    n.total += 1;
+                    path.push(page);
+                    match place(&n.boundaries, &seg) {
+                        Placement::OnLine(i) => {
+                            let mut c = if set_is_absent(&n.c[i]) {
+                                IntervalSet::new(pager, IntervalTreeConfig::default())?
+                            } else {
+                                IntervalSet::attach(pager, IntervalTreeConfig::default(), n.c[i])?
+                            };
+                            c.insert(pager, Interval::new(seg.id, seg.a.y, seg.b.y))?;
+                            n.c[i] = c.state();
+                            write_node(pager, page, &Node::Internal(n))?;
+                            break;
+                        }
+                        Placement::Crossing { f, l } => {
+                            let mut lp = Pst::attach(pager, n.boundaries[f], Side::Left, self.cfg.pst, n.l[f])?;
+                            lp.insert(pager, seg)?;
+                            n.l[f] = lp.state();
+                            let mut rp = Pst::attach(pager, n.boundaries[l], Side::Right, self.cfg.pst, n.r[l])?;
+                            rp.insert(pager, seg)?;
+                            n.r[l] = rp.state();
+                            if l > f {
+                                self.g_insert(pager, &mut n, f + 1, l, seg)?;
+                            }
+                            write_node(pager, page, &Node::Internal(n))?;
+                            break;
+                        }
+                        Placement::Child(j) => {
+                            n.child_sizes[j] += 1;
+                            if n.children[j] == NULL_PAGE {
+                                n.children[j] = self.leaf_from(pager, &[seg])?;
+                                write_node(pager, page, &Node::Internal(n))?;
+                                break;
+                            }
+                            let next = n.children[j];
+                            write_node(pager, page, &Node::Internal(n))?;
+                            page = next;
+                        }
+                    }
+                }
+            }
+        }
+        self.rebalance_path(pager, &path)
+    }
+
+    /// Structural summary — how the §4 construction split the segments
+    /// (used by the paper-figure fidelity tests and examples).
+    pub fn describe(&self, pager: &Pager) -> Result<GStats> {
+        let mut st = GStats::default();
+        if self.root != NULL_PAGE {
+            self.describe_rec(pager, self.root, 1, &mut st)?;
+        }
+        Ok(st)
+    }
+
+    fn describe_rec(&self, pager: &Pager, page: PageId, depth: u32, st: &mut GStats) -> Result<()> {
+        st.height = st.height.max(depth);
+        match read_node(pager, page)? {
+            Node::Leaf { count, .. } => {
+                st.leaves += 1;
+                st.in_leaves += count;
+            }
+            Node::Internal(n) => {
+                st.internal_nodes += 1;
+                st.boundaries += n.boundaries.len() as u64;
+                for state in &n.c {
+                    if !set_is_absent(state) {
+                        let c = IntervalSet::attach(pager, IntervalTreeConfig::default(), *state)?;
+                        st.on_line += c.len();
+                    }
+                }
+                for (i, state) in n.l.iter().enumerate() {
+                    let l = Pst::attach(pager, n.boundaries[i], Side::Left, self.cfg.pst, *state)?;
+                    st.crossing += l.len();
+                }
+                st.long_fragment_records += n.g_total;
+                st.g_lists_nonempty += n.g.iter().filter(|s| !list_is_absent(s)).count() as u64;
+                // Bridge pointer density on each parent list: the
+                // measurable form of the d-property.
+                let k = n.boundaries.len();
+                let skel = skeleton(k);
+                for (gi, state) in n.g.iter().enumerate() {
+                    if list_is_absent(state) || skel[gi].is_leaf() {
+                        continue;
+                    }
+                    let line = n.boundaries[skel[gi].a - 1];
+                    let tree = BPlusTree::attach(pager, MsOrder { line }, *state)?;
+                    for (child, left) in [(skel[gi].left, true), (skel[gi].right, false)] {
+                        if list_is_absent(&n.g[child]) {
+                            continue;
+                        }
+                        let mut gap = 0u64;
+                        for rec in tree.scan_all(pager)? {
+                            let p = if left { rec.bridge_left } else { rec.bridge_right };
+                            if p != NULL_PAGE {
+                                st.max_bridge_gap = st.max_bridge_gap.max(gap);
+                                gap = 0;
+                                st.bridge_pointers += 1;
+                            } else {
+                                gap += 1;
+                            }
+                        }
+                        st.max_bridge_gap = st.max_bridge_gap.max(gap);
+                    }
+                }
+                for &c in &n.children {
+                    if c != NULL_PAGE {
+                        self.describe_rec(pager, c, depth + 1, st)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete a stored segment — an extension beyond the paper's
+    /// semi-dynamic Theorem 2, implemented with lazy tombstones: the id
+    /// is filtered from every answer and the whole structure is rebuilt
+    /// once tombstones reach the live count (amortized `O((n/B)·log)` per
+    /// the standard argument). Returns whether the segment was present.
+    pub fn remove(&mut self, pager: &Pager, seg: &Segment) -> Result<bool> {
+        // Membership probe: a stored segment always appears on the line
+        // query through its left endpoint.
+        let (hits, _) = self.query(pager, &VerticalQuery::Line { x: seg.a.x })?;
+        if !hits.iter().any(|h| h == seg) {
+            return Ok(false);
+        }
+        self.tomb_head = segdb_pst::tombs::push(pager, self.tomb_head, seg.id)?;
+        self.tomb_count += 1;
+        self.len -= 1;
+        if self.tomb_count >= self.len.max(1) {
+            self.rebuild_live(pager)?;
+        }
+        Ok(true)
+    }
+
+    /// Rebuild from the live set, dropping tombstones.
+    fn rebuild_live(&mut self, pager: &Pager) -> Result<()> {
+        let live = self.scan_all(pager)?;
+        if self.root != NULL_PAGE {
+            self.destroy_rec(pager, self.root)?;
+        }
+        segdb_pst::tombs::destroy(pager, self.tomb_head)?;
+        self.tomb_head = NULL_PAGE;
+        self.tomb_count = 0;
+        self.len = live.len() as u64;
+        self.root = self.build_rec(pager, live)?;
+        Ok(())
+    }
+
+    /// Every stored (live) segment.
+    pub fn scan_all(&self, pager: &Pager) -> Result<Vec<Segment>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        if self.root != NULL_PAGE {
+            self.collect_rec(pager, self.root, &mut out)?;
+        }
+        if self.tomb_count > 0 {
+            let tombs: std::collections::HashSet<u64> =
+                segdb_pst::tombs::load(pager, self.tomb_head)?.into_iter().collect();
+            out.retain(|s| !tombs.contains(&s.id));
+        }
+        Ok(out)
+    }
+
+    /// Free every page.
+    pub fn destroy(self, pager: &Pager) -> Result<()> {
+        if self.root != NULL_PAGE {
+            self.destroy_rec(pager, self.root)?;
+        }
+        segdb_pst::tombs::destroy(pager, self.tomb_head)?;
+        Ok(())
+    }
+
+    /// Deep validation.
+    pub fn validate(&self, pager: &Pager) -> Result<()> {
+        if self.root == NULL_PAGE {
+            if self.len != 0 {
+                return Err(PagerError::Corrupt("interval2l empty root, nonzero len"));
+            }
+            return Ok(());
+        }
+        let total = self.validate_rec(pager, self.root, None, None)?;
+        if total != self.len + self.tomb_count {
+            return Err(PagerError::Corrupt("interval2l len mismatch"));
+        }
+        let tombs = segdb_pst::tombs::load(pager, self.tomb_head)?;
+        if tombs.len() as u64 != self.tomb_count {
+            return Err(PagerError::Corrupt("interval2l tombstone count stale"));
+        }
+        Ok(())
+    }
+
+    // ---- queries over G ------------------------------------------------
+
+    /// Report long fragments intersected at `x0` (in slab or boundary
+    /// position `j`), walking the G path with bridge navigation.
+    #[allow(clippy::too_many_arguments)]
+    fn g_query(
+        &self,
+        pager: &Pager,
+        n: &Internal,
+        j: usize,
+        x0: i64,
+        lo: Option<i64>,
+        hi: Option<i64>,
+        out: &mut Vec<Segment>,
+        trace: &mut QueryTrace,
+    ) -> Result<()> {
+        let k = n.boundaries.len();
+        if k < 2 || j < 1 || j > k - 1 {
+            return Ok(());
+        }
+        let skel = skeleton(k);
+        let path = g_path(&skel, j);
+        // Bridge pointer carried into the next level, if usable.
+        let mut carried: Option<PageId> = None;
+        for &gi in &path {
+            let state = n.g[gi];
+            let next_is_left = !skel[gi].is_leaf() && j <= skel[gi].mid();
+            if list_is_absent(&state) {
+                carried = None;
+                continue;
+            }
+            trace.second_level_probes += 1;
+            let line = n.boundaries[skel[gi].a - 1];
+            let tree = BPlusTree::attach(pager, MsOrder { line }, state)?;
+            // Position at the first record with y(x0) ≥ lo.
+            let cur = match (carried, lo) {
+                (Some(leaf), Some(lo_v)) if !n.bridges_dirty => {
+                    trace.bridge_jumps += 1;
+                    match self.anchor_by_jump(pager, leaf, x0, lo_v)? {
+                        Some(cur) => cur,
+                        None => self.anchor_by_descent(pager, &tree, x0, lo)?,
+                    }
+                }
+                _ => self.anchor_by_descent(pager, &tree, x0, lo)?,
+            };
+            let mut cur = cur;
+            // Nearest bridge strictly before the run start (its child
+            // counterpart precedes the child's run start).
+            carried = if self.cfg.bridges && !n.bridges_dirty && !skel[gi].is_leaf() {
+                let (records, idx) = cur.buffered();
+                records[..idx.min(records.len())]
+                    .iter()
+                    .rev()
+                    .map(|r| if next_is_left { r.bridge_left } else { r.bridge_right })
+                    .find(|&p| p != NULL_PAGE)
+            } else {
+                None
+            };
+            // Report the run.
+            cur.for_each_while(
+                pager,
+                |r| hi.is_none_or(|h| y_at_x_cmp(&r.seg, x0, h) != Ordering::Greater),
+                |r| out.push(r.seg),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Full B⁺-tree descent to the run start (the root of G always pays
+    /// this; lower levels pay it only when bridges are unusable).
+    fn anchor_by_descent(
+        &self,
+        pager: &Pager,
+        tree: &BPlusTree<MsRec, MsOrder>,
+        x0: i64,
+        lo: Option<i64>,
+    ) -> Result<Cursor<MsRec>> {
+        match lo {
+            None => tree.cursor_first(pager),
+            Some(lo_v) => tree.lower_bound(pager, &move |r: &MsRec| {
+                // Monotone predicate along the list order.
+                if y_at_x_cmp(&r.seg, x0, lo_v) == Ordering::Less {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }),
+        }
+    }
+
+    /// Land on a bridged child leaf and scan forward to the run start.
+    /// Returns `None` (→ fallback) if the scan exceeds the cap — a stale
+    /// pointer or a density violation, impossible right after a bridge
+    /// rebuild but guarded against defensively.
+    fn anchor_by_jump(
+        &self,
+        pager: &Pager,
+        leaf: PageId,
+        x0: i64,
+        lo: i64,
+    ) -> Result<Option<Cursor<MsRec>>> {
+        let mut cur = match Cursor::<MsRec>::jump(pager, leaf) {
+            Ok(c) => c,
+            Err(_) => return Ok(None), // stale pointer
+        };
+        let mut scanned = 0usize;
+        while let Some(r) = cur.peek() {
+            if y_at_x_cmp(&r.seg, x0, lo) != Ordering::Less {
+                return Ok(Some(cur));
+            }
+            scanned += 1;
+            if scanned > JUMP_SCAN_CAP {
+                return Ok(None);
+            }
+            cur.next(pager)?;
+        }
+        Ok(Some(cur)) // exhausted: empty run
+    }
+
+    // ---- G maintenance -------------------------------------------------
+
+    /// Insert a long fragment spanning slabs `[fa, fb]` into G,
+    /// invalidating bridges and scheduling their amortized rebuild.
+    fn g_insert(&self, pager: &Pager, n: &mut Internal, fa: usize, fb: usize, seg: Segment) -> Result<()> {
+        let k = n.boundaries.len();
+        let skel = skeleton(k);
+        let mut nodes = Vec::new();
+        allocation(&skel, fa, fb, &mut nodes);
+        for gi in nodes {
+            let line = n.boundaries[skel[gi].a - 1];
+            let mut tree = if list_is_absent(&n.g[gi]) {
+                BPlusTree::create(pager, MsOrder { line })?
+            } else {
+                BPlusTree::attach(pager, MsOrder { line }, n.g[gi])?
+            };
+            tree.insert(pager, MsRec::real(seg))?;
+            n.g[gi] = tree.state();
+            n.g_total += 1;
+        }
+        if self.cfg.bridges {
+            n.bridges_dirty = true;
+            n.g_inserts += 1;
+            // Amortized: rebuilding costs O(g_total · log); charge it to
+            // Θ(g_total / (d+1)) inserts.
+            let threshold = (n.g_total / (self.cfg.bridge_d as u64 + 2)).max(8) as u32;
+            if n.g_inserts >= threshold {
+                self.rebuild_bridges(pager, n)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Strip augmented elements, re-select bridges from the real lists,
+    /// rebuild the B⁺-trees and materialize pointers.
+    fn rebuild_bridges(&self, pager: &Pager, n: &mut Internal) -> Result<()> {
+        let k = n.boundaries.len();
+        let skel = skeleton(k);
+        // 1. Collect real fragments per skeleton node.
+        let mut real: Vec<Vec<MsRec>> = vec![Vec::new(); skel.len()];
+        for gi in 0..n.g.len() {
+            let state = n.g[gi];
+            if list_is_absent(&state) {
+                continue;
+            }
+            let line = n.boundaries[skel[gi].a - 1];
+            let tree = BPlusTree::attach(pager, MsOrder { line }, state)?;
+            real[gi] = tree
+                .scan_all(pager)?
+                .into_iter()
+                .map(|r| MsRec::real(r.seg)) // drop stale bridge pointers
+                .collect();
+            tree.destroy(pager)?;
+            n.g[gi] = absent_list();
+        }
+        build_g_lists(pager, self.cfg, &n.boundaries, &skel, real, &mut n.g)?;
+        n.bridges_dirty = false;
+        n.g_inserts = 0;
+        Ok(())
+    }
+
+    // ---- build / teardown ----------------------------------------------
+
+    fn leaf_from(&self, pager: &Pager, segs: &[Segment]) -> Result<PageId> {
+        let page = pager.allocate()?;
+        let head = chain::write(pager, segs)?;
+        write_node(pager, page, &Node::Leaf { head, count: segs.len() as u64 })?;
+        Ok(page)
+    }
+
+    fn build_rec(&self, pager: &Pager, segs: Vec<Segment>) -> Result<PageId> {
+        let page = pager.allocate()?;
+        self.build_rec_at(pager, segs, page)?;
+        Ok(page)
+    }
+
+    fn build_rec_at(&self, pager: &Pager, segs: Vec<Segment>, page: PageId) -> Result<()> {
+        if segs.len() <= chain::cap(pager.page_size()) {
+            let head = chain::write(pager, &segs)?;
+            return write_node(pager, page, &Node::Leaf { head, count: segs.len() as u64 });
+        }
+        // Boundaries: endpoint quantiles (like the external interval
+        // tree's slab selection).
+        let mut xs: Vec<i64> = segs.iter().flat_map(|s| [s.a.x, s.b.x]).collect();
+        xs.sort_unstable();
+        let want = self.k_max.min(xs.len());
+        let mut boundaries: Vec<i64> = (1..=want)
+            .map(|i| xs[(i * xs.len() / (want + 1)).min(xs.len() - 1)])
+            .collect();
+        boundaries.dedup();
+        let k = boundaries.len();
+        let total = segs.len() as u64;
+
+        let mut on_line: Vec<Vec<Interval>> = vec![Vec::new(); k];
+        let mut lefts: Vec<Vec<Segment>> = vec![Vec::new(); k];
+        let mut rights: Vec<Vec<Segment>> = vec![Vec::new(); k];
+        let skel = skeleton(k);
+        let mut g_real: Vec<Vec<MsRec>> = vec![Vec::new(); skel.len()];
+        let mut kids: Vec<Vec<Segment>> = vec![Vec::new(); k + 1];
+        let mut g_total = 0u64;
+        for s in segs {
+            match place(&boundaries, &s) {
+                Placement::OnLine(i) => on_line[i].push(Interval::new(s.id, s.a.y, s.b.y)),
+                Placement::Crossing { f, l } => {
+                    lefts[f].push(s);
+                    rights[l].push(s);
+                    if l > f {
+                        let mut nodes = Vec::new();
+                        allocation(&skel, f + 1, l, &mut nodes);
+                        for gi in nodes {
+                            g_real[gi].push(MsRec::real(s));
+                            g_total += 1;
+                        }
+                    }
+                }
+                Placement::Child(j) => kids[j].push(s),
+            }
+        }
+
+        let mut c_states = Vec::with_capacity(k);
+        let mut l_states = Vec::with_capacity(k);
+        let mut r_states = Vec::with_capacity(k);
+        for i in 0..k {
+            c_states.push(if on_line[i].is_empty() {
+                absent_set()
+            } else {
+                IntervalSet::build(pager, IntervalTreeConfig::default(), std::mem::take(&mut on_line[i]))?.state()
+            });
+            l_states.push(
+                Pst::build(pager, boundaries[i], Side::Left, self.cfg.pst, std::mem::take(&mut lefts[i]))?.state(),
+            );
+            r_states.push(
+                Pst::build(pager, boundaries[i], Side::Right, self.cfg.pst, std::mem::take(&mut rights[i]))?.state(),
+            );
+        }
+        let mut g_states = vec![absent_list(); skel.len()];
+        build_g_lists(pager, self.cfg, &boundaries, &skel, g_real, &mut g_states)?;
+
+        let mut children = Vec::with_capacity(k + 1);
+        let mut child_sizes = Vec::with_capacity(k + 1);
+        for kid in kids {
+            child_sizes.push(kid.len() as u64);
+            children.push(if kid.is_empty() {
+                NULL_PAGE
+            } else {
+                self.build_rec(pager, kid)?
+            });
+        }
+        write_node(
+            pager,
+            page,
+            &Node::Internal(Box::new(Internal {
+                boundaries,
+                children,
+                child_sizes,
+                total,
+                c: c_states,
+                l: l_states,
+                r: r_states,
+                g: g_states,
+                g_total,
+                bridges_dirty: false,
+                g_inserts: 0,
+            })),
+        )
+    }
+
+    fn collect_rec(&self, pager: &Pager, page: PageId, out: &mut Vec<Segment>) -> Result<()> {
+        match read_node(pager, page)? {
+            Node::Leaf { head, .. } => chain::scan(pager, head, |s| out.push(s))?,
+            Node::Internal(n) => {
+                for (i, state) in n.c.iter().enumerate() {
+                    if set_is_absent(state) {
+                        continue;
+                    }
+                    let c = IntervalSet::attach(pager, IntervalTreeConfig::default(), *state)?;
+                    for iv in c.scan_all(pager)? {
+                        out.push(
+                            Segment::new(iv.id, (n.boundaries[i], iv.lo), (n.boundaries[i], iv.hi))
+                                .map_err(|_| PagerError::Corrupt("bad C_i interval"))?,
+                        );
+                    }
+                }
+                // Each crossing segment appears in exactly one L_f.
+                for (i, state) in n.l.iter().enumerate() {
+                    let l = Pst::attach(pager, n.boundaries[i], Side::Left, self.cfg.pst, *state)?;
+                    out.extend(l.scan_all(pager)?);
+                }
+                for &c in &n.children {
+                    if c != NULL_PAGE {
+                        self.collect_rec(pager, c, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn destroy_rec(&self, pager: &Pager, page: PageId) -> Result<()> {
+        self.destroy_children_of(pager, page)?;
+        pager.free(page)
+    }
+
+    fn destroy_children_of(&self, pager: &Pager, page: PageId) -> Result<()> {
+        match read_node(pager, page)? {
+            Node::Leaf { head, .. } => chain::destroy(pager, head)?,
+            Node::Internal(n) => {
+                let k = n.boundaries.len();
+                let skel = skeleton(k);
+                for (i, state) in n.c.iter().enumerate() {
+                    let _ = i;
+                    if !set_is_absent(state) {
+                        IntervalSet::attach(pager, IntervalTreeConfig::default(), *state)?.destroy(pager)?;
+                    }
+                }
+                for (i, state) in n.l.iter().enumerate() {
+                    Pst::attach(pager, n.boundaries[i], Side::Left, self.cfg.pst, *state)?.destroy(pager)?;
+                }
+                for (i, state) in n.r.iter().enumerate() {
+                    Pst::attach(pager, n.boundaries[i], Side::Right, self.cfg.pst, *state)?.destroy(pager)?;
+                }
+                for (gi, state) in n.g.iter().enumerate() {
+                    if !list_is_absent(state) {
+                        let line = n.boundaries[skel[gi].a - 1];
+                        BPlusTree::<MsRec, _>::attach(pager, MsOrder { line }, *state)?.destroy(pager)?;
+                    }
+                }
+                for &c in &n.children {
+                    if c != NULL_PAGE {
+                        self.destroy_rec(pager, c)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn rebalance_path(&mut self, pager: &Pager, path: &[PageId]) -> Result<()> {
+        for &page in path {
+            if let Node::Internal(n) = read_node(pager, page)? {
+                if n.total < self.cfg.rebuild_min {
+                    break;
+                }
+                let threshold = n.total * 3 / 4;
+                if n.child_sizes.iter().any(|&s| s > threshold) {
+                    let mut segs = Vec::with_capacity(n.total as usize);
+                    self.collect_rec(pager, page, &mut segs)?;
+                    self.destroy_children_of(pager, page)?;
+                    self.build_rec_at(pager, segs, page)?;
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_rec(&self, pager: &Pager, page: PageId, lo: Option<i64>, hi: Option<i64>) -> Result<u64> {
+        match read_node(pager, page)? {
+            Node::Leaf { head, count } => {
+                let mut m = 0u64;
+                let mut ok = true;
+                chain::scan(pager, head, |s| {
+                    m += 1;
+                    ok &= lo.is_none_or(|l| s.a.x > l) && hi.is_none_or(|h| s.b.x < h);
+                })?;
+                if !ok {
+                    return Err(PagerError::Corrupt("leaf segment escapes slab"));
+                }
+                if m != count {
+                    return Err(PagerError::Corrupt("leaf count stale"));
+                }
+                Ok(m)
+            }
+            Node::Internal(n) => {
+                let k = n.boundaries.len();
+                if k == 0 || !n.boundaries.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(PagerError::Corrupt("bad boundary set"));
+                }
+                if lo.is_some_and(|l| n.boundaries[0] <= l)
+                    || hi.is_some_and(|h| n.boundaries[k - 1] >= h)
+                {
+                    return Err(PagerError::Corrupt("boundaries escape ancestor slab"));
+                }
+                let mut here = 0u64;
+                for (i, state) in n.c.iter().enumerate() {
+                    let _ = i;
+                    if !set_is_absent(state) {
+                        let c = IntervalSet::attach(pager, IntervalTreeConfig::default(), *state)?;
+                        c.validate(pager)?;
+                        here += c.len();
+                    }
+                }
+                let mut crossing = 0u64;
+                for i in 0..k {
+                    let l = Pst::attach(pager, n.boundaries[i], Side::Left, self.cfg.pst, n.l[i])?;
+                    l.validate(pager)?;
+                    crossing += l.len();
+                    let r = Pst::attach(pager, n.boundaries[i], Side::Right, self.cfg.pst, n.r[i])?;
+                    r.validate(pager)?;
+                }
+                let rsum: u64 = (0..k)
+                    .map(|i| {
+                        Pst::attach(pager, n.boundaries[i], Side::Right, self.cfg.pst, n.r[i])
+                            .map(|p| p.len())
+                    })
+                    .sum::<Result<u64>>()?;
+                if crossing != rsum {
+                    return Err(PagerError::Corrupt("L/R fragment counts disagree"));
+                }
+                here += crossing;
+                // G lists: validate trees and fragment placement.
+                let skel = skeleton(k);
+                let mut g_real = 0u64;
+                for (gi, state) in n.g.iter().enumerate() {
+                    if list_is_absent(state) {
+                        continue;
+                    }
+                    let line = n.boundaries[skel[gi].a - 1];
+                    let tree = BPlusTree::attach(pager, MsOrder { line }, *state)?;
+                    tree.validate(pager)?;
+                    let (ga, gb) = (skel[gi].a, skel[gi].b);
+                    for rec in tree.scan_all(pager)? {
+                        // Every fragment spans the node's multislab.
+                        if rec.seg.a.x > n.boundaries[ga - 1] || rec.seg.b.x < n.boundaries[gb] {
+                            return Err(PagerError::Corrupt("G fragment does not span its node"));
+                        }
+                        g_real += 1;
+                    }
+                }
+                if g_real != n.g_total {
+                    return Err(PagerError::Corrupt("g_total stale"));
+                }
+                let mut below = 0u64;
+                for (i, &c) in n.children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(n.boundaries[i - 1]) };
+                    let chi = if i == k { hi } else { Some(n.boundaries[i]) };
+                    let sz = if c == NULL_PAGE {
+                        0
+                    } else {
+                        self.validate_rec(pager, c, clo, chi)?
+                    };
+                    if sz != n.child_sizes[i] {
+                        return Err(PagerError::Corrupt("child size stale"));
+                    }
+                    below += sz;
+                }
+                if here + below != n.total {
+                    return Err(PagerError::Corrupt("interval2l total stale"));
+                }
+                Ok(n.total)
+            }
+        }
+    }
+}
+
+/// What [`TwoLevelInterval::describe`] reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GStats {
+    /// First-level internal (slab) nodes.
+    pub internal_nodes: u64,
+    /// First-level leaves.
+    pub leaves: u64,
+    /// Segments stored in leaves.
+    pub in_leaves: u64,
+    /// Tree height (levels).
+    pub height: u32,
+    /// Total boundaries across internal nodes.
+    pub boundaries: u64,
+    /// Segments lying on boundaries (Σ |Cᵢ|).
+    pub on_line: u64,
+    /// Segments crossing ≥ 1 boundary (Σ |L_f|).
+    pub crossing: u64,
+    /// Long-fragment records across all multislab lists (a segment can
+    /// contribute `O(log₂ B)` records — its allocation nodes).
+    pub long_fragment_records: u64,
+    /// Non-empty multislab lists.
+    pub g_lists_nonempty: u64,
+    /// Bridge pointers materialized.
+    pub bridge_pointers: u64,
+    /// Longest run of parent-list elements without a bridge pointer —
+    /// the measured d-property (must stay ≲ d+2 after a bridge build).
+    pub max_bridge_gap: u64,
+}
+
+fn read_node(pager: &Pager, id: PageId) -> Result<Node> {
+    pager.with_page(id, Node::decode)?
+}
+
+fn write_node(pager: &Pager, id: PageId, node: &Node) -> Result<()> {
+    pager.overwrite_page(id, |buf| node.encode(buf))?
+}
+
+/// Build the final multislab B⁺-trees for a node's G, then materialize
+/// fractional-cascading bridge pointers.
+///
+/// Bridge selection follows §4.3's `d`-property: per (parent, child)
+/// pair, merge the two lists at the parent's split line and mark every
+/// `(d+1)`-th merged element. Instead of inserting *augmented bridge
+/// fragments* (whose cut geometry is not exactly comparable at arbitrary
+/// query lines), the mark is materialized as a pointer on the **nearest
+/// preceding real parent element** in merged order, aimed at the child
+/// leaf that a downward position search for the marked element lands on.
+/// Density is preserved (any `d+1` consecutive parent elements contain a
+/// merged selection, so pointer gaps in the parent are ≤ `d+2`), and a
+/// pointer always lands at or before the child counterpart's position,
+/// which is what the forward-scan re-anchor in [`TwoLevelInterval::query`]
+/// needs.
+fn build_g_lists(
+    pager: &Pager,
+    cfg: Interval2LConfig,
+    boundaries: &[i64],
+    skel: &[GNode],
+    mut real: Vec<Vec<MsRec>>,
+    states: &mut [TreeState],
+) -> Result<()> {
+    // Sort geometrically and bulk-load the pure lists.
+    for (gi, list) in real.iter_mut().enumerate() {
+        if list.is_empty() {
+            states[gi] = absent_list();
+            continue;
+        }
+        let line = boundaries[skel[gi].a - 1];
+        list.sort_by(|a, b| MsOrder::cmp_at(line, a, b));
+        let tree = BPlusTree::bulk_load(pager, MsOrder { line }, list)?;
+        states[gi] = tree.state();
+    }
+    if !cfg.bridges {
+        return Ok(());
+    }
+
+    // Bridge pass.
+    for (gi, node) in skel.iter().enumerate() {
+        if node.is_leaf() || real[gi].is_empty() {
+            continue;
+        }
+        let pline = boundaries[skel[gi].a - 1];
+        let ptree = BPlusTree::attach(pager, MsOrder { line: pline }, states[gi])?;
+        let mid_line = boundaries[node.mid()];
+        for (child, is_left) in [(node.left, true), (node.right, false)] {
+            if real[child].is_empty() {
+                continue;
+            }
+            let cline = boundaries[skel[child].a - 1];
+            let ctree = BPlusTree::attach(pager, MsOrder { line: cline }, states[child])?;
+            // Merge-walk both real lists at the parent's split line.
+            let (pl, cl) = (&real[gi], &real[child]);
+            let (mut i, mut j) = (0usize, 0usize);
+            let mut count = 0usize;
+            let mut last_parent: Option<MsRec> = None;
+            let mut pending: Option<(MsRec, MsRec)> = None; // (carrier, marked)
+            while i < pl.len() || j < cl.len() {
+                let take_parent = match (pl.get(i), cl.get(j)) {
+                    (Some(a), Some(b)) => MsOrder::cmp_at(mid_line, a, b) != Ordering::Greater,
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                let elem = if take_parent {
+                    let e = pl[i];
+                    i += 1;
+                    last_parent = Some(e);
+                    e
+                } else {
+                    let e = cl[j];
+                    j += 1;
+                    e
+                };
+                count += 1;
+                if count.is_multiple_of(cfg.bridge_d + 1) {
+                    if let Some(carrier) = last_parent {
+                        // Earliest mark per carrier wins (it points
+                        // furthest left in the child).
+                        if pending.as_ref().is_none_or(|(c, _)| c.seg.id != carrier.seg.id) {
+                            if let Some((c, m)) = pending.take() {
+                                patch_bridge(pager, &ptree, &ctree, cline, c, m, is_left)?;
+                            }
+                            pending = Some((carrier, elem));
+                        }
+                    }
+                }
+            }
+            if let Some((c, m)) = pending.take() {
+                patch_bridge(pager, &ptree, &ctree, cline, c, m, is_left)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Point `carrier` (a real parent element) at the child leaf containing
+/// the position of `marked`.
+fn patch_bridge(
+    pager: &Pager,
+    ptree: &BPlusTree<MsRec, MsOrder>,
+    ctree: &BPlusTree<MsRec, MsOrder>,
+    cline: i64,
+    carrier: MsRec,
+    marked: MsRec,
+    is_left: bool,
+) -> Result<()> {
+    let probe = move |r: &MsRec| MsOrder::cmp_at(cline, &marked, r);
+    let leaf = ctree.leaf_page_of(pager, &probe)?;
+    let patched = ptree.modify(pager, &carrier, |r| {
+        if is_left {
+            r.bridge_left = leaf;
+        } else {
+            r.bridge_right = leaf;
+        }
+    })?;
+    if !patched {
+        return Err(PagerError::Corrupt("bridge carrier element vanished"));
+    }
+    Ok(())
+}

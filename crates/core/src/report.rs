@@ -1,0 +1,61 @@
+//! Query result handling and per-query instrumentation.
+
+use segdb_geom::Segment;
+use segdb_pager::IoStats;
+
+/// Instrumentation of one VS query against any of the structures — the
+/// measurable form of the paper's cost claims.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryTrace {
+    /// First-level nodes visited.
+    pub first_level_nodes: u32,
+    /// Second-level structures probed (PSTs, interval sets, G lists).
+    pub second_level_probes: u32,
+    /// Fractional-cascading bridge jumps taken (Solution 2 only).
+    pub bridge_jumps: u32,
+    /// Segments reported.
+    pub hits: u32,
+    /// I/O performed by the query (reads/writes against the pager).
+    pub io: IoStats,
+}
+
+/// Normalize an answer for comparison: sort by id and assert uniqueness.
+///
+/// The structures guarantee each segment is reported exactly once (the
+/// paper's "each segment is reported only once"); tests call this to keep
+/// that promise honest.
+pub fn normalize(mut hits: Vec<Segment>) -> Vec<Segment> {
+    hits.sort_by_key(|s| s.id);
+    for w in hits.windows(2) {
+        debug_assert_ne!(w[0].id, w[1].id, "segment {} reported twice", w[0].id);
+    }
+    hits
+}
+
+/// Ids of an answer, sorted (test helper used across the workspace).
+pub fn ids(hits: &[Segment]) -> Vec<u64> {
+    let mut v: Vec<u64> = hits.iter().map(|s| s.id).collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sorts() {
+        let s1 = Segment::new(5, (0, 0), (1, 1)).unwrap();
+        let s2 = Segment::new(2, (0, 0), (1, 2)).unwrap();
+        let out = normalize(vec![s1, s2]);
+        assert_eq!(ids(&out), vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn normalize_rejects_duplicates() {
+        let s1 = Segment::new(5, (0, 0), (1, 1)).unwrap();
+        let _ = normalize(vec![s1, s1]);
+    }
+}

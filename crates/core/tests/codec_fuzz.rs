@@ -1,0 +1,45 @@
+//! Codec robustness: decoding **arbitrary bytes** must return an error,
+//! never panic — corrupted persistent files must fail cleanly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use segdb_bptree::node::Node;
+use segdb_bptree::record::KeyValue;
+use segdb_core::interval2l::msrec::MsRec;
+use segdb_itree::node::ItNode;
+use segdb_pager::ByteReader;
+use segdb_pst::node::PstNode;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pst_node_decode_never_panics(bytes in vec(any::<u8>(), 0..600)) {
+        let _ = PstNode::decode(&bytes);
+    }
+
+    #[test]
+    fn bptree_node_decode_never_panics(bytes in vec(any::<u8>(), 0..600)) {
+        let _ = Node::<KeyValue>::decode(&bytes);
+        let _ = Node::<MsRec>::decode(&bytes);
+    }
+
+    #[test]
+    fn itree_node_decode_never_panics(bytes in vec(any::<u8>(), 0..600)) {
+        let _ = ItNode::decode(&bytes);
+    }
+
+    #[test]
+    fn record_decode_never_panics(bytes in vec(any::<u8>(), 0..64)) {
+        use segdb_bptree::Record;
+        let mut r = ByteReader::new(&bytes);
+        let _ = MsRec::decode(&mut r);
+        let mut r = ByteReader::new(&bytes);
+        let _ = KeyValue::decode(&mut r);
+    }
+
+    #[test]
+    fn superblock_decode_never_panics(bytes in vec(any::<u8>(), 0..200)) {
+        let _ = segdb_core::persist::Superblock::decode(&bytes);
+    }
+}

@@ -1,0 +1,251 @@
+//! Dedicated Solution-2 (Theorem 2) tests: oracle agreement on every
+//! workload family, boundary-exact probes, the bridges on/off ablation,
+//! insert storms with validation, and complexity-shape checks.
+
+use segdb_core::interval2l::{Interval2LConfig, TwoLevelInterval};
+use segdb_core::report::ids;
+use segdb_core::FullScan;
+use segdb_geom::gen::{self, vertical_queries, Family};
+use segdb_geom::query::scan_oracle;
+use segdb_geom::{Segment, VerticalQuery};
+use segdb_pager::{Pager, PagerConfig};
+
+fn pager(page: usize) -> Pager {
+    Pager::new(PagerConfig { page_size: page, cache_pages: 0 })
+}
+
+fn check(set: &[Segment], t: &TwoLevelInterval, p: &Pager, queries: &[VerticalQuery], tag: &str) {
+    for q in queries {
+        let (hits, trace) = t.query(p, q).unwrap();
+        let expect = ids(&scan_oracle(set, q));
+        let got = ids(&segdb_core::report::normalize(hits));
+        assert_eq!(got, expect, "{tag} {q:?}");
+        assert_eq!(trace.hits as usize, expect.len(), "{tag}");
+    }
+}
+
+fn boundary_queries(set: &[Segment]) -> Vec<VerticalQuery> {
+    let mut qs = Vec::new();
+    for s in set.iter().take(15) {
+        qs.push(VerticalQuery::Line { x: s.a.x });
+        qs.push(VerticalQuery::Line { x: s.b.x });
+        qs.push(VerticalQuery::segment(s.a.x, s.a.y - 3, s.a.y + 3));
+        qs.push(VerticalQuery::RayUp { x: s.b.x, y0: s.b.y });
+        qs.push(VerticalQuery::RayDown { x: s.b.x, y0: s.b.y });
+    }
+    qs
+}
+
+#[test]
+fn matches_oracle_on_all_families_and_pages() {
+    for family in Family::ALL {
+        let set = family.generate(600, 11);
+        for page in [512usize, 1024, 4096] {
+            let p = pager(page);
+            let t = TwoLevelInterval::build(&p, Interval2LConfig::default(), set.clone()).unwrap();
+            t.validate(&p).unwrap();
+            assert_eq!(t.len(), set.len() as u64);
+            let mut queries = vertical_queries(&set, 25, 100, 31);
+            queries.extend(boundary_queries(&set));
+            check(&set, &t, &p, &queries, family.name());
+        }
+    }
+}
+
+#[test]
+fn bridges_off_matches_bridges_on() {
+    let set = gen::strips(3000, 1 << 15, 16, 500, 7); // long-heavy: big G lists
+    let queries = vertical_queries(&set, 40, 60, 3);
+    let p1 = pager(1024);
+    let on = TwoLevelInterval::build(&p1, Interval2LConfig::default(), set.clone()).unwrap();
+    let p2 = pager(1024);
+    let off_cfg = Interval2LConfig {
+        bridges: false,
+        ..Interval2LConfig::default()
+    };
+    let off = TwoLevelInterval::build(&p2, off_cfg, set.clone()).unwrap();
+    let (mut on_io, mut off_io, mut jumps) = (0u64, 0u64, 0u32);
+    for q in &queries {
+        let (h1, t1) = on.query(&p1, q).unwrap();
+        let (h2, t2) = off.query(&p2, q).unwrap();
+        assert_eq!(ids(&h1), ids(&h2));
+        assert_eq!(ids(&h1), ids(&scan_oracle(&set, q)));
+        on_io += t1.io.reads;
+        off_io += t2.io.reads;
+        jumps += t1.bridge_jumps;
+    }
+    assert!(jumps > 0, "bridged queries actually took bridge jumps");
+    // Bridged navigation must not be slower overall.
+    assert!(on_io <= off_io + off_io / 8, "bridges on {on_io} vs off {off_io}");
+    // Space: augment-free bridges cost nothing; the bridged build may
+    // still differ slightly from tree shape — allow 5%.
+    let (s1, s2) = (p1.live_pages(), p2.live_pages());
+    assert!(s1 <= s2 + s2 / 20 + 4, "space on {s1} vs off {s2}");
+}
+
+#[test]
+fn incremental_insert_matches_oracle_and_validates() {
+    let set = gen::mixed_map(500, 41);
+    let p = pager(512);
+    let mut t = TwoLevelInterval::build(&p, Interval2LConfig::default(), vec![]).unwrap();
+    for (i, s) in set.iter().enumerate() {
+        t.insert(&p, *s).unwrap();
+        if i % 120 == 0 {
+            t.validate(&p).unwrap();
+        }
+    }
+    t.validate(&p).unwrap();
+    assert_eq!(t.len(), set.len() as u64);
+    let mut queries = vertical_queries(&set, 25, 120, 43);
+    queries.extend(boundary_queries(&set));
+    check(&set, &t, &p, &queries, "incremental");
+    // Everything is retrievable.
+    let mut all = ids(&t.scan_all(&p).unwrap());
+    all.dedup();
+    assert_eq!(all.len(), set.len());
+}
+
+#[test]
+fn mixed_build_then_insert_long_segments() {
+    // Inserting long segments exercises G insertion + bridge rebuilds.
+    let base = gen::strips(800, 1 << 14, 16, 600, 3);
+    let p = pager(1024);
+    let mut t = TwoLevelInterval::build(&p, Interval2LConfig::default(), base.clone()).unwrap();
+    let mut all = base.clone();
+    for i in 0..200u64 {
+        let y = (900 + i as i64) * 16;
+        let s = Segment::new(10_000 + i, (i as i64 * 7, y), (1 << 14, y + 1)).unwrap();
+        t.insert(&p, s).unwrap();
+        all.push(s);
+    }
+    t.validate(&p).unwrap();
+    check(&all, &t, &p, &vertical_queries(&all, 30, 80, 17), "long-inserts");
+}
+
+#[test]
+fn query_io_beats_full_scan_and_first_level_is_shallow() {
+    let p = pager(4096);
+    let set = gen::strips(40_000, 1 << 18, 16, 250, 13);
+    let t = TwoLevelInterval::build(&p, Interval2LConfig::default(), set.clone()).unwrap();
+    let fs = FullScan::build(&p, &set).unwrap();
+    let queries = vertical_queries(&set, 20, 10, 19);
+    let (mut t_io, mut fs_io, mut max_depth) = (0u64, 0u64, 0u32);
+    for q in &queries {
+        let (h1, tr1) = t.query(&p, q).unwrap();
+        let (h2, tr2) = fs.query(&p, q).unwrap();
+        assert_eq!(ids(&h1), ids(&h2));
+        t_io += tr1.io.reads;
+        fs_io += tr2.io.reads;
+        max_depth = max_depth.max(tr1.first_level_nodes);
+    }
+    assert!(t_io * 10 < fs_io, "index {t_io} vs scan {fs_io}");
+    // With k ≈ 33 at 4 KiB pages and 40k segments, the first level is
+    // 2–3 levels deep (log_k n), far below log₂ n ≈ 15.
+    assert!(max_depth <= 5, "first-level depth {max_depth}");
+}
+
+#[test]
+fn space_is_n_log_b_ish() {
+    let p = pager(1024);
+    let set = gen::strips(20_000, 1 << 16, 16, 300, 23);
+    let before = p.live_pages();
+    let t = TwoLevelInterval::build(&p, Interval2LConfig::default(), set.clone()).unwrap();
+    let used = p.live_pages() - before;
+    let b = segdb_core::chain::cap(1024);
+    let n_blocks = set.len() / b + 1;
+    let log_b = (b as f64).log2().ceil() as usize;
+    assert!(
+        used < 14 * n_blocks * log_b,
+        "used {used}, n/B·log₂B = {}",
+        n_blocks * log_b
+    );
+    t.destroy(&p).unwrap();
+    assert_eq!(p.live_pages(), before);
+}
+
+#[test]
+fn empty_and_degenerate() {
+    let p = pager(512);
+    let t = TwoLevelInterval::build(&p, Interval2LConfig::default(), vec![]).unwrap();
+    t.validate(&p).unwrap();
+    let (hits, _) = t.query(&p, &VerticalQuery::Line { x: 0 }).unwrap();
+    assert!(hits.is_empty());
+    // A single vertical segment (exercises C_i paths).
+    let v = vec![Segment::new(1, (5, 0), (5, 10)).unwrap()];
+    let t = TwoLevelInterval::build(&p, Interval2LConfig::default(), v.clone()).unwrap();
+    check(&v, &t, &p, &[
+        VerticalQuery::Line { x: 5 },
+        VerticalQuery::segment(5, 10, 20),
+        VerticalQuery::segment(5, 11, 20),
+        VerticalQuery::Line { x: 4 },
+    ], "single-vertical");
+}
+
+#[test]
+fn tiny_fanout_forced() {
+    // Force k = 2 to stress boundary/edge-slab logic on deep trees.
+    let set = gen::mixed_map(400, 51);
+    let p = pager(4096);
+    let cfg = Interval2LConfig {
+        fanout: Some(2),
+        ..Interval2LConfig::default()
+    };
+    let t = TwoLevelInterval::build(&p, cfg, set.clone()).unwrap();
+    t.validate(&p).unwrap();
+    let mut queries = vertical_queries(&set, 30, 100, 3);
+    queries.extend(boundary_queries(&set));
+    check(&set, &t, &p, &queries, "k=2");
+}
+
+#[test]
+fn lazy_deletion_extension() {
+    let set = gen::mixed_map(400, 0xDE1);
+    let p = pager(512);
+    let mut t = TwoLevelInterval::build(&p, Interval2LConfig::default(), set.clone()).unwrap();
+    // Remove a third; query correctness against the survivor oracle.
+    let (gone, kept): (Vec<Segment>, Vec<Segment>) = set.iter().partition(|s| s.id % 3 == 0);
+    for s in &gone {
+        assert!(t.remove(&p, s).unwrap(), "missing {s}");
+        assert!(!t.remove(&p, s).unwrap(), "double remove {s}");
+    }
+    t.validate(&p).unwrap();
+    assert_eq!(t.len() as usize, kept.len());
+    check(&kept, &t, &p, &vertical_queries(&kept, 30, 120, 0xDE1), "post-delete");
+    // Deleting enough triggers the rebuild that purges tombstones.
+    let (gone2, kept2): (Vec<Segment>, Vec<Segment>) = kept.iter().partition(|s| s.id % 2 == 0);
+    for s in &gone2 {
+        assert!(t.remove(&p, s).unwrap());
+    }
+    t.validate(&p).unwrap();
+    assert_eq!(t.len() as usize, kept2.len());
+    check(&kept2, &t, &p, &vertical_queries(&kept2, 20, 150, 0xDE2), "post-rebuild");
+    // Re-inserting a previously tombstoned id must resurface it.
+    let back = gone[0];
+    t.insert(&p, back).unwrap();
+    t.validate(&p).unwrap();
+    let mut expect = kept2.clone();
+    expect.push(back);
+    check(&expect, &t, &p, &[VerticalQuery::Line { x: back.a.x }], "resurrect");
+}
+
+#[test]
+fn interleaved_insert_delete_storm() {
+    let set = gen::strips(600, 1 << 13, 16, 300, 0xF00);
+    let p = pager(512);
+    let mut t = TwoLevelInterval::build(&p, Interval2LConfig::default(), vec![]).unwrap();
+    let mut live: Vec<Segment> = Vec::new();
+    for (i, s) in set.iter().enumerate() {
+        t.insert(&p, *s).unwrap();
+        live.push(*s);
+        if i % 4 == 3 {
+            let kill = live.remove((i * 31) % live.len());
+            assert!(t.remove(&p, &kill).unwrap());
+        }
+        if i % 150 == 149 {
+            t.validate(&p).unwrap();
+            check(&live, &t, &p, &vertical_queries(&live, 10, 80, i as u64), "storm");
+        }
+    }
+    t.validate(&p).unwrap();
+    assert_eq!(t.len() as usize, live.len());
+}

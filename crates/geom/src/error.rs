@@ -1,0 +1,50 @@
+//! Geometry-level errors.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating geometric inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeomError {
+    /// The two endpoints coincide.
+    ZeroLengthSegment,
+    /// A coordinate exceeds [`crate::COORD_LIMIT`].
+    CoordOutOfRange(i64),
+    /// A direction vector component exceeds [`crate::transform::DIR_LIMIT`]
+    /// or the vector is horizontal/null (queries parallel to the x-axis
+    /// are outside the paper's model, footnote 1).
+    BadDirection,
+    /// Two input segments properly cross (interiors intersect), violating
+    /// the NCT input model. Carries the ids of the offending pair.
+    Crossing(u64, u64),
+    /// Two collinear input segments overlap in more than a point.
+    Overlap(u64, u64),
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::ZeroLengthSegment => write!(f, "segment endpoints coincide"),
+            GeomError::CoordOutOfRange(c) => {
+                write!(f, "coordinate {c} exceeds COORD_LIMIT = {}", crate::COORD_LIMIT)
+            }
+            GeomError::BadDirection => {
+                write!(f, "query direction must be non-horizontal with small components")
+            }
+            GeomError::Crossing(a, b) => write!(f, "segments {a} and {b} properly cross"),
+            GeomError::Overlap(a, b) => write!(f, "segments {a} and {b} overlap collinearly"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        assert!(GeomError::Crossing(3, 9).to_string().contains('9'));
+        assert!(GeomError::CoordOutOfRange(1 << 40).to_string().contains("COORD_LIMIT"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Validation of the paper's input model: *non-crossing but possibly
+//! touching* (NCT) segment sets.
+//!
+//! The checker sweeps segments by `xmin` keeping an active set pruned by
+//! `xmax`; only pairs whose x-extents overlap are classified. This is
+//! `O(N log N + P)` where `P` is the number of x-overlapping pairs — for
+//! map-like inputs `P ≪ N²`, and for the adversarial worst case the
+//! checker is still correct, just slower (it is a validation tool, not an
+//! index-path component).
+
+use crate::error::GeomError;
+use crate::predicates::{classify_pair, PairRelation};
+use crate::segment::Segment;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Check that `set` is NCT; returns the first violation found.
+///
+/// Duplicate ids are also rejected (id uniqueness is what makes reporting
+/// de-duplication across fragment structures sound), signalled as an
+/// [`GeomError::Overlap`] of the id with itself when segments coincide, or
+/// a crossing error otherwise.
+///
+/// ```
+/// use segdb_geom::nct::verify_nct;
+/// use segdb_geom::{GeomError, Segment};
+///
+/// let touching = vec![
+///     Segment::new(1, (0, 0), (10, 0)).unwrap(),
+///     Segment::new(2, (10, 0), (10, 5)).unwrap(), // touches at (10, 0): fine
+/// ];
+/// assert!(verify_nct(&touching).is_ok());
+///
+/// let crossing = vec![
+///     Segment::new(1, (0, 0), (10, 10)).unwrap(),
+///     Segment::new(2, (0, 10), (10, 0)).unwrap(),
+/// ];
+/// assert!(matches!(verify_nct(&crossing), Err(GeomError::Crossing(1, 2))));
+/// ```
+pub fn verify_nct(set: &[Segment]) -> Result<(), GeomError> {
+    let mut ids: Vec<u64> = set.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+        return Err(GeomError::Overlap(w[0], w[1]));
+    }
+
+    // Sort by xmin; sweep with a min-heap over xmax of active segments.
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    order.sort_by_key(|&i| set[i].a.x);
+    let mut active: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+    let mut live: Vec<usize> = Vec::new();
+
+    for &i in &order {
+        let s = &set[i];
+        // Retire segments ending strictly before this one starts. Touching
+        // x-extents must still be compared (they can share an endpoint).
+        while let Some(&Reverse((xmax, _))) = active.peek() {
+            if xmax < s.a.x {
+                let Reverse((_, j)) = active.pop().unwrap();
+                live.retain(|&k| k != j);
+            } else {
+                break;
+            }
+        }
+        for &j in &live {
+            let t = &set[j];
+            match classify_pair(s, t) {
+                PairRelation::Admissible => {}
+                PairRelation::ProperCross => return Err(GeomError::Crossing(t.id, s.id)),
+                PairRelation::CollinearOverlap => return Err(GeomError::Overlap(t.id, s.id)),
+            }
+        }
+        active.push(Reverse((s.b.x, i)));
+        live.push(i);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(id: u64, a: (i64, i64), b: (i64, i64)) -> Segment {
+        Segment::new(id, a, b).unwrap()
+    }
+
+    #[test]
+    fn accepts_touching_network() {
+        // A small street grid: horizontal and vertical pieces meeting at
+        // junctions, plus a diagonal touching a junction.
+        let set = vec![
+            seg(1, (0, 0), (10, 0)),
+            seg(2, (10, 0), (20, 0)),
+            seg(3, (10, 0), (10, 10)),
+            seg(4, (10, 10), (20, 10)),
+            seg(5, (0, 5), (10, 10)),
+        ];
+        assert!(verify_nct(&set).is_ok());
+    }
+
+    #[test]
+    fn rejects_crossing() {
+        let set = vec![seg(1, (0, 0), (10, 10)), seg(2, (0, 10), (10, 0))];
+        assert_eq!(verify_nct(&set).unwrap_err(), GeomError::Crossing(1, 2));
+    }
+
+    #[test]
+    fn rejects_collinear_overlap() {
+        let set = vec![seg(1, (0, 0), (10, 0)), seg(2, (9, 0), (12, 0))];
+        assert_eq!(verify_nct(&set).unwrap_err(), GeomError::Overlap(1, 2));
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let set = vec![seg(7, (0, 0), (1, 0)), seg(7, (5, 5), (6, 5))];
+        assert!(matches!(verify_nct(&set).unwrap_err(), GeomError::Overlap(7, 7)));
+    }
+
+    #[test]
+    fn far_apart_crossing_in_x_overlap_is_caught() {
+        // Segments whose xmin order differs a lot but which overlap in x.
+        let set = vec![
+            seg(1, (0, 0), (100, 100)),
+            seg(2, (50, 0), (60, 1)),
+            seg(3, (90, 100), (99, 0)), // crosses segment 1
+        ];
+        assert!(matches!(verify_nct(&set).unwrap_err(), GeomError::Crossing(1, 3)));
+    }
+
+    #[test]
+    fn x_disjoint_segments_never_compared() {
+        let set: Vec<Segment> = (0..100)
+            .map(|i| seg(i, (i as i64 * 10, 0), (i as i64 * 10 + 5, 50)))
+            .collect();
+        assert!(verify_nct(&set).is_ok());
+    }
+
+    #[test]
+    fn empty_and_singleton_ok() {
+        assert!(verify_nct(&[]).is_ok());
+        assert!(verify_nct(&[seg(1, (0, 0), (1, 1))]).is_ok());
+    }
+}

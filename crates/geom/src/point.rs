@@ -1,0 +1,91 @@
+//! Integer lattice points.
+
+use std::fmt;
+
+/// A point of the integer plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: i64,
+    /// Vertical coordinate.
+    pub y: i64,
+}
+
+impl Point {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// True when both coordinates are within [`crate::COORD_LIMIT`].
+    #[inline]
+    pub fn in_range(&self) -> bool {
+        self.x.abs() <= crate::COORD_LIMIT && self.y.abs() <= crate::COORD_LIMIT
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point { x, y }
+    }
+}
+
+/// Sign of the cross product `(b − a) × (c − a)`:
+/// `> 0` if `c` is left of directed line `a→b`, `< 0` if right, `0` if
+/// collinear. Exact for all in-range coordinates.
+#[inline]
+pub fn orient(a: Point, b: Point, c: Point) -> i8 {
+    let v = (b.x - a.x) as i128 * (c.y - a.y) as i128
+        - (b.y - a.y) as i128 * (c.x - a.x) as i128;
+    match v {
+        0 => 0,
+        v if v > 0 => 1,
+        _ => -1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orient_signs() {
+        let a = Point::new(0, 0);
+        let b = Point::new(10, 0);
+        assert_eq!(orient(a, b, Point::new(5, 3)), 1);
+        assert_eq!(orient(a, b, Point::new(5, -3)), -1);
+        assert_eq!(orient(a, b, Point::new(20, 0)), 0);
+    }
+
+    #[test]
+    fn orient_is_antisymmetric() {
+        let a = Point::new(-3, 7);
+        let b = Point::new(11, -2);
+        let c = Point::new(4, 4);
+        assert_eq!(orient(a, b, c), -orient(b, a, c));
+    }
+
+    #[test]
+    fn orient_no_overflow_at_limits() {
+        let m = crate::COORD_LIMIT;
+        let a = Point::new(-m, -m);
+        let b = Point::new(m, m);
+        let c = Point::new(m, -m);
+        assert_eq!(orient(a, b, c), -1);
+    }
+
+    #[test]
+    fn display_and_from() {
+        let p: Point = (3, -4).into();
+        assert_eq!(p.to_string(), "(3, -4)");
+        assert!(p.in_range());
+        assert!(!Point::new(crate::COORD_LIMIT + 1, 0).in_range());
+    }
+}

@@ -1,0 +1,351 @@
+//! Exact predicates used by every index structure.
+//!
+//! All comparisons cross-multiply into `i128`. Bounds: coordinates are at
+//! most `C = 2³⁸` in absolute value, so differences are ≤ `2³⁹` and the
+//! worst product here — `(a.y·dx + dy·(x0−a.x)) · dx'` in [`cmp_y_at_x`] —
+//! is below `2·2³⁸·2³⁹·2³⁹ = 2¹¹⁷`, comfortably inside `i128`.
+
+use crate::point::{orient, Point};
+use crate::segment::Segment;
+use std::cmp::Ordering;
+
+/// Compare the segment's ordinate at the vertical line `x = x0` against
+/// `y0`, exactly.
+///
+/// # Panics
+/// Debug-asserts that the segment is non-vertical and spans `x0`; callers
+/// uphold this by construction (fragments are clipped to slabs that
+/// contain the query line).
+#[inline]
+pub fn y_at_x_cmp(seg: &Segment, x0: i64, y0: i64) -> Ordering {
+    debug_assert!(!seg.is_vertical(), "y_at_x undefined for vertical segment");
+    debug_assert!(seg.spans_x(x0), "segment does not span x0");
+    let dx = (seg.b.x - seg.a.x) as i128; // > 0 by canonical order
+    let dy = (seg.b.y - seg.a.y) as i128;
+    let lhs = seg.a.y as i128 * dx + dy * (x0 - seg.a.x) as i128;
+    let rhs = y0 as i128 * dx;
+    lhs.cmp(&rhs)
+}
+
+/// Compare two non-vertical segments' ordinates at the line `x = x0`.
+///
+/// For NCT segments whose x-extents both contain `x0`, this is the order
+/// the paper's multislab lists and PST base lines are sorted by; it is a
+/// total preorder (ties mean the segments touch at `x0`).
+#[inline]
+pub fn cmp_y_at_x(s1: &Segment, s2: &Segment, x0: i64) -> Ordering {
+    debug_assert!(!s1.is_vertical() && !s2.is_vertical());
+    debug_assert!(s1.spans_x(x0) && s2.spans_x(x0));
+    let dx1 = (s1.b.x - s1.a.x) as i128;
+    let dy1 = (s1.b.y - s1.a.y) as i128;
+    let dx2 = (s2.b.x - s2.a.x) as i128;
+    let dy2 = (s2.b.y - s2.a.y) as i128;
+    let v1 = s1.a.y as i128 * dx1 + dy1 * (x0 - s1.a.x) as i128;
+    let v2 = s2.a.y as i128 * dx2 + dy2 * (x0 - s2.a.x) as i128;
+    (v1 * dx2).cmp(&(v2 * dx1))
+}
+
+/// Compare two segments by slope, exactly (`dy/dx`, verticals = +∞).
+///
+/// Used to tie-break base-line order for segments touching at their base
+/// intersection: the slope order is the order of the segments at height
+/// `base + ε`.
+#[inline]
+pub fn cmp_slope(s1: &Segment, s2: &Segment) -> Ordering {
+    let dx1 = (s1.b.x - s1.a.x) as i128;
+    let dy1 = (s1.b.y - s1.a.y) as i128;
+    let dx2 = (s2.b.x - s2.a.x) as i128;
+    let dy2 = (s2.b.y - s2.a.y) as i128;
+    match (dx1 == 0, dx2 == 0) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => (dy1 * dx2).cmp(&(dy2 * dx1)),
+    }
+}
+
+/// Does `seg` intersect the vertical query at `x = x0` with optional
+/// inclusive ordinate bounds `lo ≤ y ≤ hi` (`None` = unbounded, i.e. ray
+/// or line queries)?
+///
+/// Touching counts as intersecting, matching the paper's closed-set model.
+pub fn hits_vertical(seg: &Segment, x0: i64, lo: Option<i64>, hi: Option<i64>) -> bool {
+    if !seg.spans_x(x0) {
+        return false;
+    }
+    if seg.is_vertical() {
+        // Overlap of [ymin, ymax] with [lo, hi].
+        let (ymin, ymax) = s_yspan(seg);
+        return lo.is_none_or(|lo| ymax >= lo) && hi.is_none_or(|hi| ymin <= hi);
+    }
+    lo.is_none_or(|lo| y_at_x_cmp(seg, x0, lo) != Ordering::Less)
+        && hi.is_none_or(|hi| y_at_x_cmp(seg, x0, hi) != Ordering::Greater)
+}
+
+/// [`hits_vertical`] restricted to the part of `seg` with
+/// `clip.0 ≤ x ≤ clip.1` — the predicate fragments are queried with.
+///
+/// Fragment endpoints produced by cutting a segment on a slab boundary can
+/// be non-integer; representing a fragment as *(original segment, integer
+/// clip window)* keeps everything exact.
+pub fn hits_vertical_clipped(
+    seg: &Segment,
+    clip: (i64, i64),
+    x0: i64,
+    lo: Option<i64>,
+    hi: Option<i64>,
+) -> bool {
+    if x0 < clip.0 || x0 > clip.1 {
+        return false;
+    }
+    hits_vertical(seg, x0, lo, hi)
+}
+
+#[inline]
+fn s_yspan(seg: &Segment) -> (i64, i64) {
+    seg.y_span()
+}
+
+/// Closed-set intersection test for two arbitrary segments, by
+/// orientation case analysis — exact, touching counts.
+///
+/// This is the kernel of the §5 *future work* extension (arbitrary-slope
+/// query segments): with no fixed direction to shear by, candidate
+/// filtering falls back to this pairwise predicate.
+pub fn segments_intersect(s: &Segment, t: &Segment) -> bool {
+    let (o1, o2) = (orient(s.a, s.b, t.a), orient(s.a, s.b, t.b));
+    let (o3, o4) = (orient(t.a, t.b, s.a), orient(t.a, t.b, s.b));
+    if o1 != o2 && o3 != o4 {
+        return true;
+    }
+    let on = |a: Point, b: Point, p: Point| {
+        orient(a, b, p) == 0
+            && p.x >= a.x.min(b.x)
+            && p.x <= a.x.max(b.x)
+            && p.y >= a.y.min(b.y)
+            && p.y <= a.y.max(b.y)
+    };
+    on(s.a, s.b, t.a) || on(s.a, s.b, t.b) || on(t.a, t.b, s.a) || on(t.a, t.b, s.b)
+}
+
+/// How two NCT-candidate segments interact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairRelation {
+    /// Disjoint or touching — admissible in a segment database.
+    Admissible,
+    /// Interiors cross at a single point (neither segment has an endpoint
+    /// there): forbidden.
+    ProperCross,
+    /// Collinear with an overlap of positive length: forbidden.
+    CollinearOverlap,
+}
+
+/// Classify the interaction of two segments under the NCT input model.
+pub fn classify_pair(s1: &Segment, s2: &Segment) -> PairRelation {
+    let o1 = orient(s1.a, s1.b, s2.a);
+    let o2 = orient(s1.a, s1.b, s2.b);
+    let o3 = orient(s2.a, s2.b, s1.a);
+    let o4 = orient(s2.a, s2.b, s1.b);
+    if o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 {
+        return PairRelation::ProperCross;
+    }
+    if o1 == 0 && o2 == 0 {
+        // Collinear: overlap of positive length is forbidden.
+        if collinear_overlap_len_positive(s1, s2) {
+            return PairRelation::CollinearOverlap;
+        }
+    }
+    PairRelation::Admissible
+}
+
+/// For two collinear segments, is the intersection longer than a point?
+fn collinear_overlap_len_positive(s1: &Segment, s2: &Segment) -> bool {
+    // Project on the dominant axis of s1 (canonical order makes a ≤ b on
+    // that axis for both segments because they are collinear).
+    if s1.a.x != s1.b.x {
+        let lo = s1.a.x.max(s2.a.x);
+        let hi = s1.b.x.min(s2.b.x);
+        lo < hi
+    } else {
+        let (l1, h1) = s1.y_span();
+        let (l2, h2) = s2.y_span();
+        l1.max(l2) < h1.min(h2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Segment;
+
+    fn seg(id: u64, a: (i64, i64), b: (i64, i64)) -> Segment {
+        Segment::new(id, a, b).unwrap()
+    }
+
+    #[test]
+    fn y_at_x_cmp_exact_on_non_lattice_intersections() {
+        // y(x) = x/3 at x=1 is 1/3: strictly above 0, strictly below 1.
+        let s = seg(0, (0, 0), (3, 1));
+        assert_eq!(y_at_x_cmp(&s, 1, 0), Ordering::Greater);
+        assert_eq!(y_at_x_cmp(&s, 1, 1), Ordering::Less);
+        assert_eq!(y_at_x_cmp(&s, 0, 0), Ordering::Equal);
+        assert_eq!(y_at_x_cmp(&s, 3, 1), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_y_at_x_orders_non_crossing() {
+        let lo = seg(0, (0, 0), (10, 2));
+        let hi = seg(1, (0, 1), (10, 4));
+        for x in [0, 3, 7, 10] {
+            assert_eq!(cmp_y_at_x(&lo, &hi, x), Ordering::Less);
+            assert_eq!(cmp_y_at_x(&hi, &lo, x), Ordering::Greater);
+        }
+        // Touching at x=0 with equal start:
+        let t = seg(2, (0, 0), (10, 9));
+        assert_eq!(cmp_y_at_x(&lo, &t, 0), Ordering::Equal);
+        assert_eq!(cmp_y_at_x(&lo, &t, 1), Ordering::Less);
+    }
+
+    #[test]
+    fn cmp_slope_total_order() {
+        let flat = seg(0, (0, 0), (10, 0));
+        let up = seg(1, (0, 0), (10, 5));
+        let steep = seg(2, (0, 0), (1, 100));
+        let vert = seg(3, (0, 0), (0, 1));
+        assert_eq!(cmp_slope(&flat, &up), Ordering::Less);
+        assert_eq!(cmp_slope(&up, &steep), Ordering::Less);
+        assert_eq!(cmp_slope(&steep, &vert), Ordering::Less);
+        assert_eq!(cmp_slope(&vert, &vert), Ordering::Equal);
+        let down = seg(4, (0, 0), (10, -5));
+        assert_eq!(cmp_slope(&down, &flat), Ordering::Less);
+    }
+
+    #[test]
+    fn hits_vertical_segment_query() {
+        let s = seg(0, (0, 0), (4, 4)); // diagonal
+        assert!(hits_vertical(&s, 2, Some(0), Some(4)));
+        assert!(hits_vertical(&s, 2, Some(2), Some(2)), "touch at point");
+        assert!(!hits_vertical(&s, 2, Some(3), Some(4)));
+        assert!(!hits_vertical(&s, 5, None, None), "outside x-span");
+        // Ray and line bounds.
+        assert!(hits_vertical(&s, 2, Some(1), None));
+        assert!(!hits_vertical(&s, 2, None, Some(1)), "y(2)=2 lies above hi=1");
+    }
+
+    #[test]
+    fn hits_vertical_bounds_are_inclusive_and_exact() {
+        let s = seg(0, (0, 0), (3, 1)); // y(1) = 1/3
+        assert!(hits_vertical(&s, 1, Some(0), Some(1)));
+        assert!(!hits_vertical(&s, 1, Some(1), Some(2)), "1/3 < 1 strictly");
+        assert!(!hits_vertical(&s, 1, None, Some(0)), "1/3 > 0 strictly");
+    }
+
+    #[test]
+    fn hits_vertical_on_vertical_segment() {
+        let v = seg(0, (2, 1), (2, 5));
+        assert!(hits_vertical(&v, 2, Some(0), Some(1)), "touch at endpoint");
+        assert!(hits_vertical(&v, 2, Some(5), None));
+        assert!(!hits_vertical(&v, 2, Some(6), None));
+        assert!(!hits_vertical(&v, 2, None, Some(0)));
+        assert!(!hits_vertical(&v, 3, None, None));
+        assert!(hits_vertical(&v, 2, None, None), "line query");
+    }
+
+    #[test]
+    fn clipped_predicate_respects_window() {
+        let s = seg(0, (0, 0), (10, 10));
+        assert!(hits_vertical_clipped(&s, (0, 4), 3, None, None));
+        assert!(!hits_vertical_clipped(&s, (0, 4), 5, None, None));
+        assert!(hits_vertical_clipped(&s, (4, 10), 4, Some(4), Some(4)));
+    }
+
+    #[test]
+    fn classify_proper_cross() {
+        let s1 = seg(0, (0, 0), (10, 10));
+        let s2 = seg(1, (0, 10), (10, 0));
+        assert_eq!(classify_pair(&s1, &s2), PairRelation::ProperCross);
+    }
+
+    #[test]
+    fn classify_touching_is_admissible() {
+        let s1 = seg(0, (0, 0), (10, 10));
+        // endpoint of s2 in interior of s1
+        let s2 = seg(1, (5, 5), (8, 0));
+        assert_eq!(classify_pair(&s1, &s2), PairRelation::Admissible);
+        // shared endpoint
+        let s3 = seg(2, (10, 10), (20, 0));
+        assert_eq!(classify_pair(&s1, &s3), PairRelation::Admissible);
+        // T-touch from above
+        let s4 = seg(3, (5, 5), (5, 9));
+        assert_eq!(classify_pair(&s1, &s4), PairRelation::Admissible);
+    }
+
+    #[test]
+    fn classify_collinear() {
+        let s1 = seg(0, (0, 0), (10, 0));
+        let over = seg(1, (5, 0), (15, 0));
+        assert_eq!(classify_pair(&s1, &over), PairRelation::CollinearOverlap);
+        let touch = seg(2, (10, 0), (20, 0));
+        assert_eq!(classify_pair(&s1, &touch), PairRelation::Admissible);
+        let apart = seg(3, (11, 0), (20, 0));
+        assert_eq!(classify_pair(&s1, &apart), PairRelation::Admissible);
+        // collinear verticals
+        let v1 = seg(4, (0, 0), (0, 10));
+        let v2 = seg(5, (0, 9), (0, 20));
+        assert_eq!(classify_pair(&v1, &v2), PairRelation::CollinearOverlap);
+        let v3 = seg(6, (0, 10), (0, 20));
+        assert_eq!(classify_pair(&v1, &v3), PairRelation::Admissible);
+    }
+
+    #[test]
+    fn classify_disjoint() {
+        let s1 = seg(0, (0, 0), (1, 1));
+        let s2 = seg(1, (5, 5), (6, 9));
+        assert_eq!(classify_pair(&s1, &s2), PairRelation::Admissible);
+    }
+}
+
+#[cfg(test)]
+mod intersect_tests {
+    use super::*;
+    use crate::segment::Segment;
+
+    fn seg(id: u64, a: (i64, i64), b: (i64, i64)) -> Segment {
+        Segment::new(id, a, b).unwrap()
+    }
+
+    #[test]
+    fn proper_and_touching_and_disjoint() {
+        let s = seg(0, (0, 0), (10, 10));
+        assert!(segments_intersect(&s, &seg(1, (0, 10), (10, 0)))); // cross
+        assert!(segments_intersect(&s, &seg(2, (5, 5), (9, 0)))); // endpoint on interior
+        assert!(segments_intersect(&s, &seg(3, (10, 10), (20, 0)))); // shared endpoint
+        assert!(!segments_intersect(&s, &seg(4, (11, 11), (20, 12))));
+        assert!(!segments_intersect(&s, &seg(5, (0, 1), (9, 10)))); // parallel above
+    }
+
+    #[test]
+    fn collinear_cases() {
+        let s = seg(0, (0, 0), (10, 0));
+        assert!(segments_intersect(&s, &seg(1, (5, 0), (15, 0)))); // overlap
+        assert!(segments_intersect(&s, &seg(2, (10, 0), (20, 0)))); // touch
+        assert!(!segments_intersect(&s, &seg(3, (11, 0), (20, 0)))); // gap
+    }
+
+    #[test]
+    fn consistency_with_hits_vertical() {
+        // Against a materialized vertical query segment.
+        let s = seg(0, (0, 0), (8, 4));
+        for x0 in -1..10i64 {
+            for lo in -2..6i64 {
+                let hi = lo + 3;
+                let q = Segment::new(99, (x0, lo), (x0, hi)).unwrap();
+                assert_eq!(
+                    segments_intersect(&s, &q),
+                    hits_vertical(&s, x0, Some(lo), Some(hi)),
+                    "x0={x0} lo={lo}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The paper's generalized query segment, in canonical (vertical) form.
+
+use crate::predicates::hits_vertical;
+use crate::segment::Segment;
+
+/// A *generalized segment* query of the canonical (vertical) direction: a
+/// full line, a ray, or a bounded segment on the line `x = x0` (paper §1).
+///
+/// Queries of any other fixed direction are reduced to this form by the
+/// shear of [`crate::transform`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerticalQuery {
+    /// The whole line `x = x0` — a classical *stabbing query*.
+    Line {
+        /// Abscissa of the query line.
+        x: i64,
+    },
+    /// The upward ray `x = x0, y ≥ y0`.
+    RayUp {
+        /// Abscissa of the ray.
+        x: i64,
+        /// Lowest ordinate of the ray.
+        y0: i64,
+    },
+    /// The downward ray `x = x0, y ≤ y0`.
+    RayDown {
+        /// Abscissa of the ray.
+        x: i64,
+        /// Highest ordinate of the ray.
+        y0: i64,
+    },
+    /// The bounded segment `x = x0, lo ≤ y ≤ hi` — the general (and most
+    /// expensive) case the paper focuses on.
+    Segment {
+        /// Abscissa of the query segment.
+        x: i64,
+        /// Lower ordinate bound (inclusive).
+        lo: i64,
+        /// Upper ordinate bound (inclusive).
+        hi: i64,
+    },
+}
+
+impl VerticalQuery {
+    /// Convenience constructor for the bounded-segment case with bound
+    /// normalization.
+    pub fn segment(x: i64, y1: i64, y2: i64) -> Self {
+        let (lo, hi) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
+        VerticalQuery::Segment { x, lo, hi }
+    }
+
+    /// Abscissa of the query.
+    #[inline]
+    pub fn x(&self) -> i64 {
+        match *self {
+            VerticalQuery::Line { x }
+            | VerticalQuery::RayUp { x, .. }
+            | VerticalQuery::RayDown { x, .. }
+            | VerticalQuery::Segment { x, .. } => x,
+        }
+    }
+
+    /// Inclusive lower ordinate bound (`None` = −∞).
+    #[inline]
+    pub fn lo(&self) -> Option<i64> {
+        match *self {
+            VerticalQuery::Line { .. } | VerticalQuery::RayDown { .. } => None,
+            VerticalQuery::RayUp { y0, .. } => Some(y0),
+            VerticalQuery::Segment { lo, .. } => Some(lo),
+        }
+    }
+
+    /// Inclusive upper ordinate bound (`None` = +∞).
+    #[inline]
+    pub fn hi(&self) -> Option<i64> {
+        match *self {
+            VerticalQuery::Line { .. } | VerticalQuery::RayUp { .. } => None,
+            VerticalQuery::RayDown { y0, .. } => Some(y0),
+            VerticalQuery::Segment { hi, .. } => Some(hi),
+        }
+    }
+
+    /// Exact intersection test against a stored segment — the oracle
+    /// predicate every index structure's answer is validated against.
+    #[inline]
+    pub fn hits(&self, seg: &Segment) -> bool {
+        hits_vertical(seg, self.x(), self.lo(), self.hi())
+    }
+}
+
+/// Report every segment of `set` intersected by `q`, by exhaustive scan.
+///
+/// This is the **oracle** (and the `FullScan` baseline's kernel): `O(N)`
+/// work, used for correctness comparison in every test.
+pub fn scan_oracle<'a>(set: impl IntoIterator<Item = &'a Segment>, q: &VerticalQuery) -> Vec<Segment> {
+    let mut out: Vec<Segment> = set.into_iter().filter(|s| q.hits(s)).copied().collect();
+    out.sort_by_key(|s| s.id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(id: u64, a: (i64, i64), b: (i64, i64)) -> Segment {
+        Segment::new(id, a, b).unwrap()
+    }
+
+    #[test]
+    fn segment_constructor_normalizes() {
+        assert_eq!(
+            VerticalQuery::segment(3, 9, -1),
+            VerticalQuery::Segment { x: 3, lo: -1, hi: 9 }
+        );
+    }
+
+    #[test]
+    fn bounds_per_variant() {
+        assert_eq!(VerticalQuery::Line { x: 1 }.lo(), None);
+        assert_eq!(VerticalQuery::Line { x: 1 }.hi(), None);
+        assert_eq!(VerticalQuery::RayUp { x: 1, y0: 5 }.lo(), Some(5));
+        assert_eq!(VerticalQuery::RayUp { x: 1, y0: 5 }.hi(), None);
+        assert_eq!(VerticalQuery::RayDown { x: 1, y0: 5 }.hi(), Some(5));
+        assert_eq!(VerticalQuery::segment(1, 2, 8).x(), 1);
+    }
+
+    #[test]
+    fn hits_matches_variant_semantics() {
+        let s = seg(0, (0, 0), (10, 10));
+        assert!(VerticalQuery::Line { x: 4 }.hits(&s));
+        assert!(!VerticalQuery::Line { x: 11 }.hits(&s));
+        assert!(VerticalQuery::RayUp { x: 4, y0: 4 }.hits(&s));
+        assert!(!VerticalQuery::RayUp { x: 4, y0: 5 }.hits(&s));
+        assert!(VerticalQuery::RayDown { x: 4, y0: 4 }.hits(&s));
+        assert!(!VerticalQuery::RayDown { x: 4, y0: 3 }.hits(&s));
+        assert!(VerticalQuery::segment(4, 0, 4).hits(&s));
+        assert!(!VerticalQuery::segment(4, 5, 9).hits(&s));
+    }
+
+    #[test]
+    fn oracle_filters_and_sorts() {
+        let set = vec![
+            seg(2, (0, 0), (10, 0)),
+            seg(1, (0, 5), (10, 5)),
+            seg(3, (20, 0), (30, 0)),
+        ];
+        let hits = scan_oracle(&set, &VerticalQuery::segment(5, 0, 5));
+        assert_eq!(hits.iter().map(|s| s.id).collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

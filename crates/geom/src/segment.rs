@@ -1,0 +1,127 @@
+//! Database segments.
+
+use crate::error::GeomError;
+use crate::point::Point;
+use std::fmt;
+
+/// Identifier a segment carries through every structure it is stored in.
+///
+/// The 2LDS structures may store *fragments* of the same segment in up to
+/// three places (paper §4.2); the id is what de-duplicates reporting.
+pub type SegmentId = u64;
+
+/// A non-degenerate plane segment with canonical endpoint order.
+///
+/// Canonical order: `a.x < b.x`, or `a.x == b.x && a.y < b.y` (vertical
+/// segments point up). This lets predicates assume `b.x − a.x ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Left (or bottom, if vertical) endpoint.
+    pub a: Point,
+    /// Right (or top, if vertical) endpoint.
+    pub b: Point,
+    /// Stable identifier used for result reporting and de-duplication.
+    pub id: SegmentId,
+}
+
+impl Segment {
+    /// Build a segment, canonicalizing endpoint order.
+    ///
+    /// Errors on zero length or out-of-range coordinates.
+    pub fn new(id: SegmentId, p: impl Into<Point>, q: impl Into<Point>) -> Result<Self, GeomError> {
+        let (p, q) = (p.into(), q.into());
+        if p == q {
+            return Err(GeomError::ZeroLengthSegment);
+        }
+        for pt in [p, q] {
+            if !pt.in_range() {
+                let bad = if pt.x.abs() > crate::COORD_LIMIT { pt.x } else { pt.y };
+                return Err(GeomError::CoordOutOfRange(bad));
+            }
+        }
+        let (a, b) = if (p.x, p.y) <= (q.x, q.y) { (p, q) } else { (q, p) };
+        Ok(Segment { a, b, id })
+    }
+
+    /// True when the segment is vertical (`a.x == b.x`).
+    #[inline]
+    pub fn is_vertical(&self) -> bool {
+        self.a.x == self.b.x
+    }
+
+    /// True when the segment is horizontal.
+    #[inline]
+    pub fn is_horizontal(&self) -> bool {
+        self.a.y == self.b.y
+    }
+
+    /// Inclusive x-extent `(xmin, xmax)`.
+    #[inline]
+    pub fn x_span(&self) -> (i64, i64) {
+        (self.a.x, self.b.x) // canonical order
+    }
+
+    /// Inclusive y-extent `(ymin, ymax)`.
+    #[inline]
+    pub fn y_span(&self) -> (i64, i64) {
+        if self.a.y <= self.b.y {
+            (self.a.y, self.b.y)
+        } else {
+            (self.b.y, self.a.y)
+        }
+    }
+
+    /// True when the vertical line `x = x0` meets the segment's x-extent.
+    #[inline]
+    pub fn spans_x(&self, x0: i64) -> bool {
+        self.a.x <= x0 && x0 <= self.b.x
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {}–{}", self.id, self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_endpoints() {
+        let s = Segment::new(1, (5, 2), (1, 9)).unwrap();
+        assert_eq!(s.a, Point::new(1, 9));
+        assert_eq!(s.b, Point::new(5, 2));
+        let v = Segment::new(2, (3, 8), (3, -1)).unwrap();
+        assert_eq!(v.a, Point::new(3, -1));
+        assert!(v.is_vertical());
+        assert!(!v.is_horizontal());
+    }
+
+    #[test]
+    fn rejects_degenerate_and_out_of_range() {
+        assert_eq!(
+            Segment::new(0, (1, 1), (1, 1)).unwrap_err(),
+            GeomError::ZeroLengthSegment
+        );
+        let big = crate::COORD_LIMIT + 1;
+        assert_eq!(
+            Segment::new(0, (big, 0), (0, 0)).unwrap_err(),
+            GeomError::CoordOutOfRange(big)
+        );
+        assert_eq!(
+            Segment::new(0, (0, -big), (1, 0)).unwrap_err(),
+            GeomError::CoordOutOfRange(-big)
+        );
+    }
+
+    #[test]
+    fn spans() {
+        let s = Segment::new(7, (0, 10), (10, -10)).unwrap();
+        assert_eq!(s.x_span(), (0, 10));
+        assert_eq!(s.y_span(), (-10, 10));
+        assert!(s.spans_x(0) && s.spans_x(10) && s.spans_x(5));
+        assert!(!s.spans_x(-1) && !s.spans_x(11));
+    }
+}

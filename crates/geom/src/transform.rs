@@ -1,0 +1,257 @@
+//! Exact reduction of fixed-direction queries to vertical ones.
+//!
+//! The paper (footnote 1) says: *"If the query segment is not vertical,
+//! coordinate axes can be appropriately rotated."* A literal rotation
+//! leaves the integer lattice; instead we use the shear
+//!
+//! ```text
+//! T(x, y) = (dy·x − dx·y,  y)
+//! ```
+//!
+//! for the fixed query direction `(dx, dy)` (`dy ≠ 0`). `T` is linear and
+//! invertible (`det T = dy ≠ 0`), maps every line of direction `(dx, dy)`
+//! to a vertical line, preserves incidence, betweenness and the
+//! non-crossing property, and stays in exact integer arithmetic. A point
+//! moving along the query direction keeps its first coordinate
+//! (`dy(x+t·dx) − dx(y+t·dy) = dy·x − dx·y`) while its second coordinate
+//! `y` strictly increases with `t` (for `dy > 0`), so query *rays* keep
+//! their orientation.
+//!
+//! Because ordinates are preserved and abscissae are scaled by the
+//! invertible `T`, a stored segment intersects a direction-`(dx,dy)`
+//! generalized query segment **iff** its image intersects the image
+//! vertical query — the index built over transformed segments answers the
+//! original question exactly.
+
+use crate::error::GeomError;
+use crate::point::Point;
+use crate::query::VerticalQuery;
+use crate::segment::Segment;
+
+/// Maximum absolute component of a query direction.
+///
+/// Keeps sheared coordinates within [`crate::COORD_LIMIT`] when inputs are
+/// within `COORD_LIMIT / (2·DIR_LIMIT)`.
+pub const DIR_LIMIT: i64 = 512;
+
+/// A fixed, non-horizontal query direction with small integer components.
+///
+/// `(0, 1)` is the identity direction (native vertical queries).
+///
+/// ```
+/// use segdb_geom::{Direction, Point, Segment};
+///
+/// let d = Direction::new(1, 2).unwrap();
+/// let s = Segment::new(7, (0, 5), (10, 5)).unwrap();
+/// let t = d.apply_segment(&s).unwrap();
+/// // Lossless round-trip back to user coordinates.
+/// assert_eq!(d.unapply_segment(&t).unwrap(), s);
+/// // Points on a common (1,2)-line share a transformed abscissa.
+/// let a = d.apply_point(Point::new(3, 0)).unwrap();
+/// let b = d.apply_point(Point::new(4, 2)).unwrap();
+/// assert_eq!(a.x, b.x);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Direction {
+    dx: i64,
+    dy: i64,
+}
+
+impl Direction {
+    /// The identity (vertical) direction.
+    pub const VERTICAL: Direction = Direction { dx: 0, dy: 1 };
+
+    /// Validate and normalize a direction vector.
+    ///
+    /// `dy` must be non-zero (horizontal query directions are outside the
+    /// paper's model); components must be within ±[`DIR_LIMIT`]. The
+    /// vector is normalized to `dy > 0` and divided by its gcd.
+    pub fn new(dx: i64, dy: i64) -> Result<Self, GeomError> {
+        if dy == 0 || dx.abs() > DIR_LIMIT || dy.abs() > DIR_LIMIT {
+            return Err(GeomError::BadDirection);
+        }
+        let g = gcd(dx.unsigned_abs(), dy.unsigned_abs()) as i64;
+        let (mut dx, mut dy) = (dx / g, dy / g);
+        if dy < 0 {
+            dx = -dx;
+            dy = -dy;
+        }
+        Ok(Direction { dx, dy })
+    }
+
+    /// The x-component of the normalized direction.
+    pub fn dx(&self) -> i64 {
+        self.dx
+    }
+
+    /// The y-component of the normalized direction (always positive).
+    pub fn dy(&self) -> i64 {
+        self.dy
+    }
+
+    /// True for the identity direction, where the shear is a no-op.
+    pub fn is_vertical(&self) -> bool {
+        self.dx == 0 && self.dy == 1
+    }
+
+    /// Image of a point under the shear.
+    pub fn apply_point(&self, p: Point) -> Result<Point, GeomError> {
+        let x = self
+            .dy
+            .checked_mul(p.x)
+            .and_then(|a| self.dx.checked_mul(p.y).and_then(|b| a.checked_sub(b)))
+            .ok_or(GeomError::CoordOutOfRange(p.x))?;
+        let q = Point::new(x, p.y);
+        if !q.in_range() {
+            return Err(GeomError::CoordOutOfRange(q.x));
+        }
+        Ok(q)
+    }
+
+    /// Image of a segment under the shear (id preserved).
+    pub fn apply_segment(&self, s: &Segment) -> Result<Segment, GeomError> {
+        Segment::new(s.id, self.apply_point(s.a)?, self.apply_point(s.b)?)
+    }
+
+    /// Exact inverse of [`Direction::apply_point`]: `x = (x' + dx·y)/dy`.
+    /// The division is exact for any point produced by the forward shear.
+    pub fn unapply_point(&self, p: Point) -> Result<Point, GeomError> {
+        let num = p
+            .x
+            .checked_add(self.dx.checked_mul(p.y).ok_or(GeomError::CoordOutOfRange(p.y))?)
+            .ok_or(GeomError::CoordOutOfRange(p.x))?;
+        if num % self.dy != 0 {
+            return Err(GeomError::CoordOutOfRange(p.x));
+        }
+        let q = Point::new(num / self.dy, p.y);
+        if !q.in_range() {
+            return Err(GeomError::CoordOutOfRange(q.x));
+        }
+        Ok(q)
+    }
+
+    /// Inverse of [`Direction::apply_segment`].
+    pub fn unapply_segment(&self, s: &Segment) -> Result<Segment, GeomError> {
+        Segment::new(s.id, self.unapply_point(s.a)?, self.unapply_point(s.b)?)
+    }
+
+    /// Transform a generalized query given in *original* coordinates —
+    /// anchored at point `p`, with the ordinate bounds interpreted along
+    /// the direction — into the canonical [`VerticalQuery`].
+    ///
+    /// * `lo = hi = None` → full line through `p`.
+    /// * One bound → ray from `p`'s line position.
+    /// * Both bounds → segment between ordinates `lo` and `hi` (original
+    ///   y-coordinates of the query segment's endpoints).
+    pub fn make_query(
+        &self,
+        anchor: Point,
+        lo: Option<i64>,
+        hi: Option<i64>,
+    ) -> Result<VerticalQuery, GeomError> {
+        let a = self.apply_point(anchor)?;
+        Ok(match (lo, hi) {
+            (None, None) => VerticalQuery::Line { x: a.x },
+            (Some(lo), None) => VerticalQuery::RayUp { x: a.x, y0: lo },
+            (None, Some(hi)) => VerticalQuery::RayDown { x: a.x, y0: hi },
+            (Some(lo), Some(hi)) => VerticalQuery::segment(a.x, lo, hi),
+        })
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if a == 0 && b == 0 {
+        return 1;
+    }
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::classify_pair;
+    use crate::predicates::PairRelation;
+
+    #[test]
+    fn rejects_horizontal_and_huge() {
+        assert_eq!(Direction::new(1, 0).unwrap_err(), GeomError::BadDirection);
+        assert_eq!(Direction::new(DIR_LIMIT + 1, 1).unwrap_err(), GeomError::BadDirection);
+        assert!(Direction::new(-3, 2).is_ok());
+    }
+
+    #[test]
+    fn normalizes_sign_and_gcd() {
+        let d = Direction::new(4, -6).unwrap();
+        assert_eq!((d.dx(), d.dy()), (-2, 3));
+        assert!(Direction::new(0, 5).unwrap().is_vertical());
+        assert!(Direction::VERTICAL.is_vertical());
+    }
+
+    #[test]
+    fn vertical_direction_is_identity() {
+        let d = Direction::VERTICAL;
+        let p = Point::new(17, -9);
+        assert_eq!(d.apply_point(p).unwrap(), p);
+    }
+
+    #[test]
+    fn shear_maps_direction_lines_to_vertical() {
+        let d = Direction::new(2, 3).unwrap();
+        let p = Point::new(5, 7);
+        let q = Point::new(5 + 2 * 4, 7 + 3 * 4); // p + 4·(2,3)
+        let (tp, tq) = (d.apply_point(p).unwrap(), d.apply_point(q).unwrap());
+        assert_eq!(tp.x, tq.x, "same line of the direction → same abscissa");
+        assert!(tq.y > tp.y, "orientation along the direction preserved");
+    }
+
+    #[test]
+    fn shear_preserves_crossing_classification() {
+        let d = Direction::new(-3, 5).unwrap();
+        let s1 = Segment::new(0, (0, 0), (10, 10)).unwrap();
+        let s2 = Segment::new(1, (0, 10), (10, 0)).unwrap();
+        let s3 = Segment::new(2, (10, 10), (20, 3)).unwrap();
+        let t1 = d.apply_segment(&s1).unwrap();
+        let t2 = d.apply_segment(&s2).unwrap();
+        let t3 = d.apply_segment(&s3).unwrap();
+        assert_eq!(classify_pair(&t1, &t2), PairRelation::ProperCross);
+        assert_eq!(classify_pair(&t1, &t3), PairRelation::Admissible);
+    }
+
+    #[test]
+    fn transformed_query_equals_direct_test() {
+        // Query along direction (1,2) through anchor (4,0), full line.
+        let d = Direction::new(1, 2).unwrap();
+        let s = Segment::new(9, (0, 6), (12, 6)).unwrap(); // horizontal at y=6
+        let ts = d.apply_segment(&s).unwrap();
+        let q = d.make_query(Point::new(4, 0), None, None).unwrap();
+        // The direction line through (4,0): points (4+t, 2t). At y=6, t=3,
+        // x=7 ∈ [0,12]: the original query line hits s.
+        assert!(q.hits(&ts));
+        // Through (100, 0) it misses.
+        let q2 = d.make_query(Point::new(100, 0), None, None).unwrap();
+        assert!(!q2.hits(&d.apply_segment(&s).unwrap()));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let d = Direction::new(-1, 2).unwrap();
+        // x' = 2·C + C = 3·C > COORD_LIMIT
+        let p = Point::new(crate::COORD_LIMIT, crate::COORD_LIMIT);
+        assert!(matches!(d.apply_point(p), Err(GeomError::CoordOutOfRange(_))));
+        // Exactly at the limit stays accepted: (0,1) is identity.
+        assert!(Direction::VERTICAL.apply_point(p).is_ok());
+    }
+
+    #[test]
+    fn gcd_edges() {
+        assert_eq!(gcd(0, 0), 1);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(12, 18), 6);
+    }
+}

@@ -1,0 +1,47 @@
+//! NCT validator properties: every generator family passes at random
+//! parameters; injecting a crossing into any valid set is detected.
+
+use proptest::prelude::*;
+use segdb_geom::gen::Family;
+use segdb_geom::nct::verify_nct;
+use segdb_geom::{GeomError, Segment};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generators_always_pass(seed in any::<u64>(), n in 20usize..300) {
+        for f in Family::ALL {
+            let set = f.generate(n, seed);
+            prop_assert!(verify_nct(&set).is_ok(), "{} seed={} n={}", f.name(), seed, n);
+        }
+    }
+
+    #[test]
+    fn injected_crossing_is_detected(seed in any::<u64>(), n in 20usize..200, victim in any::<usize>()) {
+        let mut set = Family::Strips.generate(n, seed);
+        // Cross some existing segment through its interior with a steep
+        // stinger that properly crosses it.
+        let v = set[victim % set.len()];
+        prop_assume!(!v.is_vertical());
+        let mx = (v.a.x + v.b.x) / 2;
+        prop_assume!(mx > v.a.x && mx < v.b.x);
+        let (ylo, yhi) = v.y_span();
+        let stinger = Segment::new(900_000, (mx, ylo - 100), (mx + 1, yhi + 100)).unwrap();
+        set.push(stinger);
+        match verify_nct(&set) {
+            Err(GeomError::Crossing(_, _)) | Err(GeomError::Overlap(_, _)) => {}
+            other => prop_assert!(false, "crossing not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_detected(seed in any::<u64>(), n in 5usize..100) {
+        let mut set = Family::Temporal.generate(n, seed);
+        let dup = set[0];
+        // Far away geometrically, same id.
+        let far = Segment::new(dup.id, (1 << 30, 1 << 30), ((1 << 30) + 5, 1 << 30)).unwrap();
+        set.push(far);
+        prop_assert!(matches!(verify_nct(&set), Err(GeomError::Overlap(a, b)) if a == b));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the exact geometry kernel.
+
+use proptest::prelude::*;
+use segdb_geom::point::{orient, Point};
+use segdb_geom::predicates::{classify_pair, cmp_slope, cmp_y_at_x, hits_vertical, y_at_x_cmp};
+use segdb_geom::transform::Direction;
+use segdb_geom::{Segment, VerticalQuery};
+use std::cmp::Ordering;
+
+const C: i64 = 1 << 20; // small enough to leave room for shears in props
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-C..C, -C..C).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn seg(id: u64) -> impl Strategy<Value = Segment> {
+    (pt(), pt())
+        .prop_filter("distinct endpoints", |(a, b)| a != b)
+        .prop_map(move |(a, b)| Segment::new(id, a, b).unwrap())
+}
+
+/// Closed-set intersection of two arbitrary segments, by orientation case
+/// analysis — an independent implementation used as the oracle for the
+/// shear-invariance property.
+fn segments_intersect(s: &Segment, t: &Segment) -> bool {
+    let (o1, o2) = (orient(s.a, s.b, t.a), orient(s.a, s.b, t.b));
+    let (o3, o4) = (orient(t.a, t.b, s.a), orient(t.a, t.b, s.b));
+    if o1 != o2 && o3 != o4 {
+        return true;
+    }
+    let on = |a: Point, b: Point, p: Point| {
+        orient(a, b, p) == 0
+            && p.x >= a.x.min(b.x)
+            && p.x <= a.x.max(b.x)
+            && p.y >= a.y.min(b.y)
+            && p.y <= a.y.max(b.y)
+    };
+    on(s.a, s.b, t.a) || on(s.a, s.b, t.b) || on(t.a, t.b, s.a) || on(t.a, t.b, s.b)
+}
+
+proptest! {
+    /// `hits_vertical` agrees with the generic closed intersection test
+    /// when the query is materialized as an actual vertical segment.
+    #[test]
+    fn hits_vertical_matches_generic_intersection(
+        s in seg(1),
+        x0 in -C..C,
+        y1 in -C..C,
+        y2 in -C..C,
+    ) {
+        prop_assume!(y1 != y2);
+        let q = Segment::new(999, (x0, y1), (x0, y2)).unwrap();
+        let (lo, hi) = if y1 < y2 { (y1, y2) } else { (y2, y1) };
+        prop_assert_eq!(
+            hits_vertical(&s, x0, Some(lo), Some(hi)),
+            segments_intersect(&s, &q)
+        );
+    }
+
+    /// Widening the ordinate window never loses a hit; the line query is
+    /// the upper bound of all of them.
+    #[test]
+    fn hits_vertical_monotone_in_window(s in seg(1), x0 in -C..C, lo in -C..0i64, hi in 0i64..C) {
+        let narrow = hits_vertical(&s, x0, Some(lo), Some(hi));
+        let wider = hits_vertical(&s, x0, Some(lo - 10), Some(hi + 10));
+        let line = hits_vertical(&s, x0, None, None);
+        prop_assert!(!narrow || wider);
+        prop_assert!(!wider || line);
+    }
+
+    /// Ray queries decompose the line query.
+    #[test]
+    fn rays_cover_line(s in seg(1), x0 in -C..C, y0 in -C..C) {
+        let up = VerticalQuery::RayUp { x: x0, y0 }.hits(&s);
+        let down = VerticalQuery::RayDown { x: x0, y0 }.hits(&s);
+        let line = VerticalQuery::Line { x: x0 }.hits(&s);
+        prop_assert_eq!(up || down, line);
+    }
+
+    /// `classify_pair` is symmetric.
+    #[test]
+    fn classify_symmetric(s in seg(1), t in seg(2)) {
+        prop_assert_eq!(classify_pair(&s, &t), classify_pair(&t, &s));
+    }
+
+    /// `cmp_y_at_x` is antisymmetric and consistent with `y_at_x_cmp`.
+    #[test]
+    fn cmp_y_at_x_antisymmetric(
+        (a0, a1, b0, b1, x) in (-C..C, -C..C, -C..C, -C..C, 0i64..100),
+        w in 100i64..C,
+    ) {
+        let s = Segment::new(1, (0, a0), (w, a1)).unwrap();
+        let t = Segment::new(2, (0, b0), (w, b1)).unwrap();
+        let st = cmp_y_at_x(&s, &t, x);
+        let ts = cmp_y_at_x(&t, &s, x);
+        prop_assert_eq!(st, ts.reverse());
+        // Consistency with the point-level compare at integer ordinates.
+        if st == Ordering::Equal {
+            prop_assert_eq!(y_at_x_cmp(&s, x, b0), y_at_x_cmp(&t, x, b0));
+        }
+    }
+
+    /// Slope comparison is antisymmetric and equal on parallel segments.
+    #[test]
+    fn slope_props(s in seg(1), dx in -1000i64..1000, dy in -1000i64..1000) {
+        prop_assert_eq!(cmp_slope(&s, &s), Ordering::Equal);
+        let shifted = Segment::new(
+            2,
+            (s.a.x + dx, s.a.y + dy),
+            (s.b.x + dx, s.b.y + dy),
+        ).unwrap();
+        prop_assert_eq!(cmp_slope(&s, &shifted), Ordering::Equal);
+    }
+
+    /// The shear preserves the answer of every generalized query: a
+    /// segment hits the direction-line through an anchor iff its image
+    /// hits the image vertical line.
+    #[test]
+    fn shear_preserves_line_hits(
+        s in seg(1),
+        anchor in pt(),
+        ddx in -8i64..8,
+        ddy in 1i64..8,
+    ) {
+        let d = Direction::new(ddx, ddy).unwrap();
+        // Materialize a long chunk of the query line in original space.
+        let reach = 1i64 << 24;
+        let p = Point::new(anchor.x - ddx * reach, anchor.y - ddy * reach);
+        let q = Point::new(anchor.x + ddx * reach, anchor.y + ddy * reach);
+        let line_chunk = Segment::new(998, p, q).unwrap();
+        // The chunk is long enough to behave as the full line for segments
+        // within the small coordinate box.
+        let expected = segments_intersect(&s, &line_chunk);
+        let ts = d.apply_segment(&s).unwrap();
+        let tq = d.make_query(anchor, None, None).unwrap();
+        prop_assert_eq!(tq.hits(&ts), expected);
+    }
+
+    /// Shear preserves pair classification (non-crossing stays
+    /// non-crossing, crossings stay crossings).
+    #[test]
+    fn shear_preserves_classification(
+        s in seg(1),
+        t in seg(2),
+        ddx in -8i64..8,
+        ddy in 1i64..8,
+    ) {
+        let d = Direction::new(ddx, ddy).unwrap();
+        let (ts, tt) = (d.apply_segment(&s).unwrap(), d.apply_segment(&t).unwrap());
+        prop_assert_eq!(classify_pair(&s, &t), classify_pair(&ts, &tt));
+    }
+}

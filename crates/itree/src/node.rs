@@ -1,0 +1,237 @@
+//! Interval-tree node layout.
+//!
+//! ```text
+//! leaf:     [tag=1:u8][count:u16][intervals: count × 24]
+//! internal: [tag=2:u8][k:u16]
+//!           [boundaries: k × i64]
+//!           [children: (k+1) × u32]
+//!           [left TreeState:16][right TreeState:16][mslab TreeState:16]
+//!           [mslab counts: k(k−1)/2 × u16]
+//! ```
+//!
+//! The multislab occupancy directory (`mslab counts`) lives inside the
+//! node page, so deciding *which* multislab lists to drain costs no I/O —
+//! the property that keeps stabbing output-sensitive (§ lib docs).
+
+use crate::interval::Interval;
+use segdb_bptree::{Record, TreeState};
+use segdb_pager::{ByteReader, ByteWriter, PageId, PagerError, Result};
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+
+/// Decoded interval-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItNode {
+    /// A bucket of at most [`leaf_capacity`] intervals.
+    Leaf {
+        /// Unordered intervals.
+        intervals: Vec<Interval>,
+    },
+    /// A slab node.
+    Internal(Box<InternalNode>),
+}
+
+/// Internal node payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternalNode {
+    /// `k` strictly increasing boundary abscissae.
+    pub boundaries: Vec<i64>,
+    /// `k + 1` child pages (one per slab).
+    pub children: Vec<PageId>,
+    /// Left-stub lists, keyed `(slab, lo, id)`.
+    pub left: TreeState,
+    /// Right-stub lists, keyed `(slab, −hi, id)`.
+    pub right: TreeState,
+    /// Multislab lists, keyed `(mslab, id)`.
+    pub mslab: TreeState,
+    /// Occupancy count per linearized multislab.
+    pub mslab_counts: Vec<u16>,
+}
+
+/// Max intervals in a leaf page.
+pub fn leaf_capacity(page_size: usize) -> usize {
+    page_size.saturating_sub(3) / Interval::ENCODED_SIZE
+}
+
+/// Max boundary count `k` whose internal node fits one page.
+pub fn max_fanout(page_size: usize) -> usize {
+    // bytes(k) = 3 + 8k + 4(k+1) + 48 + k(k−1)  (counts: k(k−1)/2 × 2)
+    let mut k = 1usize;
+    while internal_bytes(k + 1) <= page_size {
+        k += 1;
+    }
+    k
+}
+
+fn internal_bytes(k: usize) -> usize {
+    3 + 8 * k + 4 * (k + 1) + 3 * TreeState::ENCODED_SIZE + k * (k - 1)
+}
+
+/// Number of multislab pairs `(a, b)`, `1 ≤ a ≤ b ≤ k−1`.
+pub fn mslab_count(k: usize) -> usize {
+    if k < 2 {
+        0
+    } else {
+        (k - 1) * k / 2
+    }
+}
+
+/// Linearized index of multislab `(a, b)` (middle spans slabs `a..=b`),
+/// with `1 ≤ a ≤ b ≤ k−1`.
+pub fn mslab_index(k: usize, a: usize, b: usize) -> usize {
+    debug_assert!(1 <= a && a <= b && b < k, "mslab ({a},{b}) of k={k}");
+    // Row a−1 starts after rows of lengths (k−1), (k−2), …
+    let row = a - 1;
+    let before = row * (k - 1) - row * (row.saturating_sub(1)) / 2;
+    before + (b - a)
+}
+
+impl ItNode {
+    /// Serialize into a zeroed page image.
+    pub fn encode(&self, buf: &mut [u8]) -> Result<()> {
+        let mut w = ByteWriter::new(buf);
+        match self {
+            ItNode::Leaf { intervals } => {
+                w.u8(TAG_LEAF)?;
+                w.u16(intervals.len() as u16)?;
+                for iv in intervals {
+                    iv.encode(&mut w)?;
+                }
+            }
+            ItNode::Internal(n) => {
+                let k = n.boundaries.len();
+                if n.children.len() != k + 1 || n.mslab_counts.len() != mslab_count(k) {
+                    return Err(PagerError::Corrupt("interval node arity"));
+                }
+                w.u8(TAG_INTERNAL)?;
+                w.u16(k as u16)?;
+                for &b in &n.boundaries {
+                    w.i64(b)?;
+                }
+                for &c in &n.children {
+                    w.u32(c)?;
+                }
+                n.left.encode(&mut w)?;
+                n.right.encode(&mut w)?;
+                n.mslab.encode(&mut w)?;
+                for &c in &n.mslab_counts {
+                    w.u16(c)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a page image.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(buf);
+        match r.u8()? {
+            TAG_LEAF => {
+                let count = r.u16()? as usize;
+                let mut intervals = Vec::with_capacity(count);
+                for _ in 0..count {
+                    intervals.push(Interval::decode(&mut r)?);
+                }
+                Ok(ItNode::Leaf { intervals })
+            }
+            TAG_INTERNAL => {
+                let k = r.u16()? as usize;
+                let mut boundaries = Vec::with_capacity(k);
+                for _ in 0..k {
+                    boundaries.push(r.i64()?);
+                }
+                let mut children = Vec::with_capacity(k + 1);
+                for _ in 0..=k {
+                    children.push(r.u32()?);
+                }
+                let left = TreeState::decode(&mut r)?;
+                let right = TreeState::decode(&mut r)?;
+                let mslab = TreeState::decode(&mut r)?;
+                let mut mslab_counts = Vec::with_capacity(mslab_count(k));
+                for _ in 0..mslab_count(k) {
+                    mslab_counts.push(r.u16()?);
+                }
+                Ok(ItNode::Internal(Box::new(InternalNode {
+                    boundaries,
+                    children,
+                    left,
+                    right,
+                    mslab,
+                    mslab_counts,
+                })))
+            }
+            _ => Err(PagerError::Corrupt("unknown interval node tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mslab_index_is_a_bijection() {
+        for k in 2..20usize {
+            let mut seen = vec![false; mslab_count(k)];
+            for a in 1..k {
+                for b in a..k {
+                    let i = mslab_index(k, a, b);
+                    assert!(!seen[i], "collision at k={k} ({a},{b})");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "holes at k={k}");
+        }
+    }
+
+    #[test]
+    fn fanout_fits_page() {
+        for page in [256usize, 512, 1024, 4096] {
+            let k = max_fanout(page);
+            assert!(internal_bytes(k) <= page, "page {page}");
+            assert!(internal_bytes(k + 1) > page);
+            assert!(k >= 2, "page {page} too small for an internal node");
+        }
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let n = ItNode::Leaf {
+            intervals: vec![Interval::new(1, 0, 5), Interval::new(2, -3, 3)],
+        };
+        let mut buf = vec![0u8; 256];
+        n.encode(&mut buf).unwrap();
+        assert_eq!(ItNode::decode(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let k = 3;
+        let n = ItNode::Internal(Box::new(InternalNode {
+            boundaries: vec![10, 20, 30],
+            children: vec![1, 2, 3, 4],
+            left: TreeState { root: 9, height: 1, len: 4 },
+            right: TreeState { root: 10, height: 0, len: 4 },
+            mslab: TreeState { root: 11, height: 0, len: 1 },
+            mslab_counts: vec![0; mslab_count(k)],
+        }));
+        let mut buf = vec![0u8; 256];
+        n.encode(&mut buf).unwrap();
+        assert_eq!(ItNode::decode(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let n = ItNode::Internal(Box::new(InternalNode {
+            boundaries: vec![10],
+            children: vec![1], // should be 2
+            left: TreeState { root: 0, height: 0, len: 0 },
+            right: TreeState { root: 0, height: 0, len: 0 },
+            mslab: TreeState { root: 0, height: 0, len: 0 },
+            mslab_counts: vec![],
+        }));
+        let mut buf = vec![0u8; 128];
+        assert!(n.encode(&mut buf).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Interval *overlap* queries: the `C(v)` / `Cᵢ` structures.
+//!
+//! A VS query hitting segments that lie **on** the base line reduces to:
+//! report all stored intervals `[lo, hi]` overlapping the query range
+//! `[qlo, qhi]`. Decomposition (disjoint, complete):
+//!
+//! 1. intervals containing `qlo` — a stabbing query on the interval tree;
+//! 2. intervals with left endpoint in `(qlo, qhi]` — a range scan on a
+//!    B⁺-tree over left endpoints.
+//!
+//! Both parts are output-sensitive, so the whole query costs
+//! `O(log_B n + t)` I/Os, the bound the paper cites for `C(v)` (§3).
+
+use crate::interval::{Interval, StartOrder};
+use crate::tree::{IntervalTree, IntervalTreeConfig, ItState};
+use segdb_bptree::{BPlusTree, TreeState};
+use segdb_pager::{ByteReader, ByteWriter, Pager, Result};
+
+/// Serializable identity of an [`IntervalSet`] (28 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalSetState {
+    /// The stabbing tree.
+    pub tree: ItState,
+    /// The start index.
+    pub starts: TreeState,
+}
+
+impl IntervalSetState {
+    /// Encoded size in bytes.
+    pub const ENCODED_SIZE: usize = ItState::ENCODED_SIZE + TreeState::ENCODED_SIZE;
+
+    /// Serialize.
+    pub fn encode(&self, w: &mut ByteWriter<'_>) -> Result<()> {
+        self.tree.encode(w)?;
+        self.starts.encode(w)
+    }
+
+    /// Deserialize.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(IntervalSetState {
+            tree: ItState::decode(r)?,
+            starts: TreeState::decode(r)?,
+        })
+    }
+}
+
+/// A dynamic set of closed intervals supporting stabbing *and* overlap
+/// queries, both output-sensitive.
+#[derive(Debug)]
+pub struct IntervalSet {
+    tree: IntervalTree,
+    starts: BPlusTree<Interval, StartOrder>,
+}
+
+impl IntervalSet {
+    /// Build from a collection.
+    pub fn build(pager: &Pager, cfg: IntervalTreeConfig, intervals: Vec<Interval>) -> Result<Self> {
+        let mut sorted = intervals.clone();
+        sorted.sort_by_key(|iv| (iv.lo, iv.id));
+        let starts = BPlusTree::bulk_load(pager, StartOrder, &sorted)?;
+        let tree = IntervalTree::build(pager, cfg, intervals)?;
+        Ok(IntervalSet { tree, starts })
+    }
+
+    /// Create empty.
+    pub fn new(pager: &Pager, cfg: IntervalTreeConfig) -> Result<Self> {
+        Self::build(pager, cfg, Vec::new())
+    }
+
+    /// Reconstruct from serialized state.
+    pub fn attach(pager: &Pager, cfg: IntervalTreeConfig, state: IntervalSetState) -> Result<Self> {
+        Ok(IntervalSet {
+            tree: IntervalTree::attach(pager, cfg, state.tree)?,
+            starts: BPlusTree::attach(pager, StartOrder, state.starts)?,
+        })
+    }
+
+    /// The serializable identity.
+    pub fn state(&self) -> IntervalSetState {
+        IntervalSetState {
+            tree: self.tree.state(),
+            starts: self.starts.state(),
+        }
+    }
+
+    /// Stored interval count.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Report all intervals containing `x`.
+    pub fn stab_into(&self, pager: &Pager, x: i64, out: &mut Vec<Interval>) -> Result<()> {
+        self.tree.stab_into(pager, x, out)
+    }
+
+    /// Report all intervals overlapping `[qlo, qhi]` (inclusive), with
+    /// optional open ends (`None` = ±∞) for ray and line queries.
+    pub fn overlap_into(
+        &self,
+        pager: &Pager,
+        qlo: Option<i64>,
+        qhi: Option<i64>,
+        out: &mut Vec<Interval>,
+    ) -> Result<()> {
+        match qlo {
+            Some(qlo) => {
+                // Part 1: stab the lower end.
+                self.tree.stab_into(pager, qlo, out)?;
+                // Part 2: starts strictly inside (qlo, qhi].
+                let mut cur = self.starts.lower_bound(pager, &move |r: &Interval| {
+                    // first interval with lo > qlo
+                    if qlo < r.lo {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                })?;
+                cur.for_each_while(
+                    pager,
+                    |r| qhi.is_none_or(|qhi| r.lo <= qhi),
+                    |r| out.push(r),
+                )?;
+            }
+            None => {
+                // No lower bound: every interval with lo ≤ qhi overlaps.
+                let mut cur = self.starts.cursor_first(pager)?;
+                cur.for_each_while(
+                    pager,
+                    |r| qhi.is_none_or(|qhi| r.lo <= qhi),
+                    |r| out.push(r),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect every stored interval (rebuild helper).
+    pub fn scan_all(&self, pager: &Pager) -> Result<Vec<Interval>> {
+        self.tree.scan_all(pager)
+    }
+
+    /// Insert an interval.
+    pub fn insert(&mut self, pager: &Pager, iv: Interval) -> Result<()> {
+        self.tree.insert(pager, iv)?;
+        self.starts.insert(pager, iv)?;
+        Ok(())
+    }
+
+    /// Remove an exact interval. Returns whether it was found.
+    pub fn remove(&mut self, pager: &Pager, iv: &Interval) -> Result<bool> {
+        let found = self.tree.remove(pager, iv)?;
+        if found {
+            self.starts.remove(pager, iv)?;
+        }
+        Ok(found)
+    }
+
+    /// Free all pages.
+    pub fn destroy(self, pager: &Pager) -> Result<()> {
+        self.tree.destroy(pager)?;
+        self.starts.destroy(pager)
+    }
+
+    /// Deep validation of both component structures and their agreement.
+    pub fn validate(&self, pager: &Pager) -> Result<()> {
+        self.tree.validate(pager)?;
+        self.starts.validate(pager)?;
+        if self.tree.len() != self.starts.len() {
+            return Err(segdb_pager::PagerError::Corrupt("interval set component length mismatch"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segdb_pager::PagerConfig;
+
+    fn pager() -> Pager {
+        Pager::new(PagerConfig { page_size: 256, cache_pages: 0 })
+    }
+
+    fn ivs(spec: &[(i64, i64)]) -> Vec<Interval> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(a, b))| Interval::new(i as u64, a, b))
+            .collect()
+    }
+
+    fn oracle_overlap(set: &[Interval], qlo: Option<i64>, qhi: Option<i64>) -> Vec<u64> {
+        let mut v: Vec<u64> = set
+            .iter()
+            .filter(|iv| qlo.is_none_or(|q| iv.hi >= q) && qhi.is_none_or(|q| iv.lo <= q))
+            .map(|iv| iv.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn sorted_ids(mut v: Vec<Interval>) -> Vec<u64> {
+        let mut ids: Vec<u64> = v.drain(..).map(|iv| iv.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn overlap_matches_oracle() {
+        let p = pager();
+        let intervals = ivs(&[(0, 10), (5, 6), (12, 20), (-5, -1), (6, 12), (30, 40)]);
+        let set = IntervalSet::build(&p, IntervalTreeConfig::default(), intervals.clone()).unwrap();
+        set.validate(&p).unwrap();
+        for (qlo, qhi) in [(Some(5), Some(13)), (Some(-10), Some(-6)), (None, Some(0)), (Some(21), None), (None, None), (Some(6), Some(6))] {
+            let mut out = Vec::new();
+            set.overlap_into(&p, qlo, qhi, &mut out).unwrap();
+            assert_eq!(sorted_ids(out), oracle_overlap(&intervals, qlo, qhi), "q=({qlo:?},{qhi:?})");
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let p = pager();
+        let mut set = IntervalSet::new(&p, IntervalTreeConfig::default()).unwrap();
+        let intervals = ivs(&[(0, 4), (2, 9), (8, 8), (-3, 1)]);
+        for &iv in &intervals {
+            set.insert(&p, iv).unwrap();
+        }
+        set.validate(&p).unwrap();
+        let mut out = Vec::new();
+        set.overlap_into(&p, Some(1), Some(2), &mut out).unwrap();
+        assert_eq!(sorted_ids(out), vec![0, 1, 3]);
+        assert!(set.remove(&p, &intervals[1]).unwrap());
+        assert!(!set.remove(&p, &intervals[1]).unwrap());
+        set.validate(&p).unwrap();
+        let mut out = Vec::new();
+        set.overlap_into(&p, Some(1), Some(2), &mut out).unwrap();
+        assert_eq!(sorted_ids(out), vec![0, 3]);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let p = pager();
+        let set = IntervalSet::build(&p, IntervalTreeConfig::default(), ivs(&[(0, 5), (3, 9)])).unwrap();
+        let st = set.state();
+        let mut buf = vec![0u8; IntervalSetState::ENCODED_SIZE];
+        st.encode(&mut ByteWriter::new(&mut buf)).unwrap();
+        let st2 = IntervalSetState::decode(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(st, st2);
+        let set2 = IntervalSet::attach(&p, IntervalTreeConfig::default(), st2).unwrap();
+        let mut out = Vec::new();
+        set2.stab_into(&p, 4, &mut out).unwrap();
+        assert_eq!(sorted_ids(out), vec![0, 1]);
+    }
+
+    #[test]
+    fn destroy_frees_pages() {
+        let p = pager();
+        let before = p.live_pages();
+        let set = IntervalSet::build(&p, IntervalTreeConfig::default(), ivs(&[(0, 100); 1]).to_vec()).unwrap();
+        set.destroy(&p).unwrap();
+        assert_eq!(p.live_pages(), before);
+    }
+}

@@ -1,0 +1,117 @@
+//! Model-based property tests for the external interval tree and the
+//! overlap set: arbitrary operation sequences against an in-memory
+//! model, on several page sizes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use segdb_itree::{Interval, IntervalSet, IntervalTree, IntervalTreeConfig};
+use segdb_pager::{Pager, PagerConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    RemoveIdx(usize),
+    Stab(i64),
+    Overlap(i64, i64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-500i64..500, 0i64..200).prop_map(|(a, l)| Op::Insert(a, a + l)),
+        (0usize..1000).prop_map(Op::RemoveIdx),
+        (-600i64..600).prop_map(Op::Stab),
+        (-600i64..600, 0i64..300).prop_map(|(a, l)| Op::Overlap(a, a + l)),
+    ]
+}
+
+fn sorted_ids(v: Vec<Interval>) -> Vec<u64> {
+    let mut ids: Vec<u64> = v.into_iter().map(|iv| iv.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interval_tree_behaves_like_model(
+        ops in vec(op(), 1..200),
+        page in prop_oneof![Just(256usize), Just(1024)],
+    ) {
+        let p = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+        let mut tree = IntervalTree::new(&p, IntervalTreeConfig::default()).unwrap();
+        let mut model: Vec<Interval> = Vec::new();
+        let mut next_id = 0u64;
+        for o in &ops {
+            match *o {
+                Op::Insert(a, b) => {
+                    let iv = Interval::new(next_id, a, b);
+                    next_id += 1;
+                    tree.insert(&p, iv).unwrap();
+                    model.push(iv);
+                }
+                Op::RemoveIdx(i) => {
+                    if !model.is_empty() {
+                        let iv = model.remove(i % model.len());
+                        prop_assert!(tree.remove(&p, &iv).unwrap());
+                        prop_assert!(!tree.remove(&p, &iv).unwrap());
+                    }
+                }
+                Op::Stab(x) => {
+                    let got = sorted_ids(tree.stab(&p, x).unwrap());
+                    let mut want: Vec<u64> =
+                        model.iter().filter(|iv| iv.contains(x)).map(|iv| iv.id).collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "stab {}", x);
+                }
+                Op::Overlap(_, _) => {}
+            }
+        }
+        tree.validate(&p).unwrap();
+        prop_assert_eq!(tree.len() as usize, model.len());
+    }
+
+    #[test]
+    fn interval_set_overlap_matches_model(ops in vec(op(), 1..150)) {
+        let p = Pager::new(PagerConfig { page_size: 512, cache_pages: 0 });
+        let mut set = IntervalSet::new(&p, IntervalTreeConfig::default()).unwrap();
+        let mut model: Vec<Interval> = Vec::new();
+        let mut next_id = 0u64;
+        for o in &ops {
+            match *o {
+                Op::Insert(a, b) => {
+                    let iv = Interval::new(next_id, a, b);
+                    next_id += 1;
+                    set.insert(&p, iv).unwrap();
+                    model.push(iv);
+                }
+                Op::RemoveIdx(i) => {
+                    if !model.is_empty() {
+                        let iv = model.remove(i % model.len());
+                        prop_assert!(set.remove(&p, &iv).unwrap());
+                    }
+                }
+                Op::Overlap(a, b) => {
+                    let mut got = Vec::new();
+                    set.overlap_into(&p, Some(a), Some(b), &mut got).unwrap();
+                    let mut want: Vec<u64> = model
+                        .iter()
+                        .filter(|iv| iv.overlaps(a, b))
+                        .map(|iv| iv.id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(sorted_ids(got), want, "overlap [{}, {}]", a, b);
+                }
+                Op::Stab(x) => {
+                    let mut got = Vec::new();
+                    set.stab_into(&p, x, &mut got).unwrap();
+                    let mut want: Vec<u64> =
+                        model.iter().filter(|iv| iv.contains(x)).map(|iv| iv.id).collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(sorted_ids(got), want);
+                }
+            }
+        }
+        set.validate(&p).unwrap();
+    }
+}

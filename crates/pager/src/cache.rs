@@ -1,0 +1,271 @@
+//! A strict-LRU buffer pool.
+//!
+//! With capacity 0 (the default) the pager bypasses the pool entirely and
+//! every access is a physical I/O — exactly the cost model the paper's
+//! bounds are stated in. Non-zero capacities are used by the buffer-pool
+//! ablation experiment (E9/E10 in DESIGN.md) to show how much of each
+//! structure's access pattern is re-use.
+//!
+//! The implementation is an intrusive doubly-linked list over an arena of
+//! entries plus a `HashMap` index: O(1) hit, O(1) eviction, no per-access
+//! allocation once warm.
+
+use crate::PageId;
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry {
+    page: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// Write-back LRU cache of page images.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    arena: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+/// A page evicted from the cache; `dirty` pages must be written back.
+#[derive(Debug)]
+pub struct Evicted {
+    /// Which page was evicted.
+    pub page: PageId,
+    /// Its (possibly modified) image.
+    pub data: Box<[u8]>,
+    /// Whether the image differs from the disk copy.
+    pub dirty: bool,
+}
+
+impl LruCache {
+    /// Create a cache holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            arena: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.arena[idx].prev, self.arena[idx].next);
+        if prev != NIL {
+            self.arena[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.arena[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.arena[idx].prev = NIL;
+        self.arena[idx].next = self.head;
+        if self.head != NIL {
+            self.arena[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Look up `page`, marking it most-recently-used. Returns its image.
+    pub fn get(&mut self, page: PageId) -> Option<&[u8]> {
+        let idx = *self.map.get(&page)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(&self.arena[idx].data)
+    }
+
+    /// Look up `page` for modification; marks it dirty and MRU.
+    pub fn get_mut(&mut self, page: PageId) -> Option<&mut [u8]> {
+        let idx = *self.map.get(&page)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        self.arena[idx].dirty = true;
+        Some(&mut self.arena[idx].data)
+    }
+
+    /// Insert a page image (clean unless `dirty`), evicting the LRU entry
+    /// if the pool is full. Returns the eviction victim, if any.
+    ///
+    /// # Panics
+    /// Panics if the page is already resident (callers always `get` first)
+    /// or if capacity is zero.
+    pub fn insert(&mut self, page: PageId, data: Box<[u8]>, dirty: bool) -> Option<Evicted> {
+        assert!(self.capacity > 0, "insert into zero-capacity cache");
+        assert!(!self.map.contains_key(&page), "page already cached");
+        let victim = if self.map.len() >= self.capacity {
+            let idx = self.tail;
+            let victim_page = self.arena[idx].page;
+            self.unlink(idx);
+            self.map.remove(&victim_page);
+            let data = std::mem::take(&mut self.arena[idx].data);
+            let dirty = self.arena[idx].dirty;
+            self.free.push(idx);
+            Some(Evicted {
+                page: victim_page,
+                data,
+                dirty,
+            })
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.arena[i] = Entry {
+                    page,
+                    data,
+                    dirty,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.arena.push(Entry {
+                    page,
+                    data,
+                    dirty,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.arena.len() - 1
+            }
+        };
+        self.map.insert(page, idx);
+        self.push_front(idx);
+        victim
+    }
+
+    /// Remove a page (used when the page is freed). Returns its image if it
+    /// was resident.
+    pub fn remove(&mut self, page: PageId) -> Option<Evicted> {
+        let idx = self.map.remove(&page)?;
+        self.unlink(idx);
+        let data = std::mem::take(&mut self.arena[idx].data);
+        let dirty = self.arena[idx].dirty;
+        self.free.push(idx);
+        Some(Evicted { page, data, dirty })
+    }
+
+    /// Drain every resident page (for flushing), LRU first.
+    pub fn drain(&mut self) -> Vec<Evicted> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.tail;
+        while idx != NIL {
+            let prev = self.arena[idx].prev;
+            let page = self.arena[idx].page;
+            let data = std::mem::take(&mut self.arena[idx].data);
+            out.push(Evicted {
+                page,
+                data,
+                dirty: self.arena[idx].dirty,
+            });
+            self.free.push(idx);
+            idx = prev;
+        }
+        self.map.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(b: u8) -> Box<[u8]> {
+        vec![b; 4].into_boxed_slice()
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert!(c.insert(1, img(1), false).is_none());
+        assert!(c.insert(2, img(2), false).is_none());
+        // touch 1 so 2 becomes LRU
+        assert_eq!(c.get(1).unwrap()[0], 1);
+        let ev = c.insert(3, img(3), false).unwrap();
+        assert_eq!(ev.page, 2);
+        assert!(!ev.dirty);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn get_mut_marks_dirty_and_eviction_reports_it() {
+        let mut c = LruCache::new(1);
+        c.insert(5, img(5), false);
+        c.get_mut(5).unwrap()[0] = 9;
+        let ev = c.insert(6, img(6), false).unwrap();
+        assert_eq!(ev.page, 5);
+        assert!(ev.dirty);
+        assert_eq!(ev.data[0], 9);
+    }
+
+    #[test]
+    fn remove_and_drain() {
+        let mut c = LruCache::new(3);
+        c.insert(1, img(1), false);
+        c.insert(2, img(2), true);
+        c.insert(3, img(3), false);
+        let r = c.remove(2).unwrap();
+        assert!(r.dirty);
+        assert!(c.remove(2).is_none());
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(c.is_empty());
+        // LRU-first drain order: 1 then 3
+        assert_eq!(drained[0].page, 1);
+        assert_eq!(drained[1].page, 3);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut c = LruCache::new(2);
+        for i in 0..20u32 {
+            c.insert(i, img(i as u8), false);
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.arena.len() <= 3, "arena must recycle slots");
+        assert_eq!(c.get(19).unwrap()[0], 19);
+        assert_eq!(c.get(18).unwrap()[0], 18);
+    }
+}

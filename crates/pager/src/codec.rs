@@ -1,0 +1,200 @@
+//! Bounds-checked little-endian page codecs.
+//!
+//! Every node type in the workspace serializes through these helpers, so a
+//! node image is a deterministic byte layout and "fits in one page" is a
+//! checked property, not an assumption.
+
+use crate::error::{PagerError, Result};
+
+/// Sequential reader over a page image.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Skip `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PagerError::CodecOverflow {
+                offset: self.pos,
+                requested: n,
+                available: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+}
+
+/// Sequential writer over a page image.
+#[derive(Debug)]
+pub struct ByteWriter<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> ByteWriter<'a> {
+    /// Write from the start of `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        ByteWriter { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Advance `n` bytes without writing (existing bytes are preserved —
+    /// for in-place page edits that only touch some fields).
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.slot(n).map(|_| ())
+    }
+
+    fn slot(&mut self, n: usize) -> Result<&mut [u8]> {
+        if self.remaining() < n {
+            return Err(PagerError::CodecOverflow {
+                offset: self.pos,
+                requested: n,
+                available: self.buf.len(),
+            });
+        }
+        let s = &mut self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Write a `u8`.
+    pub fn u8(&mut self, v: u8) -> Result<()> {
+        self.slot(1)?[0] = v;
+        Ok(())
+    }
+
+    /// Write a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> Result<()> {
+        self.slot(2)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> Result<()> {
+        self.slot(4)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> Result<()> {
+        self.slot(8)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Write a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) -> Result<()> {
+        self.u64(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut page = vec![0u8; 32];
+        {
+            let mut w = ByteWriter::new(&mut page);
+            w.u8(0xAB).unwrap();
+            w.u16(0xCDEF).unwrap();
+            w.u32(0xDEADBEEF).unwrap();
+            w.u64(0x0123_4567_89AB_CDEF).unwrap();
+            w.i64(-42).unwrap();
+            assert_eq!(w.position(), 1 + 2 + 4 + 8 + 8);
+        }
+        let mut r = ByteReader::new(&page);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0xCDEF);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.remaining(), 32 - 23);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_panicked() {
+        let mut page = vec![0u8; 3];
+        let mut w = ByteWriter::new(&mut page);
+        w.u16(1).unwrap();
+        let err = w.u32(2).unwrap_err();
+        assert!(matches!(err, PagerError::CodecOverflow { requested: 4, .. }));
+        let mut r = ByteReader::new(&page);
+        r.skip(2).unwrap();
+        assert!(r.u64().is_err());
+        assert!(r.u8().is_ok(), "failed read must not consume");
+    }
+
+    #[test]
+    fn skip_and_position() {
+        let page = [1u8, 2, 3, 4];
+        let mut r = ByteReader::new(&page);
+        r.skip(3).unwrap();
+        assert_eq!(r.position(), 3);
+        assert_eq!(r.u8().unwrap(), 4);
+        assert!(r.skip(1).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Storage devices: the raw page store beneath the [`crate::Pager`].
+//!
+//! Two implementations share the [`Device`] trait:
+//!
+//! * [`Disk`] — in-memory, the default: deterministic, noise-free I/O
+//!   counting (the paper's cost model);
+//! * [`crate::file_device::FileDevice`] — a single-file persistent store
+//!   with a header page, an on-page free-list chain and a user metadata
+//!   area (the superblock databases persist their root states into).
+//!
+//! Devices are deliberately dumb — all policy (caching, counting) lives
+//! in the pager.
+
+use crate::error::{PagerError, Result};
+use crate::PageId;
+
+/// A raw page store.
+pub trait Device {
+    /// Size of every page in bytes.
+    fn page_size(&self) -> usize;
+    /// Currently allocated pages.
+    fn live_pages(&self) -> usize;
+    /// High-water mark of the page space.
+    fn capacity_pages(&self) -> usize;
+    /// Allocate a zeroed page, recycling freed ids first.
+    fn allocate(&mut self) -> Result<PageId>;
+    /// Return a page to the free pool.
+    fn free(&mut self, id: PageId) -> Result<()>;
+    /// Read a live page into `buf` (exactly `page_size` bytes).
+    fn read(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
+    /// Overwrite a live page from `buf`.
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()>;
+    /// Validate that `id` is live without transferring data.
+    fn check(&self, id: PageId) -> Result<()>;
+    /// Durably persist all state (no-op for memory devices).
+    fn sync(&mut self) -> Result<()>;
+    /// Store an opaque metadata blob (the database superblock).
+    fn set_meta(&mut self, meta: &[u8]) -> Result<()>;
+    /// Fetch the metadata blob (empty if never set).
+    fn get_meta(&self) -> Result<Vec<u8>>;
+}
+
+/// Allocation state of one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Live,
+    Free,
+}
+
+/// In-memory stand-in for secondary storage.
+#[derive(Debug)]
+pub struct Disk {
+    page_size: usize,
+    /// Page images, indexed by `PageId`. Freed pages keep their slot (ids
+    /// are recycled through `free_list`) so dangling references are caught.
+    pages: Vec<Box<[u8]>>,
+    states: Vec<SlotState>,
+    free_list: Vec<PageId>,
+    meta: Vec<u8>,
+}
+
+impl Disk {
+    /// Create an empty disk producing pages of `page_size` bytes.
+    ///
+    /// # Panics
+    /// Panics if `page_size == 0`.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Disk {
+            page_size,
+            pages: Vec::new(),
+            states: Vec::new(),
+            free_list: Vec::new(),
+            meta: Vec::new(),
+        }
+    }
+
+    fn check(&self, id: PageId) -> Result<()> {
+        match self.states.get(id as usize) {
+            None => Err(PagerError::OutOfBounds(id)),
+            Some(SlotState::Free) => Err(PagerError::Freed(id)),
+            Some(SlotState::Live) => Ok(()),
+        }
+    }
+
+    /// Immutable view of a live page image (tests).
+    pub fn page(&self, id: PageId) -> Result<&[u8]> {
+        self.check(id)?;
+        Ok(&self.pages[id as usize])
+    }
+
+    /// Mutable view of a live page image (tests).
+    pub fn page_mut(&mut self, id: PageId) -> Result<&mut [u8]> {
+        self.check(id)?;
+        Ok(&mut self.pages[id as usize])
+    }
+}
+
+impl Device for Disk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn check(&self, id: PageId) -> Result<()> {
+        Disk::check(self, id)
+    }
+
+    fn live_pages(&self) -> usize {
+        self.pages.len() - self.free_list.len()
+    }
+
+    fn capacity_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn allocate(&mut self) -> Result<PageId> {
+        if let Some(id) = self.free_list.pop() {
+            let slot = &mut self.pages[id as usize];
+            slot.iter_mut().for_each(|b| *b = 0);
+            self.states[id as usize] = SlotState::Live;
+            return Ok(id);
+        }
+        let id = self.pages.len() as PageId;
+        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.states.push(SlotState::Live);
+        Ok(id)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        self.check(id)?;
+        self.states[id as usize] = SlotState::Free;
+        self.free_list.push(id);
+        Ok(())
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.check(id)?;
+        buf.copy_from_slice(&self.pages[id as usize]);
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        self.check(id)?;
+        self.pages[id as usize].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn set_meta(&mut self, meta: &[u8]) -> Result<()> {
+        self.meta = meta.to_vec();
+        Ok(())
+    }
+
+    fn get_meta(&self) -> Result<Vec<u8>> {
+        Ok(self.meta.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_zeroes_and_recycles() {
+        let mut d = Disk::new(8);
+        let a = d.allocate().unwrap();
+        let b = d.allocate().unwrap();
+        assert_ne!(a, b);
+        d.page_mut(a).unwrap()[3] = 9;
+        d.free(a).unwrap();
+        assert_eq!(d.live_pages(), 1);
+        let c = d.allocate().unwrap();
+        assert_eq!(c, a, "freed id is recycled");
+        assert!(d.page(c).unwrap().iter().all(|&b| b == 0), "recycled page is zeroed");
+        assert_eq!(d.capacity_pages(), 2);
+    }
+
+    #[test]
+    fn access_errors() {
+        let mut d = Disk::new(4);
+        assert_eq!(d.page(0).unwrap_err(), PagerError::OutOfBounds(0));
+        let a = d.allocate().unwrap();
+        d.free(a).unwrap();
+        assert_eq!(d.page(a).unwrap_err(), PagerError::Freed(a));
+        assert_eq!(d.free(a).unwrap_err(), PagerError::Freed(a));
+        assert_eq!(d.page_mut(99).unwrap_err(), PagerError::OutOfBounds(99));
+        let mut buf = [0u8; 4];
+        assert!(d.read(a, &mut buf).is_err());
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let mut d = Disk::new(16);
+        assert!(d.get_meta().unwrap().is_empty());
+        d.set_meta(b"hello").unwrap();
+        assert_eq!(d.get_meta().unwrap(), b"hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn zero_page_size_panics() {
+        let _ = Disk::new(0);
+    }
+}

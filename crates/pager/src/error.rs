@@ -1,0 +1,96 @@
+//! Error type shared by all paged structures.
+
+use crate::PageId;
+use std::fmt;
+
+/// Errors surfaced by the pager and by node codecs built on top of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PagerError {
+    /// The page id has never been allocated (or lies past the end of the
+    /// disk image).
+    OutOfBounds(PageId),
+    /// The page id was allocated and later freed.
+    Freed(PageId),
+    /// A codec read/write ran past the end of the page.
+    CodecOverflow {
+        /// Byte offset at which the access started.
+        offset: usize,
+        /// Bytes the access needed.
+        requested: usize,
+        /// Bytes available in the page.
+        available: usize,
+    },
+    /// A serialized node failed structural validation while decoding.
+    Corrupt(&'static str),
+    /// An operating-system I/O failure from a persistent device.
+    Io(String),
+    /// A structure-level capacity invariant would be violated (e.g. a node
+    /// asked to hold more records than fit in one page).
+    PageOverflow {
+        /// Human-readable description of the structure that overflowed.
+        what: &'static str,
+        /// Records requested.
+        requested: usize,
+        /// Records that fit.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for PagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PagerError::OutOfBounds(id) => write!(f, "page {id} was never allocated"),
+            PagerError::Freed(id) => write!(f, "page {id} has been freed"),
+            PagerError::CodecOverflow {
+                offset,
+                requested,
+                available,
+            } => write!(
+                f,
+                "codec access of {requested} bytes at offset {offset} exceeds page size {available}"
+            ),
+            PagerError::Corrupt(what) => write!(f, "corrupt page image: {what}"),
+            PagerError::Io(e) => write!(f, "device I/O error: {e}"),
+            PagerError::PageOverflow {
+                what,
+                requested,
+                capacity,
+            } => write!(f, "{what}: {requested} records exceed page capacity {capacity}"),
+        }
+    }
+}
+
+impl std::error::Error for PagerError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, PagerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PagerError::OutOfBounds(7);
+        assert!(e.to_string().contains('7'));
+        let e = PagerError::CodecOverflow {
+            offset: 10,
+            requested: 8,
+            available: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('8') && s.contains("16"));
+        let e = PagerError::PageOverflow {
+            what: "pst node",
+            requested: 99,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("pst node"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(PagerError::Freed(3), PagerError::Freed(3));
+        assert_ne!(PagerError::Freed(3), PagerError::OutOfBounds(3));
+    }
+}

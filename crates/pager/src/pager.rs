@@ -1,0 +1,416 @@
+//! The [`Pager`]: counted, optionally cached access to the simulated disk.
+//!
+//! Design notes:
+//!
+//! * All methods take `&self`. Queries over an index must be expressible
+//!   through a shared reference while still counting I/O and updating the
+//!   LRU, so the disk, cache and counters live behind `RefCell`s.
+//! * Page closures receive a *copy* of the page in a pooled scratch buffer,
+//!   taken after all internal borrows are released. This makes the API
+//!   fully re-entrant: tree traversals may read a child page from inside a
+//!   parent-page closure without tripping `RefCell` at runtime. One memcpy
+//!   per logical I/O is a fair price in a simulator whose figure of merit
+//!   is the I/O *count*.
+//! * Three access verbs mirror the external-memory cost model:
+//!   [`Pager::with_page`] (1 read), [`Pager::with_page_mut`]
+//!   (read-modify-write: 1 read + 1 write), and [`Pager::overwrite_page`]
+//!   (blind write of a freshly built node image: 1 write, no read).
+
+use crate::cache::LruCache;
+use crate::device::{Device, Disk};
+use crate::error::Result;
+use crate::stats::{Counters, IoStats};
+use crate::PageId;
+use std::cell::RefCell;
+
+/// Construction parameters for a [`Pager`].
+#[derive(Debug, Clone, Copy)]
+pub struct PagerConfig {
+    /// Bytes per page (block).
+    pub page_size: usize,
+    /// Buffer-pool capacity in pages. `0` disables caching, making every
+    /// access a physical I/O — the paper's pure cost model.
+    pub cache_pages: usize,
+}
+
+impl Default for PagerConfig {
+    fn default() -> Self {
+        PagerConfig {
+            page_size: 4096,
+            cache_pages: 0,
+        }
+    }
+}
+
+/// Counted, optionally cached page-access layer. See module docs.
+pub struct Pager {
+    device: RefCell<Box<dyn Device>>,
+    cache: RefCell<LruCache>,
+    counters: Counters,
+    scratch: RefCell<Vec<Box<[u8]>>>,
+    page_size: usize,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("page_size", &self.page_size)
+            .field("live_pages", &self.live_pages())
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Create a pager over a fresh in-memory disk.
+    pub fn new(config: PagerConfig) -> Self {
+        Self::with_device(Box::new(Disk::new(config.page_size)), config.cache_pages)
+    }
+
+    /// Create a pager over any [`Device`] — e.g. a persistent
+    /// [`crate::file_device::FileDevice`].
+    pub fn with_device(device: Box<dyn Device>, cache_pages: usize) -> Self {
+        let page_size = device.page_size();
+        Pager {
+            device: RefCell::new(device),
+            cache: RefCell::new(LruCache::new(cache_pages)),
+            counters: Counters::default(),
+            scratch: RefCell::new(Vec::new()),
+            page_size,
+        }
+    }
+
+    /// Store the database superblock blob on the device.
+    pub fn set_meta(&self, meta: &[u8]) -> Result<()> {
+        self.device.borrow_mut().set_meta(meta)
+    }
+
+    /// Fetch the database superblock blob.
+    pub fn get_meta(&self) -> Result<Vec<u8>> {
+        self.device.borrow().get_meta()
+    }
+
+    /// Flush the buffer pool and durably sync the device.
+    pub fn sync(&self) -> Result<()> {
+        self.flush()?;
+        self.device.borrow_mut().sync()
+    }
+
+    /// Bytes per page.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Snapshot of I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.counters.snapshot()
+    }
+
+    /// Zero all I/O counters (space counters included).
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+    }
+
+    /// Pages currently allocated on the disk (live, cache included).
+    pub fn live_pages(&self) -> usize {
+        self.device.borrow().live_pages()
+    }
+
+    /// High-water mark of the disk image in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.device.borrow().capacity_pages()
+    }
+
+    fn take_scratch(&self) -> Box<[u8]> {
+        self.scratch
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| vec![0u8; self.page_size].into_boxed_slice())
+    }
+
+    fn return_scratch(&self, buf: Box<[u8]>) {
+        let mut pool = self.scratch.borrow_mut();
+        if pool.len() < 64 {
+            pool.push(buf);
+        }
+    }
+
+    /// Allocate a zeroed page. Counts one allocation (not a write; the
+    /// caller will `overwrite_page` it with real content).
+    pub fn allocate(&self) -> Result<PageId> {
+        let id = self.device.borrow_mut().allocate()?;
+        self.counters.record_alloc();
+        Ok(id)
+    }
+
+    /// Free a page, dropping any cached copy.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        self.cache.borrow_mut().remove(id);
+        self.device.borrow_mut().free(id)?;
+        self.counters.record_free();
+        Ok(())
+    }
+
+    /// Fetch the current image of `id` into `buf`, going through the cache.
+    /// Counts a read on miss, a hit otherwise.
+    fn fetch(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        {
+            let mut cache = self.cache.borrow_mut();
+            if cache.capacity() > 0 {
+                if let Some(img) = cache.get(id) {
+                    buf.copy_from_slice(img);
+                    self.counters.record_hit();
+                    return Ok(());
+                }
+            }
+        }
+        self.device.borrow().read(id, buf)?;
+        self.counters.record_read();
+        self.admit(id, buf, false)?;
+        Ok(())
+    }
+
+    /// Insert an image into the cache (if enabled), writing back the victim.
+    fn admit(&self, id: PageId, img: &[u8], dirty: bool) -> Result<()> {
+        let victim = {
+            let mut cache = self.cache.borrow_mut();
+            if cache.capacity() == 0 {
+                return Ok(());
+            }
+            debug_assert!(cache.get(id).is_none());
+            cache.insert(id, img.to_vec().into_boxed_slice(), dirty)
+        };
+        if let Some(ev) = victim {
+            if ev.dirty {
+                self.device.borrow_mut().write(ev.page, &ev.data)?;
+                self.counters.record_write();
+            }
+        }
+        Ok(())
+    }
+
+    /// Store a modified image, through the cache when enabled.
+    fn store(&self, id: PageId, img: &[u8]) -> Result<()> {
+        {
+            let mut cache = self.cache.borrow_mut();
+            if cache.capacity() > 0 {
+                if let Some(slot) = cache.get_mut(id) {
+                    slot.copy_from_slice(img);
+                    return Ok(()); // write deferred to eviction/flush
+                }
+            }
+        }
+        if self.cache.borrow().capacity() > 0 {
+            // Not resident: admit dirty without a disk write yet.
+            // Validate the id first so dangling writes still error.
+            self.device.borrow().check(id)?;
+            return self.admit(id, img, true);
+        }
+        self.device.borrow_mut().write(id, img)?;
+        self.counters.record_write();
+        Ok(())
+    }
+
+    /// Read page `id` and run `f` on its bytes. Counts 1 read (or a cache
+    /// hit). Re-entrant: `f` may call back into the pager.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mut buf = self.take_scratch();
+        let res = self.fetch(id, &mut buf).map(|()| f(&buf));
+        self.return_scratch(buf);
+        res
+    }
+
+    /// Read-modify-write page `id`. Counts 1 read + 1 write in uncached
+    /// mode; with a cache, the write is deferred to eviction or flush.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut buf = self.take_scratch();
+        let res = (|| {
+            self.fetch(id, &mut buf)?;
+            let r = f(&mut buf);
+            self.store(id, &buf)?;
+            Ok(r)
+        })();
+        self.return_scratch(buf);
+        res
+    }
+
+    /// Overwrite page `id` with a freshly built image: `f` receives a
+    /// zeroed buffer and must fill it. Counts 1 write and **no read** —
+    /// this is how builders emit nodes.
+    pub fn overwrite_page<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut buf = self.take_scratch();
+        buf.iter_mut().for_each(|b| *b = 0);
+        let res = (|| {
+            let r = f(&mut buf);
+            // Validate the id even when the cache would absorb the store.
+            self.device.borrow().check(id)?;
+            {
+                let mut cache = self.cache.borrow_mut();
+                if cache.capacity() > 0 {
+                    if let Some(slot) = cache.get_mut(id) {
+                        slot.copy_from_slice(&buf);
+                        return Ok(r);
+                    }
+                }
+            }
+            if self.cache.borrow().capacity() > 0 {
+                self.admit(id, &buf, true)?;
+            } else {
+                self.device.borrow_mut().write(id, &buf)?;
+                self.counters.record_write();
+            }
+            Ok(r)
+        })();
+        self.return_scratch(buf);
+        res
+    }
+
+    /// Write every dirty cached page back to disk (counting the writes) and
+    /// empty the pool.
+    pub fn flush(&self) -> Result<()> {
+        let evicted = self.cache.borrow_mut().drain();
+        for ev in evicted {
+            if ev.dirty {
+                self.device.borrow_mut().write(ev.page, &ev.data)?;
+                self.counters.record_write();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PagerError;
+
+    fn uncached() -> Pager {
+        Pager::new(PagerConfig {
+            page_size: 16,
+            cache_pages: 0,
+        })
+    }
+
+    #[test]
+    fn uncached_counts_every_access() {
+        let p = uncached();
+        let id = p.allocate().unwrap();
+        p.overwrite_page(id, |b| b[0] = 1).unwrap();
+        p.with_page(id, |b| assert_eq!(b[0], 1)).unwrap();
+        p.with_page_mut(id, |b| b[1] = 2).unwrap();
+        p.with_page(id, |b| assert_eq!((b[0], b[1]), (1, 2))).unwrap();
+        let s = p.stats();
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.writes, 2); // overwrite + modify
+        assert_eq!(s.reads, 3); // read + modify-read + read
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn overwrite_sees_zeroed_buffer() {
+        let p = uncached();
+        let id = p.allocate().unwrap();
+        p.overwrite_page(id, |b| b.fill(7)).unwrap();
+        p.overwrite_page(id, |b| {
+            assert!(b.iter().all(|&x| x == 0), "overwrite must start zeroed");
+            b[0] = 9;
+        })
+        .unwrap();
+        p.with_page(id, |b| {
+            assert_eq!(b[0], 9);
+            assert!(b[1..].iter().all(|&x| x == 0));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reentrant_access_is_allowed() {
+        let p = uncached();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.overwrite_page(b, |buf| buf[0] = 42).unwrap();
+        let v = p
+            .with_page(a, |_outer| p.with_page(b, |inner| inner[0]).unwrap())
+            .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn cache_hits_and_writeback() {
+        let p = Pager::new(PagerConfig {
+            page_size: 8,
+            cache_pages: 1,
+        });
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.overwrite_page(a, |buf| buf[0] = 1).unwrap(); // dirty in cache, no write yet
+        assert_eq!(p.stats().writes, 0);
+        p.with_page(a, |_| ()).unwrap(); // hit
+        assert_eq!(p.stats().cache_hits, 1);
+        p.with_page(b, |_| ()).unwrap(); // miss: evicts dirty a => 1 write, 1 read
+        let s = p.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        // a's content survived the round trip
+        p.flush().unwrap();
+        p.with_page(a, |buf| assert_eq!(buf[0], 1)).unwrap();
+    }
+
+    #[test]
+    fn flush_writes_dirty_pages() {
+        let p = Pager::new(PagerConfig {
+            page_size: 8,
+            cache_pages: 4,
+        });
+        let ids: Vec<_> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.overwrite_page(id, |b| b[0] = i as u8 + 1).unwrap();
+        }
+        assert_eq!(p.stats().writes, 0);
+        p.flush().unwrap();
+        assert_eq!(p.stats().writes, 3);
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page(id, |b| assert_eq!(b[0], i as u8 + 1)).unwrap();
+        }
+    }
+
+    #[test]
+    fn free_removes_cached_copy_and_errors_after() {
+        let p = Pager::new(PagerConfig {
+            page_size: 8,
+            cache_pages: 2,
+        });
+        let id = p.allocate().unwrap();
+        p.overwrite_page(id, |b| b[0] = 5).unwrap();
+        p.free(id).unwrap();
+        assert_eq!(p.with_page(id, |_| ()).unwrap_err(), PagerError::Freed(id));
+        assert_eq!(p.stats().frees, 1);
+        // recycled page must not leak the old cached image
+        let id2 = p.allocate().unwrap();
+        assert_eq!(id2, id);
+        p.with_page(id2, |b| assert!(b.iter().all(|&x| x == 0)))
+            .unwrap();
+    }
+
+    #[test]
+    fn modify_through_cache_defers_write() {
+        let p = Pager::new(PagerConfig {
+            page_size: 8,
+            cache_pages: 2,
+        });
+        let id = p.allocate().unwrap();
+        p.overwrite_page(id, |b| b[0] = 1).unwrap();
+        p.with_page_mut(id, |b| b[0] += 1).unwrap();
+        assert_eq!(p.stats().writes, 0, "writes deferred while cached");
+        p.flush().unwrap();
+        assert_eq!(p.stats().writes, 1, "coalesced into one write");
+        p.with_page(id, |b| assert_eq!(b[0], 2)).unwrap();
+    }
+
+    #[test]
+    fn store_to_unallocated_page_errors() {
+        let p = uncached();
+        assert!(p.with_page_mut(3, |_| ()).is_err());
+        assert!(p.overwrite_page(3, |_| ()).is_err());
+    }
+}

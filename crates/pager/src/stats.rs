@@ -1,0 +1,206 @@
+//! I/O accounting.
+//!
+//! Every complexity claim in the paper is a statement about the number of
+//! block transfers, so the counters here are the primary measurement
+//! instrument of the whole reproduction. Counters use [`Cell`]s: the pager
+//! is a single-threaded simulation and queries must be countable through a
+//! shared reference.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Snapshot of I/O activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Physical page reads (cache hits are *not* reads).
+    pub reads: u64,
+    /// Physical page writes.
+    pub writes: u64,
+    /// Pages newly allocated (an allocation is also counted as a write of
+    /// the zeroed page image when it is first materialized by the caller,
+    /// not here).
+    pub allocations: u64,
+    /// Pages returned to the free list.
+    pub frees: u64,
+    /// Reads satisfied by the buffer pool without touching the disk.
+    pub cache_hits: u64,
+}
+
+impl IoStats {
+    /// Total physical transfers — the paper's "I/O operations".
+    #[inline]
+    pub fn total_io(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Pages currently attributable to the structure (allocs − frees).
+    #[inline]
+    pub fn live_pages(&self) -> i64 {
+        self.allocations as i64 - self.frees as i64
+    }
+}
+
+impl Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            allocations: self.allocations + rhs.allocations,
+            frees: self.frees + rhs.frees,
+            cache_hits: self.cache_hits + rhs.cache_hits,
+        }
+    }
+}
+
+impl Sub for IoStats {
+    type Output = IoStats;
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+            allocations: self.allocations - rhs.allocations,
+            frees: self.frees - rhs.frees,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} allocs={} frees={} hits={}",
+            self.reads, self.writes, self.allocations, self.frees, self.cache_hits
+        )
+    }
+}
+
+/// Interior-mutable counter bank owned by the pager.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    allocations: Cell<u64>,
+    frees: Cell<u64>,
+    cache_hits: Cell<u64>,
+}
+
+impl Counters {
+    #[inline]
+    pub fn record_read(&self) {
+        self.reads.set(self.reads.get() + 1);
+    }
+    #[inline]
+    pub fn record_write(&self) {
+        self.writes.set(self.writes.get() + 1);
+    }
+    #[inline]
+    pub fn record_alloc(&self) {
+        self.allocations.set(self.allocations.get() + 1);
+    }
+    #[inline]
+    pub fn record_free(&self) {
+        self.frees.set(self.frees.get() + 1);
+    }
+    #[inline]
+    pub fn record_hit(&self) {
+        self.cache_hits.set(self.cache_hits.get() + 1);
+    }
+
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            allocations: self.allocations.get(),
+            frees: self.frees.get(),
+            cache_hits: self.cache_hits.get(),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+        self.allocations.set(0);
+        self.frees.set(0);
+        self.cache_hits.set(0);
+    }
+}
+
+/// Measures the I/O performed between construction and [`StatScope::finish`].
+///
+/// ```
+/// use segdb_pager::{Pager, PagerConfig, StatScope};
+/// let pager = Pager::new(PagerConfig::default());
+/// let id = pager.allocate().unwrap();
+/// let scope = StatScope::begin(&pager);
+/// pager.with_page(id, |_| ()).unwrap();
+/// let delta = scope.finish();
+/// assert_eq!(delta.reads, 1);
+/// ```
+#[must_use = "a StatScope measures nothing unless finished"]
+pub struct StatScope<'p> {
+    pager: &'p crate::Pager,
+    start: IoStats,
+}
+
+impl<'p> StatScope<'p> {
+    /// Start measuring on `pager`.
+    pub fn begin(pager: &'p crate::Pager) -> Self {
+        StatScope {
+            pager,
+            start: pager.stats(),
+        }
+    }
+
+    /// Stop measuring and return the I/O performed inside the scope.
+    pub fn finish(self) -> IoStats {
+        self.pager.stats() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = IoStats {
+            reads: 5,
+            writes: 3,
+            allocations: 2,
+            frees: 1,
+            cache_hits: 7,
+        };
+        let b = IoStats {
+            reads: 1,
+            writes: 1,
+            allocations: 1,
+            frees: 0,
+            cache_hits: 2,
+        };
+        assert_eq!((a + b) - b, a);
+        assert_eq!((a + b).total_io(), 10);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::default();
+        c.record_read();
+        c.record_read();
+        c.record_write();
+        c.record_alloc();
+        c.record_free();
+        c.record_hit();
+        let s = c.snapshot();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.live_pages(), 0);
+        c.reset();
+        assert_eq!(c.snapshot(), IoStats::default());
+    }
+}

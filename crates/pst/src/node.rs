@@ -1,0 +1,237 @@
+//! PST node layout.
+//!
+//! ```text
+//! [count: u16][nchildren: u16]
+//! [segments: count × 40]                     (base order)
+//! [children: nchildren × (router: 40, page: u32, size: u64)]
+//! [seps: (nchildren − 1) × 40]
+//! ```
+//!
+//! * `segments` — the subtree's `count` farthest-reaching segments.
+//! * `router` of child `i` — copy of subtree `i`'s farthest-reaching
+//!   segment (the paper's `v.left` / `v.right`, generalized to fanout
+//!   `F`); updated when insertions push a new maximum into the subtree —
+//!   it drives the *priority prune*.
+//! * `seps` — **static separator witnesses**: `sep[i]` is a copy of the
+//!   base-order-smallest segment of subtree `i+1` *at build time*.
+//!   Invariant, preserved forever by routing insertions with the same
+//!   comparisons: `subtree i < sep[i] ≤ subtree i+1` in base order. They
+//!   drive the *sandwich prune*; being static, their reach keys never
+//!   drift, which is what keeps the prune sound under insertions (see
+//!   crate docs).
+//!
+//! A node with `nchildren = 0` is a leaf.
+
+use segdb_geom::{Point, Segment};
+use segdb_pager::{ByteReader, ByteWriter, PageId, PagerError, Result};
+
+/// Encoded size of one segment record.
+pub const SEG_BYTES: usize = 8 + 4 * 8;
+/// Encoded size of one child entry (router + page + size).
+pub const CHILD_BYTES: usize = SEG_BYTES + 4 + 8;
+/// Node header bytes.
+pub const HEADER_BYTES: usize = 4;
+
+/// Serialize a segment into a node page.
+pub fn encode_segment(s: &Segment, w: &mut ByteWriter<'_>) -> Result<()> {
+    w.u64(s.id)?;
+    w.i64(s.a.x)?;
+    w.i64(s.a.y)?;
+    w.i64(s.b.x)?;
+    w.i64(s.b.y)
+}
+
+/// Deserialize a segment from a node page.
+pub fn decode_segment(r: &mut ByteReader<'_>) -> Result<Segment> {
+    let id = r.u64()?;
+    let a = Point::new(r.i64()?, r.i64()?);
+    let b = Point::new(r.i64()?, r.i64()?);
+    Segment::new(id, a, b).map_err(|_| PagerError::Corrupt("invalid segment in PST node"))
+}
+
+/// One child edge of a PST node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChildEntry {
+    /// Copy of the child subtree's farthest-reaching segment.
+    pub router: Segment,
+    /// Child page.
+    pub page: PageId,
+    /// Number of segments stored in the child's subtree.
+    pub size: u64,
+}
+
+/// Decoded PST node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PstNode {
+    /// The subtree's `count` farthest-reaching segments, in base order.
+    pub segments: Vec<Segment>,
+    /// Children, in base-range order.
+    pub children: Vec<ChildEntry>,
+    /// Static separator witnesses (`children.len().saturating_sub(1)`).
+    pub seps: Vec<Segment>,
+}
+
+impl PstNode {
+    /// True when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Total segments in the subtree rooted here.
+    pub fn subtree_size(&self) -> u64 {
+        self.segments.len() as u64 + self.children.iter().map(|c| c.size).sum::<u64>()
+    }
+
+    /// Serialize into a zeroed page image.
+    pub fn encode(&self, buf: &mut [u8]) -> Result<()> {
+        if !self.children.is_empty() && self.seps.len() != self.children.len() - 1 {
+            return Err(PagerError::Corrupt("pst sep/child arity"));
+        }
+        let mut w = ByteWriter::new(buf);
+        w.u16(self.segments.len() as u16)?;
+        w.u16(self.children.len() as u16)?;
+        for s in &self.segments {
+            encode_segment(s, &mut w)?;
+        }
+        for c in &self.children {
+            encode_segment(&c.router, &mut w)?;
+            w.u32(c.page)?;
+            w.u64(c.size)?;
+        }
+        for s in &self.seps {
+            encode_segment(s, &mut w)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a page image.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(buf);
+        let count = r.u16()? as usize;
+        let nchildren = r.u16()? as usize;
+        let mut segments = Vec::with_capacity(count);
+        for _ in 0..count {
+            segments.push(decode_segment(&mut r)?);
+        }
+        let mut children = Vec::with_capacity(nchildren);
+        for _ in 0..nchildren {
+            let router = decode_segment(&mut r)?;
+            let page = r.u32()?;
+            let size = r.u64()?;
+            children.push(ChildEntry { router, page, size });
+        }
+        let nseps = nchildren.saturating_sub(1);
+        let mut seps = Vec::with_capacity(nseps);
+        for _ in 0..nseps {
+            seps.push(decode_segment(&mut r)?);
+        }
+        Ok(PstNode { segments, children, seps })
+    }
+}
+
+/// Default capacities for a page size: `(seg_cap, fanout_max)`, splitting
+/// the page budget evenly between stored segments and routing machinery
+/// (each child beyond the first costs a child entry plus a separator).
+pub fn default_caps(page_size: usize) -> (usize, usize) {
+    let budget = page_size.saturating_sub(HEADER_BYTES);
+    let fanout = (budget / (2 * (CHILD_BYTES + SEG_BYTES))).max(2);
+    let routing = fanout * CHILD_BYTES + (fanout - 1) * SEG_BYTES;
+    let seg_cap = budget.saturating_sub(routing) / SEG_BYTES;
+    (seg_cap.max(1), fanout)
+}
+
+/// Segment capacity when the fanout is fixed (2 = the paper's binary
+/// tree): all remaining space stores segments.
+pub fn seg_cap_for_fanout(page_size: usize, fanout: usize) -> usize {
+    let routing = fanout * CHILD_BYTES + fanout.saturating_sub(1) * SEG_BYTES;
+    let budget = page_size.saturating_sub(HEADER_BYTES).saturating_sub(routing);
+    (budget / SEG_BYTES).max(1)
+}
+
+/// Bytes needed by a node with the given shape (for capacity checks).
+pub fn node_bytes(seg_count: usize, nchildren: usize) -> usize {
+    HEADER_BYTES
+        + seg_count * SEG_BYTES
+        + nchildren * CHILD_BYTES
+        + nchildren.saturating_sub(1) * SEG_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(id: u64) -> Segment {
+        Segment::new(id, (0, id as i64), (10 + id as i64, id as i64)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = PstNode {
+            segments: vec![seg(1), seg(2), seg(3)],
+            children: vec![
+                ChildEntry { router: seg(4), page: 9, size: 17 },
+                ChildEntry { router: seg(5), page: 11, size: 20 },
+            ],
+            seps: vec![seg(6)],
+        };
+        let mut buf = vec![0u8; 512];
+        n.encode(&mut buf).unwrap();
+        let d = PstNode::decode(&buf).unwrap();
+        assert_eq!(d, n);
+        assert!(!d.is_leaf());
+        assert_eq!(d.subtree_size(), 3 + 17 + 20);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let n = PstNode {
+            segments: vec![seg(1)],
+            children: vec![],
+            seps: vec![],
+        };
+        let mut buf = vec![0u8; 128];
+        n.encode(&mut buf).unwrap();
+        assert_eq!(PstNode::decode(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn caps_fit_page() {
+        for page in [256usize, 512, 1024, 4096] {
+            let (cap, fan) = default_caps(page);
+            assert!(node_bytes(cap, fan) <= page, "page {page}: {}", node_bytes(cap, fan));
+            assert!(fan >= 2);
+            let bcap = seg_cap_for_fanout(page, 2);
+            assert!(node_bytes(bcap, 2) <= page);
+            assert!(bcap >= cap, "binary nodes hold more segments");
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let n = PstNode {
+            segments: vec![],
+            children: vec![
+                ChildEntry { router: seg(4), page: 9, size: 1 },
+                ChildEntry { router: seg(5), page: 10, size: 1 },
+            ],
+            seps: vec![], // should be 1
+        };
+        let mut buf = vec![0u8; 256];
+        assert!(n.encode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn corrupt_segment_rejected() {
+        let mut buf = vec![0u8; 128];
+        {
+            let mut w = ByteWriter::new(&mut buf);
+            w.u16(1).unwrap();
+            w.u16(0).unwrap();
+            w.u64(7).unwrap();
+            for _ in 0..4 {
+                w.i64(5).unwrap();
+            }
+        }
+        assert!(PstNode::decode(&buf).is_err());
+    }
+}

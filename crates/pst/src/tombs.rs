@@ -1,0 +1,122 @@
+//! Tombstone chains: lazily-deleted segment ids.
+//!
+//! Deletion from a priority search tree is awkward to do in place (the
+//! displaced-heap shape has no stable search path once insertions have
+//! run), so deletions append the victim's id to an external page chain;
+//! queries filter against the loaded set and the owner rebuilds the tree
+//! when tombstones reach half the live count — the standard lazy-deletion
+//! amortization, compatible with the paper's amortized update bounds.
+
+use segdb_pager::{ByteReader, ByteWriter, PageId, Pager, Result, NULL_PAGE};
+
+/// Page layout: `[count: u16][next: u32][ids: count × u64]`.
+const HEADER: usize = 6;
+
+fn page_cap(page_size: usize) -> usize {
+    (page_size - HEADER) / 8
+}
+
+/// Append `id` to the chain headed at `head`, returning the new head.
+pub fn push(pager: &Pager, head: PageId, id: u64) -> Result<PageId> {
+    if head != NULL_PAGE {
+        // Try the head page first.
+        let appended = pager.with_page_mut(head, |buf| {
+            let cap = page_cap(buf.len());
+            let mut r = ByteReader::new(buf);
+            let count = r.u16()? as usize;
+            if count >= cap {
+                return Ok(false);
+            }
+            let mut w = ByteWriter::new(buf);
+            w.u16(count as u16 + 1)?;
+            w.skip(4 + count * 8)?; // next pointer + existing ids
+            w.u64(id)?;
+            Ok(true)
+        })??;
+        if appended {
+            return Ok(head);
+        }
+    }
+    let page = pager.allocate()?;
+    pager.overwrite_page(page, |buf| {
+        let mut w = ByteWriter::new(buf);
+        w.u16(1)?;
+        w.u32(head)?;
+        w.u64(id)
+    })??;
+    Ok(page)
+}
+
+/// Load every tombstoned id in the chain.
+pub fn load(pager: &Pager, head: PageId) -> Result<Vec<u64>> {
+    let mut out = Vec::new();
+    let mut page = head;
+    while page != NULL_PAGE {
+        page = pager.with_page(page, |buf| {
+            let mut r = ByteReader::new(buf);
+            let count = r.u16()? as usize;
+            let next = r.u32()?;
+            for _ in 0..count {
+                out.push(r.u64()?);
+            }
+            Ok::<PageId, segdb_pager::PagerError>(next)
+        })??;
+    }
+    Ok(out)
+}
+
+/// Free the whole chain.
+pub fn destroy(pager: &Pager, head: PageId) -> Result<()> {
+    let mut page = head;
+    while page != NULL_PAGE {
+        let next = pager.with_page(page, |buf| {
+            let mut r = ByteReader::new(buf);
+            r.u16()?;
+            r.u32()
+        })??;
+        pager.free(page)?;
+        page = next;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segdb_pager::PagerConfig;
+
+    #[test]
+    fn push_load_roundtrip_across_pages() {
+        let p = Pager::new(PagerConfig { page_size: 64, cache_pages: 0 });
+        // cap = (64-6)/8 = 7 per page; push 20 → 3 pages.
+        let mut head = NULL_PAGE;
+        for id in 0..20u64 {
+            head = push(&p, head, id).unwrap();
+        }
+        let mut ids = load(&p, head).unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+        let live = p.live_pages();
+        assert_eq!(live, 3);
+        destroy(&p, head).unwrap();
+        assert_eq!(p.live_pages(), 0);
+    }
+
+    #[test]
+    fn empty_chain() {
+        let p = Pager::new(PagerConfig { page_size: 64, cache_pages: 0 });
+        assert!(load(&p, NULL_PAGE).unwrap().is_empty());
+        destroy(&p, NULL_PAGE).unwrap();
+    }
+
+    #[test]
+    fn skip_to_preserves_existing_bytes() {
+        // Appending to a half-full page must not clobber earlier ids.
+        let p = Pager::new(PagerConfig { page_size: 64, cache_pages: 0 });
+        let head = push(&p, NULL_PAGE, 111).unwrap();
+        let head2 = push(&p, head, 222).unwrap();
+        assert_eq!(head, head2);
+        let ids = load(&p, head2).unwrap();
+        assert_eq!(ids, vec![111, 222]);
+    }
+}

@@ -1,0 +1,69 @@
+//! GIS scenario (the paper's primary motivation, §1): map layers stored
+//! as collections of NCT segments, probed with survey corridors.
+//!
+//! A synthetic city: a street grid (roads layer) plus contour-like strip
+//! segments (terrain layer) in a disjoint band. Queries model a
+//! north-south survey corridor ("which features does the corridor beam
+//! cross between two altitudes?") and compare the paper's two structures
+//! against both baselines on identical probes.
+//!
+//! ```sh
+//! cargo run --release --example gis_layers
+//! ```
+
+use segdb::core::{IndexKind, SegmentDatabase};
+use segdb::geom::gen::{mixed_map, vertical_queries};
+use segdb::geom::Segment;
+
+fn build(kind: IndexKind, set: Vec<Segment>) -> SegmentDatabase {
+    SegmentDatabase::builder()
+        .page_size(4096)
+        .index(kind)
+        .build(set)
+        .expect("valid NCT map")
+}
+
+fn main() {
+    let map = mixed_map(30_000, 0xC17);
+    println!("city map: {} segments (roads + terrain)", map.len());
+
+    let probes = vertical_queries(&map, 50, 30, 0xBEEF);
+
+    println!(
+        "\n{:<18} {:>8} {:>12} {:>12} {:>10}",
+        "index", "blocks", "reads/query", "hits/query", "1st-level"
+    );
+    let mut expected: Option<Vec<Vec<u64>>> = None;
+    for kind in [
+        IndexKind::TwoLevelInterval,
+        IndexKind::TwoLevelBinary,
+        IndexKind::StabThenFilter,
+        IndexKind::FullScan,
+    ] {
+        let db = build(kind, map.clone());
+        let (mut reads, mut hits, mut depth) = (0u64, 0u64, 0u64);
+        let mut answers = Vec::new();
+        for q in &probes {
+            let (h, t) = db.query_canonical(q).expect("query");
+            reads += t.io.reads;
+            hits += t.hits as u64;
+            depth = depth.max(t.first_level_nodes as u64);
+            answers.push(h.iter().map(|s| s.id).collect::<Vec<u64>>());
+        }
+        // All indexes agree on every probe (checked across loop turns).
+        match &expected {
+            None => expected = Some(answers),
+            Some(e) => assert_eq!(e, &answers, "index disagreement"),
+        }
+        println!(
+            "{:<18} {:>8} {:>12.1} {:>12.1} {:>10}",
+            format!("{kind:?}"),
+            db.space_blocks(),
+            reads as f64 / probes.len() as f64,
+            hits as f64 / probes.len() as f64,
+            depth,
+        );
+    }
+
+    println!("\ngis_layers OK (all indexes agreed on {} probes)", probes.len());
+}

@@ -1,0 +1,100 @@
+//! Workspace-level property tests: for *arbitrary* NCT inputs and
+//! queries, all four index kinds agree with the oracle and with each
+//! other, including after insertions.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use segdb::core::report::ids;
+use segdb::core::{IndexKind, SegmentDatabase};
+use segdb::geom::query::scan_oracle;
+use segdb::geom::{Segment, VerticalQuery};
+
+/// Strategy: strip-confined random segments (NCT by construction) with a
+/// controllable long/short mix and occasional verticals and horizontals.
+fn nct_set(max: usize) -> impl Strategy<Value = Vec<Segment>> {
+    vec(
+        (0i64..2000, 1i64..2000, 0i64..14, any::<bool>(), any::<bool>()),
+        1..max,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (x0, len, dy, vertical, flat))| {
+                let y = 16 * i as i64;
+                if vertical {
+                    Segment::new(i as u64, (x0, y), (x0, y + dy + 1)).unwrap()
+                } else if flat {
+                    Segment::new(i as u64, (x0, y), (x0 + len, y)).unwrap()
+                } else {
+                    Segment::new(i as u64, (x0, y), (x0 + len, y + dy + 1)).unwrap()
+                }
+            })
+            .collect()
+    })
+}
+
+fn queries() -> impl Strategy<Value = Vec<VerticalQuery>> {
+    vec(
+        (0i64..4200, -50i64..3000, 0i64..800, 0u8..4),
+        1..12,
+    )
+    .prop_map(|qs| {
+        qs.into_iter()
+            .map(|(x, lo, h, kind)| match kind {
+                0 => VerticalQuery::Line { x },
+                1 => VerticalQuery::RayUp { x, y0: lo },
+                2 => VerticalQuery::RayDown { x, y0: lo },
+                _ => VerticalQuery::segment(x, lo, lo + h),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_indexes_agree_with_oracle(set in nct_set(120), qs in queries()) {
+        for kind in [
+            IndexKind::TwoLevelBinary,
+            IndexKind::TwoLevelInterval,
+            IndexKind::StabThenFilter,
+        ] {
+            let db = SegmentDatabase::builder()
+                .page_size(512)
+                .index(kind)
+                .build(set.clone())
+                .unwrap();
+            db.validate().unwrap();
+            for q in &qs {
+                let (hits, _) = db.query_canonical(q).unwrap();
+                prop_assert_eq!(ids(&hits), ids(&scan_oracle(&set, q)), "{:?} {:?}", kind, q);
+            }
+        }
+    }
+
+    #[test]
+    fn built_equals_inserted(set in nct_set(80), qs in queries()) {
+        for kind in [IndexKind::TwoLevelBinary, IndexKind::TwoLevelInterval] {
+            let built = SegmentDatabase::builder()
+                .page_size(512)
+                .index(kind)
+                .build(set.clone())
+                .unwrap();
+            let mut grown = SegmentDatabase::builder()
+                .page_size(512)
+                .index(kind)
+                .build(vec![])
+                .unwrap();
+            for s in &set {
+                grown.insert(*s).unwrap();
+            }
+            grown.validate().unwrap();
+            for q in &qs {
+                let (h1, _) = built.query_canonical(q).unwrap();
+                let (h2, _) = grown.query_canonical(q).unwrap();
+                prop_assert_eq!(ids(&h1), ids(&h2), "{:?} {:?}", kind, q);
+            }
+        }
+    }
+}
