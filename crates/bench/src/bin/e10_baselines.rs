@@ -6,61 +6,15 @@
 //! the bounded segment (`t ≤ t_stab`). The gap — and thus the win of the
 //! paper's structures — grows as query segments get shorter and stored
 //! segments get longer. Regenerates: reads/query for all four structures
-//! across a (query height × long-segment share) grid.
+//! across a (query height × long-segment share) grid. The driver lives
+//! in [`segdb_bench::experiments::run_e10`] so tests exercise it at toy
+//! sizes; `BENCH_e10.json` carries the per-kind I/O histograms and the
+//! paper-bound cost-model fits.
 
-use segdb_bench::{f1, run_batch, table};
-use segdb_core::binary2l::{Binary2LConfig, TwoLevelBinary};
-use segdb_core::interval2l::{Interval2LConfig, TwoLevelInterval};
-use segdb_core::{FullScan, StabThenFilter};
-use segdb_geom::gen::{strips, vertical_queries};
-use segdb_pager::{Pager, PagerConfig};
+use segdb_bench::{experiments, report};
 
 fn main() {
-    let n_items = 40_000;
-    let page = 4096usize;
-    let mut rows = Vec::new();
-    for long_share in [100u32, 500, 900] {
-        let set = strips(n_items, 1 << 18, 16, long_share, 2024);
-        for height_mille in [1u32, 20, 200] {
-            let queries = vertical_queries(&set, 40, height_mille, 7);
-
-            let p1 = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
-            let s1 = TwoLevelBinary::build(&p1, Binary2LConfig::default(), set.clone()).unwrap();
-            let a1 = run_batch(&p1, &queries, |q| s1.query(&p1, q).unwrap().0);
-
-            let p2 = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
-            let s2 = TwoLevelInterval::build(&p2, Interval2LConfig::default(), set.clone()).unwrap();
-            let a2 = run_batch(&p2, &queries, |q| s2.query(&p2, q).unwrap().0);
-
-            let p3 = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
-            let s3 = StabThenFilter::build(&p3, &set).unwrap();
-            let mut stab_candidates = 0u64;
-            let a3 = run_batch(&p3, &queries, |q| {
-                let (h, t) = s3.query(&p3, q).unwrap();
-                stab_candidates += t.second_level_probes as u64;
-                h
-            });
-
-            let p4 = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
-            let s4 = FullScan::build(&p4, &set).unwrap();
-            let a4 = run_batch(&p4, &queries, |q| s4.query(&p4, q).unwrap().0);
-
-            rows.push(vec![
-                format!("{}%", long_share / 10),
-                format!("{}‰", height_mille),
-                f1(a1.hits_per_query()),
-                f1(stab_candidates as f64 / queries.len() as f64),
-                f1(a2.reads_per_query()),
-                f1(a1.reads_per_query()),
-                f1(a3.reads_per_query()),
-                f1(a4.reads_per_query()),
-            ]);
-        }
-    }
-    table(
-        "E10 — baselines crossover (N=40k): reads/query by long-segment share × query height",
-        &["long", "height", "t/q", "t_stab/q", "Sol2", "Sol1", "stab+filter", "scan"],
-        &rows,
-    );
+    experiments::run_e10(40_000, 40, &[100, 500, 900], &[1, 20, 200]);
     println!("\nExpected shape: Sol1/Sol2 ≪ stab+filter when t ≪ t_stab (short queries over long segments); all indexes ≪ scan; stab+filter approaches Sol2 as the query height grows toward the whole line.");
+    report::finish("e10").expect("write BENCH_e10.json");
 }

@@ -13,7 +13,10 @@ fn main() {
     let n_items = 30_000;
     let set = nested(n_items);
     let page = 4096usize;
-    let pager = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+    let pager = Pager::new(PagerConfig {
+        page_size: page,
+        cache_pages: 0,
+    });
     let t = TwoLevelInterval::build(&pager, Interval2LConfig::default(), set.clone()).unwrap();
 
     let mut rows = Vec::new();
@@ -41,4 +44,5 @@ fn main() {
         f2(1.0 / b as f64),
         f2(correlation(&pts))
     );
+    segdb_bench::report::finish("e11").expect("write BENCH_e11.json");
 }

@@ -57,4 +57,5 @@ fn main() {
         &rows,
     );
     println!("\nThe reduction is free when search/query stays in the same band across directions.");
+    segdb_bench::report::finish("e12").expect("write BENCH_e12.json");
 }

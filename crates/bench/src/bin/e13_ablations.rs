@@ -20,14 +20,18 @@ fn main() {
     let queries = fixed_height_queries(&set, 80, 400, 0xE13);
     let mut rows = Vec::new();
     for fanout in [Some(2usize), Some(4), Some(8), Some(16), None] {
-        let pager = Pager::new(PagerConfig { page_size: 4096, cache_pages: 0 });
+        let pager = Pager::new(PagerConfig {
+            page_size: 4096,
+            cache_pages: 0,
+        });
         let before = pager.live_pages();
         let cfg = PstConfig { fanout };
         let pst = Pst::build(&pager, 0, Side::Right, cfg, set.clone()).unwrap();
         let blocks = pager.live_pages() - before;
         let agg = run_batch(&pager, &queries, |q| {
             let mut out = Vec::new();
-            pst.query_into(&pager, q.x(), q.lo(), q.hi(), &mut out).unwrap();
+            pst.query_into(&pager, q.x(), q.lo(), q.hi(), &mut out)
+                .unwrap();
             out
         });
         rows.push(vec![
@@ -48,9 +52,15 @@ fn main() {
     let queries = fixed_height_queries(&set, 60, 800, 0x1313);
     let mut rows = Vec::new();
     for fanout in [Some(2usize), Some(4), Some(8), Some(16), None] {
-        let pager = Pager::new(PagerConfig { page_size: 4096, cache_pages: 0 });
+        let pager = Pager::new(PagerConfig {
+            page_size: 4096,
+            cache_pages: 0,
+        });
         let before = pager.live_pages();
-        let cfg = Interval2LConfig { fanout, ..Interval2LConfig::default() };
+        let cfg = Interval2LConfig {
+            fanout,
+            ..Interval2LConfig::default()
+        };
         let t = TwoLevelInterval::build(&pager, cfg, set.clone()).unwrap();
         let blocks = pager.live_pages() - before;
         let mut depth = 0u32;
@@ -75,7 +85,10 @@ fn main() {
     // 3. Buffer-pool ablation on Solution 2.
     let mut rows = Vec::new();
     for cache in [0usize, 32, 256, 2048] {
-        let pager = Pager::new(PagerConfig { page_size: 4096, cache_pages: cache });
+        let pager = Pager::new(PagerConfig {
+            page_size: 4096,
+            cache_pages: cache,
+        });
         let t = TwoLevelInterval::build(&pager, Interval2LConfig::default(), set.clone()).unwrap();
         pager.reset_stats();
         for _ in 0..2 {
@@ -96,4 +109,5 @@ fn main() {
         &["cache pages", "phys reads", "hits", "hit %"],
         &rows,
     );
+    segdb_bench::report::finish("e13").expect("write BENCH_e13.json");
 }

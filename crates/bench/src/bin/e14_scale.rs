@@ -16,7 +16,10 @@ fn main() {
         let set = strips(n_items, 1 << 22, 16, 250, 0xE14);
         let queries = fixed_height_queries(&set, 40, 2_000, 0x41);
         for (name, which) in [("Sol1", 0u8), ("Sol2", 1), ("stab+filter", 2), ("scan", 3)] {
-            let pager = Pager::new(PagerConfig { page_size: 4096, cache_pages: 0 });
+            let pager = Pager::new(PagerConfig {
+                page_size: 4096,
+                cache_pages: 0,
+            });
             let started = Instant::now();
             enum S {
                 A(TwoLevelBinary),
@@ -25,8 +28,13 @@ fn main() {
                 D(FullScan),
             }
             let s = match which {
-                0 => S::A(TwoLevelBinary::build(&pager, Binary2LConfig::default(), set.clone()).unwrap()),
-                1 => S::B(TwoLevelInterval::build(&pager, Interval2LConfig::default(), set.clone()).unwrap()),
+                0 => S::A(
+                    TwoLevelBinary::build(&pager, Binary2LConfig::default(), set.clone()).unwrap(),
+                ),
+                1 => S::B(
+                    TwoLevelInterval::build(&pager, Interval2LConfig::default(), set.clone())
+                        .unwrap(),
+                ),
                 2 => S::C(StabThenFilter::build(&pager, &set).unwrap()),
                 _ => S::D(FullScan::build(&pager, &set).unwrap()),
             };
@@ -52,8 +60,17 @@ fn main() {
     }
     table(
         "E14 — scale (4 KiB pages, strips workload, 40 thin probes each)",
-        &["N", "structure", "blocks", "build I/O", "build time", "reads/q", "t/q"],
+        &[
+            "N",
+            "structure",
+            "blocks",
+            "build I/O",
+            "build time",
+            "reads/q",
+            "t/q",
+        ],
         &rows,
     );
     println!("\nShape: index query I/O grows logarithmically with N while scan grows linearly; stab+filter tracks t_stab.");
+    segdb_bench::report::finish("e14").expect("write BENCH_e14.json");
 }

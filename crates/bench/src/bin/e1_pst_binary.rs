@@ -17,7 +17,10 @@ fn main() {
     for page in [512usize, 1024, 4096] {
         for exp in [11u32, 13, 15, 17] {
             let n_items = 1usize << exp;
-            let pager = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+            let pager = Pager::new(PagerConfig {
+                page_size: page,
+                cache_pages: 0,
+            });
             let set = fan(n_items, 16, 1 << 20, 42 + exp as u64);
             let before = pager.live_pages();
             let pst = Pst::build(&pager, 0, Side::Right, PstConfig::binary(), set.clone()).unwrap();
@@ -26,7 +29,8 @@ fn main() {
             let queries = fixed_height_queries(&set, 100, 400, 7 * exp as u64);
             let agg = run_batch(&pager, &queries, |q| {
                 let mut out = Vec::new();
-                pst.query_into(&pager, q.x(), q.lo(), q.hi(), &mut out).unwrap();
+                pst.query_into(&pager, q.x(), q.lo(), q.hi(), &mut out)
+                    .unwrap();
                 out
             });
             let b = page / 40; // segments per block
@@ -49,7 +53,17 @@ fn main() {
     }
     table(
         "E1 — binary PST (Lemma 2): query O(log2 n + t), space O(n)",
-        &["page", "N", "blocks", "blocks/(n)", "t/q", "reads/q", "search/q", "log2(n)", "ratio"],
+        &[
+            "page",
+            "N",
+            "blocks",
+            "blocks/(n)",
+            "t/q",
+            "reads/q",
+            "search/q",
+            "log2(n)",
+            "ratio",
+        ],
         &rows,
     );
     println!(
@@ -57,4 +71,5 @@ fn main() {
         f2(ols_slope(&fits)),
         f2(correlation(&fits))
     );
+    segdb_bench::report::finish("e1").expect("write BENCH_e1.json");
 }

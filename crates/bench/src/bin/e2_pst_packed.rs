@@ -22,27 +22,39 @@ fn main() {
             let b = page / 40;
 
             // Binary reference.
-            let p1 = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+            let p1 = Pager::new(PagerConfig {
+                page_size: page,
+                cache_pages: 0,
+            });
             let bin = Pst::build(&p1, 0, Side::Right, PstConfig::binary(), set.clone()).unwrap();
             let a1 = run_batch(&p1, &queries, |q| {
                 let mut out = Vec::new();
-                bin.query_into(&p1, q.x(), q.lo(), q.hi(), &mut out).unwrap();
+                bin.query_into(&p1, q.x(), q.lo(), q.hi(), &mut out)
+                    .unwrap();
                 out
             });
 
             // Packed structure.
-            let p2 = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+            let p2 = Pager::new(PagerConfig {
+                page_size: page,
+                cache_pages: 0,
+            });
             let before = p2.live_pages();
             let packed = Pst::build(&p2, 0, Side::Right, PstConfig::packed(), set.clone()).unwrap();
             let blocks = p2.live_pages() - before;
             let a2 = run_batch(&p2, &queries, |q| {
                 let mut out = Vec::new();
-                packed.query_into(&p2, q.x(), q.lo(), q.hi(), &mut out).unwrap();
+                packed
+                    .query_into(&p2, q.x(), q.lo(), q.hi(), &mut out)
+                    .unwrap();
                 out
             });
 
             // Amortized insertion cost into a packed PST.
-            let p3 = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+            let p3 = Pager::new(PagerConfig {
+                page_size: page,
+                cache_pages: 0,
+            });
             let mut dyn_pst = Pst::build(&p3, 0, Side::Right, PstConfig::packed(), vec![]).unwrap();
             let io0 = p3.stats().total_io();
             for s in &set {
@@ -68,7 +80,16 @@ fn main() {
     }
     table(
         "E2 — packed PST (Lemma 3 substitute): query O(log_B n + t), space O(n), amortized updates",
-        &["page", "N", "blocks/n", "bin srch/q", "packed srch/q", "speedup", "log_B n", "ins io/op"],
+        &[
+            "page",
+            "N",
+            "blocks/n",
+            "bin srch/q",
+            "packed srch/q",
+            "speedup",
+            "log_B n",
+            "ins io/op",
+        ],
         &rows,
     );
     println!(
@@ -78,6 +99,10 @@ fn main() {
     );
     for page in [512u64, 1024, 4096] {
         let b = page / 40;
-        println!("IL*(B={b}) = {} (the paper's additive constant)", segdb_bench::il_star(b));
+        println!(
+            "IL*(B={b}) = {} (the paper's additive constant)",
+            segdb_bench::il_star(b)
+        );
     }
+    segdb_bench::report::finish("e2").expect("write BENCH_e2.json");
 }

@@ -21,11 +21,17 @@ fn main() {
     let mut rows = Vec::new();
     for (name, set) in workloads {
         // Keep only segments touching x ≥ 0 half-plane from base 0.
-        let set: Vec<Segment> = set.into_iter().filter(|s| s.spans_x(0) && !s.is_vertical()).collect();
+        let set: Vec<Segment> = set
+            .into_iter()
+            .filter(|s| s.spans_x(0) && !s.is_vertical())
+            .collect();
         if set.is_empty() {
             continue;
         }
-        let pager = Pager::new(PagerConfig { page_size: 1024, cache_pages: 0 });
+        let pager = Pager::new(PagerConfig {
+            page_size: 1024,
+            cache_pages: 0,
+        });
         let pst = Pst::build(&pager, 0, Side::Right, PstConfig::binary(), set.clone()).unwrap();
         let mut queries = vertical_queries(&set, 100, 5, 17);
         queries.extend(fixed_height_queries(&set, 100, 50, 19));
@@ -34,7 +40,9 @@ fn main() {
         let mut worst_fruitless_per_level = 0.0f64;
         for q in &queries {
             let mut out = Vec::new();
-            let st: QueryStats = pst.query_into(&pager, q.x(), q.lo(), q.hi(), &mut out).unwrap();
+            let st: QueryStats = pst
+                .query_into(&pager, q.x(), q.lo(), q.hi(), &mut out)
+                .unwrap();
             frontier_max = frontier_max.max(st.max_frontier);
             fruitless += st.fruitless_nodes as u64;
             levels += st.levels as u64;
@@ -61,7 +69,16 @@ fn main() {
     }
     table(
         "E3 — Find/Report frontier (Lemma 1): ≤ ~2 fruitless nodes per level",
-        &["workload", "N", "blocks/q", "log2n+T/B", "max frontier", "fruitless/level (avg)", "(worst)", "t/q"],
+        &[
+            "workload",
+            "N",
+            "blocks/q",
+            "log2n+T/B",
+            "max frontier",
+            "fruitless/level (avg)",
+            "(worst)",
+            "t/q",
+        ],
         &rows,
     );
     println!("\nLemma 1 reproduced when fruitless/level stays a small constant (the paper's queue width 2).");
@@ -72,7 +89,10 @@ fn main() {
     for exp in [12u32, 14, 16] {
         let n_items = 1usize << exp;
         let set = fan(n_items, 16, 1 << 20, 31);
-        let pager = Pager::new(PagerConfig { page_size: 1024, cache_pages: 0 });
+        let pager = Pager::new(PagerConfig {
+            page_size: 1024,
+            cache_pages: 0,
+        });
         let pst = Pst::build(&pager, 0, Side::Right, PstConfig::binary(), set.clone()).unwrap();
         let queries = fixed_height_queries(&set, 100, 200, 41);
         let (mut total_l, mut worst_l, mut total_r) = (0u64, 0u32, 0u64);
@@ -98,4 +118,5 @@ fn main() {
         &["N", "find-left/q", "find-right/q", "worst", "log2(n)"],
         &rows,
     );
+    segdb_bench::report::finish("e3").expect("write BENCH_e3.json");
 }

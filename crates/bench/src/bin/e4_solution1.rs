@@ -16,7 +16,10 @@ fn main() {
         for exp in [12u32, 14, 16] {
             let n_items = 1usize << exp;
             let set = strips(n_items, 1 << 18, 16, 250, 5 + exp as u64);
-            let pager = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+            let pager = Pager::new(PagerConfig {
+                page_size: page,
+                cache_pages: 0,
+            });
             let before = pager.live_pages();
             let t = TwoLevelBinary::build(&pager, Binary2LConfig::default(), set.clone()).unwrap();
             let blocks = pager.live_pages() - before;
@@ -42,7 +45,17 @@ fn main() {
     }
     table(
         "E4 — Solution 1 (Theorem 1): query O(log2 n (log_B n + IL*) + t), space O(n)",
-        &["page", "N", "blocks", "blocks/n", "t/q", "reads/q", "search/q", "log2n*logBn", "ratio"],
+        &[
+            "page",
+            "N",
+            "blocks",
+            "blocks/n",
+            "t/q",
+            "reads/q",
+            "search/q",
+            "log2n*logBn",
+            "ratio",
+        ],
         &rows,
     );
     println!(
@@ -50,4 +63,5 @@ fn main() {
         f2(ols_slope(&fits)),
         f2(correlation(&fits))
     );
+    segdb_bench::report::finish("e4").expect("write BENCH_e4.json");
 }

@@ -17,7 +17,10 @@ fn main() {
         let n_items = 1usize << exp;
         let set = strips(n_items, 1 << 18, 16, 250, 77 + exp as u64);
         let page = 1024usize;
-        let pager = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+        let pager = Pager::new(PagerConfig {
+            page_size: page,
+            cache_pages: 0,
+        });
         let mut t = TwoLevelBinary::build(&pager, Binary2LConfig::default(), vec![]).unwrap();
 
         let io0 = pager.stats().total_io();
@@ -50,7 +53,14 @@ fn main() {
     }
     table(
         "E5 — Solution 1 updates (Theorem 1 iii): amortized O(log2 n + log_B n / B)",
-        &["N", "insert io/op", "delete io/op", "log2 N", "ins ratio", "log_B n"],
+        &[
+            "N",
+            "insert io/op",
+            "delete io/op",
+            "log2 N",
+            "ins ratio",
+            "log_B n",
+        ],
         &rows,
     );
     println!(
@@ -58,4 +68,5 @@ fn main() {
         f2(ols_slope(&fits)),
         f2(correlation(&fits))
     );
+    segdb_bench::report::finish("e5").expect("write BENCH_e5.json");
 }

@@ -23,36 +23,60 @@ fn main() {
     // A small first-level fanout concentrates long fragments into few,
     // deep multislab B⁺-trees — the regime where each avoided descent
     // saves multiple reads (the asymptotic log₂ B gap of §4.3).
-    let deep = |cfg: Interval2LConfig| Interval2LConfig { fanout: Some(4), ..cfg };
+    let deep = |cfg: Interval2LConfig| Interval2LConfig {
+        fanout: Some(4),
+        ..cfg
+    };
 
     let mut rows = Vec::new();
     for (label, cfg) in [
         (
             "bridges off (Lemma 4)".to_string(),
-            Interval2LConfig { bridges: false, ..Interval2LConfig::default() },
+            Interval2LConfig {
+                bridges: false,
+                ..Interval2LConfig::default()
+            },
         ),
         (
             "bridges d=2 (Thm 2)".to_string(),
-            Interval2LConfig { bridge_d: 2, ..Interval2LConfig::default() },
+            Interval2LConfig {
+                bridge_d: 2,
+                ..Interval2LConfig::default()
+            },
         ),
         (
             "bridges d=4".to_string(),
-            Interval2LConfig { bridge_d: 4, ..Interval2LConfig::default() },
+            Interval2LConfig {
+                bridge_d: 4,
+                ..Interval2LConfig::default()
+            },
         ),
         (
             "bridges d=8".to_string(),
-            Interval2LConfig { bridge_d: 8, ..Interval2LConfig::default() },
+            Interval2LConfig {
+                bridge_d: 8,
+                ..Interval2LConfig::default()
+            },
         ),
         (
             "deep-G off".to_string(),
-            deep(Interval2LConfig { bridges: false, ..Interval2LConfig::default() }),
+            deep(Interval2LConfig {
+                bridges: false,
+                ..Interval2LConfig::default()
+            }),
         ),
         (
             "deep-G d=2".to_string(),
-            deep(Interval2LConfig { bridge_d: 2, ..Interval2LConfig::default() }),
+            deep(Interval2LConfig {
+                bridge_d: 2,
+                ..Interval2LConfig::default()
+            }),
         ),
     ] {
-        let pager = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+        let pager = Pager::new(PagerConfig {
+            page_size: page,
+            cache_pages: 0,
+        });
         let before = pager.live_pages();
         let t = TwoLevelInterval::build(&pager, cfg, set.clone()).unwrap();
         let blocks = pager.live_pages() - before;
@@ -77,8 +101,17 @@ fn main() {
     }
     table(
         "E6/E7 — fractional cascading ablation (N=60k long-heavy, 4 KiB pages)",
-        &["configuration", "blocks", "reads/q", "search/q", "t/q", "jumps/q", "G+PST probes/q"],
+        &[
+            "configuration",
+            "blocks",
+            "reads/q",
+            "search/q",
+            "t/q",
+            "jumps/q",
+            "G+PST probes/q",
+        ],
         &rows,
     );
     println!("\nTheorem 2 reproduced when the bridged rows beat the Lemma-4 row on search I/O at equal answers.");
+    segdb_bench::report::finish("e6_e7").expect("write BENCH_e6_e7.json");
 }

@@ -19,9 +19,18 @@ fn main() {
         let page = 1024usize;
         for (label, cfg) in [
             ("bridges on", Interval2LConfig::default()),
-            ("bridges off", Interval2LConfig { bridges: false, ..Interval2LConfig::default() }),
+            (
+                "bridges off",
+                Interval2LConfig {
+                    bridges: false,
+                    ..Interval2LConfig::default()
+                },
+            ),
         ] {
-            let pager = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+            let pager = Pager::new(PagerConfig {
+                page_size: page,
+                cache_pages: 0,
+            });
             let mut t = TwoLevelInterval::build(&pager, cfg, vec![]).unwrap();
             let io0 = pager.stats().total_io();
             for s in &set {
@@ -54,4 +63,5 @@ fn main() {
         f2(ols_slope(&fits)),
         f2(correlation(&fits))
     );
+    segdb_bench::report::finish("e8").expect("write BENCH_e8.json");
 }

@@ -22,15 +22,22 @@ fn main() {
             let log_b = (b as f64).log2();
 
             let measure = |f: &dyn Fn(&Pager)| -> usize {
-                let pager = Pager::new(PagerConfig { page_size: page, cache_pages: 0 });
+                let pager = Pager::new(PagerConfig {
+                    page_size: page,
+                    cache_pages: 0,
+                });
                 f(&pager);
                 pager.live_pages()
             };
             let s1 = measure(&|p| {
-                TwoLevelBinary::build(p, Binary2LConfig::default(), set.clone()).map(|_| ()).unwrap()
+                TwoLevelBinary::build(p, Binary2LConfig::default(), set.clone())
+                    .map(|_| ())
+                    .unwrap()
             });
             let s2 = measure(&|p| {
-                TwoLevelInterval::build(p, Interval2LConfig::default(), set.clone()).map(|_| ()).unwrap()
+                TwoLevelInterval::build(p, Interval2LConfig::default(), set.clone())
+                    .map(|_| ())
+                    .unwrap()
             });
             let fs = measure(&|p| {
                 FullScan::build(p, &set).map(|_| ()).unwrap();
@@ -53,8 +60,19 @@ fn main() {
     }
     table(
         "E9 — space: Thm 1 O(n) vs Thm 2 O(n log2 B)  (blocks; n = N/B)",
-        &["page", "N", "scan", "Sol1", "Sol1/n", "Sol2", "Sol2/n", "Sol2/(n·log2B)", "stab"],
+        &[
+            "page",
+            "N",
+            "scan",
+            "Sol1",
+            "Sol1/n",
+            "Sol2",
+            "Sol2/n",
+            "Sol2/(n·log2B)",
+            "stab",
+        ],
         &rows,
     );
     println!("\nShapes hold when Sol1/n stays bounded as N and B grow, and Sol2/(n·log2 B) stays bounded while Sol2/n grows with B.");
+    segdb_bench::report::finish("e9").expect("write BENCH_e9.json");
 }

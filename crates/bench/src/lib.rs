@@ -15,8 +15,13 @@
 use segdb_geom::{Segment, VerticalQuery};
 use segdb_pager::Pager;
 
-/// Print a fixed-width table.
+pub mod experiments;
+pub mod report;
+
+/// Print a fixed-width table. The table is also recorded into the
+/// machine-readable report accumulator (see [`report`]).
 pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    report::record_table(title, headers, rows);
     println!("\n## {title}");
     let widths: Vec<usize> = headers
         .iter()
@@ -69,7 +74,9 @@ impl Agg {
     /// read per `per_block` reported segments — the "search cost" the
     /// paper's `log` terms describe.
     pub fn search_reads_per_query(&self, per_block: usize) -> f64 {
-        (self.reads.saturating_sub(self.hits / per_block.max(1) as u64)) as f64
+        (self
+            .reads
+            .saturating_sub(self.hits / per_block.max(1) as u64)) as f64
             / self.queries.max(1) as f64
     }
 }
@@ -130,7 +137,9 @@ pub fn il_star(b: u64) -> u32 {
 /// measured cost grows like a predicted curve (slope ≈ constant factor).
 pub fn ols_slope(points: &[(f64, f64)]) -> f64 {
     let n = points.len() as f64;
-    let (sx, sy): (f64, f64) = points.iter().fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
     let (mx, my) = (sx / n, sy / n);
     let num: f64 = points.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
     let den: f64 = points.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
@@ -148,7 +157,9 @@ pub fn correlation(points: &[(f64, f64)]) -> f64 {
     if n < 2.0 {
         return 1.0;
     }
-    let (sx, sy): (f64, f64) = points.iter().fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
     let (mx, my) = (sx / n, sy / n);
     let cov: f64 = points.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
     let vx: f64 = points.iter().map(|(x, _)| (x - mx).powi(2)).sum();
@@ -193,7 +204,11 @@ mod tests {
 
     #[test]
     fn agg_math() {
-        let a = Agg { queries: 10, reads: 200, hits: 400 };
+        let a = Agg {
+            queries: 10,
+            reads: 200,
+            hits: 400,
+        };
         assert_eq!(a.reads_per_query(), 20.0);
         assert_eq!(a.hits_per_query(), 40.0);
         assert_eq!(a.search_reads_per_query(100), 19.6);

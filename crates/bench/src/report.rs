@@ -1,0 +1,90 @@
+//! Machine-readable experiment output.
+//!
+//! Every `e*` binary prints human tables *and* accumulates the same data
+//! here; calling [`finish`] at the end of `main` writes a
+//! `BENCH_<name>.json` next to the working directory (or into
+//! `$SEGDB_BENCH_DIR`), so sweeps over experiments can be diffed and
+//! plotted without scraping stdout. [`crate::table`] records
+//! automatically; experiments with richer data (histograms, cost-model
+//! verdicts) add sections via [`record_section`].
+
+use segdb_obs::Json;
+use std::cell::RefCell;
+use std::path::PathBuf;
+
+thread_local! {
+    static TABLES: RefCell<Vec<Json>> = const { RefCell::new(Vec::new()) };
+    static EXTRAS: RefCell<Vec<(String, Json)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Record one printed table (called by [`crate::table`]).
+pub fn record_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let obj = Json::obj([
+        ("title", Json::Str(title.into())),
+        (
+            "headers",
+            Json::Arr(headers.iter().map(|h| Json::Str((*h).into())).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| Json::Arr(r.iter().map(|c| Json::Str(c.clone())).collect()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    TABLES.with(|t| t.borrow_mut().push(obj));
+}
+
+/// Attach a named JSON section (histograms, cost-model fits, …) to the
+/// next [`finish`] document.
+pub fn record_section(key: &str, value: Json) {
+    EXTRAS.with(|e| e.borrow_mut().push((key.to_string(), value)));
+}
+
+/// Build the document that [`finish`] would write, clearing the
+/// accumulator. Exposed so tests can assert on it without touching disk.
+pub fn take_document(name: &str) -> Json {
+    let tables = TABLES.with(|t| std::mem::take(&mut *t.borrow_mut()));
+    let extras = EXTRAS.with(|e| std::mem::take(&mut *e.borrow_mut()));
+    let mut pairs = vec![
+        ("experiment".to_string(), Json::Str(name.into())),
+        ("tables".to_string(), Json::Arr(tables)),
+    ];
+    pairs.extend(extras);
+    Json::Obj(pairs)
+}
+
+/// Write everything recorded since the last finish to
+/// `BENCH_<name>.json` (in `$SEGDB_BENCH_DIR` when set, else the current
+/// directory) and report the path on stdout.
+pub fn finish(name: &str) -> std::io::Result<PathBuf> {
+    let doc = take_document(name);
+    let dir = std::env::var_os("SEGDB_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc.render())?;
+    println!("\nwrote {}", path.display());
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_and_sections_land_in_the_document() {
+        crate::table("T", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        record_section("metrics", Json::obj([("k", Json::U64(7))]));
+        let doc = take_document("unit");
+        let text = doc.render();
+        let back = segdb_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(back.get("experiment").unwrap().as_str(), Some("unit"));
+        let tables = back.get("tables").unwrap().as_arr().unwrap();
+        assert!(!tables.is_empty());
+        assert_eq!(back.get("metrics").unwrap().get("k"), Some(&Json::U64(7)));
+        // The accumulator is drained.
+        let empty = take_document("unit");
+        assert!(empty.get("tables").unwrap().as_arr().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! The machine-readable bench report: E10 at toy size must produce the
+//! per-kind histogram + cost-verifier metrics block and a valid
+//! `BENCH_*.json` document.
+
+use segdb_bench::{experiments, report};
+
+#[test]
+fn e10_metrics_cover_all_four_kinds_and_write_valid_json() {
+    let metrics = experiments::run_e10(800, 10, &[500], &[20]);
+    for kind in ["binary", "interval", "scan", "stab"] {
+        let m = metrics
+            .get(kind)
+            .unwrap_or_else(|| panic!("missing {kind}"));
+        let hist = m.get("io_per_query").expect("histogram present");
+        assert!(
+            hist.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0) >= 10.0,
+            "{kind}: all queries observed"
+        );
+        assert!(hist.get("buckets").is_some(), "{kind}: bucketed");
+        let cost = m.get("cost").expect("cost-verifier block present");
+        assert_eq!(cost.get("kind").and_then(|v| v.as_str()), Some(kind));
+        assert!(
+            cost.get("fitted_constant")
+                .and_then(|v| v.as_f64())
+                .is_some(),
+            "{kind}: constant fitted after warm-up"
+        );
+        assert!(cost.get("violations").is_some());
+    }
+
+    // finish() renders the accumulated document as parseable JSON.
+    let dir = std::env::temp_dir().join(format!("segdb-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("SEGDB_BENCH_DIR", &dir);
+    let path = report::finish("e10_toy").unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = segdb_obs::json::parse(&text).expect("BENCH json parses");
+    assert_eq!(
+        doc.get("experiment").and_then(|v| v.as_str()),
+        Some("e10_toy")
+    );
+    assert!(!doc.get("tables").unwrap().as_arr().unwrap().is_empty());
+    assert!(doc.get("metrics").unwrap().get("interval").is_some());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+}

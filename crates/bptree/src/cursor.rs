@@ -29,6 +29,11 @@ impl<R: Record> Cursor<R> {
     /// Jump to the head of a known leaf page (one read). This is the §4.3
     /// bridge-navigation entry: no root descent.
     pub fn jump(pager: &Pager, leaf: PageId) -> Result<Self> {
+        segdb_obs::trace::emit(
+            segdb_obs::trace::EventKind::BptreeNodeVisit,
+            u64::from(leaf),
+            0,
+        );
         match pager.with_page(leaf, |buf| Node::<R>::decode(buf))?? {
             Node::Leaf { records, next } => {
                 let mut c = Cursor::at(records, 0, next);
@@ -46,6 +51,11 @@ impl<R: Record> Cursor<R> {
             if self.next == NULL_PAGE {
                 return Ok(());
             }
+            segdb_obs::trace::emit(
+                segdb_obs::trace::EventKind::BptreeNodeVisit,
+                u64::from(self.next),
+                0,
+            );
             match pager.with_page(self.next, |buf| Node::<R>::decode(buf))?? {
                 Node::Leaf { records, next } => {
                     self.records = records;
@@ -123,12 +133,18 @@ mod tests {
     use segdb_pager::PagerConfig;
 
     fn kv(k: i64) -> KeyValue {
-        KeyValue { key: k, value: k as u64 }
+        KeyValue {
+            key: k,
+            value: k as u64,
+        }
     }
 
     #[test]
     fn take_while_and_peek() {
-        let p = Pager::new(PagerConfig { page_size: 128, cache_pages: 0 });
+        let p = Pager::new(PagerConfig {
+            page_size: 128,
+            cache_pages: 0,
+        });
         let recs: Vec<KeyValue> = (0..50).map(kv).collect();
         let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
         let mut c = t.cursor_first(&p).unwrap();
@@ -147,7 +163,10 @@ mod tests {
 
     #[test]
     fn scan_io_is_one_read_per_leaf() {
-        let p = Pager::new(PagerConfig { page_size: 128, cache_pages: 0 });
+        let p = Pager::new(PagerConfig {
+            page_size: 128,
+            cache_pages: 0,
+        });
         let recs: Vec<KeyValue> = (0..70).map(kv).collect(); // 10 leaves at cap 7
         let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
         let mut c = t.cursor_first(&p).unwrap();
@@ -163,7 +182,10 @@ mod tests {
 
     #[test]
     fn jump_reads_leaf_directly() {
-        let p = Pager::new(PagerConfig { page_size: 128, cache_pages: 0 });
+        let p = Pager::new(PagerConfig {
+            page_size: 128,
+            cache_pages: 0,
+        });
         let recs: Vec<KeyValue> = (0..30).map(kv).collect();
         let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
         // Find some leaf id via a cursor walk on the underlying pages:

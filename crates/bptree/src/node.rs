@@ -135,7 +135,10 @@ mod tests {
     use crate::record::KeyValue;
 
     fn kv(k: i64) -> KeyValue {
-        KeyValue { key: k, value: k as u64 }
+        KeyValue {
+            key: k,
+            value: k as u64,
+        }
     }
 
     #[test]

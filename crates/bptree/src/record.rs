@@ -90,8 +90,14 @@ mod tests {
     fn closure_probe() {
         let p = |rec: &KeyValue| 5i64.cmp(&rec.key);
         assert_eq!(p.cmp_record(&KeyValue { key: 9, value: 0 }), Ordering::Less);
-        assert_eq!(p.cmp_record(&KeyValue { key: 5, value: 0 }), Ordering::Equal);
-        assert_eq!(p.cmp_record(&KeyValue { key: 1, value: 0 }), Ordering::Greater);
+        assert_eq!(
+            p.cmp_record(&KeyValue { key: 5, value: 0 }),
+            Ordering::Equal
+        );
+        assert_eq!(
+            p.cmp_record(&KeyValue { key: 1, value: 0 }),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub struct BPlusTree<R: Record, O: RecordOrd<R>> {
 }
 
 fn read_node<R: Record>(pager: &Pager, id: PageId) -> Result<Node<R>> {
+    segdb_obs::trace::emit(
+        segdb_obs::trace::EventKind::BptreeNodeVisit,
+        u64::from(id),
+        0,
+    );
     pager.with_page(id, |buf| Node::decode(buf))?
 }
 
@@ -111,7 +116,9 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
             return Ok(tree);
         }
         debug_assert!(
-            records.windows(2).all(|w| tree.ord.cmp_records(&w[0], &w[1]) == Ordering::Less),
+            records
+                .windows(2)
+                .all(|w| tree.ord.cmp_records(&w[0], &w[1]) == Ordering::Less),
             "bulk_load input must be strictly sorted"
         );
         // The fresh empty root leaf is replaced; free it.
@@ -130,7 +137,11 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
             off += sz;
             let node = Node::Leaf {
                 records: recs.to_vec(),
-                next: if i + 1 < pages.len() { pages[i + 1] } else { NULL_PAGE },
+                next: if i + 1 < pages.len() {
+                    pages[i + 1]
+                } else {
+                    NULL_PAGE
+                },
             };
             write_node(pager, pages[i], &node)?;
             level.push((pages[i], recs[0]));
@@ -368,14 +379,23 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
             .iter()
             .take_while(|r| self.ord.cmp_records(r, &rec) == Ordering::Less)
             .count();
-        if pos < leaf_records.len() && self.ord.cmp_records(&leaf_records[pos], &rec) == Ordering::Equal {
+        if pos < leaf_records.len()
+            && self.ord.cmp_records(&leaf_records[pos], &rec) == Ordering::Equal
+        {
             return Ok(false);
         }
         leaf_records.insert(pos, rec);
         self.len += 1;
 
         if leaf_records.len() <= self.leaf_cap {
-            write_node(pager, leaf_id, &Node::Leaf { records: leaf_records, next: leaf_next })?;
+            write_node(
+                pager,
+                leaf_id,
+                &Node::Leaf {
+                    records: leaf_records,
+                    next: leaf_next,
+                },
+            )?;
             return Ok(true);
         }
 
@@ -387,9 +407,23 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         // `split_left` tracks the left sibling of the promoted entry, so a
         // root split knows both children of the new root.
         let mut split_left = leaf_id;
-        write_node(pager, right_id, &Node::Leaf { records: right_records, next: leaf_next })?;
+        write_node(
+            pager,
+            right_id,
+            &Node::Leaf {
+                records: right_records,
+                next: leaf_next,
+            },
+        )?;
         leaf_next = right_id;
-        write_node(pager, leaf_id, &Node::Leaf { records: leaf_records, next: leaf_next })?;
+        write_node(
+            pager,
+            leaf_id,
+            &Node::Leaf {
+                records: leaf_records,
+                next: leaf_next,
+            },
+        )?;
 
         // Propagate splits upward.
         loop {
@@ -420,7 +454,14 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                     seps.pop(); // remove `up`
                     let right_children = children.split_off(mid + 1);
                     let right_id = pager.allocate()?;
-                    write_node(pager, right_id, &Node::Internal { children: right_children, seps: right_seps })?;
+                    write_node(
+                        pager,
+                        right_id,
+                        &Node::Internal {
+                            children: right_children,
+                            seps: right_seps,
+                        },
+                    )?;
                     write_node(pager, pid, &Node::Internal { children, seps })?;
                     split_left = pid;
                     promoted = (up, right_id);
@@ -459,7 +500,14 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         records.remove(pos);
         self.len -= 1;
         let min_leaf = (self.leaf_cap / 2).max(1);
-        write_node(pager, leaf_id, &Node::Leaf { records: records.clone(), next })?;
+        write_node(
+            pager,
+            leaf_id,
+            &Node::Leaf {
+                records: records.clone(),
+                next,
+            },
+        )?;
         if records.len() >= min_leaf || path.is_empty() {
             return Ok(true);
         }
@@ -487,7 +535,16 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
     pub fn validate(&self, pager: &Pager) -> Result<()> {
         let mut leaf_pages = Vec::new();
         let mut count = 0u64;
-        self.validate_node(pager, self.root, self.height, true, None, None, &mut leaf_pages, &mut count)?;
+        self.validate_node(
+            pager,
+            self.root,
+            self.height,
+            true,
+            None,
+            None,
+            &mut leaf_pages,
+            &mut count,
+        )?;
         if count != self.len {
             return Err(PagerError::Corrupt("b+tree len mismatch"));
         }
@@ -570,7 +627,16 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                 for (i, &c) in children.iter().enumerate() {
                     let lo2 = if i == 0 { lo } else { Some(&seps[i - 1]) };
                     let hi2 = if i == seps.len() { hi } else { Some(&seps[i]) };
-                    self.validate_node(pager, c, depth_left - 1, false, lo2, hi2, leaf_pages, count)?;
+                    self.validate_node(
+                        pager,
+                        c,
+                        depth_left - 1,
+                        false,
+                        lo2,
+                        hi2,
+                        leaf_pages,
+                        count,
+                    )?;
                 }
             }
         }
@@ -591,21 +657,46 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         // Try borrowing from the left sibling.
         if idx > 0 {
             let left_id = children[idx - 1];
-            if let Node::Leaf { records: mut lrecs, next: lnext } = read_node::<R>(pager, left_id)? {
+            if let Node::Leaf {
+                records: mut lrecs,
+                next: lnext,
+            } = read_node::<R>(pager, left_id)?
+            {
                 if lrecs.len() > min_leaf {
                     let moved = lrecs.pop().expect("left sibling nonempty");
                     let mut recs = records;
                     recs.insert(0, moved);
                     seps[idx - 1] = moved;
-                    write_node(pager, left_id, &Node::Leaf { records: lrecs, next: lnext })?;
-                    write_node(pager, leaf_id, &Node::Leaf { records: recs, next })?;
+                    write_node(
+                        pager,
+                        left_id,
+                        &Node::Leaf {
+                            records: lrecs,
+                            next: lnext,
+                        },
+                    )?;
+                    write_node(
+                        pager,
+                        leaf_id,
+                        &Node::Leaf {
+                            records: recs,
+                            next,
+                        },
+                    )?;
                     write_node(pager, pid, &Node::Internal { children, seps })?;
                     return Ok(());
                 }
                 // Merge leaf into left sibling.
                 let mut merged = lrecs;
                 merged.extend(records);
-                write_node(pager, left_id, &Node::Leaf { records: merged, next })?;
+                write_node(
+                    pager,
+                    left_id,
+                    &Node::Leaf {
+                        records: merged,
+                        next,
+                    },
+                )?;
                 pager.free(leaf_id)?;
                 children.remove(idx);
                 seps.remove(idx - 1);
@@ -616,20 +707,45 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
 
         // Borrow from / merge with the right sibling.
         let right_id = children[idx + 1];
-        if let Node::Leaf { records: mut rrecs, next: rnext } = read_node::<R>(pager, right_id)? {
+        if let Node::Leaf {
+            records: mut rrecs,
+            next: rnext,
+        } = read_node::<R>(pager, right_id)?
+        {
             if rrecs.len() > min_leaf {
                 let moved = rrecs.remove(0);
                 let mut recs = records;
                 recs.push(moved);
                 seps[idx] = rrecs[0];
-                write_node(pager, right_id, &Node::Leaf { records: rrecs, next: rnext })?;
-                write_node(pager, leaf_id, &Node::Leaf { records: recs, next })?;
+                write_node(
+                    pager,
+                    right_id,
+                    &Node::Leaf {
+                        records: rrecs,
+                        next: rnext,
+                    },
+                )?;
+                write_node(
+                    pager,
+                    leaf_id,
+                    &Node::Leaf {
+                        records: recs,
+                        next,
+                    },
+                )?;
                 write_node(pager, pid, &Node::Internal { children, seps })?;
                 return Ok(());
             }
             let mut merged = records;
             merged.extend(rrecs);
-            write_node(pager, leaf_id, &Node::Leaf { records: merged, next: rnext })?;
+            write_node(
+                pager,
+                leaf_id,
+                &Node::Leaf {
+                    records: merged,
+                    next: rnext,
+                },
+            )?;
             pager.free(right_id)?;
             children.remove(idx + 1);
             seps.remove(idx);
@@ -667,7 +783,11 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         let (gid, mut gchildren, mut gseps, gidx) = path.pop().expect("non-root has parent");
         if gidx > 0 {
             let left_id = gchildren[gidx - 1];
-            if let Node::Internal { children: mut lch, seps: mut lseps } = read_node::<R>(pager, left_id)? {
+            if let Node::Internal {
+                children: mut lch,
+                seps: mut lseps,
+            } = read_node::<R>(pager, left_id)?
+            {
                 if lseps.len() > min_int {
                     // Rotate right through the grandparent separator.
                     let mut children = children;
@@ -677,16 +797,37 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                     children.insert(0, moved_child);
                     seps.insert(0, gseps[gidx - 1]);
                     gseps[gidx - 1] = moved_sep;
-                    write_node(pager, left_id, &Node::Internal { children: lch, seps: lseps })?;
+                    write_node(
+                        pager,
+                        left_id,
+                        &Node::Internal {
+                            children: lch,
+                            seps: lseps,
+                        },
+                    )?;
                     write_node(pager, pid, &Node::Internal { children, seps })?;
-                    write_node(pager, gid, &Node::Internal { children: gchildren, seps: gseps })?;
+                    write_node(
+                        pager,
+                        gid,
+                        &Node::Internal {
+                            children: gchildren,
+                            seps: gseps,
+                        },
+                    )?;
                     return Ok(());
                 }
                 // Merge pid into left sibling.
                 lseps.push(gseps[gidx - 1]);
                 lseps.extend(seps);
                 lch.extend(children);
-                write_node(pager, left_id, &Node::Internal { children: lch, seps: lseps })?;
+                write_node(
+                    pager,
+                    left_id,
+                    &Node::Internal {
+                        children: lch,
+                        seps: lseps,
+                    },
+                )?;
                 pager.free(pid)?;
                 gchildren.remove(gidx);
                 gseps.remove(gidx - 1);
@@ -695,7 +836,11 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
             return Err(PagerError::Corrupt("internal sibling is leaf"));
         }
         let right_id = gchildren[gidx + 1];
-        if let Node::Internal { children: mut rch, seps: mut rseps } = read_node::<R>(pager, right_id)? {
+        if let Node::Internal {
+            children: mut rch,
+            seps: mut rseps,
+        } = read_node::<R>(pager, right_id)?
+        {
             if rseps.len() > min_int {
                 let mut children = children;
                 let mut seps = seps;
@@ -704,9 +849,23 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                 children.push(moved_child);
                 seps.push(gseps[gidx]);
                 gseps[gidx] = moved_sep;
-                write_node(pager, right_id, &Node::Internal { children: rch, seps: rseps })?;
+                write_node(
+                    pager,
+                    right_id,
+                    &Node::Internal {
+                        children: rch,
+                        seps: rseps,
+                    },
+                )?;
                 write_node(pager, pid, &Node::Internal { children, seps })?;
-                write_node(pager, gid, &Node::Internal { children: gchildren, seps: gseps })?;
+                write_node(
+                    pager,
+                    gid,
+                    &Node::Internal {
+                        children: gchildren,
+                        seps: gseps,
+                    },
+                )?;
                 return Ok(());
             }
             let mut children = children;
@@ -756,11 +915,17 @@ mod tests {
     use segdb_pager::PagerConfig;
 
     fn pager(page: usize) -> Pager {
-        Pager::new(PagerConfig { page_size: page, cache_pages: 0 })
+        Pager::new(PagerConfig {
+            page_size: page,
+            cache_pages: 0,
+        })
     }
 
     fn kv(k: i64) -> KeyValue {
-        KeyValue { key: k, value: (k as u64).wrapping_mul(3) }
+        KeyValue {
+            key: k,
+            value: (k as u64).wrapping_mul(3),
+        }
     }
 
     fn probe(k: i64) -> impl Fn(&KeyValue) -> Ordering {

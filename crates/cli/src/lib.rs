@@ -12,6 +12,8 @@
 //! segdb-cli query <db> free <x1> <y1> <x2> <y2>          # any-direction (§5 extension)
 //! segdb-cli insert <db> <id> <x1> <y1> <x2> <y2>
 //! segdb-cli remove <db> <id> <x1> <y1> <x2> <y2>
+//! segdb-cli stats <db> [csv] [--sample <n>] [--seed <s>] [--human]
+//! segdb-cli trace <db> <shape> <coords…> [--human]
 //!
 //! build options:
 //!   --page-size <bytes>     block size (default 4096)
@@ -21,13 +23,26 @@
 //!   --trust                 skip the NCT validation sweep
 //! ```
 //!
+//! `stats` runs a deterministic sample workload of line queries with the
+//! observability layer attached and prints the metric registry snapshot
+//! plus the cost-model fit (JSON by default, `--human` for a table).
+//! When a CSV data file is given, query anchors are sampled from the
+//! stored segments so the workload actually reports hits; otherwise
+//! anchors sweep a fixed coordinate window. `trace` runs one query
+//! (same shapes as `query`) with event tracing on and prints the
+//! enriched per-query trace plus the span summary. Schemas are
+//! documented in the repo README under "Observability".
+//!
 //! The CSV format is `id,x1,y1,x2,y2`, one segment per line; `#` starts
 //! a comment. All logic lives in this library crate so the integration
 //! tests drive [`run`] directly.
 
-use segdb_core::{DbError, IndexKind, SegmentDatabase};
+use segdb_core::{DbError, IndexKind, QueryTrace, SegmentDatabase};
 use segdb_geom::gen::Family;
 use segdb_geom::Segment;
+use segdb_obs::trace::TraceSummary;
+use segdb_obs::Json;
+use segdb_rng::SmallRng;
 use std::fmt::Write as _;
 
 /// Everything that can go wrong at the CLI surface.
@@ -79,7 +94,12 @@ pub fn parse_csv(body: &str) -> Result<Vec<Segment>, CliError> {
                 .map_err(|e| CliError::Io(format!("line {}: bad {what}: {e}", ln + 1)))
         };
         let id = next_i64("id")? as u64;
-        let (x1, y1, x2, y2) = (next_i64("x1")?, next_i64("y1")?, next_i64("x2")?, next_i64("y2")?);
+        let (x1, y1, x2, y2) = (
+            next_i64("x1")?,
+            next_i64("y1")?,
+            next_i64("x2")?,
+            next_i64("y2")?,
+        );
         let seg = Segment::new(id, (x1, y1), (x2, y2))
             .map_err(|e| CliError::Io(format!("line {}: {e}", ln + 1)))?;
         out.push(seg);
@@ -92,7 +112,11 @@ pub fn to_csv(segs: &[Segment]) -> String {
     let mut s = String::with_capacity(segs.len() * 24);
     s.push_str("# id,x1,y1,x2,y2\n");
     for seg in segs {
-        let _ = writeln!(s, "{},{},{},{},{}", seg.id, seg.a.x, seg.a.y, seg.b.x, seg.b.y);
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{}",
+            seg.id, seg.a.x, seg.a.y, seg.b.x, seg.b.y
+        );
     }
     s
 }
@@ -103,7 +127,11 @@ fn parse_index(s: &str) -> Result<IndexKind, CliError> {
         "interval" => IndexKind::TwoLevelInterval,
         "scan" => IndexKind::FullScan,
         "stab" => IndexKind::StabThenFilter,
-        _ => return usage(format!("unknown index kind '{s}' (binary|interval|scan|stab)")),
+        _ => {
+            return usage(format!(
+                "unknown index kind '{s}' (binary|interval|scan|stab)"
+            ))
+        }
     })
 }
 
@@ -115,13 +143,116 @@ fn parse_family(s: &str) -> Result<Family, CliError> {
 }
 
 fn want<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, CliError> {
-    args.get(i).map(String::as_str).map_or_else(|| usage(format!("missing {what}")), Ok)
+    args.get(i)
+        .map(String::as_str)
+        .map_or_else(|| usage(format!("missing {what}")), Ok)
 }
 
 fn num(args: &[String], i: usize, what: &str) -> Result<i64, CliError> {
     want(args, i, what)?
         .parse()
         .map_err(|e| CliError::Usage(format!("bad {what}: {e}")))
+}
+
+fn render_stats_human(snapshot: &Json) -> String {
+    let mut out = String::new();
+    let f = |k: &str| snapshot.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let s = |k: &str| {
+        snapshot
+            .get(k)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let _ = writeln!(out, "index:             {}", s("index"));
+    let _ = writeln!(out, "segments:          {}", f("segments"));
+    let _ = writeln!(out, "block capacity B:  {}", f("block_segments"));
+    let _ = writeln!(out, "space blocks:      {}", f("space_blocks"));
+    let _ = writeln!(out, "cache hit ratio:   {:.3}", f("cache_hit_ratio"));
+    let _ = writeln!(
+        out,
+        "fanout util:       {:.1}%",
+        f("fanout_utilization_pct")
+    );
+    if let Some(cm) = snapshot.get("cost_model") {
+        let g = |k: &str| cm.get(k).and_then(Json::as_f64);
+        let _ = writeln!(
+            out,
+            "cost model:        {} (bound {})",
+            cm.get("kind").and_then(Json::as_str).unwrap_or("?"),
+            cm.get("formula").and_then(Json::as_str).unwrap_or("?"),
+        );
+        match g("fitted_constant") {
+            Some(c) => {
+                let _ = writeln!(out, "fitted constant:   {c:.3}");
+            }
+            None => {
+                let _ = writeln!(out, "fitted constant:   (warming up)");
+            }
+        }
+        let _ = writeln!(out, "bound violations:  {}", g("violations").unwrap_or(0.0));
+    }
+    if let Some(metrics) = snapshot.get("metrics") {
+        if let Some(Json::Obj(counters)) = metrics.get("counters") {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in counters {
+                let _ = writeln!(out, "  {k:24} {}", v.as_f64().unwrap_or(0.0));
+            }
+        }
+        if let Some(Json::Obj(hists)) = metrics.get("histograms") {
+            let _ = writeln!(out, "histograms:");
+            for (k, h) in hists {
+                let g = |f: &str| h.get(f).and_then(Json::as_f64).unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "  {k:24} n={} mean={:.2} min={} max={}",
+                    g("count"),
+                    g("mean"),
+                    g("min"),
+                    g("max"),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn render_trace_human(hits: &[Segment], trace: &QueryTrace, summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "hits:                 {}", hits.len());
+    let _ = writeln!(out, "first-level nodes:    {}", trace.first_level_nodes);
+    let _ = writeln!(out, "second-level probes:  {}", trace.second_level_probes);
+    let _ = writeln!(out, "bridge jumps:         {}", trace.bridge_jumps);
+    let _ = writeln!(
+        out,
+        "io:                   {} reads, {} writes, {} cache hits",
+        trace.io.reads, trace.io.writes, trace.io.cache_hits
+    );
+    match trace.cost {
+        Some(c) => {
+            let _ = writeln!(
+                out,
+                "cost bound:           measured {} vs bound {:.1} — {}",
+                c.measured,
+                c.bound,
+                if c.within { "within" } else { "VIOLATED" }
+            );
+        }
+        None => {
+            let _ = writeln!(out, "cost bound:           (fitter not warmed up)");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "spans:                {} events ({} dropped), max depth {}",
+        summary.events, summary.dropped, summary.max_depth
+    );
+    let _ = writeln!(
+        out,
+        "node visits:          pst={} itree={} bptree={}",
+        summary.pst_nodes, summary.itree_nodes, summary.bptree_nodes
+    );
+    out
 }
 
 /// Run one CLI invocation (`args` excludes the program name); returns the
@@ -137,7 +268,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "build" => {
             let db_path = want(args, 1, "db path")?;
             let csv_path = want(args, 2, "csv path")?;
-            let body = std::fs::read_to_string(csv_path).map_err(|e| CliError::Io(e.to_string()))?;
+            let body =
+                std::fs::read_to_string(csv_path).map_err(|e| CliError::Io(e.to_string()))?;
             let segs = parse_csv(&body)?;
             let mut builder = SegmentDatabase::builder().persist_to(db_path);
             let mut i = 3;
@@ -156,8 +288,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         let (dx, dy) = spec
                             .split_once(',')
                             .ok_or_else(|| CliError::Usage("direction must be dx,dy".into()))?;
-                        let dx = dx.trim().parse().map_err(|_| CliError::Usage("bad dx".into()))?;
-                        let dy = dy.trim().parse().map_err(|_| CliError::Usage("bad dy".into()))?;
+                        let dx = dx
+                            .trim()
+                            .parse()
+                            .map_err(|_| CliError::Usage("bad dx".into()))?;
+                        let dy = dy
+                            .trim()
+                            .parse()
+                            .map_err(|_| CliError::Usage("bad dy".into()))?;
                         builder = builder.direction(dx, dy)?;
                         i += 2;
                     }
@@ -216,6 +354,103 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(out, "# {} hits, {} block reads", hits.len(), trace.io.reads);
             Ok(out)
         }
+        "stats" => {
+            let db_path = want(args, 1, "db path")?;
+            let mut sample = 64usize;
+            let mut seed = 1u64;
+            let mut human = false;
+            let mut csv: Option<String> = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--sample" => {
+                        sample = num(args, i + 1, "sample count")? as usize;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = num(args, i + 1, "seed")? as u64;
+                        i += 2;
+                    }
+                    "--human" => {
+                        human = true;
+                        i += 1;
+                    }
+                    other if !other.starts_with('-') && csv.is_none() => {
+                        csv = Some(other.to_string());
+                        i += 1;
+                    }
+                    other => return usage(format!("unknown stats option '{other}'")),
+                }
+            }
+            let mut db = SegmentDatabase::open(db_path, 0)?;
+            db.set_observability(true);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let anchors: Vec<(i64, i64)> = match &csv {
+                Some(path) => {
+                    let body =
+                        std::fs::read_to_string(path).map_err(|e| CliError::Io(e.to_string()))?;
+                    let segs = parse_csv(&body)?;
+                    if segs.is_empty() {
+                        return Err(CliError::Io("empty data file".into()));
+                    }
+                    (0..sample)
+                        .map(|_| {
+                            let s = segs[rng.gen_range(0..segs.len())];
+                            ((s.a.x + s.b.x) / 2, (s.a.y + s.b.y) / 2)
+                        })
+                        .collect()
+                }
+                None => (0..sample)
+                    .map(|_| (rng.gen_range(-(1i64 << 20)..(1i64 << 20)), 0))
+                    .collect(),
+            };
+            for (x, y) in anchors {
+                db.query_line((x, y))?;
+            }
+            let snapshot = db.metrics_json().expect("observability just enabled");
+            if human {
+                Ok(render_stats_human(&snapshot))
+            } else {
+                Ok(format!("{}\n", snapshot.render()))
+            }
+        }
+        "trace" => {
+            let db_path = want(args, 1, "db path")?;
+            let shape = want(args, 2, "query shape")?;
+            let human = args.last().map(String::as_str) == Some("--human");
+            let mut db = SegmentDatabase::open(db_path, 0)?;
+            db.set_observability(true);
+            segdb_obs::trace::clear();
+            let result = segdb_obs::trace::with_tracing(|| -> Result<_, CliError> {
+                Ok(match shape {
+                    "line" => db.query_line((num(args, 3, "x")?, num(args, 4, "y")?))?,
+                    "ray-up" => db.query_ray_up((num(args, 3, "x")?, num(args, 4, "y")?))?,
+                    "ray-down" => db.query_ray_down((num(args, 3, "x")?, num(args, 4, "y")?))?,
+                    "segment" => db.query_segment(
+                        (num(args, 3, "x1")?, num(args, 4, "y1")?),
+                        (num(args, 5, "x2")?, num(args, 6, "y2")?),
+                    )?,
+                    other => return usage(format!("unknown trace shape '{other}'")),
+                })
+            });
+            let (events, dropped) = segdb_obs::trace::drain();
+            let (hits, trace) = result?;
+            let summary = TraceSummary::from_events(&events, dropped);
+            if human {
+                Ok(render_trace_human(&hits, &trace, &summary))
+            } else {
+                let doc = Json::obj([
+                    ("shape", Json::Str(shape.into())),
+                    (
+                        "hits",
+                        Json::Arr(hits.iter().map(|s| Json::U64(s.id)).collect()),
+                    ),
+                    ("query", trace.to_json()),
+                    ("spans", summary.to_json()),
+                ]);
+                Ok(format!("{}\n", doc.render()))
+            }
+        }
         "insert" | "remove" => {
             let op = args[0].clone();
             let path = want(args, 1, "db path")?.to_string();
@@ -269,13 +504,19 @@ mod tests {
         let a = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         assert!(matches!(run(&a(&["frobnicate"])), Err(CliError::Usage(_))));
         assert!(matches!(run(&a(&[])), Err(CliError::Usage(_))));
-        assert!(matches!(run(&a(&["gen", "nope", "5", "1"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&a(&["gen", "nope", "5", "1"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(run(&a(&["query"])), Err(CliError::Usage(_))));
     }
 
     #[test]
     fn gen_emits_parseable_csv() {
-        let a: Vec<String> = ["gen", "grid", "100", "7"].iter().map(|s| s.to_string()).collect();
+        let a: Vec<String> = ["gen", "grid", "100", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let csv = run(&a).unwrap();
         let segs = parse_csv(&csv).unwrap();
         assert!(!segs.is_empty());

@@ -7,7 +7,7 @@ fn main() {
         Err(e) => {
             eprintln!("segdb-cli: {e}");
             eprintln!(
-                "commands: gen | build | info | query | insert | remove  (see crate docs)"
+                "commands: gen | build | info | query | insert | remove | stats | trace  (see crate docs)"
             );
             std::process::exit(2);
         }

@@ -24,7 +24,17 @@ fn full_workflow() {
     let set = parse_csv(&csv).unwrap();
 
     // 2. Build a persistent database with the any-direction extension.
-    let out = run(&a(&["build", &db_path, &csv_path, "--page-size", "1024", "--index", "binary", "--arbitrary"])).unwrap();
+    let out = run(&a(&[
+        "build",
+        &db_path,
+        &csv_path,
+        "--page-size",
+        "1024",
+        "--index",
+        "binary",
+        "--arbitrary",
+    ]))
+    .unwrap();
     assert!(out.contains("built 400 segments"), "{out}");
 
     // 3. Info reads the superblock.
@@ -35,7 +45,10 @@ fn full_workflow() {
     // 4. Query: a line through a known segment's left endpoint.
     let s = set[0];
     let out = run(&a(&["query", &db_path, "line", &s.a.x.to_string(), "0"])).unwrap();
-    assert!(out.lines().any(|l| l.starts_with(&format!("{},", s.id))), "{out}");
+    assert!(
+        out.lines().any(|l| l.starts_with(&format!("{},", s.id))),
+        "{out}"
+    );
     assert!(out.contains("block reads"));
 
     // 5. Free (arbitrary-direction) query works thanks to --arbitrary.
@@ -43,10 +56,16 @@ fn full_workflow() {
     assert!(out.contains("hits"), "{out}");
 
     // 6. Mutations persist.
-    run(&a(&["insert", &db_path, "99999", "70000", "-50", "70010", "-45"])).unwrap();
+    run(&a(&[
+        "insert", &db_path, "99999", "70000", "-50", "70010", "-45",
+    ]))
+    .unwrap();
     let out = run(&a(&["query", &db_path, "line", "70005", "0"])).unwrap();
     assert!(out.lines().any(|l| l.starts_with("99999,")), "{out}");
-    let out = run(&a(&["remove", &db_path, "99999", "70000", "-50", "70010", "-45"])).unwrap();
+    let out = run(&a(&[
+        "remove", &db_path, "99999", "70000", "-50", "70010", "-45",
+    ]))
+    .unwrap();
     assert!(out.starts_with("removed"), "{out}");
     let out = run(&a(&["query", &db_path, "line", "70005", "0"])).unwrap();
     assert!(!out.lines().any(|l| l.starts_with("99999,")), "{out}");
@@ -63,7 +82,10 @@ fn build_rejects_crossing_input() {
     let err = run(&a(&["build", &db_path, &csv_path])).unwrap_err();
     assert!(err.to_string().contains("cross"), "{err}");
     // --trust skips validation (the caller takes responsibility).
-    let out = run(&a(&["build", &db_path, &csv_path, "--trust", "--index", "scan"])).unwrap();
+    let out = run(&a(&[
+        "build", &db_path, &csv_path, "--trust", "--index", "scan",
+    ]))
+    .unwrap();
     assert!(out.contains("built 2 segments"));
     std::fs::remove_file(&csv_path).ok();
     std::fs::remove_file(&db_path).ok();
@@ -84,6 +106,89 @@ fn sheared_build_and_query() {
     // Aligned one works: (0,0) → (1,4) lies on a (1,4)-line.
     let out = run(&a(&["query", &db_path, "segment", "0", "0", "1", "4"])).unwrap();
     assert!(out.contains("hits"));
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&db_path).ok();
+}
+
+#[test]
+fn stats_and_trace_emit_valid_json() {
+    let csv_path = tmp("obs.csv");
+    let db_path = tmp("obs.db");
+    let csv = run(&a(&["gen", "mixed", "500", "5"])).unwrap();
+    std::fs::write(&csv_path, &csv).unwrap();
+    run(&a(&[
+        "build",
+        &db_path,
+        &csv_path,
+        "--page-size",
+        "1024",
+        "--index",
+        "interval",
+    ]))
+    .unwrap();
+
+    // stats: machine output must parse as JSON and carry the core fields.
+    let out = run(&a(&[
+        "stats", &db_path, &csv_path, "--sample", "40", "--seed", "9",
+    ]))
+    .unwrap();
+    let doc = segdb_obs::json::parse(&out).expect("stats output is valid JSON");
+    assert_eq!(doc.get("segments").and_then(|v| v.as_f64()), Some(500.0));
+    assert_eq!(
+        doc.get("index").and_then(|v| v.as_str()),
+        Some("TwoLevelInterval")
+    );
+    let queries = doc
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("queries"))
+        .and_then(|v| v.as_f64());
+    assert_eq!(queries, Some(40.0));
+    assert!(
+        doc.get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(|h| h.get("io_per_query"))
+            .is_some(),
+        "{out}"
+    );
+    assert!(doc
+        .get("cost_model")
+        .and_then(|c| c.get("fitted_constant"))
+        .is_some());
+
+    // Human mode is prose, not JSON.
+    let human = run(&a(&["stats", &db_path, &csv_path, "--human"])).unwrap();
+    assert!(human.contains("cache hit ratio"), "{human}");
+    assert!(segdb_obs::json::parse(&human).is_err());
+
+    // trace: JSON with per-query trace and span summary.
+    let set = parse_csv(&csv).unwrap();
+    let x = set[0].a.x.to_string();
+    let out = run(&a(&["trace", &db_path, "line", &x, "0"])).unwrap();
+    let doc = segdb_obs::json::parse(&out).expect("trace output is valid JSON");
+    assert!(
+        doc.get("query").and_then(|q| q.get("io")).is_some(),
+        "{out}"
+    );
+    let spans = doc.get("spans").expect("span summary present");
+    let reads = spans.get("page_reads").and_then(|v| v.as_f64()).unwrap();
+    let q_reads = doc
+        .get("query")
+        .and_then(|q| q.get("io"))
+        .and_then(|io| io.get("reads"))
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert_eq!(reads, q_reads, "span events agree with I/O counters");
+    assert!(
+        doc.get("hits")
+            .and_then(|h| h.as_arr())
+            .is_some_and(|h| !h.is_empty()),
+        "{out}"
+    );
+
+    let human = run(&a(&["trace", &db_path, "line", &x, "0", "--human"])).unwrap();
+    assert!(human.contains("second-level probes"), "{human}");
+
     std::fs::remove_file(&csv_path).ok();
     std::fs::remove_file(&db_path).ok();
 }

@@ -42,9 +42,9 @@ impl Record for SegRec {
         let id = r.u64()?;
         let a = Point::new(r.i64()?, r.i64()?);
         let b = Point::new(r.i64()?, r.i64()?);
-        Ok(SegRec(
-            Segment::new(id, a, b).map_err(|_| PagerError::Corrupt("invalid segment record"))?,
-        ))
+        Ok(SegRec(Segment::new(id, a, b).map_err(|_| {
+            PagerError::Corrupt("invalid segment record")
+        })?))
     }
 }
 
@@ -96,7 +96,10 @@ pub struct AnyQueryIndex {
 impl AnyQueryIndex {
     /// Build over a segment set.
     pub fn build(pager: &Pager, segs: &[Segment]) -> Result<Self> {
-        let intervals: Vec<Interval> = segs.iter().map(|s| Interval::new(s.id, s.a.x, s.b.x)).collect();
+        let intervals: Vec<Interval> = segs
+            .iter()
+            .map(|s| Interval::new(s.id, s.a.x, s.b.x))
+            .collect();
         let xset = IntervalSet::build(pager, IntervalTreeConfig::default(), intervals)?;
         let mut recs: Vec<SegRec> = segs.iter().map(|s| SegRec(*s)).collect();
         recs.sort_by_key(|r| r.0.id);
@@ -140,7 +143,9 @@ impl AnyQueryIndex {
         let mut out = Vec::with_capacity(candidates.len() / 4);
         for c in &candidates {
             let id = c.id;
-            let mut cur = self.byid.lower_bound(pager, &move |r: &SegRec| id.cmp(&r.0.id))?;
+            let mut cur = self
+                .byid
+                .lower_bound(pager, &move |r: &SegRec| id.cmp(&r.0.id))?;
             let rec = cur
                 .next(pager)?
                 .filter(|r| r.0.id == id)
@@ -154,14 +159,17 @@ impl AnyQueryIndex {
 
     /// Insert a segment.
     pub fn insert(&mut self, pager: &Pager, seg: Segment) -> Result<()> {
-        self.xset.insert(pager, Interval::new(seg.id, seg.a.x, seg.b.x))?;
+        self.xset
+            .insert(pager, Interval::new(seg.id, seg.a.x, seg.b.x))?;
         self.byid.insert(pager, SegRec(seg))?;
         Ok(())
     }
 
     /// Remove a segment. Returns whether it was found.
     pub fn remove(&mut self, pager: &Pager, seg: &Segment) -> Result<bool> {
-        let found = self.xset.remove(pager, &Interval::new(seg.id, seg.a.x, seg.b.x))?;
+        let found = self
+            .xset
+            .remove(pager, &Interval::new(seg.id, seg.a.x, seg.b.x))?;
         if found {
             self.byid.remove(pager, &SegRec(*seg))?;
         }
@@ -193,7 +201,10 @@ mod tests {
     use segdb_pager::PagerConfig;
 
     fn pager() -> Pager {
-        Pager::new(PagerConfig { page_size: 1024, cache_pages: 0 })
+        Pager::new(PagerConfig {
+            page_size: 1024,
+            cache_pages: 0,
+        })
     }
 
     fn oracle(set: &[Segment], q: &Segment) -> Vec<u64> {

@@ -13,10 +13,10 @@
 //!   `t_stab ≥ t` counts segments crossing the whole vertical *line* —
 //!   the gap between stabbing and VS queries that motivates the paper.
 
+use crate::chain;
 use crate::report::QueryTrace;
 use segdb_geom::{Segment, VerticalQuery};
 use segdb_itree::{Interval, IntervalTree, IntervalTreeConfig};
-use crate::chain;
 use segdb_pager::{PageId, Pager, Result, StatScope};
 use std::collections::HashMap;
 
@@ -123,7 +123,11 @@ impl StabThenFilter {
         chain::scan(pager, chain, |s| {
             segments.insert(s.id, s);
         })?;
-        Ok(StabThenFilter { tree, segments, chain })
+        Ok(StabThenFilter {
+            tree,
+            segments,
+            chain,
+        })
     }
 
     /// Stored segment count.
@@ -142,6 +146,11 @@ impl StabThenFilter {
     pub fn query(&self, pager: &Pager, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace)> {
         let scope = StatScope::begin(pager);
         let mut candidates = Vec::new();
+        segdb_obs::trace::emit(
+            segdb_obs::trace::EventKind::SecondLevelProbe,
+            segdb_obs::trace::probe::STAB_TREE,
+            0,
+        );
         self.tree.stab_into(pager, q.x(), &mut candidates)?;
         let mut out = Vec::with_capacity(candidates.len());
         for c in &candidates {
@@ -177,7 +186,10 @@ mod tests {
     use segdb_pager::PagerConfig;
 
     fn pager() -> Pager {
-        Pager::new(PagerConfig { page_size: 512, cache_pages: 0 })
+        Pager::new(PagerConfig {
+            page_size: 512,
+            cache_pages: 0,
+        })
     }
 
     #[test]

@@ -36,7 +36,10 @@ use crate::report::QueryTrace;
 use segdb_geom::{Segment, VerticalQuery};
 use segdb_itree::overlap::{IntervalSet, IntervalSetState};
 use segdb_itree::{Interval, IntervalTreeConfig};
-use segdb_pager::{ByteReader, ByteWriter, PageId, Pager, PagerError, Result, StatScope, NULL_PAGE};
+use segdb_obs::trace::{emit as obs_emit, probe, EventKind};
+use segdb_pager::{
+    ByteReader, ByteWriter, PageId, Pager, PagerError, Result, StatScope, NULL_PAGE,
+};
 use segdb_pst::{Pst, PstConfig, PstState, Side};
 
 const TAG_LEAF: u8 = 1;
@@ -202,6 +205,11 @@ impl TwoLevelBinary {
         let (x0, lo, hi) = (q.x(), q.lo(), q.hi());
         let mut page = self.root;
         while page != NULL_PAGE {
+            obs_emit(
+                EventKind::FirstLevelVisit,
+                u64::from(page),
+                trace.first_level_nodes as u64,
+            );
             trace.first_level_nodes += 1;
             let node = read_node(pager, page)?;
             match node {
@@ -219,6 +227,7 @@ impl TwoLevelBinary {
                         let c = IntervalSet::attach(pager, IntervalTreeConfig::default(), n.c)?;
                         let mut ivs = Vec::new();
                         c.overlap_into(pager, lo, hi, &mut ivs)?;
+                        obs_emit(EventKind::SecondLevelProbe, probe::C_SET, 0);
                         trace.second_level_probes += 1;
                         for iv in ivs {
                             out.push(
@@ -229,16 +238,19 @@ impl TwoLevelBinary {
                         // L(v) holds every crossing segment; the query
                         // line passes through all their base points.
                         let l = Pst::attach(pager, n.xv, Side::Left, self.cfg.pst, n.l)?;
+                        obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
                         l.query_into(pager, x0, lo, hi, &mut out)?;
                         trace.second_level_probes += 1;
                         break;
                     } else if x0 < n.xv {
                         let l = Pst::attach(pager, n.xv, Side::Left, self.cfg.pst, n.l)?;
+                        obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
                         l.query_into(pager, x0, lo, hi, &mut out)?;
                         trace.second_level_probes += 1;
                         page = n.left;
                     } else {
                         let r = Pst::attach(pager, n.xv, Side::Right, self.cfg.pst, n.r)?;
+                        obs_emit(EventKind::SecondLevelProbe, probe::R_PST, 0);
                         r.query_into(pager, x0, lo, hi, &mut out)?;
                         trace.second_level_probes += 1;
                         page = n.right;
@@ -276,7 +288,14 @@ impl TwoLevelBinary {
                         segs.shrink_to_fit();
                         build_rec_at(pager, &self.cfg, segs, page)?;
                     } else {
-                        write_node(pager, page, &Node::Leaf { head: new_head, count })?;
+                        write_node(
+                            pager,
+                            page,
+                            &Node::Leaf {
+                                head: new_head,
+                                count,
+                            },
+                        )?;
                     }
                     break;
                 }
@@ -337,7 +356,14 @@ impl TwoLevelBinary {
                 Node::Leaf { head, count } => {
                     found = chain::remove(pager, head, seg.id)?;
                     if found {
-                        write_node(pager, page, &Node::Leaf { head, count: count - 1 })?;
+                        write_node(
+                            pager,
+                            page,
+                            &Node::Leaf {
+                                head,
+                                count: count - 1,
+                            },
+                        )?;
                     }
                     break;
                 }
@@ -508,7 +534,14 @@ fn write_node(pager: &Pager, id: PageId, node: &Node) -> Result<()> {
 fn leaf_from(pager: &Pager, segs: &[Segment]) -> Result<PageId> {
     let page = pager.allocate()?;
     let head = chain::write(pager, segs)?;
-    write_node(pager, page, &Node::Leaf { head, count: segs.len() as u64 })?;
+    write_node(
+        pager,
+        page,
+        &Node::Leaf {
+            head,
+            count: segs.len() as u64,
+        },
+    )?;
     Ok(page)
 }
 
@@ -518,10 +551,22 @@ fn build_rec(pager: &Pager, cfg: &Binary2LConfig, segs: Vec<Segment>) -> Result<
     Ok(page)
 }
 
-fn build_rec_at(pager: &Pager, cfg: &Binary2LConfig, segs: Vec<Segment>, page: PageId) -> Result<()> {
+fn build_rec_at(
+    pager: &Pager,
+    cfg: &Binary2LConfig,
+    segs: Vec<Segment>,
+    page: PageId,
+) -> Result<()> {
     if segs.len() <= chain::cap(pager.page_size()) {
         let head = chain::write(pager, &segs)?;
-        return write_node(pager, page, &Node::Leaf { head, count: segs.len() as u64 });
+        return write_node(
+            pager,
+            page,
+            &Node::Leaf {
+                head,
+                count: segs.len() as u64,
+            },
+        );
     }
     // Median endpoint abscissa.
     let mut xs: Vec<i64> = segs.iter().flat_map(|s| [s.a.x, s.b.x]).collect();
@@ -547,8 +592,16 @@ fn build_rec_at(pager: &Pager, cfg: &Binary2LConfig, segs: Vec<Segment>, page: P
     let l = Pst::build(pager, xv, Side::Left, cfg.pst, crossing.clone())?.state();
     let r = Pst::build(pager, xv, Side::Right, cfg.pst, crossing)?.state();
     let (left_size, right_size) = (lefts.len() as u64, rights.len() as u64);
-    let left = if lefts.is_empty() { NULL_PAGE } else { build_rec(pager, cfg, lefts)? };
-    let right = if rights.is_empty() { NULL_PAGE } else { build_rec(pager, cfg, rights)? };
+    let left = if lefts.is_empty() {
+        NULL_PAGE
+    } else {
+        build_rec(pager, cfg, lefts)?
+    };
+    let right = if rights.is_empty() {
+        NULL_PAGE
+    } else {
+        build_rec(pager, cfg, rights)?
+    };
     write_node(
         pager,
         page,
@@ -566,7 +619,12 @@ fn build_rec_at(pager: &Pager, cfg: &Binary2LConfig, segs: Vec<Segment>, page: P
     )
 }
 
-fn collect_rec(pager: &Pager, cfg: &Binary2LConfig, page: PageId, out: &mut Vec<Segment>) -> Result<()> {
+fn collect_rec(
+    pager: &Pager,
+    cfg: &Binary2LConfig,
+    page: PageId,
+    out: &mut Vec<Segment>,
+) -> Result<()> {
     match read_node(pager, page)? {
         Node::Leaf { head, .. } => chain::scan(pager, head, |s| out.push(s))?,
         Node::Internal(n) => {
@@ -683,7 +741,10 @@ mod tests {
     use segdb_pager::PagerConfig;
 
     fn pager(page: usize) -> Pager {
-        Pager::new(PagerConfig { page_size: page, cache_pages: 0 })
+        Pager::new(PagerConfig {
+            page_size: page,
+            cache_pages: 0,
+        })
     }
 
     fn check_queries(set: &[Segment], t: &TwoLevelBinary, p: &Pager, queries: &[VerticalQuery]) {

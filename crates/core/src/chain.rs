@@ -172,7 +172,10 @@ mod tests {
     use segdb_pager::PagerConfig;
 
     fn pager() -> Pager {
-        Pager::new(PagerConfig { page_size: 128, cache_pages: 0 })
+        Pager::new(PagerConfig {
+            page_size: 128,
+            cache_pages: 0,
+        })
     }
 
     fn seg(id: u64) -> Segment {

@@ -16,7 +16,11 @@ use segdb_geom::nct::verify_nct;
 use segdb_geom::transform::Direction;
 use segdb_geom::{GeomError, Point, Segment, VerticalQuery};
 use segdb_itree::tree::ItState;
+use segdb_obs::cost::{CostKind, CostModel, Fitter};
+use segdb_obs::trace::TraceSummary;
+use segdb_obs::{Json, Registry};
 use segdb_pager::{FileDevice, Pager, PagerConfig, PagerError};
+use std::cell::RefCell;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -32,6 +36,18 @@ pub enum IndexKind {
     FullScan,
     /// Stabbing-index + filter baseline.
     StabThenFilter,
+}
+
+impl IndexKind {
+    /// The paper bound that applies to this structure's queries.
+    pub fn cost_kind(self) -> CostKind {
+        match self {
+            IndexKind::TwoLevelBinary => CostKind::TwoLevelBinary,
+            IndexKind::TwoLevelInterval => CostKind::TwoLevelInterval,
+            IndexKind::FullScan => CostKind::FullScan,
+            IndexKind::StabThenFilter => CostKind::StabThenFilter,
+        }
+    }
 }
 
 /// Database-level errors.
@@ -54,7 +70,9 @@ impl fmt::Display for DbError {
             DbError::Geom(e) => write!(f, "geometry: {e}"),
             DbError::Pager(e) => write!(f, "storage: {e}"),
             DbError::Unsupported(w) => write!(f, "unsupported operation: {w}"),
-            DbError::NotAligned => write!(f, "query endpoints not aligned with the fixed direction"),
+            DbError::NotAligned => {
+                write!(f, "query endpoints not aligned with the fixed direction")
+            }
         }
     }
 }
@@ -81,6 +99,38 @@ enum Index {
     Stab(StabThenFilter),
 }
 
+impl Index {
+    fn kind(&self) -> IndexKind {
+        match self {
+            Index::Binary(_) => IndexKind::TwoLevelBinary,
+            Index::Interval(_) => IndexKind::TwoLevelInterval,
+            Index::Scan(_) => IndexKind::FullScan,
+            Index::Stab(_) => IndexKind::StabThenFilter,
+        }
+    }
+}
+
+/// Per-database observability state: a metric registry plus the cost
+/// fitter judging each query against the paper's bound.
+#[derive(Debug)]
+struct DbObserver {
+    registry: Registry,
+    fitter: RefCell<Fitter>,
+}
+
+impl DbObserver {
+    fn new(kind: IndexKind, len: u64, block_segments: u64) -> DbObserver {
+        DbObserver {
+            registry: Registry::new(),
+            fitter: RefCell::new(Fitter::new(CostModel::new(
+                kind.cost_kind(),
+                len,
+                block_segments,
+            ))),
+        }
+    }
+}
+
 /// Builder for [`SegmentDatabase`].
 #[derive(Debug)]
 pub struct SegmentDatabaseBuilder {
@@ -91,6 +141,7 @@ pub struct SegmentDatabaseBuilder {
     validate_nct: bool,
     persist: Option<PathBuf>,
     arbitrary: bool,
+    observe: bool,
 }
 
 impl Default for SegmentDatabaseBuilder {
@@ -103,6 +154,7 @@ impl Default for SegmentDatabaseBuilder {
             validate_nct: true,
             persist: None,
             arbitrary: false,
+            observe: false,
         }
     }
 }
@@ -148,6 +200,16 @@ impl SegmentDatabaseBuilder {
         self
     }
 
+    /// Attach the observability layer: a per-database metric registry
+    /// (I/O per query, hits per query, cache hit ratio, …) and the
+    /// cost-model verifier that judges every query against the paper's
+    /// fitted bound (see [`SegmentDatabase::metrics_json`]). Queries then
+    /// carry [`QueryTrace::cost`] once the fitter has warmed up.
+    pub fn observe(mut self) -> Self {
+        self.observe = true;
+        self
+    }
+
     /// Build on a persistent single-file store at `path` (created or
     /// truncated) instead of the in-memory disk. The database is saved
     /// and synced after the build; call [`SegmentDatabase::save`] after
@@ -177,9 +239,11 @@ impl SegmentDatabaseBuilder {
             verify_nct(&transformed)?;
         }
         let index = match self.kind {
-            IndexKind::TwoLevelBinary => {
-                Index::Binary(TwoLevelBinary::build(&pager, Binary2LConfig::default(), transformed)?)
-            }
+            IndexKind::TwoLevelBinary => Index::Binary(TwoLevelBinary::build(
+                &pager,
+                Binary2LConfig::default(),
+                transformed,
+            )?),
             IndexKind::TwoLevelInterval => Index::Interval(TwoLevelInterval::build(
                 &pager,
                 Interval2LConfig::default(),
@@ -198,12 +262,16 @@ impl SegmentDatabaseBuilder {
         } else {
             None
         };
-        let db = SegmentDatabase {
+        let mut db = SegmentDatabase {
             pager,
             direction: self.direction,
             index,
             any,
+            obs: None,
         };
+        if self.observe {
+            db.set_observability(true);
+        }
         if self.persist.is_some() {
             db.save()?;
         }
@@ -219,6 +287,7 @@ pub struct SegmentDatabase {
     direction: Direction,
     index: Index,
     any: Option<AnyQueryIndex>,
+    obs: Option<DbObserver>,
 }
 
 impl SegmentDatabase {
@@ -248,7 +317,10 @@ impl SegmentDatabase {
             IndexKind::FullScan => Index::Scan(FullScan::attach(sb.root, sb.len)),
             IndexKind::StabThenFilter => Index::Stab(StabThenFilter::attach(
                 &pager,
-                ItState { root: sb.root, len: sb.len },
+                ItState {
+                    root: sb.root,
+                    len: sb.len,
+                },
                 sb.aux,
             )?),
         };
@@ -261,6 +333,7 @@ impl SegmentDatabase {
             direction,
             index,
             any,
+            obs: None,
         })
     }
 
@@ -289,7 +362,14 @@ impl SegmentDatabase {
         self.save_with(kind, root, len, aux, 0)
     }
 
-    fn save_with(&self, kind: IndexKind, root: segdb_pager::PageId, len: u64, aux: segdb_pager::PageId, aux2: u64) -> Result<(), DbError> {
+    fn save_with(
+        &self,
+        kind: IndexKind,
+        root: segdb_pager::PageId,
+        len: u64,
+        aux: segdb_pager::PageId,
+        aux2: u64,
+    ) -> Result<(), DbError> {
         let sb = Superblock {
             direction: (self.direction.dx(), self.direction.dy()),
             kind,
@@ -336,6 +416,84 @@ impl SegmentDatabase {
         &self.pager
     }
 
+    /// Which index structure backs this database.
+    pub fn kind(&self) -> IndexKind {
+        self.index.kind()
+    }
+
+    /// Segments per block `B` — the external-memory model's block
+    /// capacity for this page size.
+    pub fn block_segments(&self) -> u64 {
+        crate::chain::cap(self.pager.page_size()) as u64
+    }
+
+    /// Turn the observability layer on or off after construction (the
+    /// builder's [`SegmentDatabaseBuilder::observe`] does this at build
+    /// time; re-opened databases use this). Turning it on resets any
+    /// previous metrics and cost-fit state.
+    pub fn set_observability(&mut self, on: bool) {
+        self.obs = if on {
+            Some(DbObserver::new(
+                self.index.kind(),
+                self.len(),
+                self.block_segments(),
+            ))
+        } else {
+            None
+        };
+    }
+
+    /// Is the observability layer attached?
+    pub fn observability(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Snapshot the observability metrics as JSON:
+    /// `{index, segments, block_segments, space_blocks, cache_hit_ratio,
+    /// fanout_utilization_pct, cost_model, metrics: {counters, histograms}}`.
+    /// `None` when observability is off.
+    pub fn metrics_json(&self) -> Option<Json> {
+        let obs = self.obs.as_ref()?;
+        let reads = obs.registry.counter("page_reads");
+        let hits = obs.registry.counter("cache_hits");
+        let ratio = if reads + hits == 0 {
+            0.0
+        } else {
+            hits as f64 / (reads + hits) as f64
+        };
+        let blocks = self.space_blocks() as f64;
+        let util = if blocks == 0.0 {
+            0.0
+        } else {
+            100.0 * self.len() as f64 / (blocks * self.block_segments() as f64)
+        };
+        Some(Json::obj([
+            ("index", Json::Str(format!("{:?}", self.index.kind()))),
+            ("segments", Json::U64(self.len())),
+            ("block_segments", Json::U64(self.block_segments())),
+            ("space_blocks", Json::U64(self.space_blocks() as u64)),
+            ("cache_hit_ratio", Json::F64(ratio)),
+            ("fanout_utilization_pct", Json::F64(util)),
+            ("cost_model", obs.fitter.borrow().to_json()),
+            ("metrics", obs.registry.to_json()),
+        ]))
+    }
+
+    /// Run a canonical-frame query with event tracing enabled and return
+    /// the enriched trace plus the aggregated span summary (first-level
+    /// visits, second-level probes, bridge jumps, per-crate node visits,
+    /// pager events). Powering the CLI `trace` subcommand.
+    pub fn traced_query(
+        &self,
+        q: &VerticalQuery,
+    ) -> Result<(Vec<Segment>, QueryTrace, TraceSummary), DbError> {
+        segdb_obs::trace::clear();
+        let res = segdb_obs::trace::with_tracing(|| self.run(q));
+        let (events, dropped) = segdb_obs::trace::drain();
+        let (hits, trace) = res?;
+        Ok((hits, trace, TraceSummary::from_events(&events, dropped)))
+    }
+
     /// Blocks of secondary storage currently allocated.
     pub fn space_blocks(&self) -> usize {
         self.pager.live_pages()
@@ -343,14 +501,20 @@ impl SegmentDatabase {
 
     /// Report every segment intersected by the **full line** of the
     /// fixed direction through `anchor`.
-    pub fn query_line(&self, anchor: impl Into<Point>) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+    pub fn query_line(
+        &self,
+        anchor: impl Into<Point>,
+    ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
         let q = self.direction.make_query(anchor.into(), None, None)?;
         self.run(&q)
     }
 
     /// Report every segment intersected by the ray from `anchor` in the
     /// fixed direction (increasing ordinate).
-    pub fn query_ray_up(&self, anchor: impl Into<Point>) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+    pub fn query_ray_up(
+        &self,
+        anchor: impl Into<Point>,
+    ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
         let a = anchor.into();
         let q = self.direction.make_query(a, Some(a.y), None)?;
         self.run(&q)
@@ -358,7 +522,10 @@ impl SegmentDatabase {
 
     /// Report every segment intersected by the ray from `anchor` against
     /// the fixed direction (decreasing ordinate).
-    pub fn query_ray_down(&self, anchor: impl Into<Point>) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+    pub fn query_ray_down(
+        &self,
+        anchor: impl Into<Point>,
+    ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
         let a = anchor.into();
         let q = self.direction.make_query(a, None, Some(a.y))?;
         self.run(&q)
@@ -372,18 +539,28 @@ impl SegmentDatabase {
         p2: impl Into<Point>,
     ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
         let (p1, p2) = (p1.into(), p2.into());
-        let (t1, t2) = (self.direction.apply_point(p1)?, self.direction.apply_point(p2)?);
+        let (t1, t2) = (
+            self.direction.apply_point(p1)?,
+            self.direction.apply_point(p2)?,
+        );
         if t1.x != t2.x {
             return Err(DbError::NotAligned);
         }
-        let (lo, hi) = if t1.y <= t2.y { (t1.y, t2.y) } else { (t2.y, t1.y) };
+        let (lo, hi) = if t1.y <= t2.y {
+            (t1.y, t2.y)
+        } else {
+            (t2.y, t1.y)
+        };
         let q = self.direction.make_query(p1, Some(lo), Some(hi))?;
         self.run(&q)
     }
 
     /// Run a canonical-frame query directly (benchmarks use this to sweep
     /// parameters without the anchor arithmetic).
-    pub fn query_canonical(&self, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+    pub fn query_canonical(
+        &self,
+        q: &VerticalQuery,
+    ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
         self.run(q)
     }
 
@@ -396,7 +573,9 @@ impl SegmentDatabase {
             Index::Binary(x) => x.insert(&self.pager, t)?,
             Index::Interval(x) => x.insert(&self.pager, t)?,
             Index::Scan(_) => return Err(DbError::Unsupported("insert into FullScan baseline")),
-            Index::Stab(_) => return Err(DbError::Unsupported("insert into StabThenFilter baseline")),
+            Index::Stab(_) => {
+                return Err(DbError::Unsupported("insert into StabThenFilter baseline"))
+            }
         }
         if let Some(any) = &mut self.any {
             any.insert(&self.pager, t)?;
@@ -414,10 +593,9 @@ impl SegmentDatabase {
         p1: impl Into<Point>,
         p2: impl Into<Point>,
     ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
-        let any = self
-            .any
-            .as_ref()
-            .ok_or(DbError::Unsupported("arbitrary queries not enabled at build time"))?;
+        let any = self.any.as_ref().ok_or(DbError::Unsupported(
+            "arbitrary queries not enabled at build time",
+        ))?;
         let (p1, p2) = (p1.into(), p2.into());
         let q = Segment::new(
             u64::MAX,
@@ -470,18 +648,47 @@ impl SegmentDatabase {
     }
 
     fn run(&self, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace), DbError> {
-        let (hits, trace) = match &self.index {
+        let (hits, mut trace) = match &self.index {
             Index::Binary(x) => x.query(&self.pager, q)?,
             Index::Interval(x) => x.query(&self.pager, q)?,
             Index::Scan(x) => x.query(&self.pager, q)?,
             Index::Stab(x) => x.query(&self.pager, q)?,
         };
+        if let Some(obs) = &self.obs {
+            self.observe_query(obs, &mut trace);
+        }
         // Back to user coordinates.
         let hits = hits
             .iter()
             .map(|s| self.direction.unapply_segment(s))
             .collect::<Result<Vec<_>, _>>()?;
         Ok((normalize(hits), trace))
+    }
+
+    /// Feed one finished query into the registry and the cost fitter.
+    fn observe_query(&self, obs: &DbObserver, trace: &mut QueryTrace) {
+        let r = &obs.registry;
+        r.incr("queries", 1);
+        r.incr("page_reads", trace.io.reads);
+        r.incr("page_writes", trace.io.writes);
+        r.incr("cache_hits", trace.io.cache_hits);
+        r.observe("io_per_query", trace.io.total_io());
+        r.observe("hits_per_query", trace.hits as u64);
+        r.observe("first_level_nodes", trace.first_level_nodes as u64);
+        r.observe("second_level_probes", trace.second_level_probes as u64);
+        // The stab baseline's output term is its candidate count, not the
+        // filtered hits — that is exactly the `t_stab ≥ t` the paper
+        // holds against it.
+        let t_items = match self.index.kind() {
+            IndexKind::StabThenFilter => trace.second_level_probes as u64,
+            _ => trace.hits as u64,
+        };
+        let mut fitter = obs.fitter.borrow_mut();
+        fitter.set_n(self.len());
+        trace.cost = fitter.record(t_items, trace.io.total_io());
+        if trace.cost.is_some_and(|c| !c.within) {
+            r.incr("cost_violations", 1);
+        }
     }
 }
 
@@ -599,9 +806,13 @@ mod tests {
             .index(IndexKind::TwoLevelInterval)
             .build(set.clone())
             .unwrap();
-        db2.insert(Segment::new(9999, (1 << 20, 0), (1 << 20, 5)).unwrap()).unwrap();
+        db2.insert(Segment::new(9999, (1 << 20, 0), (1 << 20, 5)).unwrap())
+            .unwrap();
         assert!(db2.remove(&set[0]).unwrap());
-        assert!(!db2.remove(&set[0]).unwrap(), "second removal finds nothing");
+        assert!(
+            !db2.remove(&set[0]).unwrap(),
+            "second removal finds nothing"
+        );
         db2.validate().unwrap();
         assert_eq!(db2.len(), set.len() as u64);
     }
@@ -612,7 +823,10 @@ mod tests {
             Segment::new(0, (0, 0), (10, 0)).unwrap(),
             Segment::new(1, (0, 10), (10, 10)).unwrap(),
         ];
-        let db = SegmentDatabase::builder().page_size(512).build(set).unwrap();
+        let db = SegmentDatabase::builder()
+            .page_size(512)
+            .build(set)
+            .unwrap();
         let (hits, _) = db.query_line((5, 0)).unwrap();
         assert_eq!(hits.len(), 2);
         let (hits, _) = db.query_ray_up((5, 5)).unwrap();

@@ -47,7 +47,12 @@ pub fn skeleton(k: usize) -> Vec<GNode> {
 
 fn build(nodes: &mut Vec<GNode>, a: usize, b: usize) -> usize {
     let idx = nodes.len();
-    nodes.push(GNode { a, b, left: idx, right: idx });
+    nodes.push(GNode {
+        a,
+        b,
+        left: idx,
+        right: idx,
+    });
     if a < b {
         let mid = (a + b) / 2;
         let left = build(nodes, a, mid);
@@ -174,7 +179,9 @@ mod tests {
                 let p = path(&s, j);
                 assert!(!p.is_empty());
                 // Path = every node covering slab j.
-                let covering: Vec<usize> = (0..s.len()).filter(|&i| s[i].a <= j && j <= s[i].b).collect();
+                let covering: Vec<usize> = (0..s.len())
+                    .filter(|&i| s[i].a <= j && j <= s[i].b)
+                    .collect();
                 let mut sorted = p.clone();
                 sorted.sort_unstable();
                 assert_eq!(sorted, covering, "k={k} j={j}");

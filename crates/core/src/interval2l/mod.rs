@@ -55,7 +55,10 @@ use segdb_geom::predicates::y_at_x_cmp;
 use segdb_geom::{Segment, VerticalQuery};
 use segdb_itree::overlap::{IntervalSet, IntervalSetState};
 use segdb_itree::{Interval, IntervalTreeConfig};
-use segdb_pager::{ByteReader, ByteWriter, PageId, Pager, PagerError, Result, StatScope, NULL_PAGE};
+use segdb_obs::trace::{emit as obs_emit, probe, EventKind};
+use segdb_pager::{
+    ByteReader, ByteWriter, PageId, Pager, PagerError, Result, StatScope, NULL_PAGE,
+};
 use segdb_pst::{Pst, PstConfig, PstState, Side};
 use std::cmp::Ordering;
 
@@ -105,8 +108,15 @@ fn max_fanout(page_size: usize) -> usize {
 /// Sentinel-aware interval-set state ("absent" = root NULL, no pages).
 fn absent_set() -> IntervalSetState {
     IntervalSetState {
-        tree: segdb_itree::tree::ItState { root: NULL_PAGE, len: 0 },
-        starts: TreeState { root: NULL_PAGE, height: 0, len: 0 },
+        tree: segdb_itree::tree::ItState {
+            root: NULL_PAGE,
+            len: 0,
+        },
+        starts: TreeState {
+            root: NULL_PAGE,
+            height: 0,
+            len: 0,
+        },
     }
 }
 
@@ -119,7 +129,11 @@ fn list_is_absent(s: &TreeState) -> bool {
 }
 
 fn absent_list() -> TreeState {
-    TreeState { root: NULL_PAGE, height: 0, len: 0 }
+    TreeState {
+        root: NULL_PAGE,
+        height: 0,
+        len: 0,
+    }
 }
 
 /// Decoded first-level node.
@@ -328,7 +342,9 @@ impl TwoLevelInterval {
     pub fn build(pager: &Pager, cfg: Interval2LConfig, segs: Vec<Segment>) -> Result<Self> {
         let k_max = cfg
             .fanout
-            .map_or(max_fanout(pager.page_size()), |f| f.min(max_fanout(pager.page_size())))
+            .map_or(max_fanout(pager.page_size()), |f| {
+                f.min(max_fanout(pager.page_size()))
+            })
             .max(1);
         let len = segs.len() as u64;
         let this = TwoLevelInterval {
@@ -361,9 +377,18 @@ impl TwoLevelInterval {
     ) -> Self {
         let k_max = cfg
             .fanout
-            .map_or(max_fanout(pager.page_size()), |f| f.min(max_fanout(pager.page_size())))
+            .map_or(max_fanout(pager.page_size()), |f| {
+                f.min(max_fanout(pager.page_size()))
+            })
             .max(1);
-        TwoLevelInterval { root, len, tomb_head, tomb_count, cfg, k_max }
+        TwoLevelInterval {
+            root,
+            len,
+            tomb_head,
+            tomb_count,
+            cfg,
+            k_max,
+        }
     }
 
     /// Stored segment count.
@@ -384,6 +409,11 @@ impl TwoLevelInterval {
         let (x0, lo, hi) = (q.x(), q.lo(), q.hi());
         let mut page = self.root;
         while page != NULL_PAGE {
+            obs_emit(
+                EventKind::FirstLevelVisit,
+                u64::from(page),
+                trace.first_level_nodes as u64,
+            );
             trace.first_level_nodes += 1;
             match read_node(pager, page)? {
                 Node::Leaf { head, .. } => {
@@ -401,9 +431,11 @@ impl TwoLevelInterval {
                     if boundary_hit {
                         // C_j: on-line verticals.
                         if !set_is_absent(&n.c[j]) {
-                            let c = IntervalSet::attach(pager, IntervalTreeConfig::default(), n.c[j])?;
+                            let c =
+                                IntervalSet::attach(pager, IntervalTreeConfig::default(), n.c[j])?;
                             let mut ivs = Vec::new();
                             c.overlap_into(pager, lo, hi, &mut ivs)?;
+                            obs_emit(EventKind::SecondLevelProbe, probe::C_SET, 0);
                             trace.second_level_probes += 1;
                             for iv in ivs {
                                 out.push(
@@ -414,7 +446,9 @@ impl TwoLevelInterval {
                         }
                         // L_j: every segment whose first crossed boundary
                         // is s_j meets the query line at its base point.
-                        let l = Pst::attach(pager, n.boundaries[j], Side::Left, self.cfg.pst, n.l[j])?;
+                        let l =
+                            Pst::attach(pager, n.boundaries[j], Side::Left, self.cfg.pst, n.l[j])?;
+                        obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
                         l.query_into(pager, x0, lo, hi, &mut out)?;
                         trace.second_level_probes += 1;
                         // Long fragments spanning slab j (f < j ≤ l).
@@ -423,12 +457,21 @@ impl TwoLevelInterval {
                     }
                     // Strictly inside slab j: R_{j−1}, L_j, G, descend.
                     if j >= 1 {
-                        let r = Pst::attach(pager, n.boundaries[j - 1], Side::Right, self.cfg.pst, n.r[j - 1])?;
+                        let r = Pst::attach(
+                            pager,
+                            n.boundaries[j - 1],
+                            Side::Right,
+                            self.cfg.pst,
+                            n.r[j - 1],
+                        )?;
+                        obs_emit(EventKind::SecondLevelProbe, probe::R_PST, 0);
                         r.query_into(pager, x0, lo, hi, &mut out)?;
                         trace.second_level_probes += 1;
                     }
                     if j < k {
-                        let l = Pst::attach(pager, n.boundaries[j], Side::Left, self.cfg.pst, n.l[j])?;
+                        let l =
+                            Pst::attach(pager, n.boundaries[j], Side::Left, self.cfg.pst, n.l[j])?;
+                        obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
                         l.query_into(pager, x0, lo, hi, &mut out)?;
                         trace.second_level_probes += 1;
                     }
@@ -439,7 +482,9 @@ impl TwoLevelInterval {
         }
         if self.tomb_count > 0 {
             let tombs: std::collections::HashSet<u64> =
-                segdb_pst::tombs::load(pager, self.tomb_head)?.into_iter().collect();
+                segdb_pst::tombs::load(pager, self.tomb_head)?
+                    .into_iter()
+                    .collect();
             out.retain(|s| !tombs.contains(&s.id));
         }
         trace.hits = out.len() as u32;
@@ -473,7 +518,14 @@ impl TwoLevelInterval {
                         chain::destroy(pager, new_head)?;
                         self.build_rec_at(pager, segs, page)?;
                     } else {
-                        write_node(pager, page, &Node::Leaf { head: new_head, count })?;
+                        write_node(
+                            pager,
+                            page,
+                            &Node::Leaf {
+                                head: new_head,
+                                count,
+                            },
+                        )?;
                     }
                     break;
                 }
@@ -493,10 +545,22 @@ impl TwoLevelInterval {
                             break;
                         }
                         Placement::Crossing { f, l } => {
-                            let mut lp = Pst::attach(pager, n.boundaries[f], Side::Left, self.cfg.pst, n.l[f])?;
+                            let mut lp = Pst::attach(
+                                pager,
+                                n.boundaries[f],
+                                Side::Left,
+                                self.cfg.pst,
+                                n.l[f],
+                            )?;
                             lp.insert(pager, seg)?;
                             n.l[f] = lp.state();
-                            let mut rp = Pst::attach(pager, n.boundaries[l], Side::Right, self.cfg.pst, n.r[l])?;
+                            let mut rp = Pst::attach(
+                                pager,
+                                n.boundaries[l],
+                                Side::Right,
+                                self.cfg.pst,
+                                n.r[l],
+                            )?;
                             rp.insert(pager, seg)?;
                             n.r[l] = rp.state();
                             if l > f {
@@ -571,7 +635,11 @@ impl TwoLevelInterval {
                         }
                         let mut gap = 0u64;
                         for rec in tree.scan_all(pager)? {
-                            let p = if left { rec.bridge_left } else { rec.bridge_right };
+                            let p = if left {
+                                rec.bridge_left
+                            } else {
+                                rec.bridge_right
+                            };
                             if p != NULL_PAGE {
                                 st.max_bridge_gap = st.max_bridge_gap.max(gap);
                                 gap = 0;
@@ -636,7 +704,9 @@ impl TwoLevelInterval {
         }
         if self.tomb_count > 0 {
             let tombs: std::collections::HashSet<u64> =
-                segdb_pst::tombs::load(pager, self.tomb_head)?.into_iter().collect();
+                segdb_pst::tombs::load(pager, self.tomb_head)?
+                    .into_iter()
+                    .collect();
             out.retain(|s| !tombs.contains(&s.id));
         }
         Ok(out)
@@ -701,12 +771,14 @@ impl TwoLevelInterval {
                 carried = None;
                 continue;
             }
+            obs_emit(EventKind::SecondLevelProbe, probe::G_LIST, gi as u64);
             trace.second_level_probes += 1;
             let line = n.boundaries[skel[gi].a - 1];
             let tree = BPlusTree::attach(pager, MsOrder { line }, state)?;
             // Position at the first record with y(x0) ≥ lo.
             let cur = match (carried, lo) {
                 (Some(leaf), Some(lo_v)) if !n.bridges_dirty => {
+                    obs_emit(EventKind::BridgeJump, u64::from(leaf), 0);
                     trace.bridge_jumps += 1;
                     match self.anchor_by_jump(pager, leaf, x0, lo_v)? {
                         Some(cur) => cur,
@@ -723,7 +795,13 @@ impl TwoLevelInterval {
                 records[..idx.min(records.len())]
                     .iter()
                     .rev()
-                    .map(|r| if next_is_left { r.bridge_left } else { r.bridge_right })
+                    .map(|r| {
+                        if next_is_left {
+                            r.bridge_left
+                        } else {
+                            r.bridge_right
+                        }
+                    })
                     .find(|&p| p != NULL_PAGE)
             } else {
                 None
@@ -793,7 +871,14 @@ impl TwoLevelInterval {
 
     /// Insert a long fragment spanning slabs `[fa, fb]` into G,
     /// invalidating bridges and scheduling their amortized rebuild.
-    fn g_insert(&self, pager: &Pager, n: &mut Internal, fa: usize, fb: usize, seg: Segment) -> Result<()> {
+    fn g_insert(
+        &self,
+        pager: &Pager,
+        n: &mut Internal,
+        fa: usize,
+        fb: usize,
+        seg: Segment,
+    ) -> Result<()> {
         let k = n.boundaries.len();
         let skel = skeleton(k);
         let mut nodes = Vec::new();
@@ -855,7 +940,14 @@ impl TwoLevelInterval {
     fn leaf_from(&self, pager: &Pager, segs: &[Segment]) -> Result<PageId> {
         let page = pager.allocate()?;
         let head = chain::write(pager, segs)?;
-        write_node(pager, page, &Node::Leaf { head, count: segs.len() as u64 })?;
+        write_node(
+            pager,
+            page,
+            &Node::Leaf {
+                head,
+                count: segs.len() as u64,
+            },
+        )?;
         Ok(page)
     }
 
@@ -868,7 +960,14 @@ impl TwoLevelInterval {
     fn build_rec_at(&self, pager: &Pager, segs: Vec<Segment>, page: PageId) -> Result<()> {
         if segs.len() <= chain::cap(pager.page_size()) {
             let head = chain::write(pager, &segs)?;
-            return write_node(pager, page, &Node::Leaf { head, count: segs.len() as u64 });
+            return write_node(
+                pager,
+                page,
+                &Node::Leaf {
+                    head,
+                    count: segs.len() as u64,
+                },
+            );
         }
         // Boundaries: endpoint quantiles (like the external interval
         // tree's slab selection).
@@ -915,13 +1014,32 @@ impl TwoLevelInterval {
             c_states.push(if on_line[i].is_empty() {
                 absent_set()
             } else {
-                IntervalSet::build(pager, IntervalTreeConfig::default(), std::mem::take(&mut on_line[i]))?.state()
+                IntervalSet::build(
+                    pager,
+                    IntervalTreeConfig::default(),
+                    std::mem::take(&mut on_line[i]),
+                )?
+                .state()
             });
             l_states.push(
-                Pst::build(pager, boundaries[i], Side::Left, self.cfg.pst, std::mem::take(&mut lefts[i]))?.state(),
+                Pst::build(
+                    pager,
+                    boundaries[i],
+                    Side::Left,
+                    self.cfg.pst,
+                    std::mem::take(&mut lefts[i]),
+                )?
+                .state(),
             );
             r_states.push(
-                Pst::build(pager, boundaries[i], Side::Right, self.cfg.pst, std::mem::take(&mut rights[i]))?.state(),
+                Pst::build(
+                    pager,
+                    boundaries[i],
+                    Side::Right,
+                    self.cfg.pst,
+                    std::mem::take(&mut rights[i]),
+                )?
+                .state(),
             );
         }
         let mut g_states = vec![absent_list(); skel.len()];
@@ -1001,19 +1119,23 @@ impl TwoLevelInterval {
                 for (i, state) in n.c.iter().enumerate() {
                     let _ = i;
                     if !set_is_absent(state) {
-                        IntervalSet::attach(pager, IntervalTreeConfig::default(), *state)?.destroy(pager)?;
+                        IntervalSet::attach(pager, IntervalTreeConfig::default(), *state)?
+                            .destroy(pager)?;
                     }
                 }
                 for (i, state) in n.l.iter().enumerate() {
-                    Pst::attach(pager, n.boundaries[i], Side::Left, self.cfg.pst, *state)?.destroy(pager)?;
+                    Pst::attach(pager, n.boundaries[i], Side::Left, self.cfg.pst, *state)?
+                        .destroy(pager)?;
                 }
                 for (i, state) in n.r.iter().enumerate() {
-                    Pst::attach(pager, n.boundaries[i], Side::Right, self.cfg.pst, *state)?.destroy(pager)?;
+                    Pst::attach(pager, n.boundaries[i], Side::Right, self.cfg.pst, *state)?
+                        .destroy(pager)?;
                 }
                 for (gi, state) in n.g.iter().enumerate() {
                     if !list_is_absent(state) {
                         let line = n.boundaries[skel[gi].a - 1];
-                        BPlusTree::<MsRec, _>::attach(pager, MsOrder { line }, *state)?.destroy(pager)?;
+                        BPlusTree::<MsRec, _>::attach(pager, MsOrder { line }, *state)?
+                            .destroy(pager)?;
                     }
                 }
                 for &c in &n.children {
@@ -1045,7 +1167,13 @@ impl TwoLevelInterval {
         Ok(())
     }
 
-    fn validate_rec(&self, pager: &Pager, page: PageId, lo: Option<i64>, hi: Option<i64>) -> Result<u64> {
+    fn validate_rec(
+        &self,
+        pager: &Pager,
+        page: PageId,
+        lo: Option<i64>,
+        hi: Option<i64>,
+    ) -> Result<u64> {
         match read_node(pager, page)? {
             Node::Leaf { head, count } => {
                 let mut m = 0u64;
@@ -1123,7 +1251,11 @@ impl TwoLevelInterval {
                 }
                 let mut below = 0u64;
                 for (i, &c) in n.children.iter().enumerate() {
-                    let clo = if i == 0 { lo } else { Some(n.boundaries[i - 1]) };
+                    let clo = if i == 0 {
+                        lo
+                    } else {
+                        Some(n.boundaries[i - 1])
+                    };
                     let chi = if i == k { hi } else { Some(n.boundaries[i]) };
                     let sz = if c == NULL_PAGE {
                         0
@@ -1260,7 +1392,10 @@ fn build_g_lists(
                     if let Some(carrier) = last_parent {
                         // Earliest mark per carrier wins (it points
                         // furthest left in the child).
-                        if pending.as_ref().is_none_or(|(c, _)| c.seg.id != carrier.seg.id) {
+                        if pending
+                            .as_ref()
+                            .is_none_or(|(c, _)| c.seg.id != carrier.seg.id)
+                        {
                             if let Some((c, m)) = pending.take() {
                                 patch_bridge(pager, &ptree, &ctree, cline, c, m, is_left)?;
                             }

@@ -56,7 +56,8 @@ impl Record for MsRec {
         let id = r.u64()?;
         let a = Point::new(r.i64()?, r.i64()?);
         let b = Point::new(r.i64()?, r.i64()?);
-        let seg = Segment::new(id, a, b).map_err(|_| PagerError::Corrupt("invalid multislab segment"))?;
+        let seg =
+            Segment::new(id, a, b).map_err(|_| PagerError::Corrupt("invalid multislab segment"))?;
         Ok(MsRec {
             seg,
             bridge_left: r.u32()?,

@@ -32,8 +32,8 @@
 
 pub mod anyquery;
 pub mod baseline;
-pub mod chain;
 pub mod binary2l;
+pub mod chain;
 pub mod facade;
 pub mod interval2l;
 pub mod persist;

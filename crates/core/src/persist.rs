@@ -135,7 +135,9 @@ impl Superblock {
         if self.pst_fanout == 0 {
             PstConfig::packed()
         } else {
-            PstConfig { fanout: Some(self.pst_fanout as usize) }
+            PstConfig {
+                fanout: Some(self.pst_fanout as usize),
+            }
         }
     }
 
@@ -151,7 +153,11 @@ impl Superblock {
     pub fn interval_config(&self) -> Interval2LConfig {
         Interval2LConfig {
             pst: self.pst_config(),
-            fanout: if self.fanout == 0 { None } else { Some(self.fanout as usize) },
+            fanout: if self.fanout == 0 {
+                None
+            } else {
+                Some(self.fanout as usize)
+            },
             bridge_d: self.bridge_d as usize,
             bridges: self.bridges,
             rebuild_min: self.rebuild_min,
@@ -213,7 +219,10 @@ mod tests {
                 rebuild_min: 8,
                 any: None,
             };
-            assert_eq!(Superblock::decode(&sb.encode().unwrap()).unwrap().kind, kind);
+            assert_eq!(
+                Superblock::decode(&sb.encode().unwrap()).unwrap().kind,
+                kind
+            );
         }
     }
 }

@@ -1,6 +1,8 @@
 //! Query result handling and per-query instrumentation.
 
 use segdb_geom::Segment;
+use segdb_obs::cost::CostVerdict;
+use segdb_obs::Json;
 use segdb_pager::IoStats;
 
 /// Instrumentation of one VS query against any of the structures — the
@@ -17,6 +19,39 @@ pub struct QueryTrace {
     pub hits: u32,
     /// I/O performed by the query (reads/writes against the pager).
     pub io: IoStats,
+    /// Verdict against the fitted paper bound, when the database was
+    /// built with observability on and the cost fitter is warmed up.
+    pub cost: Option<CostVerdict>,
+}
+
+impl QueryTrace {
+    /// JSON form (schema documented in README "Observability").
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "first_level_nodes",
+                Json::U64(self.first_level_nodes as u64),
+            ),
+            (
+                "second_level_probes",
+                Json::U64(self.second_level_probes as u64),
+            ),
+            ("bridge_jumps", Json::U64(self.bridge_jumps as u64)),
+            ("hits", Json::U64(self.hits as u64)),
+            (
+                "io",
+                Json::obj([
+                    ("reads", Json::U64(self.io.reads)),
+                    ("writes", Json::U64(self.io.writes)),
+                    ("cache_hits", Json::U64(self.io.cache_hits)),
+                    ("allocations", Json::U64(self.io.allocations)),
+                    ("frees", Json::U64(self.io.frees)),
+                    ("total", Json::U64(self.io.total_io())),
+                ]),
+            ),
+            ("cost", self.cost.map_or(Json::Null, |c| c.to_json())),
+        ])
+    }
 }
 
 /// Normalize an answer for comparison: sort by id and assert uniqueness.

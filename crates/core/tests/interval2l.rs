@@ -11,7 +11,10 @@ use segdb_geom::{Segment, VerticalQuery};
 use segdb_pager::{Pager, PagerConfig};
 
 fn pager(page: usize) -> Pager {
-    Pager::new(PagerConfig { page_size: page, cache_pages: 0 })
+    Pager::new(PagerConfig {
+        page_size: page,
+        cache_pages: 0,
+    })
 }
 
 fn check(set: &[Segment], t: &TwoLevelInterval, p: &Pager, queries: &[VerticalQuery], tag: &str) {
@@ -30,8 +33,14 @@ fn boundary_queries(set: &[Segment]) -> Vec<VerticalQuery> {
         qs.push(VerticalQuery::Line { x: s.a.x });
         qs.push(VerticalQuery::Line { x: s.b.x });
         qs.push(VerticalQuery::segment(s.a.x, s.a.y - 3, s.a.y + 3));
-        qs.push(VerticalQuery::RayUp { x: s.b.x, y0: s.b.y });
-        qs.push(VerticalQuery::RayDown { x: s.b.x, y0: s.b.y });
+        qs.push(VerticalQuery::RayUp {
+            x: s.b.x,
+            y0: s.b.y,
+        });
+        qs.push(VerticalQuery::RayDown {
+            x: s.b.x,
+            y0: s.b.y,
+        });
     }
     qs
 }
@@ -76,7 +85,10 @@ fn bridges_off_matches_bridges_on() {
     }
     assert!(jumps > 0, "bridged queries actually took bridge jumps");
     // Bridged navigation must not be slower overall.
-    assert!(on_io <= off_io + off_io / 8, "bridges on {on_io} vs off {off_io}");
+    assert!(
+        on_io <= off_io + off_io / 8,
+        "bridges on {on_io} vs off {off_io}"
+    );
     // Space: augment-free bridges cost nothing; the bridged build may
     // still differ slightly from tree shape — allow 5%.
     let (s1, s2) = (p1.live_pages(), p2.live_pages());
@@ -119,7 +131,13 @@ fn mixed_build_then_insert_long_segments() {
         all.push(s);
     }
     t.validate(&p).unwrap();
-    check(&all, &t, &p, &vertical_queries(&all, 30, 80, 17), "long-inserts");
+    check(
+        &all,
+        &t,
+        &p,
+        &vertical_queries(&all, 30, 80, 17),
+        "long-inserts",
+    );
 }
 
 #[test]
@@ -173,12 +191,18 @@ fn empty_and_degenerate() {
     // A single vertical segment (exercises C_i paths).
     let v = vec![Segment::new(1, (5, 0), (5, 10)).unwrap()];
     let t = TwoLevelInterval::build(&p, Interval2LConfig::default(), v.clone()).unwrap();
-    check(&v, &t, &p, &[
-        VerticalQuery::Line { x: 5 },
-        VerticalQuery::segment(5, 10, 20),
-        VerticalQuery::segment(5, 11, 20),
-        VerticalQuery::Line { x: 4 },
-    ], "single-vertical");
+    check(
+        &v,
+        &t,
+        &p,
+        &[
+            VerticalQuery::Line { x: 5 },
+            VerticalQuery::segment(5, 10, 20),
+            VerticalQuery::segment(5, 11, 20),
+            VerticalQuery::Line { x: 4 },
+        ],
+        "single-vertical",
+    );
 }
 
 #[test]
@@ -210,7 +234,13 @@ fn lazy_deletion_extension() {
     }
     t.validate(&p).unwrap();
     assert_eq!(t.len() as usize, kept.len());
-    check(&kept, &t, &p, &vertical_queries(&kept, 30, 120, 0xDE1), "post-delete");
+    check(
+        &kept,
+        &t,
+        &p,
+        &vertical_queries(&kept, 30, 120, 0xDE1),
+        "post-delete",
+    );
     // Deleting enough triggers the rebuild that purges tombstones.
     let (gone2, kept2): (Vec<Segment>, Vec<Segment>) = kept.iter().partition(|s| s.id % 2 == 0);
     for s in &gone2 {
@@ -218,14 +248,26 @@ fn lazy_deletion_extension() {
     }
     t.validate(&p).unwrap();
     assert_eq!(t.len() as usize, kept2.len());
-    check(&kept2, &t, &p, &vertical_queries(&kept2, 20, 150, 0xDE2), "post-rebuild");
+    check(
+        &kept2,
+        &t,
+        &p,
+        &vertical_queries(&kept2, 20, 150, 0xDE2),
+        "post-rebuild",
+    );
     // Re-inserting a previously tombstoned id must resurface it.
     let back = gone[0];
     t.insert(&p, back).unwrap();
     t.validate(&p).unwrap();
     let mut expect = kept2.clone();
     expect.push(back);
-    check(&expect, &t, &p, &[VerticalQuery::Line { x: back.a.x }], "resurrect");
+    check(
+        &expect,
+        &t,
+        &p,
+        &[VerticalQuery::Line { x: back.a.x }],
+        "resurrect",
+    );
 }
 
 #[test]
@@ -243,7 +285,13 @@ fn interleaved_insert_delete_storm() {
         }
         if i % 150 == 149 {
             t.validate(&p).unwrap();
-            check(&live, &t, &p, &vertical_queries(&live, 10, 80, i as u64), "storm");
+            check(
+                &live,
+                &t,
+                &p,
+                &vertical_queries(&live, 10, 80, i as u64),
+                "storm",
+            );
         }
     }
     t.validate(&p).unwrap();

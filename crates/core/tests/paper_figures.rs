@@ -12,7 +12,10 @@ use segdb_geom::{Segment, VerticalQuery};
 use segdb_pager::{Pager, PagerConfig};
 
 fn pager(page: usize) -> Pager {
-    Pager::new(PagerConfig { page_size: page, cache_pages: 0 })
+    Pager::new(PagerConfig {
+        page_size: page,
+        cache_pages: 0,
+    })
 }
 
 fn seg(id: u64, a: (i64, i64), b: (i64, i64)) -> Segment {
@@ -26,13 +29,13 @@ fn seg(id: u64, a: (i64, i64), b: (i64, i64)) -> Segment {
 fn figure_4_solution1_decomposition() {
     // x-median of endpoints will be 50 (constructed so).
     let set = vec![
-        seg(1, (10, 10), (90, 12)),  // crosses bl(root)=50
-        seg(2, (40, 30), (60, 34)),  // crosses
-        seg(3, (50, 40), (50, 55)),  // lies ON the base line (vertical)
-        seg(4, (0, 70), (30, 72)),   // strictly left
-        seg(5, (5, 90), (45, 88)),   // strictly left
-        seg(6, (55, 70), (95, 71)),  // strictly right
-        seg(7, (60, 90), (99, 93)),  // strictly right
+        seg(1, (10, 10), (90, 12)), // crosses bl(root)=50
+        seg(2, (40, 30), (60, 34)), // crosses
+        seg(3, (50, 40), (50, 55)), // lies ON the base line (vertical)
+        seg(4, (0, 70), (30, 72)),  // strictly left
+        seg(5, (5, 90), (45, 88)),  // strictly left
+        seg(6, (55, 70), (95, 71)), // strictly right
+        seg(7, (60, 90), (99, 93)), // strictly right
     ];
     // Tiny page so the leaves keep B = 2-ish capacity like the figure.
     let p = pager(256);
@@ -72,7 +75,11 @@ fn figure_5_slab_assignment() {
     for base in [0i64, 31, 95] {
         for i in 0..12i64 {
             let lo = base + (i % 4);
-            set.push(seg(id, (lo, 100 * id as i64), (lo + 2, 100 * id as i64 + 1)));
+            set.push(seg(
+                id,
+                (lo, 100 * id as i64),
+                (lo + 2, 100 * id as i64 + 1),
+            ));
             id += 1;
         }
     }
@@ -81,15 +88,25 @@ fn figure_5_slab_assignment() {
     t.validate(&p).unwrap();
     let st = t.describe(&p).unwrap();
     assert!(st.internal_nodes >= 1, "the set no longer fits one leaf");
-    assert!(st.crossing >= 2, "the spanner and the crosser stay at slab nodes");
-    assert!(st.in_leaves >= 1, "slab-confined segments are passed to the next level");
+    assert!(
+        st.crossing >= 2,
+        "the spanner and the crosser stay at slab nodes"
+    );
+    assert!(
+        st.in_leaves >= 1,
+        "slab-confined segments are passed to the next level"
+    );
     assert_eq!(
         st.on_line + st.crossing + st.in_leaves,
         set.len() as u64,
         "every segment is in exactly one role"
     );
     // Everything still answers correctly.
-    for q in [VerticalQuery::Line { x: 2 }, VerticalQuery::Line { x: 32 }, VerticalQuery::Line { x: 97 }] {
+    for q in [
+        VerticalQuery::Line { x: 2 },
+        VerticalQuery::Line { x: 32 },
+        VerticalQuery::Line { x: 97 },
+    ] {
         let (hits, _) = t.query(&p, &q).unwrap();
         assert_eq!(ids(&hits), ids(&scan_oracle(&set, &q)), "{q:?}");
     }
@@ -129,7 +146,9 @@ fn figure_6_fragment_split() {
     );
     // And the spanner is found from every slab.
     for x in [1i64, 60, 120, 199] {
-        let (hits, _) = t.query(&p, &VerticalQuery::segment(x, 99_990, 100_010)).unwrap();
+        let (hits, _) = t
+            .query(&p, &VerticalQuery::segment(x, 99_990, 100_010))
+            .unwrap();
         assert!(ids(&hits).contains(&1000), "x={x}");
     }
 }

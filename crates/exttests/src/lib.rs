@@ -1,0 +1,3 @@
+//! Empty library target; this package exists to host the opt-in
+//! proptest/criterion targets (see `Cargo.toml` for why it is excluded
+//! from the workspace).

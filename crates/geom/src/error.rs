@@ -25,10 +25,17 @@ impl fmt::Display for GeomError {
         match self {
             GeomError::ZeroLengthSegment => write!(f, "segment endpoints coincide"),
             GeomError::CoordOutOfRange(c) => {
-                write!(f, "coordinate {c} exceeds COORD_LIMIT = {}", crate::COORD_LIMIT)
+                write!(
+                    f,
+                    "coordinate {c} exceeds COORD_LIMIT = {}",
+                    crate::COORD_LIMIT
+                )
             }
             GeomError::BadDirection => {
-                write!(f, "query direction must be non-horizontal with small components")
+                write!(
+                    f,
+                    "query direction must be non-horizontal with small components"
+                )
             }
             GeomError::Crossing(a, b) => write!(f, "segments {a} and {b} properly cross"),
             GeomError::Overlap(a, b) => write!(f, "segments {a} and {b} overlap collinearly"),
@@ -45,6 +52,8 @@ mod tests {
     #[test]
     fn display_mentions_ids() {
         assert!(GeomError::Crossing(3, 9).to_string().contains('9'));
-        assert!(GeomError::CoordOutOfRange(1 << 40).to_string().contains("COORD_LIMIT"));
+        assert!(GeomError::CoordOutOfRange(1 << 40)
+            .to_string()
+            .contains("COORD_LIMIT"));
     }
 }

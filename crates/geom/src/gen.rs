@@ -10,8 +10,7 @@
 
 use crate::query::VerticalQuery;
 use crate::segment::Segment;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use segdb_rng::SmallRng;
 
 /// Line-based fan: `n` segments with one endpoint on the vertical base
 /// line `x = 0`, extending right, mutually non-crossing.
@@ -36,7 +35,13 @@ pub fn fan(n: usize, pitch: i64, max_len: i64, seed: u64) -> Vec<Segment> {
 /// between adjacent junctions. Edges touch at junctions (NCT) and a
 /// fraction `drop_per_mille`/1000 of edges is removed to make the map
 /// irregular. Ids are dense from 0.
-pub fn grid_map(cols: usize, rows: usize, spacing: i64, drop_per_mille: u32, seed: u64) -> Vec<Segment> {
+pub fn grid_map(
+    cols: usize,
+    rows: usize,
+    spacing: i64,
+    drop_per_mille: u32,
+    seed: u64,
+) -> Vec<Segment> {
     assert!(spacing >= 1);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::new();
@@ -87,8 +92,15 @@ pub fn strips(n: usize, width: i64, strip: i64, long_per_mille: u32, seed: u64) 
             let len = rng.gen_range(1..=max_len);
             let x0 = rng.gen_range(0..=(width - len).max(0));
             let y0 = y_base + rng.gen_range(0..strip / 2);
-            let y1 = y_base + rng.gen_range(0..strip / 2).max(if y0 == y_base { 1 } else { 0 });
-            let (y0, y1) = if (x0, y0) == (x0 + len, y1) { (y0, y0 + 1) } else { (y0, y1) };
+            let y1 = y_base
+                + rng
+                    .gen_range(0..strip / 2)
+                    .max(if y0 == y_base { 1 } else { 0 });
+            let (y0, y1) = if (x0, y0) == (x0 + len, y1) {
+                (y0, y0 + 1)
+            } else {
+                (y0, y1)
+            };
             Segment::new(i as u64, (x0, y0), (x0 + len, y1)).expect("strip segment valid")
         })
         .collect()
@@ -139,7 +151,8 @@ pub fn nested(n: usize) -> Vec<Segment> {
     (0..n)
         .map(|i| {
             let i64i = i as i64;
-            Segment::new(i as u64, (i64i, 4 * i64i), (w - i64i, 4 * i64i + 1)).expect("nested valid")
+            Segment::new(i as u64, (i64i, 4 * i64i), (w - i64i, 4 * i64i + 1))
+                .expect("nested valid")
         })
         .collect()
 }
@@ -170,7 +183,12 @@ pub fn mixed_map(n: usize, seed: u64) -> Vec<Segment> {
 /// Generate `count` vertical segment queries over the bounding box of
 /// `set`, with query height chosen as `frac_per_mille`/1000 of the y-span
 /// (controls expected output size `t`).
-pub fn vertical_queries(set: &[Segment], count: usize, frac_per_mille: u32, seed: u64) -> Vec<VerticalQuery> {
+pub fn vertical_queries(
+    set: &[Segment],
+    count: usize,
+    frac_per_mille: u32,
+    seed: u64,
+) -> Vec<VerticalQuery> {
     let (mut xmin, mut xmax, mut ymin, mut ymax) = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
     for s in set {
         xmin = xmin.min(s.a.x);
@@ -196,7 +214,12 @@ pub fn vertical_queries(set: &[Segment], count: usize, frac_per_mille: u32, seed
 /// Like [`vertical_queries`] but with a **fixed absolute height**, so the
 /// expected output size `t` stays constant while `N` sweeps — the query
 /// batch complexity experiments need the `log` terms isolated from `t`.
-pub fn fixed_height_queries(set: &[Segment], count: usize, height: i64, seed: u64) -> Vec<VerticalQuery> {
+pub fn fixed_height_queries(
+    set: &[Segment],
+    count: usize,
+    height: i64,
+    seed: u64,
+) -> Vec<VerticalQuery> {
     let (mut xmin, mut xmax, mut ymin, mut ymax) = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
     for s in set {
         xmin = xmin.min(s.a.x);

@@ -113,7 +113,10 @@ mod tests {
     #[test]
     fn rejects_duplicate_ids() {
         let set = vec![seg(7, (0, 0), (1, 0)), seg(7, (5, 5), (6, 5))];
-        assert!(matches!(verify_nct(&set).unwrap_err(), GeomError::Overlap(7, 7)));
+        assert!(matches!(
+            verify_nct(&set).unwrap_err(),
+            GeomError::Overlap(7, 7)
+        ));
     }
 
     #[test]
@@ -124,7 +127,10 @@ mod tests {
             seg(2, (50, 0), (60, 1)),
             seg(3, (90, 100), (99, 0)), // crosses segment 1
         ];
-        assert!(matches!(verify_nct(&set).unwrap_err(), GeomError::Crossing(1, 3)));
+        assert!(matches!(
+            verify_nct(&set).unwrap_err(),
+            GeomError::Crossing(1, 3)
+        ));
     }
 
     #[test]

@@ -42,8 +42,7 @@ impl From<(i64, i64)> for Point {
 /// collinear. Exact for all in-range coordinates.
 #[inline]
 pub fn orient(a: Point, b: Point, c: Point) -> i8 {
-    let v = (b.x - a.x) as i128 * (c.y - a.y) as i128
-        - (b.y - a.y) as i128 * (c.x - a.x) as i128;
+    let v = (b.x - a.x) as i128 * (c.y - a.y) as i128 - (b.y - a.y) as i128 * (c.x - a.x) as i128;
     match v {
         0 => 0,
         v if v > 0 => 1,

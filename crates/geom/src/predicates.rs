@@ -229,7 +229,10 @@ mod tests {
         assert!(!hits_vertical(&s, 5, None, None), "outside x-span");
         // Ray and line bounds.
         assert!(hits_vertical(&s, 2, Some(1), None));
-        assert!(!hits_vertical(&s, 2, None, Some(1)), "y(2)=2 lies above hi=1");
+        assert!(
+            !hits_vertical(&s, 2, None, Some(1)),
+            "y(2)=2 lies above hi=1"
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl VerticalQuery {
 ///
 /// This is the **oracle** (and the `FullScan` baseline's kernel): `O(N)`
 /// work, used for correctness comparison in every test.
-pub fn scan_oracle<'a>(set: impl IntoIterator<Item = &'a Segment>, q: &VerticalQuery) -> Vec<Segment> {
+pub fn scan_oracle<'a>(
+    set: impl IntoIterator<Item = &'a Segment>,
+    q: &VerticalQuery,
+) -> Vec<Segment> {
     let mut out: Vec<Segment> = set.into_iter().filter(|s| q.hits(s)).copied().collect();
     out.sort_by_key(|s| s.id);
     out
@@ -110,7 +113,11 @@ mod tests {
     fn segment_constructor_normalizes() {
         assert_eq!(
             VerticalQuery::segment(3, 9, -1),
-            VerticalQuery::Segment { x: 3, lo: -1, hi: 9 }
+            VerticalQuery::Segment {
+                x: 3,
+                lo: -1,
+                hi: 9
+            }
         );
     }
 

@@ -35,11 +35,19 @@ impl Segment {
         }
         for pt in [p, q] {
             if !pt.in_range() {
-                let bad = if pt.x.abs() > crate::COORD_LIMIT { pt.x } else { pt.y };
+                let bad = if pt.x.abs() > crate::COORD_LIMIT {
+                    pt.x
+                } else {
+                    pt.y
+                };
                 return Err(GeomError::CoordOutOfRange(bad));
             }
         }
-        let (a, b) = if (p.x, p.y) <= (q.x, q.y) { (p, q) } else { (q, p) };
+        let (a, b) = if (p.x, p.y) <= (q.x, q.y) {
+            (p, q)
+        } else {
+            (q, p)
+        };
         Ok(Segment { a, b, id })
     }
 

@@ -116,9 +116,12 @@ impl Direction {
     /// Exact inverse of [`Direction::apply_point`]: `x = (x' + dx·y)/dy`.
     /// The division is exact for any point produced by the forward shear.
     pub fn unapply_point(&self, p: Point) -> Result<Point, GeomError> {
-        let num = p
-            .x
-            .checked_add(self.dx.checked_mul(p.y).ok_or(GeomError::CoordOutOfRange(p.y))?)
+        let num =
+            p.x.checked_add(
+                self.dx
+                    .checked_mul(p.y)
+                    .ok_or(GeomError::CoordOutOfRange(p.y))?,
+            )
             .ok_or(GeomError::CoordOutOfRange(p.x))?;
         if num % self.dy != 0 {
             return Err(GeomError::CoordOutOfRange(p.x));
@@ -181,7 +184,10 @@ mod tests {
     #[test]
     fn rejects_horizontal_and_huge() {
         assert_eq!(Direction::new(1, 0).unwrap_err(), GeomError::BadDirection);
-        assert_eq!(Direction::new(DIR_LIMIT + 1, 1).unwrap_err(), GeomError::BadDirection);
+        assert_eq!(
+            Direction::new(DIR_LIMIT + 1, 1).unwrap_err(),
+            GeomError::BadDirection
+        );
         assert!(Direction::new(-3, 2).is_ok());
     }
 
@@ -243,7 +249,10 @@ mod tests {
         let d = Direction::new(-1, 2).unwrap();
         // x' = 2·C + C = 3·C > COORD_LIMIT
         let p = Point::new(crate::COORD_LIMIT, crate::COORD_LIMIT);
-        assert!(matches!(d.apply_point(p), Err(GeomError::CoordOutOfRange(_))));
+        assert!(matches!(
+            d.apply_point(p),
+            Err(GeomError::CoordOutOfRange(_))
+        ));
         // Exactly at the limit stays accepted: (0,1) is identity.
         assert!(Direction::VERTICAL.apply_point(p).is_ok());
     }

@@ -101,7 +101,11 @@ pub struct RightOrder;
 
 impl RecordOrd<TaggedInterval> for RightOrder {
     fn cmp_records(&self, a: &TaggedInterval, b: &TaggedInterval) -> Ordering {
-        (a.tag, std::cmp::Reverse(a.iv.hi), a.iv.id).cmp(&(b.tag, std::cmp::Reverse(b.iv.hi), b.iv.id))
+        (a.tag, std::cmp::Reverse(a.iv.hi), a.iv.id).cmp(&(
+            b.tag,
+            std::cmp::Reverse(b.iv.hi),
+            b.iv.id,
+        ))
     }
 }
 
@@ -143,19 +147,34 @@ mod tests {
 
     #[test]
     fn tagged_roundtrip() {
-        let t = TaggedInterval { tag: 300, iv: Interval::new(1, -5, 5) };
+        let t = TaggedInterval {
+            tag: 300,
+            iv: Interval::new(1, -5, 5),
+        };
         let mut buf = vec![0u8; TaggedInterval::ENCODED_SIZE];
         t.encode(&mut ByteWriter::new(&mut buf)).unwrap();
-        assert_eq!(TaggedInterval::decode(&mut ByteReader::new(&buf)).unwrap(), t);
+        assert_eq!(
+            TaggedInterval::decode(&mut ByteReader::new(&buf)).unwrap(),
+            t
+        );
     }
 
     #[test]
     fn orders() {
-        let a = TaggedInterval { tag: 1, iv: Interval::new(1, 0, 10) };
-        let b = TaggedInterval { tag: 1, iv: Interval::new(2, 3, 8) };
+        let a = TaggedInterval {
+            tag: 1,
+            iv: Interval::new(1, 0, 10),
+        };
+        let b = TaggedInterval {
+            tag: 1,
+            iv: Interval::new(2, 3, 8),
+        };
         assert_eq!(LeftOrder.cmp_records(&a, &b), Ordering::Less); // lo 0 < 3
         assert_eq!(RightOrder.cmp_records(&a, &b), Ordering::Less); // hi 10 > 8 → first
-        let c = TaggedInterval { tag: 0, iv: Interval::new(9, 100, 200) };
+        let c = TaggedInterval {
+            tag: 0,
+            iv: Interval::new(9, 100, 200),
+        };
         assert_eq!(LeftOrder.cmp_records(&c, &a), Ordering::Less); // tag dominates
         assert_eq!(MslabOrder.cmp_records(&a, &b), Ordering::Less); // id 1 < 2
     }

@@ -211,9 +211,21 @@ mod tests {
         let n = ItNode::Internal(Box::new(InternalNode {
             boundaries: vec![10, 20, 30],
             children: vec![1, 2, 3, 4],
-            left: TreeState { root: 9, height: 1, len: 4 },
-            right: TreeState { root: 10, height: 0, len: 4 },
-            mslab: TreeState { root: 11, height: 0, len: 1 },
+            left: TreeState {
+                root: 9,
+                height: 1,
+                len: 4,
+            },
+            right: TreeState {
+                root: 10,
+                height: 0,
+                len: 4,
+            },
+            mslab: TreeState {
+                root: 11,
+                height: 0,
+                len: 1,
+            },
             mslab_counts: vec![0; mslab_count(k)],
         }));
         let mut buf = vec![0u8; 256];
@@ -226,9 +238,21 @@ mod tests {
         let n = ItNode::Internal(Box::new(InternalNode {
             boundaries: vec![10],
             children: vec![1], // should be 2
-            left: TreeState { root: 0, height: 0, len: 0 },
-            right: TreeState { root: 0, height: 0, len: 0 },
-            mslab: TreeState { root: 0, height: 0, len: 0 },
+            left: TreeState {
+                root: 0,
+                height: 0,
+                len: 0,
+            },
+            right: TreeState {
+                root: 0,
+                height: 0,
+                len: 0,
+            },
+            mslab: TreeState {
+                root: 0,
+                height: 0,
+                len: 0,
+            },
             mslab_counts: vec![],
         }));
         let mut buf = vec![0u8; 128];

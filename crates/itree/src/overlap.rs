@@ -171,7 +171,9 @@ impl IntervalSet {
         self.tree.validate(pager)?;
         self.starts.validate(pager)?;
         if self.tree.len() != self.starts.len() {
-            return Err(segdb_pager::PagerError::Corrupt("interval set component length mismatch"));
+            return Err(segdb_pager::PagerError::Corrupt(
+                "interval set component length mismatch",
+            ));
         }
         Ok(())
     }
@@ -183,7 +185,10 @@ mod tests {
     use segdb_pager::PagerConfig;
 
     fn pager() -> Pager {
-        Pager::new(PagerConfig { page_size: 256, cache_pages: 0 })
+        Pager::new(PagerConfig {
+            page_size: 256,
+            cache_pages: 0,
+        })
     }
 
     fn ivs(spec: &[(i64, i64)]) -> Vec<Interval> {
@@ -215,10 +220,21 @@ mod tests {
         let intervals = ivs(&[(0, 10), (5, 6), (12, 20), (-5, -1), (6, 12), (30, 40)]);
         let set = IntervalSet::build(&p, IntervalTreeConfig::default(), intervals.clone()).unwrap();
         set.validate(&p).unwrap();
-        for (qlo, qhi) in [(Some(5), Some(13)), (Some(-10), Some(-6)), (None, Some(0)), (Some(21), None), (None, None), (Some(6), Some(6))] {
+        for (qlo, qhi) in [
+            (Some(5), Some(13)),
+            (Some(-10), Some(-6)),
+            (None, Some(0)),
+            (Some(21), None),
+            (None, None),
+            (Some(6), Some(6)),
+        ] {
             let mut out = Vec::new();
             set.overlap_into(&p, qlo, qhi, &mut out).unwrap();
-            assert_eq!(sorted_ids(out), oracle_overlap(&intervals, qlo, qhi), "q=({qlo:?},{qhi:?})");
+            assert_eq!(
+                sorted_ids(out),
+                oracle_overlap(&intervals, qlo, qhi),
+                "q=({qlo:?},{qhi:?})"
+            );
         }
     }
 
@@ -245,7 +261,8 @@ mod tests {
     #[test]
     fn state_roundtrip() {
         let p = pager();
-        let set = IntervalSet::build(&p, IntervalTreeConfig::default(), ivs(&[(0, 5), (3, 9)])).unwrap();
+        let set =
+            IntervalSet::build(&p, IntervalTreeConfig::default(), ivs(&[(0, 5), (3, 9)])).unwrap();
         let st = set.state();
         let mut buf = vec![0u8; IntervalSetState::ENCODED_SIZE];
         st.encode(&mut ByteWriter::new(&mut buf)).unwrap();
@@ -261,7 +278,12 @@ mod tests {
     fn destroy_frees_pages() {
         let p = pager();
         let before = p.live_pages();
-        let set = IntervalSet::build(&p, IntervalTreeConfig::default(), ivs(&[(0, 100); 1]).to_vec()).unwrap();
+        let set = IntervalSet::build(
+            &p,
+            IntervalTreeConfig::default(),
+            ivs(&[(0, 100); 1]).to_vec(),
+        )
+        .unwrap();
         set.destroy(&p).unwrap();
         assert_eq!(p.live_pages(), before);
     }

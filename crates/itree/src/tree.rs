@@ -7,13 +7,11 @@ use segdb_pager::{ByteReader, ByteWriter, PageId, Pager, PagerError, Result};
 use std::cmp::Ordering;
 
 /// Construction knobs.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct IntervalTreeConfig {
     /// Boundary count per internal node; `None` = the page-size maximum.
     pub fanout: Option<usize>,
 }
-
 
 /// Serializable identity of an interval tree (stored by parent
 /// structures; 12 bytes).
@@ -154,8 +152,11 @@ impl IntervalTree {
                     // Right stubs of slab j: prefix with hi ≥ x.
                     let right = BPlusTree::attach(pager, RightOrder, n.right)?;
                     let mut cur = right.lower_bound(pager, &move |r: &TaggedInterval| {
-                        (probe_tag, std::cmp::Reverse(i64::MAX), 0u64)
-                            .cmp(&(r.tag, std::cmp::Reverse(r.iv.hi), r.iv.id))
+                        (probe_tag, std::cmp::Reverse(i64::MAX), 0u64).cmp(&(
+                            r.tag,
+                            std::cmp::Reverse(r.iv.hi),
+                            r.iv.id,
+                        ))
                     })?;
                     cur.for_each_while(
                         pager,
@@ -172,9 +173,10 @@ impl IntervalTree {
                                     continue;
                                 }
                                 let tag = mi as u16;
-                                let mut cur = mslab.lower_bound(pager, &move |r: &TaggedInterval| {
-                                    (tag, 0u64).cmp(&(r.tag, r.iv.id))
-                                })?;
+                                let mut cur = mslab
+                                    .lower_bound(pager, &move |r: &TaggedInterval| {
+                                        (tag, 0u64).cmp(&(r.tag, r.iv.id))
+                                    })?;
                                 cur.for_each_while(pager, |r| r.tag == tag, |r| out.push(r.iv))?;
                             }
                         }
@@ -214,29 +216,43 @@ impl IntervalTree {
                     }
                     return Ok(());
                 }
-                ItNode::Internal(mut n) => {
-                    match locate(&n.boundaries, &iv) {
-                        Placement::Node { left_slab, right_slab, mslab } => {
-                            let k = n.boundaries.len();
-                            let mut lt = BPlusTree::attach(pager, LeftOrder, n.left)?;
-                            lt.insert(pager, TaggedInterval { tag: left_slab as u16, iv })?;
-                            n.left = lt.state();
-                            let mut rt = BPlusTree::attach(pager, RightOrder, n.right)?;
-                            rt.insert(pager, TaggedInterval { tag: right_slab as u16, iv })?;
-                            n.right = rt.state();
-                            if let Some((a, b)) = mslab {
-                                let mi = mslab_index(k, a, b);
-                                let mut mt = BPlusTree::attach(pager, MslabOrder, n.mslab)?;
-                                mt.insert(pager, TaggedInterval { tag: mi as u16, iv })?;
-                                n.mslab = mt.state();
-                                n.mslab_counts[mi] = n.mslab_counts[mi].saturating_add(1);
-                            }
-                            write_node(pager, id, &ItNode::Internal(n))?;
-                            return Ok(());
+                ItNode::Internal(mut n) => match locate(&n.boundaries, &iv) {
+                    Placement::Node {
+                        left_slab,
+                        right_slab,
+                        mslab,
+                    } => {
+                        let k = n.boundaries.len();
+                        let mut lt = BPlusTree::attach(pager, LeftOrder, n.left)?;
+                        lt.insert(
+                            pager,
+                            TaggedInterval {
+                                tag: left_slab as u16,
+                                iv,
+                            },
+                        )?;
+                        n.left = lt.state();
+                        let mut rt = BPlusTree::attach(pager, RightOrder, n.right)?;
+                        rt.insert(
+                            pager,
+                            TaggedInterval {
+                                tag: right_slab as u16,
+                                iv,
+                            },
+                        )?;
+                        n.right = rt.state();
+                        if let Some((a, b)) = mslab {
+                            let mi = mslab_index(k, a, b);
+                            let mut mt = BPlusTree::attach(pager, MslabOrder, n.mslab)?;
+                            mt.insert(pager, TaggedInterval { tag: mi as u16, iv })?;
+                            n.mslab = mt.state();
+                            n.mslab_counts[mi] = n.mslab_counts[mi].saturating_add(1);
                         }
-                        Placement::Child(slab) => id = n.children[slab],
+                        write_node(pager, id, &ItNode::Internal(n))?;
+                        return Ok(());
                     }
-                }
+                    Placement::Child(slab) => id = n.children[slab],
+                },
             }
         }
     }
@@ -258,21 +274,43 @@ impl IntervalTree {
                     return Ok(found);
                 }
                 ItNode::Internal(mut n) => match locate(&n.boundaries, iv) {
-                    Placement::Node { left_slab, right_slab, mslab } => {
+                    Placement::Node {
+                        left_slab,
+                        right_slab,
+                        mslab,
+                    } => {
                         let k = n.boundaries.len();
                         let mut lt = BPlusTree::attach(pager, LeftOrder, n.left)?;
-                        let found = lt.remove(pager, &TaggedInterval { tag: left_slab as u16, iv: *iv })?;
+                        let found = lt.remove(
+                            pager,
+                            &TaggedInterval {
+                                tag: left_slab as u16,
+                                iv: *iv,
+                            },
+                        )?;
                         n.left = lt.state();
                         if !found {
                             return Ok(false);
                         }
                         let mut rt = BPlusTree::attach(pager, RightOrder, n.right)?;
-                        rt.remove(pager, &TaggedInterval { tag: right_slab as u16, iv: *iv })?;
+                        rt.remove(
+                            pager,
+                            &TaggedInterval {
+                                tag: right_slab as u16,
+                                iv: *iv,
+                            },
+                        )?;
                         n.right = rt.state();
                         if let Some((a, b)) = mslab {
                             let mi = mslab_index(k, a, b);
                             let mut mt = BPlusTree::attach(pager, MslabOrder, n.mslab)?;
-                            mt.remove(pager, &TaggedInterval { tag: mi as u16, iv: *iv })?;
+                            mt.remove(
+                                pager,
+                                &TaggedInterval {
+                                    tag: mi as u16,
+                                    iv: *iv,
+                                },
+                            )?;
                             n.mslab = mt.state();
                             // Saturated counts stay pinned (see lib docs).
                             if n.mslab_counts[mi] != u16::MAX || mt.is_empty() {
@@ -338,6 +376,11 @@ fn locate(boundaries: &[i64], iv: &Interval) -> Placement {
 }
 
 fn read_node(pager: &Pager, id: PageId) -> Result<ItNode> {
+    segdb_obs::trace::emit(
+        segdb_obs::trace::EventKind::ItreeNodeVisit,
+        u64::from(id),
+        0,
+    );
     pager.with_page(id, ItNode::decode)?
 }
 
@@ -345,7 +388,12 @@ fn write_node(pager: &Pager, id: PageId, node: &ItNode) -> Result<()> {
     pager.overwrite_page(id, |buf| node.encode(buf))?
 }
 
-fn build_node(pager: &Pager, leaf_cap: usize, fanout: usize, intervals: Vec<Interval>) -> Result<PageId> {
+fn build_node(
+    pager: &Pager,
+    leaf_cap: usize,
+    fanout: usize,
+    intervals: Vec<Interval>,
+) -> Result<PageId> {
     let id = pager.allocate()?;
     build_node_at(pager, leaf_cap, fanout, intervals, id)?;
     Ok(id)
@@ -376,7 +424,11 @@ fn build_node_at(
     let mut kids: Vec<Vec<Interval>> = vec![Vec::new(); k + 1];
     for iv in intervals {
         match locate(&boundaries, &iv) {
-            Placement::Node { left_slab, right_slab, mslab } => here.push((left_slab, right_slab, mslab, iv)),
+            Placement::Node {
+                left_slab,
+                right_slab,
+                mslab,
+            } => here.push((left_slab, right_slab, mslab, iv)),
             Placement::Child(slab) => kids[slab].push(iv),
         }
     }
@@ -468,9 +520,8 @@ fn validate_node(
     hi: Option<i64>,
     count: &mut u64,
 ) -> Result<()> {
-    let in_open_range = |iv: &Interval| {
-        lo.is_none_or(|lo| iv.lo > lo) && hi.is_none_or(|hi| iv.hi < hi)
-    };
+    let in_open_range =
+        |iv: &Interval| lo.is_none_or(|lo| iv.lo > lo) && hi.is_none_or(|hi| iv.hi < hi);
     match read_node(pager, id)? {
         ItNode::Leaf { intervals } => {
             if intervals.len() > leaf_cap {
@@ -526,7 +577,11 @@ fn validate_node(
             }
             *count += left.len();
             for (i, &c) in n.children.iter().enumerate() {
-                let lo2 = if i == 0 { lo } else { Some(n.boundaries[i - 1]) };
+                let lo2 = if i == 0 {
+                    lo
+                } else {
+                    Some(n.boundaries[i - 1])
+                };
                 let hi2 = if i == k { hi } else { Some(n.boundaries[i]) };
                 validate_node(pager, c, leaf_cap, lo2, hi2, count)?;
             }

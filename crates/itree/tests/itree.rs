@@ -1,13 +1,15 @@
 //! Oracle-comparison and complexity-shape tests for the external
 //! interval tree.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use segdb_itree::{Interval, IntervalTree, IntervalTreeConfig};
 use segdb_pager::{Pager, PagerConfig};
+use segdb_rng::SmallRng;
 
 fn pager(page: usize) -> Pager {
-    Pager::new(PagerConfig { page_size: page, cache_pages: 0 })
+    Pager::new(PagerConfig {
+        page_size: page,
+        cache_pages: 0,
+    })
 }
 
 fn random_intervals(n: usize, span: i64, seed: u64) -> Vec<Interval> {
@@ -22,7 +24,11 @@ fn random_intervals(n: usize, span: i64, seed: u64) -> Vec<Interval> {
 }
 
 fn oracle_stab(set: &[Interval], x: i64) -> Vec<u64> {
-    let mut v: Vec<u64> = set.iter().filter(|iv| iv.contains(x)).map(|iv| iv.id).collect();
+    let mut v: Vec<u64> = set
+        .iter()
+        .filter(|iv| iv.contains(x))
+        .map(|iv| iv.id)
+        .collect();
     v.sort_unstable();
     v
 }
@@ -43,12 +49,20 @@ fn stab_matches_oracle_random() {
         let mut rng = SmallRng::seed_from_u64(99);
         for _ in 0..200 {
             let x = rng.gen_range(-11_000..11_000i64);
-            assert_eq!(sorted_ids(t.stab(&p, x).unwrap()), oracle_stab(&set, x), "x={x} page={page}");
+            assert_eq!(
+                sorted_ids(t.stab(&p, x).unwrap()),
+                oracle_stab(&set, x),
+                "x={x} page={page}"
+            );
         }
         // Boundary-exact probes: use actual endpoints.
         for iv in set.iter().take(100) {
             for x in [iv.lo, iv.hi] {
-                assert_eq!(sorted_ids(t.stab(&p, x).unwrap()), oracle_stab(&set, x), "endpoint {x}");
+                assert_eq!(
+                    sorted_ids(t.stab(&p, x).unwrap()),
+                    oracle_stab(&set, x),
+                    "endpoint {x}"
+                );
             }
         }
     }
@@ -59,13 +73,19 @@ fn stab_matches_oracle_adversarial() {
     let p = pager(256);
     // Nested intervals all containing 0, plus point intervals, plus
     // identical duplicates (distinct ids).
-    let mut set: Vec<Interval> = (0..300).map(|i| Interval::new(i, -(i as i64) - 1, i as i64 + 1)).collect();
+    let mut set: Vec<Interval> = (0..300)
+        .map(|i| Interval::new(i, -(i as i64) - 1, i as i64 + 1))
+        .collect();
     set.extend((0..50).map(|i| Interval::new(300 + i, i as i64, i as i64)));
     set.extend((0..50).map(|i| Interval::new(350 + i, 5, 10)));
     let t = IntervalTree::build(&p, IntervalTreeConfig::default(), set.clone()).unwrap();
     t.validate(&p).unwrap();
     for x in [-301, -5, 0, 5, 7, 10, 49, 301] {
-        assert_eq!(sorted_ids(t.stab(&p, x).unwrap()), oracle_stab(&set, x), "x={x}");
+        assert_eq!(
+            sorted_ids(t.stab(&p, x).unwrap()),
+            oracle_stab(&set, x),
+            "x={x}"
+        );
     }
 }
 
@@ -107,7 +127,10 @@ fn remove_random_subset() {
     let mut rng = SmallRng::seed_from_u64(17);
     for _ in 0..100 {
         let x = rng.gen_range(-5_000..5_000i64);
-        assert_eq!(sorted_ids(t.stab(&p, x).unwrap()), oracle_stab(&kept_set, x));
+        assert_eq!(
+            sorted_ids(t.stab(&p, x).unwrap()),
+            oracle_stab(&kept_set, x)
+        );
     }
 }
 
@@ -153,12 +176,7 @@ fn query_io_scales_sublinearly() {
 fn fanout_config_is_respected_and_correct() {
     let p = pager(1024);
     let set = random_intervals(2000, 20_000, 31);
-    let t = IntervalTree::build(
-        &p,
-        IntervalTreeConfig { fanout: Some(3) },
-        set.clone(),
-    )
-    .unwrap();
+    let t = IntervalTree::build(&p, IntervalTreeConfig { fanout: Some(3) }, set.clone()).unwrap();
     t.validate(&p).unwrap();
     let mut rng = SmallRng::seed_from_u64(41);
     for _ in 0..100 {
@@ -173,7 +191,12 @@ fn empty_and_tiny_trees() {
     let t = IntervalTree::new(&p, IntervalTreeConfig::default()).unwrap();
     assert!(t.is_empty());
     assert!(t.stab(&p, 0).unwrap().is_empty());
-    let one = IntervalTree::build(&p, IntervalTreeConfig::default(), vec![Interval::new(1, 2, 4)]).unwrap();
+    let one = IntervalTree::build(
+        &p,
+        IntervalTreeConfig::default(),
+        vec![Interval::new(1, 2, 4)],
+    )
+    .unwrap();
     assert_eq!(one.stab(&p, 3).unwrap().len(), 1);
     assert!(one.stab(&p, 5).unwrap().is_empty());
 }

@@ -1,0 +1,359 @@
+//! Paper-bound cost verification.
+//!
+//! The paper proves I/O bounds per structure (`n = N/B` blocks of
+//! stored data, `t = T/B` blocks of output):
+//!
+//! * Theorem 1 (binary two-level): `O(log₂ n · (log_B n + IL*(B)) + t)`
+//! * Theorem 2 (interval two-level):
+//!   `O(log_B n · (log_B n + log₂ B + IL*(B)) + t)`
+//! * Full scan baseline: `Θ(n)`
+//! * Stabbing-then-filter baseline: `O(log_B n + t_stab)`
+//!
+//! Asymptotic bounds carry an unknown constant, so verification is a
+//! two-step act: **fit** the constant from observed `(shape, measured)`
+//! pairs (least squares through the origin — the estimator for
+//! `measured ≈ c·shape`), then **flag** queries whose measured I/O
+//! exceeds `slack · c · shape`. A flagged query means the measured cost
+//! left the analytic envelope — either a structural regression or a
+//! workload outside the theorem's assumptions; either way the thing a
+//! perf PR must explain.
+
+use crate::json::Json;
+
+/// Which structure's bound applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostKind {
+    /// §3 Theorem 1 structure.
+    TwoLevelBinary,
+    /// §4 Theorem 2 structure.
+    TwoLevelInterval,
+    /// Exhaustive-scan baseline.
+    FullScan,
+    /// Stabbing-index + filter baseline.
+    StabThenFilter,
+}
+
+impl CostKind {
+    /// Stable name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostKind::TwoLevelBinary => "binary",
+            CostKind::TwoLevelInterval => "interval",
+            CostKind::FullScan => "scan",
+            CostKind::StabThenFilter => "stab",
+        }
+    }
+
+    /// The paper's bound formula, rendered for humans.
+    pub fn formula(self) -> &'static str {
+        match self {
+            CostKind::TwoLevelBinary => "log2(n)·(logB(n) + IL*(B)) + t",
+            CostKind::TwoLevelInterval => "logB(n)·(logB(n) + log2(B) + IL*(B)) + t",
+            CostKind::FullScan => "n",
+            CostKind::StabThenFilter => "logB(n) + t_stab",
+        }
+    }
+}
+
+/// `log₂(x)` with a floor of 1 so degenerate sizes don't zero a shape.
+pub fn lg(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// `log*(x)`: applications of `log₂` until the value drops to ≤ 1.
+pub fn log_star(x: f64) -> u32 {
+    let mut x = x;
+    let mut n = 0;
+    while x > 1.0 {
+        x = x.log2();
+        n += 1;
+    }
+    n
+}
+
+/// The paper's `IL*(B)`: applications of `log*` to `B` until ≤ 2 — a
+/// small constant (≤ 3) for every feasible block size.
+pub fn il_star(b: u64) -> u32 {
+    let mut x = b as f64;
+    let mut n = 0;
+    while x > 2.0 {
+        x = log_star(x) as f64;
+        n += 1;
+    }
+    n
+}
+
+/// The analytic model for one structure instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Which bound.
+    pub kind: CostKind,
+    /// Stored segments `N`.
+    pub n_segments: u64,
+    /// Segments per block `B`.
+    pub b: u64,
+}
+
+impl CostModel {
+    /// Model for `N` segments in blocks of `B`.
+    pub fn new(kind: CostKind, n_segments: u64, b: u64) -> CostModel {
+        CostModel {
+            kind,
+            n_segments,
+            b: b.max(2),
+        }
+    }
+
+    /// The bound's *shape* (constant-free value) for a query reporting
+    /// `t_items` segments. `t_items` is converted to blocks internally;
+    /// for [`CostKind::StabThenFilter`] pass the stabbing candidate
+    /// count, which is that baseline's true output term.
+    pub fn shape(&self, t_items: u64) -> f64 {
+        let b = self.b as f64;
+        let n_blocks = (self.n_segments as f64 / b).max(1.0);
+        let t_blocks = (t_items as f64 / b).ceil();
+        let log_b_n = lg(n_blocks) / lg(b);
+        let il = il_star(self.b) as f64;
+        // +1 keeps shapes positive for trivial queries (a query always
+        // costs at least one block access on a non-empty structure).
+        match self.kind {
+            CostKind::TwoLevelBinary => lg(n_blocks) * (log_b_n + il) + t_blocks + 1.0,
+            CostKind::TwoLevelInterval => log_b_n * (log_b_n + lg(b) + il) + t_blocks + 1.0,
+            CostKind::FullScan => n_blocks.max(1.0),
+            CostKind::StabThenFilter => log_b_n + t_blocks + 1.0,
+        }
+    }
+}
+
+/// Outcome of checking one query against the fitted bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostVerdict {
+    /// Constant-free bound value for this query's output size.
+    pub shape: f64,
+    /// `slack · c · shape` — the fitted envelope.
+    pub bound: f64,
+    /// The query's measured total I/O.
+    pub measured: u64,
+    /// `measured / shape` (the quantity the constant is fitted over).
+    pub ratio: f64,
+    /// `measured ≤ bound`?
+    pub within: bool,
+}
+
+impl CostVerdict {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shape", Json::F64(self.shape)),
+            ("bound", Json::F64(self.bound)),
+            ("measured", Json::U64(self.measured)),
+            ("ratio", Json::F64(self.ratio)),
+            ("within", Json::Bool(self.within)),
+        ])
+    }
+}
+
+/// Default multiplicative slack applied over the fitted constant: the
+/// fit is a least-squares *centre*, so individual in-envelope queries
+/// scatter above it; 3× covers the honest variance of every structure
+/// in this repo while still catching asymptotic regressions (which blow
+/// past constants, not percentages).
+pub const DEFAULT_SLACK: f64 = 3.0;
+
+/// Minimum samples before the fitted constant is trusted; verdicts are
+/// withheld during warm-up.
+pub const WARMUP: usize = 8;
+
+/// Online constant-fitter + violation detector for one structure.
+#[derive(Debug, Clone)]
+pub struct Fitter {
+    model: CostModel,
+    slack: f64,
+    /// Σ shape·measured and Σ shape² for the through-origin fit.
+    sxy: f64,
+    sxx: f64,
+    samples: u64,
+    violations: u64,
+}
+
+impl Fitter {
+    /// Fitter over `model` with [`DEFAULT_SLACK`].
+    pub fn new(model: CostModel) -> Fitter {
+        Fitter::with_slack(model, DEFAULT_SLACK)
+    }
+
+    /// Fitter with explicit slack (≥ 1).
+    pub fn with_slack(model: CostModel, slack: f64) -> Fitter {
+        Fitter {
+            model,
+            slack: slack.max(1.0),
+            sxy: 0.0,
+            sxx: 0.0,
+            samples: 0,
+            violations: 0,
+        }
+    }
+
+    /// The model under fit.
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// The structure changed size (inserts/deletes): update `N`.
+    pub fn set_n(&mut self, n_segments: u64) {
+        self.model.n_segments = n_segments;
+    }
+
+    /// Fitted constant `c` (least squares through origin), if warmed up.
+    pub fn constant(&self) -> Option<f64> {
+        if (self.samples as usize) < WARMUP || self.sxx == 0.0 {
+            None
+        } else {
+            Some(self.sxy / self.sxx)
+        }
+    }
+
+    /// Samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Queries flagged outside the envelope so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Record a query (`t_items` reported segments, `measured` total
+    /// I/O) and judge it against the envelope fitted from *previous*
+    /// queries. Returns `None` during warm-up.
+    pub fn record(&mut self, t_items: u64, measured: u64) -> Option<CostVerdict> {
+        let shape = self.model.shape(t_items);
+        let verdict = self.constant().map(|c| {
+            let bound = self.slack * c * shape;
+            let within = (measured as f64) <= bound;
+            if !within {
+                self.violations += 1;
+            }
+            CostVerdict {
+                shape,
+                bound,
+                measured,
+                ratio: measured as f64 / shape,
+                within,
+            }
+        });
+        self.sxy += shape * measured as f64;
+        self.sxx += shape * shape;
+        self.samples += 1;
+        verdict
+    }
+
+    /// JSON form: model parameters, fit state and violation count.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::Str(self.model.kind.name().into())),
+            ("formula", Json::Str(self.model.kind.formula().into())),
+            ("n_segments", Json::U64(self.model.n_segments)),
+            ("block_segments", Json::U64(self.model.b)),
+            ("slack", Json::F64(self.slack)),
+            ("samples", Json::U64(self.samples)),
+            (
+                "fitted_constant",
+                self.constant().map_or(Json::Null, Json::F64),
+            ),
+            ("violations", Json::U64(self.violations)),
+        ])
+    }
+}
+
+/// One-shot fit over a finished batch: returns the constant `c`
+/// minimizing `Σ (measured − c·shape)²` (through-origin least squares).
+pub fn fit_constant(samples: &[(f64, u64)]) -> f64 {
+    let sxy: f64 = samples.iter().map(|&(s, m)| s * m as f64).sum();
+    let sxx: f64 = samples.iter().map(|&(s, _)| s * s).sum();
+    if sxx == 0.0 {
+        0.0
+    } else {
+        sxy / sxx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_functions() {
+        assert_eq!(log_star(2.0), 1);
+        assert_eq!(log_star(16.0), 3);
+        for b in [4u64, 16, 64, 256, 1024, 1 << 20, 1 << 40] {
+            assert!(il_star(b) <= 3, "IL*({b}) = {}", il_star(b));
+        }
+        assert_eq!(il_star(2), 0);
+    }
+
+    #[test]
+    fn shapes_rank_structures_sanely() {
+        // At a large size, scan ≫ binary ≥ interval-ish; all positive.
+        let n = 1_000_000u64;
+        let b = 100u64;
+        let scan = CostModel::new(CostKind::FullScan, n, b).shape(0);
+        let binary = CostModel::new(CostKind::TwoLevelBinary, n, b).shape(0);
+        let stab = CostModel::new(CostKind::StabThenFilter, n, b).shape(0);
+        assert!(scan > binary && binary > stab, "{scan} {binary} {stab}");
+        for kind in [
+            CostKind::TwoLevelBinary,
+            CostKind::TwoLevelInterval,
+            CostKind::FullScan,
+            CostKind::StabThenFilter,
+        ] {
+            let m = CostModel::new(kind, n, b);
+            assert!(m.shape(0) > 0.0);
+            assert!(m.shape(10_000) >= m.shape(0), "{kind:?} monotone in t");
+        }
+    }
+
+    #[test]
+    fn shape_grows_with_n() {
+        let f = |n| CostModel::new(CostKind::TwoLevelBinary, n, 64).shape(0);
+        assert!(f(1 << 20) > f(1 << 12));
+        assert!(f(1 << 12) > f(1 << 8));
+    }
+
+    #[test]
+    fn fitter_flags_blowups_not_noise() {
+        let model = CostModel::new(CostKind::TwoLevelBinary, 100_000, 64);
+        let mut fitter = Fitter::new(model);
+        // Honest queries: measured ≈ 2.0 × shape, ±25%.
+        for i in 0..40u64 {
+            let t = (i % 7) * 50;
+            let measured = (model.shape(t) * (1.5 + 0.25 * (i % 3) as f64)) as u64;
+            if let Some(v) = fitter.record(t, measured) {
+                assert!(v.within, "honest query flagged: {v:?}");
+            }
+        }
+        assert!(fitter.constant().is_some());
+        assert_eq!(fitter.violations(), 0);
+        // A 50× blowup (e.g. the structure degenerated to a scan).
+        let bad = (model.shape(0) * 100.0) as u64;
+        let v = fitter.record(0, bad).expect("warmed up");
+        assert!(!v.within);
+        assert_eq!(fitter.violations(), 1);
+    }
+
+    #[test]
+    fn warmup_withholds_verdicts() {
+        let mut fitter = Fitter::new(CostModel::new(CostKind::FullScan, 1000, 10));
+        for i in 0..WARMUP {
+            assert!(fitter.record(0, 100).is_none(), "sample {i}");
+        }
+        assert!(fitter.record(0, 100).is_some());
+    }
+
+    #[test]
+    fn one_shot_fit() {
+        let samples: Vec<(f64, u64)> = (1..=10).map(|i| (i as f64, 3 * i as u64)).collect();
+        assert!((fit_constant(&samples) - 3.0).abs() < 1e-9);
+        assert_eq!(fit_constant(&[]), 0.0);
+    }
+}

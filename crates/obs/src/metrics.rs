@@ -1,0 +1,268 @@
+//! Metric registry: named counters and fixed-bucket histograms.
+//!
+//! The registry is interior-mutable (`&self` recording) because the
+//! query paths of the index structures work through shared references —
+//! same design as the pager's I/O counters. It is not thread-safe by
+//! design: the storage simulation is single-threaded, and a registry is
+//! owned by the component it instruments.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Power-of-two bucket upper bounds used by default: `< 1`, `< 2`,
+/// `< 4`, …, `< 2^15`, plus an overflow bucket. I/O-per-query counts of
+/// every structure in this repo land comfortably inside.
+pub const POW2_BOUNDS: [u64; 16] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+];
+
+/// A fixed-bucket histogram (`counts[i]` = samples `< bounds[i]`, last
+/// extra slot = overflow), plus exact sum/min/max/count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(POW2_BOUNDS.to_vec())
+    }
+}
+
+impl Histogram {
+    /// Build with strictly increasing bucket upper bounds.
+    pub fn new(bounds: Vec<u64>) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must increase"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        let i = self.bounds.partition_point(|&b| b <= value);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Upper bound below which `q` (0..=1) of samples fall (bucket
+    /// resolution; `u64::MAX` for the overflow bucket).
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// JSON form: `{count, sum, min, max, mean, buckets: [{le, n}...]}`.
+    /// Empty buckets are elided to keep snapshots small.
+    pub fn to_json(&self) -> Json {
+        let mut buckets = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let le = match self.bounds.get(i) {
+                Some(&b) => Json::U64(b),
+                None => Json::Str("inf".into()),
+            };
+            buckets.push(Json::Obj(vec![
+                ("lt".into(), le),
+                ("n".into(), Json::U64(c)),
+            ]));
+        }
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("sum", Json::U64(self.sum)),
+            ("min", Json::U64(self.min())),
+            ("max", Json::U64(self.max)),
+            ("mean", Json::F64(self.mean())),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// A named bank of counters and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RefCell<BTreeMap<String, u64>>,
+    histograms: RefCell<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `by` to counter `name` (created at 0).
+    pub fn incr(&self, name: &str, by: u64) {
+        *self
+            .counters
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_insert(0) += by;
+    }
+
+    /// Record `value` into histogram `name` (created with the default
+    /// power-of-two buckets).
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histograms
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Clone of a histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.borrow().get(name).cloned()
+    }
+
+    /// Drop all recorded values.
+    pub fn reset(&self) {
+        self.counters.borrow_mut().clear();
+        self.histograms.borrow_mut().clear();
+    }
+
+    /// Snapshot as `{counters: {...}, histograms: {...}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .borrow()
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::U64(v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .borrow()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_json()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("counters".into(), counters),
+            ("histograms".into(), histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 3, 100, 40_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 40_105);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 40_000);
+        let j = h.to_json();
+        assert_eq!(j.get("count"), Some(&Json::U64(6)));
+        // 0 → bucket "<1"; 1,1 → "<2"; 3 → "<4"; 100 → "<128"; 40000 → inf.
+        let buckets = j.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 5);
+        assert_eq!(
+            buckets.last().unwrap().get("lt"),
+            Some(&Json::Str("inf".into()))
+        );
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution() {
+        let mut h = Histogram::default();
+        for v in 0..100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile_bound(0.5), 64); // 50th sample is 49 → bucket <64
+        assert_eq!(h.quantile_bound(1.0), 128);
+    }
+
+    #[test]
+    fn registry_snapshot() {
+        let r = Registry::new();
+        r.incr("queries", 1);
+        r.incr("queries", 2);
+        r.observe("io_per_query", 7);
+        assert_eq!(r.counter("queries"), 3);
+        let j = r.to_json();
+        assert_eq!(
+            j.get("counters").unwrap().get("queries"),
+            Some(&Json::U64(3))
+        );
+        assert!(j.get("histograms").unwrap().get("io_per_query").is_some());
+        let text = j.render();
+        crate::json::parse(&text).expect("snapshot is valid JSON");
+        r.reset();
+        assert_eq!(r.counter("queries"), 0);
+    }
+}

@@ -181,7 +181,10 @@ mod tests {
         let mut w = ByteWriter::new(&mut page);
         w.u16(1).unwrap();
         let err = w.u32(2).unwrap_err();
-        assert!(matches!(err, PagerError::CodecOverflow { requested: 4, .. }));
+        assert!(matches!(
+            err,
+            PagerError::CodecOverflow { requested: 4, .. }
+        ));
         let mut r = ByteReader::new(&page);
         r.skip(2).unwrap();
         assert!(r.u64().is_err());

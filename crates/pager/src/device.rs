@@ -121,7 +121,8 @@ impl Device for Disk {
             return Ok(id);
         }
         let id = self.pages.len() as PageId;
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.pages
+            .push(vec![0u8; self.page_size].into_boxed_slice());
         self.states.push(SlotState::Live);
         Ok(id)
     }
@@ -174,7 +175,10 @@ mod tests {
         assert_eq!(d.live_pages(), 1);
         let c = d.allocate().unwrap();
         assert_eq!(c, a, "freed id is recycled");
-        assert!(d.page(c).unwrap().iter().all(|&b| b == 0), "recycled page is zeroed");
+        assert!(
+            d.page(c).unwrap().iter().all(|&b| b == 0),
+            "recycled page is zeroed"
+        );
         assert_eq!(d.capacity_pages(), 2);
     }
 

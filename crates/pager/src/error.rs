@@ -55,7 +55,10 @@ impl fmt::Display for PagerError {
                 what,
                 requested,
                 capacity,
-            } => write!(f, "{what}: {requested} records exceed page capacity {capacity}"),
+            } => write!(
+                f,
+                "{what}: {requested} records exceed page capacity {capacity}"
+            ),
         }
     }
 }

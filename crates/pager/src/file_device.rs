@@ -84,7 +84,11 @@ impl FileDevice {
 
     /// Open an existing store, rebuilding the free pool from its chain.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path).map_err(io_err)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(io_err)?;
         // Read the fixed header prefix first to learn the page size.
         let mut fixed = [0u8; HEADER_FIXED];
         file.read_exact_at(&mut fixed, 0).map_err(io_err)?;
@@ -100,7 +104,8 @@ impl FileDevice {
             return Err(PagerError::Corrupt("file-device meta length"));
         }
         let mut meta = vec![0u8; meta_len];
-        file.read_exact_at(&mut meta, HEADER_FIXED as u64).map_err(io_err)?;
+        file.read_exact_at(&mut meta, HEADER_FIXED as u64)
+            .map_err(io_err)?;
 
         let mut dev = FileDevice {
             file,
@@ -136,7 +141,9 @@ impl FileDevice {
     }
 
     fn read_raw(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
-        self.file.read_exact_at(buf, self.offset(id)).map_err(io_err)
+        self.file
+            .read_exact_at(buf, self.offset(id))
+            .map_err(io_err)
     }
 
     fn write_raw(&self, id: PageId, buf: &[u8]) -> Result<()> {
@@ -316,7 +323,10 @@ mod tests {
             let mut buf = vec![0u8; 128];
             assert_eq!(d.read(1, &mut buf).unwrap_err(), PagerError::Freed(1));
             assert_eq!(d.read(3, &mut buf).unwrap_err(), PagerError::Freed(3));
-            assert_eq!(d.read(99, &mut buf).unwrap_err(), PagerError::OutOfBounds(99));
+            assert_eq!(
+                d.read(99, &mut buf).unwrap_err(),
+                PagerError::OutOfBounds(99)
+            );
             // Recycling pops the most recently freed first.
             assert_eq!(d.allocate().unwrap(), 3);
             assert_eq!(d.allocate().unwrap(), 1);
@@ -329,7 +339,10 @@ mod tests {
     fn bad_magic_rejected() {
         let path = tmp("badmagic");
         std::fs::write(&path, vec![7u8; 512]).unwrap();
-        assert!(matches!(FileDevice::open(&path), Err(PagerError::Corrupt(_))));
+        assert!(matches!(
+            FileDevice::open(&path),
+            Err(PagerError::Corrupt(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -392,7 +405,9 @@ mod pager_integration {
             let dev = FileDevice::open(&path).unwrap();
             let pager = Pager::with_device(Box::new(dev), 0);
             for (i, &id) in ids.iter().enumerate() {
-                pager.with_page(id, |b| assert_eq!(b[0], i as u8 + 1)).unwrap();
+                pager
+                    .with_page(id, |b| assert_eq!(b[0], i as u8 + 1))
+                    .unwrap();
             }
         }
         std::fs::remove_file(&path).ok();
@@ -404,7 +419,10 @@ mod pager_integration {
     #[test]
     fn file_and_memory_devices_are_equivalent() {
         let path = tmp("equiv");
-        let mem = Pager::new(PagerConfig { page_size: 128, cache_pages: 0 });
+        let mem = Pager::new(PagerConfig {
+            page_size: 128,
+            cache_pages: 0,
+        });
         let file = Pager::with_device(Box::new(FileDevice::create(&path, 128).unwrap()), 0);
         let mut xs = 0x9E3779B97F4A7C15u64;
         let mut live: Vec<crate::PageId> = Vec::new();

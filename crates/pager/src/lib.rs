@@ -36,15 +36,15 @@
 pub mod cache;
 pub mod codec;
 pub mod device;
-pub mod file_device;
 pub mod error;
+pub mod file_device;
 pub mod pager;
 pub mod stats;
 
 pub use codec::{ByteReader, ByteWriter};
 pub use device::{Device, Disk};
-pub use file_device::FileDevice;
 pub use error::{PagerError, Result};
+pub use file_device::FileDevice;
 pub use pager::{Pager, PagerConfig};
 pub use stats::{IoStats, StatScope};
 

@@ -21,6 +21,7 @@ use crate::device::{Device, Disk};
 use crate::error::Result;
 use crate::stats::{Counters, IoStats};
 use crate::PageId;
+use segdb_obs::trace::{emit, EventKind};
 use std::cell::RefCell;
 
 /// Construction parameters for a [`Pager`].
@@ -140,6 +141,7 @@ impl Pager {
     pub fn allocate(&self) -> Result<PageId> {
         let id = self.device.borrow_mut().allocate()?;
         self.counters.record_alloc();
+        emit(EventKind::PageAlloc, u64::from(id), 0);
         Ok(id)
     }
 
@@ -148,6 +150,7 @@ impl Pager {
         self.cache.borrow_mut().remove(id);
         self.device.borrow_mut().free(id)?;
         self.counters.record_free();
+        emit(EventKind::PageFree, u64::from(id), 0);
         Ok(())
     }
 
@@ -160,12 +163,14 @@ impl Pager {
                 if let Some(img) = cache.get(id) {
                     buf.copy_from_slice(img);
                     self.counters.record_hit();
+                    emit(EventKind::CacheHit, u64::from(id), 0);
                     return Ok(());
                 }
             }
         }
         self.device.borrow().read(id, buf)?;
         self.counters.record_read();
+        emit(EventKind::PageRead, u64::from(id), 0);
         self.admit(id, buf, false)?;
         Ok(())
     }
@@ -184,6 +189,7 @@ impl Pager {
             if ev.dirty {
                 self.device.borrow_mut().write(ev.page, &ev.data)?;
                 self.counters.record_write();
+                emit(EventKind::PageWrite, u64::from(ev.page), 0);
             }
         }
         Ok(())
@@ -208,6 +214,7 @@ impl Pager {
         }
         self.device.borrow_mut().write(id, img)?;
         self.counters.record_write();
+        emit(EventKind::PageWrite, u64::from(id), 0);
         Ok(())
     }
 
@@ -258,6 +265,7 @@ impl Pager {
             } else {
                 self.device.borrow_mut().write(id, &buf)?;
                 self.counters.record_write();
+                emit(EventKind::PageWrite, u64::from(id), 0);
             }
             Ok(r)
         })();
@@ -273,6 +281,7 @@ impl Pager {
             if ev.dirty {
                 self.device.borrow_mut().write(ev.page, &ev.data)?;
                 self.counters.record_write();
+                emit(EventKind::PageWrite, u64::from(ev.page), 0);
             }
         }
         Ok(())
@@ -298,7 +307,8 @@ mod tests {
         p.overwrite_page(id, |b| b[0] = 1).unwrap();
         p.with_page(id, |b| assert_eq!(b[0], 1)).unwrap();
         p.with_page_mut(id, |b| b[1] = 2).unwrap();
-        p.with_page(id, |b| assert_eq!((b[0], b[1]), (1, 2))).unwrap();
+        p.with_page(id, |b| assert_eq!((b[0], b[1]), (1, 2)))
+            .unwrap();
         let s = p.stats();
         assert_eq!(s.allocations, 1);
         assert_eq!(s.writes, 2); // overwrite + modify

@@ -125,7 +125,11 @@ impl PstNode {
         for _ in 0..nseps {
             seps.push(decode_segment(&mut r)?);
         }
-        Ok(PstNode { segments, children, seps })
+        Ok(PstNode {
+            segments,
+            children,
+            seps,
+        })
     }
 }
 
@@ -144,7 +148,9 @@ pub fn default_caps(page_size: usize) -> (usize, usize) {
 /// tree): all remaining space stores segments.
 pub fn seg_cap_for_fanout(page_size: usize, fanout: usize) -> usize {
     let routing = fanout * CHILD_BYTES + fanout.saturating_sub(1) * SEG_BYTES;
-    let budget = page_size.saturating_sub(HEADER_BYTES).saturating_sub(routing);
+    let budget = page_size
+        .saturating_sub(HEADER_BYTES)
+        .saturating_sub(routing);
     (budget / SEG_BYTES).max(1)
 }
 
@@ -169,8 +175,16 @@ mod tests {
         let n = PstNode {
             segments: vec![seg(1), seg(2), seg(3)],
             children: vec![
-                ChildEntry { router: seg(4), page: 9, size: 17 },
-                ChildEntry { router: seg(5), page: 11, size: 20 },
+                ChildEntry {
+                    router: seg(4),
+                    page: 9,
+                    size: 17,
+                },
+                ChildEntry {
+                    router: seg(5),
+                    page: 11,
+                    size: 20,
+                },
             ],
             seps: vec![seg(6)],
         };
@@ -198,7 +212,11 @@ mod tests {
     fn caps_fit_page() {
         for page in [256usize, 512, 1024, 4096] {
             let (cap, fan) = default_caps(page);
-            assert!(node_bytes(cap, fan) <= page, "page {page}: {}", node_bytes(cap, fan));
+            assert!(
+                node_bytes(cap, fan) <= page,
+                "page {page}: {}",
+                node_bytes(cap, fan)
+            );
             assert!(fan >= 2);
             let bcap = seg_cap_for_fanout(page, 2);
             assert!(node_bytes(bcap, 2) <= page);
@@ -211,8 +229,16 @@ mod tests {
         let n = PstNode {
             segments: vec![],
             children: vec![
-                ChildEntry { router: seg(4), page: 9, size: 1 },
-                ChildEntry { router: seg(5), page: 10, size: 1 },
+                ChildEntry {
+                    router: seg(4),
+                    page: 9,
+                    size: 1,
+                },
+                ChildEntry {
+                    router: seg(5),
+                    page: 10,
+                    size: 1,
+                },
             ],
             seps: vec![], // should be 1
         };

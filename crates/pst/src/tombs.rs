@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn push_load_roundtrip_across_pages() {
-        let p = Pager::new(PagerConfig { page_size: 64, cache_pages: 0 });
+        let p = Pager::new(PagerConfig {
+            page_size: 64,
+            cache_pages: 0,
+        });
         // cap = (64-6)/8 = 7 per page; push 20 → 3 pages.
         let mut head = NULL_PAGE;
         for id in 0..20u64 {
@@ -104,7 +107,10 @@ mod tests {
 
     #[test]
     fn empty_chain() {
-        let p = Pager::new(PagerConfig { page_size: 64, cache_pages: 0 });
+        let p = Pager::new(PagerConfig {
+            page_size: 64,
+            cache_pages: 0,
+        });
         assert!(load(&p, NULL_PAGE).unwrap().is_empty());
         destroy(&p, NULL_PAGE).unwrap();
     }
@@ -112,7 +118,10 @@ mod tests {
     #[test]
     fn skip_to_preserves_existing_bytes() {
         // Appending to a half-full page must not clobber earlier ids.
-        let p = Pager::new(PagerConfig { page_size: 64, cache_pages: 0 });
+        let p = Pager::new(PagerConfig {
+            page_size: 64,
+            cache_pages: 0,
+        });
         let head = push(&p, NULL_PAGE, 111).unwrap();
         let head2 = push(&p, head, 222).unwrap();
         assert_eq!(head, head2);

@@ -186,7 +186,13 @@ impl Pst {
     }
 
     /// Reconstruct from serialized state plus owner-supplied context.
-    pub fn attach(pager: &Pager, base_x: i64, side: Side, cfg: PstConfig, state: PstState) -> Result<Self> {
+    pub fn attach(
+        pager: &Pager,
+        base_x: i64,
+        side: Side,
+        cfg: PstConfig,
+        state: PstState,
+    ) -> Result<Self> {
         let (seg_cap, fanout) = cfg.caps(pager.page_size());
         Ok(Pst {
             base_x,
@@ -350,7 +356,18 @@ impl Pst {
         }
         let tombs = self.load_tombs(pager)?;
         let mut visited = 0u32;
-        let hit = self.find_rec(pager, self.state.root, qx, lo, hi, None, None, leftmost, &tombs, &mut visited)?;
+        let hit = self.find_rec(
+            pager,
+            self.state.root,
+            qx,
+            lo,
+            hi,
+            None,
+            None,
+            leftmost,
+            &tombs,
+            &mut visited,
+        )?;
         Ok((hit, visited))
     }
 
@@ -374,12 +391,19 @@ impl Pst {
         // Extreme hit among this block's segments.
         let mut best: Option<(Segment, PageId)> = None;
         for s in &node.segments {
-            if self.side.reach_key(s) >= qkey && hits_vertical(s, qx, lo, hi) && !tombs.contains(&s.id) {
+            if self.side.reach_key(s) >= qkey
+                && hits_vertical(s, qx, lo, hi)
+                && !tombs.contains(&s.id)
+            {
                 let better = match &best {
                     None => true,
                     Some((b, _)) => {
                         let cmp = self.side.cmp_base(self.base_x, s, b);
-                        if leftmost { cmp == Ordering::Less } else { cmp == Ordering::Greater }
+                        if leftmost {
+                            cmp == Ordering::Less
+                        } else {
+                            cmp == Ordering::Greater
+                        }
                     }
                 };
                 if better {
@@ -424,14 +448,18 @@ impl Pst {
                     continue;
                 }
             }
-            if let Some(child_hit) =
-                self.find_rec(pager, c.page, qx, lo, hi, child_lo, child_hi, leftmost, tombs, visited)?
-            {
+            if let Some(child_hit) = self.find_rec(
+                pager, c.page, qx, lo, hi, child_lo, child_hi, leftmost, tombs, visited,
+            )? {
                 let better = match &best {
                     None => true,
                     Some((b, _)) => {
                         let cmp = self.side.cmp_base(self.base_x, &child_hit.0, b);
-                        if leftmost { cmp == Ordering::Less } else { cmp == Ordering::Greater }
+                        if leftmost {
+                            cmp == Ordering::Less
+                        } else {
+                            cmp == Ordering::Greater
+                        }
                     }
                 };
                 if better {
@@ -603,7 +631,9 @@ impl Pst {
         if self.state.tomb_count == 0 {
             return Ok(HashSet::new());
         }
-        Ok(tombs::load(pager, self.state.tomb_head)?.into_iter().collect())
+        Ok(tombs::load(pager, self.state.tomb_head)?
+            .into_iter()
+            .collect())
     }
 
     /// Rebuild the subtree rooted at the deepest unbalanced node of the
@@ -706,7 +736,11 @@ impl Pst {
                 return Err(PagerError::Corrupt("pst child out-reaches parent minimum"));
             }
             let clo = if i == 0 { lo } else { Some(&node.seps[i - 1]) };
-            let chi = if i + 1 == node.children.len() { hi } else { Some(&node.seps[i]) };
+            let chi = if i + 1 == node.children.len() {
+                hi
+            } else {
+                Some(&node.seps[i])
+            };
             let child_top = self.validate_rec(pager, c.page, clo, chi, count)?;
             if (self.side.reach_key(&child_top), child_top.id)
                 != (self.side.reach_key(&c.router), c.router.id)
@@ -729,7 +763,9 @@ impl Pst {
 
 fn check_line_based(s: &Segment, base_x: i64) -> Result<()> {
     if s.is_vertical() {
-        return Err(PagerError::Corrupt("vertical segment in PST (belongs to C(v))"));
+        return Err(PagerError::Corrupt(
+            "vertical segment in PST (belongs to C(v))",
+        ));
     }
     if !s.spans_x(base_x) {
         return Err(PagerError::Corrupt("segment does not span the base line"));
@@ -738,6 +774,7 @@ fn check_line_based(s: &Segment, base_x: i64) -> Result<()> {
 }
 
 fn read_node(pager: &Pager, id: PageId) -> Result<PstNode> {
+    segdb_obs::trace::emit(segdb_obs::trace::EventKind::PstNodeVisit, u64::from(id), 0);
     pager.with_page(id, PstNode::decode)?
 }
 
@@ -776,7 +813,15 @@ fn build_rec_at(
             .max_by_key(|s| (side.reach_key(s), s.id))
             .copied()
             .expect("nonempty");
-        write_node(pager, page, &PstNode { segments: segs, children: vec![], seps: vec![] })?;
+        write_node(
+            pager,
+            page,
+            &PstNode {
+                segments: segs,
+                children: vec![],
+                seps: vec![],
+            },
+        )?;
         return Ok((top, size));
     }
     // Select the seg_cap farthest-reaching segments (ties by id).
@@ -817,13 +862,30 @@ fn build_rec_at(
         }
         first = false;
         let (cpage, ctop, csize) = build_rec(pager, seg_cap, fanout, side, part)?;
-        children.push(ChildEntry { router: ctop, page: cpage, size: csize });
+        children.push(ChildEntry {
+            router: ctop,
+            page: cpage,
+            size: csize,
+        });
     }
-    write_node(pager, page, &PstNode { segments: stored, children, seps })?;
+    write_node(
+        pager,
+        page,
+        &PstNode {
+            segments: stored,
+            children,
+            seps,
+        },
+    )?;
     Ok((top, size))
 }
 
-fn collect(pager: &Pager, page: PageId, tombs: &HashSet<u64>, out: &mut Vec<Segment>) -> Result<()> {
+fn collect(
+    pager: &Pager,
+    page: PageId,
+    tombs: &HashSet<u64>,
+    out: &mut Vec<Segment>,
+) -> Result<()> {
     let node = read_node(pager, page)?;
     out.extend(node.segments.iter().filter(|s| !tombs.contains(&s.id)));
     for c in &node.children {
@@ -847,7 +909,10 @@ mod tests {
     use segdb_pager::PagerConfig;
 
     fn pager(page: usize) -> Pager {
-        Pager::new(PagerConfig { page_size: page, cache_pages: 0 })
+        Pager::new(PagerConfig {
+            page_size: page,
+            cache_pages: 0,
+        })
     }
 
     /// Right-side fan rooted on x = 0.
@@ -914,7 +979,11 @@ mod tests {
             .collect();
         let pst = Pst::build(&p, 0, Side::Left, PstConfig::packed(), set.clone()).unwrap();
         pst.validate(&p).unwrap();
-        for (qx, lo, hi) in [(0, Some(0), Some(500)), (-37, Some(100), Some(2000)), (-(1 << 13), None, None)] {
+        for (qx, lo, hi) in [
+            (0, Some(0), Some(500)),
+            (-37, Some(100), Some(2000)),
+            (-(1 << 13), None, None),
+        ] {
             let (ids, _) = run(&pst, &p, qx, lo, hi);
             assert_eq!(ids, oracle(&set, qx, lo, hi), "q=({qx},{lo:?},{hi:?})");
         }
@@ -947,7 +1016,11 @@ mod tests {
                 (1 << 12, None, None),
             ] {
                 let (ids, _) = run(&pst, &p, qx, lo, hi);
-                assert_eq!(ids, oracle(&set, qx, lo, hi), "cfg={cfg:?} q=({qx},{lo:?},{hi:?})");
+                assert_eq!(
+                    ids,
+                    oracle(&set, qx, lo, hi),
+                    "cfg={cfg:?} q=({qx},{lo:?},{hi:?})"
+                );
             }
             let mut scanned: Vec<u64> = pst.scan_all(&p).unwrap().iter().map(|s| s.id).collect();
             scanned.sort_unstable();
@@ -997,12 +1070,16 @@ mod tests {
         let pack = Pst::build(&p2, 0, Side::Right, PstConfig::packed(), set).unwrap();
         let (_, sb) = {
             let mut out = Vec::new();
-            let st = bin.query_into(&p1, 3, Some(0), Some(100), &mut out).unwrap();
+            let st = bin
+                .query_into(&p1, 3, Some(0), Some(100), &mut out)
+                .unwrap();
             (out, st)
         };
         let (_, sp) = {
             let mut out = Vec::new();
-            let st = pack.query_into(&p2, 3, Some(0), Some(100), &mut out).unwrap();
+            let st = pack
+                .query_into(&p2, 3, Some(0), Some(100), &mut out)
+                .unwrap();
             (out, st)
         };
         assert!(
@@ -1022,7 +1099,9 @@ mod tests {
         let pst = Pst::build(&p, 0, Side::Right, PstConfig::binary(), set).unwrap();
         // Thin query: tiny window, far from the base line.
         let mut out = Vec::new();
-        let st = pst.query_into(&p, 1 << 12, Some(3000), Some(3010), &mut out).unwrap();
+        let st = pst
+            .query_into(&p, 1 << 12, Some(3000), Some(3010), &mut out)
+            .unwrap();
         assert!(
             st.fruitless_nodes <= 4 * st.levels + 4,
             "fruitless={} levels={}",
@@ -1040,7 +1119,11 @@ mod tests {
         let pst = Pst::build(&p, 0, Side::Right, PstConfig::packed(), set).unwrap();
         let used = p.live_pages() - before;
         let (cap, _) = PstConfig::packed().caps(512);
-        assert!(used <= 4 * n_upper / cap + 8, "used {used} pages for n/B = {}", n_upper / cap);
+        assert!(
+            used <= 4 * n_upper / cap + 8,
+            "used {used} pages for n/B = {}",
+            n_upper / cap
+        );
         pst.destroy(&p).unwrap();
         assert_eq!(p.live_pages(), before);
     }
@@ -1092,7 +1175,10 @@ mod find_tests {
     use segdb_pager::PagerConfig;
 
     fn pager() -> Pager {
-        Pager::new(PagerConfig { page_size: 512, cache_pages: 0 })
+        Pager::new(PagerConfig {
+            page_size: 512,
+            cache_pages: 0,
+        })
     }
 
     fn fan(n: usize) -> Vec<Segment> {
@@ -1109,7 +1195,11 @@ mod find_tests {
     ) -> Option<Segment> {
         let mut hits: Vec<Segment> = set.iter().filter(|s| hv(s, qx, lo, hi)).copied().collect();
         hits.sort_by(|a, b| pst.side().cmp_base(pst.base_x(), a, b));
-        if leftmost { hits.first().copied() } else { hits.last().copied() }
+        if leftmost {
+            hits.first().copied()
+        } else {
+            hits.last().copied()
+        }
     }
 
     #[test]
@@ -1132,7 +1222,11 @@ mod find_tests {
                         pst.find_rightmost(&p, qx, lo, hi).unwrap()
                     };
                     let want = oracle_extreme(&pst, &set, qx, lo, hi, leftmost);
-                    assert_eq!(got.map(|(s, _)| s), want, "{cfg:?} q=({qx},{lo:?},{hi:?}) left={leftmost}");
+                    assert_eq!(
+                        got.map(|(s, _)| s),
+                        want,
+                        "{cfg:?} q=({qx},{lo:?},{hi:?}) left={leftmost}"
+                    );
                     // Find must stay near O(log n), far below a full walk.
                     assert!(visited as usize <= 120, "visited {visited}");
                 }
@@ -1148,7 +1242,10 @@ mod find_tests {
         let (hit, _) = pst.find_leftmost(&p, 7, Some(0), Some(2000)).unwrap();
         let (seg, block) = hit.expect("nonempty window");
         let node = read_node(&p, block).unwrap();
-        assert!(node.segments.contains(&seg), "block really stores the found segment");
+        assert!(
+            node.segments.contains(&seg),
+            "block really stores the found segment"
+        );
     }
 
     #[test]
@@ -1165,7 +1262,10 @@ mod find_tests {
 
     #[test]
     fn find_visits_logarithmically_many_blocks() {
-        let p = Pager::new(PagerConfig { page_size: 1024, cache_pages: 0 });
+        let p = Pager::new(PagerConfig {
+            page_size: 1024,
+            cache_pages: 0,
+        });
         let set = fan(20_000);
         let pst = Pst::build(&p, 0, Side::Right, PstConfig::binary(), set).unwrap();
         // Thin windows anywhere in the data.

@@ -27,7 +27,12 @@ fn main() {
             let (_, t) = db.query_canonical(q).unwrap();
             reads += t.io.reads;
         }
-        println!("{:>8} {:>10} {:>14.1}", page, db.space_blocks(), reads as f64 / probes.len() as f64);
+        println!(
+            "{:>8} {:>10} {:>14.1}",
+            page,
+            db.space_blocks(),
+            reads as f64 / probes.len() as f64
+        );
     }
 
     // 2. Buffer pool: repeated probes become cache hits; the physical

@@ -65,5 +65,8 @@ fn main() {
         );
     }
 
-    println!("\ngis_layers OK (all indexes agreed on {} probes)", probes.len());
+    println!(
+        "\ngis_layers OK (all indexes agreed on {} probes)",
+        probes.len()
+    );
 }

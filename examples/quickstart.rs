@@ -26,11 +26,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .index(IndexKind::TwoLevelInterval)
         .build(segments)?;
 
-    println!("stored {} segments in {} blocks", db.len(), db.space_blocks());
+    println!(
+        "stored {} segments in {} blocks",
+        db.len(),
+        db.space_blocks()
+    );
 
     // 1. Stabbing query: everything crossing the vertical line x = 50.
     let (hits, trace) = db.query_line((50, 0))?;
-    println!("\nline x=50 hits {} segments with {} read I/Os:", hits.len(), trace.io.reads);
+    println!(
+        "\nline x=50 hits {} segments with {} read I/Os:",
+        hits.len(),
+        trace.io.reads
+    );
     for s in &hits {
         println!("  {s}");
     }
@@ -38,25 +46,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. VS query (the paper's contribution): a bounded vertical probe.
     let (hits, _) = db.query_segment((50, 25), (50, 35))?;
-    println!("\nsegment x=50, 25≤y≤35 hits: {:?}", hits.iter().map(|s| s.id).collect::<Vec<_>>());
+    println!(
+        "\nsegment x=50, 25≤y≤35 hits: {:?}",
+        hits.iter().map(|s| s.id).collect::<Vec<_>>()
+    );
     assert_eq!(hits.len(), 2); // wall + path touch point
 
     // 3. Ray query: upwards from (50, 35).
     let (hits, _) = db.query_ray_up((50, 35))?;
-    println!("ray up from (50,35) hits: {:?}", hits.iter().map(|s| s.id).collect::<Vec<_>>());
+    println!(
+        "ray up from (50,35) hits: {:?}",
+        hits.iter().map(|s| s.id).collect::<Vec<_>>()
+    );
     assert_eq!(hits.len(), 1); // road 2 only: the path crosses x=50 at y=30 < 35
 
     // The same database under a FIXED NON-VERTICAL query direction:
     // probes along direction (1, 2) (for every 1 step right, 2 up).
-    let db = SegmentDatabase::builder()
-        .direction(1, 2)?
-        .build(vec![
-            Segment::new(10, (0, 0), (100, 0))?,
-            Segment::new(11, (0, 50), (100, 50))?,
-        ])?;
+    let db = SegmentDatabase::builder().direction(1, 2)?.build(vec![
+        Segment::new(10, (0, 0), (100, 0))?,
+        Segment::new(11, (0, 50), (100, 50))?,
+    ])?;
     let (hits, _) = db.query_line((10, 0))?;
-    println!("\nslanted line through (10,0) along (1,2) hits: {:?}",
-             hits.iter().map(|s| s.id).collect::<Vec<_>>());
+    println!(
+        "\nslanted line through (10,0) along (1,2) hits: {:?}",
+        hits.iter().map(|s| s.id).collect::<Vec<_>>()
+    );
     assert_eq!(hits.len(), 2);
 
     println!("\nquickstart OK");

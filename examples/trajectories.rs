@@ -40,9 +40,7 @@ fn traffic(n: usize) -> Vec<Segment> {
         let t1 = HORIZON.min(t0 + (LANE_LENGTH - entry_pos) / speed.max(1));
         let p0 = entry_pos; // position at entry time t0
         let p1 = entry_pos + speed * (t1 - t0);
-        out.push(
-            Segment::new(i as u64, (t0, p0), (t1, p1)).expect("valid trajectory"),
-        );
+        out.push(Segment::new(i as u64, (t0, p0), (t1, p1)).expect("valid trajectory"));
     }
     out
 }
@@ -81,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // The patrol gains 10–90 position units per tick, so within the
     // horizon it sweeps up the tail of the queue.
-    assert!(met.len() > 100, "a fast pursuer meets the tail of the queue");
+    assert!(
+        met.len() > 100,
+        "a fast pursuer meets the tail of the queue"
+    );
 
     // Sanity: brute-force one pursuit answer.
     let brute: Vec<u64> = cars

@@ -94,7 +94,10 @@ fn extension_survives_persistence() {
     };
     let db = SegmentDatabase::open(&path, 0).unwrap();
     db.validate().unwrap();
-    assert_eq!(ids(&db.query_free_segment(probe.a, probe.b).unwrap().0), want);
+    assert_eq!(
+        ids(&db.query_free_segment(probe.a, probe.b).unwrap().0),
+        want
+    );
     assert_eq!(want, oracle(&set, &probe));
     std::fs::remove_file(&path).ok();
 }

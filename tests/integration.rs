@@ -23,7 +23,10 @@ fn every_index_matches_oracle_on_every_family() {
         for s in set.iter().take(8) {
             queries.push(VerticalQuery::Line { x: s.a.x });
             queries.push(VerticalQuery::segment(s.b.x, s.b.y, s.b.y + 100));
-            queries.push(VerticalQuery::RayDown { x: s.a.x, y0: s.a.y });
+            queries.push(VerticalQuery::RayDown {
+                x: s.a.x,
+                y0: s.a.y,
+            });
         }
         for kind in INDEXES {
             let db = SegmentDatabase::builder()
@@ -67,7 +70,11 @@ fn page_size_never_changes_answers() {
                 .build(set.clone())
                 .unwrap();
             for (q, expect) in queries.iter().zip(&reference) {
-                assert_eq!(&ids(&db.query_canonical(q).unwrap().0), expect, "page {page} {kind:?}");
+                assert_eq!(
+                    &ids(&db.query_canonical(q).unwrap().0),
+                    expect,
+                    "page {page} {kind:?}"
+                );
             }
         }
     }
@@ -77,7 +84,10 @@ fn page_size_never_changes_answers() {
 fn cache_never_changes_answers_only_io() {
     let set = Family::Strips.generate(2000, 0xCC);
     let queries = vertical_queries(&set, 30, 40, 0xDD);
-    let cold = SegmentDatabase::builder().page_size(1024).build(set.clone()).unwrap();
+    let cold = SegmentDatabase::builder()
+        .page_size(1024)
+        .build(set.clone())
+        .unwrap();
     let warm = SegmentDatabase::builder()
         .page_size(1024)
         .cache_pages(512)
@@ -93,7 +103,10 @@ fn cache_never_changes_answers_only_io() {
             warm_reads += t2.io.reads;
         }
     }
-    assert!(warm_reads < cold_reads / 2, "cache cut physical reads: {warm_reads} vs {cold_reads}");
+    assert!(
+        warm_reads < cold_reads / 2,
+        "cache cut physical reads: {warm_reads} vs {cold_reads}"
+    );
 }
 
 #[test]
@@ -102,7 +115,12 @@ fn fixed_slope_queries_match_brute_force_all_indexes() {
     let set: Vec<Segment> = (0..300)
         .map(|i| {
             let y = 10 * i as i64;
-            Segment::new(i, (-(i as i64 % 7) * 11, y), (400 + (i as i64 % 5) * 13, y + 4)).unwrap()
+            Segment::new(
+                i,
+                (-(i as i64 % 7) * 11, y),
+                (400 + (i as i64 % 5) * 13, y + 4),
+            )
+            .unwrap()
         })
         .collect();
     // Brute force an original-space line hit: anchor a, direction (2,5).
@@ -121,7 +139,11 @@ fn fixed_slope_queries_match_brute_force_all_indexes() {
             .unwrap();
         for ax in [-50i64, 0, 123, 399] {
             let (hits, _) = db.query_line((ax, 0)).unwrap();
-            let expect: Vec<u64> = set.iter().filter(|s| line_hit(s, ax, 0)).map(|s| s.id).collect();
+            let expect: Vec<u64> = set
+                .iter()
+                .filter(|s| line_hit(s, ax, 0))
+                .map(|s| s.id)
+                .collect();
             assert_eq!(ids(&hits), expect, "{kind:?} anchor {ax}");
             // Answers must round-trip to original coordinates.
             for h in &hits {
@@ -179,7 +201,9 @@ fn whole_database_is_recoverable_by_queries() {
     }
     // Also probe each segment's own left endpoint to catch the rest.
     for s in &set {
-        let (hits, _) = db.query_canonical(&VerticalQuery::Line { x: s.a.x }).unwrap();
+        let (hits, _) = db
+            .query_canonical(&VerticalQuery::Line { x: s.a.x })
+            .unwrap();
         for h in hits {
             seen.insert(h.id);
         }
@@ -223,11 +247,18 @@ fn tiny_pages_fail_gracefully() {
     for page in [64usize, 96] {
         for kind in INDEXES {
             // Either an explicit error or a working database — never a panic.
-            match SegmentDatabase::builder().page_size(page).index(kind).build(set.clone()) {
+            match SegmentDatabase::builder()
+                .page_size(page)
+                .index(kind)
+                .build(set.clone())
+            {
                 Err(_) => {}
                 Ok(db) => {
                     let (hits, _) = db.query_canonical(&VerticalQuery::Line { x: 5 }).unwrap();
-                    assert_eq!(ids(&hits), ids(&scan_oracle(&set, &VerticalQuery::Line { x: 5 })));
+                    assert_eq!(
+                        ids(&hits),
+                        ids(&scan_oracle(&set, &VerticalQuery::Line { x: 5 }))
+                    );
                 }
             }
         }

@@ -32,13 +32,20 @@ fn every_kind_survives_reopen() {
                 .persist_to(&path)
                 .build(set.clone())
                 .unwrap();
-            queries.iter().map(|q| ids(&db.query_canonical(q).unwrap().0)).collect()
+            queries
+                .iter()
+                .map(|q| ids(&db.query_canonical(q).unwrap().0))
+                .collect()
         }; // db dropped: file closed
         let db = SegmentDatabase::open(&path, 0).unwrap();
         db.validate().unwrap();
         assert_eq!(db.len(), set.len() as u64, "{kind:?}");
         for (q, want) in queries.iter().zip(&expected) {
-            assert_eq!(&ids(&db.query_canonical(q).unwrap().0), want, "{kind:?} {q:?}");
+            assert_eq!(
+                &ids(&db.query_canonical(q).unwrap().0),
+                want,
+                "{kind:?} {q:?}"
+            );
         }
         std::fs::remove_file(&path).ok();
     }
@@ -57,7 +64,8 @@ fn mutations_persist_after_save() {
             .unwrap();
         // Mutate after the initial save.
         db.remove(&set[0]).unwrap();
-        db.insert(Segment::new(999_999, (1 << 20, 0), ((1 << 20) + 5, 3)).unwrap()).unwrap();
+        db.insert(Segment::new(999_999, (1 << 20, 0), ((1 << 20) + 5, 3)).unwrap())
+            .unwrap();
         db.save().unwrap();
     }
     let db = SegmentDatabase::open(&path, 0).unwrap();
@@ -70,7 +78,10 @@ fn mutations_persist_after_save() {
     live.remove(0);
     assert_eq!(
         ids(&hits),
-        ids(&scan_oracle(&live, &segdb::geom::VerticalQuery::Line { x: set[0].a.x }))
+        ids(&scan_oracle(
+            &live,
+            &segdb::geom::VerticalQuery::Line { x: set[0].a.x }
+        ))
     );
     std::fs::remove_file(&path).ok();
 }
@@ -122,7 +133,10 @@ fn cache_on_reopen_is_transparent() {
             .persist_to(&path)
             .build(set.clone())
             .unwrap();
-        queries.iter().map(|q| ids(&db.query_canonical(q).unwrap().0)).collect()
+        queries
+            .iter()
+            .map(|q| ids(&db.query_canonical(q).unwrap().0))
+            .collect()
     };
     let db = SegmentDatabase::open(&path, 256).unwrap();
     for (q, want) in queries.iter().zip(&expected) {
