@@ -14,6 +14,7 @@
 //! segdb-cli remove <db> <id> <x1> <y1> <x2> <y2>
 //! segdb-cli stats <db> [csv] [--sample <n>] [--seed <s>] [--human]
 //! segdb-cli trace <db> <shape> <coords…> [--human]
+//! segdb-cli serve <db> [serve options]                   # TCP query server
 //!
 //! build options:
 //!   --page-size <bytes>     block size (default 4096)
@@ -21,6 +22,15 @@
 //!   --direction <dx,dy>     fixed query direction (default 0,1)
 //!   --arbitrary             also build the any-direction extension
 //!   --trust                 skip the NCT validation sweep
+//!
+//! serve options:
+//!   --addr <host:port>      bind address (default 127.0.0.1:7878; :0 = any port)
+//!   --workers <n>           executor threads (default 4)
+//!   --cache-pages <n>       buffer-pool capacity in pages (default 256)
+//!   --cache-shards <n>      buffer-pool lock shards (default 8)
+//!   --queue-depth <n>       bounded job queue; beyond it requests get
+//!                           an `overloaded` error (default 64)
+//!   --timeout-ms <n>        per-request deadline (default 5000)
 //! ```
 //!
 //! `stats` runs a deterministic sample workload of line queries with the
@@ -32,6 +42,11 @@
 //! (same shapes as `query`) with event tracing on and prints the
 //! enriched per-query trace plus the span summary. Schemas are
 //! documented in the repo README under "Observability".
+//!
+//! `serve` opens the database read-only for concurrent serving (sharded
+//! buffer pool, observability on), prints `listening on <addr>` and
+//! blocks until a wire `shutdown` request arrives (protocol in the repo
+//! README under "Serving"; drive load with `segdb-load`).
 //!
 //! The CSV format is `id,x1,y1,x2,y2`, one segment per line; `#` starts
 //! a comment. All logic lives in this library crate so the integration
@@ -67,6 +82,34 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Stable machine-readable error class.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CliError::Usage(_) => "usage",
+            CliError::Io(_) => "io",
+            CliError::Db(_) => "db",
+        }
+    }
+
+    /// Structured form the binary prints to stderr:
+    /// `{"error":"io","message":"..."}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("error", Json::Str(self.code().to_string())),
+            ("message", Json::Str(self.to_string())),
+        ])
+    }
+
+    /// Process exit code: 2 for usage mistakes, 1 for runtime failures.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) | CliError::Db(_) => 1,
+        }
+    }
+}
 
 impl From<DbError> for CliError {
     fn from(e: DbError) -> Self {
@@ -450,6 +493,52 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 ]);
                 Ok(format!("{}\n", doc.render()))
             }
+        }
+        "serve" => {
+            let db_path = want(args, 1, "db path")?;
+            let mut cfg = segdb_server::ServerConfig {
+                addr: "127.0.0.1:7878".to_string(),
+                ..segdb_server::ServerConfig::default()
+            };
+            let mut cache_pages = 256usize;
+            let mut cache_shards = 8usize;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => {
+                        cfg.addr = want(args, i + 1, "address")?.to_string();
+                    }
+                    "--workers" => {
+                        cfg.workers = num(args, i + 1, "worker count")?.max(1) as usize;
+                    }
+                    "--cache-pages" => {
+                        cache_pages = num(args, i + 1, "cache pages")?.max(0) as usize;
+                    }
+                    "--cache-shards" => {
+                        cache_shards = num(args, i + 1, "cache shards")?.max(1) as usize;
+                    }
+                    "--queue-depth" => {
+                        cfg.queue_depth = num(args, i + 1, "queue depth")?.max(0) as usize;
+                    }
+                    "--timeout-ms" => {
+                        cfg.request_timeout = std::time::Duration::from_millis(
+                            num(args, i + 1, "timeout")?.max(0) as u64,
+                        );
+                    }
+                    other => return usage(format!("unknown serve option '{other}'")),
+                }
+                i += 2;
+            }
+            let mut db = SegmentDatabase::open_sharded(db_path, cache_pages, cache_shards)?;
+            db.set_observability(true);
+            let server = segdb_server::Server::start(std::sync::Arc::new(db), cfg)
+                .map_err(|e| CliError::Io(format!("cannot bind server: {e}")))?;
+            // Announce the resolved address immediately — scripts read
+            // this line to learn the port when binding to `:0`.
+            println!("listening on {}", server.addr());
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            server.wait();
+            Ok("server stopped\n".to_string())
         }
         "insert" | "remove" => {
             let op = args[0].clone();

@@ -1,15 +1,27 @@
 //! Binary entry point; all logic lives in the library for testability.
+//!
+//! Failures print one structured JSON line to stderr
+//! (`{"error":"usage|io|db","message":"..."}`) and exit non-zero: 2 for
+//! usage mistakes, 1 for runtime failures (missing database file, corrupt
+//! superblock, bad geometry, …).
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match segdb_cli::run(&args) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
         Err(e) => {
-            eprintln!("segdb-cli: {e}");
-            eprintln!(
-                "commands: gen | build | info | query | insert | remove | stats | trace  (see crate docs)"
-            );
-            std::process::exit(2);
+            eprintln!("{}", e.to_json().render());
+            if matches!(e, segdb_cli::CliError::Usage(_)) {
+                eprintln!(
+                    "commands: gen | build | info | query | insert | remove | stats | trace | serve  (see crate docs)"
+                );
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

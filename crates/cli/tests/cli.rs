@@ -1,7 +1,12 @@
 //! End-to-end CLI flows: generate → build → info → query → mutate →
-//! re-query, all through the public `run` entry point.
+//! re-query, all through the public `run` entry point — plus process
+//! tests of the binary's structured error output and the `serve`
+//! subcommand.
 
-use segdb_cli::{parse_csv, run};
+use segdb_cli::{parse_csv, run, CliError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
 
 fn a(v: &[&str]) -> Vec<String> {
     v.iter().map(|s| s.to_string()).collect()
@@ -106,6 +111,130 @@ fn sheared_build_and_query() {
     // Aligned one works: (0,0) → (1,4) lies on a (1,4)-line.
     let out = run(&a(&["query", &db_path, "segment", "0", "0", "1", "4"])).unwrap();
     assert!(out.contains("hits"));
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&db_path).ok();
+}
+
+#[test]
+fn missing_db_file_is_a_clean_db_error() {
+    let err = run(&a(&["info", "/nonexistent/definitely-missing.db"])).unwrap_err();
+    assert!(matches!(err, CliError::Db(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 1);
+    let doc = err.to_json();
+    assert_eq!(doc.get("error").and_then(|v| v.as_str()), Some("db"));
+    assert!(doc
+        .get("message")
+        .and_then(|v| v.as_str())
+        .is_some_and(|m| !m.is_empty()));
+}
+
+#[test]
+fn corrupt_superblock_is_a_clean_db_error() {
+    let path = tmp("nosb.db");
+    // A valid device file whose superblock was never saved…
+    segdb_pager::FileDevice::create(&path, 512).unwrap();
+    let err = run(&a(&["info", &path])).unwrap_err();
+    assert_eq!(err.code(), "db");
+    assert!(err.to_string().contains("superblock"), "{err}");
+    // …and a file that is not a device at all.
+    std::fs::write(&path, b"this is not a segment database").unwrap();
+    let err = run(&a(&["query", &path, "line", "0", "0"])).unwrap_err();
+    assert_eq!(err.code(), "db");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn binary_prints_structured_json_errors() {
+    // Runtime failure (missing db): exit 1, JSON on stderr.
+    let out = Command::new(env!("CARGO_BIN_EXE_segdb-cli"))
+        .args(["info", "/nonexistent/definitely-missing.db"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let doc = segdb_obs::json::parse(stderr.lines().next().unwrap())
+        .expect("stderr line is structured JSON");
+    assert_eq!(doc.get("error").and_then(|v| v.as_str()), Some("db"));
+
+    // Usage mistake: exit 2, JSON first line plus the command hint.
+    let out = Command::new(env!("CARGO_BIN_EXE_segdb-cli"))
+        .args(["frobnicate"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let doc = segdb_obs::json::parse(stderr.lines().next().unwrap()).unwrap();
+    assert_eq!(doc.get("error").and_then(|v| v.as_str()), Some("usage"));
+}
+
+/// Kill the serve child if the test dies before the graceful shutdown.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+    }
+}
+
+#[test]
+fn serve_binary_round_trip() {
+    let csv_path = tmp("serve.csv");
+    let db_path = tmp("serve.db");
+    let csv = run(&a(&["gen", "mixed", "300", "21"])).unwrap();
+    std::fs::write(&csv_path, &csv).unwrap();
+    run(&a(&["build", &db_path, &csv_path, "--page-size", "1024"])).unwrap();
+    let set = parse_csv(&csv).unwrap();
+
+    let mut child = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_segdb-cli"))
+            .args(["serve", &db_path, "--addr", "127.0.0.1:0", "--workers", "2"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap(),
+    );
+    let mut child_out = BufReader::new(child.0.stdout.take().unwrap());
+    let mut line = String::new();
+    child_out.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+        .to_string();
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut send = |line: String| {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        segdb_obs::json::parse(resp.trim_end()).expect("valid response JSON")
+    };
+
+    // A line through a known segment's left endpoint must report it.
+    let s = set[0];
+    let v = send(format!(
+        r#"{{"id":1,"method":"query_line","params":{{"x":{}}}}}"#,
+        s.a.x
+    ));
+    assert_eq!(
+        v.get("ok"),
+        Some(&segdb_obs::Json::Bool(true)),
+        "{line}: {v:?}"
+    );
+    let ids = v
+        .get("result")
+        .and_then(|r| r.get("ids"))
+        .and_then(|i| i.as_arr())
+        .unwrap();
+    assert!(ids.contains(&segdb_obs::Json::U64(s.id)), "{v:?}");
+
+    let v = send(r#"{"id":2,"method":"shutdown"}"#.to_string());
+    assert_eq!(v.get("ok"), Some(&segdb_obs::Json::Bool(true)));
+    let status = child.0.wait().unwrap();
+    assert!(status.success(), "{status:?}");
+
     std::fs::remove_file(&csv_path).ok();
     std::fs::remove_file(&db_path).ok();
 }

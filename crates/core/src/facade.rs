@@ -19,10 +19,10 @@ use segdb_itree::tree::ItState;
 use segdb_obs::cost::{CostKind, CostModel, Fitter};
 use segdb_obs::trace::TraceSummary;
 use segdb_obs::{Json, Registry};
-use segdb_pager::{FileDevice, Pager, PagerConfig, PagerError};
-use std::cell::RefCell;
+use segdb_pager::{Device, FileDevice, Pager, PagerError};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Which index backs the database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,23 +111,29 @@ impl Index {
 }
 
 /// Per-database observability state: a metric registry plus the cost
-/// fitter judging each query against the paper's bound.
+/// fitter judging each query against the paper's bound. Both are
+/// thread-safe so observed queries can run concurrently (the registry
+/// locks internally; the fitter sits behind its own mutex).
 #[derive(Debug)]
 struct DbObserver {
     registry: Registry,
-    fitter: RefCell<Fitter>,
+    fitter: Mutex<Fitter>,
 }
 
 impl DbObserver {
     fn new(kind: IndexKind, len: u64, block_segments: u64) -> DbObserver {
         DbObserver {
             registry: Registry::new(),
-            fitter: RefCell::new(Fitter::new(CostModel::new(
+            fitter: Mutex::new(Fitter::new(CostModel::new(
                 kind.cost_kind(),
                 len,
                 block_segments,
             ))),
         }
+    }
+
+    fn fitter(&self) -> std::sync::MutexGuard<'_, Fitter> {
+        self.fitter.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -136,6 +142,7 @@ impl DbObserver {
 pub struct SegmentDatabaseBuilder {
     page_size: usize,
     cache_pages: usize,
+    cache_shards: usize,
     direction: Direction,
     kind: IndexKind,
     validate_nct: bool,
@@ -149,6 +156,7 @@ impl Default for SegmentDatabaseBuilder {
         SegmentDatabaseBuilder {
             page_size: 4096,
             cache_pages: 0,
+            cache_shards: 1,
             direction: Direction::VERTICAL,
             kind: IndexKind::TwoLevelInterval,
             validate_nct: true,
@@ -169,6 +177,15 @@ impl SegmentDatabaseBuilder {
     /// Buffer-pool capacity in pages (0 = pure I/O model).
     pub fn cache_pages(mut self, pages: usize) -> Self {
         self.cache_pages = pages;
+        self
+    }
+
+    /// Split the buffer pool over `shards` independently locked LRU
+    /// shards (default 1 = exact global LRU, the deterministic
+    /// experiment configuration). Concurrent query serving uses more so
+    /// reader threads contend per shard instead of on one pool lock.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
         self
     }
 
@@ -221,16 +238,11 @@ impl SegmentDatabaseBuilder {
 
     /// Build the database over `segments` (given in user coordinates).
     pub fn build(self, segments: Vec<Segment>) -> Result<SegmentDatabase, DbError> {
-        let pager = match &self.persist {
-            None => Pager::new(PagerConfig {
-                page_size: self.page_size,
-                cache_pages: self.cache_pages,
-            }),
-            Some(path) => Pager::with_device(
-                Box::new(FileDevice::create(path, self.page_size)?),
-                self.cache_pages,
-            ),
+        let device: Box<dyn Device> = match &self.persist {
+            None => Box::new(segdb_pager::Disk::new(self.page_size)),
+            Some(path) => Box::new(FileDevice::create(path, self.page_size)?),
         };
+        let pager = Pager::with_device_sharded(device, self.cache_pages, self.cache_shards);
         let transformed: Vec<Segment> = segments
             .iter()
             .map(|s| self.direction.apply_segment(s))
@@ -299,7 +311,23 @@ impl SegmentDatabase {
     /// Re-open a database previously built with
     /// [`SegmentDatabaseBuilder::persist_to`] and saved.
     pub fn open(path: impl AsRef<Path>, cache_pages: usize) -> Result<Self, DbError> {
-        let pager = Pager::with_device(Box::new(FileDevice::open(path)?), cache_pages);
+        Self::open_sharded(path, cache_pages, 1)
+    }
+
+    /// Like [`SegmentDatabase::open`], but splitting the buffer pool
+    /// over `cache_shards` locked LRU shards — the configuration the
+    /// serving layer uses so concurrent readers scale. `cache_shards = 1`
+    /// is the deterministic single-LRU of the experiments.
+    pub fn open_sharded(
+        path: impl AsRef<Path>,
+        cache_pages: usize,
+        cache_shards: usize,
+    ) -> Result<Self, DbError> {
+        let pager = Pager::with_device_sharded(
+            Box::new(FileDevice::open(path)?),
+            cache_pages,
+            cache_shards,
+        );
         let sb = Superblock::decode(&pager.get_meta()?)?;
         let direction = sb.direction_obj()?;
         let index = match sb.kind {
@@ -474,7 +502,7 @@ impl SegmentDatabase {
             ("space_blocks", Json::U64(self.space_blocks() as u64)),
             ("cache_hit_ratio", Json::F64(ratio)),
             ("fanout_utilization_pct", Json::F64(util)),
-            ("cost_model", obs.fitter.borrow().to_json()),
+            ("cost_model", obs.fitter().to_json()),
             ("metrics", obs.registry.to_json()),
         ]))
     }
@@ -683,7 +711,7 @@ impl SegmentDatabase {
             IndexKind::StabThenFilter => trace.second_level_probes as u64,
             _ => trace.hits as u64,
         };
-        let mut fitter = obs.fitter.borrow_mut();
+        let mut fitter = obs.fitter();
         fitter.set_n(self.len());
         trace.cost = fitter.record(t_items, trace.io.total_io());
         if trace.cost.is_some_and(|c| !c.within) {
@@ -705,6 +733,57 @@ mod tests {
         IndexKind::FullScan,
         IndexKind::StabThenFilter,
     ];
+
+    /// The serving layer shares one database across worker threads; this
+    /// is the compile-time contract it stands on.
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SegmentDatabase>();
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_database() {
+        let set = mixed_map(300, 41);
+        let queries = vertical_queries(&set, 16, 100, 7);
+        let db = std::sync::Arc::new(
+            SegmentDatabase::builder()
+                .page_size(512)
+                .cache_pages(32)
+                .cache_shards(4)
+                .observe()
+                .build(set.clone())
+                .unwrap(),
+        );
+        let expected: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| ids(&db.query_canonical(q).unwrap().0))
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let db = std::sync::Arc::clone(&db);
+                let queries = queries.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for (q, want) in queries.iter().zip(&expected) {
+                        let (hits, _) = db.query_canonical(q).unwrap();
+                        assert_eq!(&ids(&hits), want);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = db.metrics_json().unwrap();
+        let n = snap
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("queries"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(n as u64, 16 + 4 * 16, "every observed query counted");
+    }
 
     #[test]
     fn all_kinds_agree_on_vertical_queries() {

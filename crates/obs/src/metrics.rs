@@ -2,13 +2,14 @@
 //!
 //! The registry is interior-mutable (`&self` recording) because the
 //! query paths of the index structures work through shared references —
-//! same design as the pager's I/O counters. It is not thread-safe by
-//! design: the storage simulation is single-threaded, and a registry is
-//! owned by the component it instruments.
+//! same design as the pager's I/O counters. Since the serving layer
+//! (`segdb-server`) runs those query paths from many worker threads over
+//! one shared database, the maps live behind `Mutex`es: recording is a
+//! short lock around a `BTreeMap` bump, far off any I/O-bound hot path.
 
 use crate::json::Json;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
 
 /// Power-of-two bucket upper bounds used by default: `< 1`, `< 2`,
 /// `< 4`, …, `< 2^15`, plus an overflow bucket. I/O-per-query counts of
@@ -113,6 +114,23 @@ impl Histogram {
         u64::MAX
     }
 
+    /// Fold another histogram into this one (bucket-wise). Used by the
+    /// load driver to merge per-connection latency histograms into one
+    /// fleet-wide distribution.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "merging mismatched histograms");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// JSON form: `{count, sum, min, max, mean, buckets: [{le, n}...]}`.
     /// Empty buckets are elided to keep snapshots small.
     pub fn to_json(&self) -> Json {
@@ -141,11 +159,18 @@ impl Histogram {
     }
 }
 
-/// A named bank of counters and histograms.
+/// A named bank of counters and histograms. Thread-safe: recording
+/// through `&self` from concurrent query threads is supported.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: RefCell<BTreeMap<String, u64>>,
-    histograms: RefCell<BTreeMap<String, Histogram>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Recover from lock poisoning: metrics are monotone plain data, and a
+/// panicked query thread must not take observability down with it.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 impl Registry {
@@ -156,18 +181,13 @@ impl Registry {
 
     /// Add `by` to counter `name` (created at 0).
     pub fn incr(&self, name: &str, by: u64) {
-        *self
-            .counters
-            .borrow_mut()
-            .entry(name.to_string())
-            .or_insert(0) += by;
+        *relock(&self.counters).entry(name.to_string()).or_insert(0) += by;
     }
 
     /// Record `value` into histogram `name` (created with the default
     /// power-of-two buckets).
     pub fn observe(&self, name: &str, value: u64) {
-        self.histograms
-            .borrow_mut()
+        relock(&self.histograms)
             .entry(name.to_string())
             .or_default()
             .observe(value);
@@ -175,32 +195,30 @@ impl Registry {
 
     /// Current value of a counter (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.borrow().get(name).copied().unwrap_or(0)
+        relock(&self.counters).get(name).copied().unwrap_or(0)
     }
 
     /// Clone of a histogram, if recorded.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.histograms.borrow().get(name).cloned()
+        relock(&self.histograms).get(name).cloned()
     }
 
     /// Drop all recorded values.
     pub fn reset(&self) {
-        self.counters.borrow_mut().clear();
-        self.histograms.borrow_mut().clear();
+        relock(&self.counters).clear();
+        relock(&self.histograms).clear();
     }
 
     /// Snapshot as `{counters: {...}, histograms: {...}}`.
     pub fn to_json(&self) -> Json {
         let counters = Json::Obj(
-            self.counters
-                .borrow()
+            relock(&self.counters)
                 .iter()
                 .map(|(k, &v)| (k.clone(), Json::U64(v)))
                 .collect(),
         );
         let histograms = Json::Obj(
-            self.histograms
-                .borrow()
+            relock(&self.histograms)
                 .iter()
                 .map(|(k, h)| (k.clone(), h.to_json()))
                 .collect(),
@@ -245,6 +263,44 @@ mod tests {
         }
         assert_eq!(h.quantile_bound(0.5), 64); // 50th sample is 49 → bucket <64
         assert_eq!(h.quantile_bound(1.0), 128);
+    }
+
+    #[test]
+    fn merge_folds_counts_and_extremes() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [1, 2, 3] {
+            a.observe(v);
+        }
+        for v in [100, 0] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 106);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn registry_is_thread_safe() {
+        let r = std::sync::Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        r.incr("queries", 1);
+                        r.observe("io_per_query", i % 32);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("queries"), 4000);
+        assert_eq!(r.histogram("io_per_query").unwrap().count(), 4000);
     }
 
     #[test]

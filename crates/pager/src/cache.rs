@@ -4,7 +4,17 @@
 //! every access is a physical I/O — exactly the cost model the paper's
 //! bounds are stated in. Non-zero capacities are used by the buffer-pool
 //! ablation experiment (E9/E10 in DESIGN.md) to show how much of each
-//! structure's access pattern is re-use.
+//! structure's access pattern is re-use, and by the serving layer
+//! (`segdb-server`), which wraps many of these in the sharded pool of
+//! [`crate::shard::ShardedCache`].
+//!
+//! Page images are stored as `Arc<[u8]>`: a cache hit hands the caller a
+//! reference-counted clone instead of a copy, so a concurrent reader can
+//! release the shard lock *before* decoding the node image
+//! ([`LruCache::get_cloned`]). Mutation replaces the whole image (the
+//! pager always produces fully rebuilt page images), so no `&mut [u8]`
+//! access into the cache is needed and shared images are never written
+//! through.
 //!
 //! The implementation is an intrusive doubly-linked list over an arena of
 //! entries plus a `HashMap` index: O(1) hit, O(1) eviction, no per-access
@@ -12,13 +22,14 @@
 
 use crate::PageId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const NIL: usize = usize::MAX;
 
 #[derive(Debug)]
 struct Entry {
     page: PageId,
-    data: Box<[u8]>,
+    data: Arc<[u8]>,
     dirty: bool,
     prev: usize,
     next: usize,
@@ -41,9 +52,13 @@ pub struct Evicted {
     /// Which page was evicted.
     pub page: PageId,
     /// Its (possibly modified) image.
-    pub data: Box<[u8]>,
+    pub data: Arc<[u8]>,
     /// Whether the image differs from the disk copy.
     pub dirty: bool,
+}
+
+fn empty_image() -> Arc<[u8]> {
+    Arc::from(Vec::new().into_boxed_slice())
 }
 
 impl LruCache {
@@ -100,34 +115,35 @@ impl LruCache {
         }
     }
 
-    /// Look up `page`, marking it most-recently-used. Returns its image.
-    pub fn get(&mut self, page: PageId) -> Option<&[u8]> {
-        let idx = *self.map.get(&page)?;
+    fn touch(&mut self, idx: usize) {
         if idx != self.head {
             self.unlink(idx);
             self.push_front(idx);
         }
+    }
+
+    /// Look up `page`, marking it most-recently-used. Returns its image.
+    pub fn get(&mut self, page: PageId) -> Option<&Arc<[u8]>> {
+        let idx = *self.map.get(&page)?;
+        self.touch(idx);
         Some(&self.arena[idx].data)
     }
 
-    /// Look up `page` for modification; marks it dirty and MRU.
-    pub fn get_mut(&mut self, page: PageId) -> Option<&mut [u8]> {
-        let idx = *self.map.get(&page)?;
-        if idx != self.head {
-            self.unlink(idx);
-            self.push_front(idx);
-        }
-        self.arena[idx].dirty = true;
-        Some(&mut self.arena[idx].data)
+    /// Look up `page`, marking it MRU, and return a reference-counted
+    /// clone of its image. The clone is O(1) — callers use this to copy
+    /// *the handle*, release whatever lock guards the cache, and decode
+    /// the bytes outside the critical section.
+    pub fn get_cloned(&mut self, page: PageId) -> Option<Arc<[u8]>> {
+        self.get(page).cloned()
     }
 
     /// Insert a page image (clean unless `dirty`), evicting the LRU entry
     /// if the pool is full. Returns the eviction victim, if any.
     ///
     /// # Panics
-    /// Panics if the page is already resident (callers always `get` first)
-    /// or if capacity is zero.
-    pub fn insert(&mut self, page: PageId, data: Box<[u8]>, dirty: bool) -> Option<Evicted> {
+    /// Panics if the page is already resident (use [`LruCache::upsert`]
+    /// when residency is unknown) or if capacity is zero.
+    pub fn insert(&mut self, page: PageId, data: Arc<[u8]>, dirty: bool) -> Option<Evicted> {
         assert!(self.capacity > 0, "insert into zero-capacity cache");
         assert!(!self.map.contains_key(&page), "page already cached");
         let victim = if self.map.len() >= self.capacity {
@@ -135,7 +151,7 @@ impl LruCache {
             let victim_page = self.arena[idx].page;
             self.unlink(idx);
             self.map.remove(&victim_page);
-            let data = std::mem::take(&mut self.arena[idx].data);
+            let data = std::mem::replace(&mut self.arena[idx].data, empty_image());
             let dirty = self.arena[idx].dirty;
             self.free.push(idx);
             Some(Evicted {
@@ -173,12 +189,42 @@ impl LruCache {
         victim
     }
 
+    /// Insert or replace `page` with a new image, marking it MRU. The
+    /// dirty bit is OR-ed in: replacing a dirty image with a clean one
+    /// keeps the entry dirty (the disk copy is still stale). Returns the
+    /// eviction victim if an insert displaced the LRU entry.
+    pub fn upsert(&mut self, page: PageId, data: Arc<[u8]>, dirty: bool) -> Option<Evicted> {
+        if let Some(&idx) = self.map.get(&page) {
+            self.touch(idx);
+            self.arena[idx].data = data;
+            self.arena[idx].dirty |= dirty;
+            return None;
+        }
+        self.insert(page, data, dirty)
+    }
+
+    /// Insert `page` only if absent (readers admitting a freshly fetched
+    /// image must not clobber a concurrently admitted — possibly dirty —
+    /// copy). When the page is already resident it is only touched MRU.
+    pub fn insert_if_absent(
+        &mut self,
+        page: PageId,
+        data: Arc<[u8]>,
+        dirty: bool,
+    ) -> Option<Evicted> {
+        if let Some(&idx) = self.map.get(&page) {
+            self.touch(idx);
+            return None;
+        }
+        self.insert(page, data, dirty)
+    }
+
     /// Remove a page (used when the page is freed). Returns its image if it
     /// was resident.
     pub fn remove(&mut self, page: PageId) -> Option<Evicted> {
         let idx = self.map.remove(&page)?;
         self.unlink(idx);
-        let data = std::mem::take(&mut self.arena[idx].data);
+        let data = std::mem::replace(&mut self.arena[idx].data, empty_image());
         let dirty = self.arena[idx].dirty;
         self.free.push(idx);
         Some(Evicted { page, data, dirty })
@@ -191,7 +237,7 @@ impl LruCache {
         while idx != NIL {
             let prev = self.arena[idx].prev;
             let page = self.arena[idx].page;
-            let data = std::mem::take(&mut self.arena[idx].data);
+            let data = std::mem::replace(&mut self.arena[idx].data, empty_image());
             out.push(Evicted {
                 page,
                 data,
@@ -211,8 +257,8 @@ impl LruCache {
 mod tests {
     use super::*;
 
-    fn img(b: u8) -> Box<[u8]> {
-        vec![b; 4].into_boxed_slice()
+    fn img(b: u8) -> Arc<[u8]> {
+        Arc::from(vec![b; 4].into_boxed_slice())
     }
 
     #[test]
@@ -230,14 +276,44 @@ mod tests {
     }
 
     #[test]
-    fn get_mut_marks_dirty_and_eviction_reports_it() {
+    fn upsert_marks_dirty_and_eviction_reports_it() {
         let mut c = LruCache::new(1);
         c.insert(5, img(5), false);
-        c.get_mut(5).unwrap()[0] = 9;
+        c.upsert(5, img(9), true);
         let ev = c.insert(6, img(6), false).unwrap();
         assert_eq!(ev.page, 5);
         assert!(ev.dirty);
         assert_eq!(ev.data[0], 9);
+    }
+
+    #[test]
+    fn upsert_keeps_dirty_bit_sticky() {
+        let mut c = LruCache::new(1);
+        c.insert(5, img(5), true);
+        c.upsert(5, img(7), false);
+        let ev = c.insert(6, img(6), false).unwrap();
+        assert!(ev.dirty, "dirty image replaced by clean one stays dirty");
+        assert_eq!(ev.data[0], 7);
+    }
+
+    #[test]
+    fn insert_if_absent_preserves_existing_image() {
+        let mut c = LruCache::new(2);
+        c.insert(1, img(1), true);
+        assert!(c.insert_if_absent(1, img(9), false).is_none());
+        assert_eq!(c.get(1).unwrap()[0], 1, "existing image kept");
+        assert!(c.insert_if_absent(2, img(2), false).is_none());
+        assert_eq!(c.get(2).unwrap()[0], 2, "absent page admitted");
+    }
+
+    #[test]
+    fn get_cloned_shares_the_image() {
+        let mut c = LruCache::new(1);
+        c.insert(3, img(3), false);
+        let a = c.get_cloned(3).unwrap();
+        let b = c.get_cloned(3).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "clones share one allocation");
+        assert_eq!(a[0], 3);
     }
 
     #[test]

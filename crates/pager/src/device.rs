@@ -15,7 +15,12 @@ use crate::error::{PagerError, Result};
 use crate::PageId;
 
 /// A raw page store.
-pub trait Device {
+///
+/// `Send + Sync` is a supertrait: devices sit behind the pager's
+/// `RwLock` and are read concurrently by server worker threads. Both
+/// in-repo devices are plain data (or an `std::fs::File`) and qualify
+/// automatically.
+pub trait Device: Send + Sync {
     /// Size of every page in bytes.
     fn page_size(&self) -> usize;
     /// Currently allocated pages.

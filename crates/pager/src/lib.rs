@@ -39,6 +39,7 @@ pub mod device;
 pub mod error;
 pub mod file_device;
 pub mod pager;
+pub mod shard;
 pub mod stats;
 
 pub use codec::{ByteReader, ByteWriter};
@@ -46,7 +47,8 @@ pub use device::{Device, Disk};
 pub use error::{PagerError, Result};
 pub use file_device::FileDevice;
 pub use pager::{Pager, PagerConfig};
-pub use stats::{IoStats, StatScope};
+pub use shard::ShardedCache;
+pub use stats::{thread_io, IoStats, StatScope};
 
 /// Identifier of one page (block) of secondary storage.
 ///

@@ -2,27 +2,38 @@
 //!
 //! Design notes:
 //!
-//! * All methods take `&self`. Queries over an index must be expressible
-//!   through a shared reference while still counting I/O and updating the
-//!   LRU, so the disk, cache and counters live behind `RefCell`s.
-//! * Page closures receive a *copy* of the page in a pooled scratch buffer,
-//!   taken after all internal borrows are released. This makes the API
-//!   fully re-entrant: tree traversals may read a child page from inside a
-//!   parent-page closure without tripping `RefCell` at runtime. One memcpy
-//!   per logical I/O is a fair price in a simulator whose figure of merit
-//!   is the I/O *count*.
+//! * All methods take `&self`, and the pager is `Send + Sync`: queries
+//!   over an index must be expressible through a shared reference — and,
+//!   since the serving layer (`segdb-server`), from many threads over one
+//!   `Arc` — while still counting I/O and updating the LRU. The device
+//!   lives behind an `RwLock` (concurrent page reads, exclusive writes),
+//!   the buffer pool is a sharded [`ShardedCache`] of per-shard
+//!   `Mutex<LruCache>`s, and the counters are relaxed atomics plus a
+//!   per-thread bank (see [`crate::stats`]).
+//! * Read closures receive the page image as `&[u8]` backed by an
+//!   `Arc<[u8]>`: a cache hit clones the handle and releases the shard
+//!   lock *before* the closure decodes the node, so no lock is held
+//!   across index-node decoding and no memcpy happens on the hot path.
+//!   The API stays fully re-entrant: tree traversals may read a child
+//!   page from inside a parent-page closure.
 //! * Three access verbs mirror the external-memory cost model:
 //!   [`Pager::with_page`] (1 read), [`Pager::with_page_mut`]
 //!   (read-modify-write: 1 read + 1 write), and [`Pager::overwrite_page`]
 //!   (blind write of a freshly built node image: 1 write, no read).
+//! * Concurrency contract: any number of concurrent **readers** are safe
+//!   (`with_page`, `get_meta`, `stats`, …). The mutating verbs are also
+//!   data-race-free, but interleaving them with readers gives no
+//!   atomicity across pages — multi-page structural updates require
+//!   external exclusive access (`&mut SegmentDatabase` at the facade).
+//!   See DESIGN.md "Concurrent serving".
 
-use crate::cache::LruCache;
 use crate::device::{Device, Disk};
 use crate::error::Result;
+use crate::shard::ShardedCache;
 use crate::stats::{Counters, IoStats};
 use crate::PageId;
 use segdb_obs::trace::{emit, EventKind};
-use std::cell::RefCell;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Construction parameters for a [`Pager`].
 #[derive(Debug, Clone, Copy)]
@@ -45,10 +56,9 @@ impl Default for PagerConfig {
 
 /// Counted, optionally cached page-access layer. See module docs.
 pub struct Pager {
-    device: RefCell<Box<dyn Device>>,
-    cache: RefCell<LruCache>,
+    device: RwLock<Box<dyn Device>>,
+    cache: ShardedCache,
     counters: Counters,
-    scratch: RefCell<Vec<Box<[u8]>>>,
     page_size: usize,
 }
 
@@ -56,6 +66,7 @@ impl std::fmt::Debug for Pager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pager")
             .field("page_size", &self.page_size)
+            .field("cache_shards", &self.cache.shard_count())
             .field("live_pages", &self.live_pages())
             .finish()
     }
@@ -68,38 +79,60 @@ impl Pager {
     }
 
     /// Create a pager over any [`Device`] — e.g. a persistent
-    /// [`crate::file_device::FileDevice`].
+    /// [`crate::file_device::FileDevice`] — with a single-shard (exact
+    /// global-LRU) buffer pool.
     pub fn with_device(device: Box<dyn Device>, cache_pages: usize) -> Self {
+        Self::with_device_sharded(device, cache_pages, 1)
+    }
+
+    /// Like [`Pager::with_device`], but splitting the buffer pool over
+    /// `shards` independently locked LRU shards so concurrent readers
+    /// contend per shard instead of on one pool lock. `shards = 1`
+    /// reproduces the exact single-LRU eviction order of the cost-model
+    /// experiments; the serving layer uses more.
+    pub fn with_device_sharded(device: Box<dyn Device>, cache_pages: usize, shards: usize) -> Self {
         let page_size = device.page_size();
         Pager {
-            device: RefCell::new(device),
-            cache: RefCell::new(LruCache::new(cache_pages)),
+            device: RwLock::new(device),
+            cache: ShardedCache::new(cache_pages, shards),
             counters: Counters::default(),
-            scratch: RefCell::new(Vec::new()),
             page_size,
         }
     }
 
+    fn device_read(&self) -> RwLockReadGuard<'_, Box<dyn Device>> {
+        self.device.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn device_write(&self) -> RwLockWriteGuard<'_, Box<dyn Device>> {
+        self.device.write().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Store the database superblock blob on the device.
     pub fn set_meta(&self, meta: &[u8]) -> Result<()> {
-        self.device.borrow_mut().set_meta(meta)
+        self.device_write().set_meta(meta)
     }
 
     /// Fetch the database superblock blob.
     pub fn get_meta(&self) -> Result<Vec<u8>> {
-        self.device.borrow().get_meta()
+        self.device_read().get_meta()
     }
 
     /// Flush the buffer pool and durably sync the device.
     pub fn sync(&self) -> Result<()> {
         self.flush()?;
-        self.device.borrow_mut().sync()
+        self.device_write().sync()
     }
 
     /// Bytes per page.
     #[inline]
     pub fn page_size(&self) -> usize {
         self.page_size
+    }
+
+    /// Number of buffer-pool shards (1 = exact global LRU).
+    pub fn cache_shards(&self) -> usize {
+        self.cache.shard_count()
     }
 
     /// Snapshot of I/O counters.
@@ -114,32 +147,18 @@ impl Pager {
 
     /// Pages currently allocated on the disk (live, cache included).
     pub fn live_pages(&self) -> usize {
-        self.device.borrow().live_pages()
+        self.device_read().live_pages()
     }
 
     /// High-water mark of the disk image in pages.
     pub fn capacity_pages(&self) -> usize {
-        self.device.borrow().capacity_pages()
-    }
-
-    fn take_scratch(&self) -> Box<[u8]> {
-        self.scratch
-            .borrow_mut()
-            .pop()
-            .unwrap_or_else(|| vec![0u8; self.page_size].into_boxed_slice())
-    }
-
-    fn return_scratch(&self, buf: Box<[u8]>) {
-        let mut pool = self.scratch.borrow_mut();
-        if pool.len() < 64 {
-            pool.push(buf);
-        }
+        self.device_read().capacity_pages()
     }
 
     /// Allocate a zeroed page. Counts one allocation (not a write; the
     /// caller will `overwrite_page` it with real content).
     pub fn allocate(&self) -> Result<PageId> {
-        let id = self.device.borrow_mut().allocate()?;
+        let id = self.device_write().allocate()?;
         self.counters.record_alloc();
         emit(EventKind::PageAlloc, u64::from(id), 0);
         Ok(id)
@@ -147,47 +166,37 @@ impl Pager {
 
     /// Free a page, dropping any cached copy.
     pub fn free(&self, id: PageId) -> Result<()> {
-        self.cache.borrow_mut().remove(id);
-        self.device.borrow_mut().free(id)?;
+        self.cache.remove(id);
+        self.device_write().free(id)?;
         self.counters.record_free();
         emit(EventKind::PageFree, u64::from(id), 0);
         Ok(())
     }
 
-    /// Fetch the current image of `id` into `buf`, going through the cache.
-    /// Counts a read on miss, a hit otherwise.
-    fn fetch(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
-        {
-            let mut cache = self.cache.borrow_mut();
-            if cache.capacity() > 0 {
-                if let Some(img) = cache.get(id) {
-                    buf.copy_from_slice(img);
-                    self.counters.record_hit();
-                    emit(EventKind::CacheHit, u64::from(id), 0);
-                    return Ok(());
-                }
-            }
+    /// Fetch the current image of `id` through the cache. Counts a read
+    /// on miss, a hit otherwise. No lock is held when this returns.
+    fn fetch(&self, id: PageId) -> Result<Arc<[u8]>> {
+        if let Some(img) = self.cache.get_cloned(id) {
+            self.counters.record_hit();
+            emit(EventKind::CacheHit, u64::from(id), 0);
+            return Ok(img);
         }
-        self.device.borrow().read(id, buf)?;
+        let mut buf = vec![0u8; self.page_size];
+        self.device_read().read(id, &mut buf)?;
         self.counters.record_read();
         emit(EventKind::PageRead, u64::from(id), 0);
-        self.admit(id, buf, false)?;
-        Ok(())
+        let img: Arc<[u8]> = buf.into();
+        // insert_if_absent semantics: if another thread admitted (or a
+        // writer dirtied) this page meanwhile, keep the resident image.
+        self.writeback(self.cache.admit_clean(id, Arc::clone(&img)))?;
+        Ok(img)
     }
 
-    /// Insert an image into the cache (if enabled), writing back the victim.
-    fn admit(&self, id: PageId, img: &[u8], dirty: bool) -> Result<()> {
-        let victim = {
-            let mut cache = self.cache.borrow_mut();
-            if cache.capacity() == 0 {
-                return Ok(());
-            }
-            debug_assert!(cache.get(id).is_none());
-            cache.insert(id, img.to_vec().into_boxed_slice(), dirty)
-        };
+    /// Write an eviction victim back to the device if it was dirty.
+    fn writeback(&self, victim: Option<crate::cache::Evicted>) -> Result<()> {
         if let Some(ev) = victim {
             if ev.dirty {
-                self.device.borrow_mut().write(ev.page, &ev.data)?;
+                self.device_write().write(ev.page, &ev.data)?;
                 self.counters.record_write();
                 emit(EventKind::PageWrite, u64::from(ev.page), 0);
             }
@@ -196,23 +205,14 @@ impl Pager {
     }
 
     /// Store a modified image, through the cache when enabled.
-    fn store(&self, id: PageId, img: &[u8]) -> Result<()> {
-        {
-            let mut cache = self.cache.borrow_mut();
-            if cache.capacity() > 0 {
-                if let Some(slot) = cache.get_mut(id) {
-                    slot.copy_from_slice(img);
-                    return Ok(()); // write deferred to eviction/flush
-                }
-            }
+    fn store(&self, id: PageId, img: Arc<[u8]>) -> Result<()> {
+        if self.cache.capacity() > 0 {
+            // Validate the id first so dangling writes still error even
+            // when the cache absorbs the store.
+            self.device_read().check(id)?;
+            return self.writeback(self.cache.admit_dirty(id, img));
         }
-        if self.cache.borrow().capacity() > 0 {
-            // Not resident: admit dirty without a disk write yet.
-            // Validate the id first so dangling writes still error.
-            self.device.borrow().check(id)?;
-            return self.admit(id, img, true);
-        }
-        self.device.borrow_mut().write(id, img)?;
+        self.device_write().write(id, &img)?;
         self.counters.record_write();
         emit(EventKind::PageWrite, u64::from(id), 0);
         Ok(())
@@ -221,65 +221,38 @@ impl Pager {
     /// Read page `id` and run `f` on its bytes. Counts 1 read (or a cache
     /// hit). Re-entrant: `f` may call back into the pager.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let mut buf = self.take_scratch();
-        let res = self.fetch(id, &mut buf).map(|()| f(&buf));
-        self.return_scratch(buf);
-        res
+        let img = self.fetch(id)?;
+        Ok(f(&img))
     }
 
     /// Read-modify-write page `id`. Counts 1 read + 1 write in uncached
     /// mode; with a cache, the write is deferred to eviction or flush.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut buf = self.take_scratch();
-        let res = (|| {
-            self.fetch(id, &mut buf)?;
-            let r = f(&mut buf);
-            self.store(id, &buf)?;
-            Ok(r)
-        })();
-        self.return_scratch(buf);
-        res
+        let img = self.fetch(id)?;
+        let mut buf = img.to_vec();
+        let r = f(&mut buf);
+        self.store(id, buf.into())?;
+        Ok(r)
     }
 
     /// Overwrite page `id` with a freshly built image: `f` receives a
     /// zeroed buffer and must fill it. Counts 1 write and **no read** —
     /// this is how builders emit nodes.
     pub fn overwrite_page<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut buf = self.take_scratch();
-        buf.iter_mut().for_each(|b| *b = 0);
-        let res = (|| {
-            let r = f(&mut buf);
-            // Validate the id even when the cache would absorb the store.
-            self.device.borrow().check(id)?;
-            {
-                let mut cache = self.cache.borrow_mut();
-                if cache.capacity() > 0 {
-                    if let Some(slot) = cache.get_mut(id) {
-                        slot.copy_from_slice(&buf);
-                        return Ok(r);
-                    }
-                }
-            }
-            if self.cache.borrow().capacity() > 0 {
-                self.admit(id, &buf, true)?;
-            } else {
-                self.device.borrow_mut().write(id, &buf)?;
-                self.counters.record_write();
-                emit(EventKind::PageWrite, u64::from(id), 0);
-            }
-            Ok(r)
-        })();
-        self.return_scratch(buf);
-        res
+        let mut buf = vec![0u8; self.page_size];
+        let r = f(&mut buf);
+        // Validate the id even when the cache would absorb the store.
+        self.device_read().check(id)?;
+        self.store(id, buf.into())?;
+        Ok(r)
     }
 
     /// Write every dirty cached page back to disk (counting the writes) and
     /// empty the pool.
     pub fn flush(&self) -> Result<()> {
-        let evicted = self.cache.borrow_mut().drain();
-        for ev in evicted {
+        for ev in self.cache.drain() {
             if ev.dirty {
-                self.device.borrow_mut().write(ev.page, &ev.data)?;
+                self.device_write().write(ev.page, &ev.data)?;
                 self.counters.record_write();
                 emit(EventKind::PageWrite, u64::from(ev.page), 0);
             }
@@ -298,6 +271,12 @@ mod tests {
             page_size: 16,
             cache_pages: 0,
         })
+    }
+
+    #[test]
+    fn pager_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pager>();
     }
 
     #[test]
@@ -422,5 +401,35 @@ mod tests {
         let p = uncached();
         assert!(p.with_page_mut(3, |_| ()).is_err());
         assert!(p.overwrite_page(3, |_| ()).is_err());
+    }
+
+    #[test]
+    fn sharded_pager_serves_concurrent_readers() {
+        let p = std::sync::Arc::new(Pager::with_device_sharded(Box::new(Disk::new(32)), 16, 4));
+        let ids: Vec<PageId> = (0..32)
+            .map(|i| {
+                let id = p.allocate().unwrap();
+                p.overwrite_page(id, |b| b[0] = i as u8).unwrap();
+                id
+            })
+            .collect();
+        p.flush().unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let p = std::sync::Arc::clone(&p);
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    for round in 0..200usize {
+                        let i = (round * 13 + t) % ids.len();
+                        p.with_page(ids[i], |b| assert_eq!(b[0], i as u8)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = p.stats();
+        assert_eq!(s.reads + s.cache_hits, 8 * 200, "every access counted");
     }
 }

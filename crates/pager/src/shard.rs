@@ -1,0 +1,228 @@
+//! A sharded, lock-protected buffer pool for concurrent readers.
+//!
+//! [`ShardedCache`] partitions the page-id space over `S` independent
+//! [`LruCache`] shards (`shard = page % S`), each behind its own
+//! `Mutex`. Concurrent queries over one `Arc<SegmentDatabase>` then
+//! contend only when they touch pages of the same shard, and — because
+//! images are `Arc<[u8]>` — a hit clones the handle and releases the
+//! shard lock *before* the caller decodes the node, so no lock is ever
+//! held across index-node decoding.
+//!
+//! Semantics:
+//!
+//! * `S = 1` (the default everywhere outside the serving layer) is
+//!   byte-for-byte the old single-`LruCache` pager: one global strict
+//!   LRU, deterministic eviction order, identical I/O counts. All
+//!   experiment baselines keep their numbers.
+//! * `S > 1` approximates global LRU by per-shard LRU (capacity is
+//!   split evenly, remainder to the lower shards). Eviction decisions
+//!   stay deterministic for a fixed access sequence, but a sharded pool
+//!   may evict a page a global LRU would have kept — the price of
+//!   lock-free-ish scaling across worker threads.
+//!
+//! Consistency model (documented in DESIGN.md "Concurrent serving"):
+//! concurrent *readers* are safe and scalable; *writers* require
+//! external exclusive access. The reader admit path therefore uses
+//! [`LruCache::insert_if_absent`] so a racing reader can never clobber
+//! a dirty image with a stale clean one.
+
+use crate::cache::{Evicted, LruCache};
+use crate::PageId;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// A sharded, internally locked pool of page images. See module docs.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<LruCache>>,
+    capacity: usize,
+}
+
+impl ShardedCache {
+    /// Build a pool of `capacity` total pages split over `shards` LRU
+    /// shards. `shards` is clamped to `[1, capacity]` (a zero-capacity
+    /// pool keeps one empty shard so the disabled path stays branch-only).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        let per = capacity / shards;
+        let extra = capacity % shards;
+        ShardedCache {
+            shards: (0..shards)
+                .map(|i| Mutex::new(LruCache::new(per + usize::from(i < extra))))
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Total resident-page capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pages currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// True when no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, page: PageId) -> &Mutex<LruCache> {
+        &self.shards[page as usize % self.shards.len()]
+    }
+
+    /// Look up `page` (touching it MRU in its shard) and return a clone
+    /// of the image handle. The shard lock is released before returning.
+    pub fn get_cloned(&self, page: PageId) -> Option<Arc<[u8]>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        lock(self.shard(page)).get_cloned(page)
+    }
+
+    /// Reader-path admission: insert a freshly fetched clean image
+    /// unless the page is already resident (never replaces — a racing
+    /// writer's dirty copy must win). Returns the shard's eviction
+    /// victim, which the caller writes back outside the lock.
+    pub fn admit_clean(&self, page: PageId, data: Arc<[u8]>) -> Option<Evicted> {
+        if self.capacity == 0 {
+            return None;
+        }
+        lock(self.shard(page)).insert_if_absent(page, data, false)
+    }
+
+    /// Writer-path admission: insert or replace the image, marked dirty.
+    /// Returns the shard's eviction victim for write-back.
+    pub fn admit_dirty(&self, page: PageId, data: Arc<[u8]>) -> Option<Evicted> {
+        if self.capacity == 0 {
+            return None;
+        }
+        lock(self.shard(page)).upsert(page, data, true)
+    }
+
+    /// Drop a page (when it is freed). Returns the image if resident.
+    pub fn remove(&self, page: PageId) -> Option<Evicted> {
+        if self.capacity == 0 {
+            return None;
+        }
+        lock(self.shard(page)).remove(page)
+    }
+
+    /// Drain every resident page from every shard (flush path), each
+    /// shard LRU-first, shards in index order.
+    pub fn drain(&self) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(lock(s).drain());
+        }
+        out
+    }
+}
+
+/// Lock a shard, recovering from poisoning: the cache holds plain data
+/// (no invariants broken mid-panic matter more than serving), so a
+/// panicked worker must not wedge every other connection.
+fn lock(m: &Mutex<LruCache>) -> std::sync::MutexGuard<'_, LruCache> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn img(b: u8) -> Arc<[u8]> {
+        Arc::from(vec![b; 4].into_boxed_slice())
+    }
+
+    #[test]
+    fn single_shard_matches_plain_lru() {
+        let c = ShardedCache::new(2, 1);
+        assert_eq!(c.shard_count(), 1);
+        assert!(c.admit_clean(1, img(1)).is_none());
+        assert!(c.admit_clean(2, img(2)).is_none());
+        assert_eq!(c.get_cloned(1).unwrap()[0], 1); // 2 becomes LRU
+        let ev = c.admit_clean(3, img(3)).unwrap();
+        assert_eq!(ev.page, 2);
+        assert!(c.get_cloned(2).is_none());
+    }
+
+    #[test]
+    fn shards_partition_by_page_id() {
+        let c = ShardedCache::new(4, 4);
+        assert_eq!(c.shard_count(), 4);
+        for p in 0..4u32 {
+            c.admit_clean(p, img(p as u8));
+        }
+        // Page 4 collides only with page 0 (4 % 4 == 0).
+        let ev = c.admit_clean(4, img(4)).unwrap();
+        assert_eq!(ev.page, 0);
+        for p in 1..5u32 {
+            assert_eq!(c.get_cloned(p).unwrap()[0], p as u8, "page {p} resident");
+        }
+    }
+
+    #[test]
+    fn shard_count_clamped_to_capacity() {
+        let c = ShardedCache::new(2, 64);
+        assert_eq!(c.shard_count(), 2);
+        assert_eq!(c.capacity(), 2);
+        let c = ShardedCache::new(0, 8);
+        assert_eq!(c.capacity(), 0);
+        assert!(c.get_cloned(0).is_none());
+        assert!(c.admit_clean(0, img(0)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_remainder_goes_to_low_shards() {
+        let c = ShardedCache::new(5, 2);
+        // Shard 0 gets 3, shard 1 gets 2: pages 0,2,4 (shard 0) all fit.
+        for p in [0u32, 2, 4] {
+            assert!(c.admit_clean(p, img(p as u8)).is_none());
+        }
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn clean_admit_never_clobbers_dirty_image() {
+        let c = ShardedCache::new(4, 2);
+        c.admit_dirty(6, img(9));
+        c.admit_clean(6, img(1));
+        let ev = c.remove(6).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.data[0], 9, "dirty image survived the clean admit");
+    }
+
+    #[test]
+    fn concurrent_hammer_is_safe() {
+        let c = Arc::new(ShardedCache::new(32, 8));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for i in 0..2_000u32 {
+                        let p = (i * 7 + t) % 64;
+                        match c.get_cloned(p) {
+                            Some(img) => assert_eq!(img[0], p as u8),
+                            None => {
+                                c.admit_clean(p, Arc::from(vec![p as u8; 4].into_boxed_slice()));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 32);
+    }
+}

@@ -2,13 +2,23 @@
 //!
 //! Every complexity claim in the paper is a statement about the number of
 //! block transfers, so the counters here are the primary measurement
-//! instrument of the whole reproduction. Counters use [`Cell`]s: the pager
-//! is a single-threaded simulation and queries must be countable through a
-//! shared reference.
+//! instrument of the whole reproduction. Two banks record every event:
+//!
+//! * the pager's own [`Counters`] — relaxed atomics, so totals stay exact
+//!   when many threads query one database over a shared reference;
+//! * a **per-thread** bank ([`thread_io`]) — plain `Cell`s in a
+//!   thread-local, so a [`StatScope`] around one query measures exactly
+//!   that thread's I/O even while other worker threads hammer the same
+//!   pager. This is what keeps `QueryTrace.io` truthful under the
+//!   concurrent serving path (`segdb-server`).
+//!
+//! On a single thread both banks agree, so all pre-existing
+//! deterministic I/O-count experiments are unchanged.
 
 use std::cell::Cell;
 use std::fmt;
 use std::ops::{Add, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Snapshot of I/O activity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,9 +87,8 @@ impl fmt::Display for IoStats {
     }
 }
 
-/// Interior-mutable counter bank owned by the pager.
-#[derive(Debug, Default)]
-pub(crate) struct Counters {
+#[derive(Default)]
+struct ThreadBank {
     reads: Cell<u64>,
     writes: Cell<u64>,
     allocations: Cell<u64>,
@@ -87,48 +96,92 @@ pub(crate) struct Counters {
     cache_hits: Cell<u64>,
 }
 
+thread_local! {
+    static THREAD_IO: ThreadBank = ThreadBank::default();
+}
+
+/// Cumulative I/O performed **by the current thread** since it started
+/// (across every pager it touched). [`StatScope`] diffs this, so
+/// per-query I/O attribution survives concurrent queries on a shared
+/// database.
+pub fn thread_io() -> IoStats {
+    THREAD_IO.with(|t| IoStats {
+        reads: t.reads.get(),
+        writes: t.writes.get(),
+        allocations: t.allocations.get(),
+        frees: t.frees.get(),
+        cache_hits: t.cache_hits.get(),
+    })
+}
+
+macro_rules! bump_thread {
+    ($field:ident) => {
+        THREAD_IO.with(|t| t.$field.set(t.$field.get() + 1))
+    };
+}
+
+/// Interior-mutable counter bank owned by the pager. Relaxed atomics:
+/// exact totals, no ordering guarantees needed (snapshots are advisory
+/// aggregates, never synchronization points).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
+    frees: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
 impl Counters {
     #[inline]
     pub fn record_read(&self) {
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        bump_thread!(reads);
     }
     #[inline]
     pub fn record_write(&self) {
-        self.writes.set(self.writes.get() + 1);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        bump_thread!(writes);
     }
     #[inline]
     pub fn record_alloc(&self) {
-        self.allocations.set(self.allocations.get() + 1);
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        bump_thread!(allocations);
     }
     #[inline]
     pub fn record_free(&self) {
-        self.frees.set(self.frees.get() + 1);
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        bump_thread!(frees);
     }
     #[inline]
     pub fn record_hit(&self) {
-        self.cache_hits.set(self.cache_hits.get() + 1);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        bump_thread!(cache_hits);
     }
 
     pub fn snapshot(&self) -> IoStats {
         IoStats {
-            reads: self.reads.get(),
-            writes: self.writes.get(),
-            allocations: self.allocations.get(),
-            frees: self.frees.get(),
-            cache_hits: self.cache_hits.get(),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
         }
     }
 
     pub fn reset(&self) {
-        self.reads.set(0);
-        self.writes.set(0);
-        self.allocations.set(0);
-        self.frees.set(0);
-        self.cache_hits.set(0);
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
     }
 }
 
-/// Measures the I/O performed between construction and [`StatScope::finish`].
+/// Measures the I/O performed between construction and [`StatScope::finish`]
+/// **on the current thread**. Single-threaded this equals the pager-level
+/// delta; under concurrent queries it isolates the calling thread's I/O
+/// from every other worker's.
 ///
 /// ```
 /// use segdb_pager::{Pager, PagerConfig, StatScope};
@@ -141,7 +194,7 @@ impl Counters {
 /// ```
 #[must_use = "a StatScope measures nothing unless finished"]
 pub struct StatScope<'p> {
-    pager: &'p crate::Pager,
+    _pager: &'p crate::Pager,
     start: IoStats,
 }
 
@@ -149,14 +202,14 @@ impl<'p> StatScope<'p> {
     /// Start measuring on `pager`.
     pub fn begin(pager: &'p crate::Pager) -> Self {
         StatScope {
-            pager,
-            start: pager.stats(),
+            _pager: pager,
+            start: thread_io(),
         }
     }
 
     /// Stop measuring and return the I/O performed inside the scope.
     pub fn finish(self) -> IoStats {
-        self.pager.stats() - self.start
+        thread_io() - self.start
     }
 }
 
@@ -202,5 +255,22 @@ mod tests {
         assert_eq!(s.live_pages(), 0);
         c.reset();
         assert_eq!(c.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn thread_bank_is_per_thread() {
+        let c = std::sync::Arc::new(Counters::default());
+        let before = thread_io();
+        let c2 = std::sync::Arc::clone(&c);
+        std::thread::spawn(move || {
+            for _ in 0..10 {
+                c2.record_read();
+            }
+        })
+        .join()
+        .unwrap();
+        // The other thread's reads land in the shared bank but not ours.
+        assert_eq!(c.snapshot().reads, 10);
+        assert_eq!(thread_io().reads, before.reads);
     }
 }

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # segdb-server — concurrent query serving for segment databases
+//!
+//! The paper's structures are static read-mostly indexes, which makes
+//! them natural to *serve*: many clients querying one database at once.
+//! This crate supplies the serving layer, built entirely on `std`
+//! (`std::net` + `std::thread`; offline builds stay dependency-free):
+//!
+//! * [`proto`] — a newline-delimited JSON wire protocol (methods
+//!   `query_line` / `query_ray_up` / `query_ray_down` / `query_segment`
+//!   / `trace` / `stats` / `ping` / `shutdown`), reusing `segdb-obs`'s
+//!   in-repo JSON value type;
+//! * [`server`] — a bounded worker pool executing requests over one
+//!   `Arc<SegmentDatabase>` (the `Send + Sync` read path the sharded
+//!   page cache of `segdb-pager` provides), refusing work with an
+//!   explicit `overloaded` error instead of queueing without bound;
+//! * [`load`] — a closed-loop load driver (the `segdb-load` binary)
+//!   that replays the benchmark workload generators over `K`
+//!   connections, verifies every answer against the scan oracle, and
+//!   reports throughput and p50/p95/p99 latency.
+//!
+//! Protocol and operational details are documented in the repo README
+//! ("Serving") and DESIGN.md ("Concurrent serving").
+
+pub mod load;
+pub mod proto;
+pub mod server;
+
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,374 @@
+//! Closed-loop load driver for the serving layer.
+//!
+//! `K` connection threads each replay their share of a deterministic
+//! query workload (same generators and seeds as the benchmarks), wait
+//! for every reply before sending the next request (closed loop), check
+//! answers against the in-process [`scan_oracle`], and record wall-clock
+//! latency in a power-of-two-microsecond [`Histogram`]. Per-connection
+//! histograms are folded with [`Histogram::merge`] into one fleet-wide
+//! distribution; `BENCH_serve.json` (written by the `segdb-load` binary)
+//! reports throughput and p50/p95/p99 bounds from it.
+//!
+//! Verification assumes the server serves the set
+//! `family.generate(n, seed)` built with the default (vertical)
+//! direction — exactly what `segdb-cli gen … | segdb-cli build …`
+//! followed by `segdb-cli serve …` produces with the same parameters.
+
+use crate::proto::code;
+use segdb_geom::gen::{vertical_queries, Family};
+use segdb_geom::query::scan_oracle;
+use segdb_geom::VerticalQuery;
+use segdb_obs::{json, Histogram, Json};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Query height as a fraction of the set's y-span, per mille — the
+/// benchmark default, keeping expected output sizes moderate.
+const QUERY_FRAC_PER_MILLE: u32 = 120;
+
+/// Seed perturbation separating the query stream from the segment set.
+const QUERY_SEED_SALT: u64 = 0x9E37_79B9;
+
+/// What to replay and against which server.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Workload family the served database was built from.
+    pub family: Family,
+    /// Segment count the served database was built with.
+    pub n: usize,
+    /// Seed the served database was built with.
+    pub seed: u64,
+    /// Check every answer against the local scan oracle.
+    pub verify: bool,
+    /// Send a `shutdown` request once the run completes.
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            connections: 4,
+            requests: 400,
+            family: Family::Mixed,
+            n: 2000,
+            seed: 42,
+            verify: true,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Resolve a family by its short benchmark name (`mixed`, `grid`, …).
+pub fn parse_family(name: &str) -> Option<Family> {
+    Family::ALL.into_iter().find(|f| f.name() == name)
+}
+
+/// One prepared request: the wire line and the oracle's answer.
+#[derive(Debug, Clone)]
+pub struct PreparedRequest {
+    /// Request line (no trailing newline).
+    pub line: String,
+    /// Sorted segment ids the database must report.
+    pub expected: Vec<u64>,
+}
+
+/// Latency histogram in microseconds: power-of-two bounds from 1 µs to
+/// ~16.8 s, plus overflow.
+pub fn latency_histogram() -> Histogram {
+    Histogram::new((0..=24).map(|i| 1u64 << i).collect())
+}
+
+/// Deterministically expand the config into the request stream, cycling
+/// through all four generalized-segment shapes, with oracle answers.
+pub fn build_requests(cfg: &LoadConfig) -> Vec<PreparedRequest> {
+    let set = cfg.family.generate(cfg.n, cfg.seed);
+    let queries = vertical_queries(
+        &set,
+        cfg.requests,
+        QUERY_FRAC_PER_MILLE,
+        cfg.seed ^ QUERY_SEED_SALT,
+    );
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let VerticalQuery::Segment { x, lo, hi } = *q else {
+                unreachable!("vertical_queries yields bounded segments")
+            };
+            let (method, params, oracle) = match i % 4 {
+                0 => ("query_line", vec![("x", x)], VerticalQuery::Line { x }),
+                1 => (
+                    "query_ray_up",
+                    vec![("x", x), ("y", lo)],
+                    VerticalQuery::RayUp { x, y0: lo },
+                ),
+                2 => (
+                    "query_ray_down",
+                    vec![("x", x), ("y", hi)],
+                    VerticalQuery::RayDown { x, y0: hi },
+                ),
+                _ => (
+                    "query_segment",
+                    vec![("x1", x), ("y1", lo), ("x2", x), ("y2", hi)],
+                    VerticalQuery::Segment { x, lo, hi },
+                ),
+            };
+            let params = Json::Obj(
+                params
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Json::I64(v)))
+                    .collect(),
+            );
+            let line = Json::obj([
+                ("id", Json::U64(i as u64)),
+                ("method", Json::Str(method.to_string())),
+                ("params", params),
+            ])
+            .render();
+            let expected = scan_oracle(&set, &oracle).iter().map(|s| s.id).collect();
+            PreparedRequest { line, expected }
+        })
+        .collect()
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests sent (and answered — the loop is closed).
+    pub sent: u64,
+    /// Well-formed `ok` responses.
+    pub ok: u64,
+    /// `ok` responses whose ids disagreed with the oracle.
+    pub wrong: u64,
+    /// Error responses of any kind.
+    pub errors: u64,
+    /// Errors with code `overloaded`.
+    pub overloaded: u64,
+    /// Errors with code `timeout`.
+    pub timeouts: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-request round-trip latency in microseconds, all connections
+    /// merged.
+    pub latency: Histogram,
+}
+
+impl LoadReport {
+    fn empty() -> LoadReport {
+        LoadReport {
+            sent: 0,
+            ok: 0,
+            wrong: 0,
+            errors: 0,
+            overloaded: 0,
+            timeouts: 0,
+            elapsed: Duration::ZERO,
+            latency: latency_histogram(),
+        }
+    }
+
+    fn fold(&mut self, t: &LoadReport) {
+        self.sent += t.sent;
+        self.ok += t.ok;
+        self.wrong += t.wrong;
+        self.errors += t.errors;
+        self.overloaded += t.overloaded;
+        self.timeouts += t.timeouts;
+        self.latency.merge(&t.latency);
+    }
+
+    /// Requests per second over the whole run.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.sent as f64 / secs
+        }
+    }
+
+    /// The benchmark-report JSON written to `BENCH_serve.json`.
+    pub fn to_json(&self, cfg: &LoadConfig) -> Json {
+        Json::obj([
+            ("experiment", Json::Str("serve".to_string())),
+            ("family", Json::Str(cfg.family.name().to_string())),
+            ("segments", Json::U64(cfg.n as u64)),
+            ("seed", Json::U64(cfg.seed)),
+            ("connections", Json::U64(cfg.connections as u64)),
+            ("verify", Json::Bool(cfg.verify)),
+            ("requests", Json::U64(self.sent)),
+            ("ok", Json::U64(self.ok)),
+            ("wrong", Json::U64(self.wrong)),
+            ("errors", Json::U64(self.errors)),
+            ("overloaded", Json::U64(self.overloaded)),
+            ("timeouts", Json::U64(self.timeouts)),
+            ("elapsed_s", Json::F64(self.elapsed.as_secs_f64())),
+            ("throughput_rps", Json::F64(self.throughput_rps())),
+            (
+                "latency_us",
+                Json::obj([
+                    ("p50", Json::U64(self.latency.quantile_bound(0.50))),
+                    ("p95", Json::U64(self.latency.quantile_bound(0.95))),
+                    ("p99", Json::U64(self.latency.quantile_bound(0.99))),
+                    ("mean", Json::F64(self.latency.mean())),
+                    ("max", Json::U64(self.latency.max())),
+                    ("histogram", self.latency.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn run_connection(addr: &str, work: &[PreparedRequest], verify: bool) -> io::Result<LoadReport> {
+    let mut tally = LoadReport::empty();
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut response = String::new();
+    for request in work {
+        let t0 = Instant::now();
+        writer.write_all(request.line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        response.clear();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-run",
+            ));
+        }
+        let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        tally.latency.observe(us);
+        tally.sent += 1;
+        let Ok(v) = json::parse(response.trim_end()) else {
+            tally.errors += 1;
+            continue;
+        };
+        if v.get("ok") == Some(&Json::Bool(true)) {
+            tally.ok += 1;
+            if verify {
+                let got: Option<Vec<u64>> = v
+                    .get("result")
+                    .and_then(|r| r.get("ids"))
+                    .and_then(Json::as_arr)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(|x| match *x {
+                                Json::U64(u) => Some(u),
+                                _ => None,
+                            })
+                            .collect()
+                    });
+                if got.as_deref() != Some(&request.expected[..]) {
+                    tally.wrong += 1;
+                }
+            }
+        } else {
+            tally.errors += 1;
+            match v
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+            {
+                Some(code::OVERLOADED) => tally.overloaded += 1,
+                Some(code::TIMEOUT) => tally.timeouts += 1,
+                _ => {}
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// Connect once and ask the server to shut down gracefully.
+pub fn send_shutdown(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(b"{\"method\":\"shutdown\"}\n")?;
+    let mut response = String::new();
+    let _ = BufReader::new(stream).read_line(&mut response);
+    Ok(())
+}
+
+/// Run the closed-loop load: `connections` threads replay the prepared
+/// request stream round-robin and the tallies are merged.
+pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let work = build_requests(cfg);
+    let connections = cfg.connections.max(1);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let mine: Vec<PreparedRequest> =
+                work.iter().skip(c).step_by(connections).cloned().collect();
+            let addr = cfg.addr.clone();
+            let verify = cfg.verify;
+            thread::spawn(move || run_connection(&addr, &mine, verify))
+        })
+        .collect();
+    let mut report = LoadReport::empty();
+    for h in handles {
+        let tally = h
+            .join()
+            .map_err(|_| io::Error::other("load connection thread panicked"))??;
+        report.fold(&tally);
+    }
+    report.elapsed = t0.elapsed();
+    if cfg.shutdown_after {
+        send_shutdown(&cfg.addr)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_stream_is_deterministic_and_cycles_shapes() {
+        let cfg = LoadConfig {
+            requests: 8,
+            n: 200,
+            ..LoadConfig::default()
+        };
+        let a = build_requests(&cfg);
+        let b = build_requests(&cfg);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.line, y.line);
+            assert_eq!(x.expected, y.expected);
+        }
+        for (i, method) in [
+            "query_line",
+            "query_ray_up",
+            "query_ray_down",
+            "query_segment",
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert!(a[i].line.contains(method), "{}: {}", method, a[i].line);
+            let v = json::parse(&a[i].line).expect("request line is valid JSON");
+            assert_eq!(v.get("id"), Some(&Json::U64(i as u64)));
+        }
+    }
+
+    #[test]
+    fn expected_ids_are_sorted() {
+        let cfg = LoadConfig {
+            requests: 16,
+            n: 300,
+            ..LoadConfig::default()
+        };
+        for r in build_requests(&cfg) {
+            assert!(r.expected.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! → {"id":1,"method":"query_line","params":{"x":70}}
+//! ← {"id":1,"ok":true,"result":{"ids":[3,9],"count":2,"trace":{...}}}
+//! → {"id":2,"method":"nope"}
+//! ← {"id":2,"ok":false,"error":{"code":"unknown_method","message":"..."}}
+//! ```
+//!
+//! The JSON value type, serializer and parser are `segdb-obs`'s own
+//! ([`segdb_obs::json`]) — the protocol adds no external dependency.
+//! Coordinates are the user frame (the facade shears them); `id` is an
+//! optional client-chosen correlation number echoed back verbatim.
+
+use segdb_obs::json::{self, Json};
+
+/// Machine-readable error codes carried in `error.code`.
+pub mod code {
+    /// Request line is not valid JSON or misses a required field.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// `method` names no known operation.
+    pub const UNKNOWN_METHOD: &str = "unknown_method";
+    /// Request line exceeds the server's configured line limit.
+    pub const OVERSIZED: &str = "oversized";
+    /// The job queue is full; the client should back off and retry.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request missed the server's per-request deadline.
+    pub const TIMEOUT: &str = "timeout";
+    /// The database rejected the operation (bad geometry, storage error…).
+    pub const DB: &str = "db";
+    /// The server is shutting down and accepts no further work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// A generalized-segment query shape, in user coordinates (§1 of the
+/// paper: line / ray / segment of the database's fixed direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryShape {
+    /// The full line of the fixed direction through `(x, y)`.
+    Line {
+        /// Anchor abscissa.
+        x: i64,
+        /// Anchor ordinate (any point of the line; 0 works for vertical).
+        y: i64,
+    },
+    /// The ray from `(x, y)` along the fixed direction.
+    RayUp {
+        /// Ray origin abscissa.
+        x: i64,
+        /// Ray origin ordinate.
+        y: i64,
+    },
+    /// The ray from `(x, y)` against the fixed direction.
+    RayDown {
+        /// Ray origin abscissa.
+        x: i64,
+        /// Ray origin ordinate.
+        y: i64,
+    },
+    /// The bounded query segment `(x1, y1)–(x2, y2)` (endpoints must lie
+    /// on a common line of the fixed direction).
+    Segment {
+        /// First endpoint abscissa.
+        x1: i64,
+        /// First endpoint ordinate.
+        y1: i64,
+        /// Second endpoint abscissa.
+        x2: i64,
+        /// Second endpoint ordinate.
+        y2: i64,
+    },
+}
+
+/// A decoded request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Run a query and return ids + per-query trace.
+    Query(QueryShape),
+    /// Run a query with event tracing on and return the span summary too.
+    Trace(QueryShape),
+    /// Snapshot database + server statistics.
+    Stats,
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// Stop the server gracefully after replying.
+    Shutdown,
+}
+
+/// A decoded request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Client correlation id, echoed back in the response.
+    pub id: Option<u64>,
+    /// The operation to perform.
+    pub method: Method,
+}
+
+/// A request that could not be decoded, ready to render as an error
+/// response (carrying whatever correlation id was salvageable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Correlation id, if the request got far enough to carry one.
+    pub id: Option<u64>,
+    /// One of the [`code`] constants.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn bad(id: Option<u64>, message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            id,
+            code: code::BAD_REQUEST,
+            message: message.into(),
+        }
+    }
+
+    /// Render as one response line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        err_line(self.id, self.code, &self.message)
+    }
+}
+
+fn as_i64(v: &Json) -> Option<i64> {
+    match *v {
+        Json::U64(u) => i64::try_from(u).ok(),
+        Json::I64(i) => Some(i),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Json) -> Option<u64> {
+    match *v {
+        Json::U64(u) => Some(u),
+        Json::I64(i) => u64::try_from(i).ok(),
+        _ => None,
+    }
+}
+
+const QUERY_METHODS: [&str; 4] = [
+    "query_line",
+    "query_ray_up",
+    "query_ray_down",
+    "query_segment",
+];
+
+fn parse_shape(name: &str, params: &Json) -> Result<QueryShape, String> {
+    let int = |k: &str| -> Result<i64, String> {
+        params
+            .get(k)
+            .and_then(as_i64)
+            .ok_or_else(|| format!("missing integer field `{k}`"))
+    };
+    match name {
+        "query_line" => Ok(QueryShape::Line {
+            x: int("x")?,
+            y: params.get("y").and_then(as_i64).unwrap_or(0),
+        }),
+        "query_ray_up" => Ok(QueryShape::RayUp {
+            x: int("x")?,
+            y: int("y")?,
+        }),
+        "query_ray_down" => Ok(QueryShape::RayDown {
+            x: int("x")?,
+            y: int("y")?,
+        }),
+        "query_segment" => Ok(QueryShape::Segment {
+            x1: int("x1")?,
+            y1: int("y1")?,
+            x2: int("x2")?,
+            y2: int("y2")?,
+        }),
+        other => Err(format!("unknown query shape `{other}`")),
+    }
+}
+
+/// Decode one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let v = json::parse(line.trim())
+        .map_err(|e| ProtoError::bad(None, format!("invalid JSON: {e}")))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(ProtoError::bad(None, "request must be a JSON object"));
+    }
+    let id = v.get("id").and_then(as_u64);
+    let Some(method) = v.get("method").and_then(Json::as_str) else {
+        return Err(ProtoError::bad(id, "missing string field `method`"));
+    };
+    let empty = Json::Obj(Vec::new());
+    let params = v.get("params").unwrap_or(&empty);
+    let method = match method {
+        "ping" => Method::Ping,
+        "stats" => Method::Stats,
+        "shutdown" => Method::Shutdown,
+        "trace" => {
+            let Some(shape) = params.get("shape").and_then(Json::as_str) else {
+                return Err(ProtoError::bad(id, "trace needs a string field `shape`"));
+            };
+            Method::Trace(parse_shape(shape, params).map_err(|m| ProtoError::bad(id, m))?)
+        }
+        m if QUERY_METHODS.contains(&m) => {
+            Method::Query(parse_shape(m, params).map_err(|m| ProtoError::bad(id, m))?)
+        }
+        other => {
+            return Err(ProtoError {
+                id,
+                code: code::UNKNOWN_METHOD,
+                message: format!("unknown method `{other}`"),
+            })
+        }
+    };
+    Ok(Request { id, method })
+}
+
+fn id_json(id: Option<u64>) -> Json {
+    id.map_or(Json::Null, Json::U64)
+}
+
+/// Render a success response line (no trailing newline).
+pub fn ok_line(id: Option<u64>, result: Json) -> String {
+    Json::obj([
+        ("id", id_json(id)),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+    ])
+    .render()
+}
+
+/// Render an error response line (no trailing newline).
+pub fn err_line(id: Option<u64>, code: &str, message: &str) -> String {
+    Json::obj([
+        ("id", id_json(id)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("code", Json::Str(code.to_string())),
+                ("message", Json::Str(message.to_string())),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_method() {
+        let r = parse_request(r#"{"id":7,"method":"query_line","params":{"x":3}}"#).unwrap();
+        assert_eq!(r.id, Some(7));
+        assert_eq!(r.method, Method::Query(QueryShape::Line { x: 3, y: 0 }));
+        let r = parse_request(r#"{"method":"query_ray_up","params":{"x":-1,"y":-9}}"#).unwrap();
+        assert_eq!(r.id, None);
+        assert_eq!(r.method, Method::Query(QueryShape::RayUp { x: -1, y: -9 }));
+        let r = parse_request(
+            r#"{"id":1,"method":"query_segment","params":{"x1":5,"y1":0,"x2":5,"y2":9}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.method,
+            Method::Query(QueryShape::Segment {
+                x1: 5,
+                y1: 0,
+                x2: 5,
+                y2: 9
+            })
+        );
+        let r = parse_request(
+            r#"{"id":2,"method":"trace","params":{"shape":"query_ray_down","x":4,"y":2}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.method, Method::Trace(QueryShape::RayDown { x: 4, y: 2 }));
+        for (m, want) in [
+            ("ping", Method::Ping),
+            ("stats", Method::Stats),
+            ("shutdown", Method::Shutdown),
+        ] {
+            let r = parse_request(&format!(r#"{{"method":"{m}"}}"#)).unwrap();
+            assert_eq!(r.method, want);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let e = parse_request("not json at all").unwrap_err();
+        assert_eq!(e.code, code::BAD_REQUEST);
+        assert_eq!(e.id, None);
+        let e = parse_request("[1,2,3]").unwrap_err();
+        assert_eq!(e.code, code::BAD_REQUEST);
+        let e = parse_request(r#"{"id":3,"params":{}}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(3), code::BAD_REQUEST));
+        let e = parse_request(r#"{"id":4,"method":"frobnicate"}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(4), code::UNKNOWN_METHOD));
+        let e = parse_request(r#"{"id":5,"method":"query_line","params":{}}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(5), code::BAD_REQUEST));
+        assert!(e.message.contains("`x`"), "{}", e.message);
+        let e =
+            parse_request(r#"{"id":6,"method":"trace","params":{"shape":"stats"}}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(6), code::BAD_REQUEST));
+    }
+
+    #[test]
+    fn response_lines_are_valid_json() {
+        let ok = ok_line(Some(1), Json::Str("pong".into()));
+        let v = json::parse(&ok).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("id"), Some(&Json::U64(1)));
+        let err = err_line(None, code::OVERLOADED, "queue full");
+        let v = json::parse(&err).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(v.get("id"), Some(&Json::Null));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("code")),
+            Some(&Json::Str("overloaded".into()))
+        );
+    }
+}

@@ -1,0 +1,567 @@
+//! The TCP serving layer: a bounded worker pool over one shared database.
+//!
+//! Thread anatomy:
+//!
+//! * one **acceptor** blocks in `accept()` and spawns a detached reader
+//!   thread per connection;
+//! * each **connection reader** decodes newline-delimited requests
+//!   ([`crate::proto`]) with a hard line-length bound and a 250 ms read
+//!   timeout (so it notices shutdown without data);
+//! * a fixed pool of **workers** executes queued jobs against the shared
+//!   [`SegmentDatabase`] — the `Send + Sync` read path the sharded page
+//!   cache provides.
+//!
+//! Overload policy is refuse-fast: the job queue is bounded and a full
+//! queue answers `overloaded` immediately instead of queueing without
+//! bound; a request that misses its deadline answers `timeout` and its
+//! eventual result is discarded. Shutdown (API call or wire `shutdown`)
+//! stops the acceptor via a self-connect, drains queued jobs with
+//! `shutting_down` errors and joins the pool.
+
+use crate::proto::{self, code, Method, QueryShape, Request};
+use segdb_core::report::ids;
+use segdb_core::{DbError, QueryTrace, SegmentDatabase};
+use segdb_geom::Segment;
+use segdb_obs::{Json, TraceSummary};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often blocked connection readers poll the stop flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Executor threads sharing the database (min 1).
+    pub workers: usize,
+    /// Jobs admitted but not yet executing; a request arriving beyond
+    /// this is refused with `overloaded`.
+    pub queue_depth: usize,
+    /// Deadline per request, measured from admission to reply.
+    pub request_timeout: Duration,
+    /// Longest accepted request line in bytes (newline excluded).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(5),
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Monotone serving counters, exposed by the `stats` method.
+#[derive(Debug, Default)]
+struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One admitted request travelling from a connection reader to a worker.
+struct Job {
+    id: Option<u64>,
+    method: Method,
+    slot: Arc<ReplySlot>,
+}
+
+/// Single-use rendezvous for one response line. The connection reader
+/// waits with a deadline; a fill after the deadline is simply discarded.
+#[derive(Default)]
+struct ReplySlot {
+    cell: Mutex<Option<String>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn fill(&self, response: String) {
+        *lock(&self.cell) = Some(response);
+        self.ready.notify_all();
+    }
+
+    fn wait_for(&self, timeout: Duration) -> Option<String> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock(&self.cell);
+        while slot.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            slot = self
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+        slot.take()
+    }
+}
+
+/// Recover from mutex poisoning: a panicked worker must not wedge the
+/// whole serving layer (the queue holds plain data).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+struct Shared {
+    db: Arc<SegmentDatabase>,
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    stop: AtomicBool,
+    local: SocketAddr,
+    queue_depth: usize,
+    request_timeout: Duration,
+    max_line_bytes: usize,
+    workers: usize,
+    stats: ServerStats,
+}
+
+impl Shared {
+    /// Flip the stop flag once, wake every sleeper (workers via the
+    /// condvar, the acceptor via a self-connect, readers via their poll).
+    fn initiate_shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.not_empty.notify_all();
+        let _ = TcpStream::connect(self.local);
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// A running server. Obtain the bound address with [`Server::addr`],
+/// stop it with [`Server::shutdown`] (or the wire `shutdown` method) and
+/// reap its threads with [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and the acceptor, and start serving
+    /// `db` — which the caller may keep querying concurrently.
+    pub fn start(db: Arc<SegmentDatabase>, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            stop: AtomicBool::new(false),
+            local,
+            queue_depth: cfg.queue_depth,
+            request_timeout: cfg.request_timeout,
+            max_line_bytes: cfg.max_line_bytes,
+            workers: cfg.workers.max(1),
+            stats: ServerStats::default(),
+        });
+        let workers = (0..shared.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("segdb-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("segdb-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Server {
+            shared,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The address actually bound (resolves `:0` to the chosen port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local
+    }
+
+    /// Begin a graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Block until the server has stopped and every pool thread exited.
+    /// Returns immediately after a completed shutdown; otherwise waits
+    /// for one (API or wire-initiated).
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stopping() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stopping() {
+            return;
+        }
+        ServerStats::bump(&shared.stats.connections);
+        let shared = Arc::clone(shared);
+        // Detached: readers notice the stop flag within READ_POLL.
+        let _ = thread::Builder::new()
+            .name("segdb-conn".to_string())
+            .spawn(move || serve_connection(&shared, stream));
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.stopping() {
+                    break None;
+                }
+                queue = shared
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        let Some(job) = job else { break };
+        let response = execute(shared, job.id, job.method);
+        job.slot.fill(response);
+    }
+    // Refuse whatever was still queued when the stop flag went up.
+    let mut queue = lock(&shared.queue);
+    while let Some(job) = queue.pop_front() {
+        ServerStats::bump(&shared.stats.errors);
+        job.slot.fill(proto::err_line(
+            job.id,
+            code::SHUTTING_DOWN,
+            "server is shutting down",
+        ));
+    }
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete request line (newline stripped).
+    Line(Vec<u8>),
+    /// Peer closed the connection (possibly mid-request).
+    Eof,
+    /// The line exceeded the configured limit.
+    Oversized,
+    /// The server is stopping.
+    Stopped,
+}
+
+fn read_bounded_line(
+    reader: &mut io::Take<BufReader<TcpStream>>,
+    max: usize,
+    stop: &AtomicBool,
+) -> io::Result<LineRead> {
+    let mut buf = Vec::new();
+    // One spare byte so a line of exactly `max` bytes plus its newline
+    // still fits, while anything longer is detected without draining it.
+    reader.set_limit(max as u64 + 1);
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                // EOF, or the length limit exhausted without a newline.
+                return Ok(if buf.len() > max {
+                    LineRead::Oversized
+                } else {
+                    LineRead::Eof
+                });
+            }
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    return Ok(if buf.len() > max {
+                        LineRead::Oversized
+                    } else {
+                        LineRead::Line(buf)
+                    });
+                }
+                if buf.len() > max {
+                    return Ok(LineRead::Oversized);
+                }
+                // Partial line; keep reading.
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(LineRead::Stopped);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half).take(0);
+    let mut writer = stream;
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        let line = match read_bounded_line(&mut reader, shared.max_line_bytes, &shared.stop) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Oversized) => {
+                ServerStats::bump(&shared.stats.errors);
+                let _ = write_line(
+                    &mut writer,
+                    &proto::err_line(None, code::OVERSIZED, "request line exceeds limit"),
+                );
+                return;
+            }
+            Ok(LineRead::Eof) | Ok(LineRead::Stopped) | Err(_) => return,
+        };
+        let line = String::from_utf8_lossy(&line);
+        let response = match proto::parse_request(&line) {
+            Err(e) => {
+                ServerStats::bump(&shared.stats.errors);
+                e.to_line()
+            }
+            Ok(request) => {
+                ServerStats::bump(&shared.stats.requests);
+                match request.method {
+                    Method::Ping => {
+                        ServerStats::bump(&shared.stats.ok);
+                        proto::ok_line(request.id, Json::Str("pong".to_string()))
+                    }
+                    Method::Shutdown => {
+                        ServerStats::bump(&shared.stats.ok);
+                        let _ =
+                            write_line(&mut writer, &proto::ok_line(request.id, Json::Bool(true)));
+                        shared.initiate_shutdown();
+                        return;
+                    }
+                    _ => submit(shared, request),
+                }
+            }
+        };
+        if write_line(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admit a request into the bounded queue and await its reply.
+fn submit(shared: &Shared, request: Request) -> String {
+    let slot = Arc::new(ReplySlot::default());
+    {
+        let mut queue = lock(&shared.queue);
+        if shared.stopping() {
+            ServerStats::bump(&shared.stats.errors);
+            return proto::err_line(request.id, code::SHUTTING_DOWN, "server is shutting down");
+        }
+        if queue.len() >= shared.queue_depth {
+            ServerStats::bump(&shared.stats.overloaded);
+            ServerStats::bump(&shared.stats.errors);
+            return proto::err_line(
+                request.id,
+                code::OVERLOADED,
+                "job queue full; back off and retry",
+            );
+        }
+        queue.push_back(Job {
+            id: request.id,
+            method: request.method,
+            slot: Arc::clone(&slot),
+        });
+    }
+    shared.not_empty.notify_one();
+    match slot.wait_for(shared.request_timeout) {
+        Some(response) => response,
+        None => {
+            ServerStats::bump(&shared.stats.timeouts);
+            ServerStats::bump(&shared.stats.errors);
+            proto::err_line(request.id, code::TIMEOUT, "request missed its deadline")
+        }
+    }
+}
+
+fn run_shape(
+    db: &SegmentDatabase,
+    shape: QueryShape,
+) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+    match shape {
+        QueryShape::Line { x, y } => db.query_line((x, y)),
+        QueryShape::RayUp { x, y } => db.query_ray_up((x, y)),
+        QueryShape::RayDown { x, y } => db.query_ray_down((x, y)),
+        QueryShape::Segment { x1, y1, x2, y2 } => db.query_segment((x1, y1), (x2, y2)),
+    }
+}
+
+fn answer_json(hits: &[Segment], trace: &QueryTrace) -> Vec<(&'static str, Json)> {
+    let id_list = ids(hits);
+    vec![
+        (
+            "ids",
+            Json::Arr(id_list.into_iter().map(Json::U64).collect()),
+        ),
+        ("count", Json::U64(hits.len() as u64)),
+        ("trace", trace.to_json()),
+    ]
+}
+
+fn execute(shared: &Shared, id: Option<u64>, method: Method) -> String {
+    match method {
+        Method::Query(shape) => match run_shape(&shared.db, shape) {
+            Ok((hits, trace)) => {
+                ServerStats::bump(&shared.stats.ok);
+                proto::ok_line(id, Json::obj(answer_json(&hits, &trace)))
+            }
+            Err(e) => {
+                ServerStats::bump(&shared.stats.errors);
+                proto::err_line(id, code::DB, &e.to_string())
+            }
+        },
+        Method::Trace(shape) => {
+            segdb_obs::trace::clear();
+            let result = segdb_obs::trace::with_tracing(|| run_shape(&shared.db, shape));
+            let (events, dropped) = segdb_obs::trace::drain();
+            match result {
+                Ok((hits, trace)) => {
+                    ServerStats::bump(&shared.stats.ok);
+                    let mut fields = answer_json(&hits, &trace);
+                    fields.push((
+                        "spans",
+                        TraceSummary::from_events(&events, dropped).to_json(),
+                    ));
+                    proto::ok_line(id, Json::obj(fields))
+                }
+                Err(e) => {
+                    ServerStats::bump(&shared.stats.errors);
+                    proto::err_line(id, code::DB, &e.to_string())
+                }
+            }
+        }
+        Method::Stats => {
+            ServerStats::bump(&shared.stats.ok);
+            proto::ok_line(id, stats_json(shared))
+        }
+        // Handled inline by the connection reader; kept total for safety.
+        Method::Ping => proto::ok_line(id, Json::Str("pong".to_string())),
+        Method::Shutdown => proto::ok_line(id, Json::Bool(true)),
+    }
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let db = &shared.db;
+    let io = db.pager().stats();
+    let s = &shared.stats;
+    let get = |c: &AtomicU64| Json::U64(c.load(Ordering::Relaxed));
+    Json::obj([
+        ("segments", Json::U64(db.len())),
+        ("index", Json::Str(format!("{:?}", db.kind()))),
+        ("space_blocks", Json::U64(db.space_blocks() as u64)),
+        (
+            "io",
+            Json::obj([
+                ("reads", Json::U64(io.reads)),
+                ("writes", Json::U64(io.writes)),
+                ("cache_hits", Json::U64(io.cache_hits)),
+                ("allocations", Json::U64(io.allocations)),
+                ("frees", Json::U64(io.frees)),
+            ]),
+        ),
+        (
+            "server",
+            Json::obj([
+                ("workers", Json::U64(shared.workers as u64)),
+                ("queue_depth", Json::U64(shared.queue_depth as u64)),
+                ("connections", get(&s.connections)),
+                ("requests", get(&s.requests)),
+                ("ok", get(&s.ok)),
+                ("errors", get(&s.errors)),
+                ("overloaded", get(&s.overloaded)),
+                ("timeouts", get(&s.timeouts)),
+            ]),
+        ),
+        ("metrics", db.metrics_json().unwrap_or(Json::Null)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_slot_returns_filled_value() {
+        let slot = Arc::new(ReplySlot::default());
+        let filler = Arc::clone(&slot);
+        let t = thread::spawn(move || filler.fill("hello".to_string()));
+        assert_eq!(
+            slot.wait_for(Duration::from_secs(5)).as_deref(),
+            Some("hello")
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn reply_slot_times_out_when_never_filled() {
+        let slot = ReplySlot::default();
+        assert_eq!(slot.wait_for(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn late_fill_after_timeout_is_discarded() {
+        let slot = ReplySlot::default();
+        assert_eq!(slot.wait_for(Duration::ZERO), None);
+        slot.fill("late".to_string());
+        // A second waiter (none exists in practice) would see the value;
+        // the point is that filling a timed-out slot must not panic.
+        assert_eq!(slot.wait_for(Duration::ZERO).as_deref(), Some("late"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Wire-protocol robustness: malformed input, oversized lines, abrupt
+//! disconnects and overload must produce clean errors — never a panic,
+//! never a hang.
+
+use segdb_core::SegmentDatabase;
+use segdb_geom::gen::mixed_map;
+use segdb_obs::json::{self, Json};
+use segdb_server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_db() -> Arc<SegmentDatabase> {
+    Arc::new(
+        SegmentDatabase::builder()
+            .page_size(512)
+            .cache_pages(64)
+            .cache_shards(4)
+            .observe()
+            .build(mixed_map(200, 7))
+            .unwrap(),
+    )
+}
+
+fn start(cfg: ServerConfig) -> Server {
+    Server::start(test_db(), cfg).unwrap()
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Json {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Json {
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).unwrap();
+        assert!(n > 0, "server closed the connection unexpectedly");
+        json::parse(response.trim_end()).expect("response is valid JSON")
+    }
+}
+
+fn error_code(v: &Json) -> &str {
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{v:?}");
+    v.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("error carries a code")
+}
+
+#[test]
+fn malformed_json_yields_bad_request() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(&server);
+    let v = c.send("this is not json");
+    assert_eq!(error_code(&v), "bad_request");
+    // The connection survives a bad request.
+    let v = c.send(r#"{"id":1,"method":"ping"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn unknown_method_is_reported_with_id() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(&server);
+    let v = c.send(r#"{"id":9,"method":"frobnicate"}"#);
+    assert_eq!(error_code(&v), "unknown_method");
+    assert_eq!(v.get("id"), Some(&Json::U64(9)));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn missing_params_yield_bad_request() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(&server);
+    let v = c.send(r#"{"id":2,"method":"query_segment","params":{"x1":1}}"#);
+    assert_eq!(error_code(&v), "bad_request");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn oversized_line_gets_error_then_close() {
+    let server = start(ServerConfig {
+        max_line_bytes: 256,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(&server);
+    let huge = format!("{}\n", "x".repeat(4096));
+    c.writer.write_all(huge.as_bytes()).unwrap();
+    let v = c.read_response();
+    assert_eq!(error_code(&v), "oversized");
+    // After the error the server closes this connection.
+    let mut rest = String::new();
+    assert_eq!(c.reader.read_to_string(&mut rest).unwrap(), 0);
+    // …but keeps serving new ones.
+    let mut c2 = Client::connect(&server);
+    let v = c2.send(r#"{"method":"ping"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn mid_request_disconnect_leaves_server_alive() {
+    let server = start(ServerConfig::default());
+    {
+        let mut c = Client::connect(&server);
+        // Half a request, no newline — then vanish.
+        c.writer
+            .write_all(br#"{"id":3,"method":"query_li"#)
+            .unwrap();
+    }
+    let mut c = Client::connect(&server);
+    let v = c.send(r#"{"id":4,"method":"query_line","params":{"x":70}}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v:?}");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn misaligned_segment_query_reports_db_error() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(&server);
+    let v = c.send(r#"{"id":5,"method":"query_segment","params":{"x1":0,"y1":0,"x2":5,"y2":3}}"#);
+    assert_eq!(error_code(&v), "db");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn zero_depth_queue_refuses_with_overloaded() {
+    let server = start(ServerConfig {
+        queue_depth: 0,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(&server);
+    let v = c.send(r#"{"id":6,"method":"query_line","params":{"x":70}}"#);
+    assert_eq!(error_code(&v), "overloaded");
+    // Ping bypasses the queue, so the server still proves liveness.
+    let v = c.send(r#"{"method":"ping"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn zero_timeout_answers_instead_of_hanging() {
+    let server = start(ServerConfig {
+        request_timeout: Duration::ZERO,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(&server);
+    let v = c.send(r#"{"id":7,"method":"query_line","params":{"x":70}}"#);
+    // Usually the deadline (zero) expires before a worker replies; if the
+    // worker wins the race an ok answer is equally acceptable. Either
+    // way the call returns promptly.
+    if v.get("ok") == Some(&Json::Bool(false)) {
+        assert_eq!(error_code(&v), "timeout");
+    }
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn stats_and_trace_answer() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(&server);
+    let v = c.send(r#"{"id":1,"method":"query_line","params":{"x":70}}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    let v = c.send(r#"{"id":2,"method":"trace","params":{"shape":"query_line","x":70}}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    let result = v.get("result").unwrap();
+    assert!(result.get("spans").is_some(), "{result:?}");
+    let v = c.send(r#"{"id":3,"method":"stats"}"#);
+    let result = v.get("result").unwrap();
+    assert_eq!(result.get("segments"), Some(&Json::U64(200)));
+    let served = result
+        .get("server")
+        .and_then(|s| s.get("requests"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(served >= 3.0, "{served}");
+    assert!(
+        result.get("metrics").unwrap().get("cost_model").is_some(),
+        "observability snapshot is exposed"
+    );
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn wire_shutdown_stops_the_server() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(&server);
+    let v = c.send(r#"{"id":1,"method":"shutdown"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    // wait() must return: the acceptor and the pool exit.
+    server.wait();
+}

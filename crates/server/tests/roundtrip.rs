@@ -1,0 +1,102 @@
+//! End-to-end serving: a multi-connection closed-loop load against a
+//! live server must verify bit-identical to the scan oracle.
+
+use segdb_core::SegmentDatabase;
+use segdb_geom::gen::Family;
+use segdb_server::load::{self, LoadConfig};
+use segdb_server::{Server, ServerConfig};
+use std::sync::Arc;
+
+fn served_db(family: Family, n: usize, seed: u64) -> Arc<SegmentDatabase> {
+    Arc::new(
+        SegmentDatabase::builder()
+            .page_size(512)
+            .cache_pages(64)
+            .cache_shards(4)
+            .observe()
+            .build(family.generate(n, seed))
+            .unwrap(),
+    )
+}
+
+#[test]
+fn multi_connection_load_verifies_against_oracle() {
+    let (family, n, seed) = (Family::Mixed, 500, 3);
+    let server = Server::start(
+        served_db(family, n, seed),
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let cfg = LoadConfig {
+        addr: server.addr().to_string(),
+        connections: 3,
+        requests: 60,
+        family,
+        n,
+        seed,
+        verify: true,
+        shutdown_after: false,
+    };
+    let report = load::run_load(&cfg).unwrap();
+    assert_eq!(report.sent, 60);
+    assert_eq!(report.ok, 60, "{report:?}");
+    assert_eq!(report.wrong, 0, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.latency.count(), 60);
+    assert!(report.throughput_rps() > 0.0);
+    let doc = report.to_json(&cfg);
+    assert!(doc.get("latency_us").unwrap().get("p99").is_some());
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn load_counts_overload_refusals() {
+    let (family, n, seed) = (Family::Strips, 200, 11);
+    let server = Server::start(
+        served_db(family, n, seed),
+        ServerConfig {
+            queue_depth: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let cfg = LoadConfig {
+        addr: server.addr().to_string(),
+        connections: 2,
+        requests: 10,
+        family,
+        n,
+        seed,
+        verify: false,
+        shutdown_after: false,
+    };
+    let report = load::run_load(&cfg).unwrap();
+    assert_eq!(report.sent, 10);
+    assert_eq!(report.ok, 0);
+    assert_eq!(report.overloaded, 10, "every request refused: {report:?}");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn load_driver_shutdown_flag_stops_the_server() {
+    let (family, n, seed) = (Family::Grid, 200, 5);
+    let server = Server::start(served_db(family, n, seed), ServerConfig::default()).unwrap();
+    let cfg = LoadConfig {
+        addr: server.addr().to_string(),
+        connections: 1,
+        requests: 8,
+        family,
+        n,
+        seed,
+        verify: true,
+        shutdown_after: true,
+    };
+    let report = load::run_load(&cfg).unwrap();
+    assert_eq!(report.wrong, 0);
+    server.wait();
+}

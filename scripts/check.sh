@@ -15,4 +15,26 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "OK: build, tests, clippy, fmt all clean."
+echo "==> serve/load smoke round-trip"
+CLI=target/release/segdb-cli
+LOAD=target/release/segdb-load
+SMOKE=$(mktemp -d)
+trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
+"$CLI" gen mixed 300 21 > "$SMOKE/map.csv"
+"$CLI" build "$SMOKE/map.db" "$SMOKE/map.csv" --page-size 1024 > /dev/null
+"$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 > "$SMOKE/serve.out" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 40); do
+    ADDR=$(sed -n 's/^listening on //p' "$SMOKE/serve.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$ADDR" ] || { echo "server never reported its address"; exit 1; }
+SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21 \
+    --connections 2 --requests 40 --shutdown > /dev/null
+wait "$SERVE_PID"
+grep -q '"wrong":0' "$SMOKE/BENCH_serve.json" || {
+    echo "load driver reported wrong answers"; exit 1; }
+
+echo "OK: build, tests, clippy, fmt, serve smoke all clean."
