@@ -286,6 +286,16 @@ impl SegmentDatabaseBuilder {
         }
         if self.persist.is_some() {
             db.save()?;
+        } else {
+            // An in-memory build leaves up to cache_pages dirty pages
+            // resident. Write them back (keeping the pool warm) so the
+            // database enters concurrent serving with a clean pool — a
+            // dirty page evicted mid-serving would otherwise have to be
+            // written back on the read path. The writes are counted as
+            // part of the build cost, mirroring the persistent path's
+            // save(); per-query I/O is StatScope-diffed, so query
+            // experiments are unaffected.
+            db.pager.clean_pool()?;
         }
         Ok(db)
     }

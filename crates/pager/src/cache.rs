@@ -219,6 +219,27 @@ impl LruCache {
         self.insert(page, data, dirty)
     }
 
+    /// Write every dirty resident page back through `writeback` (LRU
+    /// first) and mark it clean, keeping all pages resident. Unlike
+    /// [`LruCache::drain`] the pool stays warm — this is how a freshly
+    /// built database cleans its pool before entering concurrent
+    /// serving. A `writeback` error aborts the sweep; already-cleaned
+    /// entries stay clean (their images were written).
+    pub fn clean_all<E>(
+        &mut self,
+        writeback: &mut impl FnMut(PageId, &Arc<[u8]>) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut idx = self.tail;
+        while idx != NIL {
+            if self.arena[idx].dirty {
+                writeback(self.arena[idx].page, &self.arena[idx].data)?;
+                self.arena[idx].dirty = false;
+            }
+            idx = self.arena[idx].prev;
+        }
+        Ok(())
+    }
+
     /// Remove a page (used when the page is freed). Returns its image if it
     /// was resident.
     pub fn remove(&mut self, page: PageId) -> Option<Evicted> {
@@ -331,6 +352,28 @@ mod tests {
         // LRU-first drain order: 1 then 3
         assert_eq!(drained[0].page, 1);
         assert_eq!(drained[1].page, 3);
+    }
+
+    #[test]
+    fn clean_all_writes_dirty_pages_and_keeps_them_resident() {
+        let mut c = LruCache::new(3);
+        c.insert(1, img(1), true);
+        c.insert(2, img(2), false);
+        c.insert(3, img(3), true);
+        let mut written = Vec::new();
+        c.clean_all::<()>(&mut |page, data| {
+            written.push((page, data[0]));
+            Ok(())
+        })
+        .unwrap();
+        // LRU-first, dirty pages only.
+        assert_eq!(written, vec![(1, 1), (3, 3)]);
+        assert_eq!(c.len(), 3, "pages stay resident");
+        // Everything is clean now: a second sweep writes nothing.
+        c.clean_all::<()>(&mut |_, _| panic!("no dirty pages left"))
+            .unwrap();
+        let ev = c.remove(1).unwrap();
+        assert!(!ev.dirty);
     }
 
     #[test]

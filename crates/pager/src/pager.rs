@@ -21,11 +21,14 @@
 //!   (read-modify-write: 1 read + 1 write), and [`Pager::overwrite_page`]
 //!   (blind write of a freshly built node image: 1 write, no read).
 //! * Concurrency contract: any number of concurrent **readers** are safe
-//!   (`with_page`, `get_meta`, `stats`, …). The mutating verbs are also
-//!   data-race-free, but interleaving them with readers gives no
-//!   atomicity across pages — multi-page structural updates require
-//!   external exclusive access (`&mut SegmentDatabase` at the facade).
-//!   See DESIGN.md "Concurrent serving".
+//!   (`with_page`, `get_meta`, `stats`, …) — including when dirty pages
+//!   are resident, because a dirty eviction victim is written back to
+//!   the device *inside* the shard lock (lock order shard → device;
+//!   device guards are never held across a cache call). The mutating
+//!   verbs are also data-race-free, but interleaving them with readers
+//!   gives no atomicity across pages — multi-page structural updates
+//!   require external exclusive access (`&mut SegmentDatabase` at the
+//!   facade). See DESIGN.md "Concurrent serving".
 
 use crate::device::{Device, Disk};
 use crate::error::Result;
@@ -188,18 +191,21 @@ impl Pager {
         let img: Arc<[u8]> = buf.into();
         // insert_if_absent semantics: if another thread admitted (or a
         // writer dirtied) this page meanwhile, keep the resident image.
-        self.writeback(self.cache.admit_clean(id, Arc::clone(&img)))?;
+        // The dirty victim (if any) is written back while the shard lock
+        // is still held — releasing first would let a concurrent reader
+        // miss on the just-evicted page and read its stale device image.
+        self.cache
+            .admit_clean(id, Arc::clone(&img), |ev| self.writeback(ev))?;
         Ok(img)
     }
 
-    /// Write an eviction victim back to the device if it was dirty.
-    fn writeback(&self, victim: Option<crate::cache::Evicted>) -> Result<()> {
-        if let Some(ev) = victim {
-            if ev.dirty {
-                self.device_write().write(ev.page, &ev.data)?;
-                self.counters.record_write();
-                emit(EventKind::PageWrite, u64::from(ev.page), 0);
-            }
+    /// Write one eviction victim back to the device if it was dirty.
+    /// Called from inside the shard lock (lock order: shard → device).
+    fn writeback(&self, ev: &crate::cache::Evicted) -> Result<()> {
+        if ev.dirty {
+            self.device_write().write(ev.page, &ev.data)?;
+            self.counters.record_write();
+            emit(EventKind::PageWrite, u64::from(ev.page), 0);
         }
         Ok(())
     }
@@ -210,7 +216,8 @@ impl Pager {
             // Validate the id first so dangling writes still error even
             // when the cache absorbs the store.
             self.device_read().check(id)?;
-            return self.writeback(self.cache.admit_dirty(id, img));
+            self.cache.admit_dirty(id, img, |ev| self.writeback(ev))?;
+            return Ok(());
         }
         self.device_write().write(id, &img)?;
         self.counters.record_write();
@@ -245,6 +252,20 @@ impl Pager {
         self.device_read().check(id)?;
         self.store(id, buf.into())?;
         Ok(r)
+    }
+
+    /// Write every dirty cached page back to disk (counting the writes)
+    /// while keeping all pages resident — the pool stays warm, now clean.
+    /// A freshly built database calls this before being shared with
+    /// concurrent readers so no dirty page is ever resident on the
+    /// serving path (see DESIGN.md "Concurrent serving").
+    pub fn clean_pool(&self) -> Result<()> {
+        self.cache.clean_all(|page, data| {
+            self.device_write().write(page, data)?;
+            self.counters.record_write();
+            emit(EventKind::PageWrite, u64::from(page), 0);
+            Ok(())
+        })
     }
 
     /// Write every dirty cached page back to disk (counting the writes) and
@@ -401,6 +422,69 @@ mod tests {
         let p = uncached();
         assert!(p.with_page_mut(3, |_| ()).is_err());
         assert!(p.overwrite_page(3, |_| ()).is_err());
+    }
+
+    #[test]
+    fn clean_pool_writes_dirty_pages_but_keeps_them_resident() {
+        let p = Pager::new(PagerConfig {
+            page_size: 8,
+            cache_pages: 4,
+        });
+        let ids: Vec<_> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.overwrite_page(id, |b| b[0] = i as u8 + 1).unwrap();
+        }
+        assert_eq!(p.stats().writes, 0);
+        p.clean_pool().unwrap();
+        assert_eq!(p.stats().writes, 3, "each dirty page written once");
+        p.clean_pool().unwrap();
+        assert_eq!(p.stats().writes, 3, "second sweep finds nothing dirty");
+        // The pool stayed warm: re-reading every page is a pure hit.
+        let before = p.stats();
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page(id, |b| assert_eq!(b[0], i as u8 + 1)).unwrap();
+        }
+        let after = p.stats();
+        assert_eq!(after.reads, before.reads, "no physical re-reads");
+        assert_eq!(after.cache_hits, before.cache_hits + 3);
+    }
+
+    /// Regression test for the dirty-eviction stale-read race: dirty
+    /// pages left resident (as after an in-memory build without
+    /// `clean_pool`) are evicted by concurrent readers; if the victim
+    /// were written back after the shard lock is released, a reader
+    /// missing on the just-evicted page would see the stale (zeroed)
+    /// device image. With writeback under the shard lock every reader
+    /// must observe the written value.
+    #[test]
+    fn concurrent_readers_never_see_stale_dirty_evictions() {
+        let p = std::sync::Arc::new(Pager::with_device_sharded(Box::new(Disk::new(16)), 8, 2));
+        let ids: Vec<PageId> = (0..64)
+            .map(|i| {
+                let id = p.allocate().unwrap();
+                p.overwrite_page(id, |b| b[0] = i as u8 + 1).unwrap();
+                id
+            })
+            .collect();
+        // Deliberately NO flush/clean: up to 8 dirty pages stay resident.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let p = std::sync::Arc::clone(&p);
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    for round in 0..500usize {
+                        let i = (round * 17 + t * 7) % ids.len();
+                        p.with_page(ids[i], |b| {
+                            assert_eq!(b[0], i as u8 + 1, "stale page image observed")
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

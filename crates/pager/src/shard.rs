@@ -22,9 +22,19 @@
 //!
 //! Consistency model (documented in DESIGN.md "Concurrent serving"):
 //! concurrent *readers* are safe and scalable; *writers* require
-//! external exclusive access. The reader admit path therefore uses
-//! [`LruCache::insert_if_absent`] so a racing reader can never clobber
-//! a dirty image with a stale clean one.
+//! external exclusive access. Two rules keep resident dirty pages (left
+//! by a build or an offline mutation) safe under concurrent reads:
+//!
+//! * the reader admit path uses [`LruCache::insert_if_absent`] so a
+//!   racing reader can never clobber a dirty image with a stale clean
+//!   one;
+//! * a dirty eviction victim is written back to the device **while the
+//!   shard lock is still held** (the admit verbs take a writeback
+//!   closure). Releasing the lock first would open a stale-read window:
+//!   a concurrent reader missing on the just-evicted page would read
+//!   the not-yet-written device image and re-admit it, poisoning the
+//!   pool. Lock order is therefore shard → device; no caller may
+//!   acquire a shard lock while holding a device guard.
 
 use crate::cache::{Evicted, LruCache};
 use crate::PageId;
@@ -89,22 +99,59 @@ impl ShardedCache {
 
     /// Reader-path admission: insert a freshly fetched clean image
     /// unless the page is already resident (never replaces — a racing
-    /// writer's dirty copy must win). Returns the shard's eviction
-    /// victim, which the caller writes back outside the lock.
-    pub fn admit_clean(&self, page: PageId, data: Arc<[u8]>) -> Option<Evicted> {
+    /// writer's dirty copy must win). A dirty eviction victim is passed
+    /// to `writeback` **while the shard lock is held** — see the module
+    /// docs for why releasing first would let a concurrent reader
+    /// observe a stale device image. Returns the victim, if any.
+    pub fn admit_clean<E>(
+        &self,
+        page: PageId,
+        data: Arc<[u8]>,
+        writeback: impl FnOnce(&Evicted) -> Result<(), E>,
+    ) -> Result<Option<Evicted>, E> {
         if self.capacity == 0 {
-            return None;
+            return Ok(None);
         }
-        lock(self.shard(page)).insert_if_absent(page, data, false)
+        let mut shard = lock(self.shard(page));
+        let victim = shard.insert_if_absent(page, data, false);
+        if let Some(ev) = &victim {
+            writeback(ev)?;
+        }
+        Ok(victim)
     }
 
     /// Writer-path admission: insert or replace the image, marked dirty.
-    /// Returns the shard's eviction victim for write-back.
-    pub fn admit_dirty(&self, page: PageId, data: Arc<[u8]>) -> Option<Evicted> {
+    /// Like [`ShardedCache::admit_clean`], the eviction victim is written
+    /// back under the shard lock.
+    pub fn admit_dirty<E>(
+        &self,
+        page: PageId,
+        data: Arc<[u8]>,
+        writeback: impl FnOnce(&Evicted) -> Result<(), E>,
+    ) -> Result<Option<Evicted>, E> {
         if self.capacity == 0 {
-            return None;
+            return Ok(None);
         }
-        lock(self.shard(page)).upsert(page, data, true)
+        let mut shard = lock(self.shard(page));
+        let victim = shard.upsert(page, data, true);
+        if let Some(ev) = &victim {
+            writeback(ev)?;
+        }
+        Ok(victim)
+    }
+
+    /// Write every dirty resident page back through `writeback` and mark
+    /// it clean, keeping the pool warm (shard locks are held across the
+    /// callback, one shard at a time). Used to hand a freshly built
+    /// database to concurrent readers with no dirty pages resident.
+    pub fn clean_all<E>(
+        &self,
+        mut writeback: impl FnMut(PageId, &Arc<[u8]>) -> Result<(), E>,
+    ) -> Result<(), E> {
+        for s in &self.shards {
+            lock(s).clean_all(&mut writeback)?;
+        }
+        Ok(())
     }
 
     /// Drop a page (when it is freed). Returns the image if resident.
@@ -142,14 +189,25 @@ mod tests {
         Arc::from(vec![b; 4].into_boxed_slice())
     }
 
+    /// Admit with a no-op writeback (tests inspect the returned victim).
+    fn admit_clean(c: &ShardedCache, page: PageId, data: Arc<[u8]>) -> Option<Evicted> {
+        c.admit_clean(page, data, |_: &Evicted| -> Result<(), ()> { Ok(()) })
+            .unwrap()
+    }
+
+    fn admit_dirty(c: &ShardedCache, page: PageId, data: Arc<[u8]>) -> Option<Evicted> {
+        c.admit_dirty(page, data, |_: &Evicted| -> Result<(), ()> { Ok(()) })
+            .unwrap()
+    }
+
     #[test]
     fn single_shard_matches_plain_lru() {
         let c = ShardedCache::new(2, 1);
         assert_eq!(c.shard_count(), 1);
-        assert!(c.admit_clean(1, img(1)).is_none());
-        assert!(c.admit_clean(2, img(2)).is_none());
+        assert!(admit_clean(&c, 1, img(1)).is_none());
+        assert!(admit_clean(&c, 2, img(2)).is_none());
         assert_eq!(c.get_cloned(1).unwrap()[0], 1); // 2 becomes LRU
-        let ev = c.admit_clean(3, img(3)).unwrap();
+        let ev = admit_clean(&c, 3, img(3)).unwrap();
         assert_eq!(ev.page, 2);
         assert!(c.get_cloned(2).is_none());
     }
@@ -159,10 +217,10 @@ mod tests {
         let c = ShardedCache::new(4, 4);
         assert_eq!(c.shard_count(), 4);
         for p in 0..4u32 {
-            c.admit_clean(p, img(p as u8));
+            admit_clean(&c, p, img(p as u8));
         }
         // Page 4 collides only with page 0 (4 % 4 == 0).
-        let ev = c.admit_clean(4, img(4)).unwrap();
+        let ev = admit_clean(&c, 4, img(4)).unwrap();
         assert_eq!(ev.page, 0);
         for p in 1..5u32 {
             assert_eq!(c.get_cloned(p).unwrap()[0], p as u8, "page {p} resident");
@@ -177,7 +235,7 @@ mod tests {
         let c = ShardedCache::new(0, 8);
         assert_eq!(c.capacity(), 0);
         assert!(c.get_cloned(0).is_none());
-        assert!(c.admit_clean(0, img(0)).is_none());
+        assert!(admit_clean(&c, 0, img(0)).is_none());
         assert!(c.is_empty());
     }
 
@@ -186,7 +244,7 @@ mod tests {
         let c = ShardedCache::new(5, 2);
         // Shard 0 gets 3, shard 1 gets 2: pages 0,2,4 (shard 0) all fit.
         for p in [0u32, 2, 4] {
-            assert!(c.admit_clean(p, img(p as u8)).is_none());
+            assert!(admit_clean(&c, p, img(p as u8)).is_none());
         }
         assert_eq!(c.len(), 3);
     }
@@ -194,11 +252,54 @@ mod tests {
     #[test]
     fn clean_admit_never_clobbers_dirty_image() {
         let c = ShardedCache::new(4, 2);
-        c.admit_dirty(6, img(9));
-        c.admit_clean(6, img(1));
+        admit_dirty(&c, 6, img(9));
+        admit_clean(&c, 6, img(1));
         let ev = c.remove(6).unwrap();
         assert!(ev.dirty);
         assert_eq!(ev.data[0], 9, "dirty image survived the clean admit");
+    }
+
+    #[test]
+    fn dirty_victim_reaches_the_writeback_callback() {
+        let c = ShardedCache::new(1, 1);
+        admit_dirty(&c, 0, img(7));
+        let mut seen = Vec::new();
+        let victim = c
+            .admit_clean(1, img(1), |ev: &Evicted| -> Result<(), ()> {
+                seen.push((ev.page, ev.data[0], ev.dirty));
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(seen, vec![(0, 7, true)]);
+        assert_eq!(victim.page, 0);
+    }
+
+    #[test]
+    fn writeback_error_propagates() {
+        let c = ShardedCache::new(1, 1);
+        admit_dirty(&c, 0, img(7));
+        let err = c.admit_clean(1, img(1), |_: &Evicted| Err::<(), &str>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn clean_all_keeps_pool_warm() {
+        let c = ShardedCache::new(4, 2);
+        admit_dirty(&c, 0, img(1));
+        admit_dirty(&c, 1, img(2));
+        admit_clean(&c, 2, img(3));
+        let mut written = Vec::new();
+        c.clean_all(|page, data| -> Result<(), ()> {
+            written.push((page, data[0]));
+            Ok(())
+        })
+        .unwrap();
+        written.sort_unstable();
+        assert_eq!(written, vec![(0, 1), (1, 2)]);
+        assert_eq!(c.len(), 3, "pages stay resident");
+        let ev = c.remove(0).unwrap();
+        assert!(!ev.dirty, "cleaned page no longer dirty");
     }
 
     #[test]
@@ -213,7 +314,7 @@ mod tests {
                         match c.get_cloned(p) {
                             Some(img) => assert_eq!(img[0], p as u8),
                             None => {
-                                c.admit_clean(p, Arc::from(vec![p as u8; 4].into_boxed_slice()));
+                                admit_clean(&c, p, Arc::from(vec![p as u8; 4].into_boxed_slice()));
                             }
                         }
                     }

@@ -13,10 +13,12 @@
 //!
 //! Overload policy is refuse-fast: the job queue is bounded and a full
 //! queue answers `overloaded` immediately instead of queueing without
-//! bound; a request that misses its deadline answers `timeout` and its
-//! eventual result is discarded. Shutdown (API call or wire `shutdown`)
-//! stops the acceptor via a self-connect, drains queued jobs with
-//! `shutting_down` errors and joins the pool.
+//! bound; a request that misses its deadline answers `timeout`, its
+//! [`ReplySlot`] is marked abandoned, and workers skip abandoned jobs
+//! that have not started — so under sustained overload dead jobs shed
+//! from the queue instead of burning worker capacity. Shutdown (API
+//! call or wire `shutdown`) stops the acceptor via a self-connect,
+//! drains queued jobs with `shutting_down` errors and joins the pool.
 
 use crate::proto::{self, code, Method, QueryShape, Request};
 use segdb_core::report::ids;
@@ -87,11 +89,14 @@ struct Job {
 }
 
 /// Single-use rendezvous for one response line. The connection reader
-/// waits with a deadline; a fill after the deadline is simply discarded.
+/// waits with a deadline; on timeout the slot is marked abandoned so a
+/// worker that has not started the job yet skips it entirely, and a
+/// fill after the deadline is simply discarded.
 #[derive(Default)]
 struct ReplySlot {
     cell: Mutex<Option<String>>,
     ready: Condvar,
+    abandoned: AtomicBool,
 }
 
 impl ReplySlot {
@@ -100,12 +105,20 @@ impl ReplySlot {
         self.ready.notify_all();
     }
 
+    /// True once the requester gave up waiting — executing the job would
+    /// only produce a reply nobody reads. Best-effort: a job already
+    /// running when the deadline passes still completes and is discarded.
+    fn is_abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Acquire)
+    }
+
     fn wait_for(&self, timeout: Duration) -> Option<String> {
         let deadline = Instant::now() + timeout;
         let mut slot = lock(&self.cell);
         while slot.is_none() {
             let now = Instant::now();
             if now >= deadline {
+                self.abandoned.store(true, Ordering::Release);
                 return None;
             }
             slot = self
@@ -166,6 +179,14 @@ impl Server {
     /// Bind, spawn the worker pool and the acceptor, and start serving
     /// `db` — which the caller may keep querying concurrently.
     pub fn start(db: Arc<SegmentDatabase>, cfg: ServerConfig) -> io::Result<Server> {
+        // Enter serving with a clean buffer pool: build() already cleans,
+        // but an offline mutation (insert/remove through `&mut` before
+        // the Arc was created) may have left dirty pages resident. Write
+        // them back up front — keeping the pool warm — so serving is
+        // pure reads plus clean evictions.
+        db.pager()
+            .clean_pool()
+            .map_err(|e| io::Error::other(e.to_string()))?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -230,6 +251,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 if shared.stopping() {
                     return;
                 }
+                // A persistent accept error (e.g. EMFILE) must not spin
+                // the acceptor at 100% CPU; back off before retrying.
+                thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
@@ -263,6 +287,11 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(job) = job else { break };
+        if job.slot.is_abandoned() {
+            // The requester already answered `timeout`; don't burn a
+            // worker producing a reply nobody reads.
+            continue;
+        }
         let response = execute(shared, job.id, job.method);
         job.slot.fill(response);
     }
@@ -553,6 +582,19 @@ mod tests {
     fn reply_slot_times_out_when_never_filled() {
         let slot = ReplySlot::default();
         assert_eq!(slot.wait_for(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn timed_out_slot_is_marked_abandoned() {
+        let slot = ReplySlot::default();
+        assert!(!slot.is_abandoned());
+        assert_eq!(slot.wait_for(Duration::ZERO), None);
+        assert!(slot.is_abandoned(), "timeout abandons the slot");
+        // A filled slot is never abandoned.
+        let slot = ReplySlot::default();
+        slot.fill("ok".to_string());
+        assert_eq!(slot.wait_for(Duration::ZERO).as_deref(), Some("ok"));
+        assert!(!slot.is_abandoned());
     }
 
     #[test]
