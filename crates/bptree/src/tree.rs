@@ -652,7 +652,9 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         mut path: Vec<(PageId, Vec<PageId>, Vec<R>, usize)>,
     ) -> Result<()> {
         let min_leaf = (self.leaf_cap / 2).max(1);
-        let (pid, mut children, mut seps, idx) = path.pop().expect("non-root underflow has parent");
+        let (pid, mut children, mut seps, idx) = path
+            .pop()
+            .ok_or(PagerError::Corrupt("bptree underflow leaf without parent"))?;
 
         // Try borrowing from the left sibling.
         if idx > 0 {
@@ -663,7 +665,9 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
             } = read_node::<R>(pager, left_id)?
             {
                 if lrecs.len() > min_leaf {
-                    let moved = lrecs.pop().expect("left sibling nonempty");
+                    let moved = lrecs
+                        .pop()
+                        .ok_or(PagerError::Corrupt("bptree left sibling is empty"))?;
                     let mut recs = records;
                     recs.insert(0, moved);
                     seps[idx - 1] = moved;
@@ -780,7 +784,9 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
             return Ok(());
         }
         // Internal underflow: borrow or merge via the grandparent.
-        let (gid, mut gchildren, mut gseps, gidx) = path.pop().expect("non-root has parent");
+        let (gid, mut gchildren, mut gseps, gidx) = path
+            .pop()
+            .ok_or(PagerError::Corrupt("bptree underflow node without parent"))?;
         if gidx > 0 {
             let left_id = gchildren[gidx - 1];
             if let Node::Internal {
@@ -792,8 +798,12 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                     // Rotate right through the grandparent separator.
                     let mut children = children;
                     let mut seps = seps;
-                    let moved_child = lch.pop().expect("left internal nonempty");
-                    let moved_sep = lseps.pop().expect("left internal nonempty");
+                    let moved_child = lch
+                        .pop()
+                        .ok_or(PagerError::Corrupt("bptree left internal is empty"))?;
+                    let moved_sep = lseps
+                        .pop()
+                        .ok_or(PagerError::Corrupt("bptree left internal is empty"))?;
                     children.insert(0, moved_child);
                     seps.insert(0, gseps[gidx - 1]);
                     gseps[gidx - 1] = moved_sep;

@@ -15,6 +15,7 @@
 //! segdb-cli stats <db> [csv] [--sample <n>] [--seed <s>] [--human]
 //! segdb-cli trace <db> <shape> <coords…> [--human]
 //! segdb-cli serve <db> [serve options]                   # TCP query server
+//! segdb-cli torture [torture options]                    # seeded crash-recovery sweep
 //!
 //! build options:
 //!   --page-size <bytes>     block size (default 4096)
@@ -31,7 +32,21 @@
 //!   --queue-depth <n>       bounded job queue; beyond it requests get
 //!                           an `overloaded` error (default 64)
 //!   --timeout-ms <n>        per-request deadline (default 5000)
+//!
+//! torture options:
+//!   --seed <s>              first master seed (default 1)
+//!   --scenarios <k>         seeds per index kind (default 5)
+//!   --n <n>                 initial segment count (default 80)
+//!   --rounds <r>            workload rounds per scenario (default 5)
+//!   --page-size <bytes>     block size (default 512)
 //! ```
+//!
+//! `torture` runs `scenarios × 4` seeded crash-recovery scenarios (one
+//! sweep per index kind) over a deterministic fault-injecting device —
+//! see `segdb_core::torture` — and prints one JSON line of aggregate
+//! counters plus a fault-trace digest. The output is a pure function of
+//! the arguments: running the same invocation twice must print the
+//! identical line (the deflake guarantee `check.sh` asserts).
 //!
 //! `stats` runs a deterministic sample workload of line queries with the
 //! observability layer attached and prints the metric registry snapshot
@@ -52,7 +67,7 @@
 //! a comment. All logic lives in this library crate so the integration
 //! tests drive [`run`] directly.
 
-use segdb_core::{DbError, IndexKind, QueryTrace, SegmentDatabase};
+use segdb_core::{torture, DbError, IndexKind, QueryTrace, SegmentDatabase};
 use segdb_geom::gen::Family;
 use segdb_geom::Segment;
 use segdb_obs::trace::TraceSummary;
@@ -539,6 +554,67 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let _ = std::io::Write::flush(&mut std::io::stdout());
             server.wait();
             Ok("server stopped\n".to_string())
+        }
+        "torture" => {
+            let mut seed = 1u64;
+            let mut scenarios = 5usize;
+            let mut n = 80usize;
+            let mut rounds = 5usize;
+            let mut page_size = 512usize;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seed" => seed = num(args, i + 1, "seed")? as u64,
+                    "--scenarios" => {
+                        scenarios = num(args, i + 1, "scenario count")?.max(1) as usize
+                    }
+                    "--n" => n = num(args, i + 1, "segment count")?.max(1) as usize,
+                    "--rounds" => rounds = num(args, i + 1, "round count")?.max(1) as usize,
+                    "--page-size" => page_size = num(args, i + 1, "page size")?.max(64) as usize,
+                    other => return usage(format!("unknown torture option '{other}'")),
+                }
+                i += 2;
+            }
+            let kinds = [
+                IndexKind::TwoLevelBinary,
+                IndexKind::TwoLevelInterval,
+                IndexKind::FullScan,
+                IndexKind::StabThenFilter,
+            ];
+            let (mut ran, mut crashed, mut fault_events) = (0u64, 0u64, 0u64);
+            let (mut live_q, mut rec_q, mut saves) = (0u64, 0u64, 0u64);
+            let mut digest = 0xcbf2_9ce4_8422_2325u64;
+            for kind in kinds {
+                for s in seed..seed + scenarios as u64 {
+                    let cfg = torture::TortureConfig {
+                        n,
+                        rounds,
+                        page_size,
+                        ..torture::TortureConfig::new(kind, s)
+                    };
+                    let out = torture::run_scenario(&cfg)?;
+                    ran += 1;
+                    crashed += out.crashed as u64;
+                    fault_events += out.fault_trace.len() as u64;
+                    live_q += out.live_queries_verified;
+                    rec_q += out.recovery_queries_verified;
+                    saves += out.saves;
+                    digest ^= torture::trace_digest(&out.fault_trace);
+                    digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            let faults = segdb_obs::faults::totals().snapshot();
+            let doc = Json::obj([
+                ("scenarios", Json::U64(ran)),
+                ("crashed", Json::U64(crashed)),
+                ("fault_events", Json::U64(fault_events)),
+                ("live_queries_verified", Json::U64(live_q)),
+                ("recovery_queries_verified", Json::U64(rec_q)),
+                ("saves", Json::U64(saves)),
+                ("trace_digest", Json::Str(format!("{digest:016x}"))),
+                ("faults", faults.to_json()),
+            ]);
+            Ok(format!("{}\n", doc.render()))
         }
         "insert" | "remove" => {
             let op = args[0].clone();

@@ -138,7 +138,6 @@ impl DbObserver {
 }
 
 /// Builder for [`SegmentDatabase`].
-#[derive(Debug)]
 pub struct SegmentDatabaseBuilder {
     page_size: usize,
     cache_pages: usize,
@@ -147,8 +146,24 @@ pub struct SegmentDatabaseBuilder {
     kind: IndexKind,
     validate_nct: bool,
     persist: Option<PathBuf>,
+    device: Option<Box<dyn Device>>,
     arbitrary: bool,
     observe: bool,
+}
+
+impl fmt::Debug for SegmentDatabaseBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentDatabaseBuilder")
+            .field("page_size", &self.page_size)
+            .field("cache_pages", &self.cache_pages)
+            .field("cache_shards", &self.cache_shards)
+            .field("kind", &self.kind)
+            .field("persist", &self.persist)
+            .field("device", &self.device.is_some())
+            .field("arbitrary", &self.arbitrary)
+            .field("observe", &self.observe)
+            .finish()
+    }
 }
 
 impl Default for SegmentDatabaseBuilder {
@@ -161,6 +176,7 @@ impl Default for SegmentDatabaseBuilder {
             kind: IndexKind::TwoLevelInterval,
             validate_nct: true,
             persist: None,
+            device: None,
             arbitrary: false,
             observe: false,
         }
@@ -236,11 +252,27 @@ impl SegmentDatabaseBuilder {
         self
     }
 
+    /// Build on an explicit [`Device`] (e.g. a
+    /// [`segdb_pager::FaultDevice`] for crash-recovery torture). Takes
+    /// precedence over [`SegmentDatabaseBuilder::persist_to`]; the
+    /// device's own page size wins over
+    /// [`SegmentDatabaseBuilder::page_size`]. Like the persistent path,
+    /// the database is saved and synced after the build so the device
+    /// holds a reopenable image.
+    pub fn on_device(mut self, device: Box<dyn Device>) -> Self {
+        self.device = Some(device);
+        self
+    }
+
     /// Build the database over `segments` (given in user coordinates).
     pub fn build(self, segments: Vec<Segment>) -> Result<SegmentDatabase, DbError> {
-        let device: Box<dyn Device> = match &self.persist {
-            None => Box::new(segdb_pager::Disk::new(self.page_size)),
-            Some(path) => Box::new(FileDevice::create(path, self.page_size)?),
+        let explicit_device = self.device.is_some();
+        let device: Box<dyn Device> = match self.device {
+            Some(d) => d,
+            None => match &self.persist {
+                None => Box::new(segdb_pager::Disk::new(self.page_size)),
+                Some(path) => Box::new(FileDevice::create(path, self.page_size)?),
+            },
         };
         let pager = Pager::with_device_sharded(device, self.cache_pages, self.cache_shards);
         let transformed: Vec<Segment> = segments
@@ -284,7 +316,7 @@ impl SegmentDatabaseBuilder {
         if self.observe {
             db.set_observability(true);
         }
-        if self.persist.is_some() {
+        if self.persist.is_some() || explicit_device {
             db.save()?;
         } else {
             // An in-memory build leaves up to cache_pages dirty pages
@@ -333,11 +365,19 @@ impl SegmentDatabase {
         cache_pages: usize,
         cache_shards: usize,
     ) -> Result<Self, DbError> {
-        let pager = Pager::with_device_sharded(
-            Box::new(FileDevice::open(path)?),
-            cache_pages,
-            cache_shards,
-        );
+        Self::open_device(Box::new(FileDevice::open(path)?), cache_pages, cache_shards)
+    }
+
+    /// Re-open a database from an explicit [`Device`] already holding a
+    /// saved image — the recovery path of the crash torture harness,
+    /// which hands the last-sync-consistent store back after a simulated
+    /// power cut (see [`segdb_pager::FaultHandle::recover`]).
+    pub fn open_device(
+        device: Box<dyn Device>,
+        cache_pages: usize,
+        cache_shards: usize,
+    ) -> Result<Self, DbError> {
+        let pager = Pager::with_device_sharded(device, cache_pages, cache_shards);
         let sb = Superblock::decode(&pager.get_meta()?)?;
         let direction = sb.direction_obj()?;
         let index = match sb.kind {

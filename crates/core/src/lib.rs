@@ -38,6 +38,7 @@ pub mod facade;
 pub mod interval2l;
 pub mod persist;
 pub mod report;
+pub mod torture;
 
 pub use baseline::{FullScan, StabThenFilter};
 pub use binary2l::{Binary2LConfig, TwoLevelBinary};

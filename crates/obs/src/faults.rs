@@ -1,0 +1,165 @@
+//! Process-global fault accounting.
+//!
+//! Two families of counters, both monotone atomics:
+//!
+//! * **injected** — bumped by the fault-injection device
+//!   (`segdb_pager::fault::FaultDevice`) at the moment it manufactures a
+//!   failure: transient read/write/sync errors, torn writes, simulated
+//!   power cuts.
+//! * **observed** — bumped by the storage stack whenever a public pager
+//!   verb fails with an I/O error, i.e. the fault actually reached (and
+//!   was survived by) a caller.
+//!
+//! The split makes graceful degradation measurable: a healthy stack shows
+//! `observed_io_errors` tracking the injected totals instead of dying on
+//! the first one. The counters are process-wide (not per database) so the
+//! serving layer and the torture harness can snapshot them without
+//! plumbing a registry through every device; tests therefore assert
+//! monotone *deltas*, never absolute values.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The process-wide fault counters. Obtain the singleton via [`totals`].
+#[derive(Debug, Default)]
+pub struct FaultTotals {
+    injected_read_errors: AtomicU64,
+    injected_write_errors: AtomicU64,
+    injected_sync_errors: AtomicU64,
+    injected_torn_writes: AtomicU64,
+    injected_power_cuts: AtomicU64,
+    observed_io_errors: AtomicU64,
+}
+
+/// One consistent-enough snapshot of [`FaultTotals`] (fields are read
+/// individually; exact cross-field consistency is not needed for
+/// monitoring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSnapshot {
+    /// Transient read errors manufactured by a fault device.
+    pub injected_read_errors: u64,
+    /// Transient write errors manufactured by a fault device.
+    pub injected_write_errors: u64,
+    /// Transient sync errors manufactured by a fault device.
+    pub injected_sync_errors: u64,
+    /// Torn (partially applied) writes manufactured by a fault device.
+    pub injected_torn_writes: u64,
+    /// Simulated power cuts.
+    pub injected_power_cuts: u64,
+    /// I/O errors that reached a public pager verb and were propagated
+    /// (not panicked on) to the caller.
+    pub observed_io_errors: u64,
+}
+
+impl FaultSnapshot {
+    /// Every injected fault, summed.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_read_errors
+            + self.injected_write_errors
+            + self.injected_sync_errors
+            + self.injected_torn_writes
+            + self.injected_power_cuts
+    }
+
+    /// Render as a JSON object (key order is stable).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("injected_read_errors", Json::U64(self.injected_read_errors)),
+            (
+                "injected_write_errors",
+                Json::U64(self.injected_write_errors),
+            ),
+            ("injected_sync_errors", Json::U64(self.injected_sync_errors)),
+            ("injected_torn_writes", Json::U64(self.injected_torn_writes)),
+            ("injected_power_cuts", Json::U64(self.injected_power_cuts)),
+            ("injected_total", Json::U64(self.injected_total())),
+            ("observed_io_errors", Json::U64(self.observed_io_errors)),
+        ])
+    }
+}
+
+static TOTALS: FaultTotals = FaultTotals {
+    injected_read_errors: AtomicU64::new(0),
+    injected_write_errors: AtomicU64::new(0),
+    injected_sync_errors: AtomicU64::new(0),
+    injected_torn_writes: AtomicU64::new(0),
+    injected_power_cuts: AtomicU64::new(0),
+    observed_io_errors: AtomicU64::new(0),
+};
+
+/// The process-wide singleton.
+pub fn totals() -> &'static FaultTotals {
+    &TOTALS
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+impl FaultTotals {
+    /// Record one injected transient read error.
+    pub fn injected_read_error(&self) {
+        bump(&self.injected_read_errors);
+    }
+
+    /// Record one injected transient write error.
+    pub fn injected_write_error(&self) {
+        bump(&self.injected_write_errors);
+    }
+
+    /// Record one injected transient sync error.
+    pub fn injected_sync_error(&self) {
+        bump(&self.injected_sync_errors);
+    }
+
+    /// Record one injected torn write.
+    pub fn injected_torn_write(&self) {
+        bump(&self.injected_torn_writes);
+    }
+
+    /// Record one simulated power cut.
+    pub fn injected_power_cut(&self) {
+        bump(&self.injected_power_cuts);
+    }
+
+    /// Record one I/O error propagated through a public pager verb.
+    pub fn observed_io_error(&self) {
+        bump(&self.observed_io_errors);
+    }
+
+    /// Read every counter.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        FaultSnapshot {
+            injected_read_errors: get(&self.injected_read_errors),
+            injected_write_errors: get(&self.injected_write_errors),
+            injected_sync_errors: get(&self.injected_sync_errors),
+            injected_torn_writes: get(&self.injected_torn_writes),
+            injected_power_cuts: get(&self.injected_power_cuts),
+            observed_io_errors: get(&self.observed_io_errors),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let before = totals().snapshot();
+        totals().injected_read_error();
+        totals().injected_torn_write();
+        totals().injected_power_cut();
+        totals().observed_io_error();
+        let after = totals().snapshot();
+        assert_eq!(after.injected_read_errors, before.injected_read_errors + 1);
+        assert_eq!(after.injected_torn_writes, before.injected_torn_writes + 1);
+        assert_eq!(after.injected_power_cuts, before.injected_power_cuts + 1);
+        assert_eq!(after.observed_io_errors, before.observed_io_errors + 1);
+        assert!(after.injected_total() >= before.injected_total() + 3);
+        let json = after.to_json();
+        assert!(json.get("injected_total").is_some());
+        assert!(json.get("observed_io_errors").is_some());
+    }
+}

@@ -18,6 +18,9 @@
 //!   snapshotable as JSON.
 //! * [`json`] — a minimal in-repo JSON value type, serializer and
 //!   parser, so machine-readable output needs no external crates.
+//! * [`faults`] — process-global injected/observed fault counters fed by
+//!   the fault-injection device and the pager's error propagation (see
+//!   DESIGN.md §9 "Failure model & recovery").
 //! * [`cost`] — the paper-bound cost model: given `(N, B)` and the
 //!   index kind it computes the analytic I/O bound shape, fits the
 //!   constant from observed queries, and flags queries whose measured
@@ -27,6 +30,7 @@
 //! the repo-level README ("Observability") and DESIGN.md.
 
 pub mod cost;
+pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod trace;

@@ -354,6 +354,77 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Mass-free every page, reopen, and verify the whole chain recycles
+    /// LIFO before the capacity grows again.
+    #[test]
+    fn mass_free_recycles_the_whole_chain_after_reopen() {
+        let path = tmp("massfree");
+        const N: usize = 50;
+        {
+            let mut d = FileDevice::create(&path, 128).unwrap();
+            let ids: Vec<PageId> = (0..N).map(|_| d.allocate().unwrap()).collect();
+            for id in &ids {
+                d.free(*id).unwrap();
+            }
+            d.sync().unwrap();
+        }
+        {
+            let mut d = FileDevice::open(&path).unwrap();
+            assert_eq!(d.live_pages(), 0);
+            assert_eq!(d.capacity_pages(), N);
+            // The chain pops most-recently-freed first: N-1, N-2, …, 0.
+            for want in (0..N as PageId).rev() {
+                assert_eq!(d.allocate().unwrap(), want);
+            }
+            // Chain exhausted: the next allocation grows the file.
+            assert_eq!(d.allocate().unwrap(), N as PageId);
+            assert_eq!(d.live_pages(), N + 1);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A meta blob of exactly the maximum size must round-trip through
+    /// sync + reopen; one byte more is refused.
+    #[test]
+    fn meta_at_maximum_size_roundtrips() {
+        let path = tmp("maxmeta");
+        let max = 256 - HEADER_FIXED;
+        let blob: Vec<u8> = (0..max).map(|i| (i % 251) as u8).collect();
+        {
+            let mut d = FileDevice::create(&path, 256).unwrap();
+            assert!(
+                d.set_meta(&vec![0u8; max + 1]).is_err(),
+                "one byte over the limit is refused"
+            );
+            d.set_meta(&blob).unwrap();
+            d.sync().unwrap();
+        }
+        let d = FileDevice::open(&path).unwrap();
+        assert_eq!(d.get_meta().unwrap(), blob);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// An empty-but-synced store (no pages, no meta) reopens cleanly.
+    #[test]
+    fn reopen_of_empty_but_synced_store() {
+        let path = tmp("emptysync");
+        {
+            let mut d = FileDevice::create(&path, 128).unwrap();
+            d.sync().unwrap();
+        }
+        {
+            let mut d = FileDevice::open(&path).unwrap();
+            assert_eq!(d.live_pages(), 0);
+            assert_eq!(d.capacity_pages(), 0);
+            assert!(d.get_meta().unwrap().is_empty());
+            // And the store is fully usable after the empty reopen.
+            let id = d.allocate().unwrap();
+            assert_eq!(id, 0);
+            d.sync().unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn drop_persists_header() {
         let path = tmp("dropsync");

@@ -16,6 +16,9 @@
 //! * [`codec`] — bounds-checked little-endian readers/writers used by all
 //!   node serializers, so every structure genuinely lives in page images
 //!   rather than in native pointers.
+//! * [`fault`] — a deterministic fault-injection [`Device`] wrapper
+//!   (transient errors, torn writes, simulated power cuts) driving the
+//!   workspace crash-recovery torture suite (`tests/faults.rs`).
 //!
 //! All structures in the workspace store each logical node in exactly one
 //! page, mirroring the paper's "each node is contained in exactly one
@@ -37,6 +40,7 @@ pub mod cache;
 pub mod codec;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod file_device;
 pub mod pager;
 pub mod shard;
@@ -45,6 +49,7 @@ pub mod stats;
 pub use codec::{ByteReader, ByteWriter};
 pub use device::{Device, Disk};
 pub use error::{PagerError, Result};
+pub use fault::{FaultDevice, FaultEvent, FaultHandle, FaultKind, FaultPlan, FaultStats};
 pub use file_device::FileDevice;
 pub use pager::{Pager, PagerConfig};
 pub use shard::ShardedCache;

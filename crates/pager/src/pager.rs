@@ -113,18 +113,17 @@ impl Pager {
 
     /// Store the database superblock blob on the device.
     pub fn set_meta(&self, meta: &[u8]) -> Result<()> {
-        self.device_write().set_meta(meta)
+        observe_io(self.device_write().set_meta(meta))
     }
 
     /// Fetch the database superblock blob.
     pub fn get_meta(&self) -> Result<Vec<u8>> {
-        self.device_read().get_meta()
+        observe_io(self.device_read().get_meta())
     }
 
     /// Flush the buffer pool and durably sync the device.
     pub fn sync(&self) -> Result<()> {
-        self.flush()?;
-        self.device_write().sync()
+        observe_io(self.flush_inner().and_then(|()| self.device_write().sync()))
     }
 
     /// Bytes per page.
@@ -161,7 +160,7 @@ impl Pager {
     /// Allocate a zeroed page. Counts one allocation (not a write; the
     /// caller will `overwrite_page` it with real content).
     pub fn allocate(&self) -> Result<PageId> {
-        let id = self.device_write().allocate()?;
+        let id = observe_io(self.device_write().allocate())?;
         self.counters.record_alloc();
         emit(EventKind::PageAlloc, u64::from(id), 0);
         Ok(id)
@@ -170,7 +169,7 @@ impl Pager {
     /// Free a page, dropping any cached copy.
     pub fn free(&self, id: PageId) -> Result<()> {
         self.cache.remove(id);
-        self.device_write().free(id)?;
+        observe_io(self.device_write().free(id))?;
         self.counters.record_free();
         emit(EventKind::PageFree, u64::from(id), 0);
         Ok(())
@@ -228,17 +227,17 @@ impl Pager {
     /// Read page `id` and run `f` on its bytes. Counts 1 read (or a cache
     /// hit). Re-entrant: `f` may call back into the pager.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let img = self.fetch(id)?;
+        let img = observe_io(self.fetch(id))?;
         Ok(f(&img))
     }
 
     /// Read-modify-write page `id`. Counts 1 read + 1 write in uncached
     /// mode; with a cache, the write is deferred to eviction or flush.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let img = self.fetch(id)?;
+        let img = observe_io(self.fetch(id))?;
         let mut buf = img.to_vec();
         let r = f(&mut buf);
-        self.store(id, buf.into())?;
+        observe_io(self.store(id, buf.into()))?;
         Ok(r)
     }
 
@@ -250,7 +249,7 @@ impl Pager {
         let r = f(&mut buf);
         // Validate the id even when the cache would absorb the store.
         self.device_read().check(id)?;
-        self.store(id, buf.into())?;
+        observe_io(self.store(id, buf.into()))?;
         Ok(r)
     }
 
@@ -260,6 +259,10 @@ impl Pager {
     /// concurrent readers so no dirty page is ever resident on the
     /// serving path (see DESIGN.md "Concurrent serving").
     pub fn clean_pool(&self) -> Result<()> {
+        observe_io(self.clean_pool_inner())
+    }
+
+    fn clean_pool_inner(&self) -> Result<()> {
         self.cache.clean_all(|page, data| {
             self.device_write().write(page, data)?;
             self.counters.record_write();
@@ -270,16 +273,32 @@ impl Pager {
 
     /// Write every dirty cached page back to disk (counting the writes) and
     /// empty the pool.
+    ///
+    /// Clean-then-drain, not drain-then-write: a failed writeback midway
+    /// through a drained pool would have already discarded the remaining
+    /// dirty pages. Cleaning first means an I/O error leaves every page
+    /// resident — the failed one still dirty — so the flush is retryable
+    /// with nothing lost; only a fully clean pool is dropped.
     pub fn flush(&self) -> Result<()> {
-        for ev in self.cache.drain() {
-            if ev.dirty {
-                self.device_write().write(ev.page, &ev.data)?;
-                self.counters.record_write();
-                emit(EventKind::PageWrite, u64::from(ev.page), 0);
-            }
-        }
+        observe_io(self.flush_inner())
+    }
+
+    fn flush_inner(&self) -> Result<()> {
+        self.clean_pool_inner()?;
+        self.cache.drain();
         Ok(())
     }
+}
+
+/// Count an I/O failure in the process-global observed-fault totals
+/// ([`segdb_obs::faults`]) on its way to the caller. Applied once per
+/// public verb, so one failed operation counts once even when it spans
+/// several internal device calls.
+fn observe_io<T>(r: Result<T>) -> Result<T> {
+    if let Err(crate::error::PagerError::Io(_)) = &r {
+        segdb_obs::faults::totals().observed_io_error();
+    }
+    r
 }
 
 #[cfg(test)]
@@ -485,6 +504,76 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    /// A failed dirty-victim writeback on the read path must not lose
+    /// the dirty page: the error propagates, the victim stays resident
+    /// (still dirty), and a later fault-free flush persists it.
+    #[test]
+    fn failed_writeback_keeps_the_dirty_page_recoverable() {
+        use crate::fault::{FaultDevice, FaultPlan};
+        let (dev, handle) = FaultDevice::over_memory(8, FaultPlan::none(1));
+        let p = Pager::with_device(Box::new(dev), 1);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.overwrite_page(a, |buf| buf[0] = 7).unwrap(); // dirty, cached
+        handle.arm(FaultPlan {
+            write_error: 1.0,
+            ..FaultPlan::none(1)
+        });
+        // Reading b evicts dirty a; the writeback fails and propagates.
+        let err = p.with_page(b, |_| ()).unwrap_err();
+        assert!(matches!(err, PagerError::Io(_)), "got {err:?}");
+        handle.disarm();
+        // Nothing was lost: a is still resident and dirty, so a flush
+        // writes it and the value survives.
+        p.flush().unwrap();
+        p.with_page(a, |buf| assert_eq!(buf[0], 7)).unwrap();
+        assert_eq!(handle.stats().write_errors, 1);
+    }
+
+    /// A flush interrupted by an I/O error must keep every not-yet-written
+    /// dirty page in the pool for retry instead of draining (and thereby
+    /// discarding) them.
+    #[test]
+    fn interrupted_flush_loses_no_dirty_pages() {
+        use crate::fault::{FaultDevice, FaultPlan};
+        let (dev, handle) = FaultDevice::over_memory(8, FaultPlan::none(2));
+        let p = Pager::with_device(Box::new(dev), 4);
+        let ids: Vec<_> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.overwrite_page(id, |buf| buf[0] = i as u8 + 1).unwrap();
+        }
+        handle.arm(FaultPlan {
+            write_error: 1.0,
+            ..FaultPlan::none(2)
+        });
+        assert!(p.flush().is_err(), "first dirty write fails");
+        handle.disarm();
+        p.flush().unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page(id, |buf| assert_eq!(buf[0], i as u8 + 1))
+                .unwrap();
+        }
+    }
+
+    /// End-to-end power-cut drill at the pager level: what was synced is
+    /// exactly what a recovered pager sees.
+    #[test]
+    fn recovery_after_power_cut_sees_the_synced_state() {
+        use crate::fault::{FaultDevice, FaultPlan};
+        let (dev, handle) = FaultDevice::over_memory(8, FaultPlan::none(4));
+        let p = Pager::with_device(Box::new(dev), 2);
+        let a = p.allocate().unwrap();
+        p.overwrite_page(a, |buf| buf[0] = 1).unwrap();
+        p.set_meta(b"sb1").unwrap();
+        p.sync().unwrap();
+        p.overwrite_page(a, |buf| buf[0] = 2).unwrap(); // never synced
+        handle.arm(FaultPlan::crash_at(4, 0));
+        assert!(p.sync().is_err(), "the cut interrupts the sync");
+        let recovered = Pager::with_device(handle.recover().unwrap(), 0);
+        recovered.with_page(a, |buf| assert_eq!(buf[0], 1)).unwrap();
+        assert_eq!(recovered.get_meta().unwrap(), b"sb1");
     }
 
     #[test]

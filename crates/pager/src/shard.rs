@@ -103,6 +103,11 @@ impl ShardedCache {
     /// to `writeback` **while the shard lock is held** — see the module
     /// docs for why releasing first would let a concurrent reader
     /// observe a stale device image. Returns the victim, if any.
+    ///
+    /// A failed writeback must not lose the dirty victim: the admission
+    /// is rolled back (the fresh image is dropped, the victim restored
+    /// with its dirty bit) and the error propagated — the caller can
+    /// retry, and a later eviction or flush writes the victim again.
     pub fn admit_clean<E>(
         &self,
         page: PageId,
@@ -114,15 +119,14 @@ impl ShardedCache {
         }
         let mut shard = lock(self.shard(page));
         let victim = shard.insert_if_absent(page, data, false);
-        if let Some(ev) = &victim {
-            writeback(ev)?;
-        }
-        Ok(victim)
+        Self::settle(&mut shard, page, victim, writeback)
     }
 
     /// Writer-path admission: insert or replace the image, marked dirty.
     /// Like [`ShardedCache::admit_clean`], the eviction victim is written
-    /// back under the shard lock.
+    /// back under the shard lock, and a failed writeback rolls the
+    /// admission back (the device still holds the page's previous image,
+    /// so the failed store behaves as if it never happened).
     pub fn admit_dirty<E>(
         &self,
         page: PageId,
@@ -134,10 +138,27 @@ impl ShardedCache {
         }
         let mut shard = lock(self.shard(page));
         let victim = shard.upsert(page, data, true);
-        if let Some(ev) = &victim {
-            writeback(ev)?;
+        Self::settle(&mut shard, page, victim, writeback)
+    }
+
+    /// Write the eviction victim back (under the shard lock); on failure
+    /// undo the admission that displaced it and restore the victim so no
+    /// dirty image is ever dropped on an error path. A victim can only
+    /// exist when `page` was freshly inserted, so removing `page` is
+    /// exactly the inverse of that insertion.
+    fn settle<E>(
+        shard: &mut LruCache,
+        page: PageId,
+        victim: Option<Evicted>,
+        writeback: impl FnOnce(&Evicted) -> Result<(), E>,
+    ) -> Result<Option<Evicted>, E> {
+        let Some(ev) = victim else { return Ok(None) };
+        if let Err(e) = writeback(&ev) {
+            shard.remove(page);
+            shard.insert(ev.page, ev.data, ev.dirty);
+            return Err(e);
         }
-        Ok(victim)
+        Ok(Some(ev))
     }
 
     /// Write every dirty resident page back through `writeback` and mark
@@ -281,6 +302,52 @@ mod tests {
         admit_dirty(&c, 0, img(7));
         let err = c.admit_clean(1, img(1), |_: &Evicted| Err::<(), &str>("boom"));
         assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn failed_writeback_restores_the_dirty_victim() {
+        let c = ShardedCache::new(1, 1);
+        admit_dirty(&c, 0, img(7));
+        let err = c.admit_clean(1, img(1), |_: &Evicted| Err::<(), &str>("io"));
+        assert_eq!(err.unwrap_err(), "io");
+        assert!(c.get_cloned(1).is_none(), "failed admission rolled back");
+        let ev = c.remove(0).expect("victim restored");
+        assert!(ev.dirty, "restored victim keeps its dirty bit");
+        assert_eq!(ev.data[0], 7, "restored victim keeps its image");
+    }
+
+    #[test]
+    fn failed_dirty_admission_rolls_back_without_losing_the_victim() {
+        let c = ShardedCache::new(1, 1);
+        admit_dirty(&c, 0, img(7));
+        let err = c.admit_dirty(1, img(9), |_: &Evicted| Err::<(), &str>("io"));
+        assert_eq!(err.unwrap_err(), "io");
+        assert_eq!(c.len(), 1, "capacity not exceeded after rollback");
+        assert!(c.get_cloned(1).is_none(), "the failed store is dropped");
+        let ev = c.remove(0).expect("victim restored");
+        assert!(ev.dirty);
+        assert_eq!(ev.data[0], 7);
+    }
+
+    #[test]
+    fn writeback_retry_succeeds_after_a_restored_victim() {
+        let c = ShardedCache::new(1, 1);
+        admit_dirty(&c, 0, img(7));
+        let mut written = Vec::new();
+        assert!(c
+            .admit_clean(1, img(1), |_: &Evicted| Err::<(), &str>("io"))
+            .is_err());
+        // Retry: this time the writeback works, the victim is evicted.
+        let ev = c
+            .admit_clean(1, img(1), |ev: &Evicted| -> Result<(), &str> {
+                written.push((ev.page, ev.data[0], ev.dirty));
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(written, vec![(0, 7, true)]);
+        assert_eq!(ev.page, 0);
+        assert_eq!(c.get_cloned(1).unwrap()[0], 1);
     }
 
     #[test]

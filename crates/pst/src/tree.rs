@@ -516,7 +516,7 @@ impl Pst {
                 .enumerate()
                 .min_by_key(|(_, s)| (self.side.reach_key(s), s.id))
                 .map(|(i, _)| i)
-                .expect("internal nodes are non-empty");
+                .ok_or(PagerError::Corrupt("pst node with no segments on path"))?;
             let (min_reach, min_id) = (
                 self.side.reach_key(&node.segments[min_idx]),
                 node.segments[min_idx].id,
@@ -730,7 +730,7 @@ impl Pst {
             .iter()
             .map(|s| (self.side.reach_key(s), s.id))
             .min()
-            .expect("nonempty");
+            .ok_or(PagerError::Corrupt("pst empty node in validate"))?;
         for (i, c) in node.children.iter().enumerate() {
             if (self.side.reach_key(&c.router), c.router.id) > min_reach {
                 return Err(PagerError::Corrupt("pst child out-reaches parent minimum"));
@@ -752,12 +752,11 @@ impl Pst {
                 return Err(PagerError::Corrupt("pst child size stale"));
             }
         }
-        Ok(node
-            .segments
+        node.segments
             .iter()
             .max_by_key(|s| (self.side.reach_key(s), s.id))
             .copied()
-            .expect("nonempty"))
+            .ok_or(PagerError::Corrupt("pst empty node in validate"))
     }
 }
 
@@ -812,7 +811,7 @@ fn build_rec_at(
             .iter()
             .max_by_key(|s| (side.reach_key(s), s.id))
             .copied()
-            .expect("nonempty");
+            .ok_or(PagerError::Corrupt("pst build chunk is empty"))?;
         write_node(
             pager,
             page,
@@ -844,7 +843,7 @@ fn build_rec_at(
         .iter()
         .max_by_key(|s| (side.reach_key(s), s.id))
         .copied()
-        .expect("nonempty");
+        .ok_or(PagerError::Corrupt("pst build chunk is empty"))?;
 
     // Split the remainder into ≤ fanout equal base-order chunks, but
     // never more chunks than needed to fill nodes (avoids sprays of

@@ -30,6 +30,9 @@ pub mod code {
     pub const TIMEOUT: &str = "timeout";
     /// The database rejected the operation (bad geometry, storage error…).
     pub const DB: &str = "db";
+    /// The storage layer hit an I/O fault serving this request; the
+    /// database itself is still up and the request may be retried.
+    pub const IO: &str = "io_error";
     /// The server is shutting down and accepts no further work.
     pub const SHUTTING_DOWN: &str = "shutting_down";
 }

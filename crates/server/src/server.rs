@@ -484,6 +484,16 @@ fn answer_json(hits: &[Segment], trace: &QueryTrace) -> Vec<(&'static str, Json)
     ]
 }
 
+/// Pick the wire error code for a database failure. Injected or real
+/// storage I/O faults answer `io_error` — a retryable, worker-surviving
+/// condition — instead of the generic `db`.
+fn db_code(e: &DbError) -> &'static str {
+    match e {
+        DbError::Pager(segdb_pager::PagerError::Io(_)) => code::IO,
+        _ => code::DB,
+    }
+}
+
 fn execute(shared: &Shared, id: Option<u64>, method: Method) -> String {
     match method {
         Method::Query(shape) => match run_shape(&shared.db, shape) {
@@ -493,7 +503,7 @@ fn execute(shared: &Shared, id: Option<u64>, method: Method) -> String {
             }
             Err(e) => {
                 ServerStats::bump(&shared.stats.errors);
-                proto::err_line(id, code::DB, &e.to_string())
+                proto::err_line(id, db_code(&e), &e.to_string())
             }
         },
         Method::Trace(shape) => {
@@ -512,7 +522,7 @@ fn execute(shared: &Shared, id: Option<u64>, method: Method) -> String {
                 }
                 Err(e) => {
                     ServerStats::bump(&shared.stats.errors);
-                    proto::err_line(id, code::DB, &e.to_string())
+                    proto::err_line(id, db_code(&e), &e.to_string())
                 }
             }
         }
@@ -558,6 +568,7 @@ fn stats_json(shared: &Shared) -> Json {
                 ("timeouts", get(&s.timeouts)),
             ]),
         ),
+        ("faults", segdb_obs::faults::totals().snapshot().to_json()),
         ("metrics", db.metrics_json().unwrap_or(Json::Null)),
     ])
 }

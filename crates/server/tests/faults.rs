@@ -1,0 +1,108 @@
+//! Graceful degradation under injected storage faults: a worker that
+//! hits an I/O error must answer a structured `io_error` reply and keep
+//! serving — never die, never take the pool down.
+
+use segdb_core::{IndexKind, SegmentDatabase};
+use segdb_geom::gen::mixed_map;
+use segdb_obs::json::{self, Json};
+use segdb_pager::{FaultDevice, FaultPlan};
+use segdb_server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Json {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).unwrap();
+        assert!(n > 0, "server closed the connection unexpectedly");
+        json::parse(response.trim_end()).expect("response is valid JSON")
+    }
+}
+
+fn error_code(v: &Json) -> &str {
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{v:?}");
+    v.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("error carries a code")
+}
+
+#[test]
+fn worker_answers_io_error_and_survives_storage_faults() {
+    // cache_pages(0): every query goes to the device, so an armed
+    // read-error plan is guaranteed to hit.
+    let (device, handle) = FaultDevice::over_memory(512, FaultPlan::none(42));
+    let db = SegmentDatabase::builder()
+        .cache_pages(0)
+        .index(IndexKind::TwoLevelInterval)
+        .on_device(Box::new(device))
+        .build(mixed_map(150, 11))
+        .unwrap();
+    let server = Server::start(Arc::new(db), ServerConfig::default()).unwrap();
+    let mut c = Client::connect(&server);
+
+    // Healthy baseline.
+    let v = c.send(r#"{"id":1,"method":"query_line","params":{"x":70}}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v:?}");
+
+    // Every read now fails: the worker must degrade, not die.
+    handle.arm(FaultPlan {
+        read_error: 1.0,
+        ..FaultPlan::none(42)
+    });
+    let v = c.send(r#"{"id":2,"method":"query_line","params":{"x":70}}"#);
+    assert_eq!(error_code(&v), "io_error");
+    assert_eq!(v.get("id"), Some(&Json::U64(2)));
+    // Same degradation on the traced path.
+    let v = c.send(r#"{"id":3,"method":"trace","params":{"shape":"query_line","x":70}}"#);
+    assert_eq!(error_code(&v), "io_error");
+
+    // The pool is still alive: ping (inline) and stats (worker) answer,
+    // and stats surfaces the fault counters.
+    let v = c.send(r#"{"method":"ping"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    let v = c.send(r#"{"id":4,"method":"stats"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    let faults = v.get("result").and_then(|r| r.get("faults")).unwrap();
+    let observed = faults
+        .get("observed_io_errors")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(
+        observed >= 1.0,
+        "stats reports observed I/O faults: {faults:?}"
+    );
+    let injected = faults
+        .get("injected_read_errors")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(injected >= 1.0, "stats reports injected faults: {faults:?}");
+
+    // Faults cleared: the same worker pool serves correct answers again.
+    handle.disarm();
+    let v = c.send(r#"{"id":5,"method":"query_line","params":{"x":70}}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v:?}");
+
+    server.shutdown();
+    server.wait();
+}

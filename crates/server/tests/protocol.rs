@@ -123,6 +123,23 @@ fn oversized_line_gets_error_then_close() {
 }
 
 #[test]
+fn truncated_json_line_yields_bad_request() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(&server);
+    // A newline lands mid-object: the reader sees a complete line that
+    // is a truncated JSON document.
+    let v = c.send(r#"{"id":8,"method":"query_line","params":{"x":"#);
+    assert_eq!(error_code(&v), "bad_request");
+    // Binary garbage on the same connection is equally survivable.
+    let v = c.send("\u{1}\u{2}\u{3}{{{");
+    assert_eq!(error_code(&v), "bad_request");
+    let v = c.send(r#"{"method":"ping"}"#);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
 fn mid_request_disconnect_leaves_server_alive() {
     let server = start(ServerConfig::default());
     {

@@ -37,4 +37,19 @@ wait "$SERVE_PID"
 grep -q '"wrong":0' "$SMOKE/BENCH_serve.json" || {
     echo "load driver reported wrong answers"; exit 1; }
 
-echo "OK: build, tests, clippy, fmt, serve smoke all clean."
+echo "==> seeded crash-recovery smoke (torture sweep, replayed twice)"
+TORTURE_ARGS=(torture --seed 7 --scenarios 3 --n 80)
+OUT1=$("$CLI" "${TORTURE_ARGS[@]}")
+OUT2=$("$CLI" "${TORTURE_ARGS[@]}")
+[ "$OUT1" = "$OUT2" ] || {
+    echo "torture sweep is not deterministic:"; echo "$OUT1"; echo "$OUT2"; exit 1; }
+echo "$OUT1" | grep -q '"fault_events":0,' && {
+    echo "torture sweep injected no faults: $OUT1"; exit 1; }
+echo "$OUT1" | grep -q '"injected_total":0,' && {
+    echo "fault counters saw no injections: $OUT1"; exit 1; }
+echo "$OUT1" | grep -q '"observed_io_errors":0}' && {
+    echo "pager observed no injected fault: $OUT1"; exit 1; }
+echo "$OUT1" | grep -q '"recovery_queries_verified":0,' && {
+    echo "no recovery query was verified: $OUT1"; exit 1; }
+
+echo "OK: build, tests, clippy, fmt, serve + crash-recovery smoke all clean."

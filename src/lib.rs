@@ -41,6 +41,7 @@ pub use segdb_bptree as bptree;
 pub use segdb_core as core;
 pub use segdb_geom as geom;
 pub use segdb_itree as itree;
+pub use segdb_obs as obs;
 pub use segdb_pager as pager;
 pub use segdb_pst as pst;
 
