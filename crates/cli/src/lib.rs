@@ -10,9 +10,11 @@
 //! segdb-cli query <db> segment <x1> <y1> <x2> <y2>       # VS query (aligned endpoints)
 //! segdb-cli query <db> ray-up <x> <y> | ray-down <x> <y>
 //! segdb-cli query <db> free <x1> <y1> <x2> <y2>          # any-direction (§5 extension)
+//! segdb-cli query --remote <host:port> <shape> <coords…>  # via the resilient client
 //! segdb-cli insert <db> <id> <x1> <y1> <x2> <y2>
 //! segdb-cli remove <db> <id> <x1> <y1> <x2> <y2>
 //! segdb-cli stats <db> [csv] [--sample <n>] [--seed <s>] [--human]
+//! segdb-cli stats --remote <host:port>                   # a running server's stats
 //! segdb-cli trace <db> <shape> <coords…> [--human]
 //! segdb-cli serve <db> [serve options]                   # TCP query server
 //! segdb-cli torture [torture options]                    # seeded crash-recovery sweep
@@ -32,6 +34,14 @@
 //!   --queue-depth <n>       bounded job queue; beyond it requests get
 //!                           an `overloaded` error (default 64)
 //!   --timeout-ms <n>        per-request deadline (default 5000)
+//!   --write-timeout-ms <n>  per-reply write deadline; a stalled peer
+//!                           loses the connection (default 2000)
+//!   --idle-timeout-ms <n>   reap connections whose next request line
+//!                           does not arrive in time (default 30000)
+//!   --max-connections <n>   admission gate; one beyond it is answered
+//!                           `overloaded` and closed (default 256)
+//!   --drain-ms <n>          bound on waiting for live connections to
+//!                           finish after shutdown (default 5000)
 //!
 //! torture options:
 //!   --seed <s>              first master seed (default 1)
@@ -313,6 +323,55 @@ fn render_trace_human(hits: &[Segment], trace: &QueryTrace, summary: &TraceSumma
     out
 }
 
+/// A resilient client with CLI-friendly defaults for one-shot commands.
+fn remote_client(addr: &str) -> segdb_server::Client {
+    segdb_server::Client::new(segdb_server::ClientConfig {
+        addr: addr.to_string(),
+        ..segdb_server::ClientConfig::default()
+    })
+}
+
+/// `query --remote <addr> <shape> <coords…>`: run one query against a
+/// live server through the resilient (reconnect-and-retry) client.
+fn run_remote_query(args: &[String]) -> Result<String, CliError> {
+    let addr = want(args, 2, "address")?;
+    let shape = want(args, 3, "query shape")?;
+    let (method, params): (&str, Vec<(&str, i64)>) = match shape {
+        "line" => ("query_line", vec![("x", num(args, 4, "x")?)]),
+        "ray-up" => (
+            "query_ray_up",
+            vec![("x", num(args, 4, "x")?), ("y", num(args, 5, "y")?)],
+        ),
+        "ray-down" => (
+            "query_ray_down",
+            vec![("x", num(args, 4, "x")?), ("y", num(args, 5, "y")?)],
+        ),
+        "segment" => (
+            "query_segment",
+            vec![
+                ("x1", num(args, 4, "x1")?),
+                ("y1", num(args, 5, "y1")?),
+                ("x2", num(args, 6, "x2")?),
+                ("y2", num(args, 7, "y2")?),
+            ],
+        ),
+        other => {
+            return usage(format!(
+                "unknown remote query shape '{other}' (line|ray-up|ray-down|segment)"
+            ))
+        }
+    };
+    let ids = remote_client(addr)
+        .query_ids(method, &params)
+        .map_err(|e| CliError::Io(format!("remote query failed: {e}")))?;
+    let mut out = String::new();
+    for id in &ids {
+        let _ = writeln!(out, "{id}");
+    }
+    let _ = writeln!(out, "# {} hits (remote ids)", ids.len());
+    Ok(out)
+}
+
 /// Run one CLI invocation (`args` excludes the program name); returns the
 /// text that would be printed.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -389,6 +448,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             ))
         }
         "query" => {
+            if want(args, 1, "db path")? == "--remote" {
+                return run_remote_query(args);
+            }
             let db = SegmentDatabase::open(want(args, 1, "db path")?, 0)?;
             let shape = want(args, 2, "query shape")?;
             let (hits, trace) = match shape {
@@ -413,6 +475,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "stats" => {
+            if want(args, 1, "db path")? == "--remote" {
+                let addr = want(args, 2, "address")?;
+                let doc = remote_client(addr)
+                    .remote_stats()
+                    .map_err(|e| CliError::Io(format!("remote stats failed: {e}")))?;
+                return Ok(format!("{}\n", doc.render()));
+            }
             let db_path = want(args, 1, "db path")?;
             let mut sample = 64usize;
             let mut seed = 1u64;
@@ -538,6 +607,24 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "--timeout-ms" => {
                         cfg.request_timeout = std::time::Duration::from_millis(
                             num(args, i + 1, "timeout")?.max(0) as u64,
+                        );
+                    }
+                    "--write-timeout-ms" => {
+                        cfg.write_timeout = std::time::Duration::from_millis(
+                            num(args, i + 1, "write timeout")?.max(1) as u64,
+                        );
+                    }
+                    "--idle-timeout-ms" => {
+                        cfg.idle_timeout = std::time::Duration::from_millis(
+                            num(args, i + 1, "idle timeout")?.max(1) as u64,
+                        );
+                    }
+                    "--max-connections" => {
+                        cfg.max_connections = num(args, i + 1, "connection limit")?.max(1) as usize;
+                    }
+                    "--drain-ms" => {
+                        cfg.drain_timeout = std::time::Duration::from_millis(
+                            num(args, i + 1, "drain bound")?.max(0) as u64,
                         );
                     }
                     other => return usage(format!("unknown serve option '{other}'")),

@@ -321,3 +321,90 @@ fn stats_and_trace_emit_valid_json() {
     std::fs::remove_file(&csv_path).ok();
     std::fs::remove_file(&db_path).ok();
 }
+
+#[test]
+fn remote_query_and_stats_round_trip() {
+    let csv_path = tmp("remote.csv");
+    let db_path = tmp("remote.db");
+    let csv = run(&a(&["gen", "mixed", "300", "33"])).unwrap();
+    std::fs::write(&csv_path, &csv).unwrap();
+    run(&a(&["build", &db_path, &csv_path, "--page-size", "1024"])).unwrap();
+    let set = parse_csv(&csv).unwrap();
+
+    let mut child = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_segdb-cli"))
+            .args(["serve", &db_path, "--addr", "127.0.0.1:0", "--workers", "2"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap(),
+    );
+    let mut child_out = BufReader::new(child.0.stdout.take().unwrap());
+    let mut line = String::new();
+    child_out.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+        .to_string();
+
+    // `query --remote` goes through the resilient client; a line
+    // through a known segment's left endpoint must report its id.
+    let s = set[0];
+    let out = run(&a(&[
+        "query",
+        "--remote",
+        &addr,
+        "line",
+        &s.a.x.to_string(),
+    ]))
+    .unwrap();
+    assert!(
+        out.lines().any(|l| l == s.id.to_string()),
+        "remote line query missed id {}: {out}",
+        s.id
+    );
+    assert!(out.contains("hits (remote ids)"), "{out}");
+
+    // The bounded-segment shape works remotely too.
+    let out = run(&a(&[
+        "query",
+        "--remote",
+        &addr,
+        "segment",
+        &s.a.x.to_string(),
+        &(s.a.y - 1).to_string(),
+        &s.a.x.to_string(),
+        &(s.a.y + 1).to_string(),
+    ]))
+    .unwrap();
+    assert!(out.lines().any(|l| l == s.id.to_string()), "{out}");
+
+    // `stats --remote` returns the server's stats document with the
+    // hardening counters and the net-fault ledger.
+    let out = run(&a(&["stats", "--remote", &addr])).unwrap();
+    let doc = segdb_obs::json::parse(out.trim_end()).expect("remote stats is valid JSON");
+    let server = doc.get("server").expect("stats carry a server block");
+    assert!(server.get("max_connections").is_some(), "{out}");
+    assert!(server.get("write_drops").is_some(), "{out}");
+    let net = doc.get("net").expect("stats carry a net block");
+    assert!(net.get("injected_disruptive").is_some(), "{out}");
+    assert!(net.get("observed_faults").is_some(), "{out}");
+
+    // An unknown shape is a usage error, not a wire call.
+    assert!(matches!(
+        run(&a(&["query", "--remote", &addr, "diagonal", "3"])),
+        Err(CliError::Usage(_))
+    ));
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer.write_all(b"{\"method\":\"shutdown\"}\n").unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    let status = child.0.wait().unwrap();
+    assert!(status.success(), "{status:?}");
+
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&db_path).ok();
+}

@@ -79,6 +79,17 @@ impl fmt::Display for DbError {
 
 impl std::error::Error for DbError {}
 
+impl DbError {
+    /// True for failures a retry may cure: storage-level I/O errors
+    /// (including injected device faults), which pass and the query
+    /// succeeds once the fault clears. Geometry errors, unsupported
+    /// operations and misaligned queries are deterministic rejections —
+    /// retrying them re-earns the same answer.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DbError::Pager(PagerError::Io(_)))
+    }
+}
+
 impl From<GeomError> for DbError {
     fn from(e: GeomError) -> Self {
         DbError::Geom(e)

@@ -21,6 +21,11 @@
 //! * [`faults`] — process-global injected/observed fault counters fed by
 //!   the fault-injection device and the pager's error propagation (see
 //!   DESIGN.md §9 "Failure model & recovery").
+//! * [`net`] — the wire-level sibling of [`faults`]: injected/observed
+//!   network-fault counters plus client retry/reconnect and server
+//!   write-drop/reap/shed tallies, fed by `segdb-server`'s chaos layer,
+//!   resilient client and connection hardening (see DESIGN.md §10
+//!   "Network failure model").
 //! * [`cost`] — the paper-bound cost model: given `(N, B)` and the
 //!   index kind it computes the analytic I/O bound shape, fits the
 //!   constant from observed queries, and flags queries whose measured
@@ -33,6 +38,7 @@ pub mod cost;
 pub mod faults;
 pub mod json;
 pub mod metrics;
+pub mod net;
 pub mod trace;
 
 pub use cost::{CostKind, CostModel, CostVerdict, Fitter};

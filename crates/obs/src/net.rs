@@ -1,0 +1,297 @@
+//! Process-global network-fault accounting.
+//!
+//! The wire-level sibling of [`crate::faults`]: three families of
+//! monotone atomic counters, all surfaced by the server's `stats`
+//! method under `"net"`.
+//!
+//! * **injected** — bumped by the chaos layer
+//!   (`segdb_server::chaos`) at the moment it manufactures a wire
+//!   fault: accept/connect resets, send/recv errors, truncated sends,
+//!   mid-frame disconnects, plus the benign perturbations (injected
+//!   latency, slow-loris trickle reads) that disturb timing without
+//!   failing anything.
+//! * **observed** — bumped by the resilient client
+//!   (`segdb_server::client`) whenever an attempt dies on a wire-level
+//!   disruption (connect failure, reset, EOF mid-response, deadline).
+//! * **handled** — bumped by the serving and client layers when a
+//!   resilience mechanism fires: client retries and reconnects, server
+//!   write-deadline drops, idle/slow-loris reaps, admission-gate sheds.
+//!
+//! A healthy run shows `observed_faults` equal to the *disruptive*
+//! injected total (latency and trickle are survivable in place, so they
+//! are excluded): every manufactured disruption was seen and survived,
+//! none was double-counted. The counters are process-wide, so tests
+//! assert monotone *deltas*, never absolute values.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The process-wide network-fault counters. Obtain via [`totals`].
+#[derive(Debug, Default)]
+pub struct NetTotals {
+    injected_accept_resets: AtomicU64,
+    injected_connect_resets: AtomicU64,
+    injected_send_errors: AtomicU64,
+    injected_truncated_sends: AtomicU64,
+    injected_recv_errors: AtomicU64,
+    injected_disconnects: AtomicU64,
+    injected_latencies: AtomicU64,
+    injected_trickles: AtomicU64,
+    observed_faults: AtomicU64,
+    client_retries: AtomicU64,
+    client_reconnects: AtomicU64,
+    server_write_drops: AtomicU64,
+    server_reaped: AtomicU64,
+    server_shed: AtomicU64,
+}
+
+/// One snapshot of [`NetTotals`] (fields are read individually; exact
+/// cross-field consistency is not needed for monitoring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetSnapshot {
+    /// Accepted connections dropped on the floor by the chaos listener.
+    pub injected_accept_resets: u64,
+    /// Client connect attempts aborted before dialing.
+    pub injected_connect_resets: u64,
+    /// Injected errors on a request send (nothing reached the wire).
+    pub injected_send_errors: u64,
+    /// Truncated sends: only a prefix of the frame reached the wire.
+    pub injected_truncated_sends: u64,
+    /// Injected errors on a response read.
+    pub injected_recv_errors: u64,
+    /// Mid-frame disconnects (socket killed while awaiting a response).
+    pub injected_disconnects: u64,
+    /// Injected latency pauses (benign: survivable in place).
+    pub injected_latencies: u64,
+    /// Slow-loris trickle reads (benign: survivable in place).
+    pub injected_trickles: u64,
+    /// Wire-level disruptions a resilient client saw and survived.
+    pub observed_faults: u64,
+    /// Client request retries (same or new connection).
+    pub client_retries: u64,
+    /// Client reconnects after a dead connection.
+    pub client_reconnects: u64,
+    /// Server connections dropped because a reply write missed its
+    /// deadline (stalled peer).
+    pub server_write_drops: u64,
+    /// Server connections reaped for idling or trickling a request line
+    /// past the idle deadline.
+    pub server_reaped: u64,
+    /// Connections refused at the admission gate with `overloaded`.
+    pub server_shed: u64,
+}
+
+impl NetSnapshot {
+    /// Every injected wire fault, benign perturbations included.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_disruptive() + self.injected_latencies + self.injected_trickles
+    }
+
+    /// Injected faults that kill the attempt they land on — the family
+    /// [`NetSnapshot::observed_faults`] must track one-for-one.
+    pub fn injected_disruptive(&self) -> u64 {
+        self.injected_accept_resets
+            + self.injected_connect_resets
+            + self.injected_send_errors
+            + self.injected_truncated_sends
+            + self.injected_recv_errors
+            + self.injected_disconnects
+    }
+
+    /// Render as a JSON object (key order is stable).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "injected_accept_resets",
+                Json::U64(self.injected_accept_resets),
+            ),
+            (
+                "injected_connect_resets",
+                Json::U64(self.injected_connect_resets),
+            ),
+            ("injected_send_errors", Json::U64(self.injected_send_errors)),
+            (
+                "injected_truncated_sends",
+                Json::U64(self.injected_truncated_sends),
+            ),
+            ("injected_recv_errors", Json::U64(self.injected_recv_errors)),
+            ("injected_disconnects", Json::U64(self.injected_disconnects)),
+            ("injected_latencies", Json::U64(self.injected_latencies)),
+            ("injected_trickles", Json::U64(self.injected_trickles)),
+            ("injected_disruptive", Json::U64(self.injected_disruptive())),
+            ("injected_total", Json::U64(self.injected_total())),
+            ("observed_faults", Json::U64(self.observed_faults)),
+            ("client_retries", Json::U64(self.client_retries)),
+            ("client_reconnects", Json::U64(self.client_reconnects)),
+            ("server_write_drops", Json::U64(self.server_write_drops)),
+            ("server_reaped", Json::U64(self.server_reaped)),
+            ("server_shed", Json::U64(self.server_shed)),
+        ])
+    }
+}
+
+static TOTALS: NetTotals = NetTotals {
+    injected_accept_resets: AtomicU64::new(0),
+    injected_connect_resets: AtomicU64::new(0),
+    injected_send_errors: AtomicU64::new(0),
+    injected_truncated_sends: AtomicU64::new(0),
+    injected_recv_errors: AtomicU64::new(0),
+    injected_disconnects: AtomicU64::new(0),
+    injected_latencies: AtomicU64::new(0),
+    injected_trickles: AtomicU64::new(0),
+    observed_faults: AtomicU64::new(0),
+    client_retries: AtomicU64::new(0),
+    client_reconnects: AtomicU64::new(0),
+    server_write_drops: AtomicU64::new(0),
+    server_reaped: AtomicU64::new(0),
+    server_shed: AtomicU64::new(0),
+};
+
+/// The process-wide singleton.
+pub fn totals() -> &'static NetTotals {
+    &TOTALS
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+impl NetTotals {
+    /// Record one injected accept-time reset.
+    pub fn injected_accept_reset(&self) {
+        bump(&self.injected_accept_resets);
+    }
+
+    /// Record one injected connect-time reset.
+    pub fn injected_connect_reset(&self) {
+        bump(&self.injected_connect_resets);
+    }
+
+    /// Record one injected send error.
+    pub fn injected_send_error(&self) {
+        bump(&self.injected_send_errors);
+    }
+
+    /// Record one injected truncated send.
+    pub fn injected_truncated_send(&self) {
+        bump(&self.injected_truncated_sends);
+    }
+
+    /// Record one injected receive error.
+    pub fn injected_recv_error(&self) {
+        bump(&self.injected_recv_errors);
+    }
+
+    /// Record one injected mid-frame disconnect.
+    pub fn injected_disconnect(&self) {
+        bump(&self.injected_disconnects);
+    }
+
+    /// Record one injected latency pause.
+    pub fn injected_latency(&self) {
+        bump(&self.injected_latencies);
+    }
+
+    /// Record one injected trickle read.
+    pub fn injected_trickle(&self) {
+        bump(&self.injected_trickles);
+    }
+
+    /// Record one wire disruption a client saw and survived.
+    pub fn observed_fault(&self) {
+        bump(&self.observed_faults);
+    }
+
+    /// Record one client retry.
+    pub fn client_retry(&self) {
+        bump(&self.client_retries);
+    }
+
+    /// Record one client reconnect.
+    pub fn client_reconnect(&self) {
+        bump(&self.client_reconnects);
+    }
+
+    /// Record one connection dropped on a missed write deadline.
+    pub fn server_write_drop(&self) {
+        bump(&self.server_write_drops);
+    }
+
+    /// Record one idle / slow-loris connection reap.
+    pub fn server_reap(&self) {
+        bump(&self.server_reaped);
+    }
+
+    /// Record one connection shed at the admission gate.
+    pub fn server_shed(&self) {
+        bump(&self.server_shed);
+    }
+
+    /// Read every counter.
+    pub fn snapshot(&self) -> NetSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        NetSnapshot {
+            injected_accept_resets: get(&self.injected_accept_resets),
+            injected_connect_resets: get(&self.injected_connect_resets),
+            injected_send_errors: get(&self.injected_send_errors),
+            injected_truncated_sends: get(&self.injected_truncated_sends),
+            injected_recv_errors: get(&self.injected_recv_errors),
+            injected_disconnects: get(&self.injected_disconnects),
+            injected_latencies: get(&self.injected_latencies),
+            injected_trickles: get(&self.injected_trickles),
+            observed_faults: get(&self.observed_faults),
+            client_retries: get(&self.client_retries),
+            client_reconnects: get(&self.client_reconnects),
+            server_write_drops: get(&self.server_write_drops),
+            server_reaped: get(&self.server_reaped),
+            server_shed: get(&self.server_shed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let before = totals().snapshot();
+        totals().injected_accept_reset();
+        totals().injected_truncated_send();
+        totals().injected_latency();
+        totals().observed_fault();
+        totals().client_retry();
+        totals().server_shed();
+        let after = totals().snapshot();
+        assert_eq!(
+            after.injected_accept_resets,
+            before.injected_accept_resets + 1
+        );
+        assert_eq!(
+            after.injected_truncated_sends,
+            before.injected_truncated_sends + 1
+        );
+        assert_eq!(after.injected_latencies, before.injected_latencies + 1);
+        assert_eq!(after.observed_faults, before.observed_faults + 1);
+        assert_eq!(after.client_retries, before.client_retries + 1);
+        assert_eq!(after.server_shed, before.server_shed + 1);
+        assert!(after.injected_disruptive() >= before.injected_disruptive() + 2);
+        assert!(after.injected_total() >= before.injected_total() + 3);
+        let json = after.to_json();
+        assert!(json.get("injected_disruptive").is_some());
+        assert!(json.get("server_write_drops").is_some());
+    }
+
+    #[test]
+    fn disruptive_total_excludes_benign_perturbations() {
+        let s = NetSnapshot {
+            injected_accept_resets: 1,
+            injected_disconnects: 2,
+            injected_latencies: 7,
+            injected_trickles: 5,
+            ..NetSnapshot::default()
+        };
+        assert_eq!(s.injected_disruptive(), 3);
+        assert_eq!(s.injected_total(), 15);
+    }
+}

@@ -3,8 +3,15 @@
 //! ```text
 //! segdb-load --addr 127.0.0.1:7878 --connections 4 --requests 400 \
 //!            --family mixed --n 2000 --seed 42 [--no-verify] [--shutdown] \
+//!            [--chaos SEED] [--max-retries K] [--attempt-timeout-ms MS] \
 //!            [--out PATH]
 //! ```
+//!
+//! `--chaos SEED` arms the standard wire-fault torture mix on every
+//! connection (seeded `SEED + connection`); the report's `net` block
+//! then carries the replay-stable `trace_digest` and the
+//! injected-vs-observed balance. `--max-retries` and
+//! `--attempt-timeout-ms` tune the resilient client.
 //!
 //! Prints the run report as JSON on stdout and writes the same document
 //! to `BENCH_serve.json` (in `$SEGDB_BENCH_DIR` or the working
@@ -12,13 +19,15 @@
 //! answer was wrong, 2 on usage or I/O errors.
 
 use segdb_obs::Json;
+use segdb_server::chaos::NetFaultPlan;
 use segdb_server::load::{self, LoadConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: segdb-load [--addr HOST:PORT] [--connections K] [--requests N] \
 [--family fan|grid|strips|temporal|nested|mixed] [--n N] [--seed S] [--no-verify] \
-[--shutdown] [--out PATH]";
+[--shutdown] [--chaos SEED] [--max-retries K] [--attempt-timeout-ms MS] [--out PATH]";
 
 fn fail(code: &str, message: &str) -> ExitCode {
     eprintln!(
@@ -61,6 +70,13 @@ fn main() -> ExitCode {
             "--requests" => value.parse().map(|v| cfg.requests = v),
             "--n" => value.parse().map(|v| cfg.n = v),
             "--seed" => value.parse().map(|v| cfg.seed = v),
+            "--chaos" => value
+                .parse()
+                .map(|s| cfg.chaos_plan = Some(NetFaultPlan::chaotic(s))),
+            "--max-retries" => value.parse().map(|v| cfg.max_retries = v),
+            "--attempt-timeout-ms" => value
+                .parse()
+                .map(|ms: u64| cfg.attempt_timeout = Duration::from_millis(ms.max(1))),
             "--family" => match load::parse_family(&value) {
                 Some(f) => {
                     cfg.family = f;

@@ -1,0 +1,529 @@
+//! The resilient client: reconnect-and-retry request execution with
+//! per-attempt deadlines and bounded, seeded-jitter exponential backoff.
+//!
+//! Every server method this repo exposes over the wire is **idempotent**
+//! — queries, traces, stats and pings mutate nothing — so a request
+//! whose outcome is unknown (the connection died before a response
+//! arrived) is always safe to replay on a fresh connection. That makes
+//! the retry policy simple and total:
+//!
+//! * **retryable** — wire-level disruptions (connect failure, reset,
+//!   EOF mid-response, missed attempt deadline) and the server's
+//!   explicit back-pressure codes `overloaded` and `timeout`. The
+//!   budget is `1 + max_retries` attempts with exponential backoff
+//!   between them, jittered from a seeded [`segdb_rng::SmallRng`] so
+//!   replays are deterministic and synchronized clients don't stampede.
+//! * **terminal** — answers that retrying cannot improve: protocol
+//!   errors (`bad_request`, `unknown_method`, `oversized`), database
+//!   rejections (`db`), storage faults (`io_error`), a draining server
+//!   (`shutting_down`), and malformed response lines.
+//!
+//! A connection that fails an attempt is always discarded before the
+//! retry — a late response from a timed-out attempt must never be
+//! matched to a later request. Wire disruptions and resilience actions
+//! are tallied in [`ClientStats`] and the process-wide
+//! [`segdb_obs::net`] counters the server's `stats` method surfaces.
+
+use crate::chaos::{ChaosStream, NetFaultHandle};
+use crate::proto::code;
+use segdb_obs::json::{self, Json};
+use segdb_rng::SmallRng;
+use std::time::{Duration, Instant};
+
+/// Tunables for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Deadline per attempt, covering connect + send + receive.
+    pub attempt_timeout: Duration,
+    /// Retries after the first attempt; 0 means fail fast.
+    pub max_retries: u32,
+    /// First backoff pause; doubles per retry.
+    pub backoff_base: Duration,
+    /// Upper bound on one backoff pause.
+    pub backoff_cap: Duration,
+    /// Seed of the jitter RNG (deterministic per seed).
+    pub jitter_seed: u64,
+    /// Longest accepted response line in bytes.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            attempt_timeout: Duration::from_secs(2),
+            max_retries: 16,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(200),
+            jitter_seed: 0x5EED_CAFE,
+            max_line_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a call gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// The server answered with an error retrying cannot improve, or
+    /// the response line was not a protocol response.
+    Terminal {
+        /// The wire error code (or `malformed` for unparseable lines).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The retry budget ran out on retryable outcomes.
+    Exhausted {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The last retryable outcome, e.g. `overloaded` or an I/O
+        /// error description.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Terminal { code, message } => write!(f, "terminal [{code}]: {message}"),
+            CallError::Exhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {attempts} attempts: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl CallError {
+    /// The wire error code of the final outcome (`io` for wire-level
+    /// exhaustion without a server verdict).
+    pub fn code(&self) -> &str {
+        match self {
+            CallError::Terminal { code, .. } => code,
+            CallError::Exhausted { last, .. } => {
+                if last.starts_with(code::OVERLOADED) {
+                    code::OVERLOADED
+                } else if last.starts_with(code::TIMEOUT) {
+                    code::TIMEOUT
+                } else {
+                    "io"
+                }
+            }
+        }
+    }
+}
+
+/// Resilience tallies of one [`Client`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Attempts made (first tries + retries).
+    pub attempts: u64,
+    /// Retries after a retryable outcome.
+    pub retries: u64,
+    /// Fresh connections dialed after a dead one.
+    pub reconnects: u64,
+    /// Wire-level disruptions observed (and survived).
+    pub observed_faults: u64,
+}
+
+/// One outcome of a single attempt.
+enum Attempt {
+    /// A parsed response object (ok or error — classified by caller).
+    Response(Json),
+    /// The connection died; description for diagnostics.
+    Wire(String),
+}
+
+/// A reconnecting, retrying NDJSON client over one server address.
+pub struct Client {
+    cfg: ClientConfig,
+    rng: SmallRng,
+    conn: Option<ChaosStream>,
+    chaos: Option<NetFaultHandle>,
+    stats: ClientStats,
+    ever_connected: bool,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.cfg.addr)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Client {
+    /// A client for `cfg.addr`; connects lazily on the first call.
+    pub fn new(cfg: ClientConfig) -> Client {
+        Client {
+            rng: SmallRng::seed_from_u64(cfg.jitter_seed),
+            cfg,
+            conn: None,
+            chaos: None,
+            stats: ClientStats::default(),
+            ever_connected: false,
+        }
+    }
+
+    /// A client whose connections pass through a chaos schedule — the
+    /// torture-harness configuration.
+    pub fn with_chaos(cfg: ClientConfig, chaos: NetFaultHandle) -> Client {
+        Client {
+            chaos: Some(chaos),
+            ..Client::new(cfg)
+        }
+    }
+
+    /// Resilience tallies so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Drop the current connection, if any (the next call redials).
+    pub fn disconnect(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            conn.kill();
+        }
+    }
+
+    /// Execute one already-rendered request line and return the parsed
+    /// `result` object of a successful response.
+    ///
+    /// Retryable outcomes (wire disruptions, `overloaded`, `timeout`)
+    /// are retried up to the budget with jittered exponential backoff;
+    /// terminal outcomes return immediately. The request must be
+    /// idempotent — every query method is.
+    pub fn call_line(&mut self, line: &str) -> Result<Json, CallError> {
+        let budget = 1 + self.cfg.max_retries;
+        let mut last = String::new();
+        for attempt in 0..budget {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                segdb_obs::net::totals().client_retry();
+                self.backoff(attempt - 1);
+            }
+            self.stats.attempts += 1;
+            match self.attempt(line) {
+                Ok(Attempt::Response(v)) => {
+                    if v.get("ok") == Some(&Json::Bool(true)) {
+                        return Ok(v.get("result").cloned().unwrap_or(Json::Null));
+                    }
+                    let (ecode, message) = error_fields(&v);
+                    match ecode.as_str() {
+                        // Back-pressure: the server is alive and asks
+                        // us to come back later.
+                        code::OVERLOADED | code::TIMEOUT => {
+                            last = format!("{ecode}: {message}");
+                        }
+                        _ => {
+                            return Err(CallError::Terminal {
+                                code: ecode,
+                                message,
+                            })
+                        }
+                    }
+                }
+                Ok(Attempt::Wire(what)) => {
+                    // The connection is unusable (or of unknown state);
+                    // never reuse it for the retry.
+                    self.disconnect();
+                    self.stats.observed_faults += 1;
+                    segdb_obs::net::totals().observed_fault();
+                    last = what;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(CallError::Exhausted {
+            attempts: budget,
+            last,
+        })
+    }
+
+    /// One attempt: ensure a connection, send the frame, read one line.
+    /// `Ok(Attempt::Wire(_))` means the attempt died at the wire level
+    /// (retryable); `Err` is terminal.
+    fn attempt(&mut self, line: &str) -> Result<Attempt, CallError> {
+        let deadline = Instant::now() + self.cfg.attempt_timeout;
+        if self.conn.is_none() {
+            match ChaosStream::connect(&self.cfg.addr, self.cfg.attempt_timeout, self.chaos.clone())
+            {
+                Ok(conn) => {
+                    if self.ever_connected {
+                        self.stats.reconnects += 1;
+                        segdb_obs::net::totals().client_reconnect();
+                    }
+                    self.ever_connected = true;
+                    self.conn = Some(conn);
+                }
+                Err(e) => return Ok(Attempt::Wire(format!("connect: {e}"))),
+            }
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        if let Err(e) = conn.send_frame(line) {
+            return Ok(Attempt::Wire(format!("send: {e}")));
+        }
+        match conn.recv_line(deadline, self.cfg.max_line_bytes) {
+            Ok(response) => match json::parse(response.trim_end()) {
+                Ok(v) if matches!(v, Json::Obj(_)) => Ok(Attempt::Response(v)),
+                _ => Err(CallError::Terminal {
+                    code: "malformed".to_string(),
+                    message: format!(
+                        "response is not a JSON object: {}",
+                        &response[..response.len().min(80)]
+                    ),
+                }),
+            },
+            Err(e) => Ok(Attempt::Wire(format!("recv: {e}"))),
+        }
+    }
+
+    /// Sleep `min(cap, base·2^k)`, jittered to 50–100 % of that bound.
+    fn backoff(&mut self, k: u32) {
+        let base = self.cfg.backoff_base.as_micros() as u64;
+        let cap = self.cfg.backoff_cap.as_micros() as u64;
+        let bound = base.saturating_mul(1u64 << k.min(20)).min(cap);
+        if bound == 0 {
+            return;
+        }
+        let us = bound / 2 + self.rng.gen_range(0..=bound / 2);
+        std::thread::sleep(Duration::from_micros(us));
+    }
+
+    /// Convenience: `ping` (answers `true` on a pong).
+    pub fn ping(&mut self) -> Result<bool, CallError> {
+        let r = self.call_line(r#"{"method":"ping"}"#)?;
+        Ok(r == Json::Str("pong".to_string()))
+    }
+
+    /// Convenience: the server's `stats` document.
+    pub fn remote_stats(&mut self) -> Result<Json, CallError> {
+        self.call_line(r#"{"method":"stats"}"#)
+    }
+
+    /// Convenience: run one query shape and return the sorted hit ids.
+    /// `method` is one of the wire query methods; `params` the integer
+    /// coordinates it needs.
+    pub fn query_ids(
+        &mut self,
+        method: &str,
+        params: &[(&str, i64)],
+    ) -> Result<Vec<u64>, CallError> {
+        let params = Json::Obj(
+            params
+                .iter()
+                .map(|(k, v)| (k.to_string(), Json::I64(*v)))
+                .collect(),
+        );
+        let line = Json::obj([
+            ("method", Json::Str(method.to_string())),
+            ("params", params),
+        ])
+        .render();
+        let result = self.call_line(&line)?;
+        let ids = result
+            .get("ids")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|x| match *x {
+                        Json::U64(u) => Some(u),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .ok_or_else(|| CallError::Terminal {
+                code: "malformed".to_string(),
+                message: "response result carries no `ids` array".to_string(),
+            })?;
+        Ok(ids)
+    }
+}
+
+fn error_fields(v: &Json) -> (String, String) {
+    let err = v.get("error");
+    let code = err
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or("malformed")
+        .to_string();
+    let message = err
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    (code, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// A scripted one-shot server: each accepted connection pops the
+    /// next script entry; `Some(line)` answers every request with that
+    /// line, `None` closes the connection after reading one line.
+    fn scripted_server(script: Vec<Option<String>>) -> (String, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = thread::spawn(move || {
+            for entry in script {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => match &entry {
+                            Some(response) => {
+                                writer.write_all(response.as_bytes()).unwrap();
+                                writer.write_all(b"\n").unwrap();
+                            }
+                            None => break, // close mid-conversation
+                        },
+                    }
+                }
+            }
+        });
+        (addr, h)
+    }
+
+    fn quick_cfg(addr: &str) -> ClientConfig {
+        ClientConfig {
+            addr: addr.to_string(),
+            attempt_timeout: Duration::from_secs(2),
+            max_retries: 4,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(2),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn retries_reconnect_after_a_dropped_connection() {
+        let ok = r#"{"id":null,"ok":true,"result":"pong"}"#.to_string();
+        let (addr, h) = scripted_server(vec![None, Some(ok)]);
+        let mut client = Client::new(quick_cfg(&addr));
+        assert!(client.ping().unwrap());
+        let s = client.stats();
+        assert_eq!(s.retries, 1, "{s:?}");
+        assert_eq!(s.reconnects, 1, "{s:?}");
+        assert_eq!(s.observed_faults, 1, "{s:?}");
+        drop(client);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn overloaded_is_retried_until_the_budget_runs_out() {
+        let busy =
+            r#"{"id":null,"ok":false,"error":{"code":"overloaded","message":"full"}}"#.to_string();
+        let (addr, h) = scripted_server(vec![Some(busy)]);
+        let mut client = Client::new(quick_cfg(&addr));
+        let err = client.ping().unwrap_err();
+        let CallError::Exhausted { attempts, last } = &err else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(*attempts, 5);
+        assert!(last.starts_with("overloaded"), "{last}");
+        assert_eq!(err.code(), code::OVERLOADED);
+        assert_eq!(client.stats().retries, 4);
+        client.disconnect();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn terminal_errors_fail_fast() {
+        let bad =
+            r#"{"id":null,"ok":false,"error":{"code":"bad_request","message":"nope"}}"#.to_string();
+        let io_err =
+            r#"{"id":null,"ok":false,"error":{"code":"io_error","message":"disk"}}"#.to_string();
+        let (addr, h) = scripted_server(vec![Some(bad), Some(io_err)]);
+        let mut client = Client::new(quick_cfg(&addr));
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(&err, CallError::Terminal { code, .. } if code == "bad_request"),
+            "{err:?}"
+        );
+        assert_eq!(client.stats().retries, 0, "terminal outcomes never retry");
+        // The storage-fault code is terminal by policy too.
+        client.disconnect();
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(&err, CallError::Terminal { code, .. } if code == "io_error"),
+            "{err:?}"
+        );
+        client.disconnect();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_response_is_terminal() {
+        let (addr, h) = scripted_server(vec![Some("not json".to_string())]);
+        let mut client = Client::new(quick_cfg(&addr));
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(&err, CallError::Terminal { code, .. } if code == "malformed"),
+            "{err:?}"
+        );
+        client.disconnect();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn connect_failure_exhausts_with_io_code() {
+        // A bound-then-dropped listener leaves a port nothing listens on.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut client = Client::new(ClientConfig {
+            max_retries: 2,
+            attempt_timeout: Duration::from_millis(300),
+            ..quick_cfg(&addr)
+        });
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(err, CallError::Exhausted { attempts: 3, .. }),
+            "{err:?}"
+        );
+        assert_eq!(err.code(), "io");
+        assert_eq!(client.stats().observed_faults, 3);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_bounded() {
+        let mut a = Client::new(ClientConfig {
+            jitter_seed: 9,
+            ..ClientConfig::default()
+        });
+        let mut b = Client::new(ClientConfig {
+            jitter_seed: 9,
+            ..ClientConfig::default()
+        });
+        // Same seed → the jitter RNG streams match.
+        for _ in 0..16 {
+            assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+        }
+        // The pause bound never exceeds the cap.
+        let cfg = ClientConfig::default();
+        let cap = cfg.backoff_cap.as_micros() as u64;
+        let base = cfg.backoff_base.as_micros() as u64;
+        for k in 0..40u32 {
+            let bound = base.saturating_mul(1u64 << k.min(20)).min(cap);
+            assert!(bound <= cap);
+        }
+    }
+}

@@ -18,13 +18,26 @@
 //! * [`load`] — a closed-loop load driver (the `segdb-load` binary)
 //!   that replays the benchmark workload generators over `K`
 //!   connections, verifies every answer against the scan oracle, and
-//!   reports throughput and p50/p95/p99 latency.
+//!   reports throughput and p50/p95/p99 latency;
+//! * [`chaos`] — the wire-level sibling of `pager::FaultDevice`: a
+//!   seeded, replayable network fault layer ([`chaos::ChaosStream`] /
+//!   [`chaos::ChaosListener`]) injecting latency, truncated sends,
+//!   mid-frame disconnects, resets and slow-loris trickle reads under
+//!   an armed [`chaos::NetFaultPlan`];
+//! * [`client`] — a resilient reconnect-and-retry client with
+//!   per-attempt deadlines and bounded seeded-jitter backoff, safe for
+//!   the (idempotent) query surface.
 //!
 //! Protocol and operational details are documented in the repo README
-//! ("Serving") and DESIGN.md ("Concurrent serving").
+//! ("Serving", "Resilient clients") and DESIGN.md ("Concurrent
+//! serving", §10 "Network failure model").
 
+pub mod chaos;
+pub mod client;
 pub mod load;
 pub mod proto;
 pub mod server;
 
+pub use chaos::{ChaosListener, ChaosStream, NetFaultHandle, NetFaultPlan};
+pub use client::{CallError, Client, ClientConfig};
 pub use server::{Server, ServerConfig};

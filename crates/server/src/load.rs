@@ -13,12 +13,25 @@
 //! `family.generate(n, seed)` built with the default (vertical)
 //! direction — exactly what `segdb-cli gen … | segdb-cli build …`
 //! followed by `segdb-cli serve …` produces with the same parameters.
+//!
+//! Requests travel through the resilient [`Client`]: a transient
+//! failure (wire disruption, `overloaded`, `timeout`) is retried within
+//! the budget, and a request that still fails is *recorded and skipped*
+//! — the connection's remaining script keeps replaying, so merged
+//! histograms stay comparable across runs instead of losing a whole
+//! connection's share to one bad connect. With `--chaos SEED` each
+//! connection's traffic passes through its own armed [`NetFaultPlan`]
+//! (seeded `SEED + connection`), and the report carries the
+//! order-independent XOR of the per-connection trace digests — two runs
+//! with identical parameters must print the identical digest.
 
+use crate::chaos::{NetFaultHandle, NetFaultPlan, NetFaultStats};
+use crate::client::{Client, ClientConfig};
 use crate::proto::code;
 use segdb_geom::gen::{vertical_queries, Family};
 use segdb_geom::query::scan_oracle;
 use segdb_geom::VerticalQuery;
-use segdb_obs::{json, Histogram, Json};
+use segdb_obs::{Histogram, Json};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::thread;
@@ -50,6 +63,13 @@ pub struct LoadConfig {
     pub verify: bool,
     /// Send a `shutdown` request once the run completes.
     pub shutdown_after: bool,
+    /// Arm a wire-fault schedule on every connection (connection `c`
+    /// uses the plan reseeded to `plan.seed + c`).
+    pub chaos_plan: Option<NetFaultPlan>,
+    /// Retry budget per request beyond the first attempt.
+    pub max_retries: u32,
+    /// Deadline per attempt (connect + send + receive).
+    pub attempt_timeout: Duration,
 }
 
 impl Default for LoadConfig {
@@ -63,6 +83,9 @@ impl Default for LoadConfig {
             seed: 42,
             verify: true,
             shutdown_after: false,
+            chaos_plan: None,
+            max_retries: 16,
+            attempt_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -155,6 +178,20 @@ pub struct LoadReport {
     pub overloaded: u64,
     /// Errors with code `timeout`.
     pub timeouts: u64,
+    /// Requests whose retry budget drowned in wire-level failures
+    /// (never earning a server verdict).
+    pub io_failed: u64,
+    /// Client retries across all requests.
+    pub retries: u64,
+    /// Client reconnects after dead connections.
+    pub reconnects: u64,
+    /// Wire disruptions the clients observed (and survived).
+    pub observed_faults: u64,
+    /// Injected-fault counters summed over all connection schedules.
+    pub injected: NetFaultStats,
+    /// XOR of the per-connection fault-trace digests (zero without
+    /// chaos); replay-stable for identical parameters.
+    pub trace_digest: u64,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
     /// Per-request round-trip latency in microseconds, all connections
@@ -171,6 +208,12 @@ impl LoadReport {
             errors: 0,
             overloaded: 0,
             timeouts: 0,
+            io_failed: 0,
+            retries: 0,
+            reconnects: 0,
+            observed_faults: 0,
+            injected: NetFaultStats::default(),
+            trace_digest: 0,
             elapsed: Duration::ZERO,
             latency: latency_histogram(),
         }
@@ -183,6 +226,19 @@ impl LoadReport {
         self.errors += t.errors;
         self.overloaded += t.overloaded;
         self.timeouts += t.timeouts;
+        self.io_failed += t.io_failed;
+        self.retries += t.retries;
+        self.reconnects += t.reconnects;
+        self.observed_faults += t.observed_faults;
+        self.injected.connect_resets += t.injected.connect_resets;
+        self.injected.accept_resets += t.injected.accept_resets;
+        self.injected.send_errors += t.injected.send_errors;
+        self.injected.truncated_sends += t.injected.truncated_sends;
+        self.injected.recv_errors += t.injected.recv_errors;
+        self.injected.disconnects += t.injected.disconnects;
+        self.injected.latencies += t.injected.latencies;
+        self.injected.trickles += t.injected.trickles;
+        self.trace_digest ^= t.trace_digest;
         self.latency.merge(&t.latency);
     }
 
@@ -211,6 +267,26 @@ impl LoadReport {
             ("errors", Json::U64(self.errors)),
             ("overloaded", Json::U64(self.overloaded)),
             ("timeouts", Json::U64(self.timeouts)),
+            ("io_failed", Json::U64(self.io_failed)),
+            ("retries", Json::U64(self.retries)),
+            ("reconnects", Json::U64(self.reconnects)),
+            (
+                "net",
+                Json::obj([
+                    ("chaos", Json::Bool(cfg.chaos_plan.is_some())),
+                    (
+                        "trace_digest",
+                        Json::Str(format!("{:016x}", self.trace_digest)),
+                    ),
+                    ("injected_disruptive", Json::U64(self.injected.disruptive())),
+                    ("injected_total", Json::U64(self.injected.total())),
+                    ("observed_faults", Json::U64(self.observed_faults)),
+                    (
+                        "injected_matches_observed",
+                        Json::Bool(self.injected.disruptive() == self.observed_faults),
+                    ),
+                ]),
+            ),
             ("elapsed_s", Json::F64(self.elapsed.as_secs_f64())),
             ("throughput_rps", Json::F64(self.throughput_rps())),
             (
@@ -228,39 +304,32 @@ impl LoadReport {
     }
 }
 
-fn run_connection(addr: &str, work: &[PreparedRequest], verify: bool) -> io::Result<LoadReport> {
+/// Replay `work` through one resilient client. A request that fails
+/// even after retries is recorded and *skipped* — one bad connect or a
+/// burst of refusals must not void the connection's remaining script,
+/// or merged histograms would silently lose that connection's share.
+fn run_connection(
+    cfg: ClientConfig,
+    chaos: Option<NetFaultHandle>,
+    work: &[PreparedRequest],
+    verify: bool,
+) -> LoadReport {
     let mut tally = LoadReport::empty();
-    let stream = TcpStream::connect(addr)?;
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut response = String::new();
+    let mut client = match &chaos {
+        Some(handle) => Client::with_chaos(cfg, handle.clone()),
+        None => Client::new(cfg),
+    };
     for request in work {
         let t0 = Instant::now();
-        writer.write_all(request.line.as_bytes())?;
-        writer.write_all(b"\n")?;
-        response.clear();
-        if reader.read_line(&mut response)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-run",
-            ));
-        }
+        let outcome = client.call_line(&request.line);
         let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
         tally.latency.observe(us);
         tally.sent += 1;
-        let Ok(v) = json::parse(response.trim_end()) else {
-            tally.errors += 1;
-            continue;
-        };
-        if v.get("ok") == Some(&Json::Bool(true)) {
-            tally.ok += 1;
-            if verify {
-                let got: Option<Vec<u64>> = v
-                    .get("result")
-                    .and_then(|r| r.get("ids"))
-                    .and_then(Json::as_arr)
-                    .map(|a| {
+        match outcome {
+            Ok(result) => {
+                tally.ok += 1;
+                if verify {
+                    let got: Option<Vec<u64>> = result.get("ids").and_then(Json::as_arr).map(|a| {
                         a.iter()
                             .filter_map(|x| match *x {
                                 Json::U64(u) => Some(u),
@@ -268,24 +337,31 @@ fn run_connection(addr: &str, work: &[PreparedRequest], verify: bool) -> io::Res
                             })
                             .collect()
                     });
-                if got.as_deref() != Some(&request.expected[..]) {
-                    tally.wrong += 1;
+                    if got.as_deref() != Some(&request.expected[..]) {
+                        tally.wrong += 1;
+                    }
                 }
             }
-        } else {
-            tally.errors += 1;
-            match v
-                .get("error")
-                .and_then(|e| e.get("code"))
-                .and_then(Json::as_str)
-            {
-                Some(code::OVERLOADED) => tally.overloaded += 1,
-                Some(code::TIMEOUT) => tally.timeouts += 1,
-                _ => {}
+            Err(e) => {
+                tally.errors += 1;
+                match e.code() {
+                    code::OVERLOADED => tally.overloaded += 1,
+                    code::TIMEOUT => tally.timeouts += 1,
+                    "io" => tally.io_failed += 1,
+                    _ => {}
+                }
             }
         }
     }
-    Ok(tally)
+    let stats = client.stats();
+    tally.retries = stats.retries;
+    tally.reconnects = stats.reconnects;
+    tally.observed_faults = stats.observed_faults;
+    if let Some(handle) = &chaos {
+        tally.injected = handle.stats();
+        tally.trace_digest = handle.digest();
+    }
+    tally
 }
 
 /// Connect once and ask the server to shut down gracefully.
@@ -308,16 +384,35 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         .map(|c| {
             let mine: Vec<PreparedRequest> =
                 work.iter().skip(c).step_by(connections).cloned().collect();
-            let addr = cfg.addr.clone();
+            let client_cfg = ClientConfig {
+                addr: cfg.addr.clone(),
+                attempt_timeout: cfg.attempt_timeout,
+                max_retries: cfg.max_retries,
+                // Distinct jitter per connection so synchronized
+                // retries don't stampede (still seed-deterministic).
+                jitter_seed: cfg.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..ClientConfig::default()
+            };
+            // Each connection owns its schedule: chaos draws depend only
+            // on this thread's own request sequence, so the trace (and
+            // the XOR-merged digest) replays bit-identically.
+            let chaos = cfg.chaos_plan.map(|plan| {
+                let handle = NetFaultHandle::new(plan);
+                handle.arm(NetFaultPlan {
+                    seed: plan.seed.wrapping_add(c as u64),
+                    ..plan
+                });
+                handle
+            });
             let verify = cfg.verify;
-            thread::spawn(move || run_connection(&addr, &mine, verify))
+            thread::spawn(move || run_connection(client_cfg, chaos, &mine, verify))
         })
         .collect();
     let mut report = LoadReport::empty();
     for h in handles {
         let tally = h
             .join()
-            .map_err(|_| io::Error::other("load connection thread panicked"))??;
+            .map_err(|_| io::Error::other("load connection thread panicked"))?;
         report.fold(&tally);
     }
     report.elapsed = t0.elapsed();
@@ -355,7 +450,7 @@ mod tests {
         .enumerate()
         {
             assert!(a[i].line.contains(method), "{}: {}", method, a[i].line);
-            let v = json::parse(&a[i].line).expect("request line is valid JSON");
+            let v = segdb_obs::json::parse(&a[i].line).expect("request line is valid JSON");
             assert_eq!(v.get("id"), Some(&Json::U64(i as u64)));
         }
     }

@@ -19,7 +19,30 @@
 //! from the queue instead of burning worker capacity. Shutdown (API
 //! call or wire `shutdown`) stops the acceptor via a self-connect,
 //! drains queued jobs with `shutting_down` errors and joins the pool.
+//!
+//! Connection hardening (DESIGN.md §10 "Network failure model"):
+//!
+//! * **write deadlines** — every reply write carries
+//!   [`ServerConfig::write_timeout`]; a stalled peer that blocks a
+//!   write past it loses the connection (counted as a write drop)
+//!   instead of pinning the reader thread;
+//! * **idle reaping** — a full request line must arrive within
+//!   [`ServerConfig::idle_timeout`], so idle keep-alives and slow-loris
+//!   trickles are reaped rather than held forever;
+//! * **admission gate** — at most [`ServerConfig::max_connections`]
+//!   connections are served; one beyond that is answered `overloaded`
+//!   and closed at accept time (shed), giving resilient clients an
+//!   explicit back-off signal;
+//! * **bounded drain** — [`Server::wait`] waits at most
+//!   [`ServerConfig::drain_timeout`] for live connections to finish
+//!   after shutdown;
+//! * **oversized lines** answer `oversized` and the line is drained to
+//!   its newline so the *next* request on the connection still serves.
+//!
+//! All of it is tallied in the `stats` method (`server` block plus the
+//! process-wide `net` block from [`segdb_obs::net`]).
 
+use crate::chaos::NetFaultHandle;
 use crate::proto::{self, code, Method, QueryShape, Request};
 use segdb_core::report::ids;
 use segdb_core::{DbError, QueryTrace, SegmentDatabase};
@@ -50,6 +73,21 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Longest accepted request line in bytes (newline excluded).
     pub max_line_bytes: usize,
+    /// Deadline for writing one reply; a stalled peer that blocks past
+    /// it loses the connection (a *write drop*).
+    pub write_timeout: Duration,
+    /// A full request line must arrive within this window; idle and
+    /// slow-loris connections are reaped when it passes.
+    pub idle_timeout: Duration,
+    /// Connections served concurrently; one beyond this is answered
+    /// `overloaded` and closed at the accept gate (*shed*).
+    pub max_connections: usize,
+    /// Upper bound on [`Server::wait`]'s wait for live connections to
+    /// finish after shutdown.
+    pub drain_timeout: Duration,
+    /// Optional wire-fault schedule applied at accept time (the
+    /// torture harness arms it; production leaves it `None`).
+    pub chaos: Option<NetFaultHandle>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +98,11 @@ impl Default for ServerConfig {
             queue_depth: 64,
             request_timeout: Duration::from_secs(5),
             max_line_bytes: 64 * 1024,
+            write_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(30),
+            max_connections: 256,
+            drain_timeout: Duration::from_secs(5),
+            chaos: None,
         }
     }
 }
@@ -73,6 +116,9 @@ struct ServerStats {
     errors: AtomicU64,
     overloaded: AtomicU64,
     timeouts: AtomicU64,
+    write_drops: AtomicU64,
+    reaped: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl ServerStats {
@@ -147,6 +193,15 @@ struct Shared {
     request_timeout: Duration,
     max_line_bytes: usize,
     workers: usize,
+    write_timeout: Duration,
+    idle_timeout: Duration,
+    max_connections: usize,
+    drain_timeout: Duration,
+    chaos: Option<NetFaultHandle>,
+    /// Live connection registry: count of admitted, not-yet-exited
+    /// connections, used by the admission gate and the bounded drain.
+    conns: Mutex<usize>,
+    conn_exited: Condvar,
     stats: ServerStats,
 }
 
@@ -199,6 +254,13 @@ impl Server {
             request_timeout: cfg.request_timeout,
             max_line_bytes: cfg.max_line_bytes,
             workers: cfg.workers.max(1),
+            write_timeout: cfg.write_timeout,
+            idle_timeout: cfg.idle_timeout,
+            max_connections: cfg.max_connections.max(1),
+            drain_timeout: cfg.drain_timeout,
+            chaos: cfg.chaos,
+            conns: Mutex::new(0),
+            conn_exited: Condvar::new(),
             stats: ServerStats::default(),
         });
         let workers = (0..shared.workers)
@@ -232,15 +294,39 @@ impl Server {
         self.shared.initiate_shutdown();
     }
 
-    /// Block until the server has stopped and every pool thread exited.
-    /// Returns immediately after a completed shutdown; otherwise waits
-    /// for one (API or wire-initiated).
+    /// Block until the server has stopped and every pool thread exited,
+    /// then wait — at most [`ServerConfig::drain_timeout`] — for live
+    /// connections to drain. Returns immediately after a completed
+    /// shutdown; otherwise waits for one (API or wire-initiated).
     pub fn wait(self) {
         let _ = self.acceptor.join();
         for w in self.workers {
             let _ = w.join();
         }
+        // Connection readers are detached and poll the stop flag every
+        // READ_POLL; bound the drain so a wedged peer cannot wedge us.
+        let deadline = Instant::now() + self.shared.drain_timeout;
+        let mut conns = lock(&self.shared.conns);
+        while *conns > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            conns = self
+                .shared
+                .conn_exited
+                .wait_timeout(conns, deadline - now)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
     }
+}
+
+/// Decrement the live-connection registry and wake the drain waiter.
+fn connection_exited(shared: &Shared) {
+    let mut conns = lock(&shared.conns);
+    *conns = conns.saturating_sub(1);
+    shared.conn_exited.notify_all();
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -260,12 +346,55 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if shared.stopping() {
             return;
         }
+        // The wire-fault schedule acts first: an accept-reset victim is
+        // dropped before the server's own logic ever sees it, exactly
+        // like a reset on the physical network.
+        if let Some(chaos) = &shared.chaos {
+            if chaos.on_accept() {
+                drop(stream);
+                continue;
+            }
+        }
+        let admitted = {
+            let mut conns = lock(&shared.conns);
+            if *conns < shared.max_connections {
+                *conns += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if !admitted {
+            // Shed at the gate: an explicit `overloaded` refusal beats
+            // accepting unboundedly — resilient clients back off and
+            // retry instead of stacking up dead readers.
+            ServerStats::bump(&shared.stats.shed);
+            segdb_obs::net::totals().server_shed();
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(shared.write_timeout));
+            let _ = write_line(
+                &mut stream,
+                &proto::err_line(
+                    None,
+                    code::OVERLOADED,
+                    "connection limit reached; back off and retry",
+                ),
+            );
+            continue;
+        }
         ServerStats::bump(&shared.stats.connections);
-        let shared = Arc::clone(shared);
+        let conn_shared = Arc::clone(shared);
         // Detached: readers notice the stop flag within READ_POLL.
-        let _ = thread::Builder::new()
+        let spawned = thread::Builder::new()
             .name("segdb-conn".to_string())
-            .spawn(move || serve_connection(&shared, stream));
+            .spawn(move || {
+                serve_connection(&conn_shared, stream);
+                connection_exited(&conn_shared);
+            });
+        if spawned.is_err() {
+            // The closure never ran; undo its registry slot.
+            connection_exited(shared);
+        }
     }
 }
 
@@ -313,16 +442,25 @@ enum LineRead {
     Line(Vec<u8>),
     /// Peer closed the connection (possibly mid-request).
     Eof,
-    /// The line exceeded the configured limit.
-    Oversized,
+    /// The line exceeded the configured limit; `terminated` tells
+    /// whether its newline was already consumed (if not, the caller
+    /// must drain to the newline before the connection can continue).
+    Oversized {
+        /// The offending line's newline has been consumed.
+        terminated: bool,
+    },
     /// The server is stopping.
     Stopped,
+    /// The idle deadline passed before a full line arrived — the idle
+    /// or slow-loris reaping signal.
+    IdleExpired,
 }
 
-fn read_bounded_line(
-    reader: &mut io::Take<BufReader<TcpStream>>,
+fn read_bounded_line<R: BufRead>(
+    reader: &mut io::Take<R>,
     max: usize,
     stop: &AtomicBool,
+    deadline: Instant,
 ) -> io::Result<LineRead> {
     let mut buf = Vec::new();
     // One spare byte so a line of exactly `max` bytes plus its newline
@@ -332,8 +470,10 @@ fn read_bounded_line(
         match reader.read_until(b'\n', &mut buf) {
             Ok(0) => {
                 // EOF, or the length limit exhausted without a newline.
+                // A non-newline-terminated tail under the limit is a
+                // torn request: the peer died mid-line, so Eof.
                 return Ok(if buf.len() > max {
-                    LineRead::Oversized
+                    LineRead::Oversized { terminated: false }
                 } else {
                     LineRead::Eof
                 });
@@ -342,13 +482,13 @@ fn read_bounded_line(
                 if buf.last() == Some(&b'\n') {
                     buf.pop();
                     return Ok(if buf.len() > max {
-                        LineRead::Oversized
+                        LineRead::Oversized { terminated: true }
                     } else {
                         LineRead::Line(buf)
                     });
                 }
                 if buf.len() > max {
-                    return Ok(LineRead::Oversized);
+                    return Ok(LineRead::Oversized { terminated: false });
                 }
                 // Partial line; keep reading.
             }
@@ -358,10 +498,51 @@ fn read_bounded_line(
                 if stop.load(Ordering::Acquire) {
                     return Ok(LineRead::Stopped);
                 }
+                if Instant::now() >= deadline {
+                    return Ok(LineRead::IdleExpired);
+                }
             }
             Err(e) => return Err(e),
         }
     }
+}
+
+/// After an unterminated oversized line: consume input up to and
+/// including its newline so the connection can keep serving. Bounded by
+/// a byte cap and the caller's deadline; `false` means give up and
+/// close the connection.
+fn drain_oversized<R: BufRead>(
+    reader: &mut io::Take<R>,
+    stop: &AtomicBool,
+    deadline: Instant,
+) -> bool {
+    /// An attacker streaming an endless "line" must not hold the
+    /// reader forever; beyond this the connection is simply closed.
+    const DRAIN_CAP: u64 = 8 * 1024 * 1024;
+    let mut drained: u64 = 0;
+    let mut scratch = Vec::new();
+    while drained < DRAIN_CAP {
+        scratch.clear();
+        reader.set_limit(4096);
+        match reader.read_until(b'\n', &mut scratch) {
+            Ok(0) => return false, // EOF before the newline
+            Ok(n) => {
+                drained += n as u64;
+                if scratch.last() == Some(&b'\n') {
+                    return true;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Acquire) || Instant::now() >= deadline {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    false
 }
 
 fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
@@ -374,6 +555,9 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
+    // A reply write that blocks past the deadline fails and the
+    // connection is dropped — a stalled peer cannot pin this thread.
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -383,18 +567,35 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         if shared.stopping() {
             return;
         }
-        let line = match read_bounded_line(&mut reader, shared.max_line_bytes, &shared.stop) {
-            Ok(LineRead::Line(line)) => line,
-            Ok(LineRead::Oversized) => {
-                ServerStats::bump(&shared.stats.errors);
-                let _ = write_line(
-                    &mut writer,
-                    &proto::err_line(None, code::OVERSIZED, "request line exceeds limit"),
-                );
-                return;
-            }
-            Ok(LineRead::Eof) | Ok(LineRead::Stopped) | Err(_) => return,
-        };
+        let deadline = Instant::now() + shared.idle_timeout;
+        let line =
+            match read_bounded_line(&mut reader, shared.max_line_bytes, &shared.stop, deadline) {
+                Ok(LineRead::Line(line)) => line,
+                Ok(LineRead::Oversized { terminated }) => {
+                    ServerStats::bump(&shared.stats.errors);
+                    if write_line(
+                        &mut writer,
+                        &proto::err_line(None, code::OVERSIZED, "request line exceeds limit"),
+                    )
+                    .is_err()
+                    {
+                        record_write_drop(shared);
+                        return;
+                    }
+                    // Drain the offender to its newline so the next request
+                    // on this connection still gets served.
+                    if terminated || drain_oversized(&mut reader, &shared.stop, deadline) {
+                        continue;
+                    }
+                    return;
+                }
+                Ok(LineRead::IdleExpired) => {
+                    ServerStats::bump(&shared.stats.reaped);
+                    segdb_obs::net::totals().server_reap();
+                    return;
+                }
+                Ok(LineRead::Eof) | Ok(LineRead::Stopped) | Err(_) => return,
+            };
         let line = String::from_utf8_lossy(&line);
         let response = match proto::parse_request(&line) {
             Err(e) => {
@@ -420,9 +621,17 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             }
         };
         if write_line(&mut writer, &response).is_err() {
+            record_write_drop(shared);
             return;
         }
     }
+}
+
+/// A reply write failed (stalled peer past the write deadline, or a
+/// peer that vanished); the connection is dropped and the drop counted.
+fn record_write_drop(shared: &Shared) {
+    ServerStats::bump(&shared.stats.write_drops);
+    segdb_obs::net::totals().server_write_drop();
 }
 
 /// Admit a request into the bounded queue and await its reply.
@@ -484,13 +693,14 @@ fn answer_json(hits: &[Segment], trace: &QueryTrace) -> Vec<(&'static str, Json)
     ]
 }
 
-/// Pick the wire error code for a database failure. Injected or real
-/// storage I/O faults answer `io_error` — a retryable, worker-surviving
-/// condition — instead of the generic `db`.
+/// Pick the wire error code for a database failure. Transient storage
+/// faults (injected or real I/O errors) answer `io_error` — a
+/// worker-surviving condition — instead of the generic `db`.
 fn db_code(e: &DbError) -> &'static str {
-    match e {
-        DbError::Pager(segdb_pager::PagerError::Io(_)) => code::IO,
-        _ => code::DB,
+    if e.is_transient() {
+        code::IO
+    } else {
+        code::DB
     }
 }
 
@@ -560,15 +770,20 @@ fn stats_json(shared: &Shared) -> Json {
             Json::obj([
                 ("workers", Json::U64(shared.workers as u64)),
                 ("queue_depth", Json::U64(shared.queue_depth as u64)),
+                ("max_connections", Json::U64(shared.max_connections as u64)),
                 ("connections", get(&s.connections)),
                 ("requests", get(&s.requests)),
                 ("ok", get(&s.ok)),
                 ("errors", get(&s.errors)),
                 ("overloaded", get(&s.overloaded)),
                 ("timeouts", get(&s.timeouts)),
+                ("write_drops", get(&s.write_drops)),
+                ("reaped", get(&s.reaped)),
+                ("shed", get(&s.shed)),
             ]),
         ),
         ("faults", segdb_obs::faults::totals().snapshot().to_json()),
+        ("net", segdb_obs::net::totals().snapshot().to_json()),
         ("metrics", db.metrics_json().unwrap_or(Json::Null)),
     ])
 }
@@ -606,6 +821,93 @@ mod tests {
         slot.fill("ok".to_string());
         assert_eq!(slot.wait_for(Duration::ZERO).as_deref(), Some("ok"));
         assert!(!slot.is_abandoned());
+    }
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    /// Drive `read_bounded_line` over in-memory bytes (no socket, no
+    /// timeouts — BufRead genericity is the point).
+    fn read_one(data: &[u8], max: usize) -> (LineRead, io::Take<io::Cursor<Vec<u8>>>) {
+        let stop = AtomicBool::new(false);
+        let mut reader = io::Cursor::new(data.to_vec()).take(0);
+        let out = read_bounded_line(&mut reader, max, &stop, far_deadline()).unwrap();
+        (out, reader)
+    }
+
+    #[test]
+    fn line_of_exactly_max_bytes_is_accepted() {
+        let payload = vec![b'x'; 16];
+        let mut data = payload.clone();
+        data.push(b'\n');
+        let (out, _) = read_one(&data, 16);
+        let LineRead::Line(line) = out else {
+            panic!("expected a line");
+        };
+        assert_eq!(line, payload, "exactly max bytes is within the limit");
+        // One byte more crosses it; the limit trips before the newline
+        // is reached, so the offender is reported unterminated.
+        let mut data = vec![b'x'; 17];
+        data.push(b'\n');
+        let (out, mut reader) = read_one(&data, 16);
+        assert!(matches!(out, LineRead::Oversized { terminated: false }));
+        let stop = AtomicBool::new(false);
+        assert!(drain_oversized(&mut reader, &stop, far_deadline()));
+    }
+
+    #[test]
+    fn eof_with_unterminated_tail_reads_as_eof() {
+        // A torn request — the peer died mid-line — must not be served.
+        let (out, _) = read_one(b"half-a-request", 64);
+        assert!(matches!(out, LineRead::Eof));
+        let (out, _) = read_one(b"", 64);
+        assert!(matches!(out, LineRead::Eof));
+    }
+
+    #[test]
+    fn unterminated_oversized_line_drains_to_the_next_request() {
+        // 100 bytes of junk (limit 16), then its newline, then a valid
+        // line: after draining, the valid line must still be readable.
+        let mut data = vec![b'j'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"next\n");
+        let (out, mut reader) = read_one(&data, 16);
+        assert!(matches!(out, LineRead::Oversized { terminated: false }));
+        let stop = AtomicBool::new(false);
+        assert!(drain_oversized(&mut reader, &stop, far_deadline()));
+        let next = read_bounded_line(&mut reader, 16, &stop, far_deadline()).unwrap();
+        let LineRead::Line(line) = next else {
+            panic!("expected the post-drain line");
+        };
+        assert_eq!(line, b"next");
+    }
+
+    #[test]
+    fn drain_gives_up_on_eof_without_newline() {
+        let data = vec![b'j'; 100];
+        let (out, mut reader) = read_one(&data, 16);
+        assert!(matches!(out, LineRead::Oversized { terminated: false }));
+        let stop = AtomicBool::new(false);
+        assert!(!drain_oversized(&mut reader, &stop, far_deadline()));
+    }
+
+    #[test]
+    fn multibyte_utf8_survives_buffered_chunking() {
+        // A multi-byte code point straddling BufReader refills must
+        // come through intact — `read_bounded_line` works on bytes and
+        // decoding happens only on the complete line.
+        let payload = "héllo→wörld✓".repeat(3);
+        let mut data = payload.clone().into_bytes();
+        data.push(b'\n');
+        let stop = AtomicBool::new(false);
+        // Capacity 3 forces refills inside every multi-byte sequence.
+        let mut reader = BufReader::with_capacity(3, io::Cursor::new(data)).take(0);
+        let out = read_bounded_line(&mut reader, 1024, &stop, far_deadline()).unwrap();
+        let LineRead::Line(line) = out else {
+            panic!("expected a line");
+        };
+        assert_eq!(String::from_utf8(line).unwrap(), payload);
     }
 
     #[test]

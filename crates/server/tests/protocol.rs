@@ -6,7 +6,7 @@ use segdb_core::SegmentDatabase;
 use segdb_geom::gen::mixed_map;
 use segdb_obs::json::{self, Json};
 use segdb_server::{Server, ServerConfig};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
@@ -101,7 +101,7 @@ fn missing_params_yield_bad_request() {
 }
 
 #[test]
-fn oversized_line_gets_error_then_close() {
+fn oversized_line_gets_error_then_connection_continues() {
     let server = start(ServerConfig {
         max_line_bytes: 256,
         ..ServerConfig::default()
@@ -111,13 +111,76 @@ fn oversized_line_gets_error_then_close() {
     c.writer.write_all(huge.as_bytes()).unwrap();
     let v = c.read_response();
     assert_eq!(error_code(&v), "oversized");
-    // After the error the server closes this connection.
-    let mut rest = String::new();
-    assert_eq!(c.reader.read_to_string(&mut rest).unwrap(), 0);
-    // …but keeps serving new ones.
-    let mut c2 = Client::connect(&server);
-    let v = c2.send(r#"{"method":"ping"}"#);
+    // The offender is drained to its newline; the *same* connection
+    // keeps serving the next request.
+    let v = c.send(r#"{"method":"ping"}"#);
     assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn oversized_then_valid_request_in_one_write() {
+    // The oversized line and a valid request arrive in one TCP burst:
+    // the server must answer `oversized` for the first and serve the
+    // second, proving the drain stops exactly at the newline.
+    let server = start(ServerConfig {
+        max_line_bytes: 256,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(&server);
+    let burst = format!("{}\n{}\n", "j".repeat(1000), r#"{"id":77,"method":"ping"}"#);
+    c.writer.write_all(burst.as_bytes()).unwrap();
+    let v = c.read_response();
+    assert_eq!(error_code(&v), "oversized");
+    let v = c.read_response();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v:?}");
+    assert_eq!(v.get("id"), Some(&Json::U64(77)));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn request_split_across_packets_mid_utf8_is_reassembled() {
+    // One request line delivered byte-by-byte (flushing each write), so
+    // TCP hands the server fragments that split multi-byte UTF-8 code
+    // points. The reader works on bytes until the newline, so the
+    // request must decode and answer normally.
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(&server);
+    let line = "{\"id\":5,\"method\":\"ping\",\"params\":{\"note\":\"héllo→wörld✓\"}}\n";
+    for b in line.as_bytes() {
+        c.writer.write_all(std::slice::from_ref(b)).unwrap();
+        c.writer.flush().unwrap();
+    }
+    let v = c.read_response();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v:?}");
+    assert_eq!(v.get("id"), Some(&Json::U64(5)));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn line_of_exactly_max_line_bytes_is_served() {
+    // Pad the params with a filler key so the rendered request line is
+    // exactly `max_line_bytes` long — the boundary must be inclusive.
+    let max = 256usize;
+    let server = start(ServerConfig {
+        max_line_bytes: max,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(&server);
+    let skeleton = r#"{"id":6,"method":"ping","params":{"pad":""#;
+    let tail = r#""}}"#;
+    let pad = "p".repeat(max - skeleton.len() - tail.len());
+    let line = format!("{skeleton}{pad}{tail}");
+    assert_eq!(line.len(), max);
+    let v = c.send(&line);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v:?}");
+    // One byte longer must trip the limit instead.
+    let pad = "p".repeat(max + 1 - skeleton.len() - tail.len());
+    let v = c.send(&format!("{skeleton}{pad}{tail}"));
+    assert_eq!(error_code(&v), "oversized");
     server.shutdown();
     server.wait();
 }

@@ -39,6 +39,7 @@ fn multi_connection_load_verifies_against_oracle() {
         seed,
         verify: true,
         shutdown_after: false,
+        ..LoadConfig::default()
     };
     let report = load::run_load(&cfg).unwrap();
     assert_eq!(report.sent, 60);
@@ -73,11 +74,16 @@ fn load_counts_overload_refusals() {
         seed,
         verify: false,
         shutdown_after: false,
+        // `overloaded` is retryable; a small budget keeps the test
+        // quick while still proving refusals are re-attempted.
+        max_retries: 2,
+        ..LoadConfig::default()
     };
     let report = load::run_load(&cfg).unwrap();
     assert_eq!(report.sent, 10);
     assert_eq!(report.ok, 0);
     assert_eq!(report.overloaded, 10, "every request refused: {report:?}");
+    assert_eq!(report.retries, 20, "2 retries per refused request");
     server.shutdown();
     server.wait();
 }
@@ -95,6 +101,7 @@ fn load_driver_shutdown_flag_stops_the_server() {
         seed,
         verify: true,
         shutdown_after: true,
+        ..LoadConfig::default()
     };
     let report = load::run_load(&cfg).unwrap();
     assert_eq!(report.wrong, 0);

@@ -37,6 +37,41 @@ wait "$SERVE_PID"
 grep -q '"wrong":0' "$SMOKE/BENCH_serve.json" || {
     echo "load driver reported wrong answers"; exit 1; }
 
+echo "==> seeded net-chaos smoke (wire-fault load, replayed twice)"
+"$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 > "$SMOKE/serve2.out" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 40); do
+    ADDR=$(sed -n 's/^listening on //p' "$SMOKE/serve2.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$ADDR" ] || { echo "chaos server never reported its address"; exit 1; }
+run_chaos() {
+    SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21 \
+        --connections 2 --requests 40 --chaos 1234 > /dev/null
+    grep -q '"wrong":0' "$SMOKE/BENCH_serve.json" || {
+        echo "chaos load reported wrong answers" >&2; exit 1; }
+    grep -q '"injected_matches_observed":true' "$SMOKE/BENCH_serve.json" || {
+        echo "injected/observed net-fault ledger diverged" >&2; exit 1; }
+    grep -q '"injected_disruptive":0,' "$SMOKE/BENCH_serve.json" && {
+        echo "chaos load injected no disruptive fault" >&2; exit 1; }
+    sed -n 's/.*"trace_digest":"\([0-9a-f]*\)".*/\1/p' "$SMOKE/BENCH_serve.json"
+}
+DIGEST1=$(run_chaos)
+DIGEST2=$(run_chaos)
+[ -n "$DIGEST1" ] || { echo "chaos report carries no trace digest"; exit 1; }
+[ "$DIGEST1" = "$DIGEST2" ] || {
+    echo "chaos trace is not replay-stable: $DIGEST1 vs $DIGEST2"; exit 1; }
+"$CLI" stats --remote "$ADDR" > "$SMOKE/remote-stats.json"
+grep -q '"net":{' "$SMOKE/remote-stats.json" || {
+    echo "remote stats carry no net block"; exit 1; }
+grep -q '"write_drops":' "$SMOKE/remote-stats.json" || {
+    echo "remote stats carry no hardening counters"; exit 1; }
+SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21 \
+    --connections 1 --requests 1 --shutdown > /dev/null
+wait "$SERVE_PID"
+
 echo "==> seeded crash-recovery smoke (torture sweep, replayed twice)"
 TORTURE_ARGS=(torture --seed 7 --scenarios 3 --n 80)
 OUT1=$("$CLI" "${TORTURE_ARGS[@]}")
@@ -52,4 +87,4 @@ echo "$OUT1" | grep -q '"observed_io_errors":0}' && {
 echo "$OUT1" | grep -q '"recovery_queries_verified":0,' && {
     echo "no recovery query was verified: $OUT1"; exit 1; }
 
-echo "OK: build, tests, clippy, fmt, serve + crash-recovery smoke all clean."
+echo "OK: build, tests, clippy, fmt, serve + net-chaos + crash-recovery smoke all clean."
