@@ -1,0 +1,92 @@
+//! E15 — streaming query modes: pages read for `Collect` vs `Count` vs
+//! `Limit(k)` at output sizes `T ∈ {1, B, n/10}`.
+//!
+//! `Count` answers from stored run lengths / subtree counts without
+//! visiting second-level pages, so its cost must stay near the search
+//! overhead as `T` grows; `Limit(k)` stops after `k` reports, so its
+//! cost tracks `k`, not `T`. `Collect` pays the full `+ t/B` term and is
+//! the baseline the other two are measured against.
+
+use segdb_bench::{f1, table};
+use segdb_core::{IndexKind, QueryMode, SegmentDatabase};
+use segdb_geom::gen::nested;
+use segdb_geom::VerticalQuery;
+use segdb_obs::Json;
+
+/// Average pages read per query over `queries` for one mode.
+fn reads_per_query(db: &SegmentDatabase, queries: &[VerticalQuery], mode: QueryMode) -> f64 {
+    let mut reads = 0u64;
+    for q in queries {
+        let (_, trace) = db.query_canonical_mode(q, mode).unwrap();
+        reads += trace.io.reads;
+    }
+    reads as f64 / queries.len() as f64
+}
+
+fn main() {
+    let n_items = 30_000usize;
+    let page = 4096usize;
+    let set = nested(n_items);
+    let block = page / 40; // segments per page, the paper's B
+    let db = SegmentDatabase::builder()
+        .page_size(page)
+        .cache_pages(0)
+        .index(IndexKind::TwoLevelInterval)
+        .build(set.clone())
+        .unwrap();
+
+    // In the nested family segment `i` spans `x ∈ [i, 2n−i]`, so the
+    // line `x = i` (for `i < n`) stabs exactly the `i + 1` enclosing
+    // segments — output size is dialed directly by the probe abscissa.
+    let targets = [("T=1", 1usize), ("T=B", block), ("T=n/10", n_items / 10)];
+
+    let mut rows = Vec::new();
+    let mut sections = Vec::new();
+    for (label, target) in targets {
+        let picked: Vec<VerticalQuery> = (0..20)
+            .map(|j| VerticalQuery::Line {
+                x: (target - 1 + j) as i64,
+            })
+            .collect();
+        let t_avg = picked
+            .iter()
+            .map(|q| set.iter().filter(|s| q.hits(s)).count())
+            .sum::<usize>() as f64
+            / picked.len() as f64;
+
+        let collect = reads_per_query(&db, &picked, QueryMode::Collect);
+        let count = reads_per_query(&db, &picked, QueryMode::Count);
+        let limit = reads_per_query(&db, &picked, QueryMode::Limit(1));
+        rows.push(vec![
+            label.to_string(),
+            f1(t_avg),
+            f1(collect),
+            f1(count),
+            f1(limit),
+        ]);
+        sections.push((
+            label,
+            Json::obj([
+                ("t_avg", Json::F64(t_avg)),
+                ("collect_reads", Json::F64(collect)),
+                ("count_reads", Json::F64(count)),
+                ("limit1_reads", Json::F64(limit)),
+            ]),
+        ));
+    }
+    table(
+        "E15 — query modes (N=30k nested, interval index): pages read per query",
+        &["target", "t/q", "collect", "count", "limit(1)"],
+        &rows,
+    );
+    segdb_bench::report::record_section(
+        "modes",
+        Json::Obj(
+            sections
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ),
+    );
+    segdb_bench::report::finish("query_modes").expect("write BENCH_query_modes.json");
+}

@@ -8,6 +8,7 @@
 use crate::node::Node;
 use crate::record::Record;
 use segdb_pager::{PageId, Pager, PagerError, Result, NULL_PAGE};
+use std::ops::ControlFlow;
 
 /// Forward cursor over the leaf level. Obtain via
 /// [`crate::BPlusTree::lower_bound`] / [`crate::BPlusTree::cursor_first`],
@@ -113,15 +114,35 @@ impl<R: Record> Cursor<R> {
         mut pred: impl FnMut(&R) -> bool,
         mut f: impl FnMut(R),
     ) -> Result<()> {
+        let _ = self.for_each_while_ctl(pager, &mut pred, |r| {
+            f(*r);
+            ControlFlow::Continue(())
+        })?;
+        Ok(())
+    }
+
+    /// Like [`Cursor::for_each_while`], but `f` steers the walk: on
+    /// `Break` the cursor stops immediately *without* prefetching the
+    /// next leaf, so an early-exiting query never pays for pages past
+    /// the record that satisfied it.
+    pub fn for_each_while_ctl(
+        &mut self,
+        pager: &Pager,
+        mut pred: impl FnMut(&R) -> bool,
+        mut f: impl FnMut(&R) -> ControlFlow<()>,
+    ) -> Result<ControlFlow<()>> {
         while let Some(r) = self.peek() {
             if !pred(r) {
                 break;
             }
-            f(*r);
+            let r = *r;
             self.idx += 1;
+            if f(&r).is_break() {
+                return Ok(ControlFlow::Break(()));
+            }
             self.normalize(pager)?;
         }
-        Ok(())
+        Ok(ControlFlow::Continue(()))
     }
 }
 

@@ -3,19 +3,29 @@
 //! One node = one page. Layout (little-endian):
 //!
 //! ```text
-//! leaf:     [tag=1:u8][count:u16][next:u32][records: count × R]
-//! internal: [tag=2:u8][count:u16][children: (count+1) × u32][seps: count × R]
+//! leaf:        [tag=1:u8][count:u16][next:u32][records: count × R]
+//! internal v1: [tag=2:u8][count:u16][children: (count+1) × u32][seps: count × R]
+//! internal v2: [tag=3:u8][count:u16][children: (count+1) × u32]
+//!              [child_counts: (count+1) × u64][seps: count × R]
 //! ```
 //!
 //! `count` for an internal node is the number of separators; it routes
 //! `count + 1` children. Separator `i` satisfies
 //! `max(subtree i) < sep[i] ≤ min(subtree i+1)`.
+//!
+//! v2 internal nodes additionally store the record count of each child's
+//! subtree, letting aggregate (count-mode) queries add whole subtrees
+//! without reading their pages. v1 nodes decode with an empty `counts`
+//! vector ("unknown"); readers fall back to recursing into the subtree.
+//! [`Node::internal_capacity`] reserves space for the counts so a v1
+//! node rewritten with counts always fits.
 
 use crate::record::Record;
 use segdb_pager::{ByteReader, ByteWriter, PageId, PagerError, Result, NULL_PAGE};
 
 const TAG_LEAF: u8 = 1;
 const TAG_INTERNAL: u8 = 2;
+const TAG_INTERNAL_V2: u8 = 3;
 const LEAF_HEADER: usize = 1 + 2 + 4;
 const INT_HEADER: usize = 1 + 2 + 4; // tag + count + first child
 
@@ -35,6 +45,10 @@ pub enum Node<R> {
         children: Vec<PageId>,
         /// Separators; see module docs for the invariant.
         seps: Vec<R>,
+        /// Per-child subtree record counts. Either empty ("unknown",
+        /// decoded from a v1 page or degraded by a structural rebalance)
+        /// or exactly `children.len()` entries.
+        counts: Vec<u64>,
     },
 }
 
@@ -45,8 +59,10 @@ impl<R: Record> Node<R> {
     }
 
     /// Maximum separators in an internal node for the given page size.
+    /// Each separator budgets one child pointer (u32) and one subtree
+    /// count (u64) so the v2 encoding always fits.
     pub fn internal_capacity(page_size: usize) -> usize {
-        page_size.saturating_sub(INT_HEADER) / (R::ENCODED_SIZE + 4)
+        page_size.saturating_sub(INT_HEADER + 8) / (R::ENCODED_SIZE + 4 + 8)
     }
 
     /// Serialize into a zeroed page image.
@@ -61,14 +77,28 @@ impl<R: Record> Node<R> {
                     r.encode(&mut w)?;
                 }
             }
-            Node::Internal { children, seps } => {
+            Node::Internal {
+                children,
+                seps,
+                counts,
+            } => {
                 if children.len() != seps.len() + 1 {
                     return Err(PagerError::Corrupt("internal child/sep arity"));
                 }
-                w.u8(TAG_INTERNAL)?;
+                if !counts.is_empty() && counts.len() != children.len() {
+                    return Err(PagerError::Corrupt("internal count arity"));
+                }
+                w.u8(if counts.is_empty() {
+                    TAG_INTERNAL
+                } else {
+                    TAG_INTERNAL_V2
+                })?;
                 w.u16(seps.len() as u16)?;
                 for c in children {
                     w.u32(*c)?;
+                }
+                for n in counts {
+                    w.u64(*n)?;
                 }
                 for s in seps {
                     s.encode(&mut w)?;
@@ -81,7 +111,8 @@ impl<R: Record> Node<R> {
     /// Deserialize from a page image.
     pub fn decode(buf: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(buf);
-        match r.u8()? {
+        let tag = r.u8()?;
+        match tag {
             TAG_LEAF => {
                 let count = r.u16()? as usize;
                 let next = r.u32()?;
@@ -91,17 +122,28 @@ impl<R: Record> Node<R> {
                 }
                 Ok(Node::Leaf { records, next })
             }
-            TAG_INTERNAL => {
+            TAG_INTERNAL | TAG_INTERNAL_V2 => {
                 let count = r.u16()? as usize;
                 let mut children = Vec::with_capacity(count + 1);
                 for _ in 0..=count {
                     children.push(r.u32()?);
                 }
+                let mut counts = Vec::new();
+                if tag == TAG_INTERNAL_V2 {
+                    counts.reserve(count + 1);
+                    for _ in 0..=count {
+                        counts.push(r.u64()?);
+                    }
+                }
                 let mut seps = Vec::with_capacity(count);
                 for _ in 0..count {
                     seps.push(R::decode(&mut r)?);
                 }
-                Ok(Node::Internal { children, seps })
+                Ok(Node::Internal {
+                    children,
+                    seps,
+                    counts,
+                })
             }
             _ => Err(PagerError::Corrupt("unknown b+tree node tag")),
         }
@@ -157,6 +199,7 @@ mod tests {
         let n = Node::Internal {
             children: vec![3, 4, 5],
             seps: vec![kv(10), kv(20)],
+            counts: Vec::new(),
         };
         let mut buf = vec![0u8; 128];
         n.encode(&mut buf).unwrap();
@@ -167,11 +210,65 @@ mod tests {
     }
 
     #[test]
+    fn internal_v2_roundtrip_keeps_counts() {
+        let n = Node::Internal {
+            children: vec![3, 4, 5],
+            seps: vec![kv(10), kv(20)],
+            counts: vec![7, 9, 4],
+        };
+        let mut buf = vec![0u8; 128];
+        n.encode(&mut buf).unwrap();
+        assert_eq!(buf[0], TAG_INTERNAL_V2);
+        let d = Node::<KeyValue>::decode(&buf).unwrap();
+        assert_eq!(d, n);
+    }
+
+    #[test]
+    fn v1_image_decodes_with_unknown_counts() {
+        // Hand-build a v1 page image (tag 2, no counts section) and check
+        // it decodes to `counts: []` — the read-compat path for trees
+        // persisted before the count field existed.
+        let mut buf = vec![0u8; 128];
+        {
+            let mut w = ByteWriter::new(&mut buf);
+            w.u8(TAG_INTERNAL).unwrap();
+            w.u16(1).unwrap();
+            w.u32(3).unwrap();
+            w.u32(4).unwrap();
+            kv(10).encode(&mut w).unwrap();
+        }
+        let d = Node::<KeyValue>::decode(&buf).unwrap();
+        assert_eq!(
+            d,
+            Node::Internal {
+                children: vec![3, 4],
+                seps: vec![kv(10)],
+                counts: Vec::new(),
+            }
+        );
+    }
+
+    #[test]
     fn capacities() {
-        // 16-byte records: leaf gets (128-7)/16 = 7, internal (128-7)/20 = 6.
+        // 16-byte records: leaf gets (128-7)/16 = 7; internal budgets a
+        // child pointer and a subtree count per separator (plus one extra
+        // of each for the first child): (128-15)/28 = 4.
         assert_eq!(Node::<KeyValue>::leaf_capacity(128), 7);
-        assert_eq!(Node::<KeyValue>::internal_capacity(128), 6);
+        assert_eq!(Node::<KeyValue>::internal_capacity(128), 4);
         assert_eq!(Node::<KeyValue>::leaf_capacity(4), 0);
+    }
+
+    #[test]
+    fn full_v2_node_fits_its_page() {
+        let cap = Node::<KeyValue>::internal_capacity(128);
+        let n = Node::Internal {
+            children: (0..=cap as u32).collect(),
+            seps: (0..cap).map(|i| kv(i as i64)).collect(),
+            counts: vec![1; cap + 1],
+        };
+        let mut buf = vec![0u8; 128];
+        n.encode(&mut buf).unwrap();
+        assert_eq!(Node::<KeyValue>::decode(&buf).unwrap(), n);
     }
 
     #[test]
@@ -179,8 +276,15 @@ mod tests {
         let n: Node<KeyValue> = Node::Internal {
             children: vec![1],
             seps: vec![kv(1)],
+            counts: Vec::new(),
         };
         let mut buf = vec![0u8; 64];
+        assert!(n.encode(&mut buf).is_err());
+        let n: Node<KeyValue> = Node::Internal {
+            children: vec![1, 2],
+            seps: vec![kv(1)],
+            counts: vec![5],
+        };
         assert!(n.encode(&mut buf).is_err());
     }
 

@@ -126,7 +126,7 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
 
         // Split `records` into chunks of size cap, rebalancing the last two.
         let chunks = split_chunks(records.len(), tree.leaf_cap, (tree.leaf_cap / 2).max(1));
-        let mut level: Vec<(PageId, R)> = Vec::with_capacity(chunks.len());
+        let mut level: Vec<(PageId, R, u64)> = Vec::with_capacity(chunks.len());
         let mut pages: Vec<PageId> = Vec::with_capacity(chunks.len());
         for _ in 0..chunks.len() {
             pages.push(pager.allocate()?);
@@ -144,9 +144,11 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                 },
             };
             write_node(pager, pages[i], &node)?;
-            level.push((pages[i], recs[0]));
+            level.push((pages[i], recs[0], sz as u64));
         }
-        // Build internal levels until a single node remains.
+        // Build internal levels until a single node remains. Every
+        // internal node records its children's exact subtree counts
+        // (the v2 layout), the fuel for count-mode queries.
         let mut height = 0u32;
         while level.len() > 1 {
             height += 1;
@@ -161,11 +163,12 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                 off += sz;
                 let id = pager.allocate()?;
                 let node = Node::Internal {
-                    children: group.iter().map(|&(p, _)| p).collect(),
-                    seps: group[1..].iter().map(|&(_, r)| r).collect(),
+                    children: group.iter().map(|&(p, _, _)| p).collect(),
+                    seps: group[1..].iter().map(|&(_, r, _)| r).collect(),
+                    counts: group.iter().map(|&(_, _, n)| n).collect(),
                 };
                 write_node(pager, id, &node)?;
-                next_level.push((id, group[0].1));
+                next_level.push((id, group[0].1, group.iter().map(|&(_, _, n)| n).sum()));
             }
             level = next_level;
         }
@@ -240,7 +243,7 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         let mut id = self.root;
         loop {
             match read_node::<R>(pager, id)? {
-                Node::Internal { children, seps } => {
+                Node::Internal { children, seps, .. } => {
                     // Skip children whose whole range sorts before the
                     // probe. `sep[i]` is the minimum of child `i+1`, so on
                     // `probe ≥ sep[i]` the lower bound cannot be in
@@ -272,7 +275,7 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         let mut id = self.root;
         loop {
             match read_node::<R>(pager, id)? {
-                Node::Internal { children, seps } => {
+                Node::Internal { children, seps, .. } => {
                     let idx = seps
                         .iter()
                         .take_while(|s| probe.cmp_record(s) != Ordering::Less)
@@ -284,6 +287,63 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         }
     }
 
+    /// The *rank* of `probe`: how many records sort strictly before its
+    /// lower-bound position. One page per level when the descent only
+    /// meets internal nodes with stored subtree counts (the v2 layout);
+    /// count-free (v1) subtrees left of the descent are recursed into —
+    /// still exact, just more reads.
+    pub fn rank(&self, pager: &Pager, probe: &impl Probe<R>) -> Result<u64> {
+        let mut total = 0u64;
+        let mut id = self.root;
+        loop {
+            match read_node::<R>(pager, id)? {
+                Node::Internal {
+                    children,
+                    seps,
+                    counts,
+                } => {
+                    let idx = seps
+                        .iter()
+                        .take_while(|s| probe.cmp_record(s) != Ordering::Less)
+                        .count();
+                    if counts.len() == children.len() {
+                        total += counts[..idx].iter().sum::<u64>();
+                    } else {
+                        for &c in &children[..idx] {
+                            total += count_subtree::<R>(pager, c)?;
+                        }
+                    }
+                    id = children[idx];
+                }
+                Node::Leaf { records, .. } => {
+                    total += records
+                        .iter()
+                        .take_while(|r| probe.cmp_record(r) == Ordering::Greater)
+                        .count() as u64;
+                    return Ok(total);
+                }
+            }
+        }
+    }
+
+    /// Number of records in the half-open probe range `[lo, hi)` — the
+    /// records a cursor started at `lower_bound(lo)` would yield before
+    /// reaching `lower_bound(hi)`. Two root-to-leaf descents; none of
+    /// the range's own leaves are read.
+    pub fn count_range(
+        &self,
+        pager: &Pager,
+        lo: &impl Probe<R>,
+        hi: &impl Probe<R>,
+    ) -> Result<u64> {
+        Ok(self.rank(pager, hi)?.saturating_sub(self.rank(pager, lo)?))
+    }
+
+    /// Number of records at or after the lower bound of `probe`.
+    pub fn count_from(&self, pager: &Pager, probe: &impl Probe<R>) -> Result<u64> {
+        Ok(self.len.saturating_sub(self.rank(pager, probe)?))
+    }
+
     /// Find the record comparing `Equal` to `rec` (under the tree order)
     /// and patch it in place with `f`. `f` must not change fields the
     /// comparator reads. Returns whether a record was patched.
@@ -291,7 +351,7 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         let mut id = self.root;
         loop {
             match read_node::<R>(pager, id)? {
-                Node::Internal { children, seps } => {
+                Node::Internal { children, seps, .. } => {
                     let idx = seps
                         .iter()
                         .take_while(|s| self.ord.cmp_records(rec, s) != Ordering::Less)
@@ -356,19 +416,25 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
 
     /// Insert `rec`. Returns `false` (no-op) if a record comparing
     /// `Equal` already exists. `O(height)` reads + writes, plus splits.
+    /// Internal nodes storing subtree counts are rewritten along the
+    /// descent so their counts stay exact.
     pub fn insert(&mut self, pager: &Pager, rec: R) -> Result<bool> {
         // Descend, keeping the path (page, decoded node, chosen child idx).
-        let mut path: Vec<(PageId, Vec<PageId>, Vec<R>, usize)> = Vec::new();
+        let mut path: Vec<PathEntry<R>> = Vec::new();
         let mut id = self.root;
         let (mut leaf_records, mut leaf_next) = loop {
             match read_node::<R>(pager, id)? {
-                Node::Internal { children, seps } => {
+                Node::Internal {
+                    children,
+                    seps,
+                    counts,
+                } => {
                     let idx = seps
                         .iter()
                         .take_while(|s| self.ord.cmp_records(&rec, s) != Ordering::Less)
                         .count();
                     let child = children[idx];
-                    path.push((id, children, seps, idx));
+                    path.push((id, children, seps, counts, idx));
                     id = child;
                 }
                 Node::Leaf { records, next } => break (records, next),
@@ -396,6 +462,7 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                     next: leaf_next,
                 },
             )?;
+            bump_path_counts::<R>(pager, path, 1)?;
             return Ok(true);
         }
 
@@ -403,10 +470,11 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         let mid = leaf_records.len() / 2;
         let right_records = leaf_records.split_off(mid);
         let right_id = pager.allocate()?;
-        let mut promoted = (right_records[0], right_id);
-        // `split_left` tracks the left sibling of the promoted entry, so a
-        // root split knows both children of the new root.
-        let mut split_left = leaf_id;
+        // The promoted entry and its left sibling carry their halves'
+        // exact subtree counts (known for a leaf split; for internal
+        // splits only when the split node stored counts itself).
+        let mut promoted = (right_records[0], right_id, Some(right_records.len() as u64));
+        let mut split_left = (leaf_id, Some(leaf_records.len() as u64));
         write_node(
             pager,
             right_id,
@@ -432,19 +500,44 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                     // Split reached the root: grow the tree.
                     let new_root = pager.allocate()?;
                     let node = Node::Internal {
-                        children: vec![split_left, promoted.1],
+                        children: vec![split_left.0, promoted.1],
                         seps: vec![promoted.0],
+                        counts: match (split_left.1, promoted.2) {
+                            (Some(l), Some(r)) => vec![l, r],
+                            _ => Vec::new(),
+                        },
                     };
                     write_node(pager, new_root, &node)?;
                     self.root = new_root;
                     self.height += 1;
                     return Ok(true);
                 }
-                Some((pid, mut children, mut seps, idx)) => {
+                Some((pid, mut children, mut seps, mut counts, idx)) => {
                     seps.insert(idx, promoted.0);
                     children.insert(idx + 1, promoted.1);
+                    if !counts.is_empty() {
+                        match (split_left.1, promoted.2) {
+                            (Some(l), Some(r)) => {
+                                counts[idx] = l;
+                                counts.insert(idx + 1, r);
+                            }
+                            // A count-free child split under us: this
+                            // node's entry for it was already unknown in
+                            // spirit; degrade to the v1 layout.
+                            _ => counts = Vec::new(),
+                        }
+                    }
                     if seps.len() <= self.int_cap {
-                        write_node(pager, pid, &Node::Internal { children, seps })?;
+                        write_node(
+                            pager,
+                            pid,
+                            &Node::Internal {
+                                children,
+                                seps,
+                                counts,
+                            },
+                        )?;
+                        bump_path_counts::<R>(pager, path, 1)?;
                         return Ok(true);
                     }
                     // Split internal node: middle separator moves up.
@@ -453,6 +546,16 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                     let right_seps = seps.split_off(mid + 1);
                     seps.pop(); // remove `up`
                     let right_children = children.split_off(mid + 1);
+                    let (right_counts, lc, rc) =
+                        if counts.len() == children.len() + right_children.len() {
+                            let right_counts = counts.split_off(children.len());
+                            let lc = counts.iter().sum::<u64>();
+                            let rc = right_counts.iter().sum::<u64>();
+                            (right_counts, Some(lc), Some(rc))
+                        } else {
+                            counts = Vec::new();
+                            (Vec::new(), None, None)
+                        };
                     let right_id = pager.allocate()?;
                     write_node(
                         pager,
@@ -460,30 +563,47 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                         &Node::Internal {
                             children: right_children,
                             seps: right_seps,
+                            counts: right_counts,
                         },
                     )?;
-                    write_node(pager, pid, &Node::Internal { children, seps })?;
-                    split_left = pid;
-                    promoted = (up, right_id);
+                    write_node(
+                        pager,
+                        pid,
+                        &Node::Internal {
+                            children,
+                            seps,
+                            counts,
+                        },
+                    )?;
+                    split_left = (pid, lc);
+                    promoted = (up, right_id, rc);
                 }
             }
         }
     }
 
     /// Remove the record comparing `Equal` to `rec`. Returns whether a
-    /// record was removed. Rebalances by borrow/merge.
+    /// record was removed. Rebalances by borrow/merge. Subtree counts on
+    /// the descent path stay exact unless the removal underflows the
+    /// leaf, in which case the rebalanced ancestors degrade to the
+    /// count-free (v1) layout — count queries through them fall back to
+    /// recursion until the next bulk rebuild restores counts.
     pub fn remove(&mut self, pager: &Pager, rec: &R) -> Result<bool> {
-        let mut path: Vec<(PageId, Vec<PageId>, Vec<R>, usize)> = Vec::new();
+        let mut path: Vec<PathEntry<R>> = Vec::new();
         let mut id = self.root;
         let (mut records, next) = loop {
             match read_node::<R>(pager, id)? {
-                Node::Internal { children, seps } => {
+                Node::Internal {
+                    children,
+                    seps,
+                    counts,
+                } => {
                     let idx = seps
                         .iter()
                         .take_while(|s| self.ord.cmp_records(rec, s) != Ordering::Less)
                         .count();
                     let child = children[idx];
-                    path.push((id, children, seps, idx));
+                    path.push((id, children, seps, counts, idx));
                     id = child;
                 }
                 Node::Leaf { records, next } => break (records, next),
@@ -509,8 +629,31 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
             },
         )?;
         if records.len() >= min_leaf || path.is_empty() {
+            bump_path_counts::<R>(pager, path, -1)?;
             return Ok(true);
         }
+        // Underflow: the borrow/merge below rewrites an unpredictable
+        // set of ancestors and siblings, so exact counts cannot be
+        // carried through. Degrade every path node to unknown counts
+        // first; the rebalance then writes count-free nodes throughout.
+        for (pid, children, seps, counts, _) in &mut path {
+            if !counts.is_empty() {
+                counts.clear();
+                write_node(
+                    pager,
+                    *pid,
+                    &Node::Internal {
+                        children: children.clone(),
+                        seps: seps.clone(),
+                        counts: Vec::new(),
+                    },
+                )?;
+            }
+        }
+        let path = path
+            .into_iter()
+            .map(|(pid, children, seps, _, idx)| (pid, children, seps, idx))
+            .collect();
         self.rebalance_leaf(pager, leaf_id, records, next, path)?;
         Ok(true)
     }
@@ -602,9 +745,16 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                 *count += records.len() as u64;
                 leaf_pages.push(id);
             }
-            Node::Internal { children, seps } => {
+            Node::Internal {
+                children,
+                seps,
+                counts,
+            } => {
                 if depth_left == 0 {
                     return Err(PagerError::Corrupt("internal node at leaf depth"));
+                }
+                if !counts.is_empty() && counts.len() != children.len() {
+                    return Err(PagerError::Corrupt("internal count arity"));
                 }
                 let min_int = (self.int_cap / 2).max(1);
                 if !is_root && seps.len() < min_int {
@@ -627,6 +777,7 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                 for (i, &c) in children.iter().enumerate() {
                     let lo2 = if i == 0 { lo } else { Some(&seps[i - 1]) };
                     let hi2 = if i == seps.len() { hi } else { Some(&seps[i]) };
+                    let before = *count;
                     self.validate_node(
                         pager,
                         c,
@@ -637,6 +788,9 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                         leaf_pages,
                         count,
                     )?;
+                    if !counts.is_empty() && counts[i] != *count - before {
+                        return Err(PagerError::Corrupt("b+tree stored subtree count wrong"));
+                    }
                 }
             }
         }
@@ -687,7 +841,15 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                             next,
                         },
                     )?;
-                    write_node(pager, pid, &Node::Internal { children, seps })?;
+                    write_node(
+                        pager,
+                        pid,
+                        &Node::Internal {
+                            children,
+                            seps,
+                            counts: Vec::new(),
+                        },
+                    )?;
                     return Ok(());
                 }
                 // Merge leaf into left sibling.
@@ -737,7 +899,15 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                         next,
                     },
                 )?;
-                write_node(pager, pid, &Node::Internal { children, seps })?;
+                write_node(
+                    pager,
+                    pid,
+                    &Node::Internal {
+                        children,
+                        seps,
+                        counts: Vec::new(),
+                    },
+                )?;
                 return Ok(());
             }
             let mut merged = records;
@@ -775,12 +945,28 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                 self.height -= 1;
                 pager.free(pid)?;
             } else {
-                write_node(pager, pid, &Node::Internal { children, seps })?;
+                write_node(
+                    pager,
+                    pid,
+                    &Node::Internal {
+                        children,
+                        seps,
+                        counts: Vec::new(),
+                    },
+                )?;
             }
             return Ok(());
         }
         if seps.len() >= min_int {
-            write_node(pager, pid, &Node::Internal { children, seps })?;
+            write_node(
+                pager,
+                pid,
+                &Node::Internal {
+                    children,
+                    seps,
+                    counts: Vec::new(),
+                },
+            )?;
             return Ok(());
         }
         // Internal underflow: borrow or merge via the grandparent.
@@ -792,6 +978,7 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
             if let Node::Internal {
                 children: mut lch,
                 seps: mut lseps,
+                ..
             } = read_node::<R>(pager, left_id)?
             {
                 if lseps.len() > min_int {
@@ -813,15 +1000,25 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                         &Node::Internal {
                             children: lch,
                             seps: lseps,
+                            counts: Vec::new(),
                         },
                     )?;
-                    write_node(pager, pid, &Node::Internal { children, seps })?;
+                    write_node(
+                        pager,
+                        pid,
+                        &Node::Internal {
+                            children,
+                            seps,
+                            counts: Vec::new(),
+                        },
+                    )?;
                     write_node(
                         pager,
                         gid,
                         &Node::Internal {
                             children: gchildren,
                             seps: gseps,
+                            counts: Vec::new(),
                         },
                     )?;
                     return Ok(());
@@ -836,6 +1033,7 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                     &Node::Internal {
                         children: lch,
                         seps: lseps,
+                        counts: Vec::new(),
                     },
                 )?;
                 pager.free(pid)?;
@@ -849,6 +1047,7 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
         if let Node::Internal {
             children: mut rch,
             seps: mut rseps,
+            ..
         } = read_node::<R>(pager, right_id)?
         {
             if rseps.len() > min_int {
@@ -865,15 +1064,25 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
                     &Node::Internal {
                         children: rch,
                         seps: rseps,
+                        counts: Vec::new(),
                     },
                 )?;
-                write_node(pager, pid, &Node::Internal { children, seps })?;
+                write_node(
+                    pager,
+                    pid,
+                    &Node::Internal {
+                        children,
+                        seps,
+                        counts: Vec::new(),
+                    },
+                )?;
                 write_node(
                     pager,
                     gid,
                     &Node::Internal {
                         children: gchildren,
                         seps: gseps,
+                        counts: Vec::new(),
                     },
                 )?;
                 return Ok(());
@@ -883,13 +1092,68 @@ impl<R: Record, O: RecordOrd<R>> BPlusTree<R, O> {
             seps.push(gseps[gidx]);
             seps.extend(rseps);
             children.extend(rch);
-            write_node(pager, pid, &Node::Internal { children, seps })?;
+            write_node(
+                pager,
+                pid,
+                &Node::Internal {
+                    children,
+                    seps,
+                    counts: Vec::new(),
+                },
+            )?;
             pager.free(right_id)?;
             gchildren.remove(gidx + 1);
             gseps.remove(gidx);
             return self.finish_internal_underflow(pager, gid, gchildren, gseps, path);
         }
         Err(PagerError::Corrupt("internal sibling is leaf"))
+    }
+}
+
+/// A decoded internal node on a descent path: (page, children, seps,
+/// counts, chosen child index).
+type PathEntry<R> = (PageId, Vec<PageId>, Vec<R>, Vec<u64>, usize);
+
+/// Rewrite each path node whose stored subtree counts are present,
+/// adjusting the descended-into child's count by `delta`. Count-free
+/// (v1) nodes are left untouched — no extra writes for them.
+fn bump_path_counts<R: Record>(pager: &Pager, path: Vec<PathEntry<R>>, delta: i64) -> Result<()> {
+    for (pid, children, seps, mut counts, idx) in path {
+        if counts.is_empty() {
+            continue;
+        }
+        counts[idx] = counts[idx].wrapping_add_signed(delta);
+        write_node(
+            pager,
+            pid,
+            &Node::Internal {
+                children,
+                seps,
+                counts,
+            },
+        )?;
+    }
+    Ok(())
+}
+
+/// Exact record count of the subtree at `id`. One read when the node
+/// stores counts; otherwise recurses (the v1 fallback).
+fn count_subtree<R: Record>(pager: &Pager, id: PageId) -> Result<u64> {
+    match read_node::<R>(pager, id)? {
+        Node::Leaf { records, .. } => Ok(records.len() as u64),
+        Node::Internal {
+            children, counts, ..
+        } => {
+            if counts.len() == children.len() {
+                Ok(counts.iter().sum())
+            } else {
+                let mut total = 0u64;
+                for c in children {
+                    total += count_subtree::<R>(pager, c)?;
+                }
+                Ok(total)
+            }
+        }
     }
 }
 
@@ -1096,14 +1360,85 @@ mod tests {
 
     #[test]
     fn search_io_is_logarithmic() {
-        let p = pager(128); // leaf cap 7, int cap 6 → fanout 7
+        let p = pager(128); // leaf cap 7, int cap 4 → fanout 5
         let recs: Vec<KeyValue> = (0..5000).map(kv).collect();
         let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
         p.reset_stats();
         let _ = t.lower_bound(&p, &probe(2500)).unwrap();
         let reads = p.stats().reads;
-        // height+1 pages, height ≈ log_7(5000/7) ≈ 4
+        // height+1 pages, height ≈ log_5(5000/7) ≈ 4
         assert!(reads <= (t.height() + 2) as u64, "reads={reads}");
         assert!(reads >= 2);
+    }
+
+    #[test]
+    fn rank_matches_brute_force_and_skips_leaves() {
+        let p = pager(128);
+        let recs: Vec<KeyValue> = (0..2000).map(|i| kv(i * 2)).collect(); // evens
+        let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        t.validate(&p).unwrap(); // checks stored subtree counts too
+        for k in [-3i64, 0, 1, 777, 1998, 3998, 9999] {
+            let expect = recs.iter().filter(|r| r.key < k).count() as u64;
+            assert_eq!(t.rank(&p, &probe(k)).unwrap(), expect, "rank({k})");
+        }
+        // A rank descent reads one page per level — no leaf-range scan.
+        p.reset_stats();
+        let _ = t.rank(&p, &probe(1999)).unwrap();
+        assert!(p.stats().reads <= (t.height() + 1) as u64);
+    }
+
+    #[test]
+    fn count_range_and_count_from() {
+        let p = pager(128);
+        let recs: Vec<KeyValue> = (0..1000).map(kv).collect();
+        let t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        assert_eq!(t.count_range(&p, &probe(100), &probe(350)).unwrap(), 250);
+        assert_eq!(t.count_range(&p, &probe(350), &probe(100)).unwrap(), 0);
+        assert_eq!(t.count_from(&p, &probe(990)).unwrap(), 10);
+        // Count answered without touching the range's leaves: far fewer
+        // reads than the 250-record cursor walk would pay.
+        p.reset_stats();
+        let _ = t.count_range(&p, &probe(100), &probe(350)).unwrap();
+        let count_reads = p.stats().reads;
+        assert!(
+            count_reads <= 2 * (t.height() + 1) as u64,
+            "count_reads={count_reads}"
+        );
+    }
+
+    #[test]
+    fn counts_stay_exact_under_inserts() {
+        let p = pager(128);
+        let recs: Vec<KeyValue> = (0..400).map(|i| kv(i * 3)).collect();
+        let mut t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        // Interleave inserts (including ones forcing leaf + internal
+        // splits); validate() verifies every stored count afterwards.
+        for i in 0..400 {
+            assert!(t.insert(&p, kv(i * 3 + 1)).unwrap());
+            if i % 97 == 0 {
+                t.validate(&p).unwrap();
+            }
+        }
+        t.validate(&p).unwrap();
+        assert_eq!(t.rank(&p, &probe(i64::MAX)).unwrap(), 800);
+    }
+
+    #[test]
+    fn counts_survive_removals_correctly() {
+        let p = pager(128);
+        let recs: Vec<KeyValue> = (0..600).map(kv).collect();
+        let mut t = BPlusTree::bulk_load(&p, KeyOrder, &recs).unwrap();
+        // Removals may degrade rebalanced ancestors to count-free nodes;
+        // rank must stay exact either way (validate checks both).
+        for k in 0..300 {
+            assert!(t.remove(&p, &kv(k * 2)).unwrap());
+            if k % 59 == 0 {
+                t.validate(&p).unwrap();
+            }
+        }
+        t.validate(&p).unwrap();
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.rank(&p, &probe(300)).unwrap(), 150);
+        assert_eq!(t.count_from(&p, &probe(0)).unwrap(), 300);
     }
 }

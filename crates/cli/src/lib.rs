@@ -11,6 +11,14 @@
 //! segdb-cli query <db> ray-up <x> <y> | ray-down <x> <y>
 //! segdb-cli query <db> free <x1> <y1> <x2> <y2>          # any-direction (§5 extension)
 //! segdb-cli query --remote <host:port> <shape> <coords…>  # via the resilient client
+//!
+//! query modes (line / ray-up / ray-down / segment, local or remote):
+//!   --count                 answer with the hit count only (no segments
+//!                           are streamed; count-capable indexes skip
+//!                           second-level page reads entirely)
+//!   --exists                answer `true`/`false`, stopping at the
+//!                           first hit
+//!   --limit <k>             report at most k segments, then stop
 //! segdb-cli insert <db> <id> <x1> <y1> <x2> <y2>
 //! segdb-cli remove <db> <id> <x1> <y1> <x2> <y2>
 //! segdb-cli stats <db> [csv] [--sample <n>] [--seed <s>] [--human]
@@ -77,7 +85,9 @@
 //! a comment. All logic lives in this library crate so the integration
 //! tests drive [`run`] directly.
 
-use segdb_core::{torture, DbError, IndexKind, QueryTrace, SegmentDatabase};
+use segdb_core::{
+    torture, DbError, IndexKind, QueryAnswer, QueryMode, QueryTrace, SegmentDatabase,
+};
 use segdb_geom::gen::Family;
 use segdb_geom::Segment;
 use segdb_obs::trace::TraceSummary;
@@ -331,9 +341,63 @@ fn remote_client(addr: &str) -> segdb_server::Client {
     })
 }
 
+/// Strip `--count` / `--exists` / `--limit <k>` out of a `query`
+/// argument list, returning the selected mode and the remaining
+/// positional arguments.
+fn split_query_mode(args: &[String]) -> Result<(QueryMode, Vec<String>), CliError> {
+    let mut mode = QueryMode::Collect;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--count" => mode = QueryMode::Count,
+            "--exists" => mode = QueryMode::Exists,
+            "--limit" => {
+                let k = num(args, i + 1, "limit")?;
+                if k < 0 {
+                    return usage("limit must be non-negative");
+                }
+                mode = QueryMode::Limit(k as u32);
+                i += 1;
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok((mode, rest))
+}
+
+/// Render a mode-aware query answer: segments as CSV for collect/limit,
+/// a bare number for `--count`, `true`/`false` for `--exists`, plus a
+/// trailing `#` summary line carrying the I/O counters.
+fn render_answer(answer: &QueryAnswer, trace: &QueryTrace) -> String {
+    let mut out = String::new();
+    match answer {
+        QueryAnswer::Segments(hits) => {
+            for h in hits {
+                let _ = writeln!(out, "{},{},{},{},{}", h.id, h.a.x, h.a.y, h.b.x, h.b.y);
+            }
+            let _ = writeln!(out, "# {} hits, {} block reads", hits.len(), trace.io.reads);
+        }
+        QueryAnswer::Count(c) => {
+            let _ = writeln!(out, "{c}");
+            let _ = writeln!(
+                out,
+                "# count, {} block reads, {} pages saved",
+                trace.io.reads, trace.pages_saved
+            );
+        }
+        QueryAnswer::Exists(found) => {
+            let _ = writeln!(out, "{found}");
+            let _ = writeln!(out, "# exists, {} block reads", trace.io.reads);
+        }
+    }
+    out
+}
+
 /// `query --remote <addr> <shape> <coords…>`: run one query against a
 /// live server through the resilient (reconnect-and-retry) client.
-fn run_remote_query(args: &[String]) -> Result<String, CliError> {
+fn run_remote_query(args: &[String], mode: QueryMode) -> Result<String, CliError> {
     let addr = want(args, 2, "address")?;
     let shape = want(args, 3, "query shape")?;
     let (method, params): (&str, Vec<(&str, i64)>) = match shape {
@@ -361,14 +425,26 @@ fn run_remote_query(args: &[String]) -> Result<String, CliError> {
             ))
         }
     };
-    let ids = remote_client(addr)
-        .query_ids(method, &params)
+    let reply = remote_client(addr)
+        .query_mode(method, &params, mode)
         .map_err(|e| CliError::Io(format!("remote query failed: {e}")))?;
     let mut out = String::new();
-    for id in &ids {
-        let _ = writeln!(out, "{id}");
+    match mode {
+        QueryMode::Count => {
+            let _ = writeln!(out, "{}", reply.count);
+            let _ = writeln!(out, "# count (remote)");
+        }
+        QueryMode::Exists => {
+            let _ = writeln!(out, "{}", reply.count > 0);
+            let _ = writeln!(out, "# exists (remote)");
+        }
+        QueryMode::Collect | QueryMode::Limit(_) => {
+            for id in &reply.ids {
+                let _ = writeln!(out, "{id}");
+            }
+            let _ = writeln!(out, "# {} hits (remote ids)", reply.ids.len());
+        }
     }
-    let _ = writeln!(out, "# {} hits (remote ids)", ids.len());
     Ok(out)
 }
 
@@ -448,31 +524,37 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             ))
         }
         "query" => {
+            let (mode, args) = split_query_mode(args)?;
+            let args = args.as_slice();
             if want(args, 1, "db path")? == "--remote" {
-                return run_remote_query(args);
+                return run_remote_query(args, mode);
             }
             let db = SegmentDatabase::open(want(args, 1, "db path")?, 0)?;
             let shape = want(args, 2, "query shape")?;
-            let (hits, trace) = match shape {
-                "line" => db.query_line((num(args, 3, "x")?, num(args, 4, "y")?))?,
-                "ray-up" => db.query_ray_up((num(args, 3, "x")?, num(args, 4, "y")?))?,
-                "ray-down" => db.query_ray_down((num(args, 3, "x")?, num(args, 4, "y")?))?,
-                "segment" => db.query_segment(
+            let (answer, trace) = match shape {
+                "line" => db.query_line_mode((num(args, 3, "x")?, num(args, 4, "y")?), mode)?,
+                "ray-up" => db.query_ray_up_mode((num(args, 3, "x")?, num(args, 4, "y")?), mode)?,
+                "ray-down" => {
+                    db.query_ray_down_mode((num(args, 3, "x")?, num(args, 4, "y")?), mode)?
+                }
+                "segment" => db.query_segment_mode(
                     (num(args, 3, "x1")?, num(args, 4, "y1")?),
                     (num(args, 5, "x2")?, num(args, 6, "y2")?),
+                    mode,
                 )?,
-                "free" => db.query_free_segment(
-                    (num(args, 3, "x1")?, num(args, 4, "y1")?),
-                    (num(args, 5, "x2")?, num(args, 6, "y2")?),
-                )?,
+                "free" => {
+                    if mode != QueryMode::Collect {
+                        return usage("query modes apply to line|ray-up|ray-down|segment only");
+                    }
+                    let (hits, trace) = db.query_free_segment(
+                        (num(args, 3, "x1")?, num(args, 4, "y1")?),
+                        (num(args, 5, "x2")?, num(args, 6, "y2")?),
+                    )?;
+                    (QueryAnswer::Segments(hits), trace)
+                }
                 other => return usage(format!("unknown query shape '{other}'")),
             };
-            let mut out = String::new();
-            for h in &hits {
-                let _ = writeln!(out, "{},{},{},{},{}", h.id, h.a.x, h.a.y, h.b.x, h.b.y);
-            }
-            let _ = writeln!(out, "# {} hits, {} block reads", hits.len(), trace.io.reads);
-            Ok(out)
+            Ok(render_answer(&answer, &trace))
         }
         "stats" => {
             if want(args, 1, "db path")? == "--remote" {

@@ -323,6 +323,79 @@ fn stats_and_trace_emit_valid_json() {
 }
 
 #[test]
+fn query_modes_local() {
+    let csv_path = tmp("modes.csv");
+    let db_path = tmp("modes.db");
+    let csv = run(&a(&["gen", "strips", "300", "17"])).unwrap();
+    std::fs::write(&csv_path, &csv).unwrap();
+    run(&a(&[
+        "build",
+        &db_path,
+        &csv_path,
+        "--page-size",
+        "1024",
+        "--index",
+        "interval",
+    ]))
+    .unwrap();
+    let set = parse_csv(&csv).unwrap();
+    let x = set[0].a.x.to_string();
+
+    // Collect is the baseline: count the CSV hit lines.
+    let out = run(&a(&["query", &db_path, "line", &x, "0"])).unwrap();
+    let collected = out.lines().filter(|l| !l.starts_with('#')).count();
+    assert!(collected > 0, "{out}");
+
+    // --count answers with the same number, without streaming segments.
+    let out = run(&a(&["query", &db_path, "line", &x, "0", "--count"])).unwrap();
+    assert_eq!(
+        out.lines().next().unwrap().parse::<usize>().unwrap(),
+        collected,
+        "{out}"
+    );
+    assert!(out.contains("# count"), "{out}");
+
+    // --exists prints a boolean.
+    let out = run(&a(&["query", &db_path, "line", &x, "0", "--exists"])).unwrap();
+    assert_eq!(out.lines().next(), Some("true"), "{out}");
+    let out = run(&a(&[
+        "query",
+        &db_path,
+        "--exists",
+        "line",
+        "999999999",
+        "0",
+    ]))
+    .unwrap();
+    assert_eq!(out.lines().next(), Some("false"), "{out}");
+
+    // --limit truncates to k hits.
+    let k = 1.min(collected);
+    let out = run(&a(&["query", &db_path, "line", &x, "0", "--limit", "1"])).unwrap();
+    assert_eq!(
+        out.lines().filter(|l| !l.starts_with('#')).count(),
+        k,
+        "{out}"
+    );
+
+    // Modes do not combine with free-direction queries.
+    assert!(matches!(
+        run(&a(&[
+            "query", &db_path, "free", "0", "0", "1", "1", "--count"
+        ])),
+        Err(CliError::Usage(_))
+    ));
+    // A missing limit value is a usage error.
+    assert!(matches!(
+        run(&a(&["query", &db_path, "line", &x, "0", "--limit"])),
+        Err(CliError::Usage(_))
+    ));
+
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&db_path).ok();
+}
+
+#[test]
 fn remote_query_and_stats_round_trip() {
     let csv_path = tmp("remote.csv");
     let db_path = tmp("remote.db");
@@ -378,6 +451,57 @@ fn remote_query_and_stats_round_trip() {
     ]))
     .unwrap();
     assert!(out.lines().any(|l| l == s.id.to_string()), "{out}");
+
+    // Remote query modes: --count agrees with the collected hit count,
+    // --exists answers a boolean, --limit truncates.
+    let collect = run(&a(&[
+        "query",
+        "--remote",
+        &addr,
+        "line",
+        &s.a.x.to_string(),
+    ]))
+    .unwrap();
+    let collected = collect.lines().filter(|l| !l.starts_with('#')).count();
+    let out = run(&a(&[
+        "query",
+        "--remote",
+        &addr,
+        "line",
+        &s.a.x.to_string(),
+        "--count",
+    ]))
+    .unwrap();
+    assert_eq!(
+        out.lines().next().unwrap().parse::<usize>().unwrap(),
+        collected,
+        "{out}"
+    );
+    let out = run(&a(&[
+        "query",
+        "--remote",
+        &addr,
+        "line",
+        &s.a.x.to_string(),
+        "--exists",
+    ]))
+    .unwrap();
+    assert_eq!(out.lines().next(), Some("true"), "{out}");
+    let out = run(&a(&[
+        "query",
+        "--remote",
+        &addr,
+        "line",
+        &s.a.x.to_string(),
+        "--limit",
+        "1",
+    ]))
+    .unwrap();
+    assert_eq!(
+        out.lines().filter(|l| !l.starts_with('#')).count(),
+        1.min(collected),
+        "{out}"
+    );
 
     // `stats --remote` returns the server's stats document with the
     // hardening counters and the net-fault ledger.

@@ -19,11 +19,12 @@
 
 use segdb_bptree::{BPlusTree, Record, RecordOrd, TreeState};
 use segdb_geom::predicates::segments_intersect;
-use segdb_geom::{Point, Segment};
+use segdb_geom::{Point, ReportSink, Segment};
 use segdb_itree::overlap::{IntervalSet, IntervalSetState};
 use segdb_itree::{Interval, IntervalTreeConfig};
 use segdb_pager::{ByteReader, ByteWriter, Pager, PagerError, Result};
 use std::cmp::Ordering;
+use std::ops::ControlFlow;
 
 /// A bare segment record keyed by id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,24 +138,45 @@ impl AnyQueryIndex {
     /// segment `q` (same coordinate frame as the stored segments).
     /// Returns `(hits, candidate_count)`.
     pub fn query(&self, pager: &Pager, q: &Segment) -> Result<(Vec<Segment>, u32)> {
-        let mut candidates = Vec::new();
-        self.xset
-            .overlap_into(pager, Some(q.a.x), Some(q.b.x), &mut candidates)?;
-        let mut out = Vec::with_capacity(candidates.len() / 4);
-        for c in &candidates {
-            let id = c.id;
-            let mut cur = self
-                .byid
-                .lower_bound(pager, &move |r: &SegRec| id.cmp(&r.0.id))?;
-            let rec = cur
-                .next(pager)?
-                .filter(|r| r.0.id == id)
-                .ok_or(PagerError::Corrupt("candidate id missing from byid tree"))?;
-            if segments_intersect(&rec.0, q) {
-                out.push(rec.0);
-            }
+        let mut out = Vec::new();
+        let candidates = self.query_sink(pager, q, &mut out)?;
+        Ok((out, candidates))
+    }
+
+    /// Streaming form of [`AnyQueryIndex::query`]: candidates stream
+    /// out of the x-projection overlap walk one at a time (no candidate
+    /// `Vec`), each is resolved against `byid` and exact-filtered, and
+    /// hits push into `sink`. Returns the candidate count; a sink
+    /// `Break` stops the overlap walk immediately.
+    pub fn query_sink(&self, pager: &Pager, q: &Segment, sink: &mut dyn ReportSink) -> Result<u32> {
+        let mut candidates = 0u32;
+        let mut err: Option<PagerError> = None;
+        let _ = self
+            .xset
+            .overlap_ctl(pager, Some(q.a.x), Some(q.b.x), &mut |c| {
+                candidates += 1;
+                let id = c.id;
+                let rec = (|| {
+                    let mut cur = self
+                        .byid
+                        .lower_bound(pager, &move |r: &SegRec| id.cmp(&r.0.id))?;
+                    cur.next(pager)?
+                        .filter(|r| r.0.id == id)
+                        .ok_or(PagerError::Corrupt("candidate id missing from byid tree"))
+                })();
+                match rec {
+                    Ok(rec) if segments_intersect(&rec.0, q) => sink.report(&rec.0),
+                    Ok(_) => ControlFlow::Continue(()),
+                    Err(e) => {
+                        err = Some(e);
+                        ControlFlow::Break(())
+                    }
+                }
+            })?;
+        if let Some(e) = err {
+            return Err(e);
         }
-        Ok((out, candidates.len() as u32))
+        Ok(candidates)
     }
 
     /// Insert a segment.
@@ -197,6 +219,7 @@ impl AnyQueryIndex {
 mod tests {
     use super::*;
     use crate::report::ids;
+    use crate::testutil::oracle_intersect as oracle;
     use segdb_geom::gen::mixed_map;
     use segdb_pager::PagerConfig;
 
@@ -205,16 +228,6 @@ mod tests {
             page_size: 1024,
             cache_pages: 0,
         })
-    }
-
-    fn oracle(set: &[Segment], q: &Segment) -> Vec<u64> {
-        let mut v: Vec<u64> = set
-            .iter()
-            .filter(|s| segments_intersect(s, q))
-            .map(|s| s.id)
-            .collect();
-        v.sort_unstable();
-        v
     }
 
     #[test]

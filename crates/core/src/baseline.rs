@@ -15,10 +15,11 @@
 
 use crate::chain;
 use crate::report::QueryTrace;
-use segdb_geom::{Segment, VerticalQuery};
+use segdb_geom::{ReportSink, Segment, VerticalQuery};
 use segdb_itree::{Interval, IntervalTree, IntervalTreeConfig};
 use segdb_pager::{PageId, Pager, Result, StatScope};
 use std::collections::HashMap;
+use std::ops::ControlFlow;
 
 /// The `O(n)`-per-query exhaustive baseline (and correctness oracle).
 #[derive(Debug)]
@@ -58,22 +59,43 @@ impl FullScan {
 
     /// Answer a VS query by scanning everything.
     pub fn query(&self, pager: &Pager, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace)> {
-        let scope = StatScope::begin(pager);
         let mut out = Vec::new();
-        chain::scan(pager, self.head, |s| {
+        let trace = self.query_sink(pager, q, &mut out)?;
+        Ok((out, trace))
+    }
+
+    /// Streaming form of [`FullScan::query`]: push each hit into `sink`.
+    /// A `Break` abandons the rest of the chain — `pages_saved` in the
+    /// trace reports exactly how many pages that skipped.
+    pub fn query_sink(
+        &self,
+        pager: &Pager,
+        q: &VerticalQuery,
+        sink: &mut dyn ReportSink,
+    ) -> Result<QueryTrace> {
+        let scope = StatScope::begin(pager);
+        let mut hits = 0u64;
+        let flow = chain::scan_ctl(pager, self.head, |s| {
             if q.hits(&s) {
-                out.push(s);
+                hits += 1;
+                sink.report(&s)
+            } else {
+                ControlFlow::Continue(())
             }
         })?;
-        let hits = out.len() as u32;
-        Ok((
-            out,
-            QueryTrace {
-                hits,
-                io: scope.finish(),
-                ..QueryTrace::default()
-            },
-        ))
+        let io = scope.finish();
+        let total_pages = (self.len as usize).div_ceil(chain::cap(pager.page_size()).max(1)) as u64;
+        let pages_saved = if flow.is_break() {
+            total_pages.saturating_sub(io.reads + io.cache_hits)
+        } else {
+            0
+        };
+        Ok(QueryTrace {
+            hits: hits as u32,
+            pages_saved,
+            io,
+            ..QueryTrace::default()
+        })
     }
 }
 
@@ -144,31 +166,55 @@ impl StabThenFilter {
     /// filter. The trace's `second_level_probes` records the candidate
     /// count — the `t_stab − t` waste this baseline pays.
     pub fn query(&self, pager: &Pager, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace)> {
+        let mut out = Vec::new();
+        let trace = self.query_sink(pager, q, &mut out)?;
+        Ok((out, trace))
+    }
+
+    /// Streaming form of [`StabThenFilter::query`]. For full-line
+    /// queries every stabbed candidate is a hit, so a count-only sink is
+    /// answered straight from the stab tree's stored counts without
+    /// touching the candidate lists.
+    pub fn query_sink(
+        &self,
+        pager: &Pager,
+        q: &VerticalQuery,
+        sink: &mut dyn ReportSink,
+    ) -> Result<QueryTrace> {
         let scope = StatScope::begin(pager);
-        let mut candidates = Vec::new();
         segdb_obs::trace::emit(
             segdb_obs::trace::EventKind::SecondLevelProbe,
             segdb_obs::trace::probe::STAB_TREE,
             0,
         );
-        self.tree.stab_into(pager, q.x(), &mut candidates)?;
-        let mut out = Vec::with_capacity(candidates.len());
-        for c in &candidates {
-            let seg = self.segments[&c.id];
-            if q.hits(&seg) {
-                out.push(seg);
-            }
-        }
-        let hits = out.len() as u32;
-        Ok((
-            out,
-            QueryTrace {
-                second_level_probes: candidates.len() as u32,
-                hits,
+        if !sink.want_segments() && matches!(q, VerticalQuery::Line { .. }) {
+            let n = self.tree.stab_count(pager, q.x())?;
+            let _ = sink.report_count(n);
+            return Ok(QueryTrace {
+                second_level_probes: n as u32,
+                hits: n as u32,
                 io: scope.finish(),
                 ..QueryTrace::default()
-            },
-        ))
+            });
+        }
+        let mut candidates = 0u32;
+        let mut hits = 0u64;
+        let _ = self.tree.stab_ctl(pager, q.x(), &mut |iv| {
+            candidates += 1;
+            let seg = self.segments[&iv.id];
+            if q.hits(&seg) {
+                hits += 1;
+                sink.report(&seg)
+            } else {
+                ControlFlow::Continue(())
+            }
+        })?;
+        Ok(QueryTrace {
+            second_level_probes: candidates,
+            hits: hits as u32,
+            io: scope.finish(),
+            ..QueryTrace::default()
+        })
     }
 
     /// The raw segment chain (tests).

@@ -33,7 +33,7 @@
 
 use crate::chain;
 use crate::report::QueryTrace;
-use segdb_geom::{Segment, VerticalQuery};
+use segdb_geom::{FusedSink, ReportSink, Segment, VerticalQuery};
 use segdb_itree::overlap::{IntervalSet, IntervalSetState};
 use segdb_itree::{Interval, IntervalTreeConfig};
 use segdb_obs::trace::{emit as obs_emit, probe, EventKind};
@@ -41,6 +41,7 @@ use segdb_pager::{
     ByteReader, ByteWriter, PageId, Pager, PagerError, Result, StatScope, NULL_PAGE,
 };
 use segdb_pst::{Pst, PstConfig, PstState, Side};
+use std::ops::ControlFlow;
 
 const TAG_LEAF: u8 = 1;
 const TAG_INTERNAL: u8 = 2;
@@ -199,12 +200,29 @@ impl TwoLevelBinary {
 
     /// Answer a VS query; returns the hits and the query trace.
     pub fn query(&self, pager: &Pager, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace)> {
+        let mut out = Vec::new();
+        let trace = self.query_sink(pager, q, &mut out)?;
+        Ok((out, trace))
+    }
+
+    /// Streaming form of [`TwoLevelBinary::query`]: every hit is pushed
+    /// into `sink` in traversal order (C(v) verticals, then the PST,
+    /// walking root to leaf). A `Break` stops the walk where it stands;
+    /// a count-only sink gets `C(v)` answered from the interval set's
+    /// stored counts without reading its lists.
+    pub fn query_sink(
+        &self,
+        pager: &Pager,
+        q: &VerticalQuery,
+        sink: &mut dyn ReportSink,
+    ) -> Result<QueryTrace> {
         let scope = StatScope::begin(pager);
         let mut trace = QueryTrace::default();
-        let mut out = Vec::new();
+        let mut sink = FusedSink::new(sink);
+        let mut hits = 0u64;
         let (x0, lo, hi) = (q.x(), q.lo(), q.hi());
         let mut page = self.root;
-        while page != NULL_PAGE {
+        while page != NULL_PAGE && !sink.broke() {
             obs_emit(
                 EventKind::FirstLevelVisit,
                 u64::from(page),
@@ -214,9 +232,12 @@ impl TwoLevelBinary {
             let node = read_node(pager, page)?;
             match node {
                 Node::Leaf { head, .. } => {
-                    chain::scan(pager, head, |s| {
+                    let _ = chain::scan_ctl(pager, head, |s| {
                         if q.hits(&s) {
-                            out.push(s);
+                            hits += 1;
+                            sink.report(&s)
+                        } else {
+                            ControlFlow::Continue(())
                         }
                     })?;
                     break;
@@ -225,42 +246,64 @@ impl TwoLevelBinary {
                     if x0 == n.xv {
                         // C(v): on-line verticals overlapping [lo, hi].
                         let c = IntervalSet::attach(pager, IntervalTreeConfig::default(), n.c)?;
-                        let mut ivs = Vec::new();
-                        c.overlap_into(pager, lo, hi, &mut ivs)?;
                         obs_emit(EventKind::SecondLevelProbe, probe::C_SET, 0);
                         trace.second_level_probes += 1;
-                        for iv in ivs {
-                            out.push(
-                                Segment::new(iv.id, (n.xv, iv.lo), (n.xv, iv.hi))
-                                    .map_err(|_| PagerError::Corrupt("bad C(v) interval"))?,
-                            );
+                        if !sink.want_segments() {
+                            let cnt = c.overlap_count(pager, lo, hi)?;
+                            hits += cnt;
+                            let _ = sink.report_count(cnt);
+                        } else {
+                            let mut bad = false;
+                            let _ = c.overlap_ctl(pager, lo, hi, &mut |iv| match Segment::new(
+                                iv.id,
+                                (n.xv, iv.lo),
+                                (n.xv, iv.hi),
+                            ) {
+                                Ok(s) => {
+                                    hits += 1;
+                                    sink.report(&s)
+                                }
+                                Err(_) => {
+                                    bad = true;
+                                    ControlFlow::Break(())
+                                }
+                            })?;
+                            if bad {
+                                return Err(PagerError::Corrupt("bad C(v) interval"));
+                            }
+                        }
+                        if sink.broke() {
+                            break;
                         }
                         // L(v) holds every crossing segment; the query
                         // line passes through all their base points.
                         let l = Pst::attach(pager, n.xv, Side::Left, self.cfg.pst, n.l)?;
                         obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
-                        l.query_into(pager, x0, lo, hi, &mut out)?;
+                        let st = l.query_sink(pager, x0, lo, hi, &mut sink)?;
+                        hits += st.hits as u64;
                         trace.second_level_probes += 1;
                         break;
                     } else if x0 < n.xv {
                         let l = Pst::attach(pager, n.xv, Side::Left, self.cfg.pst, n.l)?;
                         obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
-                        l.query_into(pager, x0, lo, hi, &mut out)?;
+                        let st = l.query_sink(pager, x0, lo, hi, &mut sink)?;
+                        hits += st.hits as u64;
                         trace.second_level_probes += 1;
                         page = n.left;
                     } else {
                         let r = Pst::attach(pager, n.xv, Side::Right, self.cfg.pst, n.r)?;
                         obs_emit(EventKind::SecondLevelProbe, probe::R_PST, 0);
-                        r.query_into(pager, x0, lo, hi, &mut out)?;
+                        let st = r.query_sink(pager, x0, lo, hi, &mut sink)?;
+                        hits += st.hits as u64;
                         trace.second_level_probes += 1;
                         page = n.right;
                     }
                 }
             }
         }
-        trace.hits = out.len() as u32;
+        trace.hits = hits.min(u32::MAX as u64) as u32;
         trace.io = scope.finish();
-        Ok((out, trace))
+        Ok(trace)
     }
 
     /// Insert a segment (must keep the set NCT — caller's contract).

@@ -5,6 +5,7 @@
 
 use segdb_geom::{Point, Segment};
 use segdb_pager::{ByteReader, ByteWriter, PageId, Pager, PagerError, Result, NULL_PAGE};
+use std::ops::ControlFlow;
 
 const HEADER: usize = 6;
 /// Encoded segment size.
@@ -54,19 +55,40 @@ pub fn write(pager: &Pager, segs: &[Segment]) -> Result<PageId> {
 
 /// Visit every segment of the chain.
 pub fn scan(pager: &Pager, head: PageId, mut f: impl FnMut(Segment)) -> Result<()> {
+    let _ = scan_ctl(pager, head, |s| {
+        f(s);
+        ControlFlow::Continue(())
+    })?;
+    Ok(())
+}
+
+/// Visit segments until `f` breaks; unread tail pages are never fetched
+/// (the early-exit half of the streaming read path). Returns how the
+/// walk ended.
+pub fn scan_ctl(
+    pager: &Pager,
+    head: PageId,
+    mut f: impl FnMut(Segment) -> ControlFlow<()>,
+) -> Result<ControlFlow<()>> {
     let mut page = head;
     while page != NULL_PAGE {
-        page = pager.with_page(page, |buf| {
+        let (next, flow) = pager.with_page(page, |buf| {
             let mut r = ByteReader::new(buf);
             let count = r.u16()? as usize;
             let next = r.u32()?;
             for _ in 0..count {
-                f(decode_seg(&mut r)?);
+                if f(decode_seg(&mut r)?).is_break() {
+                    return Ok((next, ControlFlow::Break(())));
+                }
             }
-            Ok::<PageId, PagerError>(next)
+            Ok::<(PageId, ControlFlow<()>), PagerError>((next, ControlFlow::Continue(())))
         })??;
+        if flow.is_break() {
+            return Ok(ControlFlow::Break(()));
+        }
+        page = next;
     }
-    Ok(())
+    Ok(ControlFlow::Continue(()))
 }
 
 /// Collect the chain into a vector.

@@ -11,10 +11,12 @@ use crate::baseline::{FullScan, StabThenFilter};
 use crate::binary2l::{Binary2LConfig, TwoLevelBinary};
 use crate::interval2l::{Interval2LConfig, TwoLevelInterval};
 use crate::persist::Superblock;
-use crate::report::{normalize, QueryTrace};
+use crate::report::{normalize, QueryAnswer, QueryMode, QueryTrace};
 use segdb_geom::nct::verify_nct;
 use segdb_geom::transform::Direction;
-use segdb_geom::{GeomError, Point, Segment, VerticalQuery};
+use segdb_geom::{
+    CountSink, ExistsSink, GeomError, LimitSink, Point, ReportSink, Segment, VerticalQuery,
+};
 use segdb_itree::tree::ItState;
 use segdb_obs::cost::{CostKind, CostModel, Fitter};
 use segdb_obs::trace::TraceSummary;
@@ -598,6 +600,16 @@ impl SegmentDatabase {
         self.run(&q)
     }
 
+    /// Mode-shaped form of [`SegmentDatabase::query_line`].
+    pub fn query_line_mode(
+        &self,
+        anchor: impl Into<Point>,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let q = self.direction.make_query(anchor.into(), None, None)?;
+        self.run_mode(&q, mode)
+    }
+
     /// Report every segment intersected by the ray from `anchor` in the
     /// fixed direction (increasing ordinate).
     pub fn query_ray_up(
@@ -607,6 +619,17 @@ impl SegmentDatabase {
         let a = anchor.into();
         let q = self.direction.make_query(a, Some(a.y), None)?;
         self.run(&q)
+    }
+
+    /// Mode-shaped form of [`SegmentDatabase::query_ray_up`].
+    pub fn query_ray_up_mode(
+        &self,
+        anchor: impl Into<Point>,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let a = anchor.into();
+        let q = self.direction.make_query(a, Some(a.y), None)?;
+        self.run_mode(&q, mode)
     }
 
     /// Report every segment intersected by the ray from `anchor` against
@@ -620,14 +643,20 @@ impl SegmentDatabase {
         self.run(&q)
     }
 
-    /// Report every segment intersected by the query segment `p1—p2`,
-    /// whose endpoints must lie on a common line of the fixed direction.
-    pub fn query_segment(
+    /// Mode-shaped form of [`SegmentDatabase::query_ray_down`].
+    pub fn query_ray_down_mode(
         &self,
-        p1: impl Into<Point>,
-        p2: impl Into<Point>,
-    ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
-        let (p1, p2) = (p1.into(), p2.into());
+        anchor: impl Into<Point>,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let a = anchor.into();
+        let q = self.direction.make_query(a, None, Some(a.y))?;
+        self.run_mode(&q, mode)
+    }
+
+    /// Translate user-coordinate segment-query endpoints into the
+    /// canonical-frame query, rejecting misaligned endpoints.
+    fn segment_query(&self, p1: Point, p2: Point) -> Result<VerticalQuery, DbError> {
         let (t1, t2) = (
             self.direction.apply_point(p1)?,
             self.direction.apply_point(p2)?,
@@ -640,8 +669,29 @@ impl SegmentDatabase {
         } else {
             (t2.y, t1.y)
         };
-        let q = self.direction.make_query(p1, Some(lo), Some(hi))?;
+        Ok(self.direction.make_query(p1, Some(lo), Some(hi))?)
+    }
+
+    /// Report every segment intersected by the query segment `p1—p2`,
+    /// whose endpoints must lie on a common line of the fixed direction.
+    pub fn query_segment(
+        &self,
+        p1: impl Into<Point>,
+        p2: impl Into<Point>,
+    ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+        let q = self.segment_query(p1.into(), p2.into())?;
         self.run(&q)
+    }
+
+    /// Mode-shaped form of [`SegmentDatabase::query_segment`].
+    pub fn query_segment_mode(
+        &self,
+        p1: impl Into<Point>,
+        p2: impl Into<Point>,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let q = self.segment_query(p1.into(), p2.into())?;
+        self.run_mode(&q, mode)
     }
 
     /// Run a canonical-frame query directly (benchmarks use this to sweep
@@ -651,6 +701,18 @@ impl SegmentDatabase {
         q: &VerticalQuery,
     ) -> Result<(Vec<Segment>, QueryTrace), DbError> {
         self.run(q)
+    }
+
+    /// Mode-shaped form of [`SegmentDatabase::query_canonical`]: the
+    /// same traversal feeds the mode's sink, so `Count` queries ride the
+    /// count-from-headers fast paths and `Exists`/`Limit` queries stop
+    /// reading pages as soon as the answer is decided.
+    pub fn query_canonical_mode(
+        &self,
+        q: &VerticalQuery,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        self.run_mode(q, mode)
     }
 
     /// Insert a segment (user coordinates). The set must stay NCT —
@@ -737,27 +799,78 @@ impl SegmentDatabase {
     }
 
     fn run(&self, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace), DbError> {
-        let (hits, mut trace) = match &self.index {
-            Index::Binary(x) => x.query(&self.pager, q)?,
-            Index::Interval(x) => x.query(&self.pager, q)?,
-            Index::Scan(x) => x.query(&self.pager, q)?,
-            Index::Stab(x) => x.query(&self.pager, q)?,
+        match self.run_mode(q, QueryMode::Collect)? {
+            (QueryAnswer::Segments(hits), trace) => Ok((hits, trace)),
+            _ => unreachable!("Collect always answers with segments"),
+        }
+    }
+
+    /// One streaming traversal of the index, pushing into `sink`.
+    fn run_sink(
+        &self,
+        q: &VerticalQuery,
+        sink: &mut dyn ReportSink,
+    ) -> Result<QueryTrace, DbError> {
+        Ok(match &self.index {
+            Index::Binary(x) => x.query_sink(&self.pager, q, sink)?,
+            Index::Interval(x) => x.query_sink(&self.pager, q, sink)?,
+            Index::Scan(x) => x.query_sink(&self.pager, q, sink)?,
+            Index::Stab(x) => x.query_sink(&self.pager, q, sink)?,
+        })
+    }
+
+    /// Run a canonical-frame query under `mode`. Segment-carrying
+    /// answers are sheared back to user coordinates and normalized;
+    /// count/exists answers never materialize the segments at all.
+    fn run_mode(
+        &self,
+        q: &VerticalQuery,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let (answer, mut trace) = match mode {
+            QueryMode::Collect => {
+                let mut out = Vec::new();
+                let trace = self.run_sink(q, &mut out)?;
+                (QueryAnswer::Segments(self.unshear(out)?), trace)
+            }
+            QueryMode::Count => {
+                let mut sink = CountSink::new();
+                let trace = self.run_sink(q, &mut sink)?;
+                (QueryAnswer::Count(sink.count), trace)
+            }
+            QueryMode::Exists => {
+                let mut sink = ExistsSink::new();
+                let trace = self.run_sink(q, &mut sink)?;
+                (QueryAnswer::Exists(sink.found), trace)
+            }
+            QueryMode::Limit(k) => {
+                let mut sink = LimitSink::new(k as usize);
+                let trace = self.run_sink(q, &mut sink)?;
+                (QueryAnswer::Segments(self.unshear(sink.into_vec())?), trace)
+            }
         };
+        trace.mode = mode;
         if let Some(obs) = &self.obs {
             self.observe_query(obs, &mut trace);
         }
-        // Back to user coordinates.
+        Ok((answer, trace))
+    }
+
+    /// Back to user coordinates, sorted by id.
+    fn unshear(&self, hits: Vec<Segment>) -> Result<Vec<Segment>, DbError> {
         let hits = hits
             .iter()
             .map(|s| self.direction.unapply_segment(s))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok((normalize(hits), trace))
+        Ok(normalize(hits))
     }
 
     /// Feed one finished query into the registry and the cost fitter.
     fn observe_query(&self, obs: &DbObserver, trace: &mut QueryTrace) {
         let r = &obs.registry;
         r.incr("queries", 1);
+        r.incr(&format!("queries_{}", trace.mode.name()), 1);
+        r.incr("pages_saved", trace.pages_saved);
         r.incr("page_reads", trace.io.reads);
         r.incr("page_writes", trace.io.writes);
         r.incr("cache_hits", trace.io.cache_hits);

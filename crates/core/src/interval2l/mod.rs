@@ -47,12 +47,12 @@ pub mod gtree;
 pub mod msrec;
 
 use crate::chain;
-use crate::report::QueryTrace;
+use crate::report::{CountingSink, QueryTrace, TombFilterSink};
 use gtree::{allocation, path as g_path, skeleton, GNode};
 use msrec::{MsOrder, MsRec};
 use segdb_bptree::{BPlusTree, Cursor, TreeState};
 use segdb_geom::predicates::y_at_x_cmp;
-use segdb_geom::{Segment, VerticalQuery};
+use segdb_geom::{FusedSink, ReportSink, Segment, VerticalQuery};
 use segdb_itree::overlap::{IntervalSet, IntervalSetState};
 use segdb_itree::{Interval, IntervalTreeConfig};
 use segdb_obs::trace::{emit as obs_emit, probe, EventKind};
@@ -61,6 +61,7 @@ use segdb_pager::{
 };
 use segdb_pst::{Pst, PstConfig, PstState, Side};
 use std::cmp::Ordering;
+use std::ops::ControlFlow;
 
 const TAG_LEAF: u8 = 1;
 const TAG_INTERNAL: u8 = 2;
@@ -403,12 +404,56 @@ impl TwoLevelInterval {
 
     /// Answer a VS query.
     pub fn query(&self, pager: &Pager, q: &VerticalQuery) -> Result<(Vec<Segment>, QueryTrace)> {
-        let scope = StatScope::begin(pager);
-        let mut trace = QueryTrace::default();
         let mut out = Vec::new();
+        let trace = self.query_sink(pager, q, &mut out)?;
+        Ok((out, trace))
+    }
+
+    /// Streaming form of [`TwoLevelInterval::query`]: hits push into
+    /// `sink` in traversal order (per level: C_j, the boundary PSTs,
+    /// then the G runs). A `Break` stops the walk where it stands. A
+    /// count-only sink (and no live tombstones) flips the structure into
+    /// count mode: C_j answers from the interval set's stored counts and
+    /// each G run is measured by two B⁺-tree rank descents over the
+    /// stored subtree counts — the run's pages are never read.
+    pub fn query_sink(
+        &self,
+        pager: &Pager,
+        q: &VerticalQuery,
+        sink: &mut dyn ReportSink,
+    ) -> Result<QueryTrace> {
+        let scope = StatScope::begin(pager);
+        let mut counting = CountingSink::new(sink);
+        let mut trace = if self.tomb_count > 0 {
+            // Tombstones must be filtered inline; the filter forces
+            // want_segments = true, so count fast paths stay off.
+            let tombs = segdb_pst::tombs::load(pager, self.tomb_head)?
+                .into_iter()
+                .collect();
+            let mut filter = TombFilterSink {
+                inner: &mut counting,
+                tombs,
+            };
+            self.walk_query(pager, q, &mut filter)?
+        } else {
+            self.walk_query(pager, q, &mut counting)?
+        };
+        trace.hits = counting.hits.min(u32::MAX as u64) as u32;
+        trace.io = scope.finish();
+        Ok(trace)
+    }
+
+    fn walk_query(
+        &self,
+        pager: &Pager,
+        q: &VerticalQuery,
+        sink: &mut dyn ReportSink,
+    ) -> Result<QueryTrace> {
+        let mut trace = QueryTrace::default();
+        let mut sink = FusedSink::new(sink);
         let (x0, lo, hi) = (q.x(), q.lo(), q.hi());
         let mut page = self.root;
-        while page != NULL_PAGE {
+        while page != NULL_PAGE && !sink.broke() {
             obs_emit(
                 EventKind::FirstLevelVisit,
                 u64::from(page),
@@ -417,9 +462,11 @@ impl TwoLevelInterval {
             trace.first_level_nodes += 1;
             match read_node(pager, page)? {
                 Node::Leaf { head, .. } => {
-                    chain::scan(pager, head, |s| {
+                    let _ = chain::scan_ctl(pager, head, |s| {
                         if q.hits(&s) {
-                            out.push(s);
+                            sink.report(&s)
+                        } else {
+                            ControlFlow::Continue(())
                         }
                     })?;
                     break;
@@ -433,15 +480,31 @@ impl TwoLevelInterval {
                         if !set_is_absent(&n.c[j]) {
                             let c =
                                 IntervalSet::attach(pager, IntervalTreeConfig::default(), n.c[j])?;
-                            let mut ivs = Vec::new();
-                            c.overlap_into(pager, lo, hi, &mut ivs)?;
                             obs_emit(EventKind::SecondLevelProbe, probe::C_SET, 0);
                             trace.second_level_probes += 1;
-                            for iv in ivs {
-                                out.push(
-                                    Segment::new(iv.id, (x0, iv.lo), (x0, iv.hi))
-                                        .map_err(|_| PagerError::Corrupt("bad C_i interval"))?,
-                                );
+                            if !sink.want_segments() {
+                                let cnt = c.overlap_count(pager, lo, hi)?;
+                                let _ = sink.report_count(cnt);
+                            } else {
+                                let mut bad = false;
+                                let _ = c.overlap_ctl(
+                                    pager,
+                                    lo,
+                                    hi,
+                                    &mut |iv| match Segment::new(iv.id, (x0, iv.lo), (x0, iv.hi)) {
+                                        Ok(s) => sink.report(&s),
+                                        Err(_) => {
+                                            bad = true;
+                                            ControlFlow::Break(())
+                                        }
+                                    },
+                                )?;
+                                if bad {
+                                    return Err(PagerError::Corrupt("bad C_i interval"));
+                                }
+                            }
+                            if sink.broke() {
+                                break;
                             }
                         }
                         // L_j: every segment whose first crossed boundary
@@ -449,10 +512,13 @@ impl TwoLevelInterval {
                         let l =
                             Pst::attach(pager, n.boundaries[j], Side::Left, self.cfg.pst, n.l[j])?;
                         obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
-                        l.query_into(pager, x0, lo, hi, &mut out)?;
+                        l.query_sink(pager, x0, lo, hi, &mut sink)?;
                         trace.second_level_probes += 1;
+                        if sink.broke() {
+                            break;
+                        }
                         // Long fragments spanning slab j (f < j ≤ l).
-                        self.g_query(pager, &n, j, x0, lo, hi, &mut out, &mut trace)?;
+                        self.g_query(pager, &n, j, x0, lo, hi, &mut sink, &mut trace)?;
                         break;
                     }
                     // Strictly inside slab j: R_{j−1}, L_j, G, descend.
@@ -465,31 +531,28 @@ impl TwoLevelInterval {
                             n.r[j - 1],
                         )?;
                         obs_emit(EventKind::SecondLevelProbe, probe::R_PST, 0);
-                        r.query_into(pager, x0, lo, hi, &mut out)?;
+                        r.query_sink(pager, x0, lo, hi, &mut sink)?;
                         trace.second_level_probes += 1;
+                        if sink.broke() {
+                            break;
+                        }
                     }
                     if j < k {
                         let l =
                             Pst::attach(pager, n.boundaries[j], Side::Left, self.cfg.pst, n.l[j])?;
                         obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
-                        l.query_into(pager, x0, lo, hi, &mut out)?;
+                        l.query_sink(pager, x0, lo, hi, &mut sink)?;
                         trace.second_level_probes += 1;
+                        if sink.broke() {
+                            break;
+                        }
                     }
-                    self.g_query(pager, &n, j, x0, lo, hi, &mut out, &mut trace)?;
+                    self.g_query(pager, &n, j, x0, lo, hi, &mut sink, &mut trace)?;
                     page = n.children[j];
                 }
             }
         }
-        if self.tomb_count > 0 {
-            let tombs: std::collections::HashSet<u64> =
-                segdb_pst::tombs::load(pager, self.tomb_head)?
-                    .into_iter()
-                    .collect();
-            out.retain(|s| !tombs.contains(&s.id));
-        }
-        trace.hits = out.len() as u32;
-        trace.io = scope.finish();
-        Ok((out, trace))
+        Ok(trace)
     }
 
     /// Insert a segment (semi-dynamic, Theorem 2(iii)).
@@ -743,7 +806,11 @@ impl TwoLevelInterval {
     // ---- queries over G ------------------------------------------------
 
     /// Report long fragments intersected at `x0` (in slab or boundary
-    /// position `j`), walking the G path with bridge navigation.
+    /// position `j`), walking the G path with bridge navigation. With a
+    /// count-only sink each run is measured by rank descents over the
+    /// stored subtree counts instead of being read; a fully-open query
+    /// (`lo` and `hi` both `None`) costs zero reads — the run is the
+    /// whole list and its length sits in the serialized tree state.
     #[allow(clippy::too_many_arguments)]
     fn g_query(
         &self,
@@ -753,7 +820,7 @@ impl TwoLevelInterval {
         x0: i64,
         lo: Option<i64>,
         hi: Option<i64>,
-        out: &mut Vec<Segment>,
+        sink: &mut FusedSink<'_>,
         trace: &mut QueryTrace,
     ) -> Result<()> {
         let k = n.boundaries.len();
@@ -762,9 +829,13 @@ impl TwoLevelInterval {
         }
         let skel = skeleton(k);
         let path = g_path(&skel, j);
+        let counting = !sink.want_segments();
         // Bridge pointer carried into the next level, if usable.
         let mut carried: Option<PageId> = None;
         for &gi in &path {
+            if sink.broke() {
+                return Ok(());
+            }
             let state = n.g[gi];
             let next_is_left = !skel[gi].is_leaf() && j <= skel[gi].mid();
             if list_is_absent(&state) {
@@ -774,6 +845,26 @@ impl TwoLevelInterval {
             obs_emit(EventKind::SecondLevelProbe, probe::G_LIST, gi as u64);
             trace.second_level_probes += 1;
             let line = n.boundaries[skel[gi].a - 1];
+            if counting {
+                let cnt = if lo.is_none() && hi.is_none() {
+                    state.len
+                } else {
+                    let tree = BPlusTree::attach(pager, MsOrder { line }, state)?;
+                    match (lo, hi) {
+                        (Some(lo_v), Some(hi_v)) => tree.count_range(
+                            pager,
+                            &run_start_probe(x0, lo_v),
+                            &run_end_probe(x0, hi_v),
+                        )?,
+                        (Some(lo_v), None) => tree.count_from(pager, &run_start_probe(x0, lo_v))?,
+                        (None, Some(hi_v)) => tree.rank(pager, &run_end_probe(x0, hi_v))?,
+                        (None, None) => unreachable!(),
+                    }
+                };
+                let _ = sink.report_count(cnt);
+                carried = None;
+                continue;
+            }
             let tree = BPlusTree::attach(pager, MsOrder { line }, state)?;
             // Position at the first record with y(x0) ≥ lo.
             let cur = match (carried, lo) {
@@ -807,10 +898,10 @@ impl TwoLevelInterval {
                 None
             };
             // Report the run.
-            cur.for_each_while(
+            let _ = cur.for_each_while_ctl(
                 pager,
                 |r| hi.is_none_or(|h| y_at_x_cmp(&r.seg, x0, h) != Ordering::Greater),
-                |r| out.push(r.seg),
+                |r| sink.report(&r.seg),
             )?;
         }
         Ok(())
@@ -1303,6 +1394,30 @@ pub struct GStats {
     /// Longest run of parent-list elements without a bridge pointer —
     /// the measured d-property (must stay ≲ d+2 after a bridge build).
     pub max_bridge_gap: u64,
+}
+
+/// Probe placing a cursor at the run start: sorts before every record
+/// with `y(x0) ≥ lo` (the monotone predicate of `anchor_by_descent`).
+fn run_start_probe(x0: i64, lo: i64) -> impl Fn(&MsRec) -> Ordering {
+    move |r: &MsRec| {
+        if y_at_x_cmp(&r.seg, x0, lo) == Ordering::Less {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        }
+    }
+}
+
+/// Probe placing a cursor just past the run end: sorts after every
+/// record with `y(x0) ≤ hi`.
+fn run_end_probe(x0: i64, hi: i64) -> impl Fn(&MsRec) -> Ordering {
+    move |r: &MsRec| {
+        if y_at_x_cmp(&r.seg, x0, hi) == Ordering::Greater {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    }
 }
 
 fn read_node(pager: &Pager, id: PageId) -> Result<Node> {

@@ -38,10 +38,12 @@ pub mod facade;
 pub mod interval2l;
 pub mod persist;
 pub mod report;
+#[cfg(any(test, feature = "testutil"))]
+pub mod testutil;
 pub mod torture;
 
 pub use baseline::{FullScan, StabThenFilter};
 pub use binary2l::{Binary2LConfig, TwoLevelBinary};
 pub use facade::{DbError, IndexKind, SegmentDatabase, SegmentDatabaseBuilder};
 pub use interval2l::{Interval2LConfig, TwoLevelInterval};
-pub use report::QueryTrace;
+pub use report::{QueryAnswer, QueryMode, QueryTrace};

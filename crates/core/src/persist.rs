@@ -15,7 +15,14 @@ use segdb_geom::transform::Direction;
 use segdb_pager::{ByteReader, ByteWriter, PageId, PagerError, Result};
 use segdb_pst::PstConfig;
 
-const MAGIC: &[u8; 8] = b"SEGDB001";
+/// Current on-disk format magic. `002` marks databases whose B⁺-trees
+/// may carry v2 internal nodes (per-child subtree counts backing the
+/// count-mode fast paths). `001` databases open unchanged — v1 internal
+/// nodes simply decode with "unknown" counts and count queries fall
+/// back to recursing — so decode accepts both magics; encode always
+/// stamps the current one.
+const MAGIC: &[u8; 8] = b"SEGDB002";
+const MAGIC_V1: &[u8; 8] = b"SEGDB001";
 /// Superblock buffer size (well under any page's metadata area).
 pub const SUPERBLOCK_SIZE: usize = 88 + 1 + AnyQueryState::ENCODED_SIZE;
 
@@ -99,7 +106,7 @@ impl Superblock {
 
     /// Deserialize from a metadata blob.
     pub fn decode(buf: &[u8]) -> Result<Superblock> {
-        if buf.len() < SUPERBLOCK_SIZE || &buf[..8] != MAGIC {
+        if buf.len() < SUPERBLOCK_SIZE || (&buf[..8] != MAGIC && &buf[..8] != MAGIC_V1) {
             return Err(PagerError::Corrupt("bad database superblock"));
         }
         let mut r = ByteReader::new(buf);
@@ -195,6 +202,28 @@ mod tests {
     fn bad_magic_rejected() {
         assert!(Superblock::decode(&[0u8; SUPERBLOCK_SIZE]).is_err());
         assert!(Superblock::decode(b"short").is_err());
+    }
+
+    #[test]
+    fn v1_magic_still_opens() {
+        let sb = Superblock {
+            direction: (0, 1),
+            kind: IndexKind::FullScan,
+            root: 5,
+            len: 10,
+            aux: 0,
+            aux2: 0,
+            pst_fanout: 0,
+            fanout: 0,
+            bridge_d: 2,
+            bridges: true,
+            rebuild_min: 32,
+            any: None,
+        };
+        let mut buf = sb.encode().unwrap();
+        assert_eq!(&buf[..8], MAGIC);
+        buf[..8].copy_from_slice(MAGIC_V1);
+        assert_eq!(Superblock::decode(&buf).unwrap(), sb);
     }
 
     #[test]

@@ -1,9 +1,81 @@
 //! Query result handling and per-query instrumentation.
 
-use segdb_geom::Segment;
+use segdb_geom::{CountSink, ExistsSink, LimitSink, ReportSink, Segment};
 use segdb_obs::cost::CostVerdict;
 use segdb_obs::Json;
 use segdb_pager::IoStats;
+
+/// What a query should produce — the streaming read path serves all
+/// four from the same sink-driven traversal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Materialize every hit (the classic `Vec<Segment>` answer).
+    #[default]
+    Collect,
+    /// Only the number of hits; index layers answer whole subtrees from
+    /// stored counts without reading their pages.
+    Count,
+    /// Only whether any segment matches; the traversal aborts at the
+    /// first hit.
+    Exists,
+    /// The first `k` hits in traversal order; the traversal aborts once
+    /// `k` are in hand.
+    Limit(u32),
+}
+
+impl QueryMode {
+    /// Short stable name (wire protocol & JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryMode::Collect => "collect",
+            QueryMode::Count => "count",
+            QueryMode::Exists => "exists",
+            QueryMode::Limit(_) => "limit",
+        }
+    }
+
+    /// Build the sink implementing this mode. `Collect` callers usually
+    /// take the dedicated `Vec` path instead.
+    pub fn make_sink(&self) -> Box<dyn ReportSink> {
+        match self {
+            QueryMode::Collect => Box::new(Vec::new()),
+            QueryMode::Count => Box::new(CountSink::new()),
+            QueryMode::Exists => Box::new(ExistsSink::new()),
+            QueryMode::Limit(k) => Box::new(LimitSink::new(*k as usize)),
+        }
+    }
+}
+
+/// A mode-shaped query answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// `Collect` / `Limit` answers.
+    Segments(Vec<Segment>),
+    /// `Count` answer.
+    Count(u64),
+    /// `Exists` answer.
+    Exists(bool),
+}
+
+impl QueryAnswer {
+    /// Number of hits this answer witnesses (for `Exists` only 0/1 —
+    /// the traversal stopped as soon as the bit was decided).
+    pub fn count(&self) -> u64 {
+        match self {
+            QueryAnswer::Segments(v) => v.len() as u64,
+            QueryAnswer::Count(n) => *n,
+            QueryAnswer::Exists(b) => u64::from(*b),
+        }
+    }
+
+    /// The segments, when this answer carries them.
+    pub fn segments(&self) -> Option<&[Segment]> {
+        match self {
+            QueryAnswer::Segments(v) => Some(v),
+            _ => None,
+        }
+    }
+}
 
 /// Instrumentation of one VS query against any of the structures — the
 /// measurable form of the paper's cost claims.
@@ -17,6 +89,12 @@ pub struct QueryTrace {
     pub bridge_jumps: u32,
     /// Segments reported.
     pub hits: u32,
+    /// Mode the query ran under.
+    pub mode: QueryMode,
+    /// Pages the traversal provably avoided reading (early exit /
+    /// count-from-headers), where the structure can compute the figure
+    /// exactly; 0 when unknown.
+    pub pages_saved: u64,
     /// I/O performed by the query (reads/writes against the pager).
     pub io: IoStats,
     /// Verdict against the fitted paper bound, when the database was
@@ -38,6 +116,8 @@ impl QueryTrace {
             ),
             ("bridge_jumps", Json::U64(self.bridge_jumps as u64)),
             ("hits", Json::U64(self.hits as u64)),
+            ("mode", Json::Str(self.mode.name().to_string())),
+            ("pages_saved", Json::U64(self.pages_saved)),
             (
                 "io",
                 Json::obj([
@@ -51,6 +131,60 @@ impl QueryTrace {
             ),
             ("cost", self.cost.map_or(Json::Null, |c| c.to_json())),
         ])
+    }
+}
+
+/// Pass-through sink that counts deliveries — multi-structure walks use
+/// it to fill `QueryTrace::hits` without each sub-structure reporting
+/// its own tally.
+pub struct CountingSink<'a> {
+    /// The wrapped sink.
+    pub inner: &'a mut dyn ReportSink,
+    /// Segments (or bulk counts) delivered so far.
+    pub hits: u64,
+}
+
+impl<'a> CountingSink<'a> {
+    /// Wrap `inner` with a zeroed tally.
+    pub fn new(inner: &'a mut dyn ReportSink) -> Self {
+        CountingSink { inner, hits: 0 }
+    }
+}
+
+impl ReportSink for CountingSink<'_> {
+    fn report(&mut self, seg: &Segment) -> std::ops::ControlFlow<()> {
+        self.hits += 1;
+        self.inner.report(seg)
+    }
+
+    fn want_segments(&self) -> bool {
+        self.inner.want_segments()
+    }
+
+    fn report_count(&mut self, n: u64) -> std::ops::ControlFlow<()> {
+        self.hits += n;
+        self.inner.report_count(n)
+    }
+}
+
+/// Drops tombstoned ids before they reach the inner sink. Deliberately
+/// leaves `want_segments` at the default `true`: filtering needs the
+/// ids, so count-from-header fast paths stay off while tombstones
+/// exist.
+pub struct TombFilterSink<'a> {
+    /// The wrapped sink.
+    pub inner: &'a mut dyn ReportSink,
+    /// Lazily-deleted segment ids to suppress.
+    pub tombs: std::collections::HashSet<u64>,
+}
+
+impl ReportSink for TombFilterSink<'_> {
+    fn report(&mut self, seg: &Segment) -> std::ops::ControlFlow<()> {
+        if self.tombs.contains(&seg.id) {
+            std::ops::ControlFlow::Continue(())
+        } else {
+            self.inner.report(seg)
+        }
     }
 }
 

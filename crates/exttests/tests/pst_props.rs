@@ -4,6 +4,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use segdb_core::testutil::oracle_ids;
 use segdb_geom::predicates::hits_vertical;
 use segdb_geom::Segment;
 use segdb_pager::{Pager, PagerConfig};
@@ -41,13 +42,9 @@ fn line_based_set(max_strips: usize) -> impl Strategy<Value = Vec<Segment>> {
 }
 
 fn oracle(set: &[Segment], qx: i64, lo: Option<i64>, hi: Option<i64>) -> Vec<u64> {
-    let mut ids: Vec<u64> = set
-        .iter()
-        .filter(|s| qx >= 0 && s.spans_x(0) && hits_vertical(s, qx, lo, hi))
-        .map(|s| s.id)
-        .collect();
-    ids.sort_unstable();
-    ids
+    oracle_ids(set, |s| s.id, |s| {
+        qx >= 0 && s.spans_x(0) && hits_vertical(s, qx, lo, hi)
+    })
 }
 
 fn query(pst: &Pst, p: &Pager, qx: i64, lo: Option<i64>, hi: Option<i64>) -> Vec<u64> {

@@ -18,6 +18,9 @@
 //! * [`transform`] — the exact shear that maps a fixed query direction to
 //!   vertical, implementing the paper's "coordinate axes can be
 //!   appropriately rotated" footnote without leaving ℤ².
+//! * [`report`] — the streaming [`ReportSink`] contract every index
+//!   layer pushes query results into (collect / count / exists / limit
+//!   modes with early exit).
 //! * [`nct`] — validation that a set is *non-crossing but possibly
 //!   touching* (NCT), the paper's input model.
 //! * [`gen`] — deterministic NCT workload generators (GIS-like maps,
@@ -36,12 +39,14 @@ pub mod nct;
 pub mod point;
 pub mod predicates;
 pub mod query;
+pub mod report;
 pub mod segment;
 pub mod transform;
 
 pub use error::GeomError;
 pub use point::Point;
 pub use query::VerticalQuery;
+pub use report::{CollectSink, CountSink, ExistsSink, FusedSink, LimitSink, ReportSink};
 pub use segment::{Segment, SegmentId};
 pub use transform::Direction;
 

@@ -1,0 +1,309 @@
+//! Streaming report sinks — the push-based half of the read path.
+//!
+//! The paper states every query bound in output-sensitive form
+//! (`O(… + t)` I/Os to report `t` results); a read path that buffers the
+//! whole answer as a `Vec` at every layer loses that spirit the moment a
+//! caller only wants a count, an existence bit, or the first `k` hits.
+//! [`ReportSink`] is the streaming contract every index layer pushes
+//! into:
+//!
+//! * [`ReportSink::report`] receives one segment and steers the
+//!   traversal with [`ControlFlow`] — `Break` aborts the walk (early
+//!   exit for exists/limit queries);
+//! * [`ReportSink::want_segments`] hints whether the sink needs the
+//!   segments themselves. When it returns `false`, a layer that knows a
+//!   whole subtree/run matches may call [`ReportSink::report_count`]
+//!   with the stored count instead of reading the pages — the
+//!   count-from-headers fast path;
+//! * [`ReportSink::report_count`] adds `n` matching segments in bulk.
+//!   Layers only call it when `want_segments()` is `false`.
+//!
+//! The four standard sinks mirror the query modes: [`CollectSink`]
+//! (classic `Vec` answer), [`CountSink`], [`ExistsSink`] and
+//! [`LimitSink`].
+
+use crate::segment::Segment;
+use std::ops::ControlFlow;
+
+/// Streaming receiver for query results. See module docs for the
+/// contract between sinks and index layers.
+pub trait ReportSink {
+    /// Receive one reported segment. Return `ControlFlow::Break(())` to
+    /// abort the traversal early (the layer stops reading pages).
+    fn report(&mut self, seg: &Segment) -> ControlFlow<()>;
+
+    /// Does this sink need the actual segments? `false` permits layers
+    /// to answer from stored subtree counts via
+    /// [`ReportSink::report_count`] without reading the pages.
+    fn want_segments(&self) -> bool {
+        true
+    }
+
+    /// Add `n` matching segments in bulk without materializing them.
+    /// Called only when [`ReportSink::want_segments`] is `false`; the
+    /// default ignores the count and continues (segment-wanting sinks
+    /// never see this call).
+    fn report_count(&mut self, _n: u64) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+}
+
+/// Adapter preserving the classic `Vec<Segment>` API: collects every
+/// reported segment, never breaks.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// The collected answer.
+    pub out: Vec<Segment>,
+}
+
+impl CollectSink {
+    /// Fresh empty sink.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// The collected segments.
+    pub fn into_vec(self) -> Vec<Segment> {
+        self.out
+    }
+}
+
+impl ReportSink for CollectSink {
+    fn report(&mut self, seg: &Segment) -> ControlFlow<()> {
+        self.out.push(*seg);
+        ControlFlow::Continue(())
+    }
+}
+
+/// Counts matches; lets layers add whole subtrees from stored counts.
+#[derive(Debug, Default)]
+pub struct CountSink {
+    /// Matching segments seen so far.
+    pub count: u64,
+}
+
+impl CountSink {
+    /// Fresh zeroed sink.
+    pub fn new() -> Self {
+        CountSink::default()
+    }
+}
+
+impl ReportSink for CountSink {
+    fn report(&mut self, _seg: &Segment) -> ControlFlow<()> {
+        self.count += 1;
+        ControlFlow::Continue(())
+    }
+
+    fn want_segments(&self) -> bool {
+        false
+    }
+
+    fn report_count(&mut self, n: u64) -> ControlFlow<()> {
+        self.count += n;
+        ControlFlow::Continue(())
+    }
+}
+
+/// Stops the traversal at the first match.
+#[derive(Debug, Default)]
+pub struct ExistsSink {
+    /// Whether any segment matched.
+    pub found: bool,
+}
+
+impl ExistsSink {
+    /// Fresh negative sink.
+    pub fn new() -> Self {
+        ExistsSink::default()
+    }
+}
+
+impl ReportSink for ExistsSink {
+    fn report(&mut self, _seg: &Segment) -> ControlFlow<()> {
+        self.found = true;
+        ControlFlow::Break(())
+    }
+
+    fn want_segments(&self) -> bool {
+        false
+    }
+
+    fn report_count(&mut self, n: u64) -> ControlFlow<()> {
+        if n > 0 {
+            self.found = true;
+            return ControlFlow::Break(());
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Collects up to `k` segments, then breaks. Which `k` of the answer
+/// arrive is traversal-order dependent (any `k` matching segments).
+#[derive(Debug)]
+pub struct LimitSink {
+    /// The collected prefix of the answer.
+    pub out: Vec<Segment>,
+    k: usize,
+}
+
+impl LimitSink {
+    /// Sink stopping after `k` segments.
+    pub fn new(k: usize) -> Self {
+        LimitSink {
+            out: Vec::with_capacity(k.min(1024)),
+            k,
+        }
+    }
+
+    /// The collected segments.
+    pub fn into_vec(self) -> Vec<Segment> {
+        self.out
+    }
+}
+
+impl ReportSink for LimitSink {
+    fn report(&mut self, seg: &Segment) -> ControlFlow<()> {
+        if self.out.len() >= self.k {
+            return ControlFlow::Break(());
+        }
+        self.out.push(*seg);
+        if self.out.len() >= self.k {
+            return ControlFlow::Break(());
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Lends an inner sink while remembering whether it ever broke — for
+/// multi-structure layers whose sub-calls (e.g. a PST query) honour the
+/// `Break` internally but cannot return it. Once broken it stays
+/// broken: further reports short-circuit without touching the inner
+/// sink.
+pub struct FusedSink<'a> {
+    inner: &'a mut dyn ReportSink,
+    broke: bool,
+}
+
+impl<'a> FusedSink<'a> {
+    /// Wrap `inner`.
+    pub fn new(inner: &'a mut dyn ReportSink) -> Self {
+        FusedSink {
+            inner,
+            broke: false,
+        }
+    }
+
+    /// Did the inner sink ever ask to stop?
+    pub fn broke(&self) -> bool {
+        self.broke
+    }
+}
+
+impl ReportSink for FusedSink<'_> {
+    fn report(&mut self, seg: &Segment) -> ControlFlow<()> {
+        if self.broke {
+            return ControlFlow::Break(());
+        }
+        let flow = self.inner.report(seg);
+        if flow.is_break() {
+            self.broke = true;
+        }
+        flow
+    }
+
+    fn want_segments(&self) -> bool {
+        self.inner.want_segments()
+    }
+
+    fn report_count(&mut self, n: u64) -> ControlFlow<()> {
+        if self.broke {
+            return ControlFlow::Break(());
+        }
+        let flow = self.inner.report_count(n);
+        if flow.is_break() {
+            self.broke = true;
+        }
+        flow
+    }
+}
+
+/// A bare `Vec<Segment>` is the minimal collecting sink — lets the
+/// classic `*_into(..., out: &mut Vec<Segment>)` APIs delegate to the
+/// sink path without an adapter struct.
+impl ReportSink for Vec<Segment> {
+    fn report(&mut self, seg: &Segment) -> ControlFlow<()> {
+        self.push(*seg);
+        ControlFlow::Continue(())
+    }
+}
+
+/// Forward to a sink behind a mutable reference (layers take
+/// `&mut dyn ReportSink`, wrappers need to re-lend).
+impl ReportSink for &mut dyn ReportSink {
+    fn report(&mut self, seg: &Segment) -> ControlFlow<()> {
+        (**self).report(seg)
+    }
+    fn want_segments(&self) -> bool {
+        (**self).want_segments()
+    }
+    fn report_count(&mut self, n: u64) -> ControlFlow<()> {
+        (**self).report_count(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(id: u64) -> Segment {
+        Segment::new(id, (0, id as i64), (10, id as i64)).unwrap()
+    }
+
+    #[test]
+    fn collect_gathers_everything() {
+        let mut s = CollectSink::new();
+        for i in 0..5 {
+            assert_eq!(s.report(&seg(i)), ControlFlow::Continue(()));
+        }
+        assert!(s.want_segments());
+        assert_eq!(s.into_vec().len(), 5);
+    }
+
+    #[test]
+    fn count_accepts_bulk() {
+        let mut s = CountSink::new();
+        assert!(!s.want_segments());
+        let _ = s.report(&seg(0));
+        let _ = s.report_count(41);
+        assert_eq!(s.count, 42);
+    }
+
+    #[test]
+    fn exists_breaks_immediately() {
+        let mut s = ExistsSink::new();
+        assert_eq!(s.report_count(0), ControlFlow::Continue(()));
+        assert!(!s.found);
+        assert_eq!(s.report(&seg(1)), ControlFlow::Break(()));
+        assert!(s.found);
+        let mut s2 = ExistsSink::new();
+        assert_eq!(s2.report_count(3), ControlFlow::Break(()));
+        assert!(s2.found);
+    }
+
+    #[test]
+    fn limit_stops_at_k() {
+        let mut s = LimitSink::new(2);
+        assert_eq!(s.report(&seg(0)), ControlFlow::Continue(()));
+        assert_eq!(s.report(&seg(1)), ControlFlow::Break(()));
+        assert_eq!(s.report(&seg(2)), ControlFlow::Break(()));
+        assert_eq!(s.into_vec().len(), 2);
+    }
+
+    #[test]
+    fn zero_limit_reports_nothing() {
+        let mut s = LimitSink::new(0);
+        assert_eq!(s.report(&seg(0)), ControlFlow::Break(()));
+        assert!(s.out.is_empty());
+    }
+}

@@ -15,6 +15,7 @@ use crate::interval::{Interval, StartOrder};
 use crate::tree::{IntervalTree, IntervalTreeConfig, ItState};
 use segdb_bptree::{BPlusTree, TreeState};
 use segdb_pager::{ByteReader, ByteWriter, Pager, Result};
+use std::ops::ControlFlow;
 
 /// Serializable identity of an [`IntervalSet`] (28 bytes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,10 +108,28 @@ impl IntervalSet {
         qhi: Option<i64>,
         out: &mut Vec<Interval>,
     ) -> Result<()> {
+        let _ = self.overlap_ctl(pager, qlo, qhi, &mut |iv| {
+            out.push(*iv);
+            ControlFlow::Continue(())
+        })?;
+        Ok(())
+    }
+
+    /// Stream all intervals overlapping `[qlo, qhi]` into `f`; a `Break`
+    /// from `f` stops the walk without reading further pages.
+    pub fn overlap_ctl(
+        &self,
+        pager: &Pager,
+        qlo: Option<i64>,
+        qhi: Option<i64>,
+        f: &mut dyn FnMut(&Interval) -> ControlFlow<()>,
+    ) -> Result<ControlFlow<()>> {
         match qlo {
             Some(qlo) => {
                 // Part 1: stab the lower end.
-                self.tree.stab_into(pager, qlo, out)?;
+                if self.tree.stab_ctl(pager, qlo, f)?.is_break() {
+                    return Ok(ControlFlow::Break(()));
+                }
                 // Part 2: starts strictly inside (qlo, qhi].
                 let mut cur = self.starts.lower_bound(pager, &move |r: &Interval| {
                     // first interval with lo > qlo
@@ -120,23 +139,59 @@ impl IntervalSet {
                         std::cmp::Ordering::Greater
                     }
                 })?;
-                cur.for_each_while(
-                    pager,
-                    |r| qhi.is_none_or(|qhi| r.lo <= qhi),
-                    |r| out.push(r),
-                )?;
+                cur.for_each_while_ctl(pager, |r| qhi.is_none_or(|qhi| r.lo <= qhi), |r| f(r))
             }
             None => {
                 // No lower bound: every interval with lo ≤ qhi overlaps.
                 let mut cur = self.starts.cursor_first(pager)?;
-                cur.for_each_while(
-                    pager,
-                    |r| qhi.is_none_or(|qhi| r.lo <= qhi),
-                    |r| out.push(r),
-                )?;
+                cur.for_each_while_ctl(pager, |r| qhi.is_none_or(|qhi| r.lo <= qhi), |r| f(r))
             }
         }
-        Ok(())
+    }
+
+    /// Number of intervals overlapping `[qlo, qhi]`, answered from the
+    /// interval tree's list ranks and the start index's stored subtree
+    /// counts — the matching intervals themselves are never read.
+    pub fn overlap_count(&self, pager: &Pager, qlo: Option<i64>, qhi: Option<i64>) -> Result<u64> {
+        match qlo {
+            Some(qlo) => {
+                let stabbed = self.tree.stab_count(pager, qlo)?;
+                // Starts strictly inside (qlo, qhi].
+                let after_qlo = &move |r: &Interval| {
+                    if qlo < r.lo {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                };
+                let started = match qhi {
+                    Some(qhi) => {
+                        self.starts
+                            .count_range(pager, after_qlo, &move |r: &Interval| {
+                                if qhi < r.lo {
+                                    std::cmp::Ordering::Less
+                                } else {
+                                    std::cmp::Ordering::Greater
+                                }
+                            })?
+                    }
+                    None => self.starts.count_from(pager, after_qlo)?,
+                };
+                Ok(stabbed + started)
+            }
+            None => match qhi {
+                // Intervals with lo ≤ qhi.
+                Some(qhi) => self.starts.rank(pager, &move |r: &Interval| {
+                    if qhi < r.lo {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                }),
+                // Fully open: everything overlaps, zero reads.
+                None => Ok(self.len()),
+            },
+        }
     }
 
     /// Collect every stored interval (rebuild helper).
@@ -198,20 +253,18 @@ mod tests {
             .collect()
     }
 
+    use segdb_core::testutil::oracle_ids;
+
     fn oracle_overlap(set: &[Interval], qlo: Option<i64>, qhi: Option<i64>) -> Vec<u64> {
-        let mut v: Vec<u64> = set
-            .iter()
-            .filter(|iv| qlo.is_none_or(|q| iv.hi >= q) && qhi.is_none_or(|q| iv.lo <= q))
-            .map(|iv| iv.id)
-            .collect();
-        v.sort_unstable();
-        v
+        oracle_ids(
+            set,
+            |iv| iv.id,
+            |iv| qlo.is_none_or(|q| iv.hi >= q) && qhi.is_none_or(|q| iv.lo <= q),
+        )
     }
 
-    fn sorted_ids(mut v: Vec<Interval>) -> Vec<u64> {
-        let mut ids: Vec<u64> = v.drain(..).map(|iv| iv.id).collect();
-        ids.sort_unstable();
-        ids
+    fn sorted_ids(v: Vec<Interval>) -> Vec<u64> {
+        oracle_ids(&v, |iv| iv.id, |_| true)
     }
 
     #[test]
@@ -236,6 +289,51 @@ mod tests {
                 "q=({qlo:?},{qhi:?})"
             );
         }
+    }
+
+    #[test]
+    fn overlap_count_matches_oracle() {
+        let p = pager();
+        let intervals = ivs(&[(0, 10), (5, 6), (12, 20), (-5, -1), (6, 12), (30, 40)]);
+        let set = IntervalSet::build(&p, IntervalTreeConfig::default(), intervals.clone()).unwrap();
+        for (qlo, qhi) in [
+            (Some(5), Some(13)),
+            (Some(-10), Some(-6)),
+            (None, Some(0)),
+            (Some(21), None),
+            (None, None),
+            (Some(6), Some(6)),
+        ] {
+            assert_eq!(
+                set.overlap_count(&p, qlo, qhi).unwrap(),
+                oracle_overlap(&intervals, qlo, qhi).len() as u64,
+                "q=({qlo:?},{qhi:?})"
+            );
+        }
+        // The fully-open count comes straight from the stored length.
+        p.reset_stats();
+        assert_eq!(set.overlap_count(&p, None, None).unwrap(), 6);
+        assert_eq!(p.stats().reads, 0);
+    }
+
+    #[test]
+    fn overlap_ctl_breaks_early() {
+        let p = pager();
+        let intervals: Vec<Interval> = (0..200).map(|i| Interval::new(i, 0, 1000)).collect();
+        let set = IntervalSet::build(&p, IntervalTreeConfig::default(), intervals).unwrap();
+        let mut seen = 0u32;
+        let flow = set
+            .overlap_ctl(&p, Some(500), Some(600), &mut |_| {
+                seen += 1;
+                if seen >= 3 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap();
+        assert_eq!(flow, ControlFlow::Break(()));
+        assert_eq!(seen, 3);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::node::{leaf_capacity, max_fanout, mslab_count, mslab_index, InternalN
 use segdb_bptree::BPlusTree;
 use segdb_pager::{ByteReader, ByteWriter, PageId, Pager, PagerError, Result};
 use std::cmp::Ordering;
+use std::ops::ControlFlow;
 
 /// Construction knobs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -127,13 +128,33 @@ impl IntervalTree {
 
     /// Report every interval containing `x` (closed), appending to `out`.
     pub fn stab_into(&self, pager: &Pager, x: i64, out: &mut Vec<Interval>) -> Result<()> {
+        let _ = self.stab_ctl(pager, x, &mut |iv| {
+            out.push(*iv);
+            ControlFlow::Continue(())
+        })?;
+        Ok(())
+    }
+
+    /// Stream every interval containing `x` (closed) into `f`. When `f`
+    /// breaks the walk stops immediately — no further list pages or
+    /// child nodes are read.
+    pub fn stab_ctl(
+        &self,
+        pager: &Pager,
+        x: i64,
+        f: &mut dyn FnMut(&Interval) -> ControlFlow<()>,
+    ) -> Result<ControlFlow<()>> {
         let mut id = self.root;
         loop {
             let node = read_node(pager, id)?;
             match node {
                 ItNode::Leaf { intervals } => {
-                    out.extend(intervals.into_iter().filter(|iv| iv.contains(x)));
-                    return Ok(());
+                    for iv in intervals.iter().filter(|iv| iv.contains(x)) {
+                        if f(iv).is_break() {
+                            return Ok(ControlFlow::Break(()));
+                        }
+                    }
+                    return Ok(ControlFlow::Continue(()));
                 }
                 ItNode::Internal(n) => {
                     let k = n.boundaries.len();
@@ -144,11 +165,16 @@ impl IntervalTree {
                     let mut cur = left.lower_bound(pager, &move |r: &TaggedInterval| {
                         (probe_tag, i64::MIN, 0u64).cmp(&(r.tag, r.iv.lo, r.iv.id))
                     })?;
-                    cur.for_each_while(
-                        pager,
-                        |r| r.tag == probe_tag && r.iv.lo <= x,
-                        |r| out.push(r.iv),
-                    )?;
+                    if cur
+                        .for_each_while_ctl(
+                            pager,
+                            |r| r.tag == probe_tag && r.iv.lo <= x,
+                            |r| f(&r.iv),
+                        )?
+                        .is_break()
+                    {
+                        return Ok(ControlFlow::Break(()));
+                    }
                     // Right stubs of slab j: prefix with hi ≥ x.
                     let right = BPlusTree::attach(pager, RightOrder, n.right)?;
                     let mut cur = right.lower_bound(pager, &move |r: &TaggedInterval| {
@@ -158,11 +184,16 @@ impl IntervalTree {
                             r.iv.id,
                         ))
                     })?;
-                    cur.for_each_while(
-                        pager,
-                        |r| r.tag == probe_tag && r.iv.hi >= x,
-                        |r| out.push(r.iv),
-                    )?;
+                    if cur
+                        .for_each_while_ctl(
+                            pager,
+                            |r| r.tag == probe_tag && r.iv.hi >= x,
+                            |r| f(&r.iv),
+                        )?
+                        .is_break()
+                    {
+                        return Ok(ControlFlow::Break(()));
+                    }
                     // Multislab lists spanning slab j: report entirely.
                     if k >= 2 && j >= 1 && j < k {
                         let mslab = BPlusTree::attach(pager, MslabOrder, n.mslab)?;
@@ -177,14 +208,104 @@ impl IntervalTree {
                                     .lower_bound(pager, &move |r: &TaggedInterval| {
                                         (tag, 0u64).cmp(&(r.tag, r.iv.id))
                                     })?;
-                                cur.for_each_while(pager, |r| r.tag == tag, |r| out.push(r.iv))?;
+                                if cur
+                                    .for_each_while_ctl(pager, |r| r.tag == tag, |r| f(&r.iv))?
+                                    .is_break()
+                                {
+                                    return Ok(ControlFlow::Break(()));
+                                }
                             }
                         }
                     }
                     // Descend unless x hits a boundary exactly (children
                     // hold only open-slab intervals then).
                     if j < k && n.boundaries[j] == x {
-                        return Ok(());
+                        return Ok(ControlFlow::Continue(()));
+                    }
+                    id = n.children[j];
+                }
+            }
+        }
+    }
+
+    /// Number of intervals containing `x`, answered from the stub-list
+    /// B⁺-tree ranks and the multislab count directory — none of the
+    /// matching lists' own pages are read. A saturated multislab count
+    /// (`u16::MAX`) is inexact, so that one list is counted by B⁺-tree
+    /// rank instead.
+    pub fn stab_count(&self, pager: &Pager, x: i64) -> Result<u64> {
+        let mut total = 0u64;
+        let mut id = self.root;
+        loop {
+            match read_node(pager, id)? {
+                ItNode::Leaf { intervals } => {
+                    total += intervals.iter().filter(|iv| iv.contains(x)).count() as u64;
+                    return Ok(total);
+                }
+                ItNode::Internal(n) => {
+                    let k = n.boundaries.len();
+                    let j = n.boundaries.partition_point(|&s| s < x);
+                    let probe_tag = j as u16;
+                    // Left stubs of slab j with lo ≤ x.
+                    let left = BPlusTree::attach(pager, LeftOrder, n.left)?;
+                    total += left.count_range(
+                        pager,
+                        &move |r: &TaggedInterval| {
+                            (probe_tag, i64::MIN, 0u64).cmp(&(r.tag, r.iv.lo, r.iv.id))
+                        },
+                        &move |r: &TaggedInterval| {
+                            (probe_tag, x, u64::MAX).cmp(&(r.tag, r.iv.lo, r.iv.id))
+                        },
+                    )?;
+                    // Right stubs of slab j with hi ≥ x.
+                    let right = BPlusTree::attach(pager, RightOrder, n.right)?;
+                    total += right.count_range(
+                        pager,
+                        &move |r: &TaggedInterval| {
+                            (probe_tag, std::cmp::Reverse(i64::MAX), 0u64).cmp(&(
+                                r.tag,
+                                std::cmp::Reverse(r.iv.hi),
+                                r.iv.id,
+                            ))
+                        },
+                        &move |r: &TaggedInterval| {
+                            (probe_tag, std::cmp::Reverse(x), u64::MAX).cmp(&(
+                                r.tag,
+                                std::cmp::Reverse(r.iv.hi),
+                                r.iv.id,
+                            ))
+                        },
+                    )?;
+                    // Multislab lists spanning slab j: directory counts,
+                    // except saturated entries which need an exact rank.
+                    if k >= 2 && j >= 1 && j < k {
+                        let mslab = BPlusTree::attach(pager, MslabOrder, n.mslab)?;
+                        for a in 1..=j {
+                            for b in j..=k - 1 {
+                                let mi = mslab_index(k, a, b);
+                                let c = n.mslab_counts[mi];
+                                if c == 0 {
+                                    continue;
+                                }
+                                if c != u16::MAX {
+                                    total += c as u64;
+                                } else {
+                                    let tag = mi as u16;
+                                    total += mslab.count_range(
+                                        pager,
+                                        &move |r: &TaggedInterval| {
+                                            (tag, 0u64).cmp(&(r.tag, r.iv.id))
+                                        },
+                                        &move |r: &TaggedInterval| {
+                                            (tag, u64::MAX).cmp(&(r.tag, r.iv.id))
+                                        },
+                                    )?;
+                                }
+                            }
+                        }
+                    }
+                    if j < k && n.boundaries[j] == x {
+                        return Ok(total);
                     }
                     id = n.children[j];
                 }

@@ -23,20 +23,14 @@ fn random_intervals(n: usize, span: i64, seed: u64) -> Vec<Interval> {
         .collect()
 }
 
+use segdb_core::testutil::oracle_ids;
+
 fn oracle_stab(set: &[Interval], x: i64) -> Vec<u64> {
-    let mut v: Vec<u64> = set
-        .iter()
-        .filter(|iv| iv.contains(x))
-        .map(|iv| iv.id)
-        .collect();
-    v.sort_unstable();
-    v
+    oracle_ids(set, |iv| iv.id, |iv| iv.contains(x))
 }
 
 fn sorted_ids(v: Vec<Interval>) -> Vec<u64> {
-    let mut ids: Vec<u64> = v.into_iter().map(|iv| iv.id).collect();
-    ids.sort_unstable();
-    ids
+    oracle_ids(&v, |iv| iv.id, |_| true)
 }
 
 #[test]

@@ -5,10 +5,11 @@ use crate::node::{default_caps, node_bytes, seg_cap_for_fanout, ChildEntry, PstN
 use crate::side::Side;
 use crate::tombs;
 use segdb_geom::predicates::{hits_vertical, y_at_x_cmp};
-use segdb_geom::Segment;
+use segdb_geom::{ReportSink, Segment};
 use segdb_pager::{ByteReader, ByteWriter, PageId, Pager, PagerError, Result, NULL_PAGE};
 use std::cmp::Ordering;
 use std::collections::HashSet;
+use std::ops::ControlFlow;
 
 /// Configuration of a PST instance.
 #[derive(Debug, Clone, Copy)]
@@ -239,6 +240,23 @@ impl Pst {
         hi: Option<i64>,
         out: &mut Vec<Segment>,
     ) -> Result<QueryStats> {
+        self.query_sink(pager, qx, lo, hi, out)
+    }
+
+    /// Sink-driven form of [`Pst::query_into`]: every hit streams into
+    /// `sink` in traversal order; a `Break` abandons the rest of the
+    /// frontier immediately, so no further node pages are read. The PST
+    /// must evaluate each segment's reach and ordinate at `qx`
+    /// individually, so there is no bulk count shortcut here — the
+    /// early exit is the whole saving.
+    pub fn query_sink(
+        &self,
+        pager: &Pager,
+        qx: i64,
+        lo: Option<i64>,
+        hi: Option<i64>,
+        sink: &mut dyn ReportSink,
+    ) -> Result<QueryStats> {
         let mut stats = QueryStats::default();
         if self.state.root == NULL_PAGE || !self.side.on_side(self.base_x, qx) {
             return Ok(stats);
@@ -264,9 +282,11 @@ impl Pst {
                         && hits_vertical(s, qx, lo, hi)
                         && !tombs.contains(&s.id)
                     {
-                        out.push(*s);
-                        produced = true;
                         stats.hits += 1;
+                        produced = true;
+                        if sink.report(s).is_break() {
+                            return Ok(stats);
+                        }
                     }
                 }
                 if !produced {
@@ -583,13 +603,21 @@ impl Pst {
         Ok(())
     }
 
+    /// Stream every live segment into `sink` in pre-order traversal
+    /// order (**not** base order — callers needing base order sort, as
+    /// [`Pst::scan_all`] does). A `Break` stops the walk.
+    pub fn scan_sink(&self, pager: &Pager, sink: &mut dyn ReportSink) -> Result<()> {
+        let tombs = self.load_tombs(pager)?;
+        if self.state.root != NULL_PAGE {
+            let _ = scan_rec(pager, self.state.root, &tombs, sink)?;
+        }
+        Ok(())
+    }
+
     /// All live segments, in base order.
     pub fn scan_all(&self, pager: &Pager) -> Result<Vec<Segment>> {
-        let tombs = self.load_tombs(pager)?;
         let mut out = Vec::with_capacity(self.len() as usize);
-        if self.state.root != NULL_PAGE {
-            collect(pager, self.state.root, &tombs, &mut out)?;
-        }
+        self.scan_sink(pager, &mut out)?;
         out.sort_by(|a, b| self.side.cmp_base(self.base_x, a, b));
         Ok(out)
     }
@@ -659,7 +687,7 @@ impl Pst {
 
     fn rebuild_subtree(&self, pager: &Pager, page: PageId) -> Result<()> {
         let mut segs = Vec::new();
-        collect(pager, page, &HashSet::new(), &mut segs)?;
+        let _ = scan_rec(pager, page, &HashSet::new(), &mut segs)?;
         // Free descendants; rebuild into the same root page so the parent
         // pointer and parent-recorded size stay valid.
         let node = read_node(pager, page)?;
@@ -879,18 +907,27 @@ fn build_rec_at(
     Ok((top, size))
 }
 
-fn collect(
+/// Pre-order walk of a subtree, streaming every non-tombstoned segment
+/// into `sink`. Shared by [`Pst::scan_sink`] / [`Pst::scan_all`] and the
+/// rebuild paths (which pass an empty tombstone set to keep everything).
+fn scan_rec(
     pager: &Pager,
     page: PageId,
     tombs: &HashSet<u64>,
-    out: &mut Vec<Segment>,
-) -> Result<()> {
+    sink: &mut dyn ReportSink,
+) -> Result<ControlFlow<()>> {
     let node = read_node(pager, page)?;
-    out.extend(node.segments.iter().filter(|s| !tombs.contains(&s.id)));
-    for c in &node.children {
-        collect(pager, c.page, tombs, out)?;
+    for s in node.segments.iter().filter(|s| !tombs.contains(&s.id)) {
+        if sink.report(s).is_break() {
+            return Ok(ControlFlow::Break(()));
+        }
     }
-    Ok(())
+    for c in &node.children {
+        if scan_rec(pager, c.page, tombs, sink)?.is_break() {
+            return Ok(ControlFlow::Break(()));
+        }
+    }
+    Ok(ControlFlow::Continue(()))
 }
 
 fn destroy_rec(pager: &Pager, page: PageId) -> Result<()> {
@@ -919,15 +956,7 @@ mod tests {
         segdb_geom::gen::fan(n, 16, 1 << 14, 42)
     }
 
-    fn oracle(set: &[Segment], qx: i64, lo: Option<i64>, hi: Option<i64>) -> Vec<u64> {
-        let mut ids: Vec<u64> = set
-            .iter()
-            .filter(|s| hits_vertical(s, qx, lo, hi))
-            .map(|s| s.id)
-            .collect();
-        ids.sort_unstable();
-        ids
-    }
+    use segdb_core::testutil::oracle_vertical as oracle;
 
     fn run(
         pst: &Pst,

@@ -27,7 +27,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: segdb-load [--addr HOST:PORT] [--connections K] [--requests N] \
 [--family fan|grid|strips|temporal|nested|mixed] [--n N] [--seed S] [--no-verify] \
-[--shutdown] [--chaos SEED] [--max-retries K] [--attempt-timeout-ms MS] [--out PATH]";
+[--mode collect|count|exists|limit:K|mix] [--shutdown] [--chaos SEED] [--max-retries K] \
+[--attempt-timeout-ms MS] [--out PATH]";
 
 fn fail(code: &str, message: &str) -> ExitCode {
     eprintln!(
@@ -83,6 +84,13 @@ fn main() -> ExitCode {
                     Ok(())
                 }
                 None => return fail("usage", &format!("unknown family `{value}`")),
+            },
+            "--mode" => match load::parse_mode(&value) {
+                Some(m) => {
+                    cfg.mode = m;
+                    Ok(())
+                }
+                None => return fail("usage", &format!("unknown mode `{value}`")),
             },
             "--out" => {
                 out = Some(PathBuf::from(value));

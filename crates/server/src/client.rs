@@ -26,6 +26,7 @@
 
 use crate::chaos::{ChaosStream, NetFaultHandle};
 use crate::proto::code;
+use segdb_core::QueryMode;
 use segdb_obs::json::{self, Json};
 use segdb_rng::SmallRng;
 use std::time::{Duration, Instant};
@@ -316,15 +317,31 @@ impl Client {
         method: &str,
         params: &[(&str, i64)],
     ) -> Result<Vec<u64>, CallError> {
-        let params = Json::Obj(
-            params
-                .iter()
-                .map(|(k, v)| (k.to_string(), Json::I64(*v)))
-                .collect(),
-        );
+        Ok(self.query_mode(method, params, QueryMode::Collect)?.ids)
+    }
+
+    /// Run one query shape under a [`QueryMode`] and return the
+    /// mode-shaped reply: `ids` carries segments only for modes that
+    /// materialize them (collect / limit), `count` is always filled.
+    pub fn query_mode(
+        &mut self,
+        method: &str,
+        params: &[(&str, i64)],
+        mode: QueryMode,
+    ) -> Result<QueryReply, CallError> {
+        let mut fields: Vec<(String, Json)> = params
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::I64(*v)))
+            .collect();
+        if mode != QueryMode::Collect {
+            fields.push(("mode".to_string(), Json::Str(mode.name().to_string())));
+            if let QueryMode::Limit(k) = mode {
+                fields.push(("limit".to_string(), Json::U64(k as u64)));
+            }
+        }
         let line = Json::obj([
             ("method", Json::Str(method.to_string())),
-            ("params", params),
+            ("params", Json::Obj(fields)),
         ])
         .render();
         let result = self.call_line(&line)?;
@@ -343,8 +360,35 @@ impl Client {
                 code: "malformed".to_string(),
                 message: "response result carries no `ids` array".to_string(),
             })?;
-        Ok(ids)
+        let count = result
+            .get("count")
+            .and_then(|c| match *c {
+                Json::U64(u) => Some(u),
+                Json::I64(i) => u64::try_from(i).ok(),
+                _ => None,
+            })
+            .ok_or_else(|| CallError::Terminal {
+                code: "malformed".to_string(),
+                message: "response result carries no `count`".to_string(),
+            })?;
+        let mode = result
+            .get("mode")
+            .and_then(Json::as_str)
+            .unwrap_or("collect")
+            .to_string();
+        Ok(QueryReply { ids, count, mode })
     }
+}
+
+/// A mode-shaped query reply off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Hit ids, sorted — empty for count/exists modes.
+    pub ids: Vec<u64>,
+    /// The hit count the answer witnesses (for exists: 0 or 1).
+    pub count: u64,
+    /// The mode the server says it served.
+    pub mode: String,
 }
 
 fn error_fields(v: &Json) -> (String, String) {

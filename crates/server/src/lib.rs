@@ -39,5 +39,5 @@ pub mod proto;
 pub mod server;
 
 pub use chaos::{ChaosListener, ChaosStream, NetFaultHandle, NetFaultPlan};
-pub use client::{CallError, Client, ClientConfig};
+pub use client::{CallError, Client, ClientConfig, QueryReply};
 pub use server::{Server, ServerConfig};

@@ -28,6 +28,7 @@
 use crate::chaos::{NetFaultHandle, NetFaultPlan, NetFaultStats};
 use crate::client::{Client, ClientConfig};
 use crate::proto::code;
+use segdb_core::QueryMode;
 use segdb_geom::gen::{vertical_queries, Family};
 use segdb_geom::query::scan_oracle;
 use segdb_geom::VerticalQuery;
@@ -43,6 +44,59 @@ const QUERY_FRAC_PER_MILLE: u32 = 120;
 
 /// Seed perturbation separating the query stream from the segment set.
 const QUERY_SEED_SALT: u64 = 0x9E37_79B9;
+
+/// Which query mode the load replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeSpec {
+    /// Every request uses this one mode.
+    Fixed(QueryMode),
+    /// Cycle collect → count → exists → limit(8), request by request.
+    Mix,
+}
+
+impl Default for ModeSpec {
+    fn default() -> Self {
+        ModeSpec::Fixed(QueryMode::Collect)
+    }
+}
+
+/// Parse `collect`, `count`, `exists`, `limit:K` or `mix`.
+pub fn parse_mode(s: &str) -> Option<ModeSpec> {
+    match s {
+        "mix" => Some(ModeSpec::Mix),
+        "collect" => Some(ModeSpec::Fixed(QueryMode::Collect)),
+        "count" => Some(ModeSpec::Fixed(QueryMode::Count)),
+        "exists" => Some(ModeSpec::Fixed(QueryMode::Exists)),
+        _ => {
+            let k = s.strip_prefix("limit:")?.parse().ok()?;
+            Some(ModeSpec::Fixed(QueryMode::Limit(k)))
+        }
+    }
+}
+
+impl ModeSpec {
+    /// The mode request `i` runs under.
+    fn mode_for(self, i: usize) -> QueryMode {
+        match self {
+            ModeSpec::Fixed(m) => m,
+            ModeSpec::Mix => match i % 4 {
+                0 => QueryMode::Collect,
+                1 => QueryMode::Count,
+                2 => QueryMode::Exists,
+                _ => QueryMode::Limit(8),
+            },
+        }
+    }
+
+    /// Short name for the report.
+    pub fn name(self) -> String {
+        match self {
+            ModeSpec::Mix => "mix".to_string(),
+            ModeSpec::Fixed(QueryMode::Limit(k)) => format!("limit:{k}"),
+            ModeSpec::Fixed(m) => m.name().to_string(),
+        }
+    }
+}
 
 /// What to replay and against which server.
 #[derive(Debug, Clone)]
@@ -70,6 +124,8 @@ pub struct LoadConfig {
     pub max_retries: u32,
     /// Deadline per attempt (connect + send + receive).
     pub attempt_timeout: Duration,
+    /// Query mode the requests run under (fixed or mixed).
+    pub mode: ModeSpec,
 }
 
 impl Default for LoadConfig {
@@ -86,6 +142,7 @@ impl Default for LoadConfig {
             chaos_plan: None,
             max_retries: 16,
             attempt_timeout: Duration::from_secs(2),
+            mode: ModeSpec::default(),
         }
     }
 }
@@ -95,13 +152,34 @@ pub fn parse_family(name: &str) -> Option<Family> {
     Family::ALL.into_iter().find(|f| f.name() == name)
 }
 
-/// One prepared request: the wire line and the oracle's answer.
+/// One prepared request: the wire line, the oracle's answer and the
+/// mode the reply is checked under.
 #[derive(Debug, Clone)]
 pub struct PreparedRequest {
     /// Request line (no trailing newline).
     pub line: String,
-    /// Sorted segment ids the database must report.
+    /// Sorted segment ids the full answer contains (mode-aware
+    /// verification derives the expected count / existence / limit
+    /// prefix from it).
     pub expected: Vec<u64>,
+    /// Mode the request runs under.
+    pub mode: QueryMode,
+}
+
+/// Mode-aware answer check: collect wants the ids exactly; count wants
+/// the full cardinality; exists wants the bit; limit wants
+/// `min(k, t)` ids, every one a member of the full answer.
+pub fn verify_reply(mode: QueryMode, ids: &[u64], count: u64, expected: &[u64]) -> bool {
+    match mode {
+        QueryMode::Collect => ids == expected && count == expected.len() as u64,
+        QueryMode::Count => count == expected.len() as u64,
+        QueryMode::Exists => (count > 0) != expected.is_empty(),
+        QueryMode::Limit(k) => {
+            ids.len() as u64 == (k as u64).min(expected.len() as u64)
+                && count == ids.len() as u64
+                && ids.iter().all(|id| expected.binary_search(id).is_ok())
+        }
+    }
 }
 
 /// Latency histogram in microseconds: power-of-two bounds from 1 µs to
@@ -145,20 +223,30 @@ pub fn build_requests(cfg: &LoadConfig) -> Vec<PreparedRequest> {
                     VerticalQuery::Segment { x, lo, hi },
                 ),
             };
-            let params = Json::Obj(
-                params
-                    .into_iter()
-                    .map(|(k, v)| (k.to_string(), Json::I64(v)))
-                    .collect(),
-            );
+            let mode = cfg.mode.mode_for(i);
+            let mut fields: Vec<(String, Json)> = params
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), Json::I64(v)))
+                .collect();
+            if mode != QueryMode::Collect {
+                fields.push(("mode".to_string(), Json::Str(mode.name().to_string())));
+                if let QueryMode::Limit(k) = mode {
+                    fields.push(("limit".to_string(), Json::U64(k as u64)));
+                }
+            }
             let line = Json::obj([
                 ("id", Json::U64(i as u64)),
                 ("method", Json::Str(method.to_string())),
-                ("params", params),
+                ("params", Json::Obj(fields)),
             ])
             .render();
-            let expected = scan_oracle(&set, &oracle).iter().map(|s| s.id).collect();
-            PreparedRequest { line, expected }
+            let mut expected: Vec<u64> = scan_oracle(&set, &oracle).iter().map(|s| s.id).collect();
+            expected.sort_unstable();
+            PreparedRequest {
+                line,
+                expected,
+                mode,
+            }
         })
         .collect()
 }
@@ -260,6 +348,7 @@ impl LoadReport {
             ("segments", Json::U64(cfg.n as u64)),
             ("seed", Json::U64(cfg.seed)),
             ("connections", Json::U64(cfg.connections as u64)),
+            ("mode", Json::Str(cfg.mode.name())),
             ("verify", Json::Bool(cfg.verify)),
             ("requests", Json::U64(self.sent)),
             ("ok", Json::U64(self.ok)),
@@ -337,7 +426,17 @@ fn run_connection(
                             })
                             .collect()
                     });
-                    if got.as_deref() != Some(&request.expected[..]) {
+                    let count = result.get("count").and_then(|c| match *c {
+                        Json::U64(u) => Some(u),
+                        _ => None,
+                    });
+                    let correct = match (got, count) {
+                        (Some(ids), Some(count)) => {
+                            verify_reply(request.mode, &ids, count, &request.expected)
+                        }
+                        _ => false,
+                    };
+                    if !correct {
                         tally.wrong += 1;
                     }
                 }
@@ -453,6 +552,52 @@ mod tests {
             let v = segdb_obs::json::parse(&a[i].line).expect("request line is valid JSON");
             assert_eq!(v.get("id"), Some(&Json::U64(i as u64)));
         }
+    }
+
+    #[test]
+    fn mode_specs_parse_and_cycle() {
+        assert_eq!(parse_mode("mix"), Some(ModeSpec::Mix));
+        assert_eq!(
+            parse_mode("limit:5"),
+            Some(ModeSpec::Fixed(QueryMode::Limit(5)))
+        );
+        assert_eq!(parse_mode("count"), Some(ModeSpec::Fixed(QueryMode::Count)));
+        assert_eq!(parse_mode("limit:"), None);
+        assert_eq!(parse_mode("nope"), None);
+        assert_eq!(ModeSpec::Mix.mode_for(0), QueryMode::Collect);
+        assert_eq!(ModeSpec::Mix.mode_for(1), QueryMode::Count);
+        assert_eq!(ModeSpec::Mix.mode_for(2), QueryMode::Exists);
+        assert_eq!(ModeSpec::Mix.mode_for(3), QueryMode::Limit(8));
+        let cfg = LoadConfig {
+            requests: 8,
+            n: 100,
+            mode: ModeSpec::Mix,
+            ..LoadConfig::default()
+        };
+        let reqs = build_requests(&cfg);
+        assert!(
+            reqs[1].line.contains(r#""mode":"count""#),
+            "{}",
+            reqs[1].line
+        );
+        assert!(reqs[3].line.contains(r#""limit":8"#), "{}", reqs[3].line);
+        assert!(!reqs[0].line.contains("mode"), "collect stays implicit");
+    }
+
+    #[test]
+    fn mode_aware_verification() {
+        let expected = vec![2, 5, 9];
+        assert!(verify_reply(QueryMode::Collect, &[2, 5, 9], 3, &expected));
+        assert!(!verify_reply(QueryMode::Collect, &[2, 5], 2, &expected));
+        assert!(verify_reply(QueryMode::Count, &[], 3, &expected));
+        assert!(!verify_reply(QueryMode::Count, &[], 2, &expected));
+        assert!(verify_reply(QueryMode::Exists, &[], 1, &expected));
+        assert!(!verify_reply(QueryMode::Exists, &[], 0, &expected));
+        assert!(verify_reply(QueryMode::Exists, &[], 0, &[]));
+        assert!(verify_reply(QueryMode::Limit(2), &[5, 9], 2, &expected));
+        assert!(verify_reply(QueryMode::Limit(8), &[2, 5, 9], 3, &expected));
+        assert!(!verify_reply(QueryMode::Limit(2), &[5], 1, &expected));
+        assert!(!verify_reply(QueryMode::Limit(2), &[5, 7], 2, &expected));
     }
 
     #[test]

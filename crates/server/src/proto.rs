@@ -14,6 +14,7 @@
 //! Coordinates are the user frame (the facade shears them); `id` is an
 //! optional client-chosen correlation number echoed back verbatim.
 
+use segdb_core::QueryMode;
 use segdb_obs::json::{self, Json};
 
 /// Machine-readable error codes carried in `error.code`.
@@ -79,8 +80,9 @@ pub enum QueryShape {
 /// A decoded request method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
-    /// Run a query and return ids + per-query trace.
-    Query(QueryShape),
+    /// Run a query under a [`QueryMode`] and return ids (when the mode
+    /// carries segments), the count, and the per-query trace.
+    Query(QueryShape, QueryMode),
     /// Run a query with event tracing on and return the span summary too.
     Trace(QueryShape),
     /// Snapshot database + server statistics.
@@ -180,6 +182,28 @@ fn parse_shape(name: &str, params: &Json) -> Result<QueryShape, String> {
     }
 }
 
+/// Parse the optional `"mode"` param (`"limit"` needs an integer
+/// `"limit"` alongside). Absent means [`QueryMode::Collect`] — older
+/// clients keep working unchanged.
+fn parse_mode(params: &Json) -> Result<QueryMode, String> {
+    match params.get("mode").map(|m| (m, m.as_str())) {
+        None => Ok(QueryMode::Collect),
+        Some((_, Some("collect"))) => Ok(QueryMode::Collect),
+        Some((_, Some("count"))) => Ok(QueryMode::Count),
+        Some((_, Some("exists"))) => Ok(QueryMode::Exists),
+        Some((_, Some("limit"))) => {
+            let k = params
+                .get("limit")
+                .and_then(as_u64)
+                .ok_or("mode `limit` needs an integer field `limit`")?;
+            let k = u32::try_from(k).map_err(|_| "`limit` too large".to_string())?;
+            Ok(QueryMode::Limit(k))
+        }
+        Some((_, Some(other))) => Err(format!("unknown mode `{other}`")),
+        Some((_, None)) => Err("`mode` must be a string".to_string()),
+    }
+}
+
 /// Decode one request line.
 pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     let v = json::parse(line.trim())
@@ -203,9 +227,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             };
             Method::Trace(parse_shape(shape, params).map_err(|m| ProtoError::bad(id, m))?)
         }
-        m if QUERY_METHODS.contains(&m) => {
-            Method::Query(parse_shape(m, params).map_err(|m| ProtoError::bad(id, m))?)
-        }
+        m if QUERY_METHODS.contains(&m) => Method::Query(
+            parse_shape(m, params).map_err(|m| ProtoError::bad(id, m))?,
+            parse_mode(params).map_err(|m| ProtoError::bad(id, m))?,
+        ),
         other => {
             return Err(ProtoError {
                 id,
@@ -255,22 +280,31 @@ mod tests {
     fn parses_every_method() {
         let r = parse_request(r#"{"id":7,"method":"query_line","params":{"x":3}}"#).unwrap();
         assert_eq!(r.id, Some(7));
-        assert_eq!(r.method, Method::Query(QueryShape::Line { x: 3, y: 0 }));
+        assert_eq!(
+            r.method,
+            Method::Query(QueryShape::Line { x: 3, y: 0 }, QueryMode::Collect)
+        );
         let r = parse_request(r#"{"method":"query_ray_up","params":{"x":-1,"y":-9}}"#).unwrap();
         assert_eq!(r.id, None);
-        assert_eq!(r.method, Method::Query(QueryShape::RayUp { x: -1, y: -9 }));
+        assert_eq!(
+            r.method,
+            Method::Query(QueryShape::RayUp { x: -1, y: -9 }, QueryMode::Collect)
+        );
         let r = parse_request(
             r#"{"id":1,"method":"query_segment","params":{"x1":5,"y1":0,"x2":5,"y2":9}}"#,
         )
         .unwrap();
         assert_eq!(
             r.method,
-            Method::Query(QueryShape::Segment {
-                x1: 5,
-                y1: 0,
-                x2: 5,
-                y2: 9
-            })
+            Method::Query(
+                QueryShape::Segment {
+                    x1: 5,
+                    y1: 0,
+                    x2: 5,
+                    y2: 9
+                },
+                QueryMode::Collect
+            )
         );
         let r = parse_request(
             r#"{"id":2,"method":"trace","params":{"shape":"query_ray_down","x":4,"y":2}}"#,
@@ -285,6 +319,38 @@ mod tests {
             let r = parse_request(&format!(r#"{{"method":"{m}"}}"#)).unwrap();
             assert_eq!(r.method, want);
         }
+    }
+
+    #[test]
+    fn parses_query_modes() {
+        for (mode, want) in [
+            ("count", QueryMode::Count),
+            ("exists", QueryMode::Exists),
+            ("collect", QueryMode::Collect),
+        ] {
+            let r = parse_request(&format!(
+                r#"{{"id":1,"method":"query_line","params":{{"x":3,"mode":"{mode}"}}}}"#
+            ))
+            .unwrap();
+            assert_eq!(
+                r.method,
+                Method::Query(QueryShape::Line { x: 3, y: 0 }, want)
+            );
+        }
+        let r = parse_request(
+            r#"{"id":1,"method":"query_line","params":{"x":3,"mode":"limit","limit":5}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.method,
+            Method::Query(QueryShape::Line { x: 3, y: 0 }, QueryMode::Limit(5))
+        );
+        let e = parse_request(r#"{"id":2,"method":"query_line","params":{"x":3,"mode":"limit"}}"#)
+            .unwrap_err();
+        assert_eq!((e.id, e.code), (Some(2), code::BAD_REQUEST));
+        let e = parse_request(r#"{"id":3,"method":"query_line","params":{"x":3,"mode":"nope"}}"#)
+            .unwrap_err();
+        assert_eq!((e.id, e.code), (Some(3), code::BAD_REQUEST));
     }
 
     #[test]

@@ -45,7 +45,7 @@
 use crate::chaos::NetFaultHandle;
 use crate::proto::{self, code, Method, QueryShape, Request};
 use segdb_core::report::ids;
-use segdb_core::{DbError, QueryTrace, SegmentDatabase};
+use segdb_core::{DbError, QueryAnswer, QueryMode, QueryTrace, SegmentDatabase};
 use segdb_geom::Segment;
 use segdb_obs::{Json, TraceSummary};
 use std::collections::VecDeque;
@@ -681,14 +681,31 @@ fn run_shape(
     }
 }
 
-fn answer_json(hits: &[Segment], trace: &QueryTrace) -> Vec<(&'static str, Json)> {
-    let id_list = ids(hits);
+fn run_shape_mode(
+    db: &SegmentDatabase,
+    shape: QueryShape,
+    mode: QueryMode,
+) -> Result<(QueryAnswer, QueryTrace), DbError> {
+    match shape {
+        QueryShape::Line { x, y } => db.query_line_mode((x, y), mode),
+        QueryShape::RayUp { x, y } => db.query_ray_up_mode((x, y), mode),
+        QueryShape::RayDown { x, y } => db.query_ray_down_mode((x, y), mode),
+        QueryShape::Segment { x1, y1, x2, y2 } => db.query_segment_mode((x1, y1), (x2, y2), mode),
+    }
+}
+
+/// Render a mode-shaped answer: `ids` carries the segments when the
+/// mode materializes them (empty for count/exists), `count` the hit
+/// count the answer witnesses, `mode` echoes the mode served.
+fn answer_json(answer: &QueryAnswer, trace: &QueryTrace) -> Vec<(&'static str, Json)> {
+    let id_list = answer.segments().map(ids).unwrap_or_default();
     vec![
         (
             "ids",
             Json::Arr(id_list.into_iter().map(Json::U64).collect()),
         ),
-        ("count", Json::U64(hits.len() as u64)),
+        ("count", Json::U64(answer.count())),
+        ("mode", Json::Str(trace.mode.name().to_string())),
         ("trace", trace.to_json()),
     ]
 }
@@ -706,10 +723,10 @@ fn db_code(e: &DbError) -> &'static str {
 
 fn execute(shared: &Shared, id: Option<u64>, method: Method) -> String {
     match method {
-        Method::Query(shape) => match run_shape(&shared.db, shape) {
-            Ok((hits, trace)) => {
+        Method::Query(shape, mode) => match run_shape_mode(&shared.db, shape, mode) {
+            Ok((answer, trace)) => {
                 ServerStats::bump(&shared.stats.ok);
-                proto::ok_line(id, Json::obj(answer_json(&hits, &trace)))
+                proto::ok_line(id, Json::obj(answer_json(&answer, &trace)))
             }
             Err(e) => {
                 ServerStats::bump(&shared.stats.errors);
@@ -723,7 +740,7 @@ fn execute(shared: &Shared, id: Option<u64>, method: Method) -> String {
             match result {
                 Ok((hits, trace)) => {
                     ServerStats::bump(&shared.stats.ok);
-                    let mut fields = answer_json(&hits, &trace);
+                    let mut fields = answer_json(&QueryAnswer::Segments(hits), &trace);
                     fields.push((
                         "spans",
                         TraceSummary::from_events(&events, dropped).to_json(),

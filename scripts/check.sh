@@ -31,8 +31,14 @@ for _ in $(seq 1 40); do
     sleep 0.05
 done
 [ -n "$ADDR" ] || { echo "server never reported its address"; exit 1; }
+# query --count over the wire must equal the collected answer's length.
+QX=$(awk -F, '!/^#/{print $2; exit}' "$SMOKE/map.csv")
+COLLECTED=$("$CLI" query --remote "$ADDR" line "$QX" | grep -cv '^#' || true)
+COUNTED=$("$CLI" query --remote "$ADDR" line "$QX" --count | head -n 1)
+[ "$COLLECTED" = "$COUNTED" ] || {
+    echo "query --count ($COUNTED) != collected length ($COLLECTED)"; exit 1; }
 SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21 \
-    --connections 2 --requests 40 --shutdown > /dev/null
+    --connections 2 --requests 40 --mode mix --shutdown > /dev/null
 wait "$SERVE_PID"
 grep -q '"wrong":0' "$SMOKE/BENCH_serve.json" || {
     echo "load driver reported wrong answers"; exit 1; }

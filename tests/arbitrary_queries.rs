@@ -3,20 +3,10 @@
 //! shear interplay and persistence.
 
 use segdb::core::report::ids;
+use segdb::core::testutil::oracle_intersect as oracle;
 use segdb::core::{IndexKind, SegmentDatabase};
 use segdb::geom::gen::mixed_map;
-use segdb::geom::predicates::segments_intersect;
 use segdb::geom::Segment;
-
-fn oracle(set: &[Segment], q: &Segment) -> Vec<u64> {
-    let mut v: Vec<u64> = set
-        .iter()
-        .filter(|s| segments_intersect(s, q))
-        .map(|s| s.id)
-        .collect();
-    v.sort_unstable();
-    v
-}
 
 fn free_queries() -> Vec<Segment> {
     vec![
