@@ -23,6 +23,7 @@
 //! segdb-cli remove <db> <id> <x1> <y1> <x2> <y2>
 //! segdb-cli stats <db> [csv] [--sample <n>] [--seed <s>] [--human]
 //! segdb-cli stats --remote <host:port>                   # a running server's stats
+//! segdb-cli slowlog --remote <host:port>                 # its slow-query log
 //! segdb-cli trace <db> <shape> <coords…> [--human]
 //! segdb-cli serve <db> [serve options]                   # TCP query server
 //! segdb-cli torture [torture options]                    # seeded crash-recovery sweep
@@ -50,6 +51,11 @@
 //!                           `overloaded` and closed (default 256)
 //!   --drain-ms <n>          bound on waiting for live connections to
 //!                           finish after shutdown (default 5000)
+//!   --slowlog-entries <n>   keep the n worst requests for the `slowlog`
+//!                           wire method (default 32; 0 disables)
+//!   --slowlog-threshold-us <n>
+//!                           only requests at least this slow enter the
+//!                           slow-query log (default 0: every request)
 //!
 //! torture options:
 //!   --seed <s>              first master seed (default 1)
@@ -80,6 +86,11 @@
 //! buffer pool, observability on), prints `listening on <addr>` and
 //! blocks until a wire `shutdown` request arrives (protocol in the repo
 //! README under "Serving"; drive load with `segdb-load`).
+//!
+//! `slowlog --remote` prints a running server's slow-query log — the K
+//! worst requests with per-stage timings (queue/exec/write µs), pages
+//! touched and the client correlation ids (DESIGN.md §12; see also the
+//! `latency`/`pages` blocks of `stats --remote`).
 //!
 //! The CSV format is `id,x1,y1,x2,y2`, one segment per line; `#` starts
 //! a comment. All logic lives in this library crate so the integration
@@ -623,6 +634,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Ok(format!("{}\n", snapshot.render()))
             }
         }
+        "slowlog" => {
+            if want(args, 1, "--remote")? != "--remote" {
+                return usage("slowlog serves remote servers only: slowlog --remote <host:port>");
+            }
+            let addr = want(args, 2, "address")?;
+            let doc = remote_client(addr)
+                .remote_slowlog()
+                .map_err(|e| CliError::Io(format!("remote slowlog failed: {e}")))?;
+            Ok(format!("{}\n", doc.render()))
+        }
         "trace" => {
             let db_path = want(args, 1, "db path")?;
             let shape = want(args, 2, "query shape")?;
@@ -707,6 +728,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "--drain-ms" => {
                         cfg.drain_timeout = std::time::Duration::from_millis(
                             num(args, i + 1, "drain bound")?.max(0) as u64,
+                        );
+                    }
+                    "--slowlog-entries" => {
+                        cfg.slowlog_entries = num(args, i + 1, "slowlog entries")?.max(0) as usize;
+                    }
+                    "--slowlog-threshold-us" => {
+                        cfg.slowlog_threshold = std::time::Duration::from_micros(
+                            num(args, i + 1, "slowlog threshold")?.max(0) as u64,
                         );
                     }
                     other => return usage(format!("unknown serve option '{other}'")),

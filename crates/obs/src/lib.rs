@@ -26,6 +26,10 @@
 //!   write-drop/reap/shed tallies, fed by `segdb-server`'s chaos layer,
 //!   resilient client and connection hardening (see DESIGN.md §10
 //!   "Network failure model").
+//! * [`stage`] — a microsecond lap timer partitioning one request's
+//!   lifetime into stages (queue wait, index walk, reply write); the
+//!   serving layer feeds its laps into per-stage [`metrics`] histograms
+//!   (see DESIGN.md §12 "Request lifecycle").
 //! * [`cost`] — the paper-bound cost model: given `(N, B)` and the
 //!   index kind it computes the analytic I/O bound shape, fits the
 //!   constant from observed queries, and flags queries whose measured
@@ -39,9 +43,11 @@ pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod net;
+pub mod stage;
 pub mod trace;
 
 pub use cost::{CostKind, CostModel, CostVerdict, Fitter};
 pub use json::Json;
 pub use metrics::{Histogram, Registry};
+pub use stage::StageTimer;
 pub use trace::{Event, EventKind, TraceSummary};

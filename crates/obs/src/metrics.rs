@@ -37,6 +37,15 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// A latency histogram in microseconds: power-of-two bounds from
+    /// 1 µs up to `2^24` µs (~16.8 s), plus overflow. The serving
+    /// layer's per-stage timings and the load driver's round-trip
+    /// latencies all use this shape so their distributions merge and
+    /// compare directly.
+    pub fn latency_us() -> Histogram {
+        Histogram::new((0..=24).map(|i| 1u64 << i).collect())
+    }
+
     /// Build with strictly increasing bucket upper bounds.
     pub fn new(bounds: Vec<u64>) -> Histogram {
         debug_assert!(
@@ -54,12 +63,14 @@ impl Histogram {
         }
     }
 
-    /// Record one sample.
+    /// Record one sample. The exact sum saturates at `u64::MAX` instead
+    /// of overflowing — extreme samples land in the overflow bucket and
+    /// must not poison the whole histogram.
     pub fn observe(&mut self, value: u64) {
         let i = self.bounds.partition_point(|&b| b <= value);
         self.counts[i] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -126,9 +137,25 @@ impl Histogram {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Compact quantile summary:
+    /// `{count, p50, p95, p99, mean, max}` — the block the server's
+    /// `stats` reply and the bench-diff tool read. Quantiles are bucket
+    /// upper bounds (see [`Histogram::quantile_bound`]); mean and max
+    /// are exact.
+    pub fn summary_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("p50", Json::U64(self.quantile_bound(0.50))),
+            ("p95", Json::U64(self.quantile_bound(0.95))),
+            ("p99", Json::U64(self.quantile_bound(0.99))),
+            ("mean", Json::F64(self.mean())),
+            ("max", Json::U64(self.max)),
+        ])
     }
 
     /// JSON form: `{count, sum, min, max, mean, buckets: [{le, n}...]}`.
@@ -280,6 +307,119 @@ mod tests {
         assert_eq!(a.sum(), 106);
         assert_eq!(a.min(), 0);
         assert_eq!(a.max(), 100);
+    }
+
+    /// Deterministic pseudo-random stream (obs is zero-dep; a splitmix
+    /// step is plenty for property-style coverage).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn merge_is_commutative_and_count_preserving() {
+        for seed in 1..=8u64 {
+            let mut s = seed;
+            let mut a = Histogram::default();
+            let mut b = Histogram::default();
+            let (na, nb) = (1 + splitmix(&mut s) % 200, 1 + splitmix(&mut s) % 200);
+            for _ in 0..na {
+                a.observe(splitmix(&mut s) % 100_000);
+            }
+            for _ in 0..nb {
+                b.observe(splitmix(&mut s) % 100_000);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge must be commutative (seed {seed})");
+            assert_eq!(ab.count(), a.count() + b.count());
+            assert_eq!(ab.sum(), a.sum() + b.sum());
+            assert_eq!(ab.min(), a.min().min(b.min()));
+            assert_eq!(ab.max(), a.max().max(b.max()));
+            // Quantiles of the merge are bounded by the wider input.
+            for q in [0.5, 0.95, 0.99, 1.0] {
+                assert!(ab.quantile_bound(q) <= a.quantile_bound(q).max(b.quantile_bound(q)));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::default();
+        for v in [3, 9, 1000] {
+            a.observe(v);
+        }
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
+        let mut empty = Histogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn quantile_bound_edge_cases() {
+        // Empty histogram: every quantile is 0.
+        let h = Histogram::default();
+        assert_eq!(h.quantile_bound(0.0), 0);
+        assert_eq!(h.quantile_bound(0.5), 0);
+        assert_eq!(h.quantile_bound(1.0), 0);
+        // Single sample: every positive quantile is its bucket bound.
+        let mut h = Histogram::default();
+        h.observe(5);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_bound(q), 8, "q={q}");
+        }
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile_bound(-3.0), h.quantile_bound(0.0));
+        assert_eq!(h.quantile_bound(7.0), h.quantile_bound(1.0));
+        // A sample above the last bound lives in the overflow bucket,
+        // whose "bound" is u64::MAX.
+        let mut h = Histogram::default();
+        h.observe(1 << 40);
+        assert_eq!(h.quantile_bound(0.5), u64::MAX);
+        assert_eq!(h.max(), 1 << 40, "exact max survives bucketing");
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_without_losing_counts() {
+        let mut h = Histogram::new(vec![1, 2]);
+        for v in [0, 1, 5, 1 << 50, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        // Buckets: <1 holds {0}, <2 holds {1}, overflow holds the rest.
+        let j = h.to_json();
+        let buckets = j.get("buckets").unwrap().as_arr().unwrap();
+        let overflow = buckets.last().unwrap();
+        assert_eq!(overflow.get("lt"), Some(&Json::Str("inf".into())));
+        assert_eq!(overflow.get("n"), Some(&Json::U64(3)));
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn summary_json_reports_bucket_quantiles() {
+        let mut h = Histogram::latency_us();
+        for v in 0..100u64 {
+            h.observe(v);
+        }
+        let s = h.summary_json();
+        assert_eq!(s.get("count"), Some(&Json::U64(100)));
+        assert_eq!(s.get("p50"), Some(&Json::U64(64)));
+        assert_eq!(s.get("p95"), Some(&Json::U64(128)));
+        assert_eq!(s.get("p99"), Some(&Json::U64(128)));
+        assert_eq!(s.get("max"), Some(&Json::U64(99)));
+        assert_eq!(s.get("mean"), Some(&Json::F64(49.5)));
+        // Empty summary is all zeros, not an error.
+        let s = Histogram::latency_us().summary_json();
+        assert_eq!(s.get("count"), Some(&Json::U64(0)));
+        assert_eq!(s.get("p99"), Some(&Json::U64(0)));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Stage timing for request lifecycles.
+//!
+//! A request travelling through the serving stack passes distinct
+//! stages — admission-queue wait, index walk, reply write — and the
+//! interesting question is always *where the time went*, not just how
+//! much there was. [`StageTimer`] is the minimal tool for that: started
+//! once when the request is admitted, `lap_us` at each stage boundary
+//! yields the stage's duration, and `total_us` the end-to-end figure.
+//! Laps partition the total exactly (up to the µs truncation of each
+//! reading), so per-stage histograms and the total histogram stay
+//! mutually consistent.
+
+use std::time::Instant;
+
+/// A monotone lap timer in microseconds.
+///
+/// ```
+/// use segdb_obs::stage::StageTimer;
+/// let mut t = StageTimer::start();
+/// // ... queue wait ...
+/// let queue_us = t.lap_us();
+/// // ... execute ...
+/// let exec_us = t.lap_us();
+/// assert!(t.total_us() >= queue_us + exec_us);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StageTimer {
+    origin: Instant,
+    last: Instant,
+}
+
+impl StageTimer {
+    /// Begin timing now.
+    pub fn start() -> StageTimer {
+        let now = Instant::now();
+        StageTimer {
+            origin: now,
+            last: now,
+        }
+    }
+
+    /// Adopt an instant captured earlier (e.g. the admission time a
+    /// queued job recorded before crossing a thread boundary).
+    pub fn since(origin: Instant) -> StageTimer {
+        StageTimer {
+            origin,
+            last: origin,
+        }
+    }
+
+    /// Microseconds since the previous lap (or since start for the
+    /// first lap); advances the lap mark.
+    pub fn lap_us(&mut self) -> u64 {
+        let now = Instant::now();
+        let us = now.duration_since(self.last).as_micros();
+        self.last = now;
+        u64::try_from(us).unwrap_or(u64::MAX)
+    }
+
+    /// Microseconds since start; does not advance the lap mark.
+    pub fn total_us(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn laps_partition_the_total() {
+        let mut t = StageTimer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let a = t.lap_us();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = t.lap_us();
+        assert!(a >= 1_000, "first lap saw the first sleep: {a}");
+        assert!(b >= 1_000, "second lap saw the second sleep: {b}");
+        // Truncation loses at most 1 µs per reading.
+        assert!(t.total_us() + 2 >= a + b, "laps never exceed the total");
+    }
+
+    #[test]
+    fn since_backdates_the_origin() {
+        let origin = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        let mut t = StageTimer::since(origin);
+        let waited = t.lap_us();
+        assert!(
+            waited >= 1_000,
+            "lap covers the pre-adoption wait: {waited}"
+        );
+        assert!(t.total_us() >= waited);
+    }
+}

@@ -13,6 +13,20 @@
 //! over in emission order and clears the ring.
 
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide total of events lost to ring overwrite, accumulated
+/// whenever a thread's ring is drained. Lets the serving layer report
+/// "traces were truncated" even though the rings themselves are
+/// thread-local and ephemeral.
+static DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Events lost to ring overwrite across all threads so far (monotone;
+/// counted at drain time). Surfaced in the server `stats` reply so a
+/// truncated trace is detectable instead of silently partial.
+pub fn dropped_total() -> u64 {
+    DROPPED_TOTAL.load(Ordering::Relaxed)
+}
 
 /// Default ring capacity (events). A query against a million-segment
 /// index emits a few hundred events, so the default tail holds many
@@ -167,7 +181,11 @@ fn emit_slow(kind: EventKind, a: u64, b: u64) {
 /// Take every buffered event (oldest first) and clear the ring. Also
 /// returns how many events were overwritten since the last drain.
 pub fn drain() -> (Vec<Event>, u64) {
-    RING.with(|r| r.borrow_mut().drain())
+    let (events, dropped) = RING.with(|r| r.borrow_mut().drain());
+    if dropped > 0 {
+        DROPPED_TOTAL.fetch_add(dropped, Ordering::Relaxed);
+    }
+    (events, dropped)
 }
 
 /// Discard buffered events.
@@ -304,6 +322,7 @@ mod tests {
     #[test]
     fn ring_overwrites_oldest() {
         clear();
+        let before = dropped_total();
         with_tracing(|| {
             for i in 0..(DEFAULT_CAPACITY as u64 + 10) {
                 emit(EventKind::PageRead, i, 0);
@@ -314,5 +333,12 @@ mod tests {
         assert_eq!(dropped, 10);
         assert_eq!(events[0].a, 10, "oldest 10 overwritten");
         assert_eq!(events.last().unwrap().a, DEFAULT_CAPACITY as u64 + 9);
+        assert!(
+            dropped_total() >= before + 10,
+            "drain feeds the process-wide dropped total"
+        );
+        // The summary carries the figure through to JSON consumers.
+        let s = TraceSummary::from_events(&events, dropped);
+        assert_eq!(s.to_json().get("dropped"), Some(&crate::Json::U64(10)));
     }
 }

@@ -1,0 +1,352 @@
+//! The PR-over-PR bench regression gate: compare two `BENCH_serve.json`
+//! documents and fail when the current run regressed past a threshold.
+//!
+//! The gate judges two metrics — **p99 latency** (lower is better) and
+//! **throughput** (higher is better) — against a configurable
+//! percentage threshold; p50/p95/mean ride along informationally but
+//! never trip the gate (the power-of-two histogram buckets make mid
+//! quantiles jump in whole-bucket steps, so gating on them would flag
+//! every bucket move as a 100 % change). A baseline of zero never
+//! regresses: there is nothing meaningful to be a percentage *of*.
+//!
+//! Workload-context fields (`family`, `segments`, `seed`,
+//! `connections`, `mode`, `requests`) are cross-checked and any
+//! mismatch is *reported*, not failed — comparing across workloads is
+//! sometimes exactly what one wants, but it should never happen
+//! silently.
+//!
+//! The `bench-diff` binary (wrapped by `scripts/bench_diff`) is the CLI
+//! face: `bench-diff BASELINE CURRENT [--threshold-pct X]`, exit 0 when
+//! clean, 1 on regression, 2 on usage or parse errors.
+
+use segdb_obs::Json;
+
+/// Default gate threshold: a metric may move this many percent in the
+/// bad direction before the gate fails.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// Which way a metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller values are better (latencies).
+    LowerIsBetter,
+    /// Larger values are better (throughput).
+    HigherIsBetter,
+}
+
+impl Direction {
+    fn name(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower_is_better",
+            Direction::HigherIsBetter => "higher_is_better",
+        }
+    }
+}
+
+/// One metric's baseline-vs-current verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Dotted path into the bench document, e.g. `latency_us.p99`.
+    pub name: &'static str,
+    /// Which way the metric is allowed to move.
+    pub direction: Direction,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Movement in the *bad* direction as a percentage of the baseline
+    /// (positive = worse, negative = improved); zero when the baseline
+    /// is zero.
+    pub worse_pct: f64,
+    /// Whether this metric participates in the gate verdict.
+    pub gated: bool,
+    /// `gated` and `worse_pct` exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// The whole comparison: per-metric verdicts plus context mismatches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Gate threshold the verdicts were judged against, in percent.
+    pub threshold_pct: f64,
+    /// Per-metric verdicts (gated first).
+    pub metrics: Vec<MetricDiff>,
+    /// Workload-context fields that differ between the two documents
+    /// (`"family: mixed -> grid"` style), making the comparison
+    /// apples-to-oranges.
+    pub context_mismatches: Vec<String>,
+}
+
+impl BenchDiff {
+    /// True when any gated metric regressed past the threshold.
+    pub fn regressed(&self) -> bool {
+        self.metrics.iter().any(|m| m.regressed)
+    }
+
+    /// The machine-readable verdict document `bench-diff` prints.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("threshold_pct", Json::F64(self.threshold_pct)),
+            ("regressed", Json::Bool(self.regressed())),
+            (
+                "metrics",
+                Json::Arr(
+                    self.metrics
+                        .iter()
+                        .map(|m| {
+                            Json::obj([
+                                ("name", Json::Str(m.name.to_string())),
+                                ("direction", Json::Str(m.direction.name().to_string())),
+                                ("baseline", Json::F64(m.baseline)),
+                                ("current", Json::F64(m.current)),
+                                ("worse_pct", Json::F64(m.worse_pct)),
+                                ("gated", Json::Bool(m.gated)),
+                                ("regressed", Json::Bool(m.regressed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "context_mismatches",
+                Json::Arr(
+                    self.context_mismatches
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Numeric leaf at a one- or two-step dotted path.
+fn metric_at(doc: &Json, path: &str) -> Option<f64> {
+    let mut node = doc;
+    for step in path.split('.') {
+        node = node.get(step)?;
+    }
+    match *node {
+        Json::U64(u) => Some(u as f64),
+        Json::I64(i) => Some(i as f64),
+        Json::F64(f) => Some(f),
+        _ => None,
+    }
+}
+
+/// Render a context field for the mismatch report.
+fn context_repr(doc: &Json, key: &str) -> String {
+    match doc.get(key) {
+        Some(Json::Str(s)) => s.clone(),
+        Some(Json::U64(u)) => u.to_string(),
+        Some(Json::I64(i)) => i.to_string(),
+        Some(Json::Bool(b)) => b.to_string(),
+        Some(other) => other.render(),
+        None => "<missing>".to_string(),
+    }
+}
+
+/// The metric table the gate runs over: `(path, direction, gated)`.
+const METRICS: [(&str, Direction, bool); 6] = [
+    ("latency_us.p99", Direction::LowerIsBetter, true),
+    ("throughput_rps", Direction::HigherIsBetter, true),
+    ("latency_us.p95", Direction::LowerIsBetter, false),
+    ("latency_us.p50", Direction::LowerIsBetter, false),
+    ("latency_us.mean", Direction::LowerIsBetter, false),
+    ("latency_us.max", Direction::LowerIsBetter, false),
+];
+
+/// Workload-context fields cross-checked between the two documents.
+const CONTEXT: [&str; 6] = [
+    "family",
+    "segments",
+    "seed",
+    "connections",
+    "mode",
+    "requests",
+];
+
+/// Compare two bench documents. `Err` means a *gated* metric is missing
+/// from either document — the gate refuses to pass vacuously.
+pub fn compare(baseline: &Json, current: &Json, threshold_pct: f64) -> Result<BenchDiff, String> {
+    let mut metrics = Vec::with_capacity(METRICS.len());
+    for (name, direction, gated) in METRICS {
+        let (b, c) = (metric_at(baseline, name), metric_at(current, name));
+        let (Some(b), Some(c)) = (b, c) else {
+            if gated {
+                return Err(format!("gated metric `{name}` missing from a document"));
+            }
+            continue;
+        };
+        let worse_pct = if b <= 0.0 {
+            0.0
+        } else {
+            match direction {
+                Direction::LowerIsBetter => (c - b) / b * 100.0,
+                Direction::HigherIsBetter => (b - c) / b * 100.0,
+            }
+        };
+        metrics.push(MetricDiff {
+            name,
+            direction,
+            baseline: b,
+            current: c,
+            worse_pct,
+            gated,
+            regressed: gated && worse_pct > threshold_pct,
+        });
+    }
+    let context_mismatches = CONTEXT
+        .iter()
+        .filter_map(|key| {
+            let (b, c) = (context_repr(baseline, key), context_repr(current, key));
+            (b != c).then(|| format!("{key}: {b} -> {c}"))
+        })
+        .collect();
+    Ok(BenchDiff {
+        threshold_pct,
+        metrics,
+        context_mismatches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(p99: u64, rps: f64) -> Json {
+        Json::obj([
+            ("experiment", Json::Str("serve".to_string())),
+            ("family", Json::Str("mixed".to_string())),
+            ("segments", Json::U64(2000)),
+            ("seed", Json::U64(42)),
+            ("connections", Json::U64(4)),
+            ("mode", Json::Str("mix".to_string())),
+            ("requests", Json::U64(400)),
+            ("throughput_rps", Json::F64(rps)),
+            (
+                "latency_us",
+                Json::obj([
+                    ("p50", Json::U64(p99 / 4)),
+                    ("p95", Json::U64(p99 / 2)),
+                    ("p99", Json::U64(p99)),
+                    ("mean", Json::F64(p99 as f64 / 5.0)),
+                    ("max", Json::U64(p99 * 2)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let doc = bench_doc(512, 9000.0);
+        let diff = compare(&doc, &doc, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(!diff.regressed());
+        assert!(diff.metrics.iter().all(|m| m.worse_pct == 0.0));
+        assert!(diff.context_mismatches.is_empty());
+        segdb_obs::json::parse(&diff.to_json().render()).expect("verdict renders as valid JSON");
+    }
+
+    #[test]
+    fn p99_regression_past_threshold_fails_the_gate() {
+        let base = bench_doc(512, 9000.0);
+        let worse = bench_doc(1024, 9000.0); // +100 % p99
+        let diff = compare(&base, &worse, 10.0).unwrap();
+        assert!(diff.regressed());
+        let p99 = diff
+            .metrics
+            .iter()
+            .find(|m| m.name == "latency_us.p99")
+            .unwrap();
+        assert!(p99.regressed);
+        assert!((p99.worse_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_drop_past_threshold_fails_the_gate() {
+        let base = bench_doc(512, 9000.0);
+        let worse = bench_doc(512, 7000.0); // −22 % throughput
+        let diff = compare(&base, &worse, 10.0).unwrap();
+        assert!(diff.regressed());
+        let rps = diff
+            .metrics
+            .iter()
+            .find(|m| m.name == "throughput_rps")
+            .unwrap();
+        assert!(rps.regressed);
+        assert!(rps.worse_pct > 20.0);
+    }
+
+    #[test]
+    fn movement_inside_the_threshold_passes() {
+        let base = bench_doc(1000, 9000.0);
+        let slightly = bench_doc(1050, 8500.0); // +5 % p99, −5.6 % rps
+        let diff = compare(&base, &slightly, 10.0).unwrap();
+        assert!(!diff.regressed());
+        // Improvements report negative `worse_pct` and never regress.
+        let better = bench_doc(500, 12000.0);
+        let diff = compare(&base, &better, 10.0).unwrap();
+        assert!(!diff.regressed());
+        assert!(diff.metrics.iter().all(|m| m.worse_pct <= 0.0));
+    }
+
+    #[test]
+    fn ungated_quantiles_never_trip_the_gate() {
+        let base = bench_doc(1000, 9000.0);
+        let mut current = bench_doc(1000, 9000.0);
+        // Blow up p50 only: find latency_us.p50 and rewrite it.
+        if let Json::Obj(fields) = &mut current {
+            for (k, v) in fields.iter_mut() {
+                if k == "latency_us" {
+                    if let Json::Obj(inner) = v {
+                        for (ik, iv) in inner.iter_mut() {
+                            if ik == "p50" {
+                                *iv = Json::U64(100_000);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let diff = compare(&base, &current, 10.0).unwrap();
+        assert!(!diff.regressed(), "p50 is informational, not gated");
+        let p50 = diff
+            .metrics
+            .iter()
+            .find(|m| m.name == "latency_us.p50")
+            .unwrap();
+        assert!(p50.worse_pct > 10.0 && !p50.regressed);
+    }
+
+    #[test]
+    fn missing_gated_metric_is_an_error() {
+        let base = bench_doc(512, 9000.0);
+        let empty = Json::obj([("experiment", Json::Str("serve".to_string()))]);
+        let err = compare(&base, &empty, 10.0).unwrap_err();
+        assert!(err.contains("latency_us.p99"), "{err}");
+    }
+
+    #[test]
+    fn zero_baseline_never_regresses() {
+        let zero = bench_doc(0, 0.0);
+        let busy = bench_doc(512, 9000.0);
+        let diff = compare(&zero, &busy, 10.0).unwrap();
+        assert!(!diff.regressed());
+    }
+
+    #[test]
+    fn workload_context_mismatches_are_reported_not_failed() {
+        let base = bench_doc(512, 9000.0);
+        let mut other = bench_doc(512, 9000.0);
+        if let Json::Obj(fields) = &mut other {
+            for (k, v) in fields.iter_mut() {
+                if k == "family" {
+                    *v = Json::Str("grid".to_string());
+                }
+            }
+        }
+        let diff = compare(&base, &other, 10.0).unwrap();
+        assert!(!diff.regressed());
+        assert_eq!(diff.context_mismatches, vec!["family: mixed -> grid"]);
+    }
+}

@@ -1,0 +1,81 @@
+//! `bench-diff` — the PR-over-PR bench regression gate.
+//!
+//! ```text
+//! bench-diff BASELINE.json CURRENT.json [--threshold-pct X]
+//! ```
+//!
+//! Compares two `BENCH_serve.json` documents (see `segdb-load`) and
+//! judges p99 latency and throughput against the threshold (default
+//! 10 %). Prints the verdict document on stdout. Exit codes: 0 clean,
+//! 1 regression detected, 2 usage/parse errors.
+
+use segdb_obs::{json, Json};
+use segdb_server::bench::{self, DEFAULT_THRESHOLD_PCT};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench-diff BASELINE.json CURRENT.json [--threshold-pct X]";
+
+fn fail(code: &str, message: &str) -> ExitCode {
+    eprintln!(
+        "{}",
+        Json::obj([
+            ("error", Json::Str(code.to_string())),
+            ("message", Json::Str(message.to_string())),
+        ])
+        .render()
+    );
+    ExitCode::from(2)
+}
+
+fn load_doc(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(text.trim()).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--threshold-pct" => {
+                let Some(value) = args.next() else {
+                    return fail("usage", &format!("--threshold-pct needs a value; {USAGE}"));
+                };
+                match value.parse::<f64>() {
+                    Ok(x) if x >= 0.0 && x.is_finite() => threshold = x,
+                    _ => return fail("usage", &format!("bad threshold `{value}`")),
+                }
+            }
+            other if other.starts_with("--") => {
+                return fail("usage", &format!("unknown flag `{other}`; {USAGE}"))
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return fail("usage", USAGE);
+    };
+    let baseline = match load_doc(baseline_path) {
+        Ok(d) => d,
+        Err(e) => return fail("io", &e),
+    };
+    let current = match load_doc(current_path) {
+        Ok(d) => d,
+        Err(e) => return fail("io", &e),
+    };
+    let diff = match bench::compare(&baseline, &current, threshold) {
+        Ok(d) => d,
+        Err(e) => return fail("bad_document", &e),
+    };
+    println!("{}", diff.to_json().render());
+    if diff.regressed() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -20,8 +20,12 @@
 //!
 //! A connection that fails an attempt is always discarded before the
 //! retry — a late response from a timed-out attempt must never be
-//! matched to a later request. Wire disruptions and resilience actions
-//! are tallied in [`ClientStats`] and the process-wide
+//! matched to a later request. As a second guard on the same hazard,
+//! the convenience methods stamp every request with a fresh numeric
+//! `id` and [`Client::call_line`] verifies the echo: a response whose
+//! numeric id differs from the request's is treated as a wire fault
+//! and retried on a fresh connection. Wire disruptions and resilience
+//! actions are tallied in [`ClientStats`] and the process-wide
 //! [`segdb_obs::net`] counters the server's `stats` method surfaces.
 
 use crate::chaos::{ChaosStream, NetFaultHandle};
@@ -149,6 +153,9 @@ pub struct Client {
     chaos: Option<NetFaultHandle>,
     stats: ClientStats,
     ever_connected: bool,
+    /// Correlation-id counter for the convenience methods; each stamped
+    /// request carries a fresh id the server echoes back.
+    next_id: u64,
 }
 
 impl std::fmt::Debug for Client {
@@ -170,6 +177,7 @@ impl Client {
             chaos: None,
             stats: ClientStats::default(),
             ever_connected: false,
+            next_id: 0,
         }
     }
 
@@ -201,7 +209,15 @@ impl Client {
     /// are retried up to the budget with jittered exponential backoff;
     /// terminal outcomes return immediately. The request must be
     /// idempotent — every query method is.
+    ///
+    /// When the request line carries a numeric `id`, the response's
+    /// echoed id is verified: a response carrying a *different* numeric
+    /// id is a stale line from an earlier request on the connection and
+    /// is treated as a wire fault (discard the connection, retry). A
+    /// `null` response id skips the check — the server answers `null`
+    /// when it could not salvage the id from a malformed line.
     pub fn call_line(&mut self, line: &str) -> Result<Json, CallError> {
+        let want_id = request_id(line);
         let budget = 1 + self.cfg.max_retries;
         let mut last = String::new();
         for attempt in 0..budget {
@@ -213,6 +229,19 @@ impl Client {
             self.stats.attempts += 1;
             match self.attempt(line) {
                 Ok(Attempt::Response(v)) => {
+                    let got = v.get("id").and_then(|x| match *x {
+                        Json::U64(u) => Some(u),
+                        _ => None,
+                    });
+                    if let (Some(want), Some(got)) = (want_id, got) {
+                        if want != got {
+                            self.disconnect();
+                            self.stats.observed_faults += 1;
+                            segdb_obs::net::totals().observed_fault();
+                            last = format!("id mismatch: sent {want}, received {got}");
+                            continue;
+                        }
+                    }
                     if v.get("ok") == Some(&Json::Bool(true)) {
                         return Ok(v.get("result").cloned().unwrap_or(Json::Null));
                     }
@@ -298,15 +327,39 @@ impl Client {
         std::thread::sleep(Duration::from_micros(us));
     }
 
+    /// The next correlation id (monotone, starts at 1).
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Render a parameterless request stamped with a fresh id.
+    fn stamped(&mut self, method: &str) -> String {
+        Json::obj([
+            ("id", Json::U64(self.fresh_id())),
+            ("method", Json::Str(method.to_string())),
+        ])
+        .render()
+    }
+
     /// Convenience: `ping` (answers `true` on a pong).
     pub fn ping(&mut self) -> Result<bool, CallError> {
-        let r = self.call_line(r#"{"method":"ping"}"#)?;
+        let line = self.stamped("ping");
+        let r = self.call_line(&line)?;
         Ok(r == Json::Str("pong".to_string()))
     }
 
     /// Convenience: the server's `stats` document.
     pub fn remote_stats(&mut self) -> Result<Json, CallError> {
-        self.call_line(r#"{"method":"stats"}"#)
+        let line = self.stamped("stats");
+        self.call_line(&line)
+    }
+
+    /// Convenience: the server's slow-query log (the `slowlog` method) —
+    /// the K worst requests with per-stage timings and correlation ids.
+    pub fn remote_slowlog(&mut self) -> Result<Json, CallError> {
+        let line = self.stamped("slowlog");
+        self.call_line(&line)
     }
 
     /// Convenience: run one query shape and return the sorted hit ids.
@@ -340,6 +393,7 @@ impl Client {
             }
         }
         let line = Json::obj([
+            ("id", Json::U64(self.fresh_id())),
             ("method", Json::Str(method.to_string())),
             ("params", Json::Obj(fields)),
         ])
@@ -389,6 +443,18 @@ pub struct QueryReply {
     pub count: u64,
     /// The mode the server says it served.
     pub mode: String,
+}
+
+/// The numeric `id` a rendered request line carries, if any.
+fn request_id(line: &str) -> Option<u64> {
+    json::parse(line.trim())
+        .ok()?
+        .get("id")
+        .and_then(|v| match *v {
+            Json::U64(u) => Some(u),
+            Json::I64(i) => u64::try_from(i).ok(),
+            _ => None,
+        })
 }
 
 fn error_fields(v: &Json) -> (String, String) {
@@ -510,6 +576,36 @@ mod tests {
             "{err:?}"
         );
         client.disconnect();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn mismatched_response_id_is_a_wire_fault() {
+        // Every scripted connection answers with a foreign id; the
+        // client must refuse each one and exhaust its budget.
+        let stale = r#"{"id":999,"ok":true,"result":"pong"}"#.to_string();
+        let (addr, h) = scripted_server(vec![Some(stale); 5]);
+        let mut client = Client::new(quick_cfg(&addr));
+        let err = client.ping().unwrap_err();
+        let CallError::Exhausted { attempts, last } = &err else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(*attempts, 5);
+        assert!(last.contains("id mismatch"), "{last}");
+        assert_eq!(client.stats().observed_faults, 5);
+        drop(client);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn matching_response_id_passes_the_echo_check() {
+        // The first stamped request of a fresh client carries id 1.
+        let ok = r#"{"id":1,"ok":true,"result":"pong"}"#.to_string();
+        let (addr, h) = scripted_server(vec![Some(ok)]);
+        let mut client = Client::new(quick_cfg(&addr));
+        assert!(client.ping().unwrap());
+        assert_eq!(client.stats().retries, 0);
+        drop(client);
         h.join().unwrap();
     }
 

@@ -26,18 +26,28 @@
 //!   an armed [`chaos::NetFaultPlan`];
 //! * [`client`] — a resilient reconnect-and-retry client with
 //!   per-attempt deadlines and bounded seeded-jitter backoff, safe for
-//!   the (idempotent) query surface.
+//!   the (idempotent) query surface;
+//! * [`lifecycle`] — request-lifecycle observability: per-mode stage
+//!   histograms (queue wait / index walk / reply write / total, pages
+//!   touched) surfaced in the `stats` reply, plus the bounded
+//!   slow-query log behind the `slowlog` wire method (DESIGN.md §12);
+//! * [`bench`] — the PR-over-PR regression gate (the `bench-diff`
+//!   binary): compare two `BENCH_serve.json` documents and fail on a
+//!   past-threshold p99 or throughput regression.
 //!
 //! Protocol and operational details are documented in the repo README
 //! ("Serving", "Resilient clients") and DESIGN.md ("Concurrent
 //! serving", §10 "Network failure model").
 
+pub mod bench;
 pub mod chaos;
 pub mod client;
+pub mod lifecycle;
 pub mod load;
 pub mod proto;
 pub mod server;
 
 pub use chaos::{ChaosListener, ChaosStream, NetFaultHandle, NetFaultPlan};
 pub use client::{CallError, Client, ClientConfig, QueryReply};
+pub use lifecycle::{Lifecycle, RequestRecord, SlowLog};
 pub use server::{Server, ServerConfig};

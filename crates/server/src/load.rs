@@ -183,9 +183,10 @@ pub fn verify_reply(mode: QueryMode, ids: &[u64], count: u64, expected: &[u64]) 
 }
 
 /// Latency histogram in microseconds: power-of-two bounds from 1 µs to
-/// ~16.8 s, plus overflow.
+/// ~16.8 s, plus overflow — the same bucket scheme the server's
+/// lifecycle histograms use, so the two distributions compare directly.
 pub fn latency_histogram() -> Histogram {
-    Histogram::new((0..=24).map(|i| 1u64 << i).collect())
+    Histogram::latency_us()
 }
 
 /// Deterministically expand the config into the request stream, cycling
@@ -285,6 +286,11 @@ pub struct LoadReport {
     /// Per-request round-trip latency in microseconds, all connections
     /// merged.
     pub latency: Histogram,
+    /// The server's own view of the run: counter deltas of the `stats`
+    /// reply's `io`/`server` blocks (after − before), plus its
+    /// cumulative `latency`/`pages` quantile blocks. `None` when either
+    /// probe failed (e.g. the server was unreachable at snapshot time).
+    pub server: Option<Json>,
 }
 
 impl LoadReport {
@@ -304,6 +310,7 @@ impl LoadReport {
             trace_digest: 0,
             elapsed: Duration::ZERO,
             latency: latency_histogram(),
+            server: None,
         }
     }
 
@@ -389,8 +396,59 @@ impl LoadReport {
                     ("histogram", self.latency.to_json()),
                 ]),
             ),
+            ("server", self.server.clone().unwrap_or(Json::Null)),
         ])
     }
+}
+
+/// Numeric delta of two stats snapshots: every key carrying a `U64` in
+/// both trees yields `after − before` (saturating); nested objects
+/// recurse; anything else is dropped. Monotone server counters make
+/// the saturation purely defensive.
+pub fn stats_delta(before: &Json, after: &Json) -> Json {
+    let Json::Obj(fields) = after else {
+        return Json::Obj(Vec::new());
+    };
+    Json::Obj(
+        fields
+            .iter()
+            .filter_map(|(k, a)| {
+                let b = before.get(k)?;
+                match (b, a) {
+                    (Json::U64(b), Json::U64(a)) => {
+                        Some((k.clone(), Json::U64(a.saturating_sub(*b))))
+                    }
+                    (Json::Obj(_), Json::Obj(_)) => Some((k.clone(), stats_delta(b, a))),
+                    _ => None,
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The report's `server` block from two `stats` snapshots bracketing
+/// the run: `io` and `server` counters as deltas (what the run itself
+/// cost), `latency` and `pages` verbatim from the *after* snapshot
+/// (quantile summaries cannot be subtracted; they are cumulative since
+/// server start).
+fn server_block(before: &Json, after: &Json) -> Json {
+    let sub = |k: &str| -> (Json, Json) {
+        (
+            before.get(k).cloned().unwrap_or(Json::Null),
+            after.get(k).cloned().unwrap_or(Json::Null),
+        )
+    };
+    let (io_b, io_a) = sub("io");
+    let (srv_b, srv_a) = sub("server");
+    Json::obj([
+        ("io", stats_delta(&io_b, &io_a)),
+        ("server", stats_delta(&srv_b, &srv_a)),
+        (
+            "latency",
+            after.get("latency").cloned().unwrap_or(Json::Null),
+        ),
+        ("pages", after.get("pages").cloned().unwrap_or(Json::Null)),
+    ])
 }
 
 /// Replay `work` through one resilient client. A request that fails
@@ -473,11 +531,25 @@ pub fn send_shutdown(addr: &str) -> io::Result<()> {
     Ok(())
 }
 
+/// Best-effort `stats` snapshot through a short-budget plain client
+/// (no chaos — the probe must see the server, not the fault schedule).
+fn probe_stats(cfg: &LoadConfig) -> Option<Json> {
+    let mut client = Client::new(ClientConfig {
+        addr: cfg.addr.clone(),
+        attempt_timeout: cfg.attempt_timeout,
+        max_retries: 2,
+        ..ClientConfig::default()
+    });
+    client.remote_stats().ok()
+}
+
 /// Run the closed-loop load: `connections` threads replay the prepared
-/// request stream round-robin and the tallies are merged.
+/// request stream round-robin and the tallies are merged. Two `stats`
+/// probes bracket the run to fill [`LoadReport::server`].
 pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
     let work = build_requests(cfg);
     let connections = cfg.connections.max(1);
+    let stats_before = probe_stats(cfg);
     let t0 = Instant::now();
     let handles: Vec<_> = (0..connections)
         .map(|c| {
@@ -515,6 +587,10 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         report.fold(&tally);
     }
     report.elapsed = t0.elapsed();
+    report.server = match (&stats_before, probe_stats(cfg)) {
+        (Some(before), Some(after)) => Some(server_block(before, &after)),
+        _ => None,
+    };
     if cfg.shutdown_after {
         send_shutdown(&cfg.addr)?;
     }
@@ -598,6 +674,67 @@ mod tests {
         assert!(verify_reply(QueryMode::Limit(8), &[2, 5, 9], 3, &expected));
         assert!(!verify_reply(QueryMode::Limit(2), &[5], 1, &expected));
         assert!(!verify_reply(QueryMode::Limit(2), &[5, 7], 2, &expected));
+    }
+
+    #[test]
+    fn stats_delta_subtracts_numeric_leaves_recursively() {
+        let before = Json::obj([
+            ("reads", Json::U64(10)),
+            ("nested", Json::obj([("hits", Json::U64(3))])),
+            ("label", Json::Str("x".into())),
+        ]);
+        let after = Json::obj([
+            ("reads", Json::U64(25)),
+            ("nested", Json::obj([("hits", Json::U64(7))])),
+            ("label", Json::Str("x".into())),
+            ("new_counter", Json::U64(5)),
+        ]);
+        let d = stats_delta(&before, &after);
+        assert_eq!(d.get("reads"), Some(&Json::U64(15)));
+        assert_eq!(
+            d.get("nested").and_then(|n| n.get("hits")),
+            Some(&Json::U64(4))
+        );
+        assert_eq!(d.get("label"), None, "non-numeric leaves are dropped");
+        assert_eq!(d.get("new_counter"), None, "keys absent before are dropped");
+        // A counter that (impossibly) went backwards saturates at zero.
+        let d = stats_delta(&after, &before);
+        assert_eq!(d.get("reads"), Some(&Json::U64(0)));
+    }
+
+    #[test]
+    fn server_block_deltas_counters_and_copies_quantiles() {
+        let snap = |reads: u64, requests: u64| {
+            Json::obj([
+                ("io", Json::obj([("reads", Json::U64(reads))])),
+                ("server", Json::obj([("requests", Json::U64(requests))])),
+                (
+                    "latency",
+                    Json::obj([("collect", Json::obj([("p99", Json::U64(64))]))]),
+                ),
+                (
+                    "pages",
+                    Json::obj([("collect", Json::obj([("p50", Json::U64(4))]))]),
+                ),
+            ])
+        };
+        let block = server_block(&snap(100, 40), &snap(160, 90));
+        assert_eq!(
+            block.get("io").and_then(|x| x.get("reads")),
+            Some(&Json::U64(60))
+        );
+        assert_eq!(
+            block.get("server").and_then(|x| x.get("requests")),
+            Some(&Json::U64(50))
+        );
+        assert_eq!(
+            block
+                .get("latency")
+                .and_then(|l| l.get("collect"))
+                .and_then(|c| c.get("p99")),
+            Some(&Json::U64(64)),
+            "quantile blocks come through verbatim"
+        );
     }
 
     #[test]

@@ -87,6 +87,9 @@ pub enum Method {
     Trace(QueryShape),
     /// Snapshot database + server statistics.
     Stats,
+    /// The K worst requests seen so far (id, mode, stage timings,
+    /// pages) — the slow-query log (DESIGN.md §12).
+    SlowLog,
     /// Liveness probe; answered inline, never queued.
     Ping,
     /// Stop the server gracefully after replying.
@@ -220,6 +223,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     let method = match method {
         "ping" => Method::Ping,
         "stats" => Method::Stats,
+        "slowlog" => Method::SlowLog,
         "shutdown" => Method::Shutdown,
         "trace" => {
             let Some(shape) = params.get("shape").and_then(Json::as_str) else {
@@ -314,6 +318,7 @@ mod tests {
         for (m, want) in [
             ("ping", Method::Ping),
             ("stats", Method::Stats),
+            ("slowlog", Method::SlowLog),
             ("shutdown", Method::Shutdown),
         ] {
             let r = parse_request(&format!(r#"{{"method":"{m}"}}"#)).unwrap();

@@ -43,11 +43,12 @@
 //! process-wide `net` block from [`segdb_obs::net`]).
 
 use crate::chaos::NetFaultHandle;
+use crate::lifecycle::{Lifecycle, RequestRecord};
 use crate::proto::{self, code, Method, QueryShape, Request};
 use segdb_core::report::ids;
 use segdb_core::{DbError, QueryAnswer, QueryMode, QueryTrace, SegmentDatabase};
 use segdb_geom::Segment;
-use segdb_obs::{Json, TraceSummary};
+use segdb_obs::{Json, StageTimer, TraceSummary};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -85,6 +86,12 @@ pub struct ServerConfig {
     /// Upper bound on [`Server::wait`]'s wait for live connections to
     /// finish after shutdown.
     pub drain_timeout: Duration,
+    /// Slow-query log capacity: the K worst requests kept for the
+    /// `slowlog` wire op (0 disables the log).
+    pub slowlog_entries: usize,
+    /// Only requests at least this slow (admission → reply written)
+    /// enter the slow-query log; zero admits every request.
+    pub slowlog_threshold: Duration,
     /// Optional wire-fault schedule applied at accept time (the
     /// torture harness arms it; production leaves it `None`).
     pub chaos: Option<NetFaultHandle>,
@@ -102,6 +109,8 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             max_connections: 256,
             drain_timeout: Duration::from_secs(5),
+            slowlog_entries: 32,
+            slowlog_threshold: Duration::ZERO,
             chaos: None,
         }
     }
@@ -128,10 +137,59 @@ impl ServerStats {
 }
 
 /// One admitted request travelling from a connection reader to a worker.
+/// The [`StageTimer`] starts at admission; the worker's first lap is the
+/// queue wait, its second the index walk, and the connection reader
+/// closes the lifecycle when the reply hits the socket.
 struct Job {
     id: Option<u64>,
     method: Method,
     slot: Arc<ReplySlot>,
+    timer: StageTimer,
+}
+
+/// What the execution of one query yielded, beyond the response line —
+/// the pieces of the lifecycle record only the worker can measure.
+/// `None` from [`execute`] means the request does not enter the
+/// lifecycle histograms (errors, stats, slowlog).
+struct ExecInfo {
+    /// Wire method name (`query_line`, …, or `trace`).
+    op: &'static str,
+    /// Histogram bucket key: the query mode's name, or `trace`.
+    mode: &'static str,
+    /// Pages the walk touched (physical reads + buffer-pool hits).
+    pages: u64,
+    /// Hits the answer witnessed.
+    hits: u64,
+}
+
+/// A lifecycle record waiting for its final stage: everything measured
+/// up to the end of execution, carried from the worker to the
+/// connection reader, which adds the reply-write lap and records it.
+struct PendingRecord {
+    timer: StageTimer,
+    id: Option<u64>,
+    op: &'static str,
+    mode: &'static str,
+    queue_us: u64,
+    exec_us: u64,
+    pages: u64,
+    hits: u64,
+}
+
+/// One worker-produced reply: the response line plus the lifecycle
+/// record still missing its reply-write stage.
+struct Reply {
+    line: String,
+    pending: Option<PendingRecord>,
+}
+
+impl Reply {
+    fn bare(line: String) -> Reply {
+        Reply {
+            line,
+            pending: None,
+        }
+    }
 }
 
 /// Single-use rendezvous for one response line. The connection reader
@@ -140,13 +198,13 @@ struct Job {
 /// fill after the deadline is simply discarded.
 #[derive(Default)]
 struct ReplySlot {
-    cell: Mutex<Option<String>>,
+    cell: Mutex<Option<Reply>>,
     ready: Condvar,
     abandoned: AtomicBool,
 }
 
 impl ReplySlot {
-    fn fill(&self, response: String) {
+    fn fill(&self, response: Reply) {
         *lock(&self.cell) = Some(response);
         self.ready.notify_all();
     }
@@ -158,7 +216,7 @@ impl ReplySlot {
         self.abandoned.load(Ordering::Acquire)
     }
 
-    fn wait_for(&self, timeout: Duration) -> Option<String> {
+    fn wait_for(&self, timeout: Duration) -> Option<Reply> {
         let deadline = Instant::now() + timeout;
         let mut slot = lock(&self.cell);
         while slot.is_none() {
@@ -203,6 +261,8 @@ struct Shared {
     conns: Mutex<usize>,
     conn_exited: Condvar,
     stats: ServerStats,
+    /// Per-mode stage histograms + the slow-query log (DESIGN.md §12).
+    lifecycle: Lifecycle,
 }
 
 impl Shared {
@@ -262,6 +322,10 @@ impl Server {
             conns: Mutex::new(0),
             conn_exited: Condvar::new(),
             stats: ServerStats::default(),
+            lifecycle: Lifecycle::new(
+                cfg.slowlog_entries,
+                u64::try_from(cfg.slowlog_threshold.as_micros()).unwrap_or(u64::MAX),
+            ),
         });
         let workers = (0..shared.workers)
             .map(|i| {
@@ -421,18 +485,31 @@ fn worker_loop(shared: &Shared) {
             // worker producing a reply nobody reads.
             continue;
         }
-        let response = execute(shared, job.id, job.method);
-        job.slot.fill(response);
+        let mut timer = job.timer;
+        let queue_us = timer.lap_us();
+        let (line, info) = execute(shared, job.id, job.method);
+        let exec_us = timer.lap_us();
+        let pending = info.map(|info| PendingRecord {
+            timer,
+            id: job.id,
+            op: info.op,
+            mode: info.mode,
+            queue_us,
+            exec_us,
+            pages: info.pages,
+            hits: info.hits,
+        });
+        job.slot.fill(Reply { line, pending });
     }
     // Refuse whatever was still queued when the stop flag went up.
     let mut queue = lock(&shared.queue);
     while let Some(job) = queue.pop_front() {
         ServerStats::bump(&shared.stats.errors);
-        job.slot.fill(proto::err_line(
+        job.slot.fill(Reply::bare(proto::err_line(
             job.id,
             code::SHUTTING_DOWN,
             "server is shutting down",
-        ));
+        )));
     }
 }
 
@@ -600,14 +677,14 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         let response = match proto::parse_request(&line) {
             Err(e) => {
                 ServerStats::bump(&shared.stats.errors);
-                e.to_line()
+                Reply::bare(e.to_line())
             }
             Ok(request) => {
                 ServerStats::bump(&shared.stats.requests);
                 match request.method {
                     Method::Ping => {
                         ServerStats::bump(&shared.stats.ok);
-                        proto::ok_line(request.id, Json::Str("pong".to_string()))
+                        Reply::bare(proto::ok_line(request.id, Json::Str("pong".to_string())))
                     }
                     Method::Shutdown => {
                         ServerStats::bump(&shared.stats.ok);
@@ -620,7 +697,25 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 }
             }
         };
-        if write_line(&mut writer, &response).is_err() {
+        let wrote = write_line(&mut writer, &response.line);
+        if let Some(mut pending) = response.pending {
+            // The write lap closes the lifecycle — even when the write
+            // failed (the server still paid the cost; the duration then
+            // includes the stall that killed the connection).
+            let write_us = pending.timer.lap_us();
+            shared.lifecycle.record(RequestRecord {
+                id: pending.id,
+                op: pending.op,
+                mode: pending.mode,
+                queue_us: pending.queue_us,
+                exec_us: pending.exec_us,
+                write_us,
+                total_us: pending.timer.total_us(),
+                pages: pending.pages,
+                hits: pending.hits,
+            });
+        }
+        if wrote.is_err() {
             record_write_drop(shared);
             return;
         }
@@ -634,28 +729,34 @@ fn record_write_drop(shared: &Shared) {
     segdb_obs::net::totals().server_write_drop();
 }
 
-/// Admit a request into the bounded queue and await its reply.
-fn submit(shared: &Shared, request: Request) -> String {
+/// Admit a request into the bounded queue and await its reply. The
+/// request's [`StageTimer`] starts here, at admission.
+fn submit(shared: &Shared, request: Request) -> Reply {
     let slot = Arc::new(ReplySlot::default());
     {
         let mut queue = lock(&shared.queue);
         if shared.stopping() {
             ServerStats::bump(&shared.stats.errors);
-            return proto::err_line(request.id, code::SHUTTING_DOWN, "server is shutting down");
+            return Reply::bare(proto::err_line(
+                request.id,
+                code::SHUTTING_DOWN,
+                "server is shutting down",
+            ));
         }
         if queue.len() >= shared.queue_depth {
             ServerStats::bump(&shared.stats.overloaded);
             ServerStats::bump(&shared.stats.errors);
-            return proto::err_line(
+            return Reply::bare(proto::err_line(
                 request.id,
                 code::OVERLOADED,
                 "job queue full; back off and retry",
-            );
+            ));
         }
         queue.push_back(Job {
             id: request.id,
             method: request.method,
             slot: Arc::clone(&slot),
+            timer: StageTimer::start(),
         });
     }
     shared.not_empty.notify_one();
@@ -664,7 +765,11 @@ fn submit(shared: &Shared, request: Request) -> String {
         None => {
             ServerStats::bump(&shared.stats.timeouts);
             ServerStats::bump(&shared.stats.errors);
-            proto::err_line(request.id, code::TIMEOUT, "request missed its deadline")
+            Reply::bare(proto::err_line(
+                request.id,
+                code::TIMEOUT,
+                "request missed its deadline",
+            ))
         }
     }
 }
@@ -721,16 +826,35 @@ fn db_code(e: &DbError) -> &'static str {
     }
 }
 
-fn execute(shared: &Shared, id: Option<u64>, method: Method) -> String {
+/// The wire method name of a query shape (the lifecycle record's `op`).
+fn shape_op(shape: QueryShape) -> &'static str {
+    match shape {
+        QueryShape::Line { .. } => "query_line",
+        QueryShape::RayUp { .. } => "query_ray_up",
+        QueryShape::RayDown { .. } => "query_ray_down",
+        QueryShape::Segment { .. } => "query_segment",
+    }
+}
+
+fn execute(shared: &Shared, id: Option<u64>, method: Method) -> (String, Option<ExecInfo>) {
     match method {
         Method::Query(shape, mode) => match run_shape_mode(&shared.db, shape, mode) {
             Ok((answer, trace)) => {
                 ServerStats::bump(&shared.stats.ok);
-                proto::ok_line(id, Json::obj(answer_json(&answer, &trace)))
+                let info = ExecInfo {
+                    op: shape_op(shape),
+                    mode: trace.mode.name(),
+                    pages: trace.io.reads + trace.io.cache_hits,
+                    hits: answer.count(),
+                };
+                (
+                    proto::ok_line(id, Json::obj(answer_json(&answer, &trace))),
+                    Some(info),
+                )
             }
             Err(e) => {
                 ServerStats::bump(&shared.stats.errors);
-                proto::err_line(id, db_code(&e), &e.to_string())
+                (proto::err_line(id, db_code(&e), &e.to_string()), None)
             }
         },
         Method::Trace(shape) => {
@@ -740,26 +864,36 @@ fn execute(shared: &Shared, id: Option<u64>, method: Method) -> String {
             match result {
                 Ok((hits, trace)) => {
                     ServerStats::bump(&shared.stats.ok);
+                    let info = ExecInfo {
+                        op: "trace",
+                        mode: "trace",
+                        pages: trace.io.reads + trace.io.cache_hits,
+                        hits: hits.len() as u64,
+                    };
                     let mut fields = answer_json(&QueryAnswer::Segments(hits), &trace);
                     fields.push((
                         "spans",
                         TraceSummary::from_events(&events, dropped).to_json(),
                     ));
-                    proto::ok_line(id, Json::obj(fields))
+                    (proto::ok_line(id, Json::obj(fields)), Some(info))
                 }
                 Err(e) => {
                     ServerStats::bump(&shared.stats.errors);
-                    proto::err_line(id, db_code(&e), &e.to_string())
+                    (proto::err_line(id, db_code(&e), &e.to_string()), None)
                 }
             }
         }
         Method::Stats => {
             ServerStats::bump(&shared.stats.ok);
-            proto::ok_line(id, stats_json(shared))
+            (proto::ok_line(id, stats_json(shared)), None)
+        }
+        Method::SlowLog => {
+            ServerStats::bump(&shared.stats.ok);
+            (proto::ok_line(id, shared.lifecycle.slowlog_json()), None)
         }
         // Handled inline by the connection reader; kept total for safety.
-        Method::Ping => proto::ok_line(id, Json::Str("pong".to_string())),
-        Method::Shutdown => proto::ok_line(id, Json::Bool(true)),
+        Method::Ping => (proto::ok_line(id, Json::Str("pong".to_string())), None),
+        Method::Shutdown => (proto::ok_line(id, Json::Bool(true)), None),
     }
 }
 
@@ -799,6 +933,15 @@ fn stats_json(shared: &Shared) -> Json {
                 ("shed", get(&s.shed)),
             ]),
         ),
+        ("latency", shared.lifecycle.latency_json()),
+        ("pages", shared.lifecycle.pages_json()),
+        (
+            "trace",
+            Json::obj([(
+                "dropped_events",
+                Json::U64(segdb_obs::trace::dropped_total()),
+            )]),
+        ),
         ("faults", segdb_obs::faults::totals().snapshot().to_json()),
         ("net", segdb_obs::net::totals().snapshot().to_json()),
         ("metrics", db.metrics_json().unwrap_or(Json::Null)),
@@ -813,9 +956,11 @@ mod tests {
     fn reply_slot_returns_filled_value() {
         let slot = Arc::new(ReplySlot::default());
         let filler = Arc::clone(&slot);
-        let t = thread::spawn(move || filler.fill("hello".to_string()));
+        let t = thread::spawn(move || filler.fill(Reply::bare("hello".to_string())));
         assert_eq!(
-            slot.wait_for(Duration::from_secs(5)).as_deref(),
+            slot.wait_for(Duration::from_secs(5))
+                .map(|r| r.line)
+                .as_deref(),
             Some("hello")
         );
         t.join().unwrap();
@@ -824,19 +969,22 @@ mod tests {
     #[test]
     fn reply_slot_times_out_when_never_filled() {
         let slot = ReplySlot::default();
-        assert_eq!(slot.wait_for(Duration::from_millis(10)), None);
+        assert!(slot.wait_for(Duration::from_millis(10)).is_none());
     }
 
     #[test]
     fn timed_out_slot_is_marked_abandoned() {
         let slot = ReplySlot::default();
         assert!(!slot.is_abandoned());
-        assert_eq!(slot.wait_for(Duration::ZERO), None);
+        assert!(slot.wait_for(Duration::ZERO).is_none());
         assert!(slot.is_abandoned(), "timeout abandons the slot");
         // A filled slot is never abandoned.
         let slot = ReplySlot::default();
-        slot.fill("ok".to_string());
-        assert_eq!(slot.wait_for(Duration::ZERO).as_deref(), Some("ok"));
+        slot.fill(Reply::bare("ok".to_string()));
+        assert_eq!(
+            slot.wait_for(Duration::ZERO).map(|r| r.line).as_deref(),
+            Some("ok")
+        );
         assert!(!slot.is_abandoned());
     }
 
@@ -930,10 +1078,13 @@ mod tests {
     #[test]
     fn late_fill_after_timeout_is_discarded() {
         let slot = ReplySlot::default();
-        assert_eq!(slot.wait_for(Duration::ZERO), None);
-        slot.fill("late".to_string());
+        assert!(slot.wait_for(Duration::ZERO).is_none());
+        slot.fill(Reply::bare("late".to_string()));
         // A second waiter (none exists in practice) would see the value;
         // the point is that filling a timed-out slot must not panic.
-        assert_eq!(slot.wait_for(Duration::ZERO).as_deref(), Some("late"));
+        assert_eq!(
+            slot.wait_for(Duration::ZERO).map(|r| r.line).as_deref(),
+            Some("late")
+        );
     }
 }

@@ -1,0 +1,217 @@
+//! End-to-end request-lifecycle observability: per-mode stage
+//! histograms in the `stats` reply, the `slowlog` wire method, and the
+//! correlation of slowlog entries with client request ids.
+
+use segdb_core::{QueryMode, SegmentDatabase};
+use segdb_geom::gen::Family;
+use segdb_obs::Json;
+use segdb_server::load::{self, LoadConfig};
+use segdb_server::{Client, ClientConfig, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn served_db(family: Family, n: usize, seed: u64) -> Arc<SegmentDatabase> {
+    Arc::new(
+        SegmentDatabase::builder()
+            .page_size(512)
+            .cache_pages(64)
+            .cache_shards(4)
+            .observe()
+            .build(family.generate(n, seed))
+            .unwrap(),
+    )
+}
+
+fn client_for(server: &Server) -> Client {
+    Client::new(ClientConfig {
+        addr: server.addr().to_string(),
+        ..ClientConfig::default()
+    })
+}
+
+#[test]
+fn stats_reply_carries_per_mode_latency_and_pages_quantiles() {
+    let server = Server::start(served_db(Family::Mixed, 300, 7), ServerConfig::default()).unwrap();
+    let mut client = client_for(&server);
+    for _ in 0..5 {
+        client
+            .query_mode("query_line", &[("x", 40)], QueryMode::Collect)
+            .unwrap();
+        client
+            .query_mode("query_line", &[("x", 41)], QueryMode::Count)
+            .unwrap();
+    }
+    let stats = client.remote_stats().unwrap();
+    let latency = stats.get("latency").expect("stats carries a latency block");
+    for mode in ["collect", "count"] {
+        let m = latency
+            .get(mode)
+            .unwrap_or_else(|| panic!("mode {mode} present"));
+        for stage in ["queue_us", "exec_us", "write_us", "total_us"] {
+            let s = m
+                .get(stage)
+                .unwrap_or_else(|| panic!("{mode}.{stage} present"));
+            assert_eq!(s.get("count"), Some(&Json::U64(5)), "{mode}.{stage}");
+            for q in ["p50", "p95", "p99", "mean", "max"] {
+                assert!(s.get(q).is_some(), "{mode}.{stage}.{q}");
+            }
+        }
+    }
+    let pages = stats.get("pages").expect("stats carries a pages block");
+    let collect = pages.get("collect").unwrap();
+    assert_eq!(collect.get("count"), Some(&Json::U64(5)));
+    // Every collect query touches at least one page.
+    assert!(matches!(collect.get("max"), Some(&Json::U64(m)) if m >= 1));
+    // The trace-ring drop counter is surfaced (zero here: no tracing ran).
+    let trace = stats.get("trace").expect("stats carries a trace block");
+    assert!(trace.get("dropped_events").is_some());
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn slowlog_entries_match_client_request_ids() {
+    let (family, n, seed) = (Family::Mixed, 400, 9);
+    let server = Server::start(
+        served_db(family, n, seed),
+        ServerConfig {
+            slowlog_entries: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let requests = 40u64;
+    let cfg = LoadConfig {
+        addr: server.addr().to_string(),
+        connections: 2,
+        requests: requests as usize,
+        family,
+        n,
+        seed,
+        verify: true,
+        shutdown_after: false,
+        ..LoadConfig::default()
+    };
+    let report = load::run_load(&cfg).unwrap();
+    assert_eq!(report.wrong, 0, "{report:?}");
+    let slowlog = client_for(&server).remote_slowlog().unwrap();
+    assert_eq!(slowlog.get("max_entries"), Some(&Json::U64(16)));
+    let entries = slowlog.get("entries").and_then(Json::as_arr).unwrap();
+    assert!(
+        !entries.is_empty(),
+        "40 recorded requests fill a 16-slot log"
+    );
+    assert!(entries.len() <= 16);
+    // The load driver stamps request i with id i; every slowlog entry
+    // must carry one of those ids and its stage timings must add up.
+    let mut prev_total = u64::MAX;
+    for e in entries {
+        let Some(&Json::U64(id)) = e.get("id") else {
+            panic!("slowlog entry without a numeric id: {e:?}");
+        };
+        assert!(id < requests, "id {id} out of the load's id range");
+        let at = |k: &str| match e.get(k) {
+            Some(&Json::U64(v)) => v,
+            other => panic!("{k}: {other:?}"),
+        };
+        let (queue, exec, write, total) = (
+            at("queue_us"),
+            at("exec_us"),
+            at("write_us"),
+            at("total_us"),
+        );
+        assert!(
+            queue + exec + write <= total,
+            "stages within the total: {e:?}"
+        );
+        assert!(total <= prev_total, "entries sorted worst-first");
+        prev_total = total;
+    }
+    // The load report's server block saw the same run: request delta
+    // covers at least the 40 queries plus the two stats probes.
+    let server_block = report.server.as_ref().expect("stats probes succeeded");
+    let served = server_block
+        .get("server")
+        .and_then(|s| s.get("requests"))
+        .cloned();
+    assert!(
+        matches!(served, Some(Json::U64(r)) if r >= requests),
+        "{served:?}"
+    );
+    assert!(server_block
+        .get("latency")
+        .and_then(|l| l.get("collect"))
+        .is_some());
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn slowlog_threshold_filters_fast_requests() {
+    let server = Server::start(
+        served_db(Family::Grid, 200, 3),
+        ServerConfig {
+            // Nothing on localhost takes an hour; the log must stay empty.
+            slowlog_threshold: Duration::from_secs(3600),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = client_for(&server);
+    for x in 0..8 {
+        client
+            .query_mode("query_line", &[("x", x)], QueryMode::Collect)
+            .unwrap();
+    }
+    let slowlog = client.remote_slowlog().unwrap();
+    assert_eq!(
+        slowlog
+            .get("entries")
+            .and_then(Json::as_arr)
+            .map(|a| a.len()),
+        Some(0),
+        "sub-threshold requests never enter the log"
+    );
+    assert_eq!(slowlog.get("seen"), Some(&Json::U64(0)));
+    // The histograms still saw every request — the threshold only
+    // gates the slowlog, not the stats.
+    let stats = client.remote_stats().unwrap();
+    let count = stats
+        .get("latency")
+        .and_then(|l| l.get("collect"))
+        .and_then(|m| m.get("total_us"))
+        .and_then(|t| t.get("count"))
+        .cloned();
+    assert_eq!(count, Some(Json::U64(8)));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn zero_capacity_disables_the_slowlog() {
+    let server = Server::start(
+        served_db(Family::Strips, 150, 5),
+        ServerConfig {
+            slowlog_entries: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = client_for(&server);
+    for x in 0..4 {
+        client
+            .query_mode("query_line", &[("x", x)], QueryMode::Count)
+            .unwrap();
+    }
+    let slowlog = client.remote_slowlog().unwrap();
+    assert_eq!(slowlog.get("max_entries"), Some(&Json::U64(0)));
+    assert_eq!(
+        slowlog
+            .get("entries")
+            .and_then(Json::as_arr)
+            .map(|a| a.len()),
+        Some(0)
+    );
+    server.shutdown();
+    server.wait();
+}

@@ -22,7 +22,8 @@ SMOKE=$(mktemp -d)
 trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 "$CLI" gen mixed 300 21 > "$SMOKE/map.csv"
 "$CLI" build "$SMOKE/map.db" "$SMOKE/map.csv" --page-size 1024 > /dev/null
-"$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 > "$SMOKE/serve.out" &
+"$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 \
+    --slowlog-entries 16 > "$SMOKE/serve.out" &
 SERVE_PID=$!
 ADDR=""
 for _ in $(seq 1 40); do
@@ -37,11 +38,47 @@ COLLECTED=$("$CLI" query --remote "$ADDR" line "$QX" | grep -cv '^#' || true)
 COUNTED=$("$CLI" query --remote "$ADDR" line "$QX" --count | head -n 1)
 [ "$COLLECTED" = "$COUNTED" ] || {
     echo "query --count ($COUNTED) != collected length ($COLLECTED)"; exit 1; }
+REQS=40
 SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21 \
-    --connections 2 --requests 40 --mode mix --shutdown > /dev/null
-wait "$SERVE_PID"
+    --connections 2 --requests "$REQS" --mode mix > /dev/null
 grep -q '"wrong":0' "$SMOKE/BENCH_serve.json" || {
     echo "load driver reported wrong answers"; exit 1; }
+grep -q '"server":{' "$SMOKE/BENCH_serve.json" || {
+    echo "load report carries no server stats delta"; exit 1; }
+
+echo "==> request-lifecycle smoke (stats histograms, slowlog, bench gate)"
+"$CLI" stats --remote "$ADDR" > "$SMOKE/lifecycle-stats.json"
+grep -q '"latency":{"' "$SMOKE/lifecycle-stats.json" || {
+    echo "stats reply carries no latency histograms"; exit 1; }
+for q in p50 p95 p99; do
+    grep -q "\"$q\":[0-9]" "$SMOKE/lifecycle-stats.json" || {
+        echo "stats latency block lacks a $q quantile"; exit 1; }
+done
+grep -q '"pages":{"' "$SMOKE/lifecycle-stats.json" || {
+    echo "stats reply carries no pages block"; exit 1; }
+grep -q '"dropped_events":' "$SMOKE/lifecycle-stats.json" || {
+    echo "stats reply carries no trace drop counter"; exit 1; }
+"$CLI" slowlog --remote "$ADDR" > "$SMOKE/slowlog.json"
+IDS=$(grep -o '"id":[0-9]*' "$SMOKE/slowlog.json" | cut -d: -f2)
+[ -n "$IDS" ] || { echo "slowlog is empty after the load"; exit 1; }
+for id in $IDS; do
+    [ "$id" -lt "$REQS" ] || {
+        echo "slowlog id $id outside the load's id range"; exit 1; }
+done
+# The bench gate: a report is a fixed point of itself, and an injected
+# p99 blow-up past the threshold must fail the comparison.
+cp "$SMOKE/BENCH_serve.json" "$SMOKE/bench-baseline.json"
+scripts/bench_diff "$SMOKE/bench-baseline.json" "$SMOKE/BENCH_serve.json" \
+    > /dev/null || { echo "bench_diff flagged a self-compare"; exit 1; }
+sed 's/"p99":[0-9]*/"p99":99999999/g' "$SMOKE/bench-baseline.json" \
+    > "$SMOKE/bench-regressed.json"
+if scripts/bench_diff "$SMOKE/bench-baseline.json" "$SMOKE/bench-regressed.json" \
+    > /dev/null; then
+    echo "bench_diff missed an injected p99 regression"; exit 1
+fi
+SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21 \
+    --connections 1 --requests 1 --shutdown > /dev/null
+wait "$SERVE_PID"
 
 echo "==> seeded net-chaos smoke (wire-fault load, replayed twice)"
 "$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 > "$SMOKE/serve2.out" &
@@ -93,4 +130,4 @@ echo "$OUT1" | grep -q '"observed_io_errors":0}' && {
 echo "$OUT1" | grep -q '"recovery_queries_verified":0,' && {
     echo "no recovery query was verified: $OUT1"; exit 1; }
 
-echo "OK: build, tests, clippy, fmt, serve + net-chaos + crash-recovery smoke all clean."
+echo "OK: build, tests, clippy, fmt, serve + lifecycle + net-chaos + crash-recovery smoke all clean."
