@@ -42,6 +42,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut sections = Vec::new();
+    let mut clean_saved = 0.0f64; // collect − count pages at T=n/10
     for (label, target) in targets {
         let picked: Vec<VerticalQuery> = (0..20)
             .map(|j| VerticalQuery::Line {
@@ -57,6 +58,9 @@ fn main() {
         let collect = reads_per_query(&db, &picked, QueryMode::Collect);
         let count = reads_per_query(&db, &picked, QueryMode::Count);
         let limit = reads_per_query(&db, &picked, QueryMode::Limit(1));
+        if target == n_items / 10 {
+            clean_saved = collect - count;
+        }
         rows.push(vec![
             label.to_string(),
             f1(t_avg),
@@ -87,6 +91,60 @@ fn main() {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
         ),
+    );
+
+    // Tombstone scenario: lazy-delete a slice of the set, then re-run
+    // Count at T=n/10. The count fast path subtracts range-overlapping
+    // tombstones from the stored-count walk (the chain carries full
+    // geometry), so Count must keep most of its page savings over
+    // Collect instead of falling back to materialization.
+    let mut db = db;
+    let mut live = set.clone();
+    for s in set.iter().step_by(60) {
+        assert!(db.remove(s).unwrap(), "nested segment is stored");
+        live.retain(|t| t.id != s.id);
+    }
+    assert!(db.tomb_count() > 0, "removals left lazy tombstones");
+    let target = n_items / 10;
+    let picked: Vec<VerticalQuery> = (0..20)
+        .map(|j| VerticalQuery::Line {
+            x: (target - 1 + j) as i64,
+        })
+        .collect();
+    for q in &picked {
+        let (ans, _) = db.query_canonical_mode(q, QueryMode::Count).unwrap();
+        let want = live.iter().filter(|s| q.hits(s)).count() as u64;
+        assert_eq!(ans.count(), want, "tombstone-aware count is exact");
+    }
+    let collect_tombs = reads_per_query(&db, &picked, QueryMode::Collect);
+    let count_tombs = reads_per_query(&db, &picked, QueryMode::Count);
+    let saved = collect_tombs - count_tombs;
+    assert!(
+        saved >= clean_saved * 0.5,
+        "count with {} tombstones must keep its page savings: saved \
+         {saved:.1} pages/query vs {clean_saved:.1} clean \
+         (count {count_tombs:.1}, collect {collect_tombs:.1})",
+        db.tomb_count()
+    );
+    table(
+        "E15b — count fast path with live tombstones (T=n/10)",
+        &["tombstones", "collect", "count", "saved/query"],
+        &[vec![
+            db.tomb_count().to_string(),
+            f1(collect_tombs),
+            f1(count_tombs),
+            f1(saved),
+        ]],
+    );
+    segdb_bench::report::record_section(
+        "tombstones",
+        Json::obj([
+            ("tomb_count", Json::U64(db.tomb_count())),
+            ("collect_reads", Json::F64(collect_tombs)),
+            ("count_reads", Json::F64(count_tombs)),
+            ("saved_reads", Json::F64(saved)),
+            ("clean_saved_reads", Json::F64(clean_saved)),
+        ]),
     );
     segdb_bench::report::finish("query_modes").expect("write BENCH_query_modes.json");
 }

@@ -1,0 +1,289 @@
+//! E16 — end-to-end write-path cost through the [`WriteEngine`]:
+//! per-op I/O = WAL append (group-commit batched syncs) + an amortized
+//! share of each delta fold's index maintenance.
+//!
+//! The paper's Theorem 2(iii) bounds amortized inserts by
+//! `O(log_B n + log₂ B)` I/Os; deletes go through the lazy-tombstone
+//! extension, whose cost is a membership probe — a line query, so
+//! output-sensitive `O(log_B n + t/B)` — plus an `O(1)` chain append.
+//! The write engine adds a constant WAL term per op and an `O(1)/d`
+//! checkpoint term (superblock save every `delta_limit = d` ops). The
+//! tables check the *shape*: insert I/O per op tracks the Theorem-2
+//! curve as `n` grows, delete I/O is explained by its measured
+//! membership-probe cost plus a small flat overhead, and the
+//! deterministic batching counters (folds, group commits) scale as
+//! `K/d` and `K/w` exactly.
+
+use segdb_bench::{correlation, f1, f2, ols_slope, table};
+use segdb_core::{IndexKind, QueryMode, SegmentDatabase, WriteEngine, WriterConfig};
+use segdb_geom::gen::strips;
+use segdb_geom::query::scan_oracle;
+use segdb_geom::{Segment, VerticalQuery};
+use segdb_obs::Json;
+use segdb_pager::Disk;
+
+const PAGE: usize = 1024;
+const OPS: u64 = 2048;
+
+/// Base set plus a reserve of future inserts, all from one strips
+/// family: every segment sits in its own horizontal band, so any subset
+/// is non-crossing and insert order never violates NCT.
+fn families(n: usize, seed: u64) -> (Vec<Segment>, Vec<Segment>) {
+    let full = strips(n + (OPS / 2) as usize, 1 << 18, 16, 400, seed);
+    let fresh = full[n..].to_vec();
+    let base = {
+        let mut v = full;
+        v.truncate(n);
+        v
+    };
+    (base, fresh)
+}
+
+fn build_engine(base: Vec<Segment>, cfg: WriterConfig) -> WriteEngine {
+    let db = SegmentDatabase::builder()
+        .page_size(PAGE)
+        .cache_pages(0)
+        .index(IndexKind::TwoLevelInterval)
+        .build(base)
+        .unwrap();
+    let (engine, report) = WriteEngine::recover(db, Box::new(Disk::new(PAGE)), cfg).unwrap();
+    assert_eq!(report.replayed, 0);
+    engine
+}
+
+/// Database I/O spent inside `f`, tail-folded so every op's index cost
+/// lands in the window.
+fn db_io_for(eng: &WriteEngine, f: impl FnOnce()) -> u64 {
+    let io0 = eng.with_db(|db| db.pager().stats().total_io());
+    f();
+    eng.fold().unwrap();
+    eng.with_db(|db| db.pager().stats().total_io()) - io0
+}
+
+/// Drive `OPS/2` inserts then `OPS/2` deletes through the engine,
+/// measuring each phase separately (plus the bare probe cost at the
+/// victims' lines between the phases). Returns
+/// `(ins_io_per_op, del_io_per_op, probe_io, wal_bytes_per_op, folds,
+/// commits)`.
+fn run_workload(
+    base: &[Segment],
+    fresh: &[Segment],
+    eng: &WriteEngine,
+) -> (f64, f64, f64, f64, u64, u64) {
+    let half = (OPS / 2) as usize;
+    let ins_io = db_io_for(eng, || {
+        for (k, s) in fresh.iter().enumerate() {
+            let ack = eng.insert(1 + k as u64, *s).unwrap();
+            assert!(ack.applied && !ack.duplicate);
+        }
+    });
+    let probe_io = mean_probe_reads(eng, &base[..half]);
+    let del_io = db_io_for(eng, || {
+        for (k, s) in base[..half].iter().enumerate() {
+            let ack = eng.delete(1 + (half + k) as u64, *s).unwrap();
+            assert!(ack.applied && !ack.duplicate);
+        }
+    });
+    let (wal, delta) = eng.wal_stats();
+    assert_eq!(delta, 0, "tail fold left the delta empty");
+
+    // Every op applied exactly once: the live set is the base minus its
+    // first half-K segments plus the reserve. Spot-check stabbing lines
+    // against the scan oracle.
+    let live: Vec<Segment> = base[half..].iter().chain(fresh).copied().collect();
+    for x in [100i64, 1 << 12, 1 << 17] {
+        let q = VerticalQuery::Line { x };
+        let (ans, _) = eng.query_line_mode((x, 0), QueryMode::Count).unwrap();
+        assert_eq!(
+            ans.count(),
+            scan_oracle(&live, &q).len() as u64,
+            "line x={x} after the storm"
+        );
+    }
+    eng.with_db(|db| db.validate().unwrap());
+
+    let rebuilds = eng
+        .counters()
+        .rebuilds
+        .load(std::sync::atomic::Ordering::Relaxed);
+    (
+        ins_io as f64 / half as f64,
+        del_io as f64 / half as f64,
+        probe_io,
+        wal.bytes as f64 / OPS as f64,
+        rebuilds,
+        wal.group_commits,
+    )
+}
+
+/// Mean measured cost of the membership probe itself: the line query at
+/// each future victim's left endpoint (the paper's output-sensitive
+/// `O(log_B n + t/B)` term, with real chain fragmentation included).
+fn mean_probe_reads(eng: &WriteEngine, victims: &[Segment]) -> f64 {
+    let total: u64 = victims
+        .iter()
+        .map(|s| {
+            let (_, trace) = eng.query_line_mode((s.a.x, 0), QueryMode::Collect).unwrap();
+            trace.io.reads
+        })
+        .sum();
+    total as f64 / victims.len() as f64
+}
+
+fn main() {
+    let b = PAGE / 40; // segments per page, the paper's B
+
+    // Scale: fixed batching, growing n — insert I/O per op must track
+    // the Theorem-2 amortized curve log_B n + log₂ B, not n; delete I/O
+    // minus the probe's t/B output term must stay near it too.
+    let cfg = WriterConfig {
+        group_window: 8,
+        delta_limit: 256,
+        ..WriterConfig::default()
+    };
+    let mut rows = Vec::new();
+    let mut sections = Vec::new();
+    let mut fits: Vec<(f64, f64)> = Vec::new();
+    for exp in [12u32, 14, 16] {
+        let n = 1usize << exp;
+        let (base, fresh) = families(n, 500 + exp as u64);
+        let eng = build_engine(base.clone(), cfg);
+        let (ins, del, probe, wal_bytes, folds, commits) = run_workload(&base, &fresh, &eng);
+        // A delete pays the membership probe twice — once at ack time
+        // against the merged view (the miss bit), once when the fold
+        // applies the tombstone to the index — plus a flat append/fold
+        // share. The residual must not scale with n.
+        let del_over_probe = del - 2.0 * probe;
+        let n_blocks = (n as f64 / b as f64).max(2.0);
+        let predicted = n_blocks.log(b as f64).max(1.0) + (b as f64).log2();
+        fits.push((predicted, ins));
+        rows.push(vec![
+            n.to_string(),
+            f1(ins),
+            f1(del),
+            f1(probe),
+            f1(del_over_probe),
+            f1(predicted),
+            f2(ins / predicted),
+        ]);
+        sections.push((
+            format!("n={n}"),
+            Json::obj([
+                ("insert_io_per_op", Json::F64(ins)),
+                ("delete_io_per_op", Json::F64(del)),
+                ("probe_io", Json::F64(probe)),
+                ("delete_residual_io", Json::F64(del_over_probe)),
+                ("wal_bytes_per_op", Json::F64(wal_bytes)),
+                ("folds", Json::U64(folds)),
+                ("group_commits", Json::U64(commits)),
+                ("predicted", Json::F64(predicted)),
+            ]),
+        ));
+    }
+    table(
+        "E16 — write engine updates (Theorem 2 iii): insert io/op vs log_B n + log2 B; \
+         delete = membership probe + O(1) append",
+        &[
+            "N",
+            "ins io/op",
+            "del io/op",
+            "probe io",
+            "del - 2*probe",
+            "logBn+log2B",
+            "ins ratio",
+        ],
+        &rows,
+    );
+    println!(
+        "\nfit of insert io/op against log_B N + log2 B: slope={} r={}",
+        f2(ols_slope(&fits)),
+        f2(correlation(&fits))
+    );
+    assert!(
+        correlation(&fits) > 0.9,
+        "insert cost does not track the Theorem-2 curve"
+    );
+    let residuals: Vec<f64> = sections
+        .iter()
+        .map(|(_, s)| match s.get("delete_residual_io") {
+            Some(&Json::F64(v)) => v,
+            other => panic!("missing residual: {other:?}"),
+        })
+        .collect();
+    let (lo, hi) = residuals
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+    assert!(
+        hi <= 2.0 * lo.max(1.0),
+        "delete residual scales with n: {residuals:?}"
+    );
+    segdb_bench::report::record_section("scale", Json::Obj(sections));
+
+    // Amortization knobs: fixed n, varying delta_limit `d` and
+    // group_window `w`. Folds and WAL syncs are deterministic batching
+    // counters — at most ⌈K/d⌉ folds plus the two explicit tail folds
+    // and ~K/w syncs — so doubling a knob halves its counter.
+    let n = 1usize << 14;
+    let (base, fresh) = families(n, 900);
+    let mut rows = Vec::new();
+    let mut sections = Vec::new();
+    let mut last_folds = u64::MAX;
+    for d in [64usize, 256, 1024] {
+        let w = d / 32; // scale the sync window with the fold window
+        let eng = build_engine(
+            base.clone(),
+            WriterConfig {
+                group_window: w,
+                delta_limit: d,
+                ..WriterConfig::default()
+            },
+        );
+        let (ins, del, _probe, wal_bytes, folds, commits) = run_workload(&base, &fresh, &eng);
+        assert!(
+            folds <= OPS / d as u64 + 2,
+            "folds are batched: {folds} > {} + tails",
+            OPS / d as u64
+        );
+        assert!(folds < last_folds, "a larger delta window folds less often");
+        last_folds = folds;
+        assert!(
+            commits <= OPS / w as u64 + folds + 2,
+            "syncs are batched: {commits} for window {w}"
+        );
+        rows.push(vec![
+            d.to_string(),
+            w.to_string(),
+            f1(ins),
+            f1(del),
+            f1(wal_bytes),
+            folds.to_string(),
+            commits.to_string(),
+        ]);
+        sections.push((
+            format!("d={d}"),
+            Json::obj([
+                ("group_window", Json::U64(w as u64)),
+                ("insert_io_per_op", Json::F64(ins)),
+                ("delete_io_per_op", Json::F64(del)),
+                ("wal_bytes_per_op", Json::F64(wal_bytes)),
+                ("folds", Json::U64(folds)),
+                ("group_commits", Json::U64(commits)),
+            ]),
+        ));
+    }
+    table(
+        "E16b — amortization knobs at N=16384: folds ~ K/d, WAL syncs ~ K/w",
+        &[
+            "delta_limit",
+            "group_window",
+            "ins io/op",
+            "del io/op",
+            "wal B/op",
+            "folds",
+            "syncs",
+        ],
+        &rows,
+    );
+    segdb_bench::report::record_section("amortization", Json::Obj(sections));
+    segdb_bench::report::finish("updates").expect("write BENCH_updates.json");
+}

@@ -21,6 +21,8 @@
 //!   --limit <k>             report at most k segments, then stop
 //! segdb-cli insert <db> <id> <x1> <y1> <x2> <y2>
 //! segdb-cli remove <db> <id> <x1> <y1> <x2> <y2>
+//! segdb-cli insert --remote <host:port> <id> <x1> <y1> <x2> <y2>
+//! segdb-cli remove --remote <host:port> <id> <x1> <y1> <x2> <y2>
 //! segdb-cli stats <db> [csv] [--sample <n>] [--seed <s>] [--human]
 //! segdb-cli stats --remote <host:port>                   # a running server's stats
 //! segdb-cli slowlog --remote <host:port>                 # its slow-query log
@@ -56,6 +58,18 @@
 //!   --slowlog-threshold-us <n>
 //!                           only requests at least this slow enter the
 //!                           slow-query log (default 0: every request)
+//!   --wal <path>            serve writable: open (replaying) or create
+//!                           a write-ahead log and accept `insert` /
+//!                           `delete` / `flush` wire methods
+//!   --group-window <n>      WAL group-commit window in records
+//!                           (default 8)
+//!   --delta-limit <n>       delta-overlay bound before a partial
+//!                           rebuild folds it into the index
+//!                           (default 1024)
+//!   --compact-min-tombs <n> background-compact once this many
+//!                           tombstones accumulate (default 0: off)
+//!   --compact-interval-ms <n>
+//!                           compactor poll cadence (default 500)
 //!
 //! torture options:
 //!   --seed <s>              first master seed (default 1)
@@ -82,10 +96,13 @@
 //! enriched per-query trace plus the span summary. Schemas are
 //! documented in the repo README under "Observability".
 //!
-//! `serve` opens the database read-only for concurrent serving (sharded
-//! buffer pool, observability on), prints `listening on <addr>` and
-//! blocks until a wire `shutdown` request arrives (protocol in the repo
-//! README under "Serving"; drive load with `segdb-load`).
+//! `serve` opens the database for concurrent serving (sharded buffer
+//! pool, observability on), prints `listening on <addr>` and blocks
+//! until a wire `shutdown` request arrives (protocol in the repo README
+//! under "Serving"; drive load with `segdb-load`). Without `--wal` the
+//! database is read-only; with it, writes are WAL-durable and `insert
+//! --remote` / `remove --remote` reach the same server through the
+//! resilient client (DESIGN.md §13).
 //!
 //! `slowlog --remote` prints a running server's slow-query log — the K
 //! worst requests with per-stage timings (queue/exec/write µs), pages
@@ -346,8 +363,18 @@ fn render_trace_human(hits: &[Segment], trace: &QueryTrace, summary: &TraceSumma
 
 /// A resilient client with CLI-friendly defaults for one-shot commands.
 fn remote_client(addr: &str) -> segdb_server::Client {
+    // Each CLI invocation is a fresh client session; derive a unique
+    // request-id base so write ids never collide with a previous
+    // invocation's in the server's idempotence window (retries within
+    // *this* invocation still reuse their id, which is the point).
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let id_base = (nanos ^ ((std::process::id() as u64) << 32)) << 16;
     segdb_server::Client::new(segdb_server::ClientConfig {
         addr: addr.to_string(),
+        id_base,
         ..segdb_server::ClientConfig::default()
     })
 }
@@ -689,6 +716,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let mut cache_pages = 256usize;
             let mut cache_shards = 8usize;
+            let mut wal_path: Option<String> = None;
+            let mut wcfg = segdb_core::WriterConfig::default();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -738,14 +767,55 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             num(args, i + 1, "slowlog threshold")?.max(0) as u64,
                         );
                     }
+                    "--wal" => {
+                        wal_path = Some(want(args, i + 1, "wal path")?.to_string());
+                    }
+                    "--group-window" => {
+                        wcfg.group_window = num(args, i + 1, "group window")?.max(1) as usize;
+                    }
+                    "--delta-limit" => {
+                        wcfg.delta_limit = num(args, i + 1, "delta limit")?.max(1) as usize;
+                    }
+                    "--compact-min-tombs" => {
+                        cfg.compact_min_tombs = num(args, i + 1, "tombstone floor")?.max(0) as u64;
+                    }
+                    "--compact-interval-ms" => {
+                        cfg.compact_interval = std::time::Duration::from_millis(
+                            num(args, i + 1, "compact interval")?.max(1) as u64,
+                        );
+                    }
                     other => return usage(format!("unknown serve option '{other}'")),
                 }
                 i += 2;
             }
             let mut db = SegmentDatabase::open_sharded(db_path, cache_pages, cache_shards)?;
             db.set_observability(true);
-            let server = segdb_server::Server::start(std::sync::Arc::new(db), cfg)
-                .map_err(|e| CliError::Io(format!("cannot bind server: {e}")))?;
+            let server = match wal_path {
+                None => segdb_server::Server::start(std::sync::Arc::new(db), cfg),
+                Some(wal) => {
+                    // Open the log if it exists (replaying its durable
+                    // tail), else create it with the database's block size.
+                    let dev: Box<dyn segdb_pager::Device> = if std::path::Path::new(&wal).exists() {
+                        Box::new(
+                            segdb_pager::FileDevice::open(&wal)
+                                .map_err(|e| CliError::Io(format!("cannot open WAL: {e}")))?,
+                        )
+                    } else {
+                        let page = db.pager().page_size().max(128);
+                        Box::new(
+                            segdb_pager::FileDevice::create(&wal, page)
+                                .map_err(|e| CliError::Io(format!("cannot create WAL: {e}")))?,
+                        )
+                    };
+                    let (engine, report) = segdb_core::WriteEngine::recover(db, dev, wcfg)?;
+                    println!(
+                        "wal replayed {} records ({} applied past checkpoint {})",
+                        report.replayed, report.applied, report.checkpoint
+                    );
+                    segdb_server::Server::start_writable(std::sync::Arc::new(engine), cfg)
+                }
+            }
+            .map_err(|e| CliError::Io(format!("cannot bind server: {e}")))?;
             // Announce the resolved address immediately — scripts read
             // this line to learn the port when binding to `:0`.
             println!("listening on {}", server.addr());
@@ -816,6 +886,40 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "insert" | "remove" => {
             let op = args[0].clone();
+            if args.get(1).map(String::as_str) == Some("--remote") {
+                // Route through a writable server: the stamped request id
+                // makes the write idempotent across client retries, and
+                // the trailing flush forces the WAL group commit so the
+                // ack is durable when we print it.
+                let addr = want(args, 2, "address")?;
+                let seg = Segment::new(
+                    num(args, 3, "id")? as u64,
+                    (num(args, 4, "x1")?, num(args, 5, "y1")?),
+                    (num(args, 6, "x2")?, num(args, 7, "y2")?),
+                )
+                .map_err(|e| CliError::Io(e.to_string()))?;
+                let mut client = remote_client(addr);
+                let ack = if op == "insert" {
+                    client.insert(&seg)
+                } else {
+                    client.delete(&seg)
+                }
+                .map_err(|e| CliError::Io(format!("remote {op} failed: {e}")))?;
+                client
+                    .flush()
+                    .map_err(|e| CliError::Io(format!("remote flush failed: {e}")))?;
+                let verb = match (op.as_str(), ack.applied) {
+                    ("insert", true) => "inserted",
+                    ("insert", false) => "already stored:",
+                    (_, true) => "removed",
+                    (_, false) => "not found:",
+                };
+                return Ok(format!(
+                    "{verb} {seg} (seq {}{})\n",
+                    ack.seq,
+                    if ack.duplicate { ", replayed ack" } else { "" }
+                ));
+            }
             let path = want(args, 1, "db path")?.to_string();
             let mut db = SegmentDatabase::open(&path, 0)?;
             let seg = Segment::new(

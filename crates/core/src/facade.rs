@@ -325,6 +325,7 @@ impl SegmentDatabaseBuilder {
             index,
             any,
             obs: None,
+            wal_seq: 0,
         };
         if self.observe {
             db.set_observability(true);
@@ -355,6 +356,10 @@ pub struct SegmentDatabase {
     index: Index,
     any: Option<AnyQueryIndex>,
     obs: Option<DbObserver>,
+    /// WAL checkpoint persisted with the superblock: every log record
+    /// with `seq <= wal_seq` is already folded into the index, so
+    /// recovery replays only the tail (see `segdb_core::writer`).
+    wal_seq: u64,
 }
 
 impl SegmentDatabase {
@@ -404,6 +409,7 @@ impl SegmentDatabase {
                 sb.len,
                 sb.aux,
                 sb.aux2,
+                sb.tombs_are_segments,
             )),
             IndexKind::FullScan => Index::Scan(FullScan::attach(sb.root, sb.len)),
             IndexKind::StabThenFilter => Index::Stab(StabThenFilter::attach(
@@ -425,6 +431,7 @@ impl SegmentDatabase {
             index,
             any,
             obs: None,
+            wal_seq: sb.wal_seq,
         })
     }
 
@@ -439,7 +446,16 @@ impl SegmentDatabase {
             }
             Index::Interval(t) => {
                 let (root, len, th, tc) = t.state();
-                return self.save_with(IndexKind::TwoLevelInterval, root, len, th, tc);
+                return self.save_with(
+                    IndexKind::TwoLevelInterval,
+                    root,
+                    len,
+                    th,
+                    tc,
+                    // A legacy-attached id-format chain must not be
+                    // stamped with the v3 segment-format magic's claim.
+                    t.tombs_are_segments(),
+                );
             }
             Index::Scan(t) => {
                 let (root, len) = t.state();
@@ -450,7 +466,7 @@ impl SegmentDatabase {
                 (IndexKind::StabThenFilter, it.root, it.len, chain)
             }
         };
-        self.save_with(kind, root, len, aux, 0)
+        self.save_with(kind, root, len, aux, 0, true)
     }
 
     fn save_with(
@@ -460,6 +476,7 @@ impl SegmentDatabase {
         len: u64,
         aux: segdb_pager::PageId,
         aux2: u64,
+        tombs_are_segments: bool,
     ) -> Result<(), DbError> {
         let sb = Superblock {
             direction: (self.direction.dx(), self.direction.dy()),
@@ -476,6 +493,8 @@ impl SegmentDatabase {
             bridges: true,
             rebuild_min: Binary2LConfig::default().rebuild_min,
             any: self.any.as_ref().map(|a| a.state()),
+            wal_seq: self.wal_seq,
+            tombs_are_segments,
         };
         self.pager.set_meta(&sb.encode()?)?;
         self.pager.sync()?;
@@ -656,7 +675,7 @@ impl SegmentDatabase {
 
     /// Translate user-coordinate segment-query endpoints into the
     /// canonical-frame query, rejecting misaligned endpoints.
-    fn segment_query(&self, p1: Point, p2: Point) -> Result<VerticalQuery, DbError> {
+    pub(crate) fn segment_query(&self, p1: Point, p2: Point) -> Result<VerticalQuery, DbError> {
         let (t1, t2) = (
             self.direction.apply_point(p1)?,
             self.direction.apply_point(p2)?,
@@ -783,6 +802,38 @@ impl SegmentDatabase {
             Index::Interval(x) => Ok(x.remove(&self.pager, &t)?),
             Index::Scan(_) | Index::Stab(_) => Err(DbError::Unsupported("delete from baseline")),
         }
+    }
+
+    /// Lazy-delete tombstones currently live in the index (always 0 for
+    /// structures that delete in place).
+    pub fn tomb_count(&self) -> u64 {
+        match &self.index {
+            Index::Interval(x) => x.tomb_count(),
+            _ => 0,
+        }
+    }
+
+    /// Fold lazy-delete tombstones back into the index ahead of the
+    /// automatic `tomb_count >= len` trigger — the background compaction
+    /// entry point; restores the stored-count Count fast path. Returns
+    /// whether any work was done.
+    pub fn compact(&mut self) -> Result<bool, DbError> {
+        match &mut self.index {
+            Index::Interval(x) => Ok(x.compact(&self.pager)?),
+            _ => Ok(false),
+        }
+    }
+
+    /// The WAL checkpoint recorded at the last save (see
+    /// [`crate::writer`]).
+    pub fn wal_seq(&self) -> u64 {
+        self.wal_seq
+    }
+
+    /// Update the WAL checkpoint; the next [`SegmentDatabase::save`]
+    /// persists it with the superblock.
+    pub fn set_wal_seq(&mut self, seq: u64) {
+        self.wal_seq = seq;
     }
 
     /// Deep structural validation of the whole index.

@@ -331,9 +331,15 @@ pub struct TwoLevelInterval {
     root: PageId,
     /// Live (non-tombstoned) segment count.
     len: u64,
-    /// Lazily-deleted segment ids (chain head; see `segdb_pst::tombs`).
+    /// Lazily-deleted segments (chain head). v3 databases store the
+    /// full segment ([`crate::chain`]) so Count-mode queries can
+    /// subtract overlapping tombstones; pre-v3 chains hold bare ids
+    /// (`segdb_pst::tombs`) and keep the old materializing filter.
     tomb_head: PageId,
     tomb_count: u64,
+    /// Tombstone chain format (see `tomb_head`). The first mutation of
+    /// a legacy structure upgrades it via a live rebuild.
+    tombs_are_segments: bool,
     cfg: Interval2LConfig,
     k_max: usize,
 }
@@ -353,6 +359,7 @@ impl TwoLevelInterval {
             len,
             tomb_head: NULL_PAGE,
             tomb_count: 0,
+            tombs_are_segments: true,
             cfg,
             k_max,
         };
@@ -367,7 +374,9 @@ impl TwoLevelInterval {
         (self.root, self.len, self.tomb_head, self.tomb_count)
     }
 
-    /// Reconstruct from a serialized identity.
+    /// Reconstruct from a serialized identity. `tombs_are_segments`
+    /// comes from the superblock version: v3+ chains store segments,
+    /// older ones bare ids.
     pub fn attach(
         pager: &Pager,
         cfg: Interval2LConfig,
@@ -375,6 +384,7 @@ impl TwoLevelInterval {
         len: u64,
         tomb_head: PageId,
         tomb_count: u64,
+        tombs_are_segments: bool,
     ) -> Self {
         let k_max = cfg
             .fanout
@@ -387,8 +397,54 @@ impl TwoLevelInterval {
             len,
             tomb_head,
             tomb_count,
+            // An empty chain has no legacy format to preserve.
+            tombs_are_segments: tombs_are_segments || tomb_count == 0,
             cfg,
             k_max,
+        }
+    }
+
+    /// Tombstones currently recorded (live deletes awaiting rebuild).
+    pub fn tomb_count(&self) -> u64 {
+        self.tomb_count
+    }
+
+    /// Tombstone chain format (segments for v3+, ids for legacy).
+    pub fn tombs_are_segments(&self) -> bool {
+        self.tombs_are_segments
+    }
+
+    /// Fold every tombstone away now (rebuild from the live set) instead
+    /// of waiting for the `tomb_count >= len` trigger — the background
+    /// compaction entry point. Returns whether a rebuild ran.
+    pub fn compact(&mut self, pager: &Pager) -> Result<bool> {
+        if self.tomb_count == 0 {
+            return Ok(false);
+        }
+        self.rebuild_live(pager)?;
+        Ok(true)
+    }
+
+    /// Lazily-deleted ids, whatever the chain format.
+    fn tomb_ids(&self, pager: &Pager) -> Result<Vec<u64>> {
+        if self.tomb_count == 0 {
+            return Ok(Vec::new());
+        }
+        if self.tombs_are_segments {
+            Ok(chain::collect(pager, self.tomb_head)?
+                .into_iter()
+                .map(|s| s.id)
+                .collect())
+        } else {
+            segdb_pst::tombs::load(pager, self.tomb_head)
+        }
+    }
+
+    fn destroy_tombs(&self, pager: &Pager) -> Result<()> {
+        if self.tombs_are_segments {
+            chain::destroy(pager, self.tomb_head)
+        } else {
+            segdb_pst::tombs::destroy(pager, self.tomb_head)
         }
     }
 
@@ -424,19 +480,37 @@ impl TwoLevelInterval {
     ) -> Result<QueryTrace> {
         let scope = StatScope::begin(pager);
         let mut counting = CountingSink::new(sink);
-        let mut trace = if self.tomb_count > 0 {
-            // Tombstones must be filtered inline; the filter forces
+        let mut trace = if self.tomb_count == 0 {
+            self.walk_query(pager, q, &mut counting)?
+        } else if !counting.want_segments() && self.tombs_are_segments {
+            // Count-shaped sink: keep the count-from-headers fast paths
+            // on. The walk counts every *stored* segment (tombstoned
+            // included); the tombstone chain carries full geometry, so
+            // the overlap count of the lazily-deleted set is computed
+            // directly and subtracted — no materialization.
+            let mut stored = segdb_geom::CountSink::new();
+            let mut inner = CountingSink::new(&mut stored);
+            let trace = self.walk_query(pager, q, &mut inner)?;
+            let mut tomb_hits = 0u64;
+            chain::scan(pager, self.tomb_head, |s| {
+                if q.hits(&s) {
+                    tomb_hits += 1;
+                }
+            })?;
+            let net = stored.count.saturating_sub(tomb_hits);
+            let _ = counting.report_count(net);
+            counting.hits = net;
+            trace
+        } else {
+            // Segment-shaped sink (or a legacy id-format chain): the
+            // tombstones must be filtered inline, and the filter forces
             // want_segments = true, so count fast paths stay off.
-            let tombs = segdb_pst::tombs::load(pager, self.tomb_head)?
-                .into_iter()
-                .collect();
+            let tombs = self.tomb_ids(pager)?.into_iter().collect();
             let mut filter = TombFilterSink {
                 inner: &mut counting,
                 tombs,
             };
             self.walk_query(pager, q, &mut filter)?
-        } else {
-            self.walk_query(pager, q, &mut counting)?
         };
         trace.hits = counting.hits.min(u32::MAX as u64) as u32;
         trace.io = scope.finish();
@@ -559,7 +633,7 @@ impl TwoLevelInterval {
     pub fn insert(&mut self, pager: &Pager, seg: Segment) -> Result<()> {
         if self.tomb_count > 0 {
             // Re-inserting a tombstoned id would stay hidden: purge first.
-            let tombs = segdb_pst::tombs::load(pager, self.tomb_head)?;
+            let tombs = self.tomb_ids(pager)?;
             if tombs.contains(&seg.id) {
                 self.rebuild_live(pager)?;
             }
@@ -736,7 +810,12 @@ impl TwoLevelInterval {
         if !hits.iter().any(|h| h == seg) {
             return Ok(false);
         }
-        self.tomb_head = segdb_pst::tombs::push(pager, self.tomb_head, seg.id)?;
+        if !self.tombs_are_segments {
+            // Legacy id-format chain: fold it away once (rebuild drops
+            // every tombstone) and switch to the segment format.
+            self.rebuild_live(pager)?;
+        }
+        self.tomb_head = chain::push(pager, self.tomb_head, seg)?;
         self.tomb_count += 1;
         self.len -= 1;
         if self.tomb_count >= self.len.max(1) {
@@ -751,9 +830,10 @@ impl TwoLevelInterval {
         if self.root != NULL_PAGE {
             self.destroy_rec(pager, self.root)?;
         }
-        segdb_pst::tombs::destroy(pager, self.tomb_head)?;
+        self.destroy_tombs(pager)?;
         self.tomb_head = NULL_PAGE;
         self.tomb_count = 0;
+        self.tombs_are_segments = true;
         self.len = live.len() as u64;
         self.root = self.build_rec(pager, live)?;
         Ok(())
@@ -766,10 +846,7 @@ impl TwoLevelInterval {
             self.collect_rec(pager, self.root, &mut out)?;
         }
         if self.tomb_count > 0 {
-            let tombs: std::collections::HashSet<u64> =
-                segdb_pst::tombs::load(pager, self.tomb_head)?
-                    .into_iter()
-                    .collect();
+            let tombs: std::collections::HashSet<u64> = self.tomb_ids(pager)?.into_iter().collect();
             out.retain(|s| !tombs.contains(&s.id));
         }
         Ok(out)
@@ -780,7 +857,7 @@ impl TwoLevelInterval {
         if self.root != NULL_PAGE {
             self.destroy_rec(pager, self.root)?;
         }
-        segdb_pst::tombs::destroy(pager, self.tomb_head)?;
+        self.destroy_tombs(pager)?;
         Ok(())
     }
 
@@ -796,7 +873,7 @@ impl TwoLevelInterval {
         if total != self.len + self.tomb_count {
             return Err(PagerError::Corrupt("interval2l len mismatch"));
         }
-        let tombs = segdb_pst::tombs::load(pager, self.tomb_head)?;
+        let tombs = self.tomb_ids(pager)?;
         if tombs.len() as u64 != self.tomb_count {
             return Err(PagerError::Corrupt("interval2l tombstone count stale"));
         }

@@ -41,9 +41,11 @@ pub mod report;
 #[cfg(any(test, feature = "testutil"))]
 pub mod testutil;
 pub mod torture;
+pub mod writer;
 
 pub use baseline::{FullScan, StabThenFilter};
 pub use binary2l::{Binary2LConfig, TwoLevelBinary};
 pub use facade::{DbError, IndexKind, SegmentDatabase, SegmentDatabaseBuilder};
 pub use interval2l::{Interval2LConfig, TwoLevelInterval};
 pub use report::{QueryAnswer, QueryMode, QueryTrace};
+pub use writer::{RecoveryReport, WriteAck, WriteEngine, WriterConfig};

@@ -15,16 +15,23 @@ use segdb_geom::transform::Direction;
 use segdb_pager::{ByteReader, ByteWriter, PageId, PagerError, Result};
 use segdb_pst::PstConfig;
 
-/// Current on-disk format magic. `002` marks databases whose B⁺-trees
-/// may carry v2 internal nodes (per-child subtree counts backing the
-/// count-mode fast paths). `001` databases open unchanged — v1 internal
-/// nodes simply decode with "unknown" counts and count queries fall
-/// back to recursing — so decode accepts both magics; encode always
-/// stamps the current one.
-const MAGIC: &[u8; 8] = b"SEGDB002";
+/// Current on-disk format magic. `003` adds the write path: the
+/// superblock carries the WAL checkpoint (`wal_seq`) and the interval
+/// index's tombstone chain stores full segments (geometry included)
+/// instead of bare ids, which is what lets Count-mode queries subtract
+/// overlapping tombstones without materializing. `002` marks databases
+/// whose B⁺-trees may carry v2 internal nodes (per-child subtree counts
+/// backing the count-mode fast paths). `001` databases open unchanged —
+/// v1 internal nodes simply decode with "unknown" counts and count
+/// queries fall back to recursing — so decode accepts all three magics;
+/// encode always stamps the current one.
+const MAGIC: &[u8; 8] = b"SEGDB003";
+const MAGIC_V2: &[u8; 8] = b"SEGDB002";
 const MAGIC_V1: &[u8; 8] = b"SEGDB001";
 /// Superblock buffer size (well under any page's metadata area).
-pub const SUPERBLOCK_SIZE: usize = 88 + 1 + AnyQueryState::ENCODED_SIZE;
+/// The trailing 9 bytes (`tombs_are_segments` flag + `wal_seq`) only
+/// exist under the v3 magic.
+pub const SUPERBLOCK_SIZE: usize = 88 + 1 + AnyQueryState::ENCODED_SIZE + 9;
 
 /// Everything needed to re-open a database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +61,14 @@ pub struct Superblock {
     pub rebuild_min: u64,
     /// Optional arbitrary-direction query extension (§5 future work).
     pub any: Option<AnyQueryState>,
+    /// Highest WAL sequence number folded into the index (the write
+    /// path's checkpoint; replay skips records at or below it). Always 0
+    /// for databases saved before v3.
+    pub wal_seq: u64,
+    /// Whether the interval index's tombstone chain stores full
+    /// segments (v3+) or bare ids (v1/v2). Derived from the magic on
+    /// decode; a save always upgrades to the segment format.
+    pub tombs_are_segments: bool,
 }
 
 fn kind_tag(kind: IndexKind) -> u8 {
@@ -100,13 +115,32 @@ impl Superblock {
                 a.encode(&mut w)?;
             }
         }
+        // The v3 tail fields live at fixed offsets (the `any` encoding
+        // is variable-length, so positional writing would move them).
+        let n = buf.len();
+        buf[n - 9] = u8::from(self.tombs_are_segments);
+        buf[n - 8..].copy_from_slice(&self.wal_seq.to_le_bytes());
         buf[..8].copy_from_slice(MAGIC);
         Ok(buf)
     }
 
-    /// Deserialize from a metadata blob.
+    /// Deserialize from a metadata blob (v1, v2 or v3 magic).
     pub fn decode(buf: &[u8]) -> Result<Superblock> {
-        if buf.len() < SUPERBLOCK_SIZE || (&buf[..8] != MAGIC && &buf[..8] != MAGIC_V1) {
+        if buf.len() < 8 {
+            return Err(PagerError::Corrupt("bad database superblock"));
+        }
+        let magic: &[u8] = &buf[..8];
+        let v3 = magic == MAGIC;
+        if !v3 && magic != MAGIC_V2 && magic != MAGIC_V1 {
+            return Err(PagerError::Corrupt("bad database superblock"));
+        }
+        // v1/v2 blobs lack the trailing flag + wal_seq fields.
+        let need = if v3 {
+            SUPERBLOCK_SIZE
+        } else {
+            SUPERBLOCK_SIZE - 9
+        };
+        if buf.len() < need {
             return Err(PagerError::Corrupt("bad database superblock"));
         }
         let mut r = ByteReader::new(buf);
@@ -128,6 +162,16 @@ impl Superblock {
             } else {
                 None
             },
+            wal_seq: if v3 {
+                u64::from_le_bytes(
+                    buf[SUPERBLOCK_SIZE - 8..SUPERBLOCK_SIZE]
+                        .try_into()
+                        .unwrap(),
+                )
+            } else {
+                0
+            },
+            tombs_are_segments: v3 && buf[SUPERBLOCK_SIZE - 9] != 0,
         })
     }
 
@@ -191,6 +235,8 @@ mod tests {
             bridges: true,
             rebuild_min: 32,
             any: None,
+            wal_seq: 777,
+            tombs_are_segments: true,
         };
         let buf = sb.encode().unwrap();
         assert_eq!(Superblock::decode(&buf).unwrap(), sb);
@@ -205,7 +251,7 @@ mod tests {
     }
 
     #[test]
-    fn v1_magic_still_opens() {
+    fn older_magics_still_open() {
         let sb = Superblock {
             direction: (0, 1),
             kind: IndexKind::FullScan,
@@ -219,11 +265,29 @@ mod tests {
             bridges: true,
             rebuild_min: 32,
             any: None,
+            wal_seq: 123,
+            tombs_are_segments: true,
         };
         let mut buf = sb.encode().unwrap();
         assert_eq!(&buf[..8], MAGIC);
-        buf[..8].copy_from_slice(MAGIC_V1);
-        assert_eq!(Superblock::decode(&buf).unwrap(), sb);
+        for magic in [MAGIC_V1, MAGIC_V2] {
+            buf[..8].copy_from_slice(magic);
+            // Pre-v3 saves were 9 bytes shorter — truncate to prove the
+            // old length is still accepted.
+            let old = &buf[..SUPERBLOCK_SIZE - 9];
+            let got = Superblock::decode(old).unwrap();
+            // Pre-v3 superblocks carry no checkpoint and id-format tombs.
+            assert_eq!(got.wal_seq, 0);
+            assert!(!got.tombs_are_segments);
+            assert_eq!(
+                Superblock {
+                    wal_seq: 123,
+                    tombs_are_segments: true,
+                    ..got
+                },
+                sb
+            );
+        }
     }
 
     #[test]
@@ -247,6 +311,8 @@ mod tests {
                 bridges: false,
                 rebuild_min: 8,
                 any: None,
+                wal_seq: 0,
+                tombs_are_segments: true,
             };
             assert_eq!(
                 Superblock::decode(&sb.encode().unwrap()).unwrap().kind,

@@ -1,0 +1,779 @@
+//! The online write path: single-writer / snapshot-reader semantics
+//! over a [`SegmentDatabase`].
+//!
+//! # Architecture
+//!
+//! The engine layers three pieces over the paper's structures:
+//!
+//! * **WAL** ([`segdb_wal::Wal`]) — every accepted insert/delete is
+//!   appended (group-committed) before it is acknowledged, carrying the
+//!   client request id as the idempotence key.
+//! * **Delta overlay** — accepted ops land in a bounded memtable-style
+//!   [`DeltaSnap`] (copy-on-write behind an `Arc`), merged into every
+//!   query: `answer = base ∖ deltaDeletes ∪ deltaInserts`. Counts use
+//!   exact arithmetic (`base − |deletes ∩ q| + |inserts ∩ q|`), which
+//!   keeps the index's count-from-headers fast paths intact.
+//! * **Fold** — when the delta reaches `delta_limit`, the writer takes
+//!   the database write lock and replays the pending ops through the
+//!   native [`SegmentDatabase::insert`]/[`SegmentDatabase::remove`]
+//!   machinery (the paper's amortized partial rebuilds, Lemma 3 /
+//!   BB[α]), checkpoints `wal_seq` via [`SegmentDatabase::save`], and
+//!   truncates the WAL. Readers never observe a half-applied fold: they
+//!   hold the read lock for the whole base-walk *and* delta snapshot.
+//!
+//! # Crash contract
+//!
+//! Recovery ([`WriteEngine::recover`]) replays WAL records with
+//! `seq > superblock.wal_seq` against the re-opened database, then
+//! checkpoints. The device model is sync-atomic (the durable image
+//! advances only at `sync`, as [`segdb_pager::FaultDevice`] enforces),
+//! so every crash lands in one of three states: before the fold's save
+//! (WAL replays onto the old image), after save but before WAL
+//! truncation (replay skips everything via the checkpoint), or after
+//! truncation (nothing to do). A group-commit window may lose its
+//! unsynced tail — exactly the ops never acknowledged.
+
+use crate::facade::{DbError, SegmentDatabase};
+use crate::report::{QueryAnswer, QueryMode, QueryTrace};
+use segdb_geom::transform::Direction;
+use segdb_geom::{Point, Segment, VerticalQuery};
+use segdb_pager::Device;
+use segdb_wal::{Wal, WalOp, WalStats};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Tuning for the write engine.
+#[derive(Debug, Clone, Copy)]
+pub struct WriterConfig {
+    /// WAL group-commit window (records per sync; 1 = sync every op).
+    pub group_window: usize,
+    /// Fold the delta into the index once it holds this many ops.
+    pub delta_limit: usize,
+    /// Request ids remembered for idempotent retry detection.
+    pub recent_ids: usize,
+}
+
+impl Default for WriterConfig {
+    fn default() -> Self {
+        WriterConfig {
+            group_window: 8,
+            delta_limit: 1024,
+            recent_ids: 4096,
+        }
+    }
+}
+
+/// Acknowledgement for one write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAck {
+    /// WAL sequence number the op was logged under (0 for a no-op
+    /// delete that found nothing).
+    pub seq: u64,
+    /// Whether the op changed the database (a delete of an absent
+    /// segment is acknowledged but `applied = false`).
+    pub applied: bool,
+    /// True when this request id was already processed — the stored
+    /// acknowledgement is returned and nothing is re-applied.
+    pub duplicate: bool,
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records found in the log (durable at the crash).
+    pub replayed: u64,
+    /// Records actually applied (`seq` above the checkpoint).
+    pub applied: u64,
+    /// The checkpoint the superblock carried before replay.
+    pub checkpoint: u64,
+    /// Highest sequence number after replay.
+    pub last_seq: u64,
+}
+
+/// Immutable snapshot of the unfolded ops. Readers clone the `Arc`
+/// under the database read lock; the writer replaces the whole snapshot
+/// on every mutation (ops are rare and bounded by `delta_limit`, so
+/// copy-on-write beats finer locking).
+#[derive(Debug, Default, Clone)]
+pub struct DeltaSnap {
+    /// Canonical-frame segments inserted since the last fold.
+    inserts: Vec<Segment>,
+    /// Canonical-frame segments deleted since the last fold (always
+    /// segments present in the base index — deletes of delta inserts
+    /// cancel in place).
+    deletes: Vec<Segment>,
+}
+
+impl DeltaSnap {
+    /// Ops held (inserts + deletes).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// True when the overlay is empty (queries take the base-only path).
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// Bounded FIFO map of recently-seen request ids → their ack.
+#[derive(Debug, Default)]
+struct RecentIds {
+    map: HashMap<u64, WriteAck>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl RecentIds {
+    fn new(cap: usize) -> Self {
+        RecentIds {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<WriteAck> {
+        self.map.get(&id).copied()
+    }
+
+    fn put(&mut self, id: u64, ack: WriteAck) {
+        if self.map.insert(id, ack).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// One accepted-but-unfolded op, kept in WAL order (user frame — fold
+/// replays through the facade, which re-applies the direction shear).
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    seq: u64,
+    insert: bool,
+    seg: Segment,
+}
+
+/// Writer-side state serialized behind one mutex: the WAL handle, the
+/// unfolded op list and the idempotence table.
+struct WriterInner {
+    wal: Wal,
+    pending: Vec<PendingOp>,
+    recent: RecentIds,
+}
+
+/// Monotonic counters surfaced under `stats.writer`.
+#[derive(Debug, Default)]
+pub struct WriterCounters {
+    /// Inserts accepted (duplicates excluded).
+    pub inserts: AtomicU64,
+    /// Deletes accepted that found their target.
+    pub deletes: AtomicU64,
+    /// Deletes acknowledged without a target.
+    pub delete_misses: AtomicU64,
+    /// Retried request ids answered from the idempotence table.
+    pub duplicates: AtomicU64,
+    /// Delta folds (each one runs the amortized partial-rebuild path).
+    pub rebuilds: AtomicU64,
+    /// Tombstone compactions.
+    pub compactions: AtomicU64,
+    /// Epoch: bumped on every fold or compaction (readers of `stats`
+    /// can detect index swaps).
+    pub epoch: AtomicU64,
+}
+
+/// The write engine: one writer, many snapshot readers.
+pub struct WriteEngine {
+    db: RwLock<SegmentDatabase>,
+    delta: Mutex<Arc<DeltaSnap>>,
+    writer: Mutex<WriterInner>,
+    direction: Direction,
+    cfg: WriterConfig,
+    counters: WriterCounters,
+}
+
+impl std::fmt::Debug for WriteEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteEngine")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WriteEngine {
+    /// Wrap a database with a fresh (already-replayed) WAL device.
+    ///
+    /// Replays any durable records above the database's checkpoint,
+    /// folds them in, re-checkpoints, and truncates the log — after
+    /// this returns, the engine serves reads and writes immediately.
+    pub fn recover(
+        mut db: SegmentDatabase,
+        wal_dev: Box<dyn Device>,
+        cfg: WriterConfig,
+    ) -> Result<(Self, RecoveryReport), DbError> {
+        let (mut wal, records) = Wal::open(wal_dev, cfg.group_window)?;
+        let checkpoint = db.wal_seq();
+        wal.set_seq_floor(checkpoint);
+        let mut recent = RecentIds::new(cfg.recent_ids);
+        let mut report = RecoveryReport {
+            replayed: records.len() as u64,
+            checkpoint,
+            ..RecoveryReport::default()
+        };
+        let mut last = checkpoint;
+        for rec in &records {
+            // The idempotence table survives a crash for every durable
+            // record, applied or already-checkpointed.
+            let applied_slot = WriteAck {
+                seq: rec.seq,
+                applied: true,
+                duplicate: false,
+            };
+            recent.put(rec.req_id, applied_slot);
+            if rec.seq <= checkpoint {
+                continue;
+            }
+            report.applied += 1;
+            last = last.max(rec.seq);
+            match rec.op {
+                WalOp::Insert(seg) => db.insert(seg)?,
+                WalOp::Delete(seg) => {
+                    // A miss is legal: the delete may race a fold that
+                    // already consumed an earlier record for the same id.
+                    let _ = db.remove(&seg)?;
+                }
+            }
+        }
+        if report.applied > 0 {
+            db.set_wal_seq(last);
+            db.save()?;
+            wal.reset()?;
+        }
+        report.last_seq = wal.last_seq();
+        let direction = db.direction();
+        Ok((
+            WriteEngine {
+                db: RwLock::new(db),
+                delta: Mutex::new(Arc::new(DeltaSnap::default())),
+                writer: Mutex::new(WriterInner {
+                    wal,
+                    pending: Vec::new(),
+                    recent,
+                }),
+                direction,
+                cfg,
+                counters: WriterCounters::default(),
+            },
+            report,
+        ))
+    }
+
+    /// Run `f` against the current database snapshot (read lock held for
+    /// the duration — the epoch cannot swap underneath `f`).
+    pub fn with_db<R>(&self, f: impl FnOnce(&SegmentDatabase) -> R) -> R {
+        f(&self.db.read().expect("db lock poisoned"))
+    }
+
+    /// Run `f` with the database write lock (pauses readers; used by
+    /// maintenance paths that mutate outside the write protocol).
+    pub fn with_db_mut<R>(&self, f: impl FnOnce(&mut SegmentDatabase) -> R) -> R {
+        f(&mut self.db.write().expect("db lock poisoned"))
+    }
+
+    /// The engine's tuning.
+    pub fn config(&self) -> WriterConfig {
+        self.cfg
+    }
+
+    /// Writer counters (atomics; loadable without any lock).
+    pub fn counters(&self) -> &WriterCounters {
+        &self.counters
+    }
+
+    /// WAL lifetime stats plus the current delta size.
+    pub fn wal_stats(&self) -> (WalStats, usize) {
+        let inner = self.writer.lock().expect("writer lock poisoned");
+        let delta = self.delta.lock().expect("delta lock poisoned");
+        (inner.wal.stats(), delta.len())
+    }
+
+    /// Snapshot of the delta overlay (tests and diagnostics).
+    pub fn delta(&self) -> Arc<DeltaSnap> {
+        self.delta.lock().expect("delta lock poisoned").clone()
+    }
+
+    // ---- write protocol -------------------------------------------------
+
+    /// Insert `seg` (user coordinates). `req_id` deduplicates retries:
+    /// a second call with the same id returns the stored ack.
+    pub fn insert(&self, req_id: u64, seg: Segment) -> Result<WriteAck, DbError> {
+        let mut inner = self.writer.lock().expect("writer lock poisoned");
+        if let Some(prev) = inner.recent.get(req_id) {
+            self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+            return Ok(WriteAck {
+                duplicate: true,
+                ..prev
+            });
+        }
+        // Validate the transform up front: nothing is logged for a
+        // segment the index could never hold.
+        let canonical = self.direction.apply_segment(&seg)?;
+        let seq = inner.wal.append(req_id, WalOp::Insert(seg))?;
+        inner.pending.push(PendingOp {
+            seq,
+            insert: true,
+            seg,
+        });
+        {
+            let mut delta = self.delta.lock().expect("delta lock poisoned");
+            let mut next = (**delta).clone();
+            next.inserts.push(canonical);
+            *delta = Arc::new(next);
+        }
+        let ack = WriteAck {
+            seq,
+            applied: true,
+            duplicate: false,
+        };
+        inner.recent.put(req_id, ack);
+        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        self.maybe_fold(inner)?;
+        Ok(ack)
+    }
+
+    /// Delete `seg` (user coordinates, exact geometry + id match).
+    /// Returns `applied = false` when no such segment is stored.
+    pub fn delete(&self, req_id: u64, seg: Segment) -> Result<WriteAck, DbError> {
+        let mut inner = self.writer.lock().expect("writer lock poisoned");
+        if let Some(prev) = inner.recent.get(req_id) {
+            self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+            return Ok(WriteAck {
+                duplicate: true,
+                ..prev
+            });
+        }
+        let canonical = self.direction.apply_segment(&seg)?;
+        // Resolve the target: a delta insert cancels in place; a base
+        // segment is verified by a point query before the tombstone is
+        // logged (exact counts depend on every logged delete hitting).
+        enum Target {
+            DeltaInsert,
+            Base,
+            Missing,
+        }
+        let target = {
+            let delta = self.delta.lock().expect("delta lock poisoned");
+            if delta.inserts.contains(&canonical) {
+                Target::DeltaInsert
+            } else if delta.deletes.contains(&canonical) {
+                Target::Missing // already deleted this epoch
+            } else {
+                let db = self.db.read().expect("db lock poisoned");
+                let (hits, _) = db.query_line(seg.a)?;
+                if hits.contains(&seg) {
+                    Target::Base
+                } else {
+                    Target::Missing
+                }
+            }
+        };
+        if matches!(target, Target::Missing) {
+            let ack = WriteAck {
+                seq: 0,
+                applied: false,
+                duplicate: false,
+            };
+            inner.recent.put(req_id, ack);
+            self.counters.delete_misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(ack);
+        }
+        let seq = inner.wal.append(req_id, WalOp::Delete(seg))?;
+        inner.pending.push(PendingOp {
+            seq,
+            insert: false,
+            seg,
+        });
+        {
+            let mut delta = self.delta.lock().expect("delta lock poisoned");
+            let mut next = (**delta).clone();
+            match target {
+                Target::DeltaInsert => next.inserts.retain(|s| *s != canonical),
+                Target::Base => next.deletes.push(canonical),
+                Target::Missing => unreachable!(),
+            }
+            *delta = Arc::new(next);
+        }
+        let ack = WriteAck {
+            seq,
+            applied: true,
+            duplicate: false,
+        };
+        inner.recent.put(req_id, ack);
+        self.counters.deletes.fetch_add(1, Ordering::Relaxed);
+        self.maybe_fold(inner)?;
+        Ok(ack)
+    }
+
+    /// Durability barrier: group-commit the WAL tail now.
+    pub fn flush(&self) -> Result<(), DbError> {
+        let mut inner = self.writer.lock().expect("writer lock poisoned");
+        inner.wal.flush()?;
+        Ok(())
+    }
+
+    /// Fold the delta into the index now, regardless of size.
+    pub fn fold(&self) -> Result<(), DbError> {
+        let inner = self.writer.lock().expect("writer lock poisoned");
+        self.fold_locked(inner)
+    }
+
+    fn maybe_fold(&self, inner: std::sync::MutexGuard<'_, WriterInner>) -> Result<(), DbError> {
+        if inner.pending.len() >= self.cfg.delta_limit {
+            self.fold_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    fn fold_locked(
+        &self,
+        mut inner: std::sync::MutexGuard<'_, WriterInner>,
+    ) -> Result<(), DbError> {
+        if inner.pending.is_empty() {
+            return Ok(());
+        }
+        // WAL first: the fold's source of truth must be durable before
+        // the index starts moving.
+        inner.wal.flush()?;
+        let ops = std::mem::take(&mut inner.pending);
+        let last = ops.last().map(|o| o.seq).unwrap_or(0);
+        {
+            // Readers drain, then the index mutates and the delta clears
+            // atomically from their point of view (both under the write
+            // lock — a reader either sees old base + old delta or new
+            // base + empty delta, never a torn pair).
+            let mut db = self.db.write().expect("db lock poisoned");
+            for op in &ops {
+                if op.insert {
+                    db.insert(op.seg)?;
+                } else {
+                    let _ = db.remove(&op.seg)?;
+                }
+            }
+            db.set_wal_seq(last);
+            db.save()?;
+            let mut delta = self.delta.lock().expect("delta lock poisoned");
+            *delta = Arc::new(DeltaSnap::default());
+        }
+        inner.wal.reset()?;
+        self.counters.rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.counters.epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Fold lazy-delete tombstones back into the index (the background
+    /// compaction pass). Folds the delta first so the rebuild sees
+    /// every accepted op. Returns whether a rebuild ran.
+    pub fn compact(&self) -> Result<bool, DbError> {
+        let inner = self.writer.lock().expect("writer lock poisoned");
+        self.fold_locked(inner)?;
+        // Re-acquire: fold_locked consumed the guard.
+        let _inner = self.writer.lock().expect("writer lock poisoned");
+        let mut db = self.db.write().expect("db lock poisoned");
+        let ran = db.compact()?;
+        if ran {
+            db.save()?;
+            self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+            self.counters.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(ran)
+    }
+
+    // ---- snapshot reads -------------------------------------------------
+
+    /// Line query through `anchor` (user coordinates), merged with the
+    /// delta overlay.
+    pub fn query_line_mode(
+        &self,
+        anchor: impl Into<Point>,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let a = anchor.into();
+        self.query_overlay(a, None, None, mode)
+    }
+
+    /// Upward ray query from `anchor`, merged with the delta overlay.
+    pub fn query_ray_up_mode(
+        &self,
+        anchor: impl Into<Point>,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let a = anchor.into();
+        self.query_overlay(a, Some(a.y), None, mode)
+    }
+
+    /// Downward ray query from `anchor`, merged with the delta overlay.
+    pub fn query_ray_down_mode(
+        &self,
+        anchor: impl Into<Point>,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let a = anchor.into();
+        self.query_overlay(a, None, Some(a.y), mode)
+    }
+
+    /// Segment query `p1—p2`, merged with the delta overlay.
+    pub fn query_segment_mode(
+        &self,
+        p1: impl Into<Point>,
+        p2: impl Into<Point>,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let (p1, p2) = (p1.into(), p2.into());
+        let db = self.db.read().expect("db lock poisoned");
+        let delta = self.delta.lock().expect("delta lock poisoned").clone();
+        if delta.is_empty() {
+            return db.query_segment_mode(p1, p2, mode);
+        }
+        let q = db.segment_query(p1, p2)?;
+        Self::merge(&db, &delta, &q, mode, |m| db.query_segment_mode(p1, p2, m))
+    }
+
+    /// Shared overlay walk for the anchor-shaped queries.
+    fn query_overlay(
+        &self,
+        a: Point,
+        lo: Option<i64>,
+        hi: Option<i64>,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let db = self.db.read().expect("db lock poisoned");
+        let delta = self.delta.lock().expect("delta lock poisoned").clone();
+        let base = |m: QueryMode| match (lo, hi) {
+            (None, None) => db.query_line_mode(a, m),
+            (Some(_), None) => db.query_ray_up_mode(a, m),
+            (None, Some(_)) => db.query_ray_down_mode(a, m),
+            (Some(_), Some(_)) => unreachable!("no anchor shape sets both bounds"),
+        };
+        if delta.is_empty() {
+            return base(mode);
+        }
+        let q = self
+            .direction
+            .make_query(a, lo, hi)
+            .map_err(DbError::from)?;
+        Self::merge(&db, &delta, &q, mode, base)
+    }
+
+    /// Merge `base` answers with the delta overlay for `q`.
+    fn merge(
+        db: &SegmentDatabase,
+        delta: &DeltaSnap,
+        q: &VerticalQuery,
+        mode: QueryMode,
+        base: impl Fn(QueryMode) -> Result<(QueryAnswer, QueryTrace), DbError>,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        let ins_hits: Vec<&Segment> = delta.inserts.iter().filter(|s| q.hits(s)).collect();
+        let del_hits: u64 = delta.deletes.iter().filter(|s| q.hits(s)).count() as u64;
+        let deleted_ids: std::collections::HashSet<u64> =
+            delta.deletes.iter().map(|s| s.id).collect();
+        match mode {
+            QueryMode::Count => {
+                let (ans, trace) = base(QueryMode::Count)?;
+                let n = ans.count().saturating_sub(del_hits) + ins_hits.len() as u64;
+                Ok((QueryAnswer::Count(n), trace))
+            }
+            QueryMode::Exists => {
+                if !ins_hits.is_empty() {
+                    // A delta insert satisfies the query without touching
+                    // the base index at all.
+                    return Ok((QueryAnswer::Exists(true), QueryTrace::default()));
+                }
+                if del_hits == 0 {
+                    // No deleted segment meets q, so any base hit is live.
+                    return base(QueryMode::Exists);
+                }
+                // Deletes in play: the early-exit walk could stop on a
+                // deleted segment, so fall back to exact arithmetic.
+                let (ans, trace) = base(QueryMode::Count)?;
+                Ok((
+                    QueryAnswer::Exists(ans.count().saturating_sub(del_hits) > 0),
+                    trace,
+                ))
+            }
+            QueryMode::Collect | QueryMode::Limit(_) => {
+                let k = match mode {
+                    QueryMode::Limit(k) => Some(k as usize),
+                    _ => None,
+                };
+                // A limit walk must over-fetch by the number of deletes
+                // that might be filtered back out.
+                let base_mode = match k {
+                    Some(k) => {
+                        QueryMode::Limit((k + delta.deletes.len()).min(u32::MAX as usize) as u32)
+                    }
+                    None => QueryMode::Collect,
+                };
+                let (ans, trace) = base(base_mode)?;
+                let mut hits = match ans {
+                    QueryAnswer::Segments(v) => v,
+                    _ => unreachable!("collect-shaped base answer"),
+                };
+                hits.retain(|s| !deleted_ids.contains(&s.id));
+                for s in ins_hits {
+                    hits.push(db.direction().unapply_segment(s)?);
+                }
+                if let Some(k) = k {
+                    hits.truncate(k);
+                } else {
+                    hits = crate::report::normalize(hits);
+                }
+                Ok((QueryAnswer::Segments(hits), trace))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexKind;
+    use segdb_pager::Disk;
+
+    fn seg(id: u64, y: i64) -> Segment {
+        Segment::new(id, (0, y), (1000, y)).unwrap()
+    }
+
+    fn engine(n: u64, cfg: WriterConfig) -> WriteEngine {
+        let set: Vec<Segment> = (0..n).map(|i| seg(i, 10 * i as i64)).collect();
+        let db = SegmentDatabase::builder()
+            .page_size(512)
+            .cache_pages(0)
+            .index(IndexKind::TwoLevelInterval)
+            .build(set)
+            .unwrap();
+        let (eng, rep) = WriteEngine::recover(db, Box::new(Disk::new(512)), cfg).unwrap();
+        assert_eq!(rep.replayed, 0);
+        eng
+    }
+
+    fn count(eng: &WriteEngine, x: i64) -> u64 {
+        let (ans, _) = eng.query_line_mode((x, 0), QueryMode::Count).unwrap();
+        ans.count()
+    }
+
+    #[test]
+    fn overlay_merges_all_modes() {
+        let eng = engine(50, WriterConfig::default());
+        assert_eq!(count(&eng, 500), 50);
+        // Insert two, delete one base segment.
+        eng.insert(1, seg(100, 5)).unwrap();
+        eng.insert(2, seg(101, 7)).unwrap();
+        let ack = eng.delete(3, seg(10, 100)).unwrap();
+        assert!(ack.applied);
+        assert_eq!(count(&eng, 500), 51);
+        let (ans, _) = eng.query_line_mode((500, 0), QueryMode::Collect).unwrap();
+        let hits = ans.segments().unwrap();
+        assert_eq!(hits.len(), 51);
+        assert!(hits.iter().any(|s| s.id == 100));
+        assert!(!hits.iter().any(|s| s.id == 10));
+        let (ans, _) = eng.query_line_mode((500, 0), QueryMode::Exists).unwrap();
+        assert_eq!(ans, QueryAnswer::Exists(true));
+        let (ans, _) = eng.query_line_mode((500, 0), QueryMode::Limit(5)).unwrap();
+        assert_eq!(ans.segments().unwrap().len(), 5);
+        // Deleting a delta insert cancels it without touching base.
+        let ack = eng.delete(4, seg(101, 7)).unwrap();
+        assert!(ack.applied);
+        assert_eq!(count(&eng, 500), 50);
+        // Deleting something absent is acknowledged but not applied.
+        let ack = eng.delete(5, seg(999, 1)).unwrap();
+        assert!(!ack.applied);
+    }
+
+    #[test]
+    fn duplicate_request_ids_are_idempotent() {
+        let eng = engine(10, WriterConfig::default());
+        let a1 = eng.insert(42, seg(100, 5)).unwrap();
+        let a2 = eng.insert(42, seg(100, 5)).unwrap();
+        assert!(!a1.duplicate && a2.duplicate);
+        assert_eq!(a1.seq, a2.seq);
+        assert_eq!(count(&eng, 500), 11);
+        let d1 = eng.delete(43, seg(100, 5)).unwrap();
+        let d2 = eng.delete(43, seg(100, 5)).unwrap();
+        assert!(d1.applied && d2.duplicate && d2.applied);
+        assert_eq!(count(&eng, 500), 10);
+        assert_eq!(eng.counters().duplicates.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn fold_applies_and_checkpoints() {
+        let cfg = WriterConfig {
+            delta_limit: 4,
+            ..WriterConfig::default()
+        };
+        let eng = engine(20, cfg);
+        for i in 0..4 {
+            eng.insert(100 + i, seg(200 + i, 3 + i as i64)).unwrap();
+        }
+        // delta_limit reached: the 4th insert folded everything.
+        assert!(eng.delta().is_empty());
+        assert_eq!(eng.counters().rebuilds.load(Ordering::Relaxed), 1);
+        assert_eq!(count(&eng, 500), 24);
+        eng.with_db(|db| {
+            assert_eq!(db.len(), 24);
+            assert_eq!(db.wal_seq(), 4);
+            db.validate().unwrap();
+        });
+    }
+
+    #[test]
+    fn recovery_replays_unfolded_tail() {
+        let set: Vec<Segment> = (0..10).map(|i| seg(i, 10 * i as i64)).collect();
+        let db = SegmentDatabase::builder()
+            .page_size(512)
+            .cache_pages(0)
+            .index(IndexKind::TwoLevelInterval)
+            .build(set)
+            .unwrap();
+        let cfg = WriterConfig {
+            group_window: 1,
+            ..WriterConfig::default()
+        };
+        let (eng, _) = WriteEngine::recover(db, Box::new(Disk::new(512)), cfg).unwrap();
+        eng.insert(1, seg(100, 5)).unwrap();
+        eng.delete(2, seg(3, 30)).unwrap();
+        // Simulate a crash that loses the in-memory delta but keeps the
+        // synced WAL: rebuild the db from scratch and replay the device.
+        let wal_dev = {
+            let mut inner = eng.writer.lock().unwrap();
+            // Steal the WAL device (test-only surgery).
+            let wal = std::mem::replace(
+                &mut inner.wal,
+                Wal::create(Box::new(Disk::new(512)), 1).unwrap(),
+            );
+            wal.into_device()
+        };
+        let set: Vec<Segment> = (0..10).map(|i| seg(i, 10 * i as i64)).collect();
+        let db2 = SegmentDatabase::builder()
+            .page_size(512)
+            .cache_pages(0)
+            .index(IndexKind::TwoLevelInterval)
+            .build(set)
+            .unwrap();
+        let (eng2, rep) = WriteEngine::recover(db2, wal_dev, cfg).unwrap();
+        assert_eq!(rep.replayed, 2);
+        assert_eq!(rep.applied, 2);
+        assert_eq!(count(&eng2, 500), 10); // 10 − 1 + 1
+        eng2.with_db(|db| {
+            assert_eq!(db.wal_seq(), 2);
+            db.validate().unwrap();
+        });
+        // A retry of a pre-crash request id is still recognized.
+        let ack = eng2.insert(1, seg(100, 5)).unwrap();
+        assert!(ack.duplicate);
+    }
+}

@@ -3,7 +3,8 @@
 //!
 //! The gate judges two metrics — **p99 latency** (lower is better) and
 //! **throughput** (higher is better) — against a configurable
-//! percentage threshold; p50/p95/mean ride along informationally but
+//! percentage threshold, plus **write p99** when both documents come
+//! from `--write-pct` runs; p50/p95/mean ride along informationally but
 //! never trip the gate (the power-of-two histogram buckets make mid
 //! quantiles jump in whole-bucket steps, so gating on them would flag
 //! every bucket move as a 100 % change). A baseline of zero never
@@ -156,13 +157,25 @@ const METRICS: [(&str, Direction, bool); 6] = [
     ("latency_us.max", Direction::LowerIsBetter, false),
 ];
 
+/// Write-path metrics, present only in `--write-pct` runs: gated when
+/// both documents carry them, skipped when neither does, and an error
+/// when a *gated* one appears in exactly one document — a write run
+/// must never be compared against a read-only baseline silently.
+const WRITE_METRICS: [(&str, Direction, bool); 4] = [
+    ("write_latency_us.p99", Direction::LowerIsBetter, true),
+    ("write_latency_us.p95", Direction::LowerIsBetter, false),
+    ("insert_latency_us.p99", Direction::LowerIsBetter, false),
+    ("delete_latency_us.p99", Direction::LowerIsBetter, false),
+];
+
 /// Workload-context fields cross-checked between the two documents.
-const CONTEXT: [&str; 6] = [
+const CONTEXT: [&str; 7] = [
     "family",
     "segments",
     "seed",
     "connections",
     "mode",
+    "write_pct",
     "requests",
 ];
 
@@ -186,6 +199,30 @@ pub fn compare(baseline: &Json, current: &Json, threshold_pct: f64) -> Result<Be
                 Direction::HigherIsBetter => (b - c) / b * 100.0,
             }
         };
+        metrics.push(MetricDiff {
+            name,
+            direction,
+            baseline: b,
+            current: c,
+            worse_pct,
+            gated,
+            regressed: gated && worse_pct > threshold_pct,
+        });
+    }
+    for (name, direction, gated) in WRITE_METRICS {
+        let (b, c) = (metric_at(baseline, name), metric_at(current, name));
+        let (b, c) = match (b, c) {
+            (Some(b), Some(c)) => (b, c),
+            (None, None) => continue,
+            _ if gated => {
+                return Err(format!(
+                    "write metric `{name}` present in only one document \
+                     (write run diffed against a read-only baseline?)"
+                ))
+            }
+            _ => continue,
+        };
+        let worse_pct = if b <= 0.0 { 0.0 } else { (c - b) / b * 100.0 };
         metrics.push(MetricDiff {
             name,
             direction,
@@ -332,6 +369,46 @@ mod tests {
         let busy = bench_doc(512, 9000.0);
         let diff = compare(&zero, &busy, 10.0).unwrap();
         assert!(!diff.regressed());
+    }
+
+    fn with_writes(mut doc: Json, p99: u64) -> Json {
+        if let Json::Obj(fields) = &mut doc {
+            fields.push((
+                "write_latency_us".to_string(),
+                Json::obj([("p95", Json::U64(p99 / 2)), ("p99", Json::U64(p99))]),
+            ));
+        }
+        doc
+    }
+
+    #[test]
+    fn write_p99_gates_only_write_runs() {
+        // Read-only docs: the write metrics are absent from both sides
+        // and simply skipped.
+        let base = bench_doc(512, 9000.0);
+        let diff = compare(&base, &base, 10.0).unwrap();
+        assert!(diff
+            .metrics
+            .iter()
+            .all(|m| m.name != "write_latency_us.p99"));
+        // Write runs on both sides: gated like any other metric.
+        let wbase = with_writes(bench_doc(512, 9000.0), 800);
+        let wworse = with_writes(bench_doc(512, 9000.0), 2000);
+        let diff = compare(&wbase, &wworse, 10.0).unwrap();
+        assert!(diff.regressed());
+        let wp99 = diff
+            .metrics
+            .iter()
+            .find(|m| m.name == "write_latency_us.p99")
+            .unwrap();
+        assert!(wp99.gated && wp99.regressed);
+        assert!((wp99.worse_pct - 150.0).abs() < 1e-9);
+        let diff = compare(&wbase, &with_writes(bench_doc(512, 9000.0), 820), 10.0).unwrap();
+        assert!(!diff.regressed(), "+2.5 % write p99 is inside the gate");
+        // A write run diffed against a read-only baseline is an error,
+        // not a vacuous pass.
+        let err = compare(&base, &wworse, 10.0).unwrap_err();
+        assert!(err.contains("write_latency_us.p99"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //!            [--out PATH]
 //! ```
 //!
+//! `--write-pct P` turns `P` % of the request slots into writes (the
+//! server must be serving with `--wal`): commuting inserts/deletes whose
+//! final state is checked post-run against the shadow model, with
+//! per-op-kind latency histograms in the report (exit 1 on a sweep
+//! mismatch, same as a wrong verified answer).
+//!
 //! `--chaos SEED` arms the standard wire-fault torture mix on every
 //! connection (seeded `SEED + connection`); the report's `net` block
 //! then carries the replay-stable `trace_digest` and the
@@ -27,8 +33,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: segdb-load [--addr HOST:PORT] [--connections K] [--requests N] \
 [--family fan|grid|strips|temporal|nested|mixed] [--n N] [--seed S] [--no-verify] \
-[--mode collect|count|exists|limit:K|mix] [--shutdown] [--chaos SEED] [--max-retries K] \
-[--attempt-timeout-ms MS] [--out PATH]";
+[--mode collect|count|exists|limit:K|mix] [--write-pct P] [--shutdown] [--chaos SEED] \
+[--max-retries K] [--attempt-timeout-ms MS] [--out PATH]";
 
 fn fail(code: &str, message: &str) -> ExitCode {
     eprintln!(
@@ -71,6 +77,7 @@ fn main() -> ExitCode {
             "--requests" => value.parse().map(|v| cfg.requests = v),
             "--n" => value.parse().map(|v| cfg.n = v),
             "--seed" => value.parse().map(|v| cfg.seed = v),
+            "--write-pct" => value.parse().map(|v: u32| cfg.write_pct = v.min(100)),
             "--chaos" => value
                 .parse()
                 .map(|s| cfg.chaos_plan = Some(NetFaultPlan::chaotic(s))),
@@ -118,7 +125,7 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::write(&path, doc + "\n") {
         return fail("io", &format!("cannot write {}: {e}", path.display()));
     }
-    if report.wrong > 0 {
+    if report.wrong > 0 || report.sweep_wrong > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -2,10 +2,11 @@
 //! per-attempt deadlines and bounded, seeded-jitter exponential backoff.
 //!
 //! Every server method this repo exposes over the wire is **idempotent**
-//! — queries, traces, stats and pings mutate nothing — so a request
-//! whose outcome is unknown (the connection died before a response
-//! arrived) is always safe to replay on a fresh connection. That makes
-//! the retry policy simple and total:
+//! — queries, traces, stats and pings mutate nothing, and the write
+//! methods (`insert` / `delete`) carry a mandatory request id the
+//! server deduplicates on — so a request whose outcome is unknown (the
+//! connection died before a response arrived) is always safe to replay
+//! on a fresh connection. That makes the retry policy simple and total:
 //!
 //! * **retryable** — wire-level disruptions (connect failure, reset,
 //!   EOF mid-response, missed attempt deadline) and the server's
@@ -31,6 +32,7 @@
 use crate::chaos::{ChaosStream, NetFaultHandle};
 use crate::proto::code;
 use segdb_core::QueryMode;
+use segdb_geom::Segment;
 use segdb_obs::json::{self, Json};
 use segdb_rng::SmallRng;
 use std::time::{Duration, Instant};
@@ -52,6 +54,13 @@ pub struct ClientConfig {
     pub jitter_seed: u64,
     /// Longest accepted response line in bytes.
     pub max_line_bytes: usize,
+    /// Request ids are stamped `id_base + 1, id_base + 2, …`. The
+    /// server's write-dedup window is keyed by the bare id, so clients
+    /// that may write to the same server within its window must use
+    /// disjoint bases (the CLI derives one from wall clock + pid per
+    /// invocation); 0 keeps ids small and deterministic for
+    /// single-session tools like the load driver.
+    pub id_base: u64,
 }
 
 impl Default for ClientConfig {
@@ -64,6 +73,7 @@ impl Default for ClientConfig {
             backoff_cap: Duration::from_millis(200),
             jitter_seed: 0x5EED_CAFE,
             max_line_bytes: 4 * 1024 * 1024,
+            id_base: 0,
         }
     }
 }
@@ -327,10 +337,10 @@ impl Client {
         std::thread::sleep(Duration::from_micros(us));
     }
 
-    /// The next correlation id (monotone, starts at 1).
+    /// The next correlation id (monotone, starts at `id_base + 1`).
     fn fresh_id(&mut self) -> u64 {
         self.next_id += 1;
-        self.next_id
+        self.cfg.id_base.wrapping_add(self.next_id)
     }
 
     /// Render a parameterless request stamped with a fresh id.
@@ -432,6 +442,90 @@ impl Client {
             .to_string();
         Ok(QueryReply { ids, count, mode })
     }
+
+    /// Render one write request (`insert` / `delete`) for `seg`, stamped
+    /// with a fresh id. The id doubles as the server-side **idempotence
+    /// key**: [`Client::call_line`] replays the identical rendered line on
+    /// every retry, so a write whose first ack was lost to a wire fault is
+    /// answered from the server's dedup window instead of re-applied.
+    fn write_line(&mut self, method: &str, seg: &Segment) -> String {
+        Json::obj([
+            ("id", Json::U64(self.fresh_id())),
+            ("method", Json::Str(method.to_string())),
+            (
+                "params",
+                Json::obj([
+                    ("seg", Json::U64(seg.id)),
+                    ("x1", Json::I64(seg.a.x)),
+                    ("y1", Json::I64(seg.a.y)),
+                    ("x2", Json::I64(seg.b.x)),
+                    ("y2", Json::I64(seg.b.y)),
+                ]),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parse a write acknowledgement object.
+    fn write_reply(result: &Json) -> Result<WriteReply, CallError> {
+        let seq = result.get("seq").and_then(|v| match *v {
+            Json::U64(u) => Some(u),
+            _ => None,
+        });
+        let applied = result.get("applied").and_then(|v| match *v {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        });
+        match (seq, applied) {
+            (Some(seq), Some(applied)) => Ok(WriteReply {
+                seq,
+                applied,
+                duplicate: result.get("duplicate") == Some(&Json::Bool(true)),
+            }),
+            _ => Err(CallError::Terminal {
+                code: "malformed".to_string(),
+                message: "write response carries no `seq`/`applied` ack".to_string(),
+            }),
+        }
+    }
+
+    /// Convenience: durably insert `seg` on a writable server.
+    ///
+    /// Safe to retry — the stamped request id is the idempotence key.
+    pub fn insert(&mut self, seg: &Segment) -> Result<WriteReply, CallError> {
+        let line = self.write_line("insert", seg);
+        let result = self.call_line(&line)?;
+        Self::write_reply(&result)
+    }
+
+    /// Convenience: durably delete `seg` (exact match) on a writable
+    /// server. `applied` is false when no such segment is stored.
+    pub fn delete(&mut self, seg: &Segment) -> Result<WriteReply, CallError> {
+        let line = self.write_line("delete", seg);
+        let result = self.call_line(&line)?;
+        Self::write_reply(&result)
+    }
+
+    /// Convenience: force a WAL group-commit flush — every previously
+    /// acknowledged write is durable once this returns.
+    pub fn flush(&mut self) -> Result<(), CallError> {
+        let line = self.stamped("flush");
+        self.call_line(&line)?;
+        Ok(())
+    }
+}
+
+/// A write acknowledgement off the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteReply {
+    /// WAL sequence number of the logged operation (0 for a no-op
+    /// delete miss).
+    pub seq: u64,
+    /// Whether the operation changed the database.
+    pub applied: bool,
+    /// True when the server answered from its idempotence window — the
+    /// original ack was lost and this is its replay.
+    pub duplicate: bool,
 }
 
 /// A mode-shaped query reply off the wire.

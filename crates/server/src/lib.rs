@@ -9,12 +9,16 @@
 //!
 //! * [`proto`] — a newline-delimited JSON wire protocol (methods
 //!   `query_line` / `query_ray_up` / `query_ray_down` / `query_segment`
-//!   / `trace` / `stats` / `ping` / `shutdown`), reusing `segdb-obs`'s
+//!   / `trace` / `stats` / `ping` / `shutdown`, plus `insert` /
+//!   `delete` / `flush` on writable servers), reusing `segdb-obs`'s
 //!   in-repo JSON value type;
 //! * [`server`] — a bounded worker pool executing requests over one
 //!   `Arc<SegmentDatabase>` (the `Send + Sync` read path the sharded
-//!   page cache of `segdb-pager` provides), refusing work with an
-//!   explicit `overloaded` error instead of queueing without bound;
+//!   page cache of `segdb-pager` provides) or, via
+//!   [`Server::start_writable`], a `segdb-core` `WriteEngine` that adds
+//!   the WAL-durable write path and a background tombstone compactor;
+//!   either way refusing work with an explicit `overloaded` error
+//!   instead of queueing without bound;
 //! * [`load`] — a closed-loop load driver (the `segdb-load` binary)
 //!   that replays the benchmark workload generators over `K`
 //!   connections, verifies every answer against the scan oracle, and
@@ -26,7 +30,8 @@
 //!   an armed [`chaos::NetFaultPlan`];
 //! * [`client`] — a resilient reconnect-and-retry client with
 //!   per-attempt deadlines and bounded seeded-jitter backoff, safe for
-//!   the (idempotent) query surface;
+//!   the whole surface: queries mutate nothing and writes are
+//!   deduplicated server-side on the stamped request id;
 //! * [`lifecycle`] — request-lifecycle observability: per-mode stage
 //!   histograms (queue wait / index walk / reply write / total, pages
 //!   touched) surfaced in the `stats` reply, plus the bounded
@@ -48,6 +53,6 @@ pub mod proto;
 pub mod server;
 
 pub use chaos::{ChaosListener, ChaosStream, NetFaultHandle, NetFaultPlan};
-pub use client::{CallError, Client, ClientConfig, QueryReply};
+pub use client::{CallError, Client, ClientConfig, QueryReply, WriteReply};
 pub use lifecycle::{Lifecycle, RequestRecord, SlowLog};
 pub use server::{Server, ServerConfig};

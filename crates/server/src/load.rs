@@ -14,6 +14,15 @@
 //! direction — exactly what `segdb-cli gen … | segdb-cli build …`
 //! followed by `segdb-cli serve …` produces with the same parameters.
 //!
+//! With `--write-pct P`, `P` % of the slots become writes against a
+//! writable server — inserts of fresh segments above the set's bounding
+//! box and deletes of distinct stored segments, so the schedule
+//! **commutes**: any interleaving across connections reaches the same
+//! final set. In-flight verification is off in mixed runs; instead a
+//! post-run sweep checks collect queries against the **shadow model**
+//! (`base − acked deletes + acked inserts`) and the report carries
+//! per-op-kind latency histograms (query / insert / delete).
+//!
 //! Requests travel through the resilient [`Client`]: a transient
 //! failure (wire disruption, `overloaded`, `timeout`) is retried within
 //! the budget, and a request that still fails is *recorded and skipped*
@@ -31,8 +40,9 @@ use crate::proto::code;
 use segdb_core::QueryMode;
 use segdb_geom::gen::{vertical_queries, Family};
 use segdb_geom::query::scan_oracle;
-use segdb_geom::VerticalQuery;
+use segdb_geom::{Segment, VerticalQuery};
 use segdb_obs::{Histogram, Json};
+use segdb_rng::SmallRng;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::thread;
@@ -44,6 +54,19 @@ const QUERY_FRAC_PER_MILLE: u32 = 120;
 
 /// Seed perturbation separating the query stream from the segment set.
 const QUERY_SEED_SALT: u64 = 0x9E37_79B9;
+
+/// Seed perturbation for the write/query coin flips of a mixed run.
+const WRITE_SEED_SALT: u64 = 0x517C_C1B7_2722_0A95;
+
+/// Seed perturbation for the post-run verification sweep.
+const SWEEP_SEED_SALT: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// Verification queries swept after a mixed read/write run.
+const SWEEP_QUERIES: usize = 32;
+
+/// Id space for segments a mixed run inserts — far above anything the
+/// workload generators assign, so shadow-set bookkeeping is by id.
+const INSERT_ID_BASE: u64 = 1 << 40;
 
 /// Which query mode the load replays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +149,12 @@ pub struct LoadConfig {
     pub attempt_timeout: Duration,
     /// Query mode the requests run under (fixed or mixed).
     pub mode: ModeSpec,
+    /// Percentage (0–100) of requests that are writes; the server must
+    /// be writable when this is non-zero. Writes split evenly between
+    /// inserts of fresh segments and deletes of distinct stored ones,
+    /// so any interleaving across connections commutes to the same
+    /// final set — which the post-run shadow-model sweep verifies.
+    pub write_pct: u32,
 }
 
 impl Default for LoadConfig {
@@ -143,6 +172,7 @@ impl Default for LoadConfig {
             max_retries: 16,
             attempt_timeout: Duration::from_secs(2),
             mode: ModeSpec::default(),
+            write_pct: 0,
         }
     }
 }
@@ -150,6 +180,18 @@ impl Default for LoadConfig {
 /// Resolve a family by its short benchmark name (`mixed`, `grid`, …).
 pub fn parse_family(name: &str) -> Option<Family> {
     Family::ALL.into_iter().find(|f| f.name() == name)
+}
+
+/// What one prepared request does, and the payload run bookkeeping
+/// needs to reconstruct the shadow model afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// A read — one of the four generalized-segment query shapes.
+    Query,
+    /// Insert this (workload-fresh) segment.
+    Insert(Segment),
+    /// Delete this (distinct, stored) segment.
+    Delete(Segment),
 }
 
 /// One prepared request: the wire line, the oracle's answer and the
@@ -160,10 +202,13 @@ pub struct PreparedRequest {
     pub line: String,
     /// Sorted segment ids the full answer contains (mode-aware
     /// verification derives the expected count / existence / limit
-    /// prefix from it).
+    /// prefix from it). Empty for writes and for mixed read/write runs,
+    /// whose reads are verified by the post-run sweep instead.
     pub expected: Vec<u64>,
-    /// Mode the request runs under.
+    /// Mode the request runs under (queries only).
     pub mode: QueryMode,
+    /// Read or write, with the write payload.
+    pub kind: ReqKind,
 }
 
 /// Mode-aware answer check: collect wants the ids exactly; count wants
@@ -189,8 +234,38 @@ pub fn latency_histogram() -> Histogram {
     Histogram::latency_us()
 }
 
+/// Render one write request line; `id` is both the wire correlation id
+/// and the server-side idempotence key.
+fn write_request_line(id: u64, method: &str, seg: &Segment) -> String {
+    Json::obj([
+        ("id", Json::U64(id)),
+        ("method", Json::Str(method.to_string())),
+        (
+            "params",
+            Json::obj([
+                ("seg", Json::U64(seg.id)),
+                ("x1", Json::I64(seg.a.x)),
+                ("y1", Json::I64(seg.a.y)),
+                ("x2", Json::I64(seg.b.x)),
+                ("y2", Json::I64(seg.b.y)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
 /// Deterministically expand the config into the request stream, cycling
 /// through all four generalized-segment shapes, with oracle answers.
+///
+/// With `write_pct > 0`, a seeded coin turns that share of the slots
+/// into writes, split between inserts and deletes. The writes are built
+/// to **commute**: every insert is a fresh horizontal segment strictly
+/// above the base set's bounding box (distinct `y` per insert — nothing
+/// to cross), and every delete targets a distinct stored segment, so
+/// whatever order `K` connections land them in, the final set is the
+/// same shadow model the post-run sweep checks. In-flight query
+/// verification is off in mixed runs (answers legitimately depend on
+/// the interleaving); `expected` stays empty.
 pub fn build_requests(cfg: &LoadConfig) -> Vec<PreparedRequest> {
     let set = cfg.family.generate(cfg.n, cfg.seed);
     let queries = vertical_queries(
@@ -199,10 +274,47 @@ pub fn build_requests(cfg: &LoadConfig) -> Vec<PreparedRequest> {
         QUERY_FRAC_PER_MILLE,
         cfg.seed ^ QUERY_SEED_SALT,
     );
+    let write_pct = u64::from(cfg.write_pct.min(100));
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ WRITE_SEED_SALT);
+    let (mut x_lo, mut x_hi, mut y_top) = (i64::MAX, i64::MIN, i64::MIN);
+    for s in &set {
+        x_lo = x_lo.min(s.a.x);
+        x_hi = x_hi.max(s.b.x);
+        y_top = y_top.max(s.a.y).max(s.b.y);
+    }
+    if x_lo >= x_hi {
+        x_hi = x_lo + 1;
+    }
+    let mut fresh = 0u64;
+    let mut next_delete = 0usize;
     queries
         .iter()
         .enumerate()
         .map(|(i, q)| {
+            if write_pct > 0 && rng.gen_range(0..100) < write_pct {
+                let delete = rng.gen_range(0..2) == 0 && next_delete < set.len();
+                let (method, seg) = if delete {
+                    let seg = set[next_delete];
+                    next_delete += 1;
+                    ("delete", seg)
+                } else {
+                    fresh += 1;
+                    let y = y_top + fresh as i64;
+                    let seg = Segment::new(INSERT_ID_BASE + fresh, (x_lo, y), (x_hi, y))
+                        .expect("fresh insert segment above the bounding box is valid");
+                    ("insert", seg)
+                };
+                return PreparedRequest {
+                    line: write_request_line(i as u64, method, &seg),
+                    expected: Vec::new(),
+                    mode: QueryMode::Collect,
+                    kind: if delete {
+                        ReqKind::Delete(seg)
+                    } else {
+                        ReqKind::Insert(seg)
+                    },
+                };
+            }
             let VerticalQuery::Segment { x, lo, hi } = *q else {
                 unreachable!("vertical_queries yields bounded segments")
             };
@@ -241,12 +353,17 @@ pub fn build_requests(cfg: &LoadConfig) -> Vec<PreparedRequest> {
                 ("params", Json::Obj(fields)),
             ])
             .render();
-            let mut expected: Vec<u64> = scan_oracle(&set, &oracle).iter().map(|s| s.id).collect();
+            let mut expected: Vec<u64> = if write_pct > 0 {
+                Vec::new()
+            } else {
+                scan_oracle(&set, &oracle).iter().map(|s| s.id).collect()
+            };
             expected.sort_unstable();
             PreparedRequest {
                 line,
                 expected,
                 mode,
+                kind: ReqKind::Query,
             }
         })
         .collect()
@@ -286,6 +403,27 @@ pub struct LoadReport {
     /// Per-request round-trip latency in microseconds, all connections
     /// merged.
     pub latency: Histogram,
+    /// Round-trip latency of the queries alone (mixed runs).
+    pub query_latency: Histogram,
+    /// Round-trip latency of the inserts alone (mixed runs).
+    pub insert_latency: Histogram,
+    /// Round-trip latency of the deletes alone (mixed runs).
+    pub delete_latency: Histogram,
+    /// Writes the server acknowledged as applied.
+    pub write_acked: u64,
+    /// Write acks answered from the server's idempotence window — the
+    /// original reply was lost to a wire fault and this is its replay.
+    pub write_duplicates: u64,
+    /// Writes that failed terminally or exhausted their retry budget.
+    pub write_failed: u64,
+    /// Applied inserts, for the post-run shadow model.
+    pub acked_inserts: Vec<Segment>,
+    /// Applied deletes, for the post-run shadow model.
+    pub acked_deletes: Vec<Segment>,
+    /// Post-run sweep queries checked against the shadow model.
+    pub sweep_checked: u64,
+    /// Sweep queries whose answer disagreed with the shadow model.
+    pub sweep_wrong: u64,
     /// The server's own view of the run: counter deltas of the `stats`
     /// reply's `io`/`server` blocks (after − before), plus its
     /// cumulative `latency`/`pages` quantile blocks. `None` when either
@@ -310,6 +448,16 @@ impl LoadReport {
             trace_digest: 0,
             elapsed: Duration::ZERO,
             latency: latency_histogram(),
+            query_latency: latency_histogram(),
+            insert_latency: latency_histogram(),
+            delete_latency: latency_histogram(),
+            write_acked: 0,
+            write_duplicates: 0,
+            write_failed: 0,
+            acked_inserts: Vec::new(),
+            acked_deletes: Vec::new(),
+            sweep_checked: 0,
+            sweep_wrong: 0,
             server: None,
         }
     }
@@ -335,6 +483,16 @@ impl LoadReport {
         self.injected.trickles += t.injected.trickles;
         self.trace_digest ^= t.trace_digest;
         self.latency.merge(&t.latency);
+        self.query_latency.merge(&t.query_latency);
+        self.insert_latency.merge(&t.insert_latency);
+        self.delete_latency.merge(&t.delete_latency);
+        self.write_acked += t.write_acked;
+        self.write_duplicates += t.write_duplicates;
+        self.write_failed += t.write_failed;
+        self.acked_inserts.extend_from_slice(&t.acked_inserts);
+        self.acked_deletes.extend_from_slice(&t.acked_deletes);
+        self.sweep_checked += t.sweep_checked;
+        self.sweep_wrong += t.sweep_wrong;
     }
 
     /// Requests per second over the whole run.
@@ -349,13 +507,58 @@ impl LoadReport {
 
     /// The benchmark-report JSON written to `BENCH_serve.json`.
     pub fn to_json(&self, cfg: &LoadConfig) -> Json {
-        Json::obj([
+        let quantiles = |h: &Histogram| {
+            Json::obj([
+                ("p50", Json::U64(h.quantile_bound(0.50))),
+                ("p95", Json::U64(h.quantile_bound(0.95))),
+                ("p99", Json::U64(h.quantile_bound(0.99))),
+                ("mean", Json::F64(h.mean())),
+                ("max", Json::U64(h.max())),
+            ])
+        };
+        // The write blocks appear only on mixed runs, so the bench gate
+        // can require them on both sides of a write-vs-write diff and
+        // skip them on read-only diffs.
+        let mut writes = Vec::new();
+        if cfg.write_pct > 0 {
+            let mut merged = latency_histogram();
+            merged.merge(&self.insert_latency);
+            merged.merge(&self.delete_latency);
+            writes.push((
+                "writes".to_string(),
+                Json::obj([
+                    ("write_pct", Json::U64(u64::from(cfg.write_pct))),
+                    ("acked", Json::U64(self.write_acked)),
+                    ("duplicates", Json::U64(self.write_duplicates)),
+                    ("failed", Json::U64(self.write_failed)),
+                    ("acked_inserts", Json::U64(self.acked_inserts.len() as u64)),
+                    ("acked_deletes", Json::U64(self.acked_deletes.len() as u64)),
+                    ("sweep_checked", Json::U64(self.sweep_checked)),
+                    ("sweep_wrong", Json::U64(self.sweep_wrong)),
+                ]),
+            ));
+            writes.push(("write_latency_us".to_string(), quantiles(&merged)));
+            writes.push((
+                "query_latency_us".to_string(),
+                quantiles(&self.query_latency),
+            ));
+            writes.push((
+                "insert_latency_us".to_string(),
+                quantiles(&self.insert_latency),
+            ));
+            writes.push((
+                "delete_latency_us".to_string(),
+                quantiles(&self.delete_latency),
+            ));
+        }
+        let mut doc = Json::obj([
             ("experiment", Json::Str("serve".to_string())),
             ("family", Json::Str(cfg.family.name().to_string())),
             ("segments", Json::U64(cfg.n as u64)),
             ("seed", Json::U64(cfg.seed)),
             ("connections", Json::U64(cfg.connections as u64)),
             ("mode", Json::Str(cfg.mode.name())),
+            ("write_pct", Json::U64(u64::from(cfg.write_pct))),
             ("verify", Json::Bool(cfg.verify)),
             ("requests", Json::U64(self.sent)),
             ("ok", Json::U64(self.ok)),
@@ -397,7 +600,14 @@ impl LoadReport {
                 ]),
             ),
             ("server", self.server.clone().unwrap_or(Json::Null)),
-        ])
+        ]);
+        if let Json::Obj(fields) = &mut doc {
+            // Splice the write blocks in before the trailing `server`
+            // snapshot so related top-level metrics stay adjacent.
+            let at = fields.len() - 1;
+            fields.splice(at..at, writes);
+        }
+        doc
     }
 }
 
@@ -471,36 +681,61 @@ fn run_connection(
         let outcome = client.call_line(&request.line);
         let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
         tally.latency.observe(us);
+        match request.kind {
+            ReqKind::Query => tally.query_latency.observe(us),
+            ReqKind::Insert(_) => tally.insert_latency.observe(us),
+            ReqKind::Delete(_) => tally.delete_latency.observe(us),
+        }
         tally.sent += 1;
         match outcome {
             Ok(result) => {
                 tally.ok += 1;
-                if verify {
-                    let got: Option<Vec<u64>> = result.get("ids").and_then(Json::as_arr).map(|a| {
-                        a.iter()
-                            .filter_map(|x| match *x {
-                                Json::U64(u) => Some(u),
-                                _ => None,
-                            })
-                            .collect()
-                    });
-                    let count = result.get("count").and_then(|c| match *c {
-                        Json::U64(u) => Some(u),
-                        _ => None,
-                    });
-                    let correct = match (got, count) {
-                        (Some(ids), Some(count)) => {
-                            verify_reply(request.mode, &ids, count, &request.expected)
+                match request.kind {
+                    ReqKind::Query if verify => {
+                        let got: Option<Vec<u64>> =
+                            result.get("ids").and_then(Json::as_arr).map(|a| {
+                                a.iter()
+                                    .filter_map(|x| match *x {
+                                        Json::U64(u) => Some(u),
+                                        _ => None,
+                                    })
+                                    .collect()
+                            });
+                        let count = result.get("count").and_then(|c| match *c {
+                            Json::U64(u) => Some(u),
+                            _ => None,
+                        });
+                        let correct = match (got, count) {
+                            (Some(ids), Some(count)) => {
+                                verify_reply(request.mode, &ids, count, &request.expected)
+                            }
+                            _ => false,
+                        };
+                        if !correct {
+                            tally.wrong += 1;
                         }
-                        _ => false,
-                    };
-                    if !correct {
-                        tally.wrong += 1;
+                    }
+                    ReqKind::Query => {}
+                    ReqKind::Insert(seg) | ReqKind::Delete(seg) => {
+                        let applied = result.get("applied") == Some(&Json::Bool(true));
+                        if result.get("duplicate") == Some(&Json::Bool(true)) {
+                            tally.write_duplicates += 1;
+                        }
+                        if applied {
+                            tally.write_acked += 1;
+                            match request.kind {
+                                ReqKind::Insert(_) => tally.acked_inserts.push(seg),
+                                _ => tally.acked_deletes.push(seg),
+                            }
+                        }
                     }
                 }
             }
             Err(e) => {
                 tally.errors += 1;
+                if !matches!(request.kind, ReqKind::Query) {
+                    tally.write_failed += 1;
+                }
                 match e.code() {
                     code::OVERLOADED => tally.overloaded += 1,
                     code::TIMEOUT => tally.timeouts += 1,
@@ -519,6 +754,63 @@ fn run_connection(
         tally.trace_digest = handle.digest();
     }
     tally
+}
+
+/// Post-run verification for mixed read/write runs, against the
+/// **shadow model**: because the schedule's writes commute, the served
+/// set must now equal `base − acked deletes + acked inserts` no matter
+/// how the connections' writes interleaved. Flushes (so every acked
+/// write is also durable), then sweeps [`SWEEP_QUERIES`] collect-mode
+/// queries and compares each answer with the scan oracle over the
+/// shadow set.
+fn sweep_shadow(cfg: &LoadConfig, report: &mut LoadReport) {
+    let mut shadow = cfg.family.generate(cfg.n, cfg.seed);
+    let dead: std::collections::HashSet<u64> = report.acked_deletes.iter().map(|s| s.id).collect();
+    shadow.retain(|s| !dead.contains(&s.id));
+    shadow.extend_from_slice(&report.acked_inserts);
+    let sweeps = vertical_queries(
+        &shadow,
+        SWEEP_QUERIES,
+        QUERY_FRAC_PER_MILLE,
+        cfg.seed ^ SWEEP_SEED_SALT,
+    );
+    let mut client = Client::new(ClientConfig {
+        addr: cfg.addr.clone(),
+        attempt_timeout: cfg.attempt_timeout,
+        max_retries: cfg.max_retries,
+        ..ClientConfig::default()
+    });
+    let _ = client.flush();
+    for (i, q) in sweeps.iter().enumerate() {
+        let VerticalQuery::Segment { x, lo, hi } = *q else {
+            unreachable!("vertical_queries yields bounded segments")
+        };
+        let (method, params, oracle): (_, Vec<(&str, i64)>, _) = match i % 4 {
+            0 => ("query_line", vec![("x", x)], VerticalQuery::Line { x }),
+            1 => (
+                "query_ray_up",
+                vec![("x", x), ("y", lo)],
+                VerticalQuery::RayUp { x, y0: lo },
+            ),
+            2 => (
+                "query_ray_down",
+                vec![("x", x), ("y", hi)],
+                VerticalQuery::RayDown { x, y0: hi },
+            ),
+            _ => (
+                "query_segment",
+                vec![("x1", x), ("y1", lo), ("x2", x), ("y2", hi)],
+                VerticalQuery::Segment { x, lo, hi },
+            ),
+        };
+        let mut expect: Vec<u64> = scan_oracle(&shadow, &oracle).iter().map(|s| s.id).collect();
+        expect.sort_unstable();
+        report.sweep_checked += 1;
+        match client.query_ids(method, &params) {
+            Ok(ids) if ids == expect => {}
+            _ => report.sweep_wrong += 1,
+        }
+    }
 }
 
 /// Connect once and ask the server to shut down gracefully.
@@ -575,7 +867,9 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
                 });
                 handle
             });
-            let verify = cfg.verify;
+            // In-flight answers are nondeterministic while writes
+            // interleave; mixed runs verify via the post-run sweep.
+            let verify = cfg.verify && cfg.write_pct == 0;
             thread::spawn(move || run_connection(client_cfg, chaos, &mine, verify))
         })
         .collect();
@@ -587,6 +881,9 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         report.fold(&tally);
     }
     report.elapsed = t0.elapsed();
+    if cfg.write_pct > 0 && cfg.verify {
+        sweep_shadow(cfg, &mut report);
+    }
     report.server = match (&stats_before, probe_stats(cfg)) {
         (Some(before), Some(after)) => Some(server_block(before, &after)),
         _ => None,

@@ -13,8 +13,16 @@
 //! ([`segdb_obs::json`]) — the protocol adds no external dependency.
 //! Coordinates are the user frame (the facade shears them); `id` is an
 //! optional client-chosen correlation number echoed back verbatim.
+//!
+//! Write methods (`insert`, `delete`, `flush`) are served only when the
+//! database was opened writable (a WAL is attached); a read-only server
+//! answers them with `read_only`. For `insert`/`delete` the correlation
+//! `id` is **mandatory** — it is the idempotence key: a retried request
+//! with the same id is answered from the stored acknowledgement, so a
+//! client that lost a response can safely replay the exact line.
 
 use segdb_core::QueryMode;
+use segdb_geom::Segment;
 use segdb_obs::json::{self, Json};
 
 /// Machine-readable error codes carried in `error.code`.
@@ -36,6 +44,8 @@ pub mod code {
     pub const IO: &str = "io_error";
     /// The server is shutting down and accepts no further work.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The database is served read-only; write methods are refused.
+    pub const READ_ONLY: &str = "read_only";
 }
 
 /// A generalized-segment query shape, in user coordinates (§1 of the
@@ -94,6 +104,16 @@ pub enum Method {
     Ping,
     /// Stop the server gracefully after replying.
     Shutdown,
+    /// Insert one segment (user coordinates). The request's `id` is
+    /// mandatory and doubles as the idempotence key: a retry carrying
+    /// the same id is answered from the stored acknowledgement instead
+    /// of being applied twice.
+    Insert(Segment),
+    /// Delete one segment (exact id + geometry match); same mandatory
+    /// idempotent `id` as `insert`.
+    Delete(Segment),
+    /// Durability barrier: group-commit the WAL tail before replying.
+    Flush,
 }
 
 /// A decoded request line.
@@ -185,6 +205,23 @@ fn parse_shape(name: &str, params: &Json) -> Result<QueryShape, String> {
     }
 }
 
+/// Parse the segment a write method carries: integer `seg` (the
+/// segment id) plus endpoint coordinates, all in the user frame.
+fn parse_segment(params: &Json) -> Result<Segment, String> {
+    let int = |k: &str| -> Result<i64, String> {
+        params
+            .get(k)
+            .and_then(as_i64)
+            .ok_or_else(|| format!("missing integer field `{k}`"))
+    };
+    let seg_id = params
+        .get("seg")
+        .and_then(as_u64)
+        .ok_or("missing integer field `seg` (the segment id)")?;
+    Segment::new(seg_id, (int("x1")?, int("y1")?), (int("x2")?, int("y2")?))
+        .map_err(|e| format!("invalid segment: {e}"))
+}
+
 /// Parse the optional `"mode"` param (`"limit"` needs an integer
 /// `"limit"` alongside). Absent means [`QueryMode::Collect`] — older
 /// clients keep working unchanged.
@@ -225,6 +262,23 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "stats" => Method::Stats,
         "slowlog" => Method::SlowLog,
         "shutdown" => Method::Shutdown,
+        "flush" => Method::Flush,
+        "insert" | "delete" => {
+            // Writes are only idempotent across retries when the client
+            // names them: the correlation id is the idempotence key.
+            if id.is_none() {
+                return Err(ProtoError::bad(
+                    id,
+                    format!("{method} needs a numeric `id` (the idempotent retry key)"),
+                ));
+            }
+            let seg = parse_segment(params).map_err(|m| ProtoError::bad(id, m))?;
+            if method == "insert" {
+                Method::Insert(seg)
+            } else {
+                Method::Delete(seg)
+            }
+        }
         "trace" => {
             let Some(shape) = params.get("shape").and_then(Json::as_str) else {
                 return Err(ProtoError::bad(id, "trace needs a string field `shape`"));
@@ -320,10 +374,43 @@ mod tests {
             ("stats", Method::Stats),
             ("slowlog", Method::SlowLog),
             ("shutdown", Method::Shutdown),
+            ("flush", Method::Flush),
         ] {
             let r = parse_request(&format!(r#"{{"method":"{m}"}}"#)).unwrap();
             assert_eq!(r.method, want);
         }
+    }
+
+    #[test]
+    fn parses_write_methods() {
+        let seg = Segment::new(9, (1, 2), (3, 2)).unwrap();
+        let r = parse_request(
+            r#"{"id":5,"method":"insert","params":{"seg":9,"x1":1,"y1":2,"x2":3,"y2":2}}"#,
+        )
+        .unwrap();
+        assert_eq!((r.id, r.method), (Some(5), Method::Insert(seg)));
+        let r = parse_request(
+            r#"{"id":6,"method":"delete","params":{"seg":9,"x1":1,"y1":2,"x2":3,"y2":2}}"#,
+        )
+        .unwrap();
+        assert_eq!((r.id, r.method), (Some(6), Method::Delete(seg)));
+        // A write without a correlation id cannot be retried safely, so
+        // the protocol refuses it outright.
+        let e =
+            parse_request(r#"{"method":"insert","params":{"seg":9,"x1":1,"y1":2,"x2":3,"y2":2}}"#)
+                .unwrap_err();
+        assert_eq!(e.code, code::BAD_REQUEST);
+        assert!(e.message.contains("idempotent"), "{}", e.message);
+        // Missing coordinates and degenerate geometry are bad requests.
+        let e =
+            parse_request(r#"{"id":7,"method":"insert","params":{"seg":9,"x1":1}}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(7), code::BAD_REQUEST));
+        let e = parse_request(
+            r#"{"id":8,"method":"insert","params":{"seg":9,"x1":1,"y1":2,"x2":1,"y2":2}}"#,
+        )
+        .unwrap_err();
+        assert_eq!((e.id, e.code), (Some(8), code::BAD_REQUEST));
+        assert!(e.message.contains("invalid segment"), "{}", e.message);
     }
 
     #[test]

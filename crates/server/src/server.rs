@@ -8,8 +8,14 @@
 //!   ([`crate::proto`]) with a hard line-length bound and a 250 ms read
 //!   timeout (so it notices shutdown without data);
 //! * a fixed pool of **workers** executes queued jobs against the shared
-//!   [`SegmentDatabase`] — the `Send + Sync` read path the sharded page
-//!   cache provides.
+//!   backend — a read-only [`SegmentDatabase`] (the `Send + Sync` read
+//!   path the sharded page cache provides) or a [`WriteEngine`]
+//!   ([`Server::start_writable`]) that additionally serves the `insert`
+//!   / `delete` / `flush` write methods and merges the delta overlay
+//!   into every query;
+//! * on a writable server with [`ServerConfig::compact_min_tombs`] set,
+//!   one **compactor** thread folds lazy-delete tombstones back into
+//!   the index in the background (DESIGN.md §13).
 //!
 //! Overload policy is refuse-fast: the job queue is bounded and a full
 //! queue answers `overloaded` immediately instead of queueing without
@@ -46,7 +52,9 @@ use crate::chaos::NetFaultHandle;
 use crate::lifecycle::{Lifecycle, RequestRecord};
 use crate::proto::{self, code, Method, QueryShape, Request};
 use segdb_core::report::ids;
-use segdb_core::{DbError, QueryAnswer, QueryMode, QueryTrace, SegmentDatabase};
+use segdb_core::{
+    DbError, QueryAnswer, QueryMode, QueryTrace, SegmentDatabase, WriteAck, WriteEngine,
+};
 use segdb_geom::Segment;
 use segdb_obs::{Json, StageTimer, TraceSummary};
 use std::collections::VecDeque;
@@ -95,6 +103,13 @@ pub struct ServerConfig {
     /// Optional wire-fault schedule applied at accept time (the
     /// torture harness arms it; production leaves it `None`).
     pub chaos: Option<NetFaultHandle>,
+    /// Background tombstone compaction (writable servers only): run a
+    /// compaction pass whenever the index holds at least this many
+    /// tombstones. `0` disables the background thread.
+    pub compact_min_tombs: u64,
+    /// How often the background compaction thread re-checks the
+    /// tombstone count.
+    pub compact_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +127,72 @@ impl Default for ServerConfig {
             slowlog_entries: 32,
             slowlog_threshold: Duration::ZERO,
             chaos: None,
+            compact_min_tombs: 0,
+            compact_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What the server executes requests against: a read-only database
+/// snapshot, or a [`WriteEngine`] that additionally accepts the write
+/// methods and merges the delta overlay into every query.
+enum Backend {
+    /// Queries go straight at the shared database; writes answer
+    /// `read_only`.
+    ReadOnly(Arc<SegmentDatabase>),
+    /// Queries and writes go through the write engine (snapshot reads
+    /// under its epoch lock).
+    Writable(Arc<WriteEngine>),
+}
+
+impl Backend {
+    /// Run `f` against the current database snapshot.
+    fn with_db<R>(&self, f: impl FnOnce(&SegmentDatabase) -> R) -> R {
+        match self {
+            Backend::ReadOnly(db) => f(db),
+            Backend::Writable(eng) => eng.with_db(f),
+        }
+    }
+
+    /// The engine, when the server is writable.
+    fn engine(&self) -> Option<&Arc<WriteEngine>> {
+        match self {
+            Backend::ReadOnly(_) => None,
+            Backend::Writable(eng) => Some(eng),
+        }
+    }
+
+    /// Run one query shape in collect mode, materializing the segments
+    /// (the `trace` wire method's walk).
+    fn trace_collect(&self, shape: QueryShape) -> Result<(Vec<Segment>, QueryTrace), DbError> {
+        match self {
+            Backend::ReadOnly(db) => run_shape(db, shape),
+            Backend::Writable(_) => {
+                let (answer, trace) = self.query(shape, QueryMode::Collect)?;
+                match answer {
+                    QueryAnswer::Segments(hits) => Ok((hits, trace)),
+                    _ => unreachable!("collect-mode answers carry segments"),
+                }
+            }
+        }
+    }
+
+    /// Run one query shape under a mode (delta-merged when writable).
+    fn query(
+        &self,
+        shape: QueryShape,
+        mode: QueryMode,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        match self {
+            Backend::ReadOnly(db) => run_shape_mode(db, shape, mode),
+            Backend::Writable(eng) => match shape {
+                QueryShape::Line { x, y } => eng.query_line_mode((x, y), mode),
+                QueryShape::RayUp { x, y } => eng.query_ray_up_mode((x, y), mode),
+                QueryShape::RayDown { x, y } => eng.query_ray_down_mode((x, y), mode),
+                QueryShape::Segment { x1, y1, x2, y2 } => {
+                    eng.query_segment_mode((x1, y1), (x2, y2), mode)
+                }
+            },
         }
     }
 }
@@ -242,7 +323,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 struct Shared {
-    db: Arc<SegmentDatabase>,
+    backend: Backend,
     queue: Mutex<VecDeque<Job>>,
     not_empty: Condvar,
     stop: AtomicBool,
@@ -288,11 +369,13 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind, spawn the worker pool and the acceptor, and start serving
-    /// `db` — which the caller may keep querying concurrently.
+    /// `db` read-only — which the caller may keep querying concurrently.
+    /// Write methods answer `read_only`; see [`Server::start_writable`].
     pub fn start(db: Arc<SegmentDatabase>, cfg: ServerConfig) -> io::Result<Server> {
         // Enter serving with a clean buffer pool: build() already cleans,
         // but an offline mutation (insert/remove through `&mut` before
@@ -302,10 +385,26 @@ impl Server {
         db.pager()
             .clean_pool()
             .map_err(|e| io::Error::other(e.to_string()))?;
+        Server::start_backend(Backend::ReadOnly(db), cfg)
+    }
+
+    /// Bind and serve a [`WriteEngine`]: queries merge the delta
+    /// overlay, and the `insert` / `delete` / `flush` wire methods are
+    /// live. With [`ServerConfig::compact_min_tombs`] `> 0` a background
+    /// thread folds lazy-delete tombstones back into the index whenever
+    /// their count reaches the threshold.
+    pub fn start_writable(engine: Arc<WriteEngine>, cfg: ServerConfig) -> io::Result<Server> {
+        engine
+            .with_db(|db| db.pager().clean_pool())
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        Server::start_backend(Backend::Writable(engine), cfg)
+    }
+
+    fn start_backend(backend: Backend, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            db,
+            backend,
             queue: Mutex::new(VecDeque::new()),
             not_empty: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -341,10 +440,24 @@ impl Server {
                 .name("segdb-acceptor".to_string())
                 .spawn(move || accept_loop(&listener, &shared))?
         };
+        let compactor = match (shared.backend.engine(), cfg.compact_min_tombs) {
+            (Some(engine), min_tombs) if min_tombs > 0 => {
+                let engine = Arc::clone(engine);
+                let shared = Arc::clone(&shared);
+                let interval = cfg.compact_interval;
+                Some(
+                    thread::Builder::new()
+                        .name("segdb-compactor".to_string())
+                        .spawn(move || compact_loop(&shared, &engine, min_tombs, interval))?,
+                )
+            }
+            _ => None,
+        };
         Ok(Server {
             shared,
             acceptor,
             workers,
+            compactor,
         })
     }
 
@@ -366,6 +479,9 @@ impl Server {
         let _ = self.acceptor.join();
         for w in self.workers {
             let _ = w.join();
+        }
+        if let Some(c) = self.compactor {
+            let _ = c.join();
         }
         // Connection readers are detached and poll the stop flag every
         // READ_POLL; bound the drain so a wedged peer cannot wedge us.
@@ -458,6 +574,28 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if spawned.is_err() {
             // The closure never ran; undo its registry slot.
             connection_exited(shared);
+        }
+    }
+}
+
+/// The background tombstone janitor: every `interval`, if the index
+/// holds at least `min_tombs` lazy-delete tombstones, fold the delta
+/// and rebuild the live set ([`WriteEngine::compact`]), restoring the
+/// count-mode fast paths to their tombstone-free cost. Errors are
+/// swallowed — a transient storage fault must not kill the thread; the
+/// next tick retries.
+fn compact_loop(shared: &Shared, engine: &WriteEngine, min_tombs: u64, interval: Duration) {
+    let step = READ_POLL.min(interval.max(Duration::from_millis(1)));
+    let mut since_check = Duration::ZERO;
+    while !shared.stopping() {
+        thread::sleep(step);
+        since_check += step;
+        if since_check < interval {
+            continue;
+        }
+        since_check = Duration::ZERO;
+        if engine.with_db(|db| db.tomb_count()) >= min_tombs {
+            let _ = engine.compact();
         }
     }
 }
@@ -836,9 +974,46 @@ fn shape_op(shape: QueryShape) -> &'static str {
     }
 }
 
+/// Render a write acknowledgement as the response `result`.
+fn ack_json(ack: &WriteAck) -> Json {
+    Json::obj([
+        ("seq", Json::U64(ack.seq)),
+        ("applied", Json::Bool(ack.applied)),
+        ("duplicate", Json::Bool(ack.duplicate)),
+    ])
+}
+
+/// Execute one write method against the engine (the `read_only` refusal
+/// happens in the caller). `op` names the method for the lifecycle
+/// histograms.
+fn execute_write(
+    shared: &Shared,
+    engine: &WriteEngine,
+    id: Option<u64>,
+    op: &'static str,
+    run: impl FnOnce(&WriteEngine) -> Result<WriteAck, DbError>,
+) -> (String, Option<ExecInfo>) {
+    match run(engine) {
+        Ok(ack) => {
+            ServerStats::bump(&shared.stats.ok);
+            let info = ExecInfo {
+                op,
+                mode: op,
+                pages: 0,
+                hits: u64::from(ack.applied),
+            };
+            (proto::ok_line(id, ack_json(&ack)), Some(info))
+        }
+        Err(e) => {
+            ServerStats::bump(&shared.stats.errors);
+            (proto::err_line(id, db_code(&e), &e.to_string()), None)
+        }
+    }
+}
+
 fn execute(shared: &Shared, id: Option<u64>, method: Method) -> (String, Option<ExecInfo>) {
     match method {
-        Method::Query(shape, mode) => match run_shape_mode(&shared.db, shape, mode) {
+        Method::Query(shape, mode) => match shared.backend.query(shape, mode) {
             Ok((answer, trace)) => {
                 ServerStats::bump(&shared.stats.ok);
                 let info = ExecInfo {
@@ -857,9 +1032,50 @@ fn execute(shared: &Shared, id: Option<u64>, method: Method) -> (String, Option<
                 (proto::err_line(id, db_code(&e), &e.to_string()), None)
             }
         },
+        Method::Insert(seg) | Method::Delete(seg) => {
+            let Some(engine) = shared.backend.engine() else {
+                ServerStats::bump(&shared.stats.errors);
+                return (
+                    proto::err_line(
+                        id,
+                        code::READ_ONLY,
+                        "database is served read-only; start the server with a WAL to write",
+                    ),
+                    None,
+                );
+            };
+            // The protocol guarantees writes carry a correlation id —
+            // it doubles as the idempotence key.
+            let key = id.unwrap_or(0);
+            match method {
+                Method::Insert(_) => {
+                    execute_write(shared, engine, id, "insert", |e| e.insert(key, seg))
+                }
+                _ => execute_write(shared, engine, id, "delete", |e| e.delete(key, seg)),
+            }
+        }
+        Method::Flush => {
+            let Some(engine) = shared.backend.engine() else {
+                ServerStats::bump(&shared.stats.errors);
+                return (
+                    proto::err_line(id, code::READ_ONLY, "database is served read-only"),
+                    None,
+                );
+            };
+            match engine.flush() {
+                Ok(()) => {
+                    ServerStats::bump(&shared.stats.ok);
+                    (proto::ok_line(id, Json::Bool(true)), None)
+                }
+                Err(e) => {
+                    ServerStats::bump(&shared.stats.errors);
+                    (proto::err_line(id, db_code(&e), &e.to_string()), None)
+                }
+            }
+        }
         Method::Trace(shape) => {
             segdb_obs::trace::clear();
-            let result = segdb_obs::trace::with_tracing(|| run_shape(&shared.db, shape));
+            let result = segdb_obs::trace::with_tracing(|| shared.backend.trace_collect(shape));
             let (events, dropped) = segdb_obs::trace::drain();
             match result {
                 Ok((hits, trace)) => {
@@ -897,15 +1113,51 @@ fn execute(shared: &Shared, id: Option<u64>, method: Method) -> (String, Option<
     }
 }
 
+/// The `writer` stats block of a writable server: WAL lifetime
+/// counters, the live delta size and the engine's epoch/compaction
+/// tallies. `Json::Null` for a read-only server.
+fn writer_json(shared: &Shared) -> Json {
+    let Some(engine) = shared.backend.engine() else {
+        return Json::Null;
+    };
+    let (wal, delta_size) = engine.wal_stats();
+    let c = engine.counters();
+    let get = |a: &AtomicU64| Json::U64(a.load(Ordering::Relaxed));
+    let (tombs, wal_seq) = engine.with_db(|db| (db.tomb_count(), db.wal_seq()));
+    Json::obj([
+        ("wal_bytes", Json::U64(wal.bytes)),
+        ("wal_records", Json::U64(wal.records)),
+        ("wal_resets", Json::U64(wal.resets)),
+        ("group_commits", Json::U64(wal.group_commits)),
+        ("delta_size", Json::U64(delta_size as u64)),
+        ("inserts", get(&c.inserts)),
+        ("deletes", get(&c.deletes)),
+        ("delete_misses", get(&c.delete_misses)),
+        ("duplicates", get(&c.duplicates)),
+        ("rebuilds", get(&c.rebuilds)),
+        ("compactions", get(&c.compactions)),
+        ("epoch", get(&c.epoch)),
+        ("tombstones", Json::U64(tombs)),
+        ("wal_seq", Json::U64(wal_seq)),
+    ])
+}
+
 fn stats_json(shared: &Shared) -> Json {
-    let db = &shared.db;
-    let io = db.pager().stats();
+    let (segments, index, space_blocks, io, metrics) = shared.backend.with_db(|db| {
+        (
+            db.len(),
+            format!("{:?}", db.kind()),
+            db.space_blocks() as u64,
+            db.pager().stats(),
+            db.metrics_json().unwrap_or(Json::Null),
+        )
+    });
     let s = &shared.stats;
     let get = |c: &AtomicU64| Json::U64(c.load(Ordering::Relaxed));
     Json::obj([
-        ("segments", Json::U64(db.len())),
-        ("index", Json::Str(format!("{:?}", db.kind()))),
-        ("space_blocks", Json::U64(db.space_blocks() as u64)),
+        ("segments", Json::U64(segments)),
+        ("index", Json::Str(index)),
+        ("space_blocks", Json::U64(space_blocks)),
         (
             "io",
             Json::obj([
@@ -916,6 +1168,7 @@ fn stats_json(shared: &Shared) -> Json {
                 ("frees", Json::U64(io.frees)),
             ]),
         ),
+        ("writer", writer_json(shared)),
         (
             "server",
             Json::obj([
@@ -944,7 +1197,7 @@ fn stats_json(shared: &Shared) -> Json {
         ),
         ("faults", segdb_obs::faults::totals().snapshot().to_json()),
         ("net", segdb_obs::net::totals().snapshot().to_json()),
-        ("metrics", db.metrics_json().unwrap_or(Json::Null)),
+        ("metrics", metrics),
     ])
 }
 

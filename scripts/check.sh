@@ -61,10 +61,20 @@ grep -q '"dropped_events":' "$SMOKE/lifecycle-stats.json" || {
 "$CLI" slowlog --remote "$ADDR" > "$SMOKE/slowlog.json"
 IDS=$(grep -o '"id":[0-9]*' "$SMOKE/slowlog.json" | cut -d: -f2)
 [ -n "$IDS" ] || { echo "slowlog is empty after the load"; exit 1; }
+# The load stamps ids from base 0 (so < REQS); CLI invocations stamp
+# from a derived per-invocation base shifted left 16 bits. Anything
+# else in the slowlog is a stray.
+SAW_LOAD_ID=0
 for id in $IDS; do
-    [ "$id" -lt "$REQS" ] || {
-        echo "slowlog id $id outside the load's id range"; exit 1; }
+    if [ "$id" -lt "$REQS" ]; then
+        SAW_LOAD_ID=1
+    elif [ "$id" -lt 65536 ]; then
+        echo "slowlog id $id matches neither the load nor a CLI base"
+        exit 1
+    fi
 done
+[ "$SAW_LOAD_ID" -eq 1 ] || {
+    echo "slowlog captured none of the load's requests"; exit 1; }
 # The bench gate: a report is a fixed point of itself, and an injected
 # p99 blow-up past the threshold must fail the comparison.
 cp "$SMOKE/BENCH_serve.json" "$SMOKE/bench-baseline.json"
@@ -113,6 +123,63 @@ grep -q '"write_drops":' "$SMOKE/remote-stats.json" || {
     echo "remote stats carry no hardening counters"; exit 1; }
 SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21 \
     --connections 1 --requests 1 --shutdown > /dev/null
+wait "$SERVE_PID"
+
+echo "==> write-path smoke (insert over the wire, kill -9, WAL replay)"
+"$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 \
+    --wal "$SMOKE/map.wal" > "$SMOKE/serve3.out" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 40); do
+    ADDR=$(sed -n 's/^listening on //p' "$SMOKE/serve3.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$ADDR" ] || { echo "writable server never reported its address"; exit 1; }
+# Insert a fresh segment; a line query through it must see it at once.
+"$CLI" insert --remote "$ADDR" 9001 64 70000 512 70000 > "$SMOKE/insert.out"
+grep -q '^inserted #9001 ' "$SMOKE/insert.out" || {
+    echo "remote insert not acknowledged: $(cat "$SMOKE/insert.out")"; exit 1; }
+"$CLI" query --remote "$ADDR" line 100 | grep -qx '9001' || {
+    echo "inserted segment invisible to a served query"; exit 1; }
+# Power cut: the ack was durable, so a restart on the same WAL must
+# replay it even though no fold/save ever ran.
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+"$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 \
+    --wal "$SMOKE/map.wal" > "$SMOKE/serve4.out" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 40); do
+    ADDR=$(sed -n 's/^listening on //p' "$SMOKE/serve4.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$ADDR" ] || { echo "restarted server never reported its address"; exit 1; }
+grep -q '^wal replayed [1-9]' "$SMOKE/serve4.out" || {
+    echo "restart replayed nothing: $(cat "$SMOKE/serve4.out")"; exit 1; }
+"$CLI" query --remote "$ADDR" line 100 | grep -qx '9001' || {
+    echo "insert lost across kill -9 + WAL replay"; exit 1; }
+"$CLI" stats --remote "$ADDR" > "$SMOKE/writer-stats.json"
+grep -q '"writer":{' "$SMOKE/writer-stats.json" || {
+    echo "writable server stats carry no writer block"; exit 1; }
+# Remove the probe segment so the database matches the load driver's
+# shadow model again.
+"$CLI" remove --remote "$ADDR" 9001 64 70000 512 70000 | grep -q '^removed #9001 ' || {
+    echo "remote remove not acknowledged"; exit 1; }
+# Mixed read/write load with shadow-model verification, and the bench
+# gate must refuse to diff a write run against a read-only baseline.
+SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21 \
+    --connections 2 --requests 60 --write-pct 30 > /dev/null
+grep -q '"sweep_wrong":0' "$SMOKE/BENCH_serve.json" || {
+    echo "write sweep found a shadow-model mismatch"; exit 1; }
+grep -q '"write_latency_us":{' "$SMOKE/BENCH_serve.json" || {
+    echo "write run carries no write latency histogram"; exit 1; }
+if scripts/bench_diff "$SMOKE/bench-baseline.json" "$SMOKE/BENCH_serve.json" \
+    > /dev/null 2>&1; then
+    echo "bench_diff diffed a write run against a read-only baseline"; exit 1
+fi
+SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21 \
+    --connections 1 --requests 1 --no-verify --shutdown > /dev/null
 wait "$SERVE_PID"
 
 echo "==> seeded crash-recovery smoke (torture sweep, replayed twice)"

@@ -44,5 +44,6 @@ pub use segdb_itree as itree;
 pub use segdb_obs as obs;
 pub use segdb_pager as pager;
 pub use segdb_pst as pst;
+pub use segdb_wal as wal;
 
 pub use segdb_pager::{IoStats, Pager, PagerConfig};

@@ -1,0 +1,331 @@
+//! Write-path end-to-end: `insert` / `delete` / `flush` over the wire
+//! through the resilient client, read-only refusals, idempotent retry
+//! semantics under injected wire faults, writer metrics in the `stats`
+//! reply, and background tombstone compaction.
+//!
+//! The chaos test shares the process-global `segdb_obs::net` counters
+//! with nothing else in this binary, so no cross-test gate is needed —
+//! each test asserts only state it created itself.
+
+use segdb::core::{IndexKind, SegmentDatabase, WriteEngine, WriterConfig};
+use segdb::geom::Segment;
+use segdb::obs::Json;
+use segdb::pager::Disk;
+use segdb_server::chaos::{NetFaultHandle, NetFaultPlan};
+use segdb_server::client::{Client, ClientConfig};
+use segdb_server::{Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A horizontal segment spanning x ∈ [0, 1000] at height `y`.
+fn hseg(id: u64, y: i64) -> Segment {
+    Segment::new(id, (0, y), (1000, y)).unwrap()
+}
+
+/// A writable server over `n` stacked horizontal segments (ids `0..n`
+/// at y = 10·id), plus the engine handle the server shares.
+fn writable_server(n: u64, cfg: ServerConfig, wcfg: WriterConfig) -> (Server, Arc<WriteEngine>) {
+    let set: Vec<Segment> = (0..n).map(|i| hseg(i, 10 * i as i64)).collect();
+    let db = SegmentDatabase::builder()
+        .page_size(512)
+        .cache_pages(64)
+        .cache_shards(4)
+        .observe()
+        .index(IndexKind::TwoLevelInterval)
+        .build(set)
+        .unwrap();
+    let (engine, report) = WriteEngine::recover(db, Box::new(Disk::new(512)), wcfg).unwrap();
+    assert_eq!(report.replayed, 0, "a fresh WAL has nothing to replay");
+    let engine = Arc::new(engine);
+    let server = Server::start_writable(Arc::clone(&engine), cfg).unwrap();
+    (server, engine)
+}
+
+fn client_for(server: &Server) -> Client {
+    Client::new(ClientConfig {
+        addr: server.addr().to_string(),
+        ..ClientConfig::default()
+    })
+}
+
+/// Count of stored segments stabbed by the vertical line at `x`.
+fn line_count(client: &mut Client, x: i64) -> u64 {
+    client
+        .query_mode("query_line", &[("x", x)], segdb::core::QueryMode::Count)
+        .unwrap()
+        .count
+}
+
+#[test]
+fn insert_delete_flush_round_trip() {
+    let (server, _engine) = writable_server(20, ServerConfig::default(), WriterConfig::default());
+    let mut client = client_for(&server);
+    assert_eq!(line_count(&mut client, 500), 20);
+
+    // Insert two fresh segments; both answer applied, non-duplicate.
+    let a = client.insert(&hseg(100, 5)).unwrap();
+    assert!(a.applied && !a.duplicate && a.seq > 0);
+    let b = client.insert(&hseg(101, 7)).unwrap();
+    assert!(b.applied && b.seq > a.seq);
+    assert_eq!(line_count(&mut client, 500), 22);
+    let ids = client.query_ids("query_line", &[("x", 500)]).unwrap();
+    assert!(ids.contains(&100) && ids.contains(&101));
+
+    // Delete one base segment and one delta insert.
+    let d = client.delete(&hseg(3, 30)).unwrap();
+    assert!(d.applied);
+    let d2 = client.delete(&hseg(101, 7)).unwrap();
+    assert!(d2.applied);
+    assert_eq!(line_count(&mut client, 500), 20);
+    let ids = client.query_ids("query_line", &[("x", 500)]).unwrap();
+    assert!(!ids.contains(&3) && !ids.contains(&101));
+
+    // Deleting something absent is acknowledged but not applied.
+    let miss = client.delete(&hseg(999, 999)).unwrap();
+    assert!(!miss.applied && miss.seq == 0);
+
+    // Flush succeeds and makes everything durable.
+    client.flush().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn read_only_servers_refuse_writes() {
+    let db = Arc::new(
+        SegmentDatabase::builder()
+            .page_size(512)
+            .cache_pages(16)
+            .cache_shards(2)
+            .build(vec![hseg(1, 10), hseg(2, 20)])
+            .unwrap(),
+    );
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let mut client = client_for(&server);
+    for attempt in [client.insert(&hseg(50, 5)), client.delete(&hseg(1, 10))] {
+        let err = attempt.unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("read_only"), "refusal names the code: {msg}");
+        assert!(msg.contains("WAL"), "refusal says how to fix it: {msg}");
+    }
+    assert!(client.flush().is_err());
+    // Queries still work.
+    assert_eq!(line_count(&mut client, 500), 2);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn duplicate_request_ids_replay_the_stored_ack() {
+    let (server, _engine) = writable_server(5, ServerConfig::default(), WriterConfig::default());
+    let mut client = client_for(&server);
+    // Hand-build one insert line and send it twice: same id, so the
+    // second send must be answered from the idempotence window without
+    // re-applying.
+    let line =
+        r#"{"id":7001,"method":"insert","params":{"seg":300,"x1":0,"y1":5,"x2":1000,"y2":5}}"#;
+    let first = client.call_line(line).unwrap();
+    let second = client.call_line(line).unwrap();
+    assert_eq!(first.get("applied"), Some(&Json::Bool(true)));
+    assert_eq!(first.get("duplicate"), Some(&Json::Bool(false)));
+    assert_eq!(second.get("applied"), Some(&Json::Bool(true)));
+    assert_eq!(second.get("duplicate"), Some(&Json::Bool(true)));
+    assert_eq!(first.get("seq"), second.get("seq"));
+    assert_eq!(line_count(&mut client, 500), 6, "applied exactly once");
+    server.shutdown();
+    server.wait();
+}
+
+/// The dedup window is keyed by the bare request id, so a second client
+/// session must stamp from a disjoint `id_base` or its first write
+/// would replay the first session's stored ack (the CLI derives a
+/// per-invocation base for exactly this reason).
+#[test]
+fn distinct_id_bases_keep_sessions_apart() {
+    let (server, _engine) = writable_server(5, ServerConfig::default(), WriterConfig::default());
+    let mut a = client_for(&server);
+    let first = a.insert(&hseg(300, 5)).unwrap();
+    assert!(first.applied && !first.duplicate);
+
+    // Same base (a fresh default client restarts at id 1): the delete's
+    // id collides with the insert's and the stored ack is replayed —
+    // nothing is deleted.
+    let mut clash = client_for(&server);
+    let replayed = clash.delete(&hseg(300, 5)).unwrap();
+    assert!(
+        replayed.duplicate,
+        "colliding id must replay the stored ack"
+    );
+    assert_eq!(line_count(&mut clash, 500), 6);
+
+    // Disjoint base: the delete is live.
+    let mut b = Client::new(ClientConfig {
+        addr: server.addr().to_string(),
+        id_base: 1 << 32,
+        ..ClientConfig::default()
+    });
+    let second = b.delete(&hseg(300, 5)).unwrap();
+    assert!(second.applied && !second.duplicate);
+    assert_eq!(line_count(&mut b, 500), 5);
+    server.shutdown();
+    server.wait();
+}
+
+/// Net-chaos idempotence: retried inserts through a faulty wire must
+/// each land exactly once — the request id doubles as the server-side
+/// dedup key, so a replayed line whose first ack was lost is answered
+/// from the window instead of re-applied.
+#[test]
+fn chaotic_retried_inserts_apply_exactly_once() {
+    let mut total_retries = 0u64;
+    for seed in 0..6u64 {
+        let (server, engine) =
+            writable_server(10, ServerConfig::default(), WriterConfig::default());
+        let handle = NetFaultHandle::new(NetFaultPlan::none(seed));
+        handle.arm(NetFaultPlan::chaotic(seed));
+        let mut client = Client::with_chaos(
+            ClientConfig {
+                addr: server.addr().to_string(),
+                max_retries: 32,
+                jitter_seed: seed,
+                backoff_base: Duration::from_micros(200),
+                backoff_cap: Duration::from_millis(5),
+                ..ClientConfig::default()
+            },
+            handle.clone(),
+        );
+        let inserts = 25u64;
+        for k in 0..inserts {
+            let ack = client
+                .insert(&hseg(1000 + k, 5 + k as i64))
+                .unwrap_or_else(|e| panic!("seed {seed} insert {k}: {e}"));
+            assert!(ack.applied, "seed {seed} insert {k}");
+        }
+        total_retries += client.stats().retries;
+        handle.disarm();
+        // A clean client sees base + exactly `inserts` segments.
+        let mut probe = client_for(&server);
+        assert_eq!(
+            line_count(&mut probe, 500),
+            10 + inserts,
+            "seed {seed}: every insert applied exactly once"
+        );
+        // Server-side duplicate count must equal replays that reached it
+        // after an applied-but-unacked first attempt — at most one per
+        // retry, and never negative (the counter exists and is sane).
+        let dups = engine
+            .counters()
+            .duplicates
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(dups <= client.stats().retries, "seed {seed}");
+        server.shutdown();
+        server.wait();
+    }
+    assert!(
+        total_retries > 0,
+        "six chaotic seeds never disrupted a write — the schedule is inert"
+    );
+}
+
+/// Satellite: the `stats` reply's `writer` block exists on a writable
+/// server, is `null` on a read-only one, and its counters move across
+/// the write lifecycle (insert → group commit → fold → delete →
+/// compact).
+#[test]
+fn writer_metrics_move_across_the_lifecycle() {
+    let wcfg = WriterConfig {
+        group_window: 2,
+        delta_limit: 4,
+        ..WriterConfig::default()
+    };
+    let (server, engine) = writable_server(10, ServerConfig::default(), wcfg);
+    let mut client = client_for(&server);
+
+    let writer = |c: &mut Client| c.remote_stats().unwrap().get("writer").cloned().unwrap();
+    let field = |w: &Json, k: &str| match w.get(k) {
+        Some(&Json::U64(v)) => v,
+        other => panic!("writer.{k} missing or non-numeric: {other:?}"),
+    };
+
+    let w0 = writer(&mut client);
+    assert_eq!(field(&w0, "inserts"), 0);
+    assert_eq!(field(&w0, "epoch"), 0);
+    assert_eq!(field(&w0, "wal_bytes"), 0);
+
+    // Two inserts fill one group-commit window.
+    client.insert(&hseg(200, 5)).unwrap();
+    client.insert(&hseg(201, 7)).unwrap();
+    let w1 = writer(&mut client);
+    assert_eq!(field(&w1, "inserts"), 2);
+    assert!(field(&w1, "wal_bytes") > 0, "{w1:?}");
+    assert!(field(&w1, "wal_records") >= 2, "{w1:?}");
+    assert!(field(&w1, "group_commits") >= 1, "{w1:?}");
+    assert_eq!(field(&w1, "delta_size"), 2);
+
+    // Two more writes reach delta_limit = 4: a fold swaps the epoch and
+    // checkpoints the WAL away.
+    client.insert(&hseg(202, 9)).unwrap();
+    client.delete(&hseg(3, 30)).unwrap();
+    let w2 = writer(&mut client);
+    assert_eq!(field(&w2, "rebuilds"), 1);
+    assert_eq!(field(&w2, "epoch"), 1);
+    assert_eq!(field(&w2, "delta_size"), 0);
+    assert_eq!(field(&w2, "wal_seq"), 4, "checkpoint advanced");
+    assert_eq!(field(&w2, "deletes"), 1);
+
+    // The folded delete left a tombstone; compacting folds it away.
+    assert!(field(&w2, "tombstones") > 0, "{w2:?}");
+    assert!(engine.compact().unwrap());
+    let w3 = writer(&mut client);
+    assert_eq!(field(&w3, "compactions"), 1);
+    assert_eq!(field(&w3, "tombstones"), 0);
+
+    // Duplicate + miss counters.
+    let miss = client.delete(&hseg(888, 888)).unwrap();
+    assert!(!miss.applied);
+    let w4 = writer(&mut client);
+    assert_eq!(field(&w4, "delete_misses"), 1);
+
+    assert_eq!(line_count(&mut client, 500), 12); // 10 + 3 − 1
+    server.shutdown();
+    server.wait();
+}
+
+/// The background compactor folds tombstones without any client nudge.
+#[test]
+fn background_compactor_reclaims_tombstones() {
+    let cfg = ServerConfig {
+        compact_min_tombs: 1,
+        compact_interval: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let wcfg = WriterConfig {
+        delta_limit: 1, // every write folds immediately → real tombstones
+        ..WriterConfig::default()
+    };
+    let (server, engine) = writable_server(10, cfg, wcfg);
+    let mut client = client_for(&server);
+    client.delete(&hseg(2, 20)).unwrap();
+    client.delete(&hseg(5, 50)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (tombs, compactions) = (
+            engine.with_db(|db| db.tomb_count()),
+            engine
+                .counters()
+                .compactions
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
+        if tombs == 0 && compactions > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "compactor never ran: tombs={tombs} compactions={compactions}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(line_count(&mut client, 500), 8);
+    server.shutdown();
+    server.wait();
+}
