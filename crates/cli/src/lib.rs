@@ -28,6 +28,9 @@
 //! segdb-cli slowlog --remote <host:port>                 # its slow-query log
 //! segdb-cli trace <db> <shape> <coords…> [--human]
 //! segdb-cli serve <db> [serve options]                   # TCP query server
+//! segdb-cli partition <csv> <k> <out-dir>                # shard a CSV by x-range
+//! segdb-cli route <map.json> [route options]             # scatter-gather router
+//! segdb-cli health --remote <host:port>                  # server/cluster health probe
 //! segdb-cli torture [torture options]                    # seeded crash-recovery sweep
 //!
 //! build options:
@@ -71,6 +74,17 @@
 //!   --compact-interval-ms <n>
 //!                           compactor poll cadence (default 500)
 //!
+//! route options:
+//!   --addr <host:port>      bind address (default 127.0.0.1:0)
+//!   --max-retries <n>       upstream retries per shard call (default 4;
+//!                           kept small — downstream clients retry too)
+//!   --attempt-timeout-ms <n>
+//!                           per-attempt deadline of one shard call
+//!                           (default 2000)
+//!   --forward-shutdown      relay a wire `shutdown` to every shard
+//!                           before the router stops (default: shards
+//!                           keep running)
+//!
 //! torture options:
 //!   --seed <s>              first master seed (default 1)
 //!   --scenarios <k>         seeds per index kind (default 5)
@@ -104,6 +118,17 @@
 //! --remote` / `remove --remote` reach the same server through the
 //! resilient client (DESIGN.md §13).
 //!
+//! `partition` splits a segment CSV into `k` x-range shards at
+//! endpoint-median cuts (DESIGN.md §14): each shard file holds every
+//! segment whose x-span touches its range, so segments crossing a cut
+//! are *replicated* into each side — the per-node short/long split of
+//! Theorem 2 applied across machines. It writes `shard0.csv` …
+//! `shard{k-1}.csv` into the output directory and prints the cut
+//! abscissae as JSON; feed those cuts into a shard-map file and `route`
+//! serves the cluster behind one address. `health --remote` asks a
+//! server (or router, which fans it out per shard) whether it is up and
+//! writable.
+//!
 //! `slowlog --remote` prints a running server's slow-query log — the K
 //! worst requests with per-stage timings (queue/exec/write µs), pages
 //! touched and the client correlation ids (DESIGN.md §12; see also the
@@ -114,7 +139,7 @@
 //! tests drive [`run`] directly.
 
 use segdb_core::{
-    torture, DbError, IndexKind, QueryAnswer, QueryMode, QueryTrace, SegmentDatabase,
+    torture, DbError, IndexKind, QueryAnswer, QueryMode, QueryTrace, SegmentDatabase, XCuts,
 };
 use segdb_geom::gen::Family;
 use segdb_geom::Segment;
@@ -822,6 +847,87 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let _ = std::io::Write::flush(&mut std::io::stdout());
             server.wait();
             Ok("server stopped\n".to_string())
+        }
+        "partition" => {
+            let csv_path = want(args, 1, "csv path")?;
+            let k = num(args, 2, "shard count")?;
+            if k < 1 {
+                return usage("shard count must be at least 1");
+            }
+            let out_dir = want(args, 3, "output directory")?;
+            let body =
+                std::fs::read_to_string(csv_path).map_err(|e| CliError::Io(e.to_string()))?;
+            let segs = parse_csv(&body)?;
+            let cuts = XCuts::median_cuts(&segs, k as usize)
+                .map_err(|e| CliError::Io(format!("cannot partition: {e}")))?;
+            std::fs::create_dir_all(out_dir).map_err(|e| CliError::Io(e.to_string()))?;
+            let shards = cuts.fragments(&segs);
+            let mut per_shard = Vec::with_capacity(shards.len());
+            for (i, shard) in shards.iter().enumerate() {
+                let path = std::path::Path::new(out_dir).join(format!("shard{i}.csv"));
+                std::fs::write(&path, to_csv(shard))
+                    .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+                per_shard.push(Json::U64(shard.len() as u64));
+            }
+            let doc = Json::obj([
+                ("k", Json::U64(cuts.shard_count() as u64)),
+                (
+                    "cuts",
+                    Json::Arr(cuts.cuts().iter().map(|&c| Json::I64(c)).collect()),
+                ),
+                ("per_shard", Json::Arr(per_shard)),
+            ]);
+            Ok(format!("{}\n", doc.render()))
+        }
+        "route" => {
+            let map_path = want(args, 1, "shard-map path")?;
+            let body =
+                std::fs::read_to_string(map_path).map_err(|e| CliError::Io(e.to_string()))?;
+            let map = segdb_server::ShardMap::parse(&body)
+                .map_err(|e| CliError::Io(format!("bad shard map {map_path}: {e}")))?;
+            let mut cfg = segdb_server::RouterConfig::default();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => {
+                        cfg.addr = want(args, i + 1, "address")?.to_string();
+                        i += 2;
+                    }
+                    "--max-retries" => {
+                        cfg.max_retries = num(args, i + 1, "retry count")?.max(0) as u32;
+                        i += 2;
+                    }
+                    "--attempt-timeout-ms" => {
+                        cfg.attempt_timeout = std::time::Duration::from_millis(
+                            num(args, i + 1, "attempt timeout")?.max(1) as u64,
+                        );
+                        i += 2;
+                    }
+                    "--forward-shutdown" => {
+                        cfg.forward_shutdown = true;
+                        i += 1;
+                    }
+                    other => return usage(format!("unknown route option '{other}'")),
+                }
+            }
+            let router = segdb_server::Router::start(map, cfg)
+                .map_err(|e| CliError::Io(format!("cannot bind router: {e}")))?;
+            // Same contract as `serve`: scripts read this line for the
+            // resolved port when binding to `:0`.
+            println!("listening on {}", router.addr());
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            router.wait();
+            Ok("router stopped\n".to_string())
+        }
+        "health" => {
+            if want(args, 1, "--remote")? != "--remote" {
+                return usage("health probes remote servers only: health --remote <host:port>");
+            }
+            let addr = want(args, 2, "address")?;
+            let doc = remote_client(addr)
+                .remote_health()
+                .map_err(|e| CliError::Io(format!("remote health failed: {e}")))?;
+            Ok(format!("{}\n", doc.render()))
         }
         "torture" => {
             let mut seed = 1u64;

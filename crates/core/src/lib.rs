@@ -36,6 +36,7 @@ pub mod binary2l;
 pub mod chain;
 pub mod facade;
 pub mod interval2l;
+pub mod partition;
 pub mod persist;
 pub mod report;
 #[cfg(any(test, feature = "testutil"))]
@@ -47,5 +48,6 @@ pub use baseline::{FullScan, StabThenFilter};
 pub use binary2l::{Binary2LConfig, TwoLevelBinary};
 pub use facade::{DbError, IndexKind, SegmentDatabase, SegmentDatabaseBuilder};
 pub use interval2l::{Interval2LConfig, TwoLevelInterval};
+pub use partition::{PartitionError, XCuts};
 pub use report::{QueryAnswer, QueryMode, QueryTrace};
 pub use writer::{RecoveryReport, WriteAck, WriteEngine, WriterConfig};

@@ -1,0 +1,262 @@
+//! X-range partitioning for the sharded cluster.
+//!
+//! Theorem 2 already splits the plane into slabs at x-median base lines
+//! and stores each segment *short* (inside one slab) or *long* (spanning
+//! a slab) per node.  [`XCuts`] lifts that exact split across processes:
+//! `K − 1` strictly increasing cut abscissae carve the x-axis into `K`
+//! half-open ownership ranges, one per shard.  A segment whose x-span
+//! stays inside one range lives on that shard alone (the "short" case);
+//! a segment crossing a cut is **replicated** into every shard its span
+//! touches (the "long" case), and the scatter-gather router de-duplicates
+//! replicas by segment id at merge time — the same id-based de-dup the
+//! 2LDS fragment stores already rely on (paper §4.2).
+//!
+//! Ownership is a *partition*: shard `i` owns `x ∈ [cuts[i-1], cuts[i])`
+//! (unbounded at both ends).  Because replication stores a segment on
+//! *every* shard its closed x-span intersects, the owner of any query
+//! abscissa `x` holds **all** segments stabbed at `x` — which is what
+//! lets `Count` route to the single owning shard and stay exact despite
+//! replication.
+
+use segdb_geom::Segment;
+
+/// Strictly increasing cut abscissae defining a `K`-shard x-partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XCuts {
+    cuts: Vec<i64>,
+}
+
+/// Error raised by [`XCuts`] construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The cut sequence is not strictly increasing.
+    CutsNotSorted {
+        /// Offending cut value (equal to or below its predecessor).
+        at: i64,
+    },
+    /// Too few distinct x-endpoints to cut the requested number of ways.
+    TooFewEndpoints {
+        /// Distinct endpoint abscissae available.
+        distinct: usize,
+        /// Shard count requested.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::CutsNotSorted { at } => {
+                write!(f, "shard cuts must be strictly increasing (at {at})")
+            }
+            PartitionError::TooFewEndpoints {
+                distinct,
+                requested,
+            } => write!(
+                f,
+                "cannot cut {distinct} distinct endpoint abscissae into {requested} shards"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl XCuts {
+    /// Build from explicit cut values; rejects non-increasing sequences.
+    pub fn new(cuts: Vec<i64>) -> Result<XCuts, PartitionError> {
+        for w in cuts.windows(2) {
+            if w[1] <= w[0] {
+                return Err(PartitionError::CutsNotSorted { at: w[1] });
+            }
+        }
+        Ok(XCuts { cuts })
+    }
+
+    /// Equi-weight cuts over the endpoint-abscissa multiset: the same
+    /// x-median rule Theorem 2 uses to pick slab base lines, applied
+    /// `k − 1` times.  Requires at least `k` distinct endpoint values so
+    /// every shard owns a non-empty data range.
+    pub fn median_cuts(segs: &[Segment], k: usize) -> Result<XCuts, PartitionError> {
+        assert!(k > 0, "shard count must be positive");
+        let mut xs: Vec<i64> = segs.iter().flat_map(|s| [s.a.x, s.b.x]).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        if xs.len() < k {
+            return Err(PartitionError::TooFewEndpoints {
+                distinct: xs.len(),
+                requested: k,
+            });
+        }
+        let mut cuts = Vec::with_capacity(k - 1);
+        for i in 1..k {
+            let cut = xs[i * xs.len() / k];
+            if cuts.last().is_none_or(|&last| cut > last) {
+                cuts.push(cut);
+            }
+        }
+        Ok(XCuts { cuts })
+    }
+
+    /// Number of shards (`cuts + 1`).
+    pub fn shard_count(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// The raw cut values.
+    pub fn cuts(&self) -> &[i64] {
+        &self.cuts
+    }
+
+    /// The shard *owning* abscissa `x`: the unique `i` with
+    /// `cuts[i-1] ≤ x < cuts[i]`.
+    pub fn owner_of_x(&self, x: i64) -> usize {
+        self.cuts.partition_point(|&c| c <= x)
+    }
+
+    /// The shard owning a segment, by x-midpoint — the write-routing rule:
+    /// the midpoint owner provides the authoritative ack for a replicated
+    /// write.
+    pub fn owner_of(&self, seg: &Segment) -> usize {
+        let (lo, hi) = seg.x_span();
+        self.owner_of_x(lo + (hi - lo) / 2)
+    }
+
+    /// Inclusive shard-index range a vertical query at abscissa `x` can
+    /// *touch*: shards whose closed data range `[cuts[i-1], cuts[i]]`
+    /// contains `x`.  Two shards exactly on a cut, one otherwise.  Every
+    /// segment stabbed at `x` is stored on each of these shards that owns
+    /// part of its span, so any single member already suffices for
+    /// `Count`; the full range is what `Collect` merges and de-dups over.
+    pub fn touch_range(&self, x: i64) -> (usize, usize) {
+        let lo = self.cuts.partition_point(|&c| c < x);
+        let hi = self.cuts.partition_point(|&c| c <= x);
+        (lo, hi)
+    }
+
+    /// Inclusive shard-index range a closed x-span `[lo, hi]` is stored
+    /// on: every shard whose half-open ownership range the span
+    /// intersects, i.e. `owner(lo) ..= owner(hi)`.  This is the boundary
+    /// fragmentation rule: a "long" segment crossing a cut is replicated
+    /// into each shard here.
+    pub fn span_range(&self, lo: i64, hi: i64) -> (usize, usize) {
+        debug_assert!(lo <= hi);
+        (self.owner_of_x(lo), self.owner_of_x(hi))
+    }
+
+    /// Shard-index range storing `seg` (see [`XCuts::span_range`]).
+    pub fn shards_of(&self, seg: &Segment) -> (usize, usize) {
+        let (lo, hi) = seg.x_span();
+        self.span_range(lo, hi)
+    }
+
+    /// Fragment a segment set into per-shard stores, replicating each
+    /// boundary-crossing segment into every shard its span touches.
+    pub fn fragments(&self, segs: &[Segment]) -> Vec<Vec<Segment>> {
+        let mut out = vec![Vec::new(); self.shard_count()];
+        for seg in segs {
+            let (lo, hi) = self.shards_of(seg);
+            for frag in &mut out[lo..=hi] {
+                frag.push(*seg);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(id: u64, x1: i64, x2: i64) -> Segment {
+        Segment::new(id, (x1, id as i64), (x2, id as i64 + 1)).unwrap()
+    }
+
+    #[test]
+    fn ownership_is_a_partition() {
+        let cuts = XCuts::new(vec![-5, 0, 40]).unwrap();
+        assert_eq!(cuts.shard_count(), 4);
+        assert_eq!(cuts.owner_of_x(-6), 0);
+        assert_eq!(cuts.owner_of_x(-5), 1); // cut value belongs to the right
+        assert_eq!(cuts.owner_of_x(-1), 1);
+        assert_eq!(cuts.owner_of_x(0), 2);
+        assert_eq!(cuts.owner_of_x(39), 2);
+        assert_eq!(cuts.owner_of_x(40), 3);
+    }
+
+    #[test]
+    fn rejects_unsorted_cuts() {
+        assert!(XCuts::new(vec![3, 3]).is_err());
+        assert!(XCuts::new(vec![3, 1]).is_err());
+        assert!(XCuts::new(Vec::new()).is_ok()); // single shard
+    }
+
+    #[test]
+    fn touch_widens_exactly_on_cuts() {
+        let cuts = XCuts::new(vec![0, 100]).unwrap();
+        assert_eq!(cuts.touch_range(-1), (0, 0));
+        assert_eq!(cuts.touch_range(0), (0, 1)); // on the cut: both sides
+        assert_eq!(cuts.touch_range(1), (1, 1));
+        assert_eq!(cuts.touch_range(100), (1, 2));
+        assert_eq!(cuts.touch_range(101), (2, 2));
+    }
+
+    #[test]
+    fn replication_covers_every_touched_shard() {
+        // For random-ish segments and abscissae: every shard in
+        // touch_range(x) that a segment's span covers must store a
+        // replica, and the *owner* of x always stores every segment
+        // stabbed at x.
+        let cuts = XCuts::new(vec![-7, 3, 50]).unwrap();
+        let mut segs = Vec::new();
+        let mut id = 0u64;
+        for x1 in [-20i64, -7, -6, 0, 3, 10, 49, 50, 60] {
+            for x2 in [-7i64, 0, 3, 4, 50, 51, 80] {
+                if x2 > x1 {
+                    segs.push(seg(id, x1, x2));
+                    id += 1;
+                }
+            }
+        }
+        let frags = cuts.fragments(&segs);
+        for x in -25i64..=85 {
+            let owner = cuts.owner_of_x(x);
+            for s in &segs {
+                let (lo, hi) = s.x_span();
+                if lo <= x && x <= hi {
+                    assert!(
+                        frags[owner].iter().any(|f| f.id == s.id),
+                        "owner {owner} of x={x} missing segment {}",
+                        s.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_owner_is_within_span_shards() {
+        let cuts = XCuts::new(vec![0, 10]).unwrap();
+        for s in [seg(1, -5, 5), seg(2, -5, 15), seg(3, 9, 10), seg(4, 10, 11)] {
+            let (lo, hi) = cuts.shards_of(&s);
+            let owner = cuts.owner_of(&s);
+            assert!((lo..=hi).contains(&owner));
+        }
+    }
+
+    #[test]
+    fn median_cuts_balance_and_determinism() {
+        let segs: Vec<Segment> = (0..64)
+            .map(|i| seg(i, i as i64 * 3, i as i64 * 3 + 100))
+            .collect();
+        let a = XCuts::median_cuts(&segs, 4).unwrap();
+        let b = XCuts::median_cuts(&segs, 4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.shard_count(), 4);
+        let frags = a.fragments(&segs);
+        assert!(frags.iter().all(|f| !f.is_empty()));
+        // Degenerate input: every endpoint identical x-pair.
+        let flat: Vec<Segment> = (0..8).map(|i| seg(i, 0, 1)).collect();
+        assert!(XCuts::median_cuts(&flat, 4).is_err());
+    }
+}

@@ -13,6 +13,11 @@
 //! per-op-kind latency histograms in the report (exit 1 on a sweep
 //! mismatch, same as a wrong verified answer).
 //!
+//! `--cluster` declares the address to be a scatter-gather router
+//! (`segdb-cli route`); the report then carries a `cluster` block with
+//! one entry per shard — upstream call tallies and the round-trip
+//! latency histogram the router keeps per shard.
+//!
 //! `--chaos SEED` arms the standard wire-fault torture mix on every
 //! connection (seeded `SEED + connection`); the report's `net` block
 //! then carries the replay-stable `trace_digest` and the
@@ -33,8 +38,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: segdb-load [--addr HOST:PORT] [--connections K] [--requests N] \
 [--family fan|grid|strips|temporal|nested|mixed] [--n N] [--seed S] [--no-verify] \
-[--mode collect|count|exists|limit:K|mix] [--write-pct P] [--shutdown] [--chaos SEED] \
-[--max-retries K] [--attempt-timeout-ms MS] [--out PATH]";
+[--mode collect|count|exists|limit:K|mix] [--write-pct P] [--cluster] [--shutdown] \
+[--chaos SEED] [--max-retries K] [--attempt-timeout-ms MS] [--out PATH]";
 
 fn fail(code: &str, message: &str) -> ExitCode {
     eprintln!(
@@ -59,6 +64,10 @@ fn main() -> ExitCode {
         }
         if flag == "--shutdown" {
             cfg.shutdown_after = true;
+            continue;
+        }
+        if flag == "--cluster" {
+            cfg.cluster = true;
             continue;
         }
         if flag == "--help" || flag == "-h" {

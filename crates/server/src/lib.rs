@@ -38,7 +38,14 @@
 //!   slow-query log behind the `slowlog` wire method (DESIGN.md §12);
 //! * [`bench`] — the PR-over-PR regression gate (the `bench-diff`
 //!   binary): compare two `BENCH_serve.json` documents and fail on a
-//!   past-threshold p99 or throughput regression.
+//!   past-threshold p99 or throughput regression;
+//! * [`router`] — the scatter-gather front of an x-range-sharded
+//!   cluster: a static [`router::ShardMap`] routes each query to only
+//!   the shards it can touch over the resilient clients, merges replies
+//!   per query mode (summing counts, short-circuiting exists, fusing
+//!   limits, de-duplicating boundary-replicated long segments), fans
+//!   writes to every replica shard with the client's request id intact,
+//!   and aggregates `stats` / `slowlog` / `health` per shard.
 //!
 //! Protocol and operational details are documented in the repo README
 //! ("Serving", "Resilient clients") and DESIGN.md ("Concurrent
@@ -50,9 +57,11 @@ pub mod client;
 pub mod lifecycle;
 pub mod load;
 pub mod proto;
+pub mod router;
 pub mod server;
 
 pub use chaos::{ChaosListener, ChaosStream, NetFaultHandle, NetFaultPlan};
 pub use client::{CallError, Client, ClientConfig, QueryReply, WriteReply};
 pub use lifecycle::{Lifecycle, RequestRecord, SlowLog};
+pub use router::{Router, RouterConfig, ShardMap};
 pub use server::{Server, ServerConfig};

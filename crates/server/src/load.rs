@@ -155,6 +155,10 @@ pub struct LoadConfig {
     /// so any interleaving across connections commutes to the same
     /// final set — which the post-run shadow-model sweep verifies.
     pub write_pct: u32,
+    /// The address is a scatter-gather router: lift its per-shard
+    /// upstream tallies and latency histograms (the `stats` reply's
+    /// `router` block) into the report's `cluster` block.
+    pub cluster: bool,
 }
 
 impl Default for LoadConfig {
@@ -173,6 +177,7 @@ impl Default for LoadConfig {
             attempt_timeout: Duration::from_secs(2),
             mode: ModeSpec::default(),
             write_pct: 0,
+            cluster: false,
         }
     }
 }
@@ -429,6 +434,10 @@ pub struct LoadReport {
     /// cumulative `latency`/`pages` quantile blocks. `None` when either
     /// probe failed (e.g. the server was unreachable at snapshot time).
     pub server: Option<Json>,
+    /// On `--cluster` runs: the router's `router` stats block — one
+    /// entry per shard with upstream call tallies and the round-trip
+    /// latency histogram. `None` off-cluster or when the probe failed.
+    pub cluster: Option<Json>,
 }
 
 impl LoadReport {
@@ -459,6 +468,7 @@ impl LoadReport {
             sweep_checked: 0,
             sweep_wrong: 0,
             server: None,
+            cluster: None,
         }
     }
 
@@ -549,6 +559,12 @@ impl LoadReport {
             writes.push((
                 "delete_latency_us".to_string(),
                 quantiles(&self.delete_latency),
+            ));
+        }
+        if cfg.cluster {
+            writes.push((
+                "cluster".to_string(),
+                self.cluster.clone().unwrap_or(Json::Null),
             ));
         }
         let mut doc = Json::obj([
@@ -884,10 +900,16 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
     if cfg.write_pct > 0 && cfg.verify {
         sweep_shadow(cfg, &mut report);
     }
-    report.server = match (&stats_before, probe_stats(cfg)) {
-        (Some(before), Some(after)) => Some(server_block(before, &after)),
+    let stats_after = probe_stats(cfg);
+    report.server = match (&stats_before, &stats_after) {
+        (Some(before), Some(after)) => Some(server_block(before, after)),
         _ => None,
     };
+    if cfg.cluster {
+        // The router's per-shard upstream tallies are cumulative over
+        // its lifetime; the after-snapshot is the run's view.
+        report.cluster = stats_after.as_ref().and_then(|s| s.get("router").cloned());
+    }
     if cfg.shutdown_after {
         send_shutdown(&cfg.addr)?;
     }

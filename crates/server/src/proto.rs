@@ -46,6 +46,11 @@ pub mod code {
     pub const SHUTTING_DOWN: &str = "shutting_down";
     /// The database is served read-only; write methods are refused.
     pub const READ_ONLY: &str = "read_only";
+    /// A scatter-gather fan-out lost one or more shards: the router
+    /// already spent its own retry budget, so the reply is terminal to
+    /// the resilient client (retrying the same request id later is safe
+    /// — per-shard dedup keeps replicated writes exactly-once).
+    pub const DEGRADED: &str = "degraded";
 }
 
 /// A generalized-segment query shape, in user coordinates (§1 of the
@@ -114,6 +119,12 @@ pub enum Method {
     Delete(Segment),
     /// Durability barrier: group-commit the WAL tail before replying.
     Flush,
+    /// Liveness + role report. A single-node server answers for itself;
+    /// the router pings every shard and reports per-shard reachability.
+    Health,
+    /// Describe the cluster topology. A single-node server reports role
+    /// `"single"`; the router renders its static x-range shard map.
+    ShardMap,
 }
 
 /// A decoded request line.
@@ -263,6 +274,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "slowlog" => Method::SlowLog,
         "shutdown" => Method::Shutdown,
         "flush" => Method::Flush,
+        "health" => Method::Health,
+        "shard_map" => Method::ShardMap,
         "insert" | "delete" => {
             // Writes are only idempotent across retries when the client
             // names them: the correlation id is the idempotence key.
@@ -375,6 +388,8 @@ mod tests {
             ("slowlog", Method::SlowLog),
             ("shutdown", Method::Shutdown),
             ("flush", Method::Flush),
+            ("health", Method::Health),
+            ("shard_map", Method::ShardMap),
         ] {
             let r = parse_request(&format!(r#"{{"method":"{m}"}}"#)).unwrap();
             assert_eq!(r.method, want);

@@ -1,0 +1,971 @@
+//! The scatter-gather router: one NDJSON endpoint in front of a static
+//! x-range-sharded cluster of `segdb-server` shards.
+//!
+//! **Topology.** A [`ShardMap`] pairs `K` shard addresses with the
+//! `K − 1` cut abscissae of a [`segdb_core::partition::XCuts`]: shard
+//! `i` *owns* the half-open x-range `[cuts[i-1], cuts[i])`, and every
+//! stored segment is replicated into each shard its closed x-span
+//! touches — the cross-process lift of Theorem 2's short/long split
+//! (`segdb-cli partition` fragments a CSV the same way).
+//!
+//! **Reads.** A query is fanned out over the [`crate::client`] resilient
+//! clients to only the shards its abscissa can touch, and the replies
+//! are merged per [`QueryMode`] — mirroring the in-process `ReportSink`
+//! contract server-side:
+//!
+//! * `Count` routes to the *owning* shard alone (which, by the
+//!   replication invariant, stores every segment stabbed there) and
+//!   sums whatever counts come back, so replicas never double-count.
+//! * `Exists` walks the touch set in shard order and short-circuits on
+//!   the first witness.
+//! * `Collect` unions the touch set's id lists, sorts, and de-duplicates
+//!   boundary-replicated long segments by id.
+//! * `Limit(k)` fuses per-shard prefixes: union, de-dup, truncate to
+//!   `k` — the owner alone already witnesses `min(k, total)` hits, so
+//!   the fused answer always does too.
+//!
+//! **Writes.** `insert` / `delete` fan out to *every* shard the
+//! segment's span touches, forwarding the client's original request
+//! line verbatim so the id-keyed dedup window of each shard keeps the
+//! write exactly-once end-to-end through both client and router
+//! retries. The shard owning the segment's x-midpoint provides the
+//! authoritative acknowledgement.
+//!
+//! **Failure semantics.** The router spends its own bounded retry
+//! budget per shard call; when a shard stays unreachable the reply is a
+//! structured [`code::DEGRADED`] error naming the shard. That code is
+//! deliberately *terminal* to the resilient client — the router already
+//! retried — and replaying the same request id later is always safe.
+//! Shard answers that retrying cannot improve (`db`, `bad_request`, …)
+//! are relayed under their original code.
+
+use crate::chaos::NetFaultHandle;
+use crate::client::{CallError, Client, ClientConfig};
+use crate::proto::{self, code, Method, QueryShape};
+use crate::server::{drain_oversized, read_bounded_line, write_line, LineRead};
+use segdb_core::partition::XCuts;
+use segdb_core::QueryMode;
+use segdb_geom::Segment;
+use segdb_obs::json::{self, Json};
+use segdb_obs::Histogram;
+use std::collections::BTreeSet;
+use std::io::{self, BufReader, Read as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake to check the stop flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// Base of the upstream clients' backoff-jitter seeds.
+const JITTER_SEED_BASE: u64 = 0x5EED_2070;
+
+/// The static cluster topology: shard addresses plus the x-cuts that
+/// partition ownership between them.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    addrs: Vec<String>,
+    cuts: XCuts,
+}
+
+impl ShardMap {
+    /// Pair `addrs` with `cuts`; there must be exactly one more address
+    /// than cuts.
+    pub fn new(addrs: Vec<String>, cuts: XCuts) -> Result<ShardMap, String> {
+        if addrs.is_empty() {
+            return Err("shard map needs at least one shard".to_string());
+        }
+        if addrs.len() != cuts.shard_count() {
+            return Err(format!(
+                "{} addresses for {} ownership ranges ({} cuts)",
+                addrs.len(),
+                cuts.shard_count(),
+                cuts.cuts().len()
+            ));
+        }
+        Ok(ShardMap { addrs, cuts })
+    }
+
+    /// Parse the shard-map file format:
+    ///
+    /// ```json
+    /// {"shards":[
+    ///   {"addr":"127.0.0.1:7001","until":-217},
+    ///   {"addr":"127.0.0.1:7002","until":310},
+    ///   {"addr":"127.0.0.1:7003"}
+    /// ]}
+    /// ```
+    ///
+    /// `until` is the shard's *exclusive* upper cut, required on every
+    /// entry but the last and strictly increasing down the list; the
+    /// first shard is unbounded below, the last unbounded above.
+    pub fn parse(text: &str) -> Result<ShardMap, String> {
+        let doc = json::parse(text.trim()).map_err(|e| format!("shard map is not JSON: {e}"))?;
+        let shards = doc
+            .get("shards")
+            .and_then(Json::as_arr)
+            .ok_or("shard map carries no `shards` array")?;
+        let mut addrs = Vec::with_capacity(shards.len());
+        let mut cuts = Vec::new();
+        for (i, entry) in shards.iter().enumerate() {
+            let addr = entry
+                .get("addr")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("shard {i} carries no `addr`"))?;
+            addrs.push(addr.to_string());
+            let until = entry.get("until").and_then(|v| match *v {
+                Json::I64(n) => Some(n),
+                Json::U64(n) => i64::try_from(n).ok(),
+                _ => None,
+            });
+            match until {
+                Some(c) if i + 1 < shards.len() => cuts.push(c),
+                Some(_) => return Err("the last shard must not carry `until`".to_string()),
+                None if i + 1 < shards.len() => {
+                    return Err(format!("shard {i} needs an integer `until` cut"))
+                }
+                None => {}
+            }
+        }
+        let cuts = XCuts::new(cuts).map_err(|e| e.to_string())?;
+        ShardMap::new(addrs, cuts)
+    }
+
+    /// Render back into the shard-map file format (round-trips
+    /// [`ShardMap::parse`]); also the wire `shard_map` reply body.
+    pub fn to_json(&self) -> Json {
+        let entries = self
+            .addrs
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let mut fields = vec![("addr".to_string(), Json::Str(addr.clone()))];
+                if let Some(&cut) = self.cuts.cuts().get(i) {
+                    fields.push(("until".to_string(), Json::I64(cut)));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::obj([
+            ("role", Json::Str("router".to_string())),
+            ("shards", Json::Arr(entries)),
+        ])
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The shard addresses, in ownership order.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// The ownership cuts.
+    pub fn cuts(&self) -> &XCuts {
+        &self.cuts
+    }
+}
+
+/// Tunables for a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Per-attempt deadline of one upstream shard call.
+    pub attempt_timeout: Duration,
+    /// Upstream retries per shard call after the first attempt. Kept
+    /// deliberately smaller than the client default — the downstream
+    /// client retries too, and budgets multiply.
+    pub max_retries: u32,
+    /// Longest accepted request line (and shard response line) in bytes.
+    pub max_line_bytes: usize,
+    /// Reply-write deadline towards downstream clients.
+    pub write_timeout: Duration,
+    /// Reap downstream connections idle longer than this.
+    pub idle_timeout: Duration,
+    /// Bound on the connection drain in [`Router::wait`].
+    pub drain_timeout: Duration,
+    /// Forward a wire `shutdown` to every shard (best-effort, single
+    /// attempt each) before stopping the router itself. Off by default
+    /// so in-process harnesses keep owning their shard lifecycles.
+    pub forward_shutdown: bool,
+    /// Wire-fault schedule injected into *upstream* shard connections —
+    /// the torture-harness hook ([`crate::chaos`]).
+    pub chaos: Option<NetFaultHandle>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            attempt_timeout: Duration::from_secs(2),
+            max_retries: 4,
+            max_line_bytes: 4 * 1024 * 1024,
+            write_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+            forward_shutdown: false,
+            chaos: None,
+        }
+    }
+}
+
+/// Monotone routing counters, exposed by the router's `stats` method.
+#[derive(Debug, Default)]
+struct RouterStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    degraded: AtomicU64,
+}
+
+/// Per-shard upstream accounting: calls, failures, and the round-trip
+/// latency histogram `segdb-load --cluster` surfaces per shard.
+#[derive(Debug)]
+struct ShardTally {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+impl ShardTally {
+    fn new() -> ShardTally {
+        ShardTally {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Mutex::new(Histogram::latency_us()),
+        }
+    }
+}
+
+struct Shared {
+    map: ShardMap,
+    cfg: RouterConfig,
+    stop: AtomicBool,
+    local: SocketAddr,
+    conns: Mutex<usize>,
+    conn_exited: Condvar,
+    conn_seq: AtomicU64,
+    stats: RouterStats,
+    shards: Vec<ShardTally>,
+}
+
+impl Shared {
+    fn initiate_shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect(self.local);
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running scatter-gather router. Obtain the bound address with
+/// [`Router::addr`], stop it with [`Router::shutdown`] (or the wire
+/// `shutdown` method) and reap its threads with [`Router::wait`].
+pub struct Router {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+}
+
+impl Router {
+    /// Bind and start routing for `map` — shards may come and go; each
+    /// request discovers reachability through its own fan-out.
+    pub fn start(map: ShardMap, cfg: RouterConfig) -> io::Result<Router> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local = listener.local_addr()?;
+        let shards = (0..map.shard_count()).map(|_| ShardTally::new()).collect();
+        let shared = Arc::new(Shared {
+            map,
+            cfg,
+            stop: AtomicBool::new(false),
+            local,
+            conns: Mutex::new(0),
+            conn_exited: Condvar::new(),
+            conn_seq: AtomicU64::new(0),
+            stats: RouterStats::default(),
+            shards,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("segdb-router".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Router { shared, acceptor })
+    }
+
+    /// The address actually bound (resolves `:0` to the chosen port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local
+    }
+
+    /// Begin a graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Block until the acceptor has stopped, then wait — at most
+    /// [`RouterConfig::drain_timeout`] — for live connections to drain.
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        let deadline = Instant::now() + self.shared.cfg.drain_timeout;
+        let mut conns = lock(&self.shared.conns);
+        while *conns > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            conns = self
+                .shared
+                .conn_exited
+                .wait_timeout(conns, deadline - now)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn connection_exited(shared: &Shared) {
+    let mut conns = lock(&shared.conns);
+    *conns = conns.saturating_sub(1);
+    shared.conn_exited.notify_all();
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stopping() {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shared.stopping() {
+            return;
+        }
+        Shared::bump(&shared.stats.connections);
+        {
+            *lock(&shared.conns) += 1;
+        }
+        let conn_shared = Arc::clone(shared);
+        let spawned = thread::Builder::new()
+            .name("segdb-router-conn".to_string())
+            .spawn(move || {
+                serve_connection(&conn_shared, stream);
+                connection_exited(&conn_shared);
+            });
+        if spawned.is_err() {
+            connection_exited(shared);
+        }
+    }
+}
+
+/// One downstream connection: a private set of upstream clients (one
+/// per shard, connected lazily) plus the read-parse-route-reply loop.
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let conn_seq = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let mut clients = upstream_clients(shared, conn_seq);
+    let mut reader = BufReader::new(read_half).take(0);
+    let mut writer = stream;
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        let deadline = Instant::now() + shared.cfg.idle_timeout;
+        let line = match read_bounded_line(
+            &mut reader,
+            shared.cfg.max_line_bytes,
+            &shared.stop,
+            deadline,
+        ) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Oversized { terminated }) => {
+                Shared::bump(&shared.stats.errors);
+                if write_line(
+                    &mut writer,
+                    &proto::err_line(None, code::OVERSIZED, "request line exceeds limit"),
+                )
+                .is_err()
+                {
+                    return;
+                }
+                if terminated || drain_oversized(&mut reader, &shared.stop, deadline) {
+                    continue;
+                }
+                return;
+            }
+            Ok(LineRead::IdleExpired) => return,
+            Ok(LineRead::Eof) | Ok(LineRead::Stopped) | Err(_) => return,
+        };
+        let line = String::from_utf8_lossy(&line).into_owned();
+        let response = match proto::parse_request(&line) {
+            Err(e) => {
+                Shared::bump(&shared.stats.errors);
+                e.to_line()
+            }
+            Ok(request) => {
+                Shared::bump(&shared.stats.requests);
+                match request.method {
+                    Method::Ping => {
+                        Shared::bump(&shared.stats.ok);
+                        proto::ok_line(request.id, Json::Str("pong".to_string()))
+                    }
+                    Method::Shutdown => {
+                        Shared::bump(&shared.stats.ok);
+                        let _ =
+                            write_line(&mut writer, &proto::ok_line(request.id, Json::Bool(true)));
+                        if shared.cfg.forward_shutdown {
+                            forward_shutdown(shared);
+                        }
+                        shared.initiate_shutdown();
+                        return;
+                    }
+                    method => route(shared, &mut clients, request.id, method, &line),
+                }
+            }
+        };
+        if write_line(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Build one resilient upstream client per shard, seeded distinctly per
+/// connection so concurrent backoff jitter never synchronizes.
+fn upstream_clients(shared: &Shared, conn_seq: u64) -> Vec<Client> {
+    shared
+        .map
+        .addrs()
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let cfg = ClientConfig {
+                addr: addr.clone(),
+                attempt_timeout: shared.cfg.attempt_timeout,
+                max_retries: shared.cfg.max_retries,
+                jitter_seed: JITTER_SEED_BASE
+                    .wrapping_add(conn_seq.wrapping_mul(0x9E37_79B9))
+                    .wrapping_add(i as u64),
+                max_line_bytes: shared.cfg.max_line_bytes,
+                ..ClientConfig::default()
+            };
+            match &shared.cfg.chaos {
+                Some(h) => Client::with_chaos(cfg, h.clone()),
+                None => Client::new(cfg),
+            }
+        })
+        .collect()
+}
+
+/// Best-effort shutdown fan-out: one un-retried attempt per shard.
+fn forward_shutdown(shared: &Shared) {
+    for addr in shared.map.addrs() {
+        let mut one_shot = Client::new(ClientConfig {
+            addr: addr.clone(),
+            attempt_timeout: Duration::from_millis(500),
+            max_retries: 0,
+            ..ClientConfig::default()
+        });
+        let _ = one_shot.call_line(r#"{"method":"shutdown"}"#);
+    }
+}
+
+/// One timed upstream call against shard `i`, forwarded verbatim.
+fn shard_call(
+    shared: &Shared,
+    clients: &mut [Client],
+    i: usize,
+    line: &str,
+) -> Result<Json, CallError> {
+    let started = Instant::now();
+    Shared::bump(&shared.shards[i].requests);
+    let result = clients[i].call_line(line);
+    let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    lock(&shared.shards[i].latency).observe(us);
+    if result.is_err() {
+        Shared::bump(&shared.shards[i].errors);
+    }
+    result
+}
+
+/// Render a shard failure downstream: answers retrying cannot improve
+/// are relayed under their original code; infrastructure failures (the
+/// retry budget exhausted, or a shard draining away) become the
+/// structured `degraded` error. Replaying the same request id after a
+/// `degraded` reply is always safe — shard-side dedup keeps replicated
+/// writes exactly-once.
+fn shard_error_line(shared: &Shared, id: Option<u64>, i: usize, err: &CallError) -> String {
+    let addr = &shared.map.addrs()[i];
+    Shared::bump(&shared.stats.errors);
+    match err {
+        CallError::Terminal { code: c, message } if c != code::SHUTTING_DOWN => {
+            proto::err_line(id, c, &format!("shard {i} ({addr}): {message}"))
+        }
+        _ => {
+            Shared::bump(&shared.stats.degraded);
+            proto::err_line(
+                id,
+                code::DEGRADED,
+                &format!("shard {i} ({addr}) unavailable: {err}; the cluster is serving degraded — retrying the same request id is safe"),
+            )
+        }
+    }
+}
+
+/// Inclusive x-extent of a query shape (the abscissa for the line/ray
+/// shapes; the endpoint extent for the segment shape).
+fn shape_x_extent(shape: QueryShape) -> (i64, i64) {
+    match shape {
+        QueryShape::Line { x, .. }
+        | QueryShape::RayUp { x, .. }
+        | QueryShape::RayDown { x, .. } => (x, x),
+        QueryShape::Segment { x1, x2, .. } => (x1.min(x2), x1.max(x2)),
+    }
+}
+
+/// The inclusive shard range a query fans out to. `Count` routes to
+/// owners only — a replica in the wider touch set would double-count —
+/// while the materializing and witnessing modes take the full touch set
+/// and de-duplicate at merge time.
+fn query_targets(cuts: &XCuts, mode: QueryMode, xmin: i64, xmax: i64) -> (usize, usize) {
+    match mode {
+        QueryMode::Count => (cuts.owner_of_x(xmin), cuts.owner_of_x(xmax)),
+        _ => {
+            let (lo, _) = cuts.touch_range(xmin);
+            let (_, hi) = cuts.touch_range(xmax);
+            (lo, hi)
+        }
+    }
+}
+
+/// Pull `count` out of a shard's query result.
+fn reply_count(result: &Json) -> u64 {
+    result
+        .get("count")
+        .and_then(|c| match *c {
+            Json::U64(u) => Some(u),
+            Json::I64(i) => u64::try_from(i).ok(),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Pull the `ids` list out of a shard's query result.
+fn reply_ids(result: &Json) -> Vec<u64> {
+    result
+        .get("ids")
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(|x| match *x {
+                    Json::U64(u) => Some(u),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Render the merged query reply in the single-node result shape (plus
+/// the fan-out width), so resilient clients parse both identically.
+fn merged_query_line(
+    id: Option<u64>,
+    ids: Vec<u64>,
+    count: u64,
+    mode: QueryMode,
+    fanout: usize,
+) -> String {
+    proto::ok_line(
+        id,
+        Json::obj([
+            ("ids", Json::Arr(ids.into_iter().map(Json::U64).collect())),
+            ("count", Json::U64(count)),
+            ("mode", Json::Str(mode.name().to_string())),
+            ("fanout", Json::U64(fanout as u64)),
+        ]),
+    )
+}
+
+/// Dispatch one parsed request: pick targets, fan out, merge. The `Err`
+/// arm of every helper is an already-rendered (and already counted)
+/// error line.
+fn route(
+    shared: &Shared,
+    clients: &mut [Client],
+    id: Option<u64>,
+    method: Method,
+    raw_line: &str,
+) -> String {
+    let reply = match method {
+        Method::Query(shape, mode) => route_query(shared, clients, id, shape, mode, raw_line),
+        Method::Insert(seg) | Method::Delete(seg) => {
+            route_write(shared, clients, id, &seg, raw_line)
+        }
+        Method::Trace(shape) => {
+            let owner = shared.map.cuts().owner_of_x(shape_x_extent(shape).0);
+            match shard_call(shared, clients, owner, raw_line) {
+                Ok(result) => Ok(proto::ok_line(id, result)),
+                Err(e) => Err(shard_error_line(shared, id, owner, &e)),
+            }
+        }
+        Method::Flush => {
+            let mut outcome = Ok(proto::ok_line(id, Json::Bool(true)));
+            for i in 0..clients.len() {
+                if let Err(e) = shard_call(shared, clients, i, raw_line) {
+                    outcome = Err(shard_error_line(shared, id, i, &e));
+                    break;
+                }
+            }
+            outcome
+        }
+        Method::Stats => Ok(proto::ok_line(id, stats_json(shared, clients))),
+        Method::SlowLog => Ok(proto::ok_line(id, slowlog_json(shared, clients))),
+        Method::Health => Ok(proto::ok_line(id, health_json(shared, clients))),
+        Method::ShardMap => Ok(proto::ok_line(id, shared.map.to_json())),
+        // Handled inline by the connection loop; kept total for safety.
+        Method::Ping => Ok(proto::ok_line(id, Json::Str("pong".to_string()))),
+        Method::Shutdown => Ok(proto::ok_line(id, Json::Bool(true))),
+    };
+    match reply {
+        Ok(line) => {
+            Shared::bump(&shared.stats.ok);
+            line
+        }
+        Err(line) => line,
+    }
+}
+
+fn route_query(
+    shared: &Shared,
+    clients: &mut [Client],
+    id: Option<u64>,
+    shape: QueryShape,
+    mode: QueryMode,
+    raw_line: &str,
+) -> Result<String, String> {
+    let (xmin, xmax) = shape_x_extent(shape);
+    let (lo, hi) = query_targets(shared.map.cuts(), mode, xmin, xmax);
+    let fanout = hi - lo + 1;
+    match mode {
+        QueryMode::Count => {
+            let mut total = 0u64;
+            for i in lo..=hi {
+                match shard_call(shared, clients, i, raw_line) {
+                    Ok(result) => total += reply_count(&result),
+                    Err(e) => return Err(shard_error_line(shared, id, i, &e)),
+                }
+            }
+            Ok(merged_query_line(id, Vec::new(), total, mode, fanout))
+        }
+        QueryMode::Exists => {
+            for i in lo..=hi {
+                match shard_call(shared, clients, i, raw_line) {
+                    Ok(result) if reply_count(&result) > 0 => {
+                        // Short-circuit on the first witness.
+                        return Ok(merged_query_line(id, Vec::new(), 1, mode, i - lo + 1));
+                    }
+                    Ok(_) => {}
+                    Err(e) => return Err(shard_error_line(shared, id, i, &e)),
+                }
+            }
+            Ok(merged_query_line(id, Vec::new(), 0, mode, fanout))
+        }
+        QueryMode::Collect => {
+            let mut merged = BTreeSet::new();
+            for i in lo..=hi {
+                match shard_call(shared, clients, i, raw_line) {
+                    Ok(result) => merged.extend(reply_ids(&result)),
+                    Err(e) => return Err(shard_error_line(shared, id, i, &e)),
+                }
+            }
+            let count = merged.len() as u64;
+            Ok(merged_query_line(
+                id,
+                merged.into_iter().collect(),
+                count,
+                mode,
+                fanout,
+            ))
+        }
+        QueryMode::Limit(k) => {
+            // Fuse per-shard prefixes; stop as soon as `k` distinct ids
+            // are in hand (the owner shard alone witnesses min(k, total),
+            // so the fused prefix always reaches it).
+            let mut merged = BTreeSet::new();
+            let mut asked = 0;
+            for i in lo..=hi {
+                asked += 1;
+                match shard_call(shared, clients, i, raw_line) {
+                    Ok(result) => merged.extend(reply_ids(&result)),
+                    Err(e) => return Err(shard_error_line(shared, id, i, &e)),
+                }
+                if merged.len() >= k as usize {
+                    break;
+                }
+            }
+            let ids: Vec<u64> = merged.into_iter().take(k as usize).collect();
+            let count = ids.len() as u64;
+            Ok(merged_query_line(id, ids, count, mode, asked))
+        }
+    }
+}
+
+fn route_write(
+    shared: &Shared,
+    clients: &mut [Client],
+    id: Option<u64>,
+    seg: &Segment,
+    raw_line: &str,
+) -> Result<String, String> {
+    let (lo, hi) = shared.map.cuts().shards_of(seg);
+    let owner = shared.map.cuts().owner_of(seg);
+    let mut owner_ack = Json::Null;
+    for i in lo..=hi {
+        // The original request line — and so the client's request id,
+        // the shard-side idempotence key — is forwarded verbatim to
+        // every replica; a partially-applied fan-out converges when the
+        // client replays the same id after a `degraded` reply.
+        match shard_call(shared, clients, i, raw_line) {
+            Ok(result) => {
+                if i == owner {
+                    owner_ack = result;
+                }
+            }
+            Err(e) => return Err(shard_error_line(shared, id, i, &e)),
+        }
+    }
+    if let Json::Obj(fields) = &mut owner_ack {
+        fields.push(("replicas".to_string(), Json::U64((hi - lo + 1) as u64)));
+    }
+    Ok(proto::ok_line(id, owner_ack))
+}
+
+/// One per-shard accounting entry of the router's `stats` reply: the
+/// upstream call tallies and the latency histogram (summary + buckets)
+/// that `segdb-load --cluster` lifts into `BENCH_serve.json`.
+fn shard_tally_json(addr: &str, tally: &ShardTally) -> Json {
+    let latency = lock(&tally.latency);
+    Json::obj([
+        ("addr", Json::Str(addr.to_string())),
+        (
+            "requests",
+            Json::U64(tally.requests.load(Ordering::Relaxed)),
+        ),
+        ("errors", Json::U64(tally.errors.load(Ordering::Relaxed))),
+        ("latency_us", latency.summary_json()),
+        ("histogram", latency.to_json()),
+    ])
+}
+
+fn stats_json(shared: &Shared, clients: &mut [Client]) -> Json {
+    let s = &shared.stats;
+    let mut segments = 0u64;
+    let mut shard_docs = Vec::with_capacity(clients.len());
+    for (i, addr) in shared.map.addrs().iter().enumerate() {
+        let started = Instant::now();
+        Shared::bump(&shared.shards[i].requests);
+        let fetched = clients[i].remote_stats();
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        lock(&shared.shards[i].latency).observe(us);
+        shard_docs.push(match fetched {
+            Ok(doc) => {
+                segments += doc.get("segments").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                Json::obj([
+                    ("addr", Json::Str(addr.clone())),
+                    ("ok", Json::Bool(true)),
+                    ("stats", doc),
+                ])
+            }
+            Err(e) => {
+                Shared::bump(&shared.shards[i].errors);
+                Json::obj([
+                    ("addr", Json::Str(addr.clone())),
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(e.to_string())),
+                ])
+            }
+        });
+    }
+    let tallies = shared
+        .map
+        .addrs()
+        .iter()
+        .zip(&shared.shards)
+        .map(|(addr, tally)| shard_tally_json(addr, tally))
+        .collect();
+    Json::obj([
+        ("role", Json::Str("router".to_string())),
+        // Stored replicas across the cluster (boundary-crossing long
+        // segments count once per shard holding them).
+        ("segments", Json::U64(segments)),
+        (
+            "server",
+            Json::obj([
+                (
+                    "connections",
+                    Json::U64(s.connections.load(Ordering::Relaxed)),
+                ),
+                ("requests", Json::U64(s.requests.load(Ordering::Relaxed))),
+                ("ok", Json::U64(s.ok.load(Ordering::Relaxed))),
+                ("errors", Json::U64(s.errors.load(Ordering::Relaxed))),
+                ("degraded", Json::U64(s.degraded.load(Ordering::Relaxed))),
+            ]),
+        ),
+        ("router", Json::obj([("shards", Json::Arr(tallies))])),
+        ("shards", Json::Arr(shard_docs)),
+    ])
+}
+
+fn slowlog_json(shared: &Shared, clients: &mut [Client]) -> Json {
+    let mut entries = Vec::with_capacity(clients.len());
+    for (i, addr) in shared.map.addrs().iter().enumerate() {
+        entries.push(match clients[i].remote_slowlog() {
+            Ok(doc) => Json::obj([
+                ("addr", Json::Str(addr.clone())),
+                ("ok", Json::Bool(true)),
+                ("slowlog", doc),
+            ]),
+            Err(e) => Json::obj([
+                ("addr", Json::Str(addr.clone())),
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(e.to_string())),
+            ]),
+        });
+    }
+    Json::obj([
+        ("role", Json::Str("router".to_string())),
+        ("shards", Json::Arr(entries)),
+    ])
+}
+
+fn health_json(shared: &Shared, clients: &mut [Client]) -> Json {
+    let mut all_ok = true;
+    let mut entries = Vec::with_capacity(clients.len());
+    for (i, addr) in shared.map.addrs().iter().enumerate() {
+        match clients[i].ping() {
+            Ok(true) => entries.push(Json::obj([
+                ("addr", Json::Str(addr.clone())),
+                ("ok", Json::Bool(true)),
+            ])),
+            Ok(false) => {
+                all_ok = false;
+                entries.push(Json::obj([
+                    ("addr", Json::Str(addr.clone())),
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str("unexpected pong".to_string())),
+                ]));
+            }
+            Err(e) => {
+                all_ok = false;
+                entries.push(Json::obj([
+                    ("addr", Json::Str(addr.clone())),
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(e.to_string())),
+                ]));
+            }
+        }
+    }
+    Json::obj([
+        ("ok", Json::Bool(all_ok)),
+        ("role", Json::Str("router".to_string())),
+        ("shards", Json::Arr(entries)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_parse_round_trips() {
+        let text = r#"{"shards":[{"addr":"127.0.0.1:7001","until":-217},{"addr":"127.0.0.1:7002","until":310},{"addr":"127.0.0.1:7003"}]}"#;
+        let map = ShardMap::parse(text).unwrap();
+        assert_eq!(map.shard_count(), 3);
+        assert_eq!(map.cuts().cuts(), &[-217, 310]);
+        let rendered = map.to_json().render();
+        let again = ShardMap::parse(&rendered).unwrap();
+        assert_eq!(again.addrs(), map.addrs());
+        assert_eq!(again.cuts(), map.cuts());
+    }
+
+    #[test]
+    fn shard_map_rejects_malformed_topologies() {
+        // Missing cut between shards.
+        assert!(
+            ShardMap::parse(r#"{"shards":[{"addr":"a"},{"addr":"b"}]}"#).is_err(),
+            "missing `until` must be rejected"
+        );
+        // A cut on the last shard.
+        assert!(
+            ShardMap::parse(r#"{"shards":[{"addr":"a","until":0},{"addr":"b","until":9}]}"#)
+                .is_err()
+        );
+        // Non-increasing cuts.
+        assert!(ShardMap::parse(
+            r#"{"shards":[{"addr":"a","until":5},{"addr":"b","until":5},{"addr":"c"}]}"#
+        )
+        .is_err());
+        // No shards at all.
+        assert!(ShardMap::parse(r#"{"shards":[]}"#).is_err());
+        // A single unbounded shard is the degenerate-but-valid cluster.
+        assert!(ShardMap::parse(r#"{"shards":[{"addr":"a"}]}"#).is_ok());
+    }
+
+    #[test]
+    fn count_routes_to_owners_other_modes_to_the_touch_set() {
+        let cuts = XCuts::new(vec![0, 100]).unwrap();
+        // Off-cut: one owner, one touched shard — identical targets.
+        assert_eq!(query_targets(&cuts, QueryMode::Count, 5, 5), (1, 1));
+        assert_eq!(query_targets(&cuts, QueryMode::Collect, 5, 5), (1, 1));
+        // Exactly on a cut: the owner is the right side; collect widens
+        // to both shards whose closed data range contains the abscissa.
+        assert_eq!(query_targets(&cuts, QueryMode::Count, 100, 100), (2, 2));
+        assert_eq!(query_targets(&cuts, QueryMode::Collect, 100, 100), (1, 2));
+        assert_eq!(query_targets(&cuts, QueryMode::Exists, 0, 0), (0, 1));
+        assert_eq!(query_targets(&cuts, QueryMode::Limit(3), 0, 0), (0, 1));
+    }
+
+    #[test]
+    fn shape_extent_covers_all_shapes() {
+        assert_eq!(shape_x_extent(QueryShape::Line { x: 7, y: 0 }), (7, 7));
+        assert_eq!(shape_x_extent(QueryShape::RayUp { x: -2, y: 1 }), (-2, -2));
+        assert_eq!(shape_x_extent(QueryShape::RayDown { x: 3, y: 1 }), (3, 3));
+        assert_eq!(
+            shape_x_extent(QueryShape::Segment {
+                x1: 9,
+                y1: 0,
+                x2: 4,
+                y2: 5
+            }),
+            (4, 9)
+        );
+    }
+}

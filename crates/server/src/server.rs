@@ -652,7 +652,7 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Outcome of one bounded line read.
-enum LineRead {
+pub(crate) enum LineRead {
     /// A complete request line (newline stripped).
     Line(Vec<u8>),
     /// Peer closed the connection (possibly mid-request).
@@ -671,7 +671,7 @@ enum LineRead {
     IdleExpired,
 }
 
-fn read_bounded_line<R: BufRead>(
+pub(crate) fn read_bounded_line<R: BufRead>(
     reader: &mut io::Take<R>,
     max: usize,
     stop: &AtomicBool,
@@ -726,7 +726,7 @@ fn read_bounded_line<R: BufRead>(
 /// including its newline so the connection can keep serving. Bounded by
 /// a byte cap and the caller's deadline; `false` means give up and
 /// close the connection.
-fn drain_oversized<R: BufRead>(
+pub(crate) fn drain_oversized<R: BufRead>(
     reader: &mut io::Take<R>,
     stop: &AtomicBool,
     deadline: Instant,
@@ -760,7 +760,7 @@ fn drain_oversized<R: BufRead>(
     false
 }
 
-fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+pub(crate) fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
     writer.write_all(line.as_bytes())?;
     writer.write_all(b"\n")
 }
@@ -1106,6 +1106,26 @@ fn execute(shared: &Shared, id: Option<u64>, method: Method) -> (String, Option<
         Method::SlowLog => {
             ServerStats::bump(&shared.stats.ok);
             (proto::ok_line(id, shared.lifecycle.slowlog_json()), None)
+        }
+        Method::Health => {
+            ServerStats::bump(&shared.stats.ok);
+            let segments = shared.backend.with_db(|db| db.len());
+            let doc = Json::obj([
+                ("ok", Json::Bool(true)),
+                ("role", Json::Str("server".to_string())),
+                ("writable", Json::Bool(shared.backend.engine().is_some())),
+                ("segments", Json::U64(segments)),
+            ]);
+            (proto::ok_line(id, doc), None)
+        }
+        Method::ShardMap => {
+            ServerStats::bump(&shared.stats.ok);
+            // A single node is its own one-shard "cluster".
+            let doc = Json::obj([
+                ("role", Json::Str("single".to_string())),
+                ("shards", Json::Arr(Vec::new())),
+            ]);
+            (proto::ok_line(id, doc), None)
         }
         // Handled inline by the connection reader; kept total for safety.
         Method::Ping => (proto::ok_line(id, Json::Str("pong".to_string())), None),

@@ -19,7 +19,7 @@ echo "==> serve/load smoke round-trip"
 CLI=target/release/segdb-cli
 LOAD=target/release/segdb-load
 SMOKE=$(mktemp -d)
-trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
+trap 'kill "${SERVE_PID:-}" "${ROUTE_PID:-}" ${SHARD_PIDS[@]:-} 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 "$CLI" gen mixed 300 21 > "$SMOKE/map.csv"
 "$CLI" build "$SMOKE/map.db" "$SMOKE/map.csv" --page-size 1024 > /dev/null
 "$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 \
@@ -182,6 +182,90 @@ SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21
     --connections 1 --requests 1 --no-verify --shutdown > /dev/null
 wait "$SERVE_PID"
 
+echo "==> cluster smoke (partition, route, scatter-gather, degraded reply)"
+"$CLI" partition "$SMOKE/map.csv" 3 "$SMOKE/shards" > "$SMOKE/partition.json"
+CUTS=$(sed -n 's/.*"cuts":\[\([^]]*\)\].*/\1/p' "$SMOKE/partition.json")
+CUT1=${CUTS%,*}
+CUT2=${CUTS#*,}
+[ -n "$CUT1" ] && [ -n "$CUT2" ] || {
+    echo "partition reported no cuts: $(cat "$SMOKE/partition.json")"; exit 1; }
+SHARD_PIDS=()
+for i in 0 1 2; do
+    "$CLI" build "$SMOKE/shards/shard$i.db" "$SMOKE/shards/shard$i.csv" \
+        --page-size 1024 > /dev/null
+    "$CLI" serve "$SMOKE/shards/shard$i.db" --addr 127.0.0.1:0 --workers 2 \
+        > "$SMOKE/shards/serve$i.out" &
+    SHARD_PIDS+=($!)
+done
+SHARD_ADDRS=()
+for i in 0 1 2; do
+    A=""
+    for _ in $(seq 1 40); do
+        A=$(sed -n 's/^listening on //p' "$SMOKE/shards/serve$i.out")
+        [ -n "$A" ] && break
+        sleep 0.05
+    done
+    [ -n "$A" ] || { echo "shard $i never reported its address"; exit 1; }
+    SHARD_ADDRS+=("$A")
+done
+printf '{"shards":[{"addr":"%s","until":%s},{"addr":"%s","until":%s},{"addr":"%s"}]}\n' \
+    "${SHARD_ADDRS[0]}" "$CUT1" "${SHARD_ADDRS[1]}" "$CUT2" "${SHARD_ADDRS[2]}" \
+    > "$SMOKE/cluster.json"
+"$CLI" route "$SMOKE/cluster.json" --addr 127.0.0.1:0 --forward-shutdown \
+    > "$SMOKE/route.out" &
+ROUTE_PID=$!
+RADDR=""
+for _ in $(seq 1 40); do
+    RADDR=$(sed -n 's/^listening on //p' "$SMOKE/route.out")
+    [ -n "$RADDR" ] && break
+    sleep 0.05
+done
+[ -n "$RADDR" ] || { echo "router never reported its address"; exit 1; }
+# A count routed through the cluster must match the single-node answer
+# over the same set (map.db has since absorbed the write-path smoke's
+# mutations, so the oracle is a pristine build from the CSV).
+"$CLI" build "$SMOKE/cluster-oracle.db" "$SMOKE/map.csv" --page-size 1024 > /dev/null
+ROUTED=$("$CLI" query --remote "$RADDR" line "$QX" --count | head -n 1)
+LOCAL=$("$CLI" query "$SMOKE/cluster-oracle.db" line "$QX" 0 --count | head -n 1)
+[ "$ROUTED" = "$LOCAL" ] || {
+    echo "routed count ($ROUTED) != single-node count ($LOCAL)"; exit 1; }
+"$CLI" health --remote "$RADDR" | grep -q '"ok":true' || {
+    echo "healthy cluster reported unhealthy"; exit 1; }
+# The load driver against the router: verified answers, and per-shard
+# latency histograms in the report's cluster block.
+SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$RADDR" --family mixed --n 300 --seed 21 \
+    --connections 2 --requests 40 --mode mix --cluster > /dev/null
+grep -q '"wrong":0' "$SMOKE/BENCH_serve.json" || {
+    echo "cluster load reported wrong answers"; exit 1; }
+grep -q '"cluster":{' "$SMOKE/BENCH_serve.json" || {
+    echo "cluster load report carries no cluster block"; exit 1; }
+HISTS=$(grep -o '"latency_us"' "$SMOKE/BENCH_serve.json" | wc -l)
+[ "$HISTS" -ge 4 ] || {
+    echo "cluster block lacks per-shard latency histograms ($HISTS)"; exit 1; }
+cp "$SMOKE/BENCH_serve.json" "$SMOKE/bench-cluster.json"
+scripts/bench_diff "$SMOKE/bench-cluster.json" "$SMOKE/BENCH_serve.json" \
+    > /dev/null || { echo "bench_diff flagged a cluster self-compare"; exit 1; }
+# Kill one shard: a query it owns must fail with the structured
+# degraded reply, live shards keep answering, health goes red.
+kill -9 "${SHARD_PIDS[2]}"; wait "${SHARD_PIDS[2]}" 2>/dev/null || true
+if "$CLI" query --remote "$RADDR" line 99999999 --count \
+    > "$SMOKE/degraded.out" 2>&1; then
+    echo "query owned by a dead shard unexpectedly succeeded"; exit 1
+fi
+grep -q 'degraded' "$SMOKE/degraded.out" || {
+    echo "dead shard did not surface the degraded error: $(cat "$SMOKE/degraded.out")"
+    exit 1; }
+ROUTED=$("$CLI" query --remote "$RADDR" line "$QX" --count | head -n 1)
+[ "$ROUTED" = "$LOCAL" ] || {
+    echo "degraded cluster broke a live-shard query ($ROUTED vs $LOCAL)"; exit 1; }
+"$CLI" health --remote "$RADDR" | grep -q '"ok":false' || {
+    echo "health hid the dead shard"; exit 1; }
+# Shutdown through the router fans out to the surviving shards.
+SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$RADDR" --family mixed --n 300 --seed 21 \
+    --connections 1 --requests 1 --no-verify --shutdown > /dev/null
+wait "$ROUTE_PID"
+wait "${SHARD_PIDS[0]}" "${SHARD_PIDS[1]}"
+
 echo "==> seeded crash-recovery smoke (torture sweep, replayed twice)"
 TORTURE_ARGS=(torture --seed 7 --scenarios 3 --n 80)
 OUT1=$("$CLI" "${TORTURE_ARGS[@]}")
@@ -197,4 +281,4 @@ echo "$OUT1" | grep -q '"observed_io_errors":0}' && {
 echo "$OUT1" | grep -q '"recovery_queries_verified":0,' && {
     echo "no recovery query was verified: $OUT1"; exit 1; }
 
-echo "OK: build, tests, clippy, fmt, serve + lifecycle + net-chaos + crash-recovery smoke all clean."
+echo "OK: build, tests, clippy, fmt, serve + lifecycle + net-chaos + cluster + crash-recovery smoke all clean."
