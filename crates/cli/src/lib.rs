@@ -28,9 +28,10 @@
 //! segdb-cli slowlog --remote <host:port>                 # its slow-query log
 //! segdb-cli trace <db> <shape> <coords…> [--human]
 //! segdb-cli serve <db> [serve options]                   # TCP query server
-//! segdb-cli partition <csv> <k> <out-dir>                # shard a CSV by x-range
+//! segdb-cli partition <csv> <k> <out-dir> [partition options]  # shard a CSV by x-range
 //! segdb-cli route <map.json> [route options]             # scatter-gather router
 //! segdb-cli health --remote <host:port>                  # server/cluster health probe
+//! segdb-cli sync --remote <replica> <peer> [--from <seq>]  # replay missed WAL records
 //! segdb-cli torture [torture options]                    # seeded crash-recovery sweep
 //!
 //! build options:
@@ -74,14 +75,34 @@
 //!   --compact-interval-ms <n>
 //!                           compactor poll cadence (default 500)
 //!
+//! partition options:
+//!   --replicas <r>          plan an r-way replica set per shard: the
+//!                           summary records `replicas` and, with
+//!                           `--map-out`, the template lists r
+//!                           addresses per shard (default 1)
+//!   --map-out <file>        write a ready-to-edit shard-map v2 JSON
+//!                           (`{"replicas":[...],"until":...}` entries
+//!                           with deterministic local placeholder
+//!                           ports) next to the shard CSVs
+//!
 //! route options:
 //!   --addr <host:port>      bind address (default 127.0.0.1:0)
-//!   --max-retries <n>       upstream retries per shard call (default 4;
-//!                           kept small — downstream clients retry too)
+//!   --max-retries <n>       upstream retries per replica call (default
+//!                           4; kept small — downstream clients retry
+//!                           too)
 //!   --attempt-timeout-ms <n>
-//!                           per-attempt deadline of one shard call
+//!                           per-attempt deadline of one replica call
 //!                           (default 2000)
-//!   --forward-shutdown      relay a wire `shutdown` to every shard
+//!   --no-hedge              disable hedged first read attempts (on by
+//!                           default when a shard has 2+ live replicas)
+//!   --breaker-failures <n>  consecutive infrastructure failures that
+//!                           trip a replica's circuit breaker open
+//!                           (default 3)
+//!   --breaker-cooldown-ms <n>
+//!                           how long a tripped breaker stays open
+//!                           before admitting one half-open probe
+//!                           (default 1000)
+//!   --forward-shutdown      relay a wire `shutdown` to every replica
 //!                           before the router stops (default: shards
 //!                           keep running)
 //!
@@ -125,9 +146,16 @@
 //! Theorem 2 applied across machines. It writes `shard0.csv` …
 //! `shard{k-1}.csv` into the output directory and prints the cut
 //! abscissae as JSON; feed those cuts into a shard-map file and `route`
-//! serves the cluster behind one address. `health --remote` asks a
-//! server (or router, which fans it out per shard) whether it is up and
-//! writable.
+//! serves the cluster behind one address. With `--replicas <r>` the
+//! planned topology gives each shard an r-way replica set (every
+//! replica serves the *same* fragment CSV behind its own WAL), and
+//! `--map-out` writes the shard-map v2 template to edit addresses
+//! into. `health --remote` asks a server (or router, which pings every
+//! replica and feeds the per-replica circuit breakers) whether it is
+//! up and writable. `sync --remote <replica> <peer>` tells a restarted
+//! replica to pull the WAL records it missed from a caught-up peer of
+//! the same shard (the `sync_from` wire method, DESIGN.md §15) before
+//! it rejoins reads.
 //!
 //! `slowlog --remote` prints a running server's slow-query log — the K
 //! worst requests with per-stage timings (queue/exec/write µs), pages
@@ -855,6 +883,26 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 return usage("shard count must be at least 1");
             }
             let out_dir = want(args, 3, "output directory")?;
+            let mut replicas = 1usize;
+            let mut map_out: Option<String> = None;
+            let mut i = 4;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--replicas" => {
+                        let r = num(args, i + 1, "replica count")?;
+                        if r < 1 {
+                            return usage("replica count must be at least 1");
+                        }
+                        replicas = r as usize;
+                        i += 2;
+                    }
+                    "--map-out" => {
+                        map_out = Some(want(args, i + 1, "map path")?.to_string());
+                        i += 2;
+                    }
+                    other => return usage(format!("unknown partition option '{other}'")),
+                }
+            }
             let body =
                 std::fs::read_to_string(csv_path).map_err(|e| CliError::Io(e.to_string()))?;
             let segs = parse_csv(&body)?;
@@ -869,22 +917,48 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
                 per_shard.push(Json::U64(shard.len() as u64));
             }
-            let doc = Json::obj([
-                ("k", Json::U64(cuts.shard_count() as u64)),
+            let mut fields = vec![
+                ("k".to_string(), Json::U64(cuts.shard_count() as u64)),
                 (
-                    "cuts",
+                    "cuts".to_string(),
                     Json::Arr(cuts.cuts().iter().map(|&c| Json::I64(c)).collect()),
                 ),
-                ("per_shard", Json::Arr(per_shard)),
-            ]);
-            Ok(format!("{}\n", doc.render()))
+                ("per_shard".to_string(), Json::Arr(per_shard)),
+                ("replicas".to_string(), Json::U64(replicas as u64)),
+            ];
+            if let Some(map_path) = map_out {
+                // A ready-to-edit shard-map v2 template: every replica
+                // of shard i serves the same `shard{i}.csv` fragment;
+                // the placeholder ports (7001 + i + 1000·r) only need
+                // changing when the cluster is not one local host.
+                let entries = (0..cuts.shard_count())
+                    .map(|i| {
+                        let set = (0..replicas)
+                            .map(|r| Json::Str(format!("127.0.0.1:{}", 7001 + i + 1000 * r)))
+                            .collect();
+                        let mut entry = vec![("replicas".to_string(), Json::Arr(set))];
+                        if let Some(&cut) = cuts.cuts().get(i) {
+                            entry.push(("until".to_string(), Json::I64(cut)));
+                        }
+                        Json::Obj(entry)
+                    })
+                    .collect();
+                let map = Json::obj([("shards", Json::Arr(entries))]);
+                std::fs::write(&map_path, format!("{}\n", map.render()))
+                    .map_err(|e| CliError::Io(format!("cannot write {map_path}: {e}")))?;
+                fields.push(("map".to_string(), Json::Str(map_path)));
+            }
+            Ok(format!("{}\n", Json::Obj(fields).render()))
         }
         "route" => {
             let map_path = want(args, 1, "shard-map path")?;
             let body =
                 std::fs::read_to_string(map_path).map_err(|e| CliError::Io(e.to_string()))?;
+            // A malformed or non-monotonic topology is an operator
+            // mistake, not an I/O accident: fail with the structured
+            // usage error (exit 2) and never a panic.
             let map = segdb_server::ShardMap::parse(&body)
-                .map_err(|e| CliError::Io(format!("bad shard map {map_path}: {e}")))?;
+                .map_err(|e| CliError::Usage(format!("bad shard map {map_path}: {e}")))?;
             let mut cfg = segdb_server::RouterConfig::default();
             let mut i = 2;
             while i < args.len() {
@@ -901,6 +975,19 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         cfg.attempt_timeout = std::time::Duration::from_millis(
                             num(args, i + 1, "attempt timeout")?.max(1) as u64,
                         );
+                        i += 2;
+                    }
+                    "--no-hedge" => {
+                        cfg.hedge_reads = false;
+                        i += 1;
+                    }
+                    "--breaker-failures" => {
+                        cfg.breaker.failure_threshold =
+                            num(args, i + 1, "failure threshold")?.max(1) as u32;
+                        i += 2;
+                    }
+                    "--breaker-cooldown-ms" => {
+                        cfg.breaker.cooldown_ms = num(args, i + 1, "cooldown")?.max(1) as u64;
                         i += 2;
                     }
                     "--forward-shutdown" => {
@@ -927,6 +1014,30 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let doc = remote_client(addr)
                 .remote_health()
                 .map_err(|e| CliError::Io(format!("remote health failed: {e}")))?;
+            Ok(format!("{}\n", doc.render()))
+        }
+        "sync" => {
+            if want(args, 1, "--remote")? != "--remote" {
+                return usage(
+                    "sync drives a running replica: sync --remote <replica> <peer> [--from <seq>]",
+                );
+            }
+            let addr = want(args, 2, "replica address")?;
+            let peer = want(args, 3, "peer address")?;
+            let mut from = None;
+            let mut i = 4;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--from" => {
+                        from = Some(num(args, i + 1, "sequence number")?.max(0) as u64);
+                        i += 2;
+                    }
+                    other => return usage(format!("unknown sync option '{other}'")),
+                }
+            }
+            let doc = remote_client(addr)
+                .sync_from(peer, from)
+                .map_err(|e| CliError::Io(format!("sync failed: {e}")))?;
             Ok(format!("{}\n", doc.render()))
         }
         "torture" => {
@@ -1082,6 +1193,96 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         assert!(matches!(run(&a(&["query"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn malformed_shard_maps_are_usage_errors() {
+        let a = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let dir = std::env::temp_dir().join(format!("segdb-cli-maps-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| {
+            let p = dir.join(name);
+            std::fs::write(&p, body).unwrap();
+            p.to_string_lossy().into_owned()
+        };
+        // Truncated JSON must surface as a usage error (exit 2), never
+        // a panic.
+        let p = write("truncated.json", r#"{"shards":[{"addr":"a","until":5}"#);
+        let err = run(&a(&["route", &p])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+        // Overlapping (non-increasing) ownership cuts.
+        let p = write(
+            "overlap.json",
+            r#"{"shards":[{"addr":"a","until":9},{"addr":"b","until":3},{"addr":"c"}]}"#,
+        );
+        let err = run(&a(&["route", &p])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("bad shard map"), "{err}");
+        // An empty replica set.
+        let p = write(
+            "empty.json",
+            r#"{"shards":[{"replicas":[],"until":1},{"addr":"b"}]}"#,
+        );
+        assert!(matches!(
+            run(&a(&["route", &p])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        // A missing map file stays an I/O error — nothing to usage-hint.
+        let absent = dir.join("absent.json").to_string_lossy().into_owned();
+        assert!(matches!(
+            run(&a(&["route", &absent])).unwrap_err(),
+            CliError::Io(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partition_plans_replica_sets_and_writes_a_v2_map_template() {
+        let a = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let dir = std::env::temp_dir().join(format!("segdb-cli-part-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("data.csv").to_string_lossy().into_owned();
+        let segs: Vec<Segment> = (0..40)
+            .map(|i| Segment::new(i, (i as i64 * 10, 0), (i as i64 * 10 + 5, 7)).unwrap())
+            .collect();
+        std::fs::write(&csv, to_csv(&segs)).unwrap();
+        let out = dir.join("shards").to_string_lossy().into_owned();
+        let map = dir.join("map.json").to_string_lossy().into_owned();
+        let doc = run(&a(&[
+            "partition",
+            &csv,
+            "2",
+            &out,
+            "--replicas",
+            "2",
+            "--map-out",
+            &map,
+        ]))
+        .unwrap();
+        let doc = segdb_obs::json::parse(doc.trim()).unwrap();
+        assert_eq!(doc.get("replicas"), Some(&Json::U64(2)));
+        assert_eq!(doc.get("k"), Some(&Json::U64(2)));
+        // The template parses as a shard-map v2 with 2-way replica sets
+        // and the partitioner's own cuts.
+        let body = std::fs::read_to_string(&map).unwrap();
+        let parsed = segdb_server::ShardMap::parse(&body).unwrap();
+        assert_eq!(parsed.shard_count(), 2);
+        assert!(parsed.replica_sets().iter().all(|set| set.len() == 2));
+        let doc_cuts: Vec<i64> = doc
+            .get("cuts")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|c| c.as_f64().unwrap() as i64)
+            .collect();
+        assert_eq!(parsed.cuts().cuts(), doc_cuts.as_slice());
+        // Zero replicas is a usage mistake.
+        assert!(matches!(
+            run(&a(&["partition", &csv, "2", &out, "--replicas", "0"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

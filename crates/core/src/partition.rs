@@ -17,6 +17,14 @@
 //! abscissa `x` holds **all** segments stabbed at `x` — which is what
 //! lets `Count` route to the single owning shard and stay exact despite
 //! replication.
+//!
+//! Note the two distinct senses of "replication" in the cluster: the
+//! cut-crossing replication above decides *which shards store a
+//! segment* and is a correctness requirement of the routing invariant,
+//! while the R-way replica sets of the shard map (DESIGN.md §15) decide
+//! *how many copies of each shard exist* and buy availability only.
+//! They compose orthogonally — `XCuts` is oblivious to how many
+//! replicas later serve each fragment it produces.
 
 use segdb_geom::Segment;
 

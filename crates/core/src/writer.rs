@@ -38,7 +38,7 @@ use crate::report::{QueryAnswer, QueryMode, QueryTrace};
 use segdb_geom::transform::Direction;
 use segdb_geom::{Point, Segment, VerticalQuery};
 use segdb_pager::Device;
-use segdb_wal::{Wal, WalOp, WalStats};
+use segdb_wal::{Wal, WalOp, WalRecord, WalStats};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -52,6 +52,11 @@ pub struct WriterConfig {
     pub delta_limit: usize,
     /// Request ids remembered for idempotent retry detection.
     pub recent_ids: usize,
+    /// Applied WAL records retained in memory for replica catch-up
+    /// ([`WriteEngine::records_since`]). The WAL itself is truncated at
+    /// every fold, so this ring is the only replay source a lagging
+    /// peer can pull from.
+    pub sync_history: usize,
 }
 
 impl Default for WriterConfig {
@@ -60,6 +65,7 @@ impl Default for WriterConfig {
             group_window: 8,
             delta_limit: 1024,
             recent_ids: 4096,
+            sync_history: 4096,
         }
     }
 }
@@ -76,6 +82,31 @@ pub struct WriteAck {
     /// True when this request id was already processed — the stored
     /// acknowledgement is returned and nothing is re-applied.
     pub duplicate: bool,
+}
+
+/// Why a replica catch-up request could not be served from the
+/// in-memory history ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryError {
+    /// The ring no longer reaches back to the requested cursor: the
+    /// oldest retained record follows `floor`, so a peer asking for
+    /// records after a smaller sequence number needs a full rebuild.
+    Truncated {
+        /// Sequence number the retained history starts after.
+        floor: u64,
+    },
+}
+
+impl std::fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistoryError::Truncated { floor } => write!(
+                f,
+                "sync history truncated: records are retained only after seq {floor}; \
+                 rebuild the replica from a fresh fragment instead"
+            ),
+        }
+    }
 }
 
 /// What recovery found and did.
@@ -160,11 +191,28 @@ struct PendingOp {
 }
 
 /// Writer-side state serialized behind one mutex: the WAL handle, the
-/// unfolded op list and the idempotence table.
+/// unfolded op list, the idempotence table and the catch-up ring.
 struct WriterInner {
     wal: Wal,
     pending: Vec<PendingOp>,
     recent: RecentIds,
+    /// Applied records in seq order, surviving WAL truncation at fold
+    /// time so lagging replicas can replay them (bounded ring).
+    history: VecDeque<WalRecord>,
+    /// Sequence number the retained history starts after: every record
+    /// with `seq > history_floor` is still in `history`.
+    history_floor: u64,
+}
+
+impl WriterInner {
+    fn push_history(&mut self, cap: usize, rec: WalRecord) {
+        self.history.push_back(rec);
+        while self.history.len() > cap.max(1) {
+            if let Some(old) = self.history.pop_front() {
+                self.history_floor = old.seq;
+            }
+        }
+    }
 }
 
 /// Monotonic counters surfaced under `stats.writer`.
@@ -226,7 +274,17 @@ impl WriteEngine {
             ..RecoveryReport::default()
         };
         let mut last = checkpoint;
+        // Every durable record seeds the catch-up ring: a freshly
+        // restarted primary can serve `sync_from` for its whole log.
+        let mut history: VecDeque<WalRecord> = VecDeque::new();
+        let mut history_floor = records.first().map(|r| r.seq - 1).unwrap_or(checkpoint);
         for rec in &records {
+            history.push_back(*rec);
+            while history.len() > cfg.sync_history.max(1) {
+                if let Some(old) = history.pop_front() {
+                    history_floor = old.seq;
+                }
+            }
             // The idempotence table survives a crash for every durable
             // record, applied or already-checkpointed.
             let applied_slot = WriteAck {
@@ -264,6 +322,8 @@ impl WriteEngine {
                     wal,
                     pending: Vec::new(),
                     recent,
+                    history,
+                    history_floor,
                 }),
                 direction,
                 cfg,
@@ -329,6 +389,14 @@ impl WriteEngine {
             insert: true,
             seg,
         });
+        inner.push_history(
+            self.cfg.sync_history,
+            WalRecord {
+                seq,
+                req_id,
+                op: WalOp::Insert(seg),
+            },
+        );
         {
             let mut delta = self.delta.lock().expect("delta lock poisoned");
             let mut next = (**delta).clone();
@@ -398,6 +466,14 @@ impl WriteEngine {
             insert: false,
             seg,
         });
+        inner.push_history(
+            self.cfg.sync_history,
+            WalRecord {
+                seq,
+                req_id,
+                op: WalOp::Delete(seg),
+            },
+        );
         {
             let mut delta = self.delta.lock().expect("delta lock poisoned");
             let mut next = (**delta).clone();
@@ -424,6 +500,71 @@ impl WriteEngine {
         let mut inner = self.writer.lock().expect("writer lock poisoned");
         inner.wal.flush()?;
         Ok(())
+    }
+
+    // ---- replica catch-up ------------------------------------------------
+
+    /// Highest WAL sequence number this engine has assigned (the cursor
+    /// a lagging replica hands to a peer's `wal_since`).
+    pub fn last_seq(&self) -> u64 {
+        let inner = self.writer.lock().expect("writer lock poisoned");
+        inner.wal.last_seq()
+    }
+
+    /// Applied records with `seq > from`, replayable by a lagging peer.
+    ///
+    /// The WAL itself truncates at every fold, so this serves from the
+    /// bounded in-memory ring (`WriterConfig::sync_history`); once the
+    /// ring has evicted past `from` the gap is unservable and the caller
+    /// gets [`HistoryError::Truncated`].
+    pub fn records_since(&self, from: u64) -> Result<Vec<WalRecord>, HistoryError> {
+        let inner = self.writer.lock().expect("writer lock poisoned");
+        if from < inner.history_floor {
+            return Err(HistoryError::Truncated {
+                floor: inner.history_floor,
+            });
+        }
+        Ok(inner
+            .history
+            .iter()
+            .filter(|r| r.seq > from)
+            .copied()
+            .collect())
+    }
+
+    /// Apply one record replayed from a peer, idempotently.
+    ///
+    /// Safe to call with records this replica already holds (replaying
+    /// from `from = 0` converges): the request id hits the dedup window
+    /// when it is still remembered, and an insert whose exact segment is
+    /// already visible is acknowledged as a duplicate without being
+    /// re-applied even after the id has aged out. Deletes of absent
+    /// segments are no-ops by construction. Applied records re-enter
+    /// this replica's own WAL and history, so a caught-up replica can
+    /// itself serve `sync_from`.
+    pub fn sync_apply(&self, rec: &WalRecord) -> Result<WriteAck, DbError> {
+        match rec.op {
+            WalOp::Insert(seg) => {
+                if self.contains_segment(&seg)? {
+                    return Ok(WriteAck {
+                        seq: 0,
+                        applied: false,
+                        duplicate: true,
+                    });
+                }
+                self.insert(rec.req_id, seg)
+            }
+            WalOp::Delete(seg) => self.delete(rec.req_id, seg),
+        }
+    }
+
+    /// Is this exact segment (id + geometry) currently visible?
+    fn contains_segment(&self, seg: &Segment) -> Result<bool, DbError> {
+        let (ans, _) = self.query_line_mode(seg.a, QueryMode::Collect)?;
+        match ans {
+            QueryAnswer::Segments(hits) => Ok(hits.contains(seg)),
+            _ => Ok(false),
+        }
     }
 
     /// Fold the delta into the index now, regardless of size.
@@ -728,6 +869,60 @@ mod tests {
             assert_eq!(db.wal_seq(), 4);
             db.validate().unwrap();
         });
+    }
+
+    #[test]
+    fn catch_up_history_survives_folds_and_replays_idempotently() {
+        let cfg = WriterConfig {
+            delta_limit: 4,
+            group_window: 1,
+            ..WriterConfig::default()
+        };
+        let eng = engine(20, cfg);
+        for i in 0..5 {
+            eng.insert(100 + i, seg(200 + i, 3 + i as i64)).unwrap();
+        }
+        eng.delete(106, seg(3, 30)).unwrap();
+        // A fold ran (delta_limit 4) and truncated the WAL, but the
+        // ring still serves the whole log.
+        assert!(eng.counters().rebuilds.load(Ordering::Relaxed) >= 1);
+        let recs = eng.records_since(0).unwrap();
+        assert_eq!(recs.len(), 6);
+        assert_eq!(recs.first().unwrap().seq, 1);
+        assert_eq!(eng.last_seq(), 6);
+        assert_eq!(eng.records_since(4).unwrap().len(), 2);
+
+        // A peer starting from the same base converges by replaying —
+        // and a second replay of the same records applies nothing new.
+        let peer = engine(20, cfg);
+        for rec in &recs {
+            let ack = peer.sync_apply(rec).unwrap();
+            assert!(ack.applied && !ack.duplicate);
+        }
+        assert_eq!(count(&peer, 500), 24); // 20 + 5 − 1
+        for rec in &recs {
+            let ack = peer.sync_apply(rec).unwrap();
+            assert!(ack.duplicate, "replayed record must not re-apply");
+        }
+        assert_eq!(count(&peer, 500), 24);
+    }
+
+    #[test]
+    fn history_ring_is_bounded_and_reports_truncation() {
+        let cfg = WriterConfig {
+            sync_history: 4,
+            ..WriterConfig::default()
+        };
+        let eng = engine(5, cfg);
+        for i in 0..10u64 {
+            eng.insert(i + 1, seg(300 + i, i as i64)).unwrap();
+        }
+        assert_eq!(eng.records_since(6).unwrap().len(), 4);
+        assert_eq!(eng.records_since(9).unwrap().len(), 1);
+        assert!(matches!(
+            eng.records_since(5),
+            Err(HistoryError::Truncated { floor: 6 })
+        ));
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Per-replica circuit breaker for the router's health-driven failover.
+//!
+//! Every shard replica the router knows about gets one [`Breaker`]. The
+//! breaker watches *infrastructure* outcomes only — a call that drowned
+//! its retry budget, or a replica announcing `shutting_down` — never
+//! data errors (`bad_request`, `db`, …), which prove the replica is
+//! alive and answering authoritatively.
+//!
+//! The state machine is the classic three-state breaker:
+//!
+//! * **Closed** — calls flow normally. `failure_threshold` *consecutive*
+//!   infrastructure failures trip it open (any success resets the run).
+//! * **Open** — the replica is presumed dead; the router routes around
+//!   it (reads prefer other replicas, writes skip it and report it as
+//!   lagging, `stats`/`slowlog` aggregation marks it `unreachable`
+//!   without burning a retry budget).
+//! * **Half-open** — after `cooldown_ms` the breaker admits exactly one
+//!   probe call. Success closes the breaker; failure reopens it and the
+//!   cooldown restarts.
+//!
+//! Time is injected: every transition takes an explicit `now_ms`
+//! timestamp, so the state machine is a pure function of its inputs and
+//! the unit tests below run on fabricated clocks — no wall-clock sleeps.
+//! The router feeds it `Instant`-derived milliseconds; the `health`
+//! fan-out doubles as the recovery probe (a successful ping closes the
+//! breaker from any state).
+
+/// Tunables for one [`Breaker`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive infrastructure failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Milliseconds an open breaker waits before admitting a half-open
+    /// probe.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 1_000,
+        }
+    }
+}
+
+/// The observable breaker state at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// The replica is presumed dead; calls are routed around it.
+    Open,
+    /// The cooldown elapsed; one probe call may test the replica.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Wire-friendly lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// One replica's circuit breaker. All methods take the current time in
+/// milliseconds from any fixed origin (monotonicity is the only
+/// requirement), which keeps the machine deterministic under test.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    /// Consecutive infrastructure failures while closed.
+    failures: u32,
+    /// When the breaker last tripped open (`None` = closed).
+    opened_at: Option<u64>,
+    /// A half-open probe is in flight (admitted, outcome pending).
+    probing: bool,
+    /// Times the breaker tripped open over its lifetime.
+    opens: u64,
+}
+
+impl Breaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            failures: 0,
+            opened_at: None,
+            probing: false,
+            opens: 0,
+        }
+    }
+
+    /// The state as of `now_ms` (open breakers become half-open once the
+    /// cooldown elapses; no mutation).
+    pub fn state(&self, now_ms: u64) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(t) if now_ms >= t.saturating_add(self.cfg.cooldown_ms) => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// May a call proceed right now? Closed always admits; half-open
+    /// admits exactly one probe (until its outcome is recorded); open
+    /// admits nothing. Callers that attempt a call despite `false`
+    /// (last-resort probing) still record the outcome.
+    pub fn admit(&mut self, now_ms: u64) -> bool {
+        match self.state(now_ms) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probing {
+                    false
+                } else {
+                    self.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// A call reached the replica and got an authoritative answer
+    /// (success *or* a data error): close from any state.
+    pub fn record_success(&mut self, _now_ms: u64) {
+        self.failures = 0;
+        self.opened_at = None;
+        self.probing = false;
+    }
+
+    /// An infrastructure failure: count it, trip open at the threshold,
+    /// reopen (restarting the cooldown) when a half-open probe fails.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        self.probing = false;
+        match self.state(now_ms) {
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.cfg.failure_threshold {
+                    self.opened_at = Some(now_ms);
+                    self.opens += 1;
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: reopen and restart the cooldown.
+                self.opened_at = Some(now_ms);
+                self.opens += 1;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Lifetime count of closed→open (and half-open→open) transitions.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Breaker {
+        Breaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 100,
+        })
+    }
+
+    #[test]
+    fn closed_to_open_to_half_open_to_closed() {
+        let mut b = quick();
+        assert_eq!(b.state(0), BreakerState::Closed);
+        // Two failures: still closed (threshold is 3).
+        b.record_failure(10);
+        b.record_failure(20);
+        assert_eq!(b.state(20), BreakerState::Closed);
+        assert!(b.admit(20));
+        // Third consecutive failure trips it.
+        b.record_failure(30);
+        assert_eq!(b.state(30), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.admit(30));
+        // Before the cooldown: still open.
+        assert_eq!(b.state(129), BreakerState::Open);
+        // Cooldown elapsed: half-open, exactly one probe admitted.
+        assert_eq!(b.state(130), BreakerState::HalfOpen);
+        assert!(b.admit(130));
+        assert!(!b.admit(131), "only one half-open probe at a time");
+        // The probe succeeds: closed again, failure run reset.
+        b.record_success(135);
+        assert_eq!(b.state(135), BreakerState::Closed);
+        assert!(b.admit(135));
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn a_success_resets_the_consecutive_failure_run() {
+        let mut b = quick();
+        b.record_failure(1);
+        b.record_failure(2);
+        b.record_success(3);
+        b.record_failure(4);
+        b.record_failure(5);
+        assert_eq!(
+            b.state(5),
+            BreakerState::Closed,
+            "non-consecutive failures must not trip the breaker"
+        );
+        b.record_failure(6);
+        assert_eq!(b.state(6), BreakerState::Open);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_the_cooldown() {
+        let mut b = quick();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(2), BreakerState::Open);
+        // Probe at 102 fails: reopened, cooldown restarts from 102.
+        assert!(b.admit(102));
+        b.record_failure(102);
+        assert_eq!(b.opens(), 2);
+        assert_eq!(b.state(201), BreakerState::Open);
+        assert_eq!(b.state(202), BreakerState::HalfOpen);
+        // This probe succeeds.
+        assert!(b.admit(202));
+        b.record_success(203);
+        assert_eq!(b.state(203), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_closes_from_any_state() {
+        // The health fan-out records ping outcomes unconditionally, so a
+        // replica that came back is usable before its cooldown elapses.
+        let mut b = quick();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(50), BreakerState::Open);
+        b.record_success(50);
+        assert_eq!(b.state(50), BreakerState::Closed);
+        assert!(b.admit(50));
+    }
+
+    #[test]
+    fn failures_while_open_neither_recount_nor_extend() {
+        let mut b = quick();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        // A straggling in-flight failure lands while open: no new open,
+        // no cooldown extension.
+        b.record_failure(60);
+        assert_eq!(b.opens(), 1);
+        assert_eq!(b.state(103), BreakerState::HalfOpen);
+    }
+}

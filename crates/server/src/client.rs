@@ -227,8 +227,34 @@ impl Client {
     /// `null` response id skips the check — the server answers `null`
     /// when it could not salvage the id from a malformed line.
     pub fn call_line(&mut self, line: &str) -> Result<Json, CallError> {
+        self.call_line_with(line, self.cfg.attempt_timeout, self.cfg.max_retries)
+    }
+
+    /// [`Client::call_line`] with an explicit per-attempt deadline and
+    /// retry budget for this one call, overriding the configured ones.
+    ///
+    /// The router's hedged reads use this to bound the *first* replica
+    /// attempt at a p99-derived delay with zero retries before trying
+    /// the next replica; everything else about the call (idempotence
+    /// requirements, id-echo verification, connection hygiene) is
+    /// identical.
+    pub fn call_line_bounded(
+        &mut self,
+        line: &str,
+        attempt_timeout: Duration,
+        max_retries: u32,
+    ) -> Result<Json, CallError> {
+        self.call_line_with(line, attempt_timeout, max_retries)
+    }
+
+    fn call_line_with(
+        &mut self,
+        line: &str,
+        attempt_timeout: Duration,
+        max_retries: u32,
+    ) -> Result<Json, CallError> {
         let want_id = request_id(line);
-        let budget = 1 + self.cfg.max_retries;
+        let budget = 1 + max_retries;
         let mut last = String::new();
         for attempt in 0..budget {
             if attempt > 0 {
@@ -237,7 +263,7 @@ impl Client {
                 self.backoff(attempt - 1);
             }
             self.stats.attempts += 1;
-            match self.attempt(line) {
+            match self.attempt(line, attempt_timeout) {
                 Ok(Attempt::Response(v)) => {
                     let got = v.get("id").and_then(|x| match *x {
                         Json::U64(u) => Some(u),
@@ -290,11 +316,10 @@ impl Client {
     /// One attempt: ensure a connection, send the frame, read one line.
     /// `Ok(Attempt::Wire(_))` means the attempt died at the wire level
     /// (retryable); `Err` is terminal.
-    fn attempt(&mut self, line: &str) -> Result<Attempt, CallError> {
-        let deadline = Instant::now() + self.cfg.attempt_timeout;
+    fn attempt(&mut self, line: &str, attempt_timeout: Duration) -> Result<Attempt, CallError> {
+        let deadline = Instant::now() + attempt_timeout;
         if self.conn.is_none() {
-            match ChaosStream::connect(&self.cfg.addr, self.cfg.attempt_timeout, self.chaos.clone())
-            {
+            match ChaosStream::connect(&self.cfg.addr, attempt_timeout, self.chaos.clone()) {
                 Ok(conn) => {
                     if self.ever_connected {
                         self.stats.reconnects += 1;
@@ -526,6 +551,37 @@ impl Client {
         let line = self.stamped("flush");
         self.call_line(&line)?;
         Ok(())
+    }
+
+    /// Convenience: `wal_since` — the applied WAL records with
+    /// `seq > from` from a writable server's catch-up ring (the serving
+    /// half of replica catch-up).
+    pub fn wal_since(&mut self, from: u64) -> Result<Json, CallError> {
+        let line = Json::obj([
+            ("id", Json::U64(self.fresh_id())),
+            ("method", Json::Str("wal_since".to_string())),
+            ("params", Json::obj([("from", Json::U64(from))])),
+        ])
+        .render();
+        self.call_line(&line)
+    }
+
+    /// Convenience: `sync_from` — ask a writable server to pull and
+    /// apply the records it is missing from `peer` (the pulling half of
+    /// replica catch-up). `from` overrides the server's own cursor;
+    /// `None` lets it default to its last WAL sequence number.
+    pub fn sync_from(&mut self, peer: &str, from: Option<u64>) -> Result<Json, CallError> {
+        let mut params = vec![("peer".to_string(), Json::Str(peer.to_string()))];
+        if let Some(from) = from {
+            params.push(("from".to_string(), Json::U64(from)));
+        }
+        let line = Json::obj([
+            ("id", Json::U64(self.fresh_id())),
+            ("method", Json::Str("sync_from".to_string())),
+            ("params", Json::Obj(params)),
+        ])
+        .render();
+        self.call_line(&line)
     }
 }
 

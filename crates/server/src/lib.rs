@@ -44,14 +44,20 @@
 //!   the shards it can touch over the resilient clients, merges replies
 //!   per query mode (summing counts, short-circuiting exists, fusing
 //!   limits, de-duplicating boundary-replicated long segments), fans
-//!   writes to every replica shard with the client's request id intact,
-//!   and aggregates `stats` / `slowlog` / `health` per shard.
+//!   writes to every replica of every touched shard with the client's
+//!   request id intact, and aggregates `stats` / `slowlog` / `health`
+//!   per shard with `unreachable` markers for dark shards;
+//! * [`breaker`] — the per-replica circuit breaker behind the router's
+//!   health-driven failover: consecutive infrastructure failures trip
+//!   it open, a cooldown admits one half-open probe, and any success
+//!   (routed call or health ping) closes it again.
 //!
 //! Protocol and operational details are documented in the repo README
 //! ("Serving", "Resilient clients") and DESIGN.md ("Concurrent
 //! serving", §10 "Network failure model").
 
 pub mod bench;
+pub mod breaker;
 pub mod chaos;
 pub mod client;
 pub mod lifecycle;
@@ -60,6 +66,7 @@ pub mod proto;
 pub mod router;
 pub mod server;
 
+pub use breaker::{Breaker, BreakerConfig, BreakerState};
 pub use chaos::{ChaosListener, ChaosStream, NetFaultHandle, NetFaultPlan};
 pub use client::{CallError, Client, ClientConfig, QueryReply, WriteReply};
 pub use lifecycle::{Lifecycle, RequestRecord, SlowLog};

@@ -385,6 +385,10 @@ pub struct LoadReport {
     pub wrong: u64,
     /// Error responses of any kind.
     pub errors: u64,
+    /// Errors with code `degraded` — a routed cluster admitting that
+    /// every replica of some shard was unreachable. A replicated
+    /// cluster surviving a replica kill must keep this at zero.
+    pub degraded: u64,
     /// Errors with code `overloaded`.
     pub overloaded: u64,
     /// Errors with code `timeout`.
@@ -447,6 +451,7 @@ impl LoadReport {
             ok: 0,
             wrong: 0,
             errors: 0,
+            degraded: 0,
             overloaded: 0,
             timeouts: 0,
             io_failed: 0,
@@ -477,6 +482,7 @@ impl LoadReport {
         self.ok += t.ok;
         self.wrong += t.wrong;
         self.errors += t.errors;
+        self.degraded += t.degraded;
         self.overloaded += t.overloaded;
         self.timeouts += t.timeouts;
         self.io_failed += t.io_failed;
@@ -580,6 +586,7 @@ impl LoadReport {
             ("ok", Json::U64(self.ok)),
             ("wrong", Json::U64(self.wrong)),
             ("errors", Json::U64(self.errors)),
+            ("degraded", Json::U64(self.degraded)),
             ("overloaded", Json::U64(self.overloaded)),
             ("timeouts", Json::U64(self.timeouts)),
             ("io_failed", Json::U64(self.io_failed)),
@@ -753,6 +760,7 @@ fn run_connection(
                     tally.write_failed += 1;
                 }
                 match e.code() {
+                    code::DEGRADED => tally.degraded += 1,
                     code::OVERLOADED => tally.overloaded += 1,
                     code::TIMEOUT => tally.timeouts += 1,
                     "io" => tally.io_failed += 1,

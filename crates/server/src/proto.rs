@@ -24,6 +24,7 @@
 use segdb_core::QueryMode;
 use segdb_geom::Segment;
 use segdb_obs::json::{self, Json};
+use segdb_wal::{WalOp, WalRecord};
 
 /// Machine-readable error codes carried in `error.code`.
 pub mod code {
@@ -93,7 +94,7 @@ pub enum QueryShape {
 }
 
 /// A decoded request method.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Method {
     /// Run a query under a [`QueryMode`] and return ids (when the mode
     /// carries segments), the count, and the per-query trace.
@@ -125,10 +126,27 @@ pub enum Method {
     /// Describe the cluster topology. A single-node server reports role
     /// `"single"`; the router renders its static x-range shard map.
     ShardMap,
+    /// Replica catch-up, serving side: return the applied WAL records
+    /// with `seq > from` from the writable engine's in-memory history
+    /// ring, so a lagging peer can replay them.
+    WalSince {
+        /// Sequence cursor: records strictly after it are returned.
+        from: u64,
+    },
+    /// Replica catch-up, pulling side: connect to `peer` (another
+    /// writable replica of the same fragment), fetch its records after
+    /// `from` via `wal_since`, and apply them idempotently. `from`
+    /// defaults to this server's own last WAL sequence number.
+    SyncFrom {
+        /// Address of the up-to-date peer replica.
+        peer: String,
+        /// Explicit sequence cursor (defaults to the local `last_seq`).
+        from: Option<u64>,
+    },
 }
 
 /// A decoded request line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Client correlation id, echoed back in the response.
     pub id: Option<u64>,
@@ -276,6 +294,31 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "flush" => Method::Flush,
         "health" => Method::Health,
         "shard_map" => Method::ShardMap,
+        "wal_since" => {
+            let from = params
+                .get("from")
+                .and_then(as_u64)
+                .ok_or_else(|| ProtoError::bad(id, "wal_since needs an integer field `from`"))?;
+            Method::WalSince { from }
+        }
+        "sync_from" => {
+            let Some(peer) = params.get("peer").and_then(Json::as_str) else {
+                return Err(ProtoError::bad(
+                    id,
+                    "sync_from needs a string field `peer` (the up-to-date replica's address)",
+                ));
+            };
+            let from = match params.get("from") {
+                None => None,
+                Some(v) => Some(as_u64(v).ok_or_else(|| {
+                    ProtoError::bad(id, "sync_from field `from` must be an integer")
+                })?),
+            };
+            Method::SyncFrom {
+                peer: peer.to_string(),
+                from,
+            }
+        }
         "insert" | "delete" => {
             // Writes are only idempotent across retries when the client
             // names them: the correlation id is the idempotence key.
@@ -325,6 +368,47 @@ pub fn ok_line(id: Option<u64>, result: Json) -> String {
         ("result", result),
     ])
     .render()
+}
+
+/// Render one WAL record as the catch-up wire object carried in a
+/// `wal_since` reply (flat: seq, req_id, op, and the segment fields in
+/// the same shape `insert`/`delete` requests use).
+pub fn wal_record_json(rec: &WalRecord) -> Json {
+    let (op, seg) = match rec.op {
+        WalOp::Insert(seg) => ("insert", seg),
+        WalOp::Delete(seg) => ("delete", seg),
+    };
+    Json::obj([
+        ("seq", Json::U64(rec.seq)),
+        ("req_id", Json::U64(rec.req_id)),
+        ("op", Json::Str(op.to_string())),
+        ("seg", Json::U64(seg.id)),
+        ("x1", Json::I64(seg.a.x)),
+        ("y1", Json::I64(seg.a.y)),
+        ("x2", Json::I64(seg.b.x)),
+        ("y2", Json::I64(seg.b.y)),
+    ])
+}
+
+/// Decode one catch-up wire object back into a WAL record (the inverse
+/// of [`wal_record_json`]).
+pub fn parse_wal_record(v: &Json) -> Result<WalRecord, String> {
+    let seq = v
+        .get("seq")
+        .and_then(as_u64)
+        .ok_or("record missing integer field `seq`")?;
+    let req_id = v
+        .get("req_id")
+        .and_then(as_u64)
+        .ok_or("record missing integer field `req_id`")?;
+    let seg = parse_segment(v)?;
+    let op = match v.get("op").and_then(Json::as_str) {
+        Some("insert") => WalOp::Insert(seg),
+        Some("delete") => WalOp::Delete(seg),
+        Some(other) => return Err(format!("unknown record op `{other}`")),
+        None => return Err("record missing string field `op`".to_string()),
+    };
+    Ok(WalRecord { seq, req_id, op })
 }
 
 /// Render an error response line (no trailing newline).
@@ -458,6 +542,48 @@ mod tests {
         let e = parse_request(r#"{"id":3,"method":"query_line","params":{"x":3,"mode":"nope"}}"#)
             .unwrap_err();
         assert_eq!((e.id, e.code), (Some(3), code::BAD_REQUEST));
+    }
+
+    #[test]
+    fn parses_catch_up_methods_and_round_trips_records() {
+        let r = parse_request(r#"{"id":1,"method":"wal_since","params":{"from":7}}"#).unwrap();
+        assert_eq!(r.method, Method::WalSince { from: 7 });
+        let e = parse_request(r#"{"id":2,"method":"wal_since"}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(2), code::BAD_REQUEST));
+        let r = parse_request(r#"{"id":3,"method":"sync_from","params":{"peer":"127.0.0.1:9"}}"#)
+            .unwrap();
+        assert_eq!(
+            r.method,
+            Method::SyncFrom {
+                peer: "127.0.0.1:9".into(),
+                from: None
+            }
+        );
+        let r = parse_request(r#"{"id":4,"method":"sync_from","params":{"peer":"h:1","from":12}}"#)
+            .unwrap();
+        assert_eq!(
+            r.method,
+            Method::SyncFrom {
+                peer: "h:1".into(),
+                from: Some(12)
+            }
+        );
+        let e = parse_request(r#"{"id":5,"method":"sync_from","params":{"from":12}}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(5), code::BAD_REQUEST));
+
+        let seg = Segment::new(9, (1, 2), (3, 2)).unwrap();
+        for op in [WalOp::Insert(seg), WalOp::Delete(seg)] {
+            let rec = WalRecord {
+                seq: 41,
+                req_id: 77,
+                op,
+            };
+            let rendered = wal_record_json(&rec).render();
+            let back = parse_wal_record(&json::parse(&rendered).unwrap()).unwrap();
+            assert_eq!(back, rec);
+        }
+        let e = parse_wal_record(&json::parse(r#"{"seq":1,"req_id":2}"#).unwrap()).unwrap_err();
+        assert!(e.contains("seg"), "{e}");
     }
 
     #[test]

@@ -1,17 +1,36 @@
 //! The scatter-gather router: one NDJSON endpoint in front of a static
-//! x-range-sharded cluster of `segdb-server` shards.
+//! x-range-sharded cluster of `segdb-server` shards, each backed by an
+//! R-way replica set.
 //!
-//! **Topology.** A [`ShardMap`] pairs `K` shard addresses with the
+//! **Topology.** A [`ShardMap`] pairs `K` shard replica sets with the
 //! `K − 1` cut abscissae of a [`segdb_core::partition::XCuts`]: shard
 //! `i` *owns* the half-open x-range `[cuts[i-1], cuts[i])`, and every
 //! stored segment is replicated into each shard its closed x-span
 //! touches — the cross-process lift of Theorem 2's short/long split
-//! (`segdb-cli partition` fragments a CSV the same way).
+//! (`segdb-cli partition` fragments a CSV the same way). Within a
+//! shard, every replica stores the same fragment; the first listed
+//! replica is *preferred* for reads.
 //!
-//! **Reads.** A query is fanned out over the [`crate::client`] resilient
-//! clients to only the shards its abscissa can touch, and the replies
-//! are merged per [`QueryMode`] — mirroring the in-process `ReportSink`
-//! contract server-side:
+//! **Replication and health.** Each replica carries a circuit
+//! [`crate::breaker::Breaker`] fed by every routed call *and* by the
+//! router's `health` probes (which ping every replica, not just the
+//! preferred one — that is the recovery path that closes a breaker
+//! after a restart). Consecutive infrastructure failures trip the
+//! breaker open; after a cooldown it admits exactly one half-open
+//! probe. Open replicas are deprioritized, never excluded: a read that
+//! finds every replica open still probes one, so a fully-recovered
+//! shard converges back to green without operator help.
+//!
+//! **Reads.** A query fans out over the [`crate::client`] resilient
+//! clients to only the shards its abscissa can touch. Per shard the
+//! router walks the replica set in failover order (preferred first,
+//! open breakers last); the first answer wins. When more than one
+//! replica is live the first attempt is *hedged*: it gets a tight
+//! p99-derived deadline, and on a miss the router immediately tries
+//! the next replica, returning to the hedged replica with the full
+//! budget only if every alternative fails. Replies are merged per
+//! [`QueryMode`] — mirroring the in-process `ReportSink` contract
+//! server-side:
 //!
 //! * `Count` routes to the *owning* shard alone (which, by the
 //!   replication invariant, stores every segment stabbed there) and
@@ -24,21 +43,28 @@
 //!   `k` — the owner alone already witnesses `min(k, total)` hits, so
 //!   the fused answer always does too.
 //!
-//! **Writes.** `insert` / `delete` fan out to *every* shard the
-//! segment's span touches, forwarding the client's original request
-//! line verbatim so the id-keyed dedup window of each shard keeps the
-//! write exactly-once end-to-end through both client and router
-//! retries. The shard owning the segment's x-midpoint provides the
+//! **Writes.** `insert` / `delete` fan out to *every replica of every
+//! shard* the segment's span touches, forwarding the client's original
+//! request line verbatim so the id-keyed dedup window of each replica
+//! keeps the write exactly-once end-to-end through client, router, and
+//! failover retries. A shard acknowledges as soon as *any* of its
+//! replicas does; replicas that are down (or held open by their
+//! breaker) are recorded as *lagging* in the ack rather than failing
+//! the write — they catch up over the `sync_from` wire method before
+//! rejoining. The shard owning the segment's x-midpoint provides the
 //! authoritative acknowledgement.
 //!
-//! **Failure semantics.** The router spends its own bounded retry
-//! budget per shard call; when a shard stays unreachable the reply is a
+//! **Failure semantics.** The router spends a bounded retry budget per
+//! replica call and fails over within the shard; only when every
+//! replica of a touched shard is unreachable does the reply become a
 //! structured [`code::DEGRADED`] error naming the shard. That code is
 //! deliberately *terminal* to the resilient client — the router already
 //! retried — and replaying the same request id later is always safe.
 //! Shard answers that retrying cannot improve (`db`, `bad_request`, …)
-//! are relayed under their original code.
+//! are authoritative — every replica would repeat them — and are
+//! relayed under their original code without charging any breaker.
 
+use crate::breaker::{Breaker, BreakerConfig, BreakerState};
 use crate::chaos::NetFaultHandle;
 use crate::client::{CallError, Client, ClientConfig};
 use crate::proto::{self, code, Method, QueryShape};
@@ -62,59 +88,113 @@ const READ_POLL: Duration = Duration::from_millis(250);
 /// Base of the upstream clients' backoff-jitter seeds.
 const JITTER_SEED_BASE: u64 = 0x5EED_2070;
 
-/// The static cluster topology: shard addresses plus the x-cuts that
-/// partition ownership between them.
+/// Floor of the hedged first read attempt's deadline, in microseconds —
+/// a cold latency histogram must not make the router hedge every read.
+const HEDGE_DELAY_MIN_US: u64 = 25_000;
+
+/// Ceiling of the hedge delay, in microseconds: past half a second the
+/// hedge has stopped being a tail-latency device.
+const HEDGE_DELAY_MAX_US: u64 = 500_000;
+
+/// The static cluster topology: per-shard replica sets plus the x-cuts
+/// that partition ownership between the shards.
 #[derive(Debug, Clone)]
 pub struct ShardMap {
-    addrs: Vec<String>,
+    replicas: Vec<Vec<String>>,
+    preferred: Vec<String>,
     cuts: XCuts,
 }
 
 impl ShardMap {
-    /// Pair `addrs` with `cuts`; there must be exactly one more address
-    /// than cuts.
+    /// Pair one single-replica shard per address with `cuts`; there
+    /// must be exactly one more address than cuts. The v1 constructor —
+    /// [`ShardMap::new_replicated`] is the general form.
     pub fn new(addrs: Vec<String>, cuts: XCuts) -> Result<ShardMap, String> {
-        if addrs.is_empty() {
+        ShardMap::new_replicated(addrs.into_iter().map(|a| vec![a]).collect(), cuts)
+    }
+
+    /// Pair per-shard replica sets with `cuts`; there must be exactly
+    /// one more (non-empty, duplicate-free) set than cuts. The first
+    /// replica of each set is preferred for reads.
+    pub fn new_replicated(replicas: Vec<Vec<String>>, cuts: XCuts) -> Result<ShardMap, String> {
+        if replicas.is_empty() {
             return Err("shard map needs at least one shard".to_string());
         }
-        if addrs.len() != cuts.shard_count() {
+        if replicas.len() != cuts.shard_count() {
             return Err(format!(
-                "{} addresses for {} ownership ranges ({} cuts)",
-                addrs.len(),
+                "{} replica sets for {} ownership ranges ({} cuts)",
+                replicas.len(),
                 cuts.shard_count(),
                 cuts.cuts().len()
             ));
         }
-        Ok(ShardMap { addrs, cuts })
+        for (i, set) in replicas.iter().enumerate() {
+            if set.is_empty() {
+                return Err(format!("shard {i} carries an empty replica set"));
+            }
+            for (r, addr) in set.iter().enumerate() {
+                if set[..r].contains(addr) {
+                    return Err(format!("shard {i} lists replica `{addr}` twice"));
+                }
+            }
+        }
+        let preferred = replicas.iter().map(|set| set[0].clone()).collect();
+        Ok(ShardMap {
+            replicas,
+            preferred,
+            cuts,
+        })
     }
 
-    /// Parse the shard-map file format:
+    /// Parse the shard-map file format. v2 carries a replica set per
+    /// shard:
     ///
     /// ```json
     /// {"shards":[
-    ///   {"addr":"127.0.0.1:7001","until":-217},
-    ///   {"addr":"127.0.0.1:7002","until":310},
-    ///   {"addr":"127.0.0.1:7003"}
+    ///   {"replicas":["127.0.0.1:7001","127.0.0.1:8001"],"until":-217},
+    ///   {"replicas":["127.0.0.1:7002","127.0.0.1:8002"],"until":310},
+    ///   {"replicas":["127.0.0.1:7003","127.0.0.1:8003"]}
     /// ]}
+    /// ```
+    ///
+    /// and the v1 single-`addr` form stays readable (each shard becomes
+    /// a one-replica set):
+    ///
+    /// ```json
+    /// {"shards":[{"addr":"127.0.0.1:7001","until":-217},{"addr":"127.0.0.1:7002"}]}
     /// ```
     ///
     /// `until` is the shard's *exclusive* upper cut, required on every
     /// entry but the last and strictly increasing down the list; the
-    /// first shard is unbounded below, the last unbounded above.
+    /// first shard is unbounded below, the last unbounded above. When
+    /// an entry carries both `replicas` and `addr` (as the rendered
+    /// form does), `replicas` wins.
     pub fn parse(text: &str) -> Result<ShardMap, String> {
         let doc = json::parse(text.trim()).map_err(|e| format!("shard map is not JSON: {e}"))?;
         let shards = doc
             .get("shards")
             .and_then(Json::as_arr)
             .ok_or("shard map carries no `shards` array")?;
-        let mut addrs = Vec::with_capacity(shards.len());
+        let mut sets = Vec::with_capacity(shards.len());
         let mut cuts = Vec::new();
         for (i, entry) in shards.iter().enumerate() {
-            let addr = entry
-                .get("addr")
-                .and_then(Json::as_str)
-                .ok_or_else(|| format!("shard {i} carries no `addr`"))?;
-            addrs.push(addr.to_string());
+            let mut set = Vec::new();
+            if let Some(reps) = entry.get("replicas").and_then(Json::as_arr) {
+                for rep in reps {
+                    let addr = rep
+                        .as_str()
+                        .ok_or_else(|| format!("shard {i} carries a non-string replica address"))?;
+                    set.push(addr.to_string());
+                }
+            } else if let Some(addr) = entry.get("addr").and_then(Json::as_str) {
+                set.push(addr.to_string());
+            }
+            if set.is_empty() {
+                return Err(format!(
+                    "shard {i} carries neither `addr` nor a non-empty `replicas` list"
+                ));
+            }
+            sets.push(set);
             let until = entry.get("until").and_then(|v| match *v {
                 Json::I64(n) => Some(n),
                 Json::U64(n) => i64::try_from(n).ok(),
@@ -130,18 +210,26 @@ impl ShardMap {
             }
         }
         let cuts = XCuts::new(cuts).map_err(|e| e.to_string())?;
-        ShardMap::new(addrs, cuts)
+        ShardMap::new_replicated(sets, cuts)
     }
 
     /// Render back into the shard-map file format (round-trips
-    /// [`ShardMap::parse`]); also the wire `shard_map` reply body.
+    /// [`ShardMap::parse`]); also the wire `shard_map` reply body. Each
+    /// entry carries both the v2 `replicas` list and the v1 `addr`
+    /// (the preferred replica) so v1 readers keep working.
     pub fn to_json(&self) -> Json {
         let entries = self
-            .addrs
+            .replicas
             .iter()
             .enumerate()
-            .map(|(i, addr)| {
-                let mut fields = vec![("addr".to_string(), Json::Str(addr.clone()))];
+            .map(|(i, set)| {
+                let mut fields = vec![
+                    ("addr".to_string(), Json::Str(set[0].clone())),
+                    (
+                        "replicas".to_string(),
+                        Json::Arr(set.iter().map(|a| Json::Str(a.clone())).collect()),
+                    ),
+                ];
                 if let Some(&cut) = self.cuts.cuts().get(i) {
                     fields.push(("until".to_string(), Json::I64(cut)));
                 }
@@ -156,12 +244,18 @@ impl ShardMap {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.addrs.len()
+        self.replicas.len()
     }
 
-    /// The shard addresses, in ownership order.
+    /// The preferred (first) replica address of every shard, in
+    /// ownership order.
     pub fn addrs(&self) -> &[String] {
-        &self.addrs
+        &self.preferred
+    }
+
+    /// The full replica sets, in ownership order.
+    pub fn replica_sets(&self) -> &[Vec<String>] {
+        &self.replicas
     }
 
     /// The ownership cuts.
@@ -177,7 +271,7 @@ pub struct RouterConfig {
     pub addr: String,
     /// Per-attempt deadline of one upstream shard call.
     pub attempt_timeout: Duration,
-    /// Upstream retries per shard call after the first attempt. Kept
+    /// Upstream retries per replica call after the first attempt. Kept
     /// deliberately smaller than the client default — the downstream
     /// client retries too, and budgets multiply.
     pub max_retries: u32,
@@ -189,10 +283,16 @@ pub struct RouterConfig {
     pub idle_timeout: Duration,
     /// Bound on the connection drain in [`Router::wait`].
     pub drain_timeout: Duration,
-    /// Forward a wire `shutdown` to every shard (best-effort, single
-    /// attempt each) before stopping the router itself. Off by default
-    /// so in-process harnesses keep owning their shard lifecycles.
+    /// Forward a wire `shutdown` to every replica of every shard
+    /// (best-effort, single attempt each) before stopping the router
+    /// itself. Off by default so in-process harnesses keep owning
+    /// their shard lifecycles.
     pub forward_shutdown: bool,
+    /// Per-replica circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Hedge the first read attempt with a tight p99-derived deadline
+    /// whenever a shard has more than one live replica.
+    pub hedge_reads: bool,
     /// Wire-fault schedule injected into *upstream* shard connections —
     /// the torture-harness hook ([`crate::chaos`]).
     pub chaos: Option<NetFaultHandle>,
@@ -209,6 +309,8 @@ impl Default for RouterConfig {
             idle_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(5),
             forward_shutdown: false,
+            breaker: BreakerConfig::default(),
+            hedge_reads: true,
             chaos: None,
         }
     }
@@ -243,6 +345,16 @@ impl ShardTally {
     }
 }
 
+/// One replica's health state and call tallies, shared by every router
+/// connection (so a breaker tripped on one connection shields them all).
+#[derive(Debug)]
+struct ReplicaSlot {
+    addr: String,
+    breaker: Mutex<Breaker>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
 struct Shared {
     map: ShardMap,
     cfg: RouterConfig,
@@ -253,6 +365,10 @@ struct Shared {
     conn_seq: AtomicU64,
     stats: RouterStats,
     shards: Vec<ShardTally>,
+    replicas: Vec<Vec<ReplicaSlot>>,
+    started: Instant,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
 }
 
 impl Shared {
@@ -270,6 +386,28 @@ impl Shared {
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// The breakers' monotone clock: milliseconds since router start.
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Build the per-replica health slots for `map`.
+fn build_replica_slots(map: &ShardMap, cfg: &RouterConfig) -> Vec<Vec<ReplicaSlot>> {
+    map.replica_sets()
+        .iter()
+        .map(|set| {
+            set.iter()
+                .map(|addr| ReplicaSlot {
+                    addr: addr.clone(),
+                    breaker: Mutex::new(Breaker::new(cfg.breaker)),
+                    requests: AtomicU64::new(0),
+                    errors: AtomicU64::new(0),
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// A running scatter-gather router. Obtain the bound address with
@@ -281,12 +419,14 @@ pub struct Router {
 }
 
 impl Router {
-    /// Bind and start routing for `map` — shards may come and go; each
-    /// request discovers reachability through its own fan-out.
+    /// Bind and start routing for `map` — replicas may come and go;
+    /// each request discovers reachability through its own fan-out and
+    /// the shared per-replica breakers.
     pub fn start(map: ShardMap, cfg: RouterConfig) -> io::Result<Router> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local = listener.local_addr()?;
         let shards = (0..map.shard_count()).map(|_| ShardTally::new()).collect();
+        let replicas = build_replica_slots(&map, &cfg);
         let shared = Arc::new(Shared {
             map,
             cfg,
@@ -297,6 +437,10 @@ impl Router {
             conn_seq: AtomicU64::new(0),
             stats: RouterStats::default(),
             shards,
+            replicas,
+            started: Instant::now(),
+            failovers: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -381,7 +525,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 /// One downstream connection: a private set of upstream clients (one
-/// per shard, connected lazily) plus the read-parse-route-reply loop.
+/// per replica, connected lazily) plus the read-parse-route-reply loop.
 fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
@@ -458,70 +602,291 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
-/// Build one resilient upstream client per shard, seeded distinctly per
-/// connection so concurrent backoff jitter never synchronizes.
-fn upstream_clients(shared: &Shared, conn_seq: u64) -> Vec<Client> {
+/// Build one resilient upstream client per replica, seeded distinctly
+/// per connection so concurrent backoff jitter never synchronizes.
+fn upstream_clients(shared: &Shared, conn_seq: u64) -> Vec<Vec<Client>> {
     shared
         .map
-        .addrs()
+        .replica_sets()
         .iter()
         .enumerate()
-        .map(|(i, addr)| {
-            let cfg = ClientConfig {
-                addr: addr.clone(),
-                attempt_timeout: shared.cfg.attempt_timeout,
-                max_retries: shared.cfg.max_retries,
-                jitter_seed: JITTER_SEED_BASE
-                    .wrapping_add(conn_seq.wrapping_mul(0x9E37_79B9))
-                    .wrapping_add(i as u64),
-                max_line_bytes: shared.cfg.max_line_bytes,
-                ..ClientConfig::default()
-            };
-            match &shared.cfg.chaos {
-                Some(h) => Client::with_chaos(cfg, h.clone()),
-                None => Client::new(cfg),
-            }
+        .map(|(s, set)| {
+            set.iter()
+                .enumerate()
+                .map(|(r, addr)| {
+                    let cfg = ClientConfig {
+                        addr: addr.clone(),
+                        attempt_timeout: shared.cfg.attempt_timeout,
+                        max_retries: shared.cfg.max_retries,
+                        jitter_seed: JITTER_SEED_BASE
+                            .wrapping_add(conn_seq.wrapping_mul(0x9E37_79B9))
+                            .wrapping_add((s as u64) << 8)
+                            .wrapping_add(r as u64),
+                        max_line_bytes: shared.cfg.max_line_bytes,
+                        ..ClientConfig::default()
+                    };
+                    match &shared.cfg.chaos {
+                        Some(h) => Client::with_chaos(cfg, h.clone()),
+                        None => Client::new(cfg),
+                    }
+                })
+                .collect()
         })
         .collect()
 }
 
-/// Best-effort shutdown fan-out: one un-retried attempt per shard.
+/// Best-effort shutdown fan-out: one un-retried attempt per replica.
 fn forward_shutdown(shared: &Shared) {
-    for addr in shared.map.addrs() {
-        let mut one_shot = Client::new(ClientConfig {
-            addr: addr.clone(),
-            attempt_timeout: Duration::from_millis(500),
-            max_retries: 0,
-            ..ClientConfig::default()
-        });
-        let _ = one_shot.call_line(r#"{"method":"shutdown"}"#);
+    for set in shared.map.replica_sets() {
+        for addr in set {
+            let mut one_shot = Client::new(ClientConfig {
+                addr: addr.clone(),
+                attempt_timeout: Duration::from_millis(500),
+                max_retries: 0,
+                ..ClientConfig::default()
+            });
+            let _ = one_shot.call_line(r#"{"method":"shutdown"}"#);
+        }
     }
 }
 
-/// One timed upstream call against shard `i`, forwarded verbatim.
-fn shard_call(
+/// True when `err` says the replica's *infrastructure* failed (budget
+/// exhausted on wire faults, or the replica draining away) — the
+/// outcomes that charge its breaker and justify failing over. Every
+/// other terminal error is an authoritative answer: the replica is
+/// healthy and its twins would say the same.
+fn infra_failure(err: &CallError) -> bool {
+    match err {
+        CallError::Exhausted { .. } => true,
+        CallError::Terminal { code: c, .. } => c == code::SHUTTING_DOWN,
+    }
+}
+
+/// One timed upstream call against replica `r` of shard `s`; tallies
+/// land on both the shard aggregate and the replica slot.
+fn replica_call<T>(
     shared: &Shared,
-    clients: &mut [Client],
-    i: usize,
-    line: &str,
-) -> Result<Json, CallError> {
+    s: usize,
+    r: usize,
+    call: impl FnOnce() -> Result<T, CallError>,
+) -> Result<T, CallError> {
     let started = Instant::now();
-    Shared::bump(&shared.shards[i].requests);
-    let result = clients[i].call_line(line);
+    Shared::bump(&shared.shards[s].requests);
+    Shared::bump(&shared.replicas[s][r].requests);
+    let result = call();
     let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-    lock(&shared.shards[i].latency).observe(us);
+    lock(&shared.shards[s].latency).observe(us);
     if result.is_err() {
-        Shared::bump(&shared.shards[i].errors);
+        Shared::bump(&shared.shards[s].errors);
+        Shared::bump(&shared.replicas[s][r].errors);
     }
     result
 }
 
+/// The order a read walks shard replicas: a rotation starting at
+/// `preferred`, with open-breaker replicas demoted to the tail as a
+/// last resort — demoted, never dropped, so a read that finds every
+/// breaker open still probes one instead of fast-failing degraded.
+fn read_order(states: &[BreakerState], preferred: usize) -> Vec<usize> {
+    let n = states.len();
+    let rotated: Vec<usize> = (0..n).map(|k| (preferred + k) % n).collect();
+    let mut order: Vec<usize> = rotated
+        .iter()
+        .copied()
+        .filter(|&r| states[r] != BreakerState::Open)
+        .collect();
+    order.extend(
+        rotated
+            .iter()
+            .copied()
+            .filter(|&r| states[r] == BreakerState::Open),
+    );
+    order
+}
+
+/// Clamp a shard's observed p99 round-trip into the hedge-deadline
+/// window.
+fn hedge_delay_us(p99_us: u64) -> u64 {
+    p99_us.clamp(HEDGE_DELAY_MIN_US, HEDGE_DELAY_MAX_US)
+}
+
+/// The hedged first attempt's deadline for shard `s`: its observed p99
+/// round-trip, clamped, and never beyond the configured full deadline.
+fn hedge_delay(shared: &Shared, s: usize) -> Duration {
+    let p99_us = lock(&shared.shards[s].latency).quantile_bound(0.99);
+    Duration::from_micros(hedge_delay_us(p99_us)).min(shared.cfg.attempt_timeout)
+}
+
+/// One read against shard `s`, walking its replicas in failover order.
+/// The first replica may be tried under a tight hedged deadline (its
+/// full-budget turn comes back around last); authoritative data errors
+/// return immediately; infrastructure failures charge the breaker and
+/// fail over.
+fn shard_read(
+    shared: &Shared,
+    clients: &mut [Vec<Client>],
+    s: usize,
+    raw_line: &str,
+) -> Result<Json, CallError> {
+    let now = shared.now_ms();
+    let states: Vec<BreakerState> = shared.replicas[s]
+        .iter()
+        .map(|slot| lock(&slot.breaker).state(now))
+        .collect();
+    let order = read_order(&states, 0);
+    let n = order.len();
+    let mut tried_any = false;
+    let mut hedged_first = None;
+    let mut last_err: Option<CallError> = None;
+    for (pos, &r) in order.iter().enumerate() {
+        let slot = &shared.replicas[s][r];
+        let admitted = lock(&slot.breaker).admit(shared.now_ms());
+        let is_last = pos + 1 == n;
+        // An unadmitted replica is skipped — unless it is the last
+        // candidate and nothing was tried yet, the forced last-resort
+        // attempt that keeps recovery from deadlocking on its breaker.
+        if !admitted && (!is_last || tried_any) {
+            continue;
+        }
+        let hedged = pos == 0 && n >= 2 && shared.cfg.hedge_reads;
+        let result = if hedged {
+            let delay = hedge_delay(shared, s);
+            replica_call(shared, s, r, || {
+                clients[s][r].call_line_bounded(raw_line, delay, 0)
+            })
+        } else {
+            replica_call(shared, s, r, || clients[s][r].call_line(raw_line))
+        };
+        tried_any = true;
+        match result {
+            Ok(v) => {
+                lock(&slot.breaker).record_success(shared.now_ms());
+                if pos > 0 {
+                    Shared::bump(&shared.failovers);
+                }
+                return Ok(v);
+            }
+            Err(e) if !infra_failure(&e) => {
+                // The replica answered; its twins would answer the same.
+                lock(&slot.breaker).record_success(shared.now_ms());
+                return Err(e);
+            }
+            Err(e) => {
+                if hedged {
+                    // Missing the tight hedge deadline is not evidence
+                    // of a dead replica — count the hedge, keep the
+                    // breaker out of it, and come back with the full
+                    // budget only if every alternative fails.
+                    Shared::bump(&shared.hedges);
+                    hedged_first = Some(r);
+                } else {
+                    lock(&slot.breaker).record_failure(shared.now_ms());
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    if let Some(r) = hedged_first {
+        let slot = &shared.replicas[s][r];
+        match replica_call(shared, s, r, || clients[s][r].call_line(raw_line)) {
+            Ok(v) => {
+                lock(&slot.breaker).record_success(shared.now_ms());
+                return Ok(v);
+            }
+            Err(e) if !infra_failure(&e) => {
+                lock(&slot.breaker).record_success(shared.now_ms());
+                return Err(e);
+            }
+            Err(e) => {
+                lock(&slot.breaker).record_failure(shared.now_ms());
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or(CallError::Exhausted {
+        attempts: 0,
+        last: "every replica is held open by its circuit breaker".to_string(),
+    }))
+}
+
+/// Outcome of fanning one idempotent write line across a shard's
+/// replica set.
+enum FanOutcome {
+    /// At least one replica acknowledged. `lagging` lists replicas that
+    /// missed the write (down, or held open by their breaker) and must
+    /// catch up over `sync_from` before rejoining reads.
+    Acked {
+        first: Json,
+        acked: usize,
+        lagging: Vec<String>,
+    },
+    /// No replica produced an acknowledgement: either an authoritative
+    /// rejection (relayed under its own code) or the whole set down
+    /// (rendered degraded) — [`shard_error_line`] distinguishes.
+    Failed(CallError),
+}
+
+/// Fan one write (or flush) to every replica of shard `s`. The
+/// original request line — and so the client's request id, the
+/// replica-side idempotence key — is forwarded verbatim, so a
+/// partially-applied fan-out converges when the client replays the
+/// same id after a `degraded` reply.
+fn fan_write_to_shard(
+    shared: &Shared,
+    clients: &mut [Vec<Client>],
+    s: usize,
+    raw_line: &str,
+) -> FanOutcome {
+    let mut first = None;
+    let mut acked = 0usize;
+    let mut lagging = Vec::new();
+    let mut last_err: Option<CallError> = None;
+    for (r, slot) in shared.replicas[s].iter().enumerate() {
+        if !lock(&slot.breaker).admit(shared.now_ms()) {
+            // A replica the breaker holds open misses this write; it is
+            // reported lagging, not fatal.
+            lagging.push(slot.addr.clone());
+            continue;
+        }
+        match replica_call(shared, s, r, || clients[s][r].call_line(raw_line)) {
+            Ok(result) => {
+                lock(&slot.breaker).record_success(shared.now_ms());
+                acked += 1;
+                if first.is_none() {
+                    first = Some(result);
+                }
+            }
+            Err(e) if infra_failure(&e) => {
+                lock(&slot.breaker).record_failure(shared.now_ms());
+                lagging.push(slot.addr.clone());
+                last_err = Some(e);
+            }
+            Err(e) => {
+                // An authoritative rejection every replica would repeat.
+                lock(&slot.breaker).record_success(shared.now_ms());
+                return FanOutcome::Failed(e);
+            }
+        }
+    }
+    match first {
+        Some(first) => FanOutcome::Acked {
+            first,
+            acked,
+            lagging,
+        },
+        None => FanOutcome::Failed(last_err.unwrap_or(CallError::Exhausted {
+            attempts: 0,
+            last: "every replica is held open by its circuit breaker".to_string(),
+        })),
+    }
+}
+
 /// Render a shard failure downstream: answers retrying cannot improve
 /// are relayed under their original code; infrastructure failures (the
-/// retry budget exhausted, or a shard draining away) become the
-/// structured `degraded` error. Replaying the same request id after a
-/// `degraded` reply is always safe — shard-side dedup keeps replicated
-/// writes exactly-once.
+/// retry budget exhausted on every replica, or a shard draining away)
+/// become the structured `degraded` error. Replaying the same request
+/// id after a `degraded` reply is always safe — replica-side dedup
+/// keeps replicated writes exactly-once.
 fn shard_error_line(shared: &Shared, id: Option<u64>, i: usize, err: &CallError) -> String {
     let addr = &shared.map.addrs()[i];
     Shared::bump(&shared.stats.errors);
@@ -619,7 +984,7 @@ fn merged_query_line(
 /// error line.
 fn route(
     shared: &Shared,
-    clients: &mut [Client],
+    clients: &mut [Vec<Client>],
     id: Option<u64>,
     method: Method,
     raw_line: &str,
@@ -631,20 +996,28 @@ fn route(
         }
         Method::Trace(shape) => {
             let owner = shared.map.cuts().owner_of_x(shape_x_extent(shape).0);
-            match shard_call(shared, clients, owner, raw_line) {
+            match shard_read(shared, clients, owner, raw_line) {
                 Ok(result) => Ok(proto::ok_line(id, result)),
                 Err(e) => Err(shard_error_line(shared, id, owner, &e)),
             }
         }
         Method::Flush => {
             let mut outcome = Ok(proto::ok_line(id, Json::Bool(true)));
-            for i in 0..clients.len() {
-                if let Err(e) = shard_call(shared, clients, i, raw_line) {
-                    outcome = Err(shard_error_line(shared, id, i, &e));
+            for s in 0..shared.map.shard_count() {
+                if let FanOutcome::Failed(e) = fan_write_to_shard(shared, clients, s, raw_line) {
+                    outcome = Err(shard_error_line(shared, id, s, &e));
                     break;
                 }
             }
             outcome
+        }
+        Method::WalSince { .. } | Method::SyncFrom { .. } => {
+            Shared::bump(&shared.stats.errors);
+            Err(proto::err_line(
+                id,
+                code::BAD_REQUEST,
+                "replica catch-up targets one replica directly: send `wal_since`/`sync_from` to the replica's own address, not the router",
+            ))
         }
         Method::Stats => Ok(proto::ok_line(id, stats_json(shared, clients))),
         Method::SlowLog => Ok(proto::ok_line(id, slowlog_json(shared, clients))),
@@ -665,7 +1038,7 @@ fn route(
 
 fn route_query(
     shared: &Shared,
-    clients: &mut [Client],
+    clients: &mut [Vec<Client>],
     id: Option<u64>,
     shape: QueryShape,
     mode: QueryMode,
@@ -678,7 +1051,7 @@ fn route_query(
         QueryMode::Count => {
             let mut total = 0u64;
             for i in lo..=hi {
-                match shard_call(shared, clients, i, raw_line) {
+                match shard_read(shared, clients, i, raw_line) {
                     Ok(result) => total += reply_count(&result),
                     Err(e) => return Err(shard_error_line(shared, id, i, &e)),
                 }
@@ -687,7 +1060,7 @@ fn route_query(
         }
         QueryMode::Exists => {
             for i in lo..=hi {
-                match shard_call(shared, clients, i, raw_line) {
+                match shard_read(shared, clients, i, raw_line) {
                     Ok(result) if reply_count(&result) > 0 => {
                         // Short-circuit on the first witness.
                         return Ok(merged_query_line(id, Vec::new(), 1, mode, i - lo + 1));
@@ -701,7 +1074,7 @@ fn route_query(
         QueryMode::Collect => {
             let mut merged = BTreeSet::new();
             for i in lo..=hi {
-                match shard_call(shared, clients, i, raw_line) {
+                match shard_read(shared, clients, i, raw_line) {
                     Ok(result) => merged.extend(reply_ids(&result)),
                     Err(e) => return Err(shard_error_line(shared, id, i, &e)),
                 }
@@ -723,7 +1096,7 @@ fn route_query(
             let mut asked = 0;
             for i in lo..=hi {
                 asked += 1;
-                match shard_call(shared, clients, i, raw_line) {
+                match shard_read(shared, clients, i, raw_line) {
                     Ok(result) => merged.extend(reply_ids(&result)),
                     Err(e) => return Err(shard_error_line(shared, id, i, &e)),
                 }
@@ -740,7 +1113,7 @@ fn route_query(
 
 fn route_write(
     shared: &Shared,
-    clients: &mut [Client],
+    clients: &mut [Vec<Client>],
     id: Option<u64>,
     seg: &Segment,
     raw_line: &str,
@@ -748,33 +1121,116 @@ fn route_write(
     let (lo, hi) = shared.map.cuts().shards_of(seg);
     let owner = shared.map.cuts().owner_of(seg);
     let mut owner_ack = Json::Null;
-    for i in lo..=hi {
-        // The original request line — and so the client's request id,
-        // the shard-side idempotence key — is forwarded verbatim to
-        // every replica; a partially-applied fan-out converges when the
-        // client replays the same id after a `degraded` reply.
-        match shard_call(shared, clients, i, raw_line) {
-            Ok(result) => {
-                if i == owner {
-                    owner_ack = result;
+    let mut fanned = 0u64;
+    let mut acked = 0u64;
+    let mut lagging = Vec::new();
+    for s in lo..=hi {
+        fanned += shared.replicas[s].len() as u64;
+        match fan_write_to_shard(shared, clients, s, raw_line) {
+            FanOutcome::Acked {
+                first,
+                acked: n,
+                lagging: lag,
+            } => {
+                acked += n as u64;
+                lagging.extend(lag.into_iter().map(Json::Str));
+                if s == owner {
+                    owner_ack = first;
                 }
             }
-            Err(e) => return Err(shard_error_line(shared, id, i, &e)),
+            FanOutcome::Failed(e) => return Err(shard_error_line(shared, id, s, &e)),
         }
     }
     if let Json::Obj(fields) = &mut owner_ack {
-        fields.push(("replicas".to_string(), Json::U64((hi - lo + 1) as u64)));
+        fields.push(("replicas".to_string(), Json::U64(fanned)));
+        fields.push(("acked".to_string(), Json::U64(acked)));
+        if !lagging.is_empty() {
+            fields.push(("lagging".to_string(), Json::Arr(lagging)));
+        }
     }
     Ok(proto::ok_line(id, owner_ack))
 }
 
-/// One per-shard accounting entry of the router's `stats` reply: the
-/// upstream call tallies and the latency histogram (summary + buckets)
-/// that `segdb-load --cluster` lifts into `BENCH_serve.json`.
-fn shard_tally_json(addr: &str, tally: &ShardTally) -> Json {
-    let latency = lock(&tally.latency);
+/// Fetch one document from shard `s` by walking its replicas in
+/// failover order, skipping replicas the breaker rejects. `Ok` carries
+/// the replica index that answered; `Err(None)` means every replica
+/// was held open by its breaker.
+fn fetch_from_replicas(
+    shared: &Shared,
+    clients: &mut [Vec<Client>],
+    s: usize,
+    mut fetch: impl FnMut(&mut Client) -> Result<Json, CallError>,
+) -> Result<(usize, Json), Option<CallError>> {
+    let now = shared.now_ms();
+    let states: Vec<BreakerState> = shared.replicas[s]
+        .iter()
+        .map(|slot| lock(&slot.breaker).state(now))
+        .collect();
+    let mut last_err = None;
+    for r in read_order(&states, 0) {
+        let slot = &shared.replicas[s][r];
+        if !lock(&slot.breaker).admit(shared.now_ms()) {
+            continue;
+        }
+        match replica_call(shared, s, r, || fetch(&mut clients[s][r])) {
+            Ok(doc) => {
+                lock(&slot.breaker).record_success(shared.now_ms());
+                return Ok((r, doc));
+            }
+            Err(e) => {
+                if infra_failure(&e) {
+                    lock(&slot.breaker).record_failure(shared.now_ms());
+                } else {
+                    lock(&slot.breaker).record_success(shared.now_ms());
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err)
+}
+
+/// The entry rendered for a shard none of whose replicas produced a
+/// document: the aggregate stays partial and the shard is flagged
+/// `unreachable` so dashboards can tell a dark shard from an empty one.
+fn unreachable_entry(shared: &Shared, s: usize, err: Option<CallError>) -> Json {
+    let detail = match err {
+        Some(e) => e.to_string(),
+        None => "every replica is held open by its circuit breaker".to_string(),
+    };
     Json::obj([
-        ("addr", Json::Str(addr.to_string())),
+        ("addr", Json::Str(shared.map.addrs()[s].clone())),
+        ("ok", Json::Bool(false)),
+        ("unreachable", Json::Bool(true)),
+        ("error", Json::Str(detail)),
+    ])
+}
+
+/// One per-shard accounting entry of the router's `stats` reply: the
+/// upstream call tallies, the latency histogram (summary + buckets)
+/// that `segdb-load --cluster` lifts into `BENCH_serve.json`, and the
+/// per-replica call/breaker breakdown.
+fn shard_tally_json(shared: &Shared, s: usize, now_ms: u64) -> Json {
+    let tally = &shared.shards[s];
+    let latency = lock(&tally.latency);
+    let replicas = shared.replicas[s]
+        .iter()
+        .map(|slot| {
+            let breaker = lock(&slot.breaker);
+            Json::obj([
+                ("addr", Json::Str(slot.addr.clone())),
+                ("requests", Json::U64(slot.requests.load(Ordering::Relaxed))),
+                ("errors", Json::U64(slot.errors.load(Ordering::Relaxed))),
+                (
+                    "breaker",
+                    Json::Str(breaker.state(now_ms).name().to_string()),
+                ),
+                ("opens", Json::U64(breaker.opens())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("addr", Json::Str(shared.map.addrs()[s].clone())),
         (
             "requests",
             Json::U64(tally.requests.load(Ordering::Relaxed)),
@@ -782,49 +1238,56 @@ fn shard_tally_json(addr: &str, tally: &ShardTally) -> Json {
         ("errors", Json::U64(tally.errors.load(Ordering::Relaxed))),
         ("latency_us", latency.summary_json()),
         ("histogram", latency.to_json()),
+        ("replicas", Json::Arr(replicas)),
     ])
 }
 
-fn stats_json(shared: &Shared, clients: &mut [Client]) -> Json {
+/// Total breaker trips across every replica of every shard.
+fn breaker_opens_total(shared: &Shared) -> u64 {
+    shared
+        .replicas
+        .iter()
+        .flatten()
+        .map(|slot| lock(&slot.breaker).opens())
+        .sum()
+}
+
+fn stats_json(shared: &Shared, clients: &mut [Vec<Client>]) -> Json {
     let s = &shared.stats;
     let mut segments = 0u64;
-    let mut shard_docs = Vec::with_capacity(clients.len());
-    for (i, addr) in shared.map.addrs().iter().enumerate() {
-        let started = Instant::now();
-        Shared::bump(&shared.shards[i].requests);
-        let fetched = clients[i].remote_stats();
-        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        lock(&shared.shards[i].latency).observe(us);
-        shard_docs.push(match fetched {
-            Ok(doc) => {
-                segments += doc.get("segments").and_then(Json::as_f64).unwrap_or(0.0) as u64;
-                Json::obj([
-                    ("addr", Json::Str(addr.clone())),
-                    ("ok", Json::Bool(true)),
-                    ("stats", doc),
-                ])
-            }
-            Err(e) => {
-                Shared::bump(&shared.shards[i].errors);
-                Json::obj([
-                    ("addr", Json::Str(addr.clone())),
-                    ("ok", Json::Bool(false)),
-                    ("error", Json::Str(e.to_string())),
-                ])
-            }
-        });
+    let mut shard_docs = Vec::with_capacity(shared.map.shard_count());
+    for i in 0..shared.map.shard_count() {
+        shard_docs.push(
+            match fetch_from_replicas(shared, clients, i, Client::remote_stats) {
+                Ok((r, doc)) => {
+                    segments += doc.get("segments").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                    Json::obj([
+                        ("addr", Json::Str(shared.replicas[i][r].addr.clone())),
+                        ("ok", Json::Bool(true)),
+                        ("stats", doc),
+                    ])
+                }
+                Err(e) => unreachable_entry(shared, i, e),
+            },
+        );
     }
-    let tallies = shared
-        .map
-        .addrs()
-        .iter()
-        .zip(&shared.shards)
-        .map(|(addr, tally)| shard_tally_json(addr, tally))
+    let now = shared.now_ms();
+    let tallies = (0..shared.map.shard_count())
+        .map(|i| shard_tally_json(shared, i, now))
         .collect();
+    let failover = Json::obj([
+        (
+            "failovers",
+            Json::U64(shared.failovers.load(Ordering::Relaxed)),
+        ),
+        ("hedges", Json::U64(shared.hedges.load(Ordering::Relaxed))),
+        ("breaker_opens", Json::U64(breaker_opens_total(shared))),
+    ]);
     Json::obj([
         ("role", Json::Str("router".to_string())),
         // Stored replicas across the cluster (boundary-crossing long
-        // segments count once per shard holding them).
+        // segments count once per shard holding them; only one replica
+        // per shard is consulted, so R-way copies do not multiply it).
         ("segments", Json::U64(segments)),
         (
             "server",
@@ -839,26 +1302,27 @@ fn stats_json(shared: &Shared, clients: &mut [Client]) -> Json {
                 ("degraded", Json::U64(s.degraded.load(Ordering::Relaxed))),
             ]),
         ),
-        ("router", Json::obj([("shards", Json::Arr(tallies))])),
+        (
+            "router",
+            Json::obj([("shards", Json::Arr(tallies)), ("failover", failover)]),
+        ),
         ("shards", Json::Arr(shard_docs)),
     ])
 }
 
-fn slowlog_json(shared: &Shared, clients: &mut [Client]) -> Json {
-    let mut entries = Vec::with_capacity(clients.len());
-    for (i, addr) in shared.map.addrs().iter().enumerate() {
-        entries.push(match clients[i].remote_slowlog() {
-            Ok(doc) => Json::obj([
-                ("addr", Json::Str(addr.clone())),
-                ("ok", Json::Bool(true)),
-                ("slowlog", doc),
-            ]),
-            Err(e) => Json::obj([
-                ("addr", Json::Str(addr.clone())),
-                ("ok", Json::Bool(false)),
-                ("error", Json::Str(e.to_string())),
-            ]),
-        });
+fn slowlog_json(shared: &Shared, clients: &mut [Vec<Client>]) -> Json {
+    let mut entries = Vec::with_capacity(shared.map.shard_count());
+    for i in 0..shared.map.shard_count() {
+        entries.push(
+            match fetch_from_replicas(shared, clients, i, Client::remote_slowlog) {
+                Ok((r, doc)) => Json::obj([
+                    ("addr", Json::Str(shared.replicas[i][r].addr.clone())),
+                    ("ok", Json::Bool(true)),
+                    ("slowlog", doc),
+                ]),
+                Err(e) => unreachable_entry(shared, i, e),
+            },
+        );
     }
     Json::obj([
         ("role", Json::Str("router".to_string())),
@@ -866,32 +1330,53 @@ fn slowlog_json(shared: &Shared, clients: &mut [Client]) -> Json {
     ])
 }
 
-fn health_json(shared: &Shared, clients: &mut [Client]) -> Json {
+/// The router's `health`: ping *every* replica of every shard — the
+/// probe outcomes feed the breakers, which is how a restarted replica's
+/// breaker closes again. A shard is `ok` when any replica answers; the
+/// top-level `ok` demands every replica of every shard live, so the
+/// document turns red the moment one replica dies and green only after
+/// it is back (the check-script smoke watches exactly that bit).
+fn health_json(shared: &Shared, clients: &mut [Vec<Client>]) -> Json {
     let mut all_ok = true;
-    let mut entries = Vec::with_capacity(clients.len());
-    for (i, addr) in shared.map.addrs().iter().enumerate() {
-        match clients[i].ping() {
-            Ok(true) => entries.push(Json::obj([
-                ("addr", Json::Str(addr.clone())),
-                ("ok", Json::Bool(true)),
-            ])),
-            Ok(false) => {
-                all_ok = false;
-                entries.push(Json::obj([
-                    ("addr", Json::Str(addr.clone())),
-                    ("ok", Json::Bool(false)),
-                    ("error", Json::Str("unexpected pong".to_string())),
-                ]));
+    let mut entries = Vec::with_capacity(shared.map.shard_count());
+    for (s, row) in clients.iter_mut().enumerate() {
+        let mut any_ok = false;
+        let mut reps = Vec::with_capacity(shared.replicas[s].len());
+        for (r, client) in row.iter_mut().enumerate() {
+            let slot = &shared.replicas[s][r];
+            let outcome = client.ping();
+            let mut fields = vec![("addr".to_string(), Json::Str(slot.addr.clone()))];
+            match outcome {
+                Ok(true) => {
+                    lock(&slot.breaker).record_success(shared.now_ms());
+                    any_ok = true;
+                    fields.push(("ok".to_string(), Json::Bool(true)));
+                }
+                Ok(false) => {
+                    all_ok = false;
+                    lock(&slot.breaker).record_failure(shared.now_ms());
+                    fields.push(("ok".to_string(), Json::Bool(false)));
+                    fields.push((
+                        "error".to_string(),
+                        Json::Str("unexpected pong".to_string()),
+                    ));
+                }
+                Err(e) => {
+                    all_ok = false;
+                    lock(&slot.breaker).record_failure(shared.now_ms());
+                    fields.push(("ok".to_string(), Json::Bool(false)));
+                    fields.push(("error".to_string(), Json::Str(e.to_string())));
+                }
             }
-            Err(e) => {
-                all_ok = false;
-                entries.push(Json::obj([
-                    ("addr", Json::Str(addr.clone())),
-                    ("ok", Json::Bool(false)),
-                    ("error", Json::Str(e.to_string())),
-                ]));
-            }
+            let state = lock(&slot.breaker).state(shared.now_ms());
+            fields.push(("breaker".to_string(), Json::Str(state.name().to_string())));
+            reps.push(Json::Obj(fields));
         }
+        entries.push(Json::obj([
+            ("addr", Json::Str(shared.map.addrs()[s].clone())),
+            ("ok", Json::Bool(any_ok)),
+            ("replicas", Json::Arr(reps)),
+        ]));
     }
     Json::obj([
         ("ok", Json::Bool(all_ok)),
@@ -903,6 +1388,7 @@ fn health_json(shared: &Shared, clients: &mut [Client]) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead as _, Write as _};
 
     #[test]
     fn shard_map_parse_round_trips() {
@@ -913,7 +1399,36 @@ mod tests {
         let rendered = map.to_json().render();
         let again = ShardMap::parse(&rendered).unwrap();
         assert_eq!(again.addrs(), map.addrs());
+        assert_eq!(again.replica_sets(), map.replica_sets());
         assert_eq!(again.cuts(), map.cuts());
+    }
+
+    #[test]
+    fn shard_map_parses_replicated_topologies() {
+        let text = r#"{"shards":[
+            {"replicas":["127.0.0.1:7001","127.0.0.1:8001"],"until":0},
+            {"replicas":["127.0.0.1:7002","127.0.0.1:8002"]}
+        ]}"#;
+        let map = ShardMap::parse(text).unwrap();
+        assert_eq!(map.shard_count(), 2);
+        // The first replica of each set is preferred — and doubles as
+        // the v1 `addr` when rendered.
+        assert_eq!(map.addrs(), &["127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert_eq!(
+            map.replica_sets()[1],
+            vec!["127.0.0.1:7002".to_string(), "127.0.0.1:8002".to_string()]
+        );
+        let again = ShardMap::parse(&map.to_json().render()).unwrap();
+        assert_eq!(again.replica_sets(), map.replica_sets());
+        // Empty and duplicate replica sets are rejected.
+        assert!(ShardMap::parse(r#"{"shards":[{"replicas":[]}]}"#).is_err());
+        assert!(ShardMap::parse(r#"{"shards":[{"replicas":["a","a"]}]}"#).is_err());
+        // Mixed v1/v2 entries parse; `replicas` wins over `addr`.
+        let mixed = ShardMap::parse(
+            r#"{"shards":[{"addr":"x","replicas":["y","z"],"until":3},{"addr":"w"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(mixed.addrs(), &["y", "w"]);
     }
 
     #[test]
@@ -966,6 +1481,160 @@ mod tests {
                 y2: 5
             }),
             (4, 9)
+        );
+    }
+
+    #[test]
+    fn read_order_keeps_open_breakers_as_a_last_resort() {
+        use BreakerState::{Closed, HalfOpen, Open};
+        // A plain rotation when everything is closed.
+        assert_eq!(read_order(&[Closed, Closed, Closed], 1), vec![1, 2, 0]);
+        // Open breakers sink to the tail but are never dropped.
+        assert_eq!(read_order(&[Open, Closed, HalfOpen], 0), vec![1, 2, 0]);
+        assert_eq!(read_order(&[Closed, Open, Closed], 1), vec![2, 0, 1]);
+        // All open: the rotation survives as the probe order.
+        assert_eq!(read_order(&[Open, Open], 0), vec![0, 1]);
+        assert_eq!(read_order(&[Closed], 0), vec![0]);
+    }
+
+    #[test]
+    fn hedge_delay_derives_from_p99_and_clamps() {
+        // A cold histogram must not hedge aggressively.
+        assert_eq!(hedge_delay_us(0), HEDGE_DELAY_MIN_US);
+        // In-window p99s pass through.
+        assert_eq!(hedge_delay_us(100_000), 100_000);
+        // Pathological tails cap out.
+        assert_eq!(hedge_delay_us(10_000_000), HEDGE_DELAY_MAX_US);
+    }
+
+    #[test]
+    fn infra_failures_trip_the_breaker_data_errors_do_not() {
+        assert!(infra_failure(&CallError::Exhausted {
+            attempts: 3,
+            last: "recv: broken pipe".to_string(),
+        }));
+        assert!(infra_failure(&CallError::Terminal {
+            code: code::SHUTTING_DOWN.to_string(),
+            message: "draining".to_string(),
+        }));
+        assert!(!infra_failure(&CallError::Terminal {
+            code: code::BAD_REQUEST.to_string(),
+            message: "params carry no `seg`".to_string(),
+        }));
+        assert!(!infra_failure(&CallError::Terminal {
+            code: code::DB.to_string(),
+            message: "duplicate id".to_string(),
+        }));
+    }
+
+    /// A [`Shared`] for routing unit tests — no listener, no threads.
+    fn test_shared(sets: Vec<Vec<String>>, cuts: Vec<i64>, cfg: RouterConfig) -> Shared {
+        let map = ShardMap::new_replicated(sets, XCuts::new(cuts).unwrap()).unwrap();
+        let shards = (0..map.shard_count()).map(|_| ShardTally::new()).collect();
+        let replicas = build_replica_slots(&map, &cfg);
+        Shared {
+            map,
+            cfg,
+            stop: AtomicBool::new(false),
+            local: "127.0.0.1:9".parse().unwrap(),
+            conns: Mutex::new(0),
+            conn_exited: Condvar::new(),
+            conn_seq: AtomicU64::new(0),
+            stats: RouterStats::default(),
+            shards,
+            replicas,
+            started: Instant::now(),
+            failovers: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+        }
+    }
+
+    /// A scripted replica that echoes an empty count result at every
+    /// request's own id until the connection closes.
+    fn scripted_replica() -> (String, thread::JoinHandle<u64>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = thread::spawn(move || {
+            let mut served = 0u64;
+            let Ok((stream, _)) = listener.accept() else {
+                return served;
+            };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => return served,
+                    Ok(_) => {}
+                }
+                let id = json::parse(line.trim())
+                    .ok()
+                    .and_then(|d| d.get("id").and_then(Json::as_f64))
+                    .map(|f| f as u64);
+                let reply = proto::ok_line(
+                    id,
+                    Json::obj([
+                        ("ids", Json::Arr(Vec::new())),
+                        ("count", Json::U64(0)),
+                        ("mode", Json::Str("count".to_string())),
+                    ]),
+                );
+                served += 1;
+                if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+                    return served;
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn reads_fail_over_within_the_retry_budget_and_trip_the_breaker() {
+        // Replica 0: a port that refuses connections (bound, then
+        // dropped). Replica 1: a live scripted server.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let (live_addr, handle) = scripted_replica();
+        let cfg = RouterConfig {
+            attempt_timeout: Duration::from_millis(250),
+            max_retries: 0, // budget = 1: a refused connect fails over instantly
+            hedge_reads: false,
+            ..RouterConfig::default()
+        };
+        let shared = test_shared(vec![vec![dead_addr, live_addr]], vec![], cfg);
+        let mut clients = upstream_clients(&shared, 0);
+        let line =
+            r#"{"id":7,"method":"query","params":{"shape":"line","x":1,"y":0,"mode":"count"}}"#;
+        // Three reads: each burns the one-attempt budget on the dead
+        // preferred replica, fails over, and charges its breaker.
+        for _ in 0..3 {
+            let result = shard_read(&shared, &mut clients, 0, line).unwrap();
+            assert_eq!(reply_count(&result), 0);
+        }
+        assert_eq!(shared.failovers.load(Ordering::Relaxed), 3);
+        assert_eq!(shared.replicas[0][0].errors.load(Ordering::Relaxed), 3);
+        let now = shared.now_ms();
+        assert_eq!(
+            lock(&shared.replicas[0][0].breaker).state(now),
+            BreakerState::Open,
+            "three consecutive infra failures trip the breaker"
+        );
+        // With the breaker open the dead replica is demoted: the next
+        // read goes straight to the live replica, no failover, no new
+        // error against replica 0.
+        let result = shard_read(&shared, &mut clients, 0, line).unwrap();
+        assert_eq!(reply_count(&result), 0);
+        assert_eq!(shared.failovers.load(Ordering::Relaxed), 3);
+        assert_eq!(shared.replicas[0][0].errors.load(Ordering::Relaxed), 3);
+        assert_eq!(breaker_opens_total(&shared), 1);
+        drop(clients);
+        assert_eq!(
+            handle.join().unwrap(),
+            4,
+            "the live replica served every read"
         );
     }
 }

@@ -1127,10 +1127,112 @@ fn execute(shared: &Shared, id: Option<u64>, method: Method) -> (String, Option<
             ]);
             (proto::ok_line(id, doc), None)
         }
+        Method::WalSince { from } => {
+            let Some(engine) = shared.backend.engine() else {
+                ServerStats::bump(&shared.stats.errors);
+                return (
+                    proto::err_line(
+                        id,
+                        code::READ_ONLY,
+                        "catch-up needs a writable server; start it with a WAL",
+                    ),
+                    None,
+                );
+            };
+            match engine.records_since(from) {
+                Ok(recs) => {
+                    ServerStats::bump(&shared.stats.ok);
+                    let doc = Json::obj([
+                        ("from", Json::U64(from)),
+                        ("last_seq", Json::U64(engine.last_seq())),
+                        (
+                            "records",
+                            Json::Arr(recs.iter().map(proto::wal_record_json).collect()),
+                        ),
+                    ]);
+                    (proto::ok_line(id, doc), None)
+                }
+                Err(e) => {
+                    ServerStats::bump(&shared.stats.errors);
+                    (proto::err_line(id, code::DB, &e.to_string()), None)
+                }
+            }
+        }
+        Method::SyncFrom { peer, from } => {
+            let Some(engine) = shared.backend.engine() else {
+                ServerStats::bump(&shared.stats.errors);
+                return (
+                    proto::err_line(
+                        id,
+                        code::READ_ONLY,
+                        "catch-up needs a writable server; start it with a WAL",
+                    ),
+                    None,
+                );
+            };
+            match sync_from_peer(engine, &peer, from) {
+                Ok(doc) => {
+                    ServerStats::bump(&shared.stats.ok);
+                    (proto::ok_line(id, doc), None)
+                }
+                Err((ecode, message)) => {
+                    ServerStats::bump(&shared.stats.errors);
+                    (proto::err_line(id, ecode, &message), None)
+                }
+            }
+        }
         // Handled inline by the connection reader; kept total for safety.
         Method::Ping => (proto::ok_line(id, Json::Str("pong".to_string())), None),
         Method::Shutdown => (proto::ok_line(id, Json::Bool(true)), None),
     }
+}
+
+/// Pull the records after `from` (defaulting to this engine's own last
+/// WAL sequence number) from `peer` and apply them idempotently. The
+/// replicas of one shard advance their sequence counters in lockstep —
+/// they see the same fan-out write stream — so the local cursor is
+/// directly meaningful to the peer.
+fn sync_from_peer(
+    engine: &WriteEngine,
+    peer: &str,
+    from: Option<u64>,
+) -> Result<Json, (&'static str, String)> {
+    use crate::client::{Client, ClientConfig};
+    let from = from.unwrap_or_else(|| engine.last_seq());
+    let mut client = Client::new(ClientConfig {
+        addr: peer.to_string(),
+        max_retries: 2,
+        ..ClientConfig::default()
+    });
+    let reply = client
+        .wal_since(from)
+        .map_err(|e| (code::IO, format!("peer {peer}: {e}")))?;
+    let records = reply
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| (code::IO, format!("peer {peer}: reply carries no `records`")))?;
+    let mut applied = 0u64;
+    let mut skipped = 0u64;
+    for v in records {
+        let rec = proto::parse_wal_record(v)
+            .map_err(|m| (code::IO, format!("peer {peer}: bad record: {m}")))?;
+        let ack = engine
+            .sync_apply(&rec)
+            .map_err(|e| (db_code(&e), e.to_string()))?;
+        if ack.applied && !ack.duplicate {
+            applied += 1;
+        } else {
+            skipped += 1;
+        }
+    }
+    Ok(Json::obj([
+        ("peer", Json::Str(peer.to_string())),
+        ("from", Json::U64(from)),
+        ("received", Json::U64(records.len() as u64)),
+        ("applied", Json::U64(applied)),
+        ("skipped", Json::U64(skipped)),
+        ("last_seq", Json::U64(engine.last_seq())),
+    ]))
 }
 
 /// The `writer` stats block of a writable server: WAL lifetime

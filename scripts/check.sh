@@ -19,7 +19,7 @@ echo "==> serve/load smoke round-trip"
 CLI=target/release/segdb-cli
 LOAD=target/release/segdb-load
 SMOKE=$(mktemp -d)
-trap 'kill "${SERVE_PID:-}" "${ROUTE_PID:-}" ${SHARD_PIDS[@]:-} 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
+trap 'kill "${SERVE_PID:-}" "${ROUTE_PID:-}" "${REP_ROUTE_PID:-}" ${SHARD_PIDS[@]:-} ${REP_PIDS[@]:-} 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 "$CLI" gen mixed 300 21 > "$SMOKE/map.csv"
 "$CLI" build "$SMOKE/map.db" "$SMOKE/map.csv" --page-size 1024 > /dev/null
 "$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 \
@@ -266,6 +266,116 @@ SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$RADDR" --family mixed --n 300 --seed 2
 wait "$ROUTE_PID"
 wait "${SHARD_PIDS[0]}" "${SHARD_PIDS[1]}"
 
+echo "==> replicated-failover smoke (kill -9 one replica mid-load, catch-up, red -> green)"
+REP="$SMOKE/rep"
+mkdir -p "$REP"
+"$CLI" partition "$SMOKE/map.csv" 2 "$REP" --replicas 2 \
+    --map-out "$REP/template.json" > "$REP/partition.json"
+grep -q '"replicas":2' "$REP/partition.json" || {
+    echo "partition did not plan replica sets: $(cat "$REP/partition.json")"; exit 1; }
+grep -q '"replicas":\[' "$REP/template.json" || {
+    echo "map template carries no replica sets: $(cat "$REP/template.json")"; exit 1; }
+RCUT=$(sed -n 's/.*"cuts":\[\([^]]*\)\].*/\1/p' "$REP/partition.json")
+[ -n "$RCUT" ] || { echo "replicated partition reported no cut"; exit 1; }
+# 2 shards x 2 writable replicas: each replica owns its own db copy and
+# its own WAL, so a killed replica restarts from durable local state.
+REP_PIDS=()
+for i in 0 1; do
+    "$CLI" build "$REP/shard$i.db" "$REP/shard$i.csv" --page-size 1024 > /dev/null
+    for r in 0 1; do
+        cp "$REP/shard$i.db" "$REP/shard$i-r$r.db"
+        "$CLI" serve "$REP/shard$i-r$r.db" --addr 127.0.0.1:0 --workers 2 \
+            --wal "$REP/shard$i-r$r.wal" > "$REP/serve$i-$r.out" &
+        REP_PIDS+=($!)
+    done
+done
+REP_ADDRS=()
+for i in 0 1; do
+    for r in 0 1; do
+        A=""
+        for _ in $(seq 1 40); do
+            A=$(sed -n 's/^listening on //p' "$REP/serve$i-$r.out")
+            [ -n "$A" ] && break
+            sleep 0.05
+        done
+        [ -n "$A" ] || { echo "replica $i.$r never reported its address"; exit 1; }
+        REP_ADDRS+=("$A")
+    done
+done
+printf '{"shards":[{"replicas":["%s","%s"],"until":%s},{"replicas":["%s","%s"]}]}\n' \
+    "${REP_ADDRS[0]}" "${REP_ADDRS[1]}" "$RCUT" "${REP_ADDRS[2]}" "${REP_ADDRS[3]}" \
+    > "$REP/cluster.json"
+"$CLI" route "$REP/cluster.json" --addr 127.0.0.1:0 --forward-shutdown \
+    > "$REP/route.out" &
+REP_ROUTE_PID=$!
+RADDR2=""
+for _ in $(seq 1 40); do
+    RADDR2=$(sed -n 's/^listening on //p' "$REP/route.out")
+    [ -n "$RADDR2" ] && break
+    sleep 0.05
+done
+[ -n "$RADDR2" ] || { echo "replicated router never reported its address"; exit 1; }
+# Mixed read/write load; shard 0's preferred replica dies mid-run with
+# kill -9. Zero surfaced errors tolerated: ok must equal sent, the
+# degraded tally must be zero, and the post-run shadow sweep must hold.
+SEGDB_BENCH_DIR="$REP" "$LOAD" --addr "$RADDR2" --family mixed --n 300 --seed 21 \
+    --connections 2 --requests 2000 --write-pct 20 --cluster > /dev/null &
+LOAD_PID=$!
+sleep 0.3
+kill -9 "${REP_PIDS[0]}"; wait "${REP_PIDS[0]}" 2>/dev/null || true
+wait "$LOAD_PID" || { echo "replicated load run failed"; exit 1; }
+grep -q '"requests":2000' "$REP/BENCH_serve.json" || {
+    echo "replicated load lost requests"; exit 1; }
+grep -q '"ok":2000' "$REP/BENCH_serve.json" || {
+    echo "replica death surfaced request errors"; exit 1; }
+grep -q '"degraded":0' "$REP/BENCH_serve.json" || {
+    echo "replica death surfaced degraded replies"; exit 1; }
+grep -q '"sweep_wrong":0' "$REP/BENCH_serve.json" || {
+    echo "replicated write sweep found a shadow-model mismatch"; exit 1; }
+grep -q '"failover":{' "$REP/BENCH_serve.json" || {
+    echo "cluster report carries no failover block"; exit 1; }
+# Health is red while the replica is down; a shard-0 count (owner-only
+# routing) records the surviving replica's answer as the parity probe.
+"$CLI" health --remote "$RADDR2" | grep -q '"ok":false' || {
+    echo "health hid the dead replica"; exit 1; }
+X_LEFT=$((RCUT - 1))
+C_BEFORE=$("$CLI" query --remote "$RADDR2" line "$X_LEFT" --count | head -n 1)
+# Restart the replica in place (same address, same WAL) and pull what it
+# missed from its live twin; health must flip red -> green.
+"$CLI" serve "$REP/shard0-r0.db" --addr "${REP_ADDRS[0]}" --workers 2 \
+    --wal "$REP/shard0-r0.wal" > "$REP/serve0-0b.out" &
+REP_PIDS[0]=$!
+A=""
+for _ in $(seq 1 40); do
+    A=$(sed -n 's/^listening on //p' "$REP/serve0-0b.out")
+    [ -n "$A" ] && break
+    sleep 0.05
+done
+[ -n "$A" ] || { echo "restarted replica never reported its address"; exit 1; }
+"$CLI" sync --remote "${REP_ADDRS[0]}" "${REP_ADDRS[1]}" --from 0 > "$REP/sync.json"
+grep -q '"applied":' "$REP/sync.json" || {
+    echo "replica catch-up reported nothing: $(cat "$REP/sync.json")"; exit 1; }
+H_OK=0
+for _ in $(seq 1 20); do
+    if "$CLI" health --remote "$RADDR2" | grep -q '"ok":true'; then
+        H_OK=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$H_OK" -eq 1 ] || {
+    echo "health never went green after restart + catch-up"; exit 1; }
+# The caught-up replica must carry the load's writes: kill its twin and
+# re-run the parity probe against the restarted replica alone.
+kill -9 "${REP_PIDS[1]}"; wait "${REP_PIDS[1]}" 2>/dev/null || true
+C_AFTER=$("$CLI" query --remote "$RADDR2" line "$X_LEFT" --count | head -n 1)
+[ "$C_BEFORE" = "$C_AFTER" ] || {
+    echo "restarted replica diverged after catch-up ($C_AFTER vs $C_BEFORE)"; exit 1; }
+SEGDB_BENCH_DIR="$REP" "$LOAD" --addr "$RADDR2" --family mixed --n 300 --seed 21 \
+    --connections 1 --requests 1 --no-verify --shutdown > /dev/null
+wait "$REP_ROUTE_PID"
+wait "${REP_PIDS[0]}" "${REP_PIDS[2]}" "${REP_PIDS[3]}"
+
 echo "==> seeded crash-recovery smoke (torture sweep, replayed twice)"
 TORTURE_ARGS=(torture --seed 7 --scenarios 3 --n 80)
 OUT1=$("$CLI" "${TORTURE_ARGS[@]}")
@@ -281,4 +391,4 @@ echo "$OUT1" | grep -q '"observed_io_errors":0}' && {
 echo "$OUT1" | grep -q '"recovery_queries_verified":0,' && {
     echo "no recovery query was verified: $OUT1"; exit 1; }
 
-echo "OK: build, tests, clippy, fmt, serve + lifecycle + net-chaos + cluster + crash-recovery smoke all clean."
+echo "OK: build, tests, clippy, fmt, serve + lifecycle + net-chaos + cluster + replicated-failover + crash-recovery smoke all clean."

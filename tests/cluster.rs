@@ -559,5 +559,19 @@ fn load_driver_lifts_per_shard_histograms_into_the_cluster_block() {
         upstream_requests >= report.ok as f64,
         "the shards saw at least one upstream call per routed request"
     );
+    // The router stats also carry the failover block — informational
+    // here (R=1, nothing to fail over to), but it must be present so
+    // replicated runs and bench_diff can read it.
+    let failover = doc
+        .get("cluster")
+        .and_then(|c| c.get("failover"))
+        .unwrap_or_else(|| panic!("report carries cluster.failover: {}", doc.render()));
+    for key in ["failovers", "hedges", "breaker_opens"] {
+        assert!(
+            failover.get(key).is_some(),
+            "failover block carries {key}: {}",
+            failover.render()
+        );
+    }
     cluster.stop();
 }
