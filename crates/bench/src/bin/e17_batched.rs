@@ -1,0 +1,144 @@
+//! E17 — batched execution: pages/query and throughput for the
+//! shared-walk executor vs one-walk-per-query, at concurrency
+//! `c ∈ {1, 8, 32, 128}`.
+//!
+//! Both sides run the identical mixed-mode query stream over the same
+//! database with `c` worker threads pulling from a shared cursor. The
+//! unbatched side claims one query at a time (the pre-refactor serving
+//! model); the batched side claims groups of `c` and executes each
+//! group as **one** walk via `query_batch_canonical_mode` — the same
+//! executor the server's batch collector drives. The cache is disabled
+//! so every page touch is a counted read: the pages/query gap is
+//! exactly the internal-level redundancy the shared walk removes, and
+//! the ratio must favor batching once `c ≥ 32`.
+
+use segdb_bench::{f1, table};
+use segdb_core::{IndexKind, QueryMode, SegmentDatabase};
+use segdb_geom::gen::{vertical_queries, Family};
+use segdb_geom::VerticalQuery;
+use segdb_obs::Json;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+const N: usize = 20_000;
+const SEED: u64 = 42;
+const QUERIES: usize = 3_840;
+const QUERY_FRAC_PER_MILLE: u32 = 120;
+const CONCURRENCY: [usize; 4] = [1, 8, 32, 128];
+
+/// The mode query `i` runs under — the load driver's `mix` cycle.
+fn mode_for(i: usize) -> QueryMode {
+    match i % 4 {
+        0 => QueryMode::Collect,
+        1 => QueryMode::Count,
+        2 => QueryMode::Exists,
+        _ => QueryMode::Limit(8),
+    }
+}
+
+/// Pages touched and wall time for one full pass over the stream with
+/// `c` threads, each claiming `chunk` queries per grab (1 = unbatched).
+fn run_pass(
+    db: &SegmentDatabase,
+    items: &[(VerticalQuery, QueryMode)],
+    c: usize,
+    chunk: usize,
+) -> (u64, f64) {
+    let cursor = AtomicUsize::new(0);
+    let pages = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..c {
+            scope.spawn(|| {
+                let mut mine = 0usize;
+                loop {
+                    let at = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if at >= items.len() {
+                        break;
+                    }
+                    let group = &items[at..items.len().min(at + chunk)];
+                    if chunk == 1 {
+                        let (q, mode) = group[0];
+                        let (_, trace) = db.query_canonical_mode(&q, mode).unwrap();
+                        mine += (trace.io.reads + trace.io.cache_hits) as usize;
+                    } else {
+                        for r in db.query_batch_canonical_mode(group) {
+                            let (_, trace) = r.unwrap();
+                            mine += (trace.io.reads + trace.io.cache_hits) as usize;
+                        }
+                    }
+                }
+                pages.fetch_add(mine, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    (pages.load(Ordering::Relaxed) as u64, elapsed)
+}
+
+fn main() {
+    let set = Family::Mixed.generate(N, SEED);
+    let db = SegmentDatabase::builder()
+        .page_size(1024)
+        .cache_pages(0)
+        .index(IndexKind::TwoLevelInterval)
+        .build(set.clone())
+        .unwrap();
+    let items: Vec<(VerticalQuery, QueryMode)> =
+        vertical_queries(&set, QUERIES, QUERY_FRAC_PER_MILLE, SEED ^ 0x9E37_79B9)
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| (q, mode_for(i)))
+            .collect();
+
+    let mut rows = Vec::new();
+    let mut sections = Vec::new();
+    for c in CONCURRENCY {
+        let (seq_pages, seq_s) = run_pass(&db, &items, c, 1);
+        let (bat_pages, bat_s) = run_pass(&db, &items, c, c);
+        let seq_pq = seq_pages as f64 / QUERIES as f64;
+        let bat_pq = bat_pages as f64 / QUERIES as f64;
+        let ratio = seq_pq / bat_pq.max(f64::MIN_POSITIVE);
+        let seq_rps = QUERIES as f64 / seq_s;
+        let bat_rps = QUERIES as f64 / bat_s;
+        if c >= 32 {
+            assert!(
+                bat_pq < seq_pq,
+                "shared walk must reduce pages/query at c={c}: {bat_pq:.1} vs {seq_pq:.1}"
+            );
+        }
+        rows.push(vec![
+            c.to_string(),
+            f1(seq_pq),
+            f1(bat_pq),
+            format!("{ratio:.2}x"),
+            f1(seq_rps),
+            f1(bat_rps),
+        ]);
+        sections.push((
+            format!("c{c}"),
+            Json::obj([
+                ("concurrency", Json::U64(c as u64)),
+                ("pages_per_query_unbatched", Json::F64(seq_pq)),
+                ("pages_per_query_batched", Json::F64(bat_pq)),
+                ("pages_ratio", Json::F64(ratio)),
+                ("throughput_rps_unbatched", Json::F64(seq_rps)),
+                ("throughput_rps_batched", Json::F64(bat_rps)),
+            ]),
+        ));
+    }
+    table(
+        "E17 — batched execution (N=20k mixed, 1 KiB pages, interval index, mode mix)",
+        &[
+            "c",
+            "pages/q seq",
+            "pages/q batch",
+            "ratio",
+            "rps seq",
+            "rps batch",
+        ],
+        &rows,
+    );
+    segdb_bench::report::record_section("batched", Json::Obj(sections.into_iter().collect()));
+    segdb_bench::report::finish("batch").expect("write BENCH_batch.json");
+}

@@ -179,6 +179,61 @@ impl AnyQueryIndex {
         Ok(candidates)
     }
 
+    /// Batched form of [`AnyQueryIndex::query`]: one overlap walk over
+    /// the queries' joint x-envelope feeds every query, and each
+    /// candidate id is resolved against `byid` **once** per batch
+    /// instead of once per query. Per-query candidate counts keep the
+    /// sequential meaning (candidates whose x-range overlaps *that*
+    /// query's x-range), so the `t_any ≥ t` accounting is unchanged.
+    pub fn query_batch(&self, pager: &Pager, qs: &[Segment]) -> Result<Vec<(Vec<Segment>, u32)>> {
+        if qs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let lo = qs.iter().map(|q| q.a.x.min(q.b.x)).min().unwrap();
+        let hi = qs.iter().map(|q| q.a.x.max(q.b.x)).max().unwrap();
+        let mut out: Vec<(Vec<Segment>, u32)> = qs.iter().map(|_| (Vec::new(), 0)).collect();
+        let mut err: Option<PagerError> = None;
+        let _ = self.xset.overlap_ctl(pager, Some(lo), Some(hi), &mut |c| {
+            let id = c.id;
+            let interested: Vec<usize> = qs
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| c.lo <= q.a.x.max(q.b.x) && c.hi >= q.a.x.min(q.b.x))
+                .map(|(i, _)| i)
+                .collect();
+            if interested.is_empty() {
+                return ControlFlow::Continue(());
+            }
+            let rec = (|| {
+                let mut cur = self
+                    .byid
+                    .lower_bound(pager, &move |r: &SegRec| id.cmp(&r.0.id))?;
+                cur.next(pager)?
+                    .filter(|r| r.0.id == id)
+                    .ok_or(PagerError::Corrupt("candidate id missing from byid tree"))
+            })();
+            match rec {
+                Ok(rec) => {
+                    for i in interested {
+                        out[i].1 += 1;
+                        if segments_intersect(&rec.0, &qs[i]) {
+                            out[i].0.push(rec.0);
+                        }
+                    }
+                    ControlFlow::Continue(())
+                }
+                Err(e) => {
+                    err = Some(e);
+                    ControlFlow::Break(())
+                }
+            }
+        })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(out)
+    }
+
     /// Insert a segment.
     pub fn insert(&mut self, pager: &Pager, seg: Segment) -> Result<()> {
         self.xset
@@ -248,6 +303,33 @@ mod tests {
             assert_eq!(ids(&hits), oracle(&set, q), "{q}");
             assert!(cands as usize >= hits.len());
         }
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries() {
+        let p = pager();
+        let set = mixed_map(500, 0xD44);
+        let idx = AnyQueryIndex::build(&p, &set).unwrap();
+        let queries = [
+            Segment::new(9000, (0, 0), (500, 700)).unwrap(),
+            Segment::new(9001, (100, 800), (600, 100)).unwrap(),
+            Segment::new(9002, (50, 0), (51, 1000)).unwrap(),
+            Segment::new(9003, (0, 300), (900, 310)).unwrap(),
+        ];
+        p.reset_stats();
+        let seq: Vec<_> = queries.iter().map(|q| idx.query(&p, q).unwrap()).collect();
+        let seq_reads = p.stats().reads;
+        p.reset_stats();
+        let batched = idx.query_batch(&p, &queries).unwrap();
+        let batch_reads = p.stats().reads;
+        for ((sh, sc), (bh, bc)) in seq.iter().zip(&batched) {
+            assert_eq!(ids(sh), ids(bh));
+            assert_eq!(sc, bc, "candidate accounting must match");
+        }
+        assert!(
+            batch_reads <= seq_reads,
+            "batch {batch_reads} !<= seq {seq_reads}"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::chain;
 use crate::report::QueryTrace;
-use segdb_geom::{ReportSink, Segment, VerticalQuery};
+use segdb_geom::{MultiSink, ReportSink, Segment, VerticalQuery};
 use segdb_itree::{Interval, IntervalTree, IntervalTreeConfig};
 use segdb_pager::{PageId, Pager, Result, StatScope};
 use std::collections::HashMap;
@@ -92,6 +92,26 @@ impl FullScan {
         };
         Ok(QueryTrace {
             hits: hits as u32,
+            pages_saved,
+            io,
+            ..QueryTrace::default()
+        })
+    }
+
+    /// Batched form of [`FullScan::query_sink`]: one chain scan feeds
+    /// every slot of `multi`; the scan stops early only once *all*
+    /// slots have retired.
+    pub fn query_batch_sink(&self, pager: &Pager, multi: &mut MultiSink<'_>) -> Result<QueryTrace> {
+        let scope = StatScope::begin(pager);
+        let flow = chain::scan_ctl(pager, self.head, |s| multi.offer(&s))?;
+        let io = scope.finish();
+        let total_pages = (self.len as usize).div_ceil(chain::cap(pager.page_size()).max(1)) as u64;
+        let pages_saved = if flow.is_break() {
+            total_pages.saturating_sub(io.reads + io.cache_hits)
+        } else {
+            0
+        };
+        Ok(QueryTrace {
             pages_saved,
             io,
             ..QueryTrace::default()
@@ -215,6 +235,46 @@ impl StabThenFilter {
             io: scope.finish(),
             ..QueryTrace::default()
         })
+    }
+
+    /// Batched form of [`StabThenFilter::query_sink`]: every query's
+    /// stab shares one descent of the x-projection tree (see
+    /// [`IntervalTree::stab_batch_ctl`]); each candidate is resolved
+    /// from the side table once per interested query and exact-filtered
+    /// per slot. Count fast paths stay off in batch mode — the shared
+    /// walk materializes candidates for all slots anyway.
+    pub fn query_batch_sink(&self, pager: &Pager, multi: &mut MultiSink<'_>) -> Result<QueryTrace> {
+        let scope = StatScope::begin(pager);
+        segdb_obs::trace::emit(
+            segdb_obs::trace::EventKind::SecondLevelProbe,
+            segdb_obs::trace::probe::STAB_TREE,
+            0,
+        );
+        let xs: Vec<(i64, usize)> = (0..multi.len())
+            .filter(|&i| multi.is_active(i))
+            .map(|i| (multi.query(i).x(), i))
+            .collect();
+        let mut candidates = 0u32;
+        self.tree.stab_batch_ctl(pager, &xs, &mut |i, iv| {
+            candidates += 1;
+            let seg = self.segments[&iv.id];
+            if multi.is_active(i) && multi.query(i).hits(&seg) {
+                multi.report(i, &seg)
+            } else {
+                ControlFlow::Continue(())
+            }
+        })?;
+        Ok(QueryTrace {
+            second_level_probes: candidates,
+            io: scope.finish(),
+            ..QueryTrace::default()
+        })
+    }
+
+    /// Internal pages of the x-projection stab tree, at most `budget` —
+    /// the descent levels worth pinning resident.
+    pub fn hot_pages(&self, pager: &Pager, budget: usize) -> Result<Vec<PageId>> {
+        self.tree.node_pages(pager, budget)
     }
 
     /// The raw segment chain (tests).

@@ -1,0 +1,312 @@
+//! Batched query execution: one shared index walk answers a whole
+//! group of queries.
+//!
+//! Sequential execution pays the `O(log_B n)` descent once *per query*;
+//! under concurrency the same internal pages are re-read over and over.
+//! [`SegmentDatabase::query_batch_canonical_mode`] instead pushes every
+//! query of a batch down the index together — each page on the shared
+//! frontier is read **once per batch**, and hits are fanned out to
+//! per-query sinks through [`MultiSink`]. Early-exit modes (`Exists`,
+//! `Limit`) retire their slot without disturbing batchmates; the walk
+//! stops early only once every slot has retired.
+//!
+//! Semantics relative to sequential execution:
+//!
+//! * `Collect` / `Count` / `Exists` answers are bit-identical to running
+//!   each query alone.
+//! * `Limit(k)` answers have the same *size* and every element is a true
+//!   hit, but which `k` of the hits are returned may differ — the shared
+//!   walk delivers hits in a different (still deterministic) order.
+//! * Count-from-header fast paths are taken per-slot where the walk can
+//!   still serve them (subtree counts); batching never changes a count.
+//!
+//! Fault isolation: if the shared walk fails (e.g. a transient device
+//! error), the batch falls back to running each query alone, so one
+//! poisoned page affects only the queries that actually need it.
+
+use crate::facade::{DbError, SegmentDatabase};
+use crate::report::{CountingSink, QueryAnswer, QueryMode, QueryTrace};
+use segdb_geom::{CountSink, ExistsSink, LimitSink, MultiSink, ReportSink, Segment, VerticalQuery};
+use segdb_pager::{IoStats, StatScope};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide batch id source. Ids are only for correlation (slowlog,
+/// traces); 0 is reserved to mean "ran alone".
+static NEXT_BATCH_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Draw a fresh nonzero batch id.
+pub fn next_batch_id() -> u64 {
+    NEXT_BATCH_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Per-slot sink implementing that slot's [`QueryMode`], with the answer
+/// extractable afterwards without downcasting.
+enum ModeSink {
+    Collect(Vec<Segment>),
+    Count(CountSink),
+    Exists(ExistsSink),
+    Limit(LimitSink),
+}
+
+impl ModeSink {
+    fn new(mode: QueryMode) -> ModeSink {
+        match mode {
+            QueryMode::Collect => ModeSink::Collect(Vec::new()),
+            QueryMode::Count => ModeSink::Count(CountSink::new()),
+            QueryMode::Exists => ModeSink::Exists(ExistsSink::new()),
+            QueryMode::Limit(k) => ModeSink::Limit(LimitSink::new(k as usize)),
+        }
+    }
+
+    /// Shear segment-carrying answers back to user coordinates (the
+    /// same normalization `run_mode` applies sequentially).
+    fn into_answer(self, db: &SegmentDatabase) -> Result<QueryAnswer, DbError> {
+        Ok(match self {
+            ModeSink::Collect(v) => QueryAnswer::Segments(db.unshear(v)?),
+            ModeSink::Count(c) => QueryAnswer::Count(c.count),
+            ModeSink::Exists(e) => QueryAnswer::Exists(e.found),
+            ModeSink::Limit(l) => QueryAnswer::Segments(db.unshear(l.into_vec())?),
+        })
+    }
+}
+
+impl ReportSink for ModeSink {
+    fn report(&mut self, seg: &Segment) -> ControlFlow<()> {
+        match self {
+            ModeSink::Collect(v) => v.report(seg),
+            ModeSink::Count(c) => c.report(seg),
+            ModeSink::Exists(e) => e.report(seg),
+            ModeSink::Limit(l) => l.report(seg),
+        }
+    }
+
+    fn want_segments(&self) -> bool {
+        match self {
+            ModeSink::Collect(v) => v.want_segments(),
+            ModeSink::Count(c) => c.want_segments(),
+            ModeSink::Exists(e) => e.want_segments(),
+            ModeSink::Limit(l) => l.want_segments(),
+        }
+    }
+
+    fn report_count(&mut self, n: u64) -> ControlFlow<()> {
+        match self {
+            ModeSink::Collect(v) => v.report_count(n),
+            ModeSink::Count(c) => c.report_count(n),
+            ModeSink::Exists(e) => e.report_count(n),
+            ModeSink::Limit(l) => l.report_count(n),
+        }
+    }
+}
+
+/// Split the shared walk's I/O across `n` slots, remainder to the
+/// earliest slots, so per-query traces still sum to the batch total.
+fn split_io(total: IoStats, n: usize) -> Vec<IoStats> {
+    let nn = n as u64;
+    let part = |v: u64, i: usize| v / nn + u64::from((i as u64) < v % nn);
+    (0..n)
+        .map(|i| IoStats {
+            reads: part(total.reads, i),
+            writes: part(total.writes, i),
+            allocations: part(total.allocations, i),
+            frees: part(total.frees, i),
+            cache_hits: part(total.cache_hits, i),
+            pin_hits: part(total.pin_hits, i),
+        })
+        .collect()
+}
+
+impl SegmentDatabase {
+    /// Execute a batch of canonical-frame queries with **one** shared
+    /// index walk. Returns one result per item, in order.
+    ///
+    /// Single-item batches (and empty ones) take the sequential path —
+    /// their traces carry `batch_id == 0`. If the shared walk errors,
+    /// every query is retried alone so batchmates of a failing query
+    /// still succeed; the per-query retries also report `batch_id == 0`.
+    pub fn query_batch_canonical_mode(
+        &self,
+        items: &[(VerticalQuery, QueryMode)],
+    ) -> Vec<Result<(QueryAnswer, QueryTrace), DbError>> {
+        if items.len() <= 1 {
+            return items
+                .iter()
+                .map(|(q, mode)| self.run_mode(q, *mode))
+                .collect();
+        }
+        let batch_id = next_batch_id();
+        let scope = StatScope::begin(self.pager());
+
+        let mut sinks: Vec<ModeSink> = items.iter().map(|&(_, mode)| ModeSink::new(mode)).collect();
+        let mut counters: Vec<CountingSink<'_>> = sinks
+            .iter_mut()
+            .map(|s| CountingSink::new(s as &mut dyn ReportSink))
+            .collect();
+        let mut multi = MultiSink::new();
+        for (&(q, _), c) in items.iter().zip(counters.iter_mut()) {
+            multi.push(q, c as &mut dyn ReportSink);
+        }
+
+        let walk = self.run_batch_sinks(&mut multi);
+        drop(multi);
+
+        let shared = match walk {
+            Ok(t) => t,
+            Err(_) => {
+                // Fault isolation: re-run each query alone so one bad
+                // page only fails the queries that truly need it.
+                return items
+                    .iter()
+                    .map(|(q, mode)| self.run_mode(q, *mode))
+                    .collect();
+            }
+        };
+
+        let hits: Vec<u64> = counters.iter().map(|c| c.hits).collect();
+        drop(counters);
+        let io = scope.finish();
+        let shares = split_io(io, items.len());
+
+        sinks
+            .into_iter()
+            .zip(items.iter())
+            .zip(hits)
+            .zip(shares)
+            .map(|(((sink, &(_, mode)), slot_hits), io)| {
+                let answer = sink.into_answer(self)?;
+                let mut trace = QueryTrace {
+                    first_level_nodes: shared.first_level_nodes,
+                    second_level_probes: shared.second_level_probes,
+                    bridge_jumps: shared.bridge_jumps,
+                    hits: slot_hits.min(u32::MAX as u64) as u32,
+                    mode,
+                    pages_saved: shared.pages_saved,
+                    io,
+                    batch_id,
+                    batch_size: items.len() as u32,
+                    ..QueryTrace::default()
+                };
+                self.observe_trace(&mut trace);
+                Ok((answer, trace))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facade::IndexKind;
+    use crate::report::ids;
+    use segdb_geom::gen::{mixed_map, vertical_queries};
+
+    const KINDS: [IndexKind; 4] = [
+        IndexKind::TwoLevelBinary,
+        IndexKind::TwoLevelInterval,
+        IndexKind::FullScan,
+        IndexKind::StabThenFilter,
+    ];
+
+    fn build(kind: IndexKind, segs: &[Segment]) -> SegmentDatabase {
+        SegmentDatabase::builder()
+            .page_size(512)
+            .index(kind)
+            .build(segs.to_vec())
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential_all_kinds() {
+        let set = mixed_map(700, 31);
+        let queries = vertical_queries(&set, 24, 60, 17);
+        for kind in KINDS {
+            let db = build(kind, &set);
+            let items: Vec<(VerticalQuery, QueryMode)> =
+                queries.iter().map(|q| (*q, QueryMode::Collect)).collect();
+            let batched = db.query_batch_canonical_mode(&items);
+            for ((q, _), res) in items.iter().zip(batched) {
+                let (ans, trace) = res.unwrap();
+                let (seq, _) = db.query_canonical(q).unwrap();
+                assert_eq!(
+                    ids(ans.segments().unwrap()),
+                    ids(&seq),
+                    "{kind:?} batch/seq mismatch"
+                );
+                assert_eq!(trace.batch_size as usize, items.len());
+                assert_ne!(trace.batch_id, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reads_fewer_pages_than_sequential() {
+        let set = mixed_map(1500, 5);
+        let queries = vertical_queries(&set, 16, 40, 23);
+        for kind in [IndexKind::TwoLevelBinary, IndexKind::TwoLevelInterval] {
+            let db = build(kind, &set);
+            let items: Vec<(VerticalQuery, QueryMode)> =
+                queries.iter().map(|q| (*q, QueryMode::Collect)).collect();
+            let seq_pages: u64 = queries
+                .iter()
+                .map(|q| {
+                    let (_, t) = db.query_canonical(q).unwrap();
+                    t.io.reads + t.io.cache_hits
+                })
+                .sum();
+            let batch_pages: u64 = db
+                .query_batch_canonical_mode(&items)
+                .into_iter()
+                .map(|r| {
+                    let (_, t) = r.unwrap();
+                    t.io.reads + t.io.cache_hits
+                })
+                .sum();
+            assert!(
+                batch_pages < seq_pages,
+                "{kind:?}: batch {batch_pages} !< seq {seq_pages}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_mode_batch_answers_each_mode() {
+        let set = mixed_map(400, 9);
+        let q = vertical_queries(&set, 1, 50, 3)[0];
+        for kind in KINDS {
+            let db = build(kind, &set);
+            let (seq, _) = db.query_canonical(&q).unwrap();
+            let items = vec![
+                (q, QueryMode::Collect),
+                (q, QueryMode::Count),
+                (q, QueryMode::Exists),
+                (q, QueryMode::Limit(2)),
+            ];
+            let out = db.query_batch_canonical_mode(&items);
+            let collect = out[0].as_ref().unwrap().0.segments().unwrap().to_vec();
+            assert_eq!(ids(&collect), ids(&seq), "{kind:?} collect");
+            assert_eq!(out[1].as_ref().unwrap().0.count(), seq.len() as u64);
+            match out[2].as_ref().unwrap().0 {
+                QueryAnswer::Exists(b) => assert_eq!(b, !seq.is_empty()),
+                _ => panic!("exists answer shape"),
+            }
+            let limited = out[3].as_ref().unwrap().0.segments().unwrap().to_vec();
+            assert_eq!(limited.len(), seq.len().min(2), "{kind:?} limit size");
+            let truth: std::collections::HashSet<u64> = ids(&seq).into_iter().collect();
+            for s in &limited {
+                assert!(truth.contains(&s.id), "{kind:?} limit returned non-hit");
+            }
+        }
+    }
+
+    #[test]
+    fn single_item_batch_runs_alone() {
+        let set = mixed_map(100, 2);
+        let db = build(IndexKind::TwoLevelBinary, &set);
+        let q = vertical_queries(&set, 1, 10, 4)[0];
+        let out = db.query_batch_canonical_mode(&[(q, QueryMode::Count)]);
+        let (_, trace) = out[0].as_ref().unwrap();
+        assert_eq!(trace.batch_id, 0);
+        assert_eq!(trace.batch_size, 0);
+    }
+}

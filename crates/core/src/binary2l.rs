@@ -33,7 +33,7 @@
 
 use crate::chain;
 use crate::report::QueryTrace;
-use segdb_geom::{FusedSink, ReportSink, Segment, VerticalQuery};
+use segdb_geom::{FusedSink, MultiSink, ReportSink, Segment, VerticalQuery};
 use segdb_itree::overlap::{IntervalSet, IntervalSetState};
 use segdb_itree::{Interval, IntervalTreeConfig};
 use segdb_obs::trace::{emit as obs_emit, probe, EventKind};
@@ -304,6 +304,179 @@ impl TwoLevelBinary {
         trace.hits = hits.min(u32::MAX as u64) as u32;
         trace.io = scope.finish();
         Ok(trace)
+    }
+
+    /// Batched form of [`TwoLevelBinary::query_sink`]: the whole batch
+    /// descends the base-line tree level by level, so each first-level
+    /// node is read once per batch, and every node's `L(v)`/`R(v)` PSTs
+    /// are walked once for all the slots that probe them (see
+    /// [`Pst::query_batch_sink`]). Per-slot `Break` retires only that
+    /// slot; the walk keeps charging pages while any slot is active.
+    pub fn query_batch_sink(&self, pager: &Pager, multi: &mut MultiSink<'_>) -> Result<QueryTrace> {
+        let scope = StatScope::begin(pager);
+        let mut trace = QueryTrace::default();
+        let mut frontier: Vec<(PageId, Vec<usize>)> = if self.root == NULL_PAGE {
+            Vec::new()
+        } else {
+            vec![(self.root, (0..multi.len()).collect())]
+        };
+        while !frontier.is_empty() {
+            let mut next: Vec<(PageId, Vec<usize>)> = Vec::new();
+            for (page, group) in frontier.drain(..) {
+                let group: Vec<usize> = group.into_iter().filter(|&i| multi.is_active(i)).collect();
+                if group.is_empty() {
+                    continue;
+                }
+                obs_emit(
+                    EventKind::FirstLevelVisit,
+                    u64::from(page),
+                    trace.first_level_nodes as u64,
+                );
+                trace.first_level_nodes += 1;
+                match read_node(pager, page)? {
+                    Node::Leaf { head, .. } => {
+                        let _ = chain::scan_ctl(pager, head, |s| {
+                            for &i in &group {
+                                if multi.is_active(i) && multi.query(i).hits(&s) {
+                                    let _ = multi.report(i, &s);
+                                }
+                            }
+                            if group.iter().any(|&i| multi.is_active(i)) {
+                                ControlFlow::Continue(())
+                            } else {
+                                ControlFlow::Break(())
+                            }
+                        })?;
+                    }
+                    Node::Internal(n) => {
+                        let mut lqs: Vec<segdb_pst::BatchQuery> = Vec::new();
+                        let mut rqs: Vec<segdb_pst::BatchQuery> = Vec::new();
+                        let (mut lkids, mut rkids) = (Vec::new(), Vec::new());
+                        let mut c_set: Option<IntervalSet> = None;
+                        for &i in &group {
+                            let q = *multi.query(i);
+                            let (x0, lo, hi) = (q.x(), q.lo(), q.hi());
+                            if x0 == n.xv {
+                                // C(v): on-line verticals overlapping [lo, hi].
+                                let c = match &c_set {
+                                    Some(c) => c,
+                                    None => {
+                                        c_set = Some(IntervalSet::attach(
+                                            pager,
+                                            IntervalTreeConfig::default(),
+                                            n.c,
+                                        )?);
+                                        c_set.as_ref().expect("just set")
+                                    }
+                                };
+                                obs_emit(EventKind::SecondLevelProbe, probe::C_SET, 0);
+                                trace.second_level_probes += 1;
+                                if !multi.want_segments(i) {
+                                    let cnt = c.overlap_count(pager, lo, hi)?;
+                                    let _ = multi.report_count(i, cnt);
+                                } else {
+                                    let mut bad = false;
+                                    let _ =
+                                        c.overlap_ctl(
+                                            pager,
+                                            lo,
+                                            hi,
+                                            &mut |iv| match Segment::new(
+                                                iv.id,
+                                                (n.xv, iv.lo),
+                                                (n.xv, iv.hi),
+                                            ) {
+                                                Ok(s) => multi.report(i, &s),
+                                                Err(_) => {
+                                                    bad = true;
+                                                    ControlFlow::Break(())
+                                                }
+                                            },
+                                        )?;
+                                    if bad {
+                                        return Err(PagerError::Corrupt("bad C(v) interval"));
+                                    }
+                                }
+                                // L(v) holds every crossing segment; the
+                                // query stops at this node afterwards.
+                                if multi.is_active(i) {
+                                    lqs.push(segdb_pst::BatchQuery {
+                                        qx: x0,
+                                        lo,
+                                        hi,
+                                        tag: i,
+                                    });
+                                }
+                            } else if x0 < n.xv {
+                                lqs.push(segdb_pst::BatchQuery {
+                                    qx: x0,
+                                    lo,
+                                    hi,
+                                    tag: i,
+                                });
+                                lkids.push(i);
+                            } else {
+                                rqs.push(segdb_pst::BatchQuery {
+                                    qx: x0,
+                                    lo,
+                                    hi,
+                                    tag: i,
+                                });
+                                rkids.push(i);
+                            }
+                        }
+                        if !lqs.is_empty() {
+                            let l = Pst::attach(pager, n.xv, Side::Left, self.cfg.pst, n.l)?;
+                            obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
+                            trace.second_level_probes += 1;
+                            l.query_batch_sink(pager, &lqs, &mut |i, s| multi.report(i, s))?;
+                        }
+                        if !rqs.is_empty() {
+                            let r = Pst::attach(pager, n.xv, Side::Right, self.cfg.pst, n.r)?;
+                            obs_emit(EventKind::SecondLevelProbe, probe::R_PST, 0);
+                            trace.second_level_probes += 1;
+                            r.query_batch_sink(pager, &rqs, &mut |i, s| multi.report(i, s))?;
+                        }
+                        if n.left != NULL_PAGE && !lkids.is_empty() {
+                            next.push((n.left, lkids));
+                        }
+                        if n.right != NULL_PAGE && !rkids.is_empty() {
+                            next.push((n.right, rkids));
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        trace.io = scope.finish();
+        Ok(trace)
+    }
+
+    /// Pages of the first-level tree's internal nodes, breadth-first
+    /// from the root, at most `budget` — the levels every query descends
+    /// through and therefore worth pinning resident (see
+    /// [`Pager::pin_pages`]).
+    pub fn hot_pages(&self, pager: &Pager, budget: usize) -> Result<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut frontier = std::collections::VecDeque::new();
+        if self.root != NULL_PAGE {
+            frontier.push_back(self.root);
+        }
+        while let Some(page) = frontier.pop_front() {
+            if out.len() >= budget {
+                break;
+            }
+            if let Node::Internal(n) = read_node(pager, page)? {
+                out.push(page);
+                if n.left != NULL_PAGE {
+                    frontier.push_back(n.left);
+                }
+                if n.right != NULL_PAGE {
+                    frontier.push_back(n.right);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Insert a segment (must keep the set NCT — caller's contract).

@@ -15,7 +15,8 @@ use crate::report::{normalize, QueryAnswer, QueryMode, QueryTrace};
 use segdb_geom::nct::verify_nct;
 use segdb_geom::transform::Direction;
 use segdb_geom::{
-    CountSink, ExistsSink, GeomError, LimitSink, Point, ReportSink, Segment, VerticalQuery,
+    CountSink, ExistsSink, GeomError, LimitSink, MultiSink, Point, ReportSink, Segment,
+    VerticalQuery,
 };
 use segdb_itree::tree::ItState;
 use segdb_obs::cost::{CostKind, CostModel, Fitter};
@@ -589,6 +590,28 @@ impl SegmentDatabase {
         ]))
     }
 
+    /// Pin the index's internal descent levels into the pager's
+    /// resident cache tier (exempt from eviction), at most `budget`
+    /// pages. Returns how many pages are pinned. Opt-in: deterministic
+    /// I/O accounting is unchanged until a caller asks for this.
+    /// Re-call after structural rebuilds (fold/compact) — stale pins
+    /// are refreshed on write and released on free, so correctness
+    /// never depends on it, only hit rates.
+    pub fn pin_internal_levels(&self, budget: usize) -> Result<usize, DbError> {
+        let pages = match &self.index {
+            Index::Binary(x) => x.hot_pages(&self.pager, budget)?,
+            Index::Interval(x) => x.hot_pages(&self.pager, budget)?,
+            Index::Scan(_) => Vec::new(), // no internal levels to pin
+            Index::Stab(x) => x.hot_pages(&self.pager, budget)?,
+        };
+        Ok(self.pager.pin_pages(&pages)?)
+    }
+
+    /// Release every pinned page back to the evictable tier.
+    pub fn unpin_all(&self) {
+        self.pager.unpin_all();
+    }
+
     /// Run a canonical-frame query with event tracing enabled and return
     /// the enriched trace plus the aggregated span summary (first-level
     /// visits, second-level probes, bridge jumps, per-crate node visits,
@@ -674,8 +697,12 @@ impl SegmentDatabase {
     }
 
     /// Translate user-coordinate segment-query endpoints into the
-    /// canonical-frame query, rejecting misaligned endpoints.
-    pub(crate) fn segment_query(&self, p1: Point, p2: Point) -> Result<VerticalQuery, DbError> {
+    /// canonical-frame query, rejecting misaligned endpoints. The
+    /// serving layer's batch collector uses this (plus
+    /// [`Direction::make_query`] for the anchor shapes) to express a
+    /// whole request group in the canonical frame before the shared
+    /// walk.
+    pub fn segment_query(&self, p1: Point, p2: Point) -> Result<VerticalQuery, DbError> {
         let (t1, t2) = (
             self.direction.apply_point(p1)?,
             self.direction.apply_point(p2)?,
@@ -870,10 +897,21 @@ impl SegmentDatabase {
         })
     }
 
+    /// One shared traversal of the index answering every live slot of
+    /// `multi` — the batched counterpart of [`run_sink`](Self::run_sink).
+    pub(crate) fn run_batch_sinks(&self, multi: &mut MultiSink<'_>) -> Result<QueryTrace, DbError> {
+        Ok(match &self.index {
+            Index::Binary(x) => x.query_batch_sink(&self.pager, multi)?,
+            Index::Interval(x) => x.query_batch_sink(&self.pager, multi)?,
+            Index::Scan(x) => x.query_batch_sink(&self.pager, multi)?,
+            Index::Stab(x) => x.query_batch_sink(&self.pager, multi)?,
+        })
+    }
+
     /// Run a canonical-frame query under `mode`. Segment-carrying
     /// answers are sheared back to user coordinates and normalized;
     /// count/exists answers never materialize the segments at all.
-    fn run_mode(
+    pub(crate) fn run_mode(
         &self,
         q: &VerticalQuery,
         mode: QueryMode,
@@ -907,8 +945,17 @@ impl SegmentDatabase {
         Ok((answer, trace))
     }
 
+    /// Feed one finished query into the observer, when one is on.
+    /// Batch execution uses this after splitting the shared-walk I/O
+    /// across slots; `run_mode` keeps its inline call.
+    pub(crate) fn observe_trace(&self, trace: &mut QueryTrace) {
+        if let Some(obs) = &self.obs {
+            self.observe_query(obs, trace);
+        }
+    }
+
     /// Back to user coordinates, sorted by id.
-    fn unshear(&self, hits: Vec<Segment>) -> Result<Vec<Segment>, DbError> {
+    pub(crate) fn unshear(&self, hits: Vec<Segment>) -> Result<Vec<Segment>, DbError> {
         let hits = hits
             .iter()
             .map(|s| self.direction.unapply_segment(s))

@@ -52,7 +52,7 @@ use gtree::{allocation, path as g_path, skeleton, GNode};
 use msrec::{MsOrder, MsRec};
 use segdb_bptree::{BPlusTree, Cursor, TreeState};
 use segdb_geom::predicates::y_at_x_cmp;
-use segdb_geom::{FusedSink, ReportSink, Segment, VerticalQuery};
+use segdb_geom::{FusedSink, MultiSink, ReportSink, Segment, VerticalQuery};
 use segdb_itree::overlap::{IntervalSet, IntervalSetState};
 use segdb_itree::{Interval, IntervalTreeConfig};
 use segdb_obs::trace::{emit as obs_emit, probe, EventKind};
@@ -627,6 +627,246 @@ impl TwoLevelInterval {
             }
         }
         Ok(trace)
+    }
+
+    /// Batched form of [`TwoLevelInterval::query_sink`]: the batch
+    /// descends the first level together (each node page read once per
+    /// batch), boundary PSTs are walked once for every slot probing them
+    /// (see [`Pst::query_batch_sink`]), and `C_j` sets are attached once
+    /// per node. `G` runs stay per-slot (their anchor depends on each
+    /// query's ordinate window) but still reuse the shared node read.
+    /// Live tombstones are filtered inline per delivery, which also
+    /// turns the count-from-headers fast paths off — exactly the
+    /// sequential path's semantics, reached without its count
+    /// arithmetic. Per-slot `Break` retires only that slot.
+    pub fn query_batch_sink(&self, pager: &Pager, multi: &mut MultiSink<'_>) -> Result<QueryTrace> {
+        let scope = StatScope::begin(pager);
+        let tombs: std::collections::HashSet<u64> = if self.tomb_count > 0 {
+            self.tomb_ids(pager)?.into_iter().collect()
+        } else {
+            Default::default()
+        };
+        let mut trace = QueryTrace::default();
+        let mut frontier: Vec<(PageId, Vec<usize>)> = if self.root == NULL_PAGE {
+            Vec::new()
+        } else {
+            vec![(self.root, (0..multi.len()).collect())]
+        };
+        while !frontier.is_empty() {
+            let mut next: Vec<(PageId, Vec<usize>)> = Vec::new();
+            for (page, group) in frontier.drain(..) {
+                let group: Vec<usize> = group.into_iter().filter(|&i| multi.is_active(i)).collect();
+                if group.is_empty() {
+                    continue;
+                }
+                obs_emit(
+                    EventKind::FirstLevelVisit,
+                    u64::from(page),
+                    trace.first_level_nodes as u64,
+                );
+                trace.first_level_nodes += 1;
+                match read_node(pager, page)? {
+                    Node::Leaf { head, .. } => {
+                        let _ = chain::scan_ctl(pager, head, |s| {
+                            if !tombs.contains(&s.id) {
+                                for &i in &group {
+                                    if multi.is_active(i) && multi.query(i).hits(&s) {
+                                        let _ = multi.report(i, &s);
+                                    }
+                                }
+                            }
+                            if group.iter().any(|&i| multi.is_active(i)) {
+                                ControlFlow::Continue(())
+                            } else {
+                                ControlFlow::Break(())
+                            }
+                        })?;
+                    }
+                    Node::Internal(n) => {
+                        let k = n.boundaries.len();
+                        // Classify each slot: boundary-exact stop here,
+                        // in-slab slots probe and descend.
+                        let mut c_groups: std::collections::BTreeMap<usize, Vec<usize>> =
+                            Default::default();
+                        let mut lqs: std::collections::BTreeMap<usize, Vec<segdb_pst::BatchQuery>> =
+                            Default::default();
+                        let mut rqs: std::collections::BTreeMap<usize, Vec<segdb_pst::BatchQuery>> =
+                            Default::default();
+                        let mut g_slots: Vec<(usize, usize)> = Vec::new();
+                        let mut kids: std::collections::BTreeMap<usize, Vec<usize>> =
+                            Default::default();
+                        for &i in &group {
+                            let q = *multi.query(i);
+                            let (x0, lo, hi) = (q.x(), q.lo(), q.hi());
+                            let j = n.boundaries.partition_point(|&b| b < x0);
+                            let bq = segdb_pst::BatchQuery {
+                                qx: x0,
+                                lo,
+                                hi,
+                                tag: i,
+                            };
+                            if j < k && n.boundaries[j] == x0 {
+                                c_groups.entry(j).or_default().push(i);
+                                lqs.entry(j).or_default().push(bq);
+                            } else {
+                                if j >= 1 {
+                                    rqs.entry(j - 1).or_default().push(bq);
+                                }
+                                if j < k {
+                                    lqs.entry(j).or_default().push(bq);
+                                }
+                                kids.entry(j).or_default().push(i);
+                            }
+                            g_slots.push((i, j));
+                        }
+                        // C_j: on-line verticals, set attached once per j.
+                        for (&j, qis) in &c_groups {
+                            if set_is_absent(&n.c[j]) {
+                                continue;
+                            }
+                            let c =
+                                IntervalSet::attach(pager, IntervalTreeConfig::default(), n.c[j])?;
+                            obs_emit(EventKind::SecondLevelProbe, probe::C_SET, 0);
+                            trace.second_level_probes += 1;
+                            let x0 = n.boundaries[j];
+                            for &i in qis {
+                                if !multi.is_active(i) {
+                                    continue;
+                                }
+                                let q = *multi.query(i);
+                                let (lo, hi) = (q.lo(), q.hi());
+                                if tombs.is_empty() && !multi.want_segments(i) {
+                                    let cnt = c.overlap_count(pager, lo, hi)?;
+                                    let _ = multi.report_count(i, cnt);
+                                } else {
+                                    let mut bad = false;
+                                    let _ = c.overlap_ctl(pager, lo, hi, &mut |iv| {
+                                        if tombs.contains(&iv.id) {
+                                            return ControlFlow::Continue(());
+                                        }
+                                        match Segment::new(iv.id, (x0, iv.lo), (x0, iv.hi)) {
+                                            Ok(s) => multi.report(i, &s),
+                                            Err(_) => {
+                                                bad = true;
+                                                ControlFlow::Break(())
+                                            }
+                                        }
+                                    })?;
+                                    if bad {
+                                        return Err(PagerError::Corrupt("bad C_i interval"));
+                                    }
+                                }
+                            }
+                        }
+                        // Boundary PSTs, one shared walk per structure.
+                        // R_{j−1} before L_j, matching the sequential
+                        // per-query order.
+                        for (&jj, qs) in &rqs {
+                            let r = Pst::attach(
+                                pager,
+                                n.boundaries[jj],
+                                Side::Right,
+                                self.cfg.pst,
+                                n.r[jj],
+                            )?;
+                            obs_emit(EventKind::SecondLevelProbe, probe::R_PST, 0);
+                            trace.second_level_probes += 1;
+                            r.query_batch_sink(pager, qs, &mut |i, s| {
+                                if tombs.contains(&s.id) {
+                                    ControlFlow::Continue(())
+                                } else {
+                                    multi.report(i, s)
+                                }
+                            })?;
+                        }
+                        for (&jj, qs) in &lqs {
+                            let l = Pst::attach(
+                                pager,
+                                n.boundaries[jj],
+                                Side::Left,
+                                self.cfg.pst,
+                                n.l[jj],
+                            )?;
+                            obs_emit(EventKind::SecondLevelProbe, probe::L_PST, 0);
+                            trace.second_level_probes += 1;
+                            l.query_batch_sink(pager, qs, &mut |i, s| {
+                                if tombs.contains(&s.id) {
+                                    ControlFlow::Continue(())
+                                } else {
+                                    multi.report(i, s)
+                                }
+                            })?;
+                        }
+                        // G runs: per slot (each run's anchor depends on
+                        // the slot's own ordinate window).
+                        for &(i, j) in &g_slots {
+                            if !multi.is_active(i) {
+                                continue;
+                            }
+                            let q = *multi.query(i);
+                            let (x0, lo, hi) = (q.x(), q.lo(), q.hi());
+                            if tombs.is_empty() {
+                                let mut fused = FusedSink::new(multi.sink_mut(i));
+                                self.g_query(pager, &n, j, x0, lo, hi, &mut fused, &mut trace)?;
+                                if fused.broke() {
+                                    multi.retire(i);
+                                }
+                            } else {
+                                let mut filt = TombFilterSink {
+                                    inner: multi.sink_mut(i),
+                                    tombs: tombs.clone(),
+                                };
+                                let mut fused = FusedSink::new(&mut filt);
+                                self.g_query(pager, &n, j, x0, lo, hi, &mut fused, &mut trace)?;
+                                if fused.broke() {
+                                    multi.retire(i);
+                                }
+                            }
+                        }
+                        // Descend: in-slab slots still active drop into
+                        // their slab child.
+                        for (&j, qis) in &kids {
+                            let live: Vec<usize> = qis
+                                .iter()
+                                .copied()
+                                .filter(|&i| multi.is_active(i))
+                                .collect();
+                            if n.children[j] != NULL_PAGE && !live.is_empty() {
+                                next.push((n.children[j], live));
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        trace.io = scope.finish();
+        Ok(trace)
+    }
+
+    /// Pages of the first-level slab nodes, breadth-first from the
+    /// root, at most `budget` — the levels every query descends through
+    /// and therefore worth pinning resident (see [`Pager::pin_pages`]).
+    pub fn hot_pages(&self, pager: &Pager, budget: usize) -> Result<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut frontier = std::collections::VecDeque::new();
+        if self.root != NULL_PAGE {
+            frontier.push_back(self.root);
+        }
+        while let Some(page) = frontier.pop_front() {
+            if out.len() >= budget {
+                break;
+            }
+            if let Node::Internal(n) = read_node(pager, page)? {
+                out.push(page);
+                for &c in &n.children {
+                    if c != NULL_PAGE {
+                        frontier.push_back(c);
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Insert a segment (semi-dynamic, Theorem 2(iii)).

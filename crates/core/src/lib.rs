@@ -32,6 +32,7 @@
 
 pub mod anyquery;
 pub mod baseline;
+pub mod batch;
 pub mod binary2l;
 pub mod chain;
 pub mod facade;

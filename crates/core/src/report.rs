@@ -100,6 +100,12 @@ pub struct QueryTrace {
     /// Verdict against the fitted paper bound, when the database was
     /// built with observability on and the cost fitter is warmed up.
     pub cost: Option<CostVerdict>,
+    /// Shared-walk batch this query was executed in (0 = ran alone).
+    /// Slowlog consumers correlate batchmates through this id when
+    /// diagnosing tail latency.
+    pub batch_id: u64,
+    /// Number of queries in that batch (0 = ran alone).
+    pub batch_size: u32,
 }
 
 impl QueryTrace {
@@ -130,6 +136,8 @@ impl QueryTrace {
                 ]),
             ),
             ("cost", self.cost.map_or(Json::Null, |c| c.to_json())),
+            ("batch_id", Json::U64(self.batch_id)),
+            ("batch_size", Json::U64(self.batch_size as u64)),
         ])
     }
 }

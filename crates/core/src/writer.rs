@@ -710,6 +710,64 @@ impl WriteEngine {
         Self::merge(&db, &delta, &q, mode, base)
     }
 
+    /// Batched canonical-frame reads merged with the delta overlay: one
+    /// read lock and one delta snapshot cover the whole batch, and the
+    /// base answers come from a single shared index walk
+    /// ([`SegmentDatabase::query_batch_canonical_mode`]). The per-query
+    /// merge arithmetic is identical to the sequential path.
+    pub fn query_batch_canonical_mode(
+        &self,
+        items: &[(VerticalQuery, QueryMode)],
+    ) -> Vec<Result<(QueryAnswer, QueryTrace), DbError>> {
+        let db = self.db.read().expect("db lock poisoned");
+        let delta = self.delta.lock().expect("delta lock poisoned").clone();
+        if delta.is_empty() {
+            return db.query_batch_canonical_mode(items);
+        }
+        // Each slot runs under the base mode that makes its post-merge
+        // arithmetic exact (Exists may widen to Count, Limit over-fetches
+        // by the delete count) — same widening the sequential path does.
+        let base_items: Vec<(VerticalQuery, QueryMode)> = items
+            .iter()
+            .map(|&(q, mode)| {
+                let widened = Self::base_mode(&delta, &q, mode);
+                (q, widened)
+            })
+            .collect();
+        let base = db.query_batch_canonical_mode(&base_items);
+        items
+            .iter()
+            .zip(base)
+            .map(|(&(q, mode), res)| {
+                let (ans, trace) = res?;
+                Self::merge_answer(&db, &delta, &q, mode, ans, trace)
+            })
+            .collect()
+    }
+
+    /// The base-index mode that lets [`WriteEngine::merge_answer`]
+    /// reconstruct an exact `mode` answer under this delta.
+    fn base_mode(delta: &DeltaSnap, q: &VerticalQuery, mode: QueryMode) -> QueryMode {
+        match mode {
+            QueryMode::Collect => QueryMode::Collect,
+            QueryMode::Count => QueryMode::Count,
+            QueryMode::Exists => {
+                // Deletes in play: the early-exit walk could stop on a
+                // deleted segment, so widen to exact count arithmetic.
+                if delta.deletes.iter().any(|s| q.hits(s)) {
+                    QueryMode::Count
+                } else {
+                    QueryMode::Exists
+                }
+            }
+            // A limit walk must over-fetch by the number of deletes that
+            // might be filtered back out.
+            QueryMode::Limit(k) => {
+                QueryMode::Limit(((k as usize) + delta.deletes.len()).min(u32::MAX as usize) as u32)
+            }
+        }
+    }
+
     /// Merge `base` answers with the delta overlay for `q`.
     fn merge(
         db: &SegmentDatabase,
@@ -718,29 +776,42 @@ impl WriteEngine {
         mode: QueryMode,
         base: impl Fn(QueryMode) -> Result<(QueryAnswer, QueryTrace), DbError>,
     ) -> Result<(QueryAnswer, QueryTrace), DbError> {
+        if mode == QueryMode::Exists && delta.inserts.iter().any(|s| q.hits(s)) {
+            // A delta insert satisfies the query without touching the
+            // base index at all.
+            return Ok((QueryAnswer::Exists(true), QueryTrace::default()));
+        }
+        let (ans, trace) = base(Self::base_mode(delta, q, mode))?;
+        Self::merge_answer(db, delta, q, mode, ans, trace)
+    }
+
+    /// Reconstruct the exact `mode` answer from a base answer computed
+    /// under [`WriteEngine::base_mode`], applying the delta arithmetic
+    /// (`base − |deletes ∩ q| + |inserts ∩ q|`).
+    fn merge_answer(
+        db: &SegmentDatabase,
+        delta: &DeltaSnap,
+        q: &VerticalQuery,
+        mode: QueryMode,
+        ans: QueryAnswer,
+        trace: QueryTrace,
+    ) -> Result<(QueryAnswer, QueryTrace), DbError> {
         let ins_hits: Vec<&Segment> = delta.inserts.iter().filter(|s| q.hits(s)).collect();
         let del_hits: u64 = delta.deletes.iter().filter(|s| q.hits(s)).count() as u64;
-        let deleted_ids: std::collections::HashSet<u64> =
-            delta.deletes.iter().map(|s| s.id).collect();
         match mode {
             QueryMode::Count => {
-                let (ans, trace) = base(QueryMode::Count)?;
                 let n = ans.count().saturating_sub(del_hits) + ins_hits.len() as u64;
                 Ok((QueryAnswer::Count(n), trace))
             }
             QueryMode::Exists => {
                 if !ins_hits.is_empty() {
-                    // A delta insert satisfies the query without touching
-                    // the base index at all.
-                    return Ok((QueryAnswer::Exists(true), QueryTrace::default()));
+                    return Ok((QueryAnswer::Exists(true), trace));
                 }
                 if del_hits == 0 {
-                    // No deleted segment meets q, so any base hit is live.
-                    return base(QueryMode::Exists);
+                    // Base ran Exists; any base hit is live.
+                    return Ok((QueryAnswer::Exists(ans.count() > 0), trace));
                 }
-                // Deletes in play: the early-exit walk could stop on a
-                // deleted segment, so fall back to exact arithmetic.
-                let (ans, trace) = base(QueryMode::Count)?;
+                // Base widened to Count: exact arithmetic.
                 Ok((
                     QueryAnswer::Exists(ans.count().saturating_sub(del_hits) > 0),
                     trace,
@@ -751,15 +822,8 @@ impl WriteEngine {
                     QueryMode::Limit(k) => Some(k as usize),
                     _ => None,
                 };
-                // A limit walk must over-fetch by the number of deletes
-                // that might be filtered back out.
-                let base_mode = match k {
-                    Some(k) => {
-                        QueryMode::Limit((k + delta.deletes.len()).min(u32::MAX as usize) as u32)
-                    }
-                    None => QueryMode::Collect,
-                };
-                let (ans, trace) = base(base_mode)?;
+                let deleted_ids: std::collections::HashSet<u64> =
+                    delta.deletes.iter().map(|s| s.id).collect();
                 let mut hits = match ans {
                     QueryAnswer::Segments(v) => v,
                     _ => unreachable!("collect-shaped base answer"),

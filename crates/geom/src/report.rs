@@ -22,6 +22,7 @@
 //! (classic `Vec` answer), [`CountSink`], [`ExistsSink`] and
 //! [`LimitSink`].
 
+use crate::query::VerticalQuery;
 use crate::segment::Segment;
 use std::ops::ControlFlow;
 
@@ -228,6 +229,154 @@ impl ReportSink for FusedSink<'_> {
     }
 }
 
+/// One query's position inside a [`MultiSink`] batch.
+struct MultiSlot<'a> {
+    /// The query predicate, in the index's canonical frame.
+    query: VerticalQuery,
+    /// Where this query's hits go.
+    sink: &'a mut dyn ReportSink,
+    /// The sink broke (early exit) — stop routing to it.
+    done: bool,
+}
+
+/// Fan-out sink for batched walks: one shared page traversal feeds many
+/// per-query sinks. Each reported segment is routed to the subset of
+/// *active* slots whose predicate matches; a slot whose sink returns
+/// `Break` (exists satisfied, limit reached) is retired individually,
+/// and the walk as a whole is told to stop only when **every** slot has
+/// retired — so one query's early exit never truncates a batchmate's
+/// answer, while a fully satisfied batch stops charging pages at once.
+///
+/// Layers that already know which query a page serves can address slots
+/// directly ([`MultiSink::report`]/[`MultiSink::report_count`]);
+/// scan-shaped layers route by predicate with [`MultiSink::offer`].
+pub struct MultiSink<'a> {
+    slots: Vec<MultiSlot<'a>>,
+    active: usize,
+}
+
+impl<'a> MultiSink<'a> {
+    /// Empty batch.
+    pub fn new() -> Self {
+        MultiSink {
+            slots: Vec::new(),
+            active: 0,
+        }
+    }
+
+    /// Add one query/sink pair; returns its slot index.
+    pub fn push(&mut self, query: VerticalQuery, sink: &'a mut dyn ReportSink) -> usize {
+        self.slots.push(MultiSlot {
+            query,
+            sink,
+            done: false,
+        });
+        self.active += 1;
+        self.slots.len() - 1
+    }
+
+    /// Number of slots in the batch.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the batch holds no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Slot `i`'s query predicate.
+    pub fn query(&self, i: usize) -> &VerticalQuery {
+        &self.slots[i].query
+    }
+
+    /// Is slot `i` still accepting results?
+    pub fn is_active(&self, i: usize) -> bool {
+        !self.slots[i].done
+    }
+
+    /// Slots still accepting results.
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// Every slot has retired — the shared walk may stop reading pages.
+    pub fn all_done(&self) -> bool {
+        self.active == 0
+    }
+
+    /// Does slot `i` need actual segments (false ⇒ the layer may answer
+    /// it from stored subtree counts)?
+    pub fn want_segments(&self, i: usize) -> bool {
+        self.slots[i].sink.want_segments()
+    }
+
+    /// Retire slot `i` without reporting (the layer proved it can get
+    /// nothing more — e.g. its subtree is exhausted).
+    pub fn retire(&mut self, i: usize) {
+        if !self.slots[i].done {
+            self.slots[i].done = true;
+            self.active -= 1;
+        }
+    }
+
+    /// Report one segment to slot `i`. `Break` means *this slot* is
+    /// done; the shared walk keeps going while other slots are active.
+    pub fn report(&mut self, i: usize, seg: &Segment) -> ControlFlow<()> {
+        if self.slots[i].done {
+            return ControlFlow::Break(());
+        }
+        let flow = self.slots[i].sink.report(seg);
+        if flow.is_break() {
+            self.retire(i);
+        }
+        flow
+    }
+
+    /// Bulk-count `n` matches into slot `i` (only meaningful when
+    /// [`MultiSink::want_segments`] is false for it).
+    pub fn report_count(&mut self, i: usize, n: u64) -> ControlFlow<()> {
+        if self.slots[i].done {
+            return ControlFlow::Break(());
+        }
+        let flow = self.slots[i].sink.report_count(n);
+        if flow.is_break() {
+            self.retire(i);
+        }
+        flow
+    }
+
+    /// Direct access to slot `i`'s sink, for layers that hand a whole
+    /// sub-walk to one query (the fan-out bookkeeping is bypassed, so
+    /// the caller must [`MultiSink::retire`] the slot itself if the
+    /// sub-walk broke).
+    pub fn sink_mut(&mut self, i: usize) -> &mut dyn ReportSink {
+        self.slots[i].sink
+    }
+
+    /// Route `seg` to every active slot whose predicate matches — the
+    /// scan-shaped entry point. Returns `Break` once every slot has
+    /// retired (the caller may stop its scan).
+    pub fn offer(&mut self, seg: &Segment) -> ControlFlow<()> {
+        for i in 0..self.slots.len() {
+            if !self.slots[i].done && self.slots[i].query.hits(seg) {
+                let _ = self.report(i, seg);
+            }
+        }
+        if self.all_done() {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+impl Default for MultiSink<'_> {
+    fn default() -> Self {
+        MultiSink::new()
+    }
+}
+
 /// A bare `Vec<Segment>` is the minimal collecting sink — lets the
 /// classic `*_into(..., out: &mut Vec<Segment>)` APIs delegate to the
 /// sink path without an adapter struct.
@@ -305,5 +454,56 @@ mod tests {
         let mut s = LimitSink::new(0);
         assert_eq!(s.report(&seg(0)), ControlFlow::Break(()));
         assert!(s.out.is_empty());
+    }
+
+    #[test]
+    fn multi_sink_routes_by_predicate_and_isolates_early_exit() {
+        // Horizontal segments at y = id crossing x ∈ [0, 10].
+        let mut collect = CollectSink::new();
+        let mut exists = ExistsSink::new();
+        let mut multi = MultiSink::new();
+        let a = multi.push(VerticalQuery::segment(5, 0, 10), &mut collect);
+        let b = multi.push(VerticalQuery::segment(5, 2, 3), &mut exists);
+        assert_eq!(multi.len(), 2);
+        assert_eq!(multi.active_count(), 2);
+        // y=1 hits only the tall query.
+        assert_eq!(multi.offer(&seg(1)), ControlFlow::Continue(()));
+        assert!(multi.is_active(a) && multi.is_active(b));
+        // y=2 hits both; the exists sink breaks and retires alone.
+        assert_eq!(multi.offer(&seg(2)), ControlFlow::Continue(()));
+        assert!(multi.is_active(a));
+        assert!(!multi.is_active(b), "exists retired after first hit");
+        assert_eq!(multi.active_count(), 1);
+        // Further matches keep flowing to the survivor only.
+        assert_eq!(multi.offer(&seg(3)), ControlFlow::Continue(()));
+        multi.retire(a);
+        assert!(multi.all_done());
+        assert_eq!(multi.offer(&seg(4)), ControlFlow::Break(()));
+        drop(multi);
+        assert_eq!(
+            collect.out.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(exists.found);
+    }
+
+    #[test]
+    fn multi_sink_slot_addressed_reports_and_counts() {
+        let mut count = CountSink::new();
+        let mut limit = LimitSink::new(1);
+        let mut multi = MultiSink::new();
+        let c = multi.push(VerticalQuery::Line { x: 5 }, &mut count);
+        let l = multi.push(VerticalQuery::Line { x: 5 }, &mut limit);
+        assert!(!multi.want_segments(c), "count answers from stored totals");
+        assert!(multi.want_segments(l));
+        assert_eq!(multi.report_count(c, 7), ControlFlow::Continue(()));
+        assert_eq!(multi.report(l, &seg(9)), ControlFlow::Break(()));
+        assert!(!multi.is_active(l));
+        // A retired slot swallows further reports as Break.
+        assert_eq!(multi.report(l, &seg(10)), ControlFlow::Break(()));
+        multi.retire(c);
+        drop(multi);
+        assert_eq!(count.count, 7);
+        assert_eq!(limit.out.len(), 1);
     }
 }

@@ -72,4 +72,4 @@ pub mod tombs;
 pub mod tree;
 
 pub use side::Side;
-pub use tree::{Pst, PstConfig, PstState, QueryStats};
+pub use tree::{BatchQuery, Pst, PstConfig, PstState, QueryStats};

@@ -110,6 +110,21 @@ pub struct QueryStats {
     pub fruitless_nodes: u32,
 }
 
+/// One predicate of a batched PST walk (see [`Pst::query_batch_sink`]):
+/// the vertical query `x = qx, lo ≤ y ≤ hi` plus an opaque `tag` handed
+/// to the emit callback with every hit.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery {
+    /// Query abscissa.
+    pub qx: i64,
+    /// Lower ordinate bound (`None` = unbounded).
+    pub lo: Option<i64>,
+    /// Upper ordinate bound (`None` = unbounded).
+    pub hi: Option<i64>,
+    /// Caller-defined correlation tag (e.g. a sink-slot index).
+    pub tag: usize,
+}
+
 /// An external priority search tree for line-based segments. See crate
 /// docs for the invariants.
 ///
@@ -329,6 +344,146 @@ impl Pst {
                         }
                     }
                     next.push((c.page, child_lo, child_hi));
+                }
+            }
+            frontier = next;
+        }
+        Ok(stats)
+    }
+
+    /// One query of a batched walk: the vertical predicate plus an
+    /// opaque `tag` the emit callback receives (typically the caller's
+    /// sink-slot index).
+    pub fn query_batch_sink(
+        &self,
+        pager: &Pager,
+        queries: &[BatchQuery],
+        emit: &mut dyn FnMut(usize, &Segment) -> ControlFlow<()>,
+    ) -> Result<QueryStats> {
+        let mut stats = QueryStats::default();
+        if self.state.root == NULL_PAGE {
+            return Ok(stats);
+        }
+        // `done[i]` tracks query i's early exit; off-side queries start
+        // retired (they can never match on this side of the base line).
+        let mut done: Vec<bool> = queries
+            .iter()
+            .map(|q| !self.side.on_side(self.base_x, q.qx))
+            .collect();
+        let mut live = done.iter().filter(|d| !**d).count();
+        if live == 0 {
+            return Ok(stats);
+        }
+        let tombs = self.load_tombs(pager)?;
+
+        // Merged frontier: each page appears once per level, carrying
+        // every query that still needs it (with that query's flankers).
+        struct Entry {
+            qi: usize,
+            flo: Option<Segment>,
+            fhi: Option<Segment>,
+        }
+        let mut frontier: Vec<(PageId, Vec<Entry>)> = vec![(
+            self.state.root,
+            (0..queries.len())
+                .filter(|&qi| !done[qi])
+                .map(|qi| Entry {
+                    qi,
+                    flo: None,
+                    fhi: None,
+                })
+                .collect(),
+        )];
+        while !frontier.is_empty() && live > 0 {
+            stats.levels += 1;
+            stats.max_frontier = stats.max_frontier.max(frontier.len() as u32);
+            let mut next: Vec<(PageId, Vec<Entry>)> = Vec::new();
+            let mut next_at: std::collections::HashMap<PageId, usize> =
+                std::collections::HashMap::new();
+            for (page, entries) in frontier.drain(..) {
+                if live == 0 {
+                    break;
+                }
+                // Every interested query may have retired since this
+                // entry was enqueued — then the page is never read: the
+                // whole point of the shared walk is to stop charging
+                // pages the moment no sink still wants them.
+                if entries.iter().all(|e| done[e.qi]) {
+                    continue;
+                }
+                stats.blocks_read += 1;
+                let node = read_node(pager, page)?;
+                let mut produced = false;
+                for e in &entries {
+                    if done[e.qi] {
+                        continue;
+                    }
+                    let q = &queries[e.qi];
+                    let qkey = self.side.query_key(q.qx);
+                    for s in &node.segments {
+                        if self.side.reach_key(s) >= qkey
+                            && hits_vertical(s, q.qx, q.lo, q.hi)
+                            && !tombs.contains(&s.id)
+                        {
+                            stats.hits += 1;
+                            produced = true;
+                            if emit(q.tag, s).is_break() {
+                                done[e.qi] = true;
+                                live -= 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !produced {
+                    stats.fruitless_nodes += 1;
+                }
+                // Per-query child routing, identical to the sequential
+                // walk; children wanted by several queries merge into
+                // one next-level entry.
+                for e in &entries {
+                    if done[e.qi] {
+                        continue;
+                    }
+                    let q = &queries[e.qi];
+                    let qkey = self.side.query_key(q.qx);
+                    for (i, c) in node.children.iter().enumerate() {
+                        if self.side.reach_key(&c.router) < qkey {
+                            continue;
+                        }
+                        let child_lo = node.children[..i]
+                            .iter()
+                            .rev()
+                            .map(|c| &c.router)
+                            .find(|s| self.side.reach_key(s) >= qkey)
+                            .copied()
+                            .or(e.flo);
+                        let child_hi = node.children[i + 1..]
+                            .iter()
+                            .map(|c| &c.router)
+                            .find(|s| self.side.reach_key(s) >= qkey)
+                            .copied()
+                            .or(e.fhi);
+                        if let (Some(h), Some(f)) = (q.hi, &child_lo) {
+                            if y_at_x_cmp(f, q.qx, h) == Ordering::Greater {
+                                continue;
+                            }
+                        }
+                        if let (Some(l), Some(f)) = (q.lo, &child_hi) {
+                            if y_at_x_cmp(f, q.qx, l) == Ordering::Less {
+                                continue;
+                            }
+                        }
+                        let slot = *next_at.entry(c.page).or_insert_with(|| {
+                            next.push((c.page, Vec::new()));
+                            next.len() - 1
+                        });
+                        next[slot].1.push(Entry {
+                            qi: e.qi,
+                            flo: child_lo,
+                            fhi: child_hi,
+                        });
+                    }
                 }
             }
             frontier = next;
@@ -1193,6 +1348,97 @@ mod tests {
         let (ids, st) = run(&pst, &p, 0, None, None);
         assert!(ids.is_empty());
         assert_eq!(st.blocks_read, 0);
+    }
+
+    #[test]
+    fn batched_walk_matches_sequential_and_shares_pages() {
+        for cfg in [PstConfig::binary(), PstConfig::packed()] {
+            let p = pager(512);
+            let set = fan(1200);
+            let pst = Pst::build(&p, 0, Side::Right, cfg, set).unwrap();
+            let windows: Vec<(i64, Option<i64>, Option<i64>)> = (0..8)
+                .map(|i| (3 + i * 5, Some(i * 900), Some(i * 900 + 2500)))
+                .collect();
+            // Sequential: one walk per query.
+            let mut seq: Vec<Vec<u64>> = Vec::new();
+            let mut seq_blocks = 0u32;
+            for &(qx, lo, hi) in &windows {
+                let mut out = Vec::new();
+                let st = pst.query_into(&p, qx, lo, hi, &mut out).unwrap();
+                seq_blocks += st.blocks_read;
+                let mut ids: Vec<u64> = out.iter().map(|s| s.id).collect();
+                ids.sort_unstable();
+                seq.push(ids);
+            }
+            // Batched: one walk for all, plus an off-side query that
+            // must stay empty without disturbing the batch.
+            let mut batch: Vec<BatchQuery> = windows
+                .iter()
+                .enumerate()
+                .map(|(tag, &(qx, lo, hi))| BatchQuery { qx, lo, hi, tag })
+                .collect();
+            batch.push(BatchQuery {
+                qx: -5,
+                lo: None,
+                hi: None,
+                tag: windows.len(),
+            });
+            let mut got: Vec<Vec<u64>> = vec![Vec::new(); windows.len() + 1];
+            let st = pst
+                .query_batch_sink(&p, &batch, &mut |tag, s| {
+                    got[tag].push(s.id);
+                    ControlFlow::Continue(())
+                })
+                .unwrap();
+            for ids in &mut got {
+                ids.sort_unstable();
+            }
+            assert!(got[windows.len()].is_empty(), "off-side query is empty");
+            assert_eq!(&got[..windows.len()], &seq[..], "cfg={cfg:?}");
+            assert!(
+                st.blocks_read < seq_blocks,
+                "cfg={cfg:?}: shared walk read {} blocks, sequential {}",
+                st.blocks_read,
+                seq_blocks
+            );
+        }
+    }
+
+    #[test]
+    fn batched_walk_early_exit_retires_one_query_only() {
+        let p = pager(512);
+        let set = fan(800);
+        let pst = Pst::build(&p, 0, Side::Right, PstConfig::packed(), set.clone()).unwrap();
+        let full = oracle(&set, 4, None, None);
+        let mut collect: Vec<u64> = Vec::new();
+        let mut first: Vec<u64> = Vec::new();
+        let batch = [
+            BatchQuery {
+                qx: 4,
+                lo: None,
+                hi: None,
+                tag: 0,
+            },
+            BatchQuery {
+                qx: 4,
+                lo: None,
+                hi: None,
+                tag: 1,
+            },
+        ];
+        pst.query_batch_sink(&p, &batch, &mut |tag, s| {
+            if tag == 0 {
+                collect.push(s.id);
+                ControlFlow::Continue(())
+            } else {
+                first.push(s.id);
+                ControlFlow::Break(())
+            }
+        })
+        .unwrap();
+        collect.sort_unstable();
+        assert_eq!(collect, full, "batchmate unaffected by the early exit");
+        assert_eq!(first.len(), 1, "limit-style query stopped after one hit");
     }
 }
 

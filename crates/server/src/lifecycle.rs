@@ -42,6 +42,11 @@ pub struct RequestRecord {
     pub pages: u64,
     /// Hits the answer witnessed.
     pub hits: u64,
+    /// Shared-walk batch this request was executed in (0 = ran alone);
+    /// correlate slow batchmates through this id.
+    pub batch_id: u64,
+    /// Number of requests in that batch (0 = ran alone).
+    pub batch_size: u32,
 }
 
 /// Per-mode stage histograms.
@@ -156,6 +161,8 @@ impl SlowLog {
                     ("total_us", Json::U64(r.total_us)),
                     ("pages", Json::U64(r.pages)),
                     ("hits", Json::U64(r.hits)),
+                    ("batch_id", Json::U64(r.batch_id)),
+                    ("batch_size", Json::U64(r.batch_size as u64)),
                     ("seq", Json::U64(*seq)),
                 ])
             })
@@ -245,6 +252,8 @@ mod tests {
             total_us,
             pages: 3,
             hits: 2,
+            batch_id: 0,
+            batch_size: 0,
         }
     }
 

@@ -110,6 +110,20 @@ pub struct ServerConfig {
     /// How often the background compaction thread re-checks the
     /// tombstone count.
     pub compact_interval: Duration,
+    /// Batched execution admission window: after a worker picks up a
+    /// query it waits up to this long for more queries to arrive, then
+    /// executes the whole group as **one** shared index walk
+    /// (DESIGN.md "Batched execution model"). `ZERO` disables batching.
+    /// The wait is charged to the requests' queue-wait stage, so the
+    /// latency cost of batching stays visible in the histograms.
+    pub batch_window: Duration,
+    /// Most queries one shared walk serves (min 1; 1 disables batching).
+    pub batch_max: usize,
+    /// Page budget for pinning the index's internal levels resident at
+    /// startup. Pinned pages never leave the cache, so every walk's
+    /// upper-level probes are hits for the server's lifetime. `0`
+    /// leaves the cache fully evictable.
+    pub pin_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +143,9 @@ impl Default for ServerConfig {
             chaos: None,
             compact_min_tombs: 0,
             compact_interval: Duration::from_millis(500),
+            batch_window: Duration::ZERO,
+            batch_max: 16,
+            pin_budget: 0,
         }
     }
 }
@@ -195,6 +212,34 @@ impl Backend {
             },
         }
     }
+
+    /// Run a group of canonical-frame queries as one shared index walk
+    /// (delta-merged per query when writable).
+    fn query_batch(
+        &self,
+        items: &[(segdb_geom::VerticalQuery, QueryMode)],
+    ) -> Vec<Result<(QueryAnswer, QueryTrace), DbError>> {
+        match self {
+            Backend::ReadOnly(db) => db.query_batch_canonical_mode(items),
+            Backend::Writable(eng) => eng.query_batch_canonical_mode(items),
+        }
+    }
+}
+
+/// Express one wire query shape as its canonical-frame query (the same
+/// translation the sequential facade entry points apply).
+fn shape_canonical(
+    db: &SegmentDatabase,
+    shape: QueryShape,
+) -> Result<segdb_geom::VerticalQuery, DbError> {
+    Ok(match shape {
+        QueryShape::Line { x, y } => db.direction().make_query((x, y).into(), None, None)?,
+        QueryShape::RayUp { x, y } => db.direction().make_query((x, y).into(), Some(y), None)?,
+        QueryShape::RayDown { x, y } => db.direction().make_query((x, y).into(), None, Some(y))?,
+        QueryShape::Segment { x1, y1, x2, y2 } => {
+            db.segment_query((x1, y1).into(), (x2, y2).into())?
+        }
+    })
 }
 
 /// Monotone serving counters, exposed by the `stats` method.
@@ -255,6 +300,8 @@ struct PendingRecord {
     exec_us: u64,
     pages: u64,
     hits: u64,
+    batch_id: u64,
+    batch_size: u32,
 }
 
 /// One worker-produced reply: the response line plus the lifecycle
@@ -337,6 +384,10 @@ struct Shared {
     max_connections: usize,
     drain_timeout: Duration,
     chaos: Option<NetFaultHandle>,
+    /// Batch collector admission window (`ZERO` = batching off).
+    batch_window: Duration,
+    /// Most queries per shared walk.
+    batch_max: usize,
     /// Live connection registry: count of admitted, not-yet-exited
     /// connections, used by the admission gate and the bounded drain.
     conns: Mutex<usize>,
@@ -401,6 +452,11 @@ impl Server {
     }
 
     fn start_backend(backend: Backend, cfg: ServerConfig) -> io::Result<Server> {
+        if cfg.pin_budget > 0 {
+            backend
+                .with_db(|db| db.pin_internal_levels(cfg.pin_budget))
+                .map_err(|e| io::Error::other(format!("cannot pin internal levels: {e}")))?;
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -418,6 +474,8 @@ impl Server {
             max_connections: cfg.max_connections.max(1),
             drain_timeout: cfg.drain_timeout,
             chaos: cfg.chaos,
+            batch_window: cfg.batch_window,
+            batch_max: cfg.batch_max.max(1),
             conns: Mutex::new(0),
             conn_exited: Condvar::new(),
             stats: ServerStats::default(),
@@ -600,44 +658,67 @@ fn compact_loop(shared: &Shared, engine: &WriteEngine, min_tombs: u64, interval:
     }
 }
 
+/// Pull further query jobs out of `queue` (wherever they sit — requests
+/// from distinct connections have no mutual ordering guarantee) until
+/// `batch` holds `max` jobs. Non-query jobs keep their queue position.
+fn take_query_jobs(queue: &mut VecDeque<Job>, batch: &mut Vec<Job>, max: usize) {
+    let mut i = 0;
+    while i < queue.len() && batch.len() < max {
+        if matches!(queue[i].method, Method::Query(..)) {
+            if let Some(job) = queue.remove(i) {
+                batch.push(job);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
+    let batching = shared.batch_window > Duration::ZERO && shared.batch_max > 1;
     loop {
-        let job = {
+        let batch: Vec<Job> = {
             let mut queue = lock(&shared.queue);
             loop {
-                if let Some(job) = queue.pop_front() {
-                    break Some(job);
+                let Some(job) = queue.pop_front() else {
+                    if shared.stopping() {
+                        break Vec::new();
+                    }
+                    queue = shared
+                        .not_empty
+                        .wait(queue)
+                        .unwrap_or_else(|p| p.into_inner());
+                    continue;
+                };
+                if !batching || !matches!(job.method, Method::Query(..)) {
+                    break vec![job];
                 }
-                if shared.stopping() {
-                    break None;
+                // Admission window: hold this query while compatible
+                // batchmates arrive, up to batch_max or the window's
+                // end, whichever is first. The wait lands in the
+                // requests' queue-wait stage (the timers keep running).
+                let mut batch = vec![job];
+                take_query_jobs(&mut queue, &mut batch, shared.batch_max);
+                let deadline = Instant::now() + shared.batch_window;
+                while batch.len() < shared.batch_max && !shared.stopping() {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    queue = shared
+                        .not_empty
+                        .wait_timeout(queue, deadline - now)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0;
+                    take_query_jobs(&mut queue, &mut batch, shared.batch_max);
                 }
-                queue = shared
-                    .not_empty
-                    .wait(queue)
-                    .unwrap_or_else(|p| p.into_inner());
+                break batch;
             }
         };
-        let Some(job) = job else { break };
-        if job.slot.is_abandoned() {
-            // The requester already answered `timeout`; don't burn a
-            // worker producing a reply nobody reads.
-            continue;
+        if batch.is_empty() {
+            break; // stopping
         }
-        let mut timer = job.timer;
-        let queue_us = timer.lap_us();
-        let (line, info) = execute(shared, job.id, job.method);
-        let exec_us = timer.lap_us();
-        let pending = info.map(|info| PendingRecord {
-            timer,
-            id: job.id,
-            op: info.op,
-            mode: info.mode,
-            queue_us,
-            exec_us,
-            pages: info.pages,
-            hits: info.hits,
-        });
-        job.slot.fill(Reply { line, pending });
+        execute_batch(shared, batch);
     }
     // Refuse whatever was still queued when the stop flag went up.
     let mut queue = lock(&shared.queue);
@@ -648,6 +729,107 @@ fn worker_loop(shared: &Shared) {
             code::SHUTTING_DOWN,
             "server is shutting down",
         )));
+    }
+}
+
+/// Execute one job through the sequential path and fill its slot.
+fn run_single(shared: &Shared, job: Job) {
+    let mut timer = job.timer;
+    let queue_us = timer.lap_us();
+    let (line, info) = execute(shared, job.id, job.method);
+    let exec_us = timer.lap_us();
+    let pending = info.map(|info| PendingRecord {
+        timer,
+        id: job.id,
+        op: info.op,
+        mode: info.mode,
+        queue_us,
+        exec_us,
+        pages: info.pages,
+        hits: info.hits,
+        batch_id: 0,
+        batch_size: 0,
+    });
+    job.slot.fill(Reply { line, pending });
+}
+
+/// Execute a collected job group: one shared index walk for the whole
+/// batch, replies demultiplexed back to each request's [`ReplySlot`] by
+/// its own correlation id. Jobs whose requester already timed out are
+/// dropped before the walk; a group reduced to one job takes the
+/// sequential path (and reports `batch_id = 0`, like an unbatched run).
+fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
+    let mut live: Vec<Job> = jobs
+        .into_iter()
+        .filter(|j| !j.slot.is_abandoned())
+        .collect();
+    if live.len() <= 1 {
+        if let Some(job) = live.pop() {
+            run_single(shared, job);
+        }
+        return;
+    }
+    // Lap every timer now: the queue-wait stage charged to each request
+    // includes the batching window it sat through.
+    let mut queue_laps: Vec<u64> = Vec::with_capacity(live.len());
+    let mut prepared: Vec<Result<(segdb_geom::VerticalQuery, QueryMode), DbError>> =
+        Vec::with_capacity(live.len());
+    for job in &mut live {
+        queue_laps.push(job.timer.lap_us());
+        let Method::Query(shape, mode) = job.method else {
+            unreachable!("the collector only batches query jobs");
+        };
+        prepared.push(
+            shared
+                .backend
+                .with_db(|db| shape_canonical(db, shape))
+                .map(|q| (q, mode)),
+        );
+    }
+    let items: Vec<(segdb_geom::VerticalQuery, QueryMode)> = prepared
+        .iter()
+        .filter_map(|p| p.as_ref().ok().copied())
+        .collect();
+    let mut results = shared.backend.query_batch(&items).into_iter();
+    for ((job, prep), queue_us) in live.into_iter().zip(prepared).zip(queue_laps) {
+        let outcome = match prep {
+            Ok(_) => results.next().expect("one result per prepared query"),
+            Err(e) => Err(e),
+        };
+        let Method::Query(shape, _) = job.method else {
+            unreachable!("the collector only batches query jobs");
+        };
+        let mut timer = job.timer;
+        match outcome {
+            Ok((answer, trace)) => {
+                ServerStats::bump(&shared.stats.ok);
+                let exec_us = timer.lap_us();
+                let pending = PendingRecord {
+                    timer,
+                    id: job.id,
+                    op: shape_op(shape),
+                    mode: trace.mode.name(),
+                    queue_us,
+                    exec_us,
+                    pages: trace.io.reads + trace.io.cache_hits,
+                    hits: answer.count(),
+                    batch_id: trace.batch_id,
+                    batch_size: trace.batch_size,
+                };
+                job.slot.fill(Reply {
+                    line: proto::ok_line(job.id, Json::obj(answer_json(&answer, &trace))),
+                    pending: Some(pending),
+                });
+            }
+            Err(e) => {
+                ServerStats::bump(&shared.stats.errors);
+                job.slot.fill(Reply::bare(proto::err_line(
+                    job.id,
+                    db_code(&e),
+                    &e.to_string(),
+                )));
+            }
+        }
     }
 }
 
@@ -851,6 +1033,8 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 total_us: pending.timer.total_us(),
                 pages: pending.pages,
                 hits: pending.hits,
+                batch_id: pending.batch_id,
+                batch_size: pending.batch_size,
             });
         }
         if wrote.is_err() {
@@ -1264,13 +1448,26 @@ fn writer_json(shared: &Shared) -> Json {
     ])
 }
 
+/// Fraction of all page lookups served by one cache tier. Lookups that
+/// missed both tiers show up as device reads, so the denominator is
+/// reads + evictable hits + pinned hits.
+fn tier_rate(hits: u64, io: segdb_pager::IoStats) -> f64 {
+    let lookups = io.reads + io.cache_hits + io.pin_hits;
+    if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    }
+}
+
 fn stats_json(shared: &Shared) -> Json {
-    let (segments, index, space_blocks, io, metrics) = shared.backend.with_db(|db| {
+    let (segments, index, space_blocks, io, tiers, metrics) = shared.backend.with_db(|db| {
         (
             db.len(),
             format!("{:?}", db.kind()),
             db.space_blocks() as u64,
             db.pager().stats(),
+            db.pager().cache_tiers(),
             db.metrics_json().unwrap_or(Json::Null),
         )
     });
@@ -1286,8 +1483,22 @@ fn stats_json(shared: &Shared) -> Json {
                 ("reads", Json::U64(io.reads)),
                 ("writes", Json::U64(io.writes)),
                 ("cache_hits", Json::U64(io.cache_hits)),
+                ("pin_hits", Json::U64(io.pin_hits)),
                 ("allocations", Json::U64(io.allocations)),
                 ("frees", Json::U64(io.frees)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("pinned_pages", Json::U64(tiers.pinned_pages)),
+                ("evictable_pages", Json::U64(tiers.evictable_pages)),
+                ("evictable_capacity", Json::U64(tiers.evictable_capacity)),
+                ("pinned_hit_rate", Json::F64(tier_rate(io.pin_hits, io))),
+                (
+                    "evictable_hit_rate",
+                    Json::F64(tier_rate(io.cache_hits, io)),
+                ),
             ]),
         ),
         ("writer", writer_json(shared)),

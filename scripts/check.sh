@@ -90,6 +90,31 @@ SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --addr "$ADDR" --family mixed --n 300 --seed 21
     --connections 1 --requests 1 --shutdown > /dev/null
 wait "$SERVE_PID"
 
+echo "==> batched serving baseline gate (committed BENCH_serve.json)"
+BATCH_BASE=BENCH_serve.json
+if [ ! -f "$BATCH_BASE" ]; then
+    echo "FATAL: committed serving baseline $BATCH_BASE is missing."
+    echo "The bench gate needs a PR-over-PR trajectory; regenerate it with:"
+    echo "  SEGDB_BENCH_DIR=. $LOAD --batch --family mixed --n 40000 --seed 42 \\"
+    echo "      --connections 64 --requests 6000 --mode count"
+    exit 1
+fi
+grep -q '"batch":{' "$BATCH_BASE" || {
+    echo "committed baseline carries no batch block"; exit 1; }
+SEGDB_BENCH_DIR="$SMOKE" "$LOAD" --batch --family mixed --n 40000 --seed 42 \
+    --connections 64 --requests 6000 --mode count > /dev/null
+grep -q '"wrong":0' "$SMOKE/BENCH_serve.json" || {
+    echo "batched load run reported wrong answers"; exit 1; }
+# Committed-vs-fresh trajectory: lenient threshold — this guards
+# against collapse across machines, not microbenchmark noise.
+scripts/bench_diff "$BATCH_BASE" "$SMOKE/BENCH_serve.json" --threshold-pct 75 \
+    > /dev/null || {
+    echo "fresh batched run regressed far below the committed baseline"; exit 1; }
+RATIO=$(sed -n 's/.*"throughput_ratio":\([0-9.]*\).*/\1/p' "$SMOKE/BENCH_serve.json")
+[ -n "$RATIO" ] || { echo "batched run carries no throughput_ratio"; exit 1; }
+awk -v r="$RATIO" 'BEGIN { exit (r >= 0.9) ? 0 : 1 }' || {
+    echo "batched serving slower than unbatched (ratio $RATIO)"; exit 1; }
+
 echo "==> seeded net-chaos smoke (wire-fault load, replayed twice)"
 "$CLI" serve "$SMOKE/map.db" --addr 127.0.0.1:0 --workers 2 > "$SMOKE/serve2.out" &
 SERVE_PID=$!

@@ -1,0 +1,357 @@
+//! Batched execution end-to-end: the shared-walk executor must be
+//! oracle-bit-identical to sequential execution across all four index
+//! kinds × four query shapes × every `QueryMode` — in batches that mix
+//! modes freely — and a transient device fault hitting one query of a
+//! batch must not poison its batchmates. The final tests drive the
+//! server's batch collector over the wire: a forced two-request batch
+//! demultiplexes correctly and lands in the slowlog with its shared
+//! `batch_id`, and the writer's delta overlay keeps batched answers
+//! exact.
+
+use segdb::core::report::ids;
+use segdb::core::testutil::oracle_query;
+use segdb::core::{IndexKind, QueryAnswer, QueryMode, SegmentDatabase, WriteEngine, WriterConfig};
+use segdb::geom::gen::mixed_map;
+use segdb::geom::{Segment, VerticalQuery};
+use segdb::obs::Json;
+use segdb::pager::{Disk, FaultDevice, FaultPlan};
+use segdb_server::client::{Client, ClientConfig};
+use segdb_server::{Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const KINDS: [IndexKind; 4] = [
+    IndexKind::TwoLevelBinary,
+    IndexKind::TwoLevelInterval,
+    IndexKind::FullScan,
+    IndexKind::StabThenFilter,
+];
+
+const MODES: [QueryMode; 6] = [
+    QueryMode::Collect,
+    QueryMode::Count,
+    QueryMode::Exists,
+    QueryMode::Limit(0),
+    QueryMode::Limit(3),
+    QueryMode::Limit(u32::MAX),
+];
+
+fn build(kind: IndexKind, set: Vec<Segment>) -> SegmentDatabase {
+    SegmentDatabase::builder()
+        .page_size(1024)
+        .cache_pages(0)
+        .index(kind)
+        .build(set)
+        .unwrap()
+}
+
+/// All four query shapes anchored on the stored set, plus misses.
+fn battery(set: &[Segment]) -> Vec<VerticalQuery> {
+    let mut qs = Vec::new();
+    for s in set.iter().step_by(set.len() / 6 + 1) {
+        let x = (s.a.x + s.b.x) / 2;
+        let y = (s.a.y + s.b.y) / 2;
+        qs.push(VerticalQuery::Line { x });
+        qs.push(VerticalQuery::RayUp { x, y0: y });
+        qs.push(VerticalQuery::RayDown { x, y0: y });
+        qs.push(VerticalQuery::segment(x, y - 40, y + 40));
+    }
+    let max_x = set.iter().map(|s| s.a.x.max(s.b.x)).max().unwrap();
+    qs.push(VerticalQuery::Line { x: max_x + 1000 });
+    qs
+}
+
+/// Every shape × every mode as one mixed-mode batch.
+fn batch_items(set: &[Segment]) -> Vec<(VerticalQuery, QueryMode)> {
+    battery(set)
+        .into_iter()
+        .flat_map(|q| MODES.iter().map(move |&m| (q, m)))
+        .collect()
+}
+
+/// Batched and sequential answers for the same (query, mode) must
+/// agree — exactly for Collect/Count/Exists, and in size + oracle
+/// membership for Limit (a shared walk may surface a different, equally
+/// valid prefix).
+fn assert_equivalent(
+    set: &[Segment],
+    q: &VerticalQuery,
+    mode: QueryMode,
+    batched: &QueryAnswer,
+    sequential: &QueryAnswer,
+    ctx: &str,
+) {
+    let want = oracle_query(set, q);
+    match mode {
+        QueryMode::Collect => {
+            assert_eq!(batched, sequential, "{ctx} {q:?} collect");
+            assert_eq!(ids(batched.segments().unwrap()), want, "{ctx} {q:?} oracle");
+        }
+        QueryMode::Count => {
+            assert_eq!(batched, sequential, "{ctx} {q:?} count");
+            assert_eq!(batched.count(), want.len() as u64, "{ctx} {q:?} oracle");
+        }
+        QueryMode::Exists => {
+            assert_eq!(batched, sequential, "{ctx} {q:?} exists");
+            assert_eq!(batched.count() > 0, !want.is_empty(), "{ctx} {q:?} oracle");
+        }
+        QueryMode::Limit(k) => {
+            let hits = batched.segments().unwrap();
+            assert_eq!(
+                hits.len(),
+                sequential.segments().unwrap().len(),
+                "{ctx} {q:?} limit {k} prefix length"
+            );
+            assert_eq!(hits.len() as u64, (k as u64).min(want.len() as u64));
+            for id in ids(hits) {
+                assert!(
+                    want.binary_search(&id).is_ok(),
+                    "{ctx} {q:?} limit {k}: id {id} not in the oracle answer"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_matches_sequential_across_kinds_shapes_modes() {
+    for kind in KINDS {
+        for seed in [2u64, 5, 11] {
+            let set = mixed_map(500, seed);
+            let db = build(kind, set.clone());
+            let items = batch_items(&set);
+            let results = db.query_batch_canonical_mode(&items);
+            assert_eq!(results.len(), items.len());
+            for ((q, mode), result) in items.iter().zip(results) {
+                let (batched, _) = result.unwrap();
+                let (sequential, _) = db.query_canonical_mode(q, *mode).unwrap();
+                assert_equivalent(
+                    &set,
+                    q,
+                    *mode,
+                    &batched,
+                    &sequential,
+                    &format!("{kind:?} seed {seed}"),
+                );
+            }
+        }
+    }
+}
+
+/// Every trace of a shared walk carries the same nonzero batch id and
+/// the batch's size; a singleton runs alone and reports neither.
+#[test]
+fn batch_traces_carry_shared_batch_id() {
+    let set = mixed_map(300, 9);
+    let db = build(IndexKind::TwoLevelInterval, set.clone());
+    let items = batch_items(&set);
+    let results = db.query_batch_canonical_mode(&items);
+    let mut batch_ids = Vec::new();
+    for result in results {
+        let (_, trace) = result.unwrap();
+        assert_eq!(trace.batch_size, items.len() as u32);
+        batch_ids.push(trace.batch_id);
+    }
+    assert!(batch_ids[0] > 0, "shared walks get a nonzero batch id");
+    assert!(batch_ids.iter().all(|&id| id == batch_ids[0]));
+
+    let single = db.query_batch_canonical_mode(&items[..1]);
+    let (_, trace) = single.into_iter().next().unwrap().unwrap();
+    assert_eq!(
+        (trace.batch_id, trace.batch_size),
+        (0, 0),
+        "singletons run alone"
+    );
+}
+
+/// A transient read fault during the shared walk must not poison
+/// batchmates: the executor falls back to per-query execution, every
+/// query that succeeds is exact, and once the device heals the whole
+/// batch succeeds again.
+#[test]
+fn transient_fault_does_not_poison_batchmates() {
+    for kind in KINDS {
+        let seed = 7u64;
+        let set = mixed_map(300, seed);
+        let (device, handle) = FaultDevice::over_memory(1024, FaultPlan::none(seed));
+        let db = SegmentDatabase::builder()
+            .cache_pages(0)
+            .index(kind)
+            .on_device(Box::new(device))
+            .build(set.clone())
+            .unwrap();
+        let items = batch_items(&set);
+        handle.arm(FaultPlan {
+            read_error: 0.05,
+            ..FaultPlan::none(seed)
+        });
+        let mut saw_mixed_outcome = false;
+        for _ in 0..50 {
+            let results = db.query_batch_canonical_mode(&items);
+            let oks = results.iter().filter(|r| r.is_ok()).count();
+            if oks > 0 && oks < results.len() {
+                saw_mixed_outcome = true;
+            }
+            for ((q, mode), result) in items.iter().zip(results) {
+                if let Ok((answer, _)) = result {
+                    let (sequential_ok, _) = loop {
+                        // Retry the sequential reference through the
+                        // same fault schedule until it succeeds.
+                        if let Ok(pair) = db.query_canonical_mode(q, *mode) {
+                            break pair;
+                        }
+                    };
+                    assert_equivalent(
+                        &set,
+                        q,
+                        *mode,
+                        &answer,
+                        &sequential_ok,
+                        &format!("{kind:?}"),
+                    );
+                }
+            }
+            if saw_mixed_outcome {
+                break;
+            }
+        }
+        handle.disarm();
+        assert!(
+            db.query_batch_canonical_mode(&items)
+                .into_iter()
+                .all(|r| r.is_ok()),
+            "{kind:?}: batch must fully succeed once the device heals"
+        );
+    }
+}
+
+/// Batched reads through the writer's delta overlay (un-folded inserts
+/// and lazy deletes in play) must match the sequential overlay path.
+#[test]
+fn writer_overlay_batches_match_sequential() {
+    let set = mixed_map(400, 3);
+    let db = SegmentDatabase::builder()
+        .page_size(1024)
+        .cache_pages(64)
+        .index(IndexKind::TwoLevelInterval)
+        .build(set.clone())
+        .unwrap();
+    let (engine, _) =
+        WriteEngine::recover(db, Box::new(Disk::new(1024)), WriterConfig::default()).unwrap();
+    // Grow a live delta: delete every 40th stored segment, insert fresh
+    // horizontals through the set's middle.
+    let (mut x_lo, mut x_hi) = (i64::MAX, i64::MIN);
+    for s in &set {
+        x_lo = x_lo.min(s.a.x);
+        x_hi = x_hi.max(s.b.x);
+    }
+    for s in set.iter().step_by(40) {
+        engine.delete(1_000_000 + s.id, *s).unwrap();
+    }
+    for i in 0..8u64 {
+        let seg =
+            Segment::new(2_000_000 + i, (x_lo, 10 + i as i64), (x_hi, 10 + i as i64)).unwrap();
+        engine.insert(3_000_000 + i, seg).unwrap();
+    }
+    let items = batch_items(&set);
+    let results = engine.query_batch_canonical_mode(&items);
+    for ((q, mode), result) in items.iter().zip(results) {
+        let (batched, _) = result.unwrap();
+        let (sequential, _) = match *q {
+            VerticalQuery::Line { x } => engine.query_line_mode((x, 0), *mode).unwrap(),
+            VerticalQuery::RayUp { x, y0 } => engine.query_ray_up_mode((x, y0), *mode).unwrap(),
+            VerticalQuery::RayDown { x, y0 } => engine.query_ray_down_mode((x, y0), *mode).unwrap(),
+            VerticalQuery::Segment { x, lo, hi } => {
+                engine.query_segment_mode((x, lo), (x, hi), *mode).unwrap()
+            }
+        };
+        match mode {
+            QueryMode::Limit(_) => {
+                assert_eq!(
+                    batched.segments().unwrap().len(),
+                    sequential.segments().unwrap().len(),
+                    "{q:?} {mode:?}"
+                );
+            }
+            _ => assert_eq!(batched, sequential, "{q:?} {mode:?}"),
+        }
+    }
+}
+
+/// Force the server's batch collector to group two wire requests: one
+/// worker, a wide admission window, `batch_max = 2`, two concurrent
+/// clients. Both replies must demultiplex to the right request, and the
+/// slowlog must record the shared batch id and size.
+#[test]
+fn served_batch_demultiplexes_and_hits_slowlog() {
+    let set = mixed_map(300, 21);
+    let mut db = build(IndexKind::TwoLevelInterval, set.clone());
+    db.set_observability(true);
+    let server = Server::start(
+        Arc::new(db),
+        ServerConfig {
+            workers: 1,
+            batch_window: Duration::from_millis(200),
+            batch_max: 2,
+            slowlog_entries: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let xs: Vec<i64> = set.iter().take(2).map(|s| (s.a.x + s.b.x) / 2).collect();
+    let threads: Vec<_> = xs
+        .iter()
+        .map(|&x| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(ClientConfig {
+                    addr,
+                    ..ClientConfig::default()
+                });
+                (x, client.query_ids("query_line", &[("x", x)]).unwrap())
+            })
+        })
+        .collect();
+    for t in threads {
+        let (x, got) = t.join().unwrap();
+        let want = oracle_query(&set, &VerticalQuery::Line { x });
+        let mut got = got;
+        got.sort_unstable();
+        assert_eq!(got, want, "batched served answer for x={x}");
+    }
+    let mut client = Client::new(ClientConfig {
+        addr: addr.clone(),
+        ..ClientConfig::default()
+    });
+    let slowlog = client.remote_slowlog().unwrap();
+    let entries = slowlog
+        .get("entries")
+        .and_then(Json::as_arr)
+        .expect("slowlog has entries");
+    let batched = entries
+        .iter()
+        .filter(|e| e.get("batch_size") == Some(&Json::U64(2)))
+        .count();
+    assert!(
+        batched >= 2,
+        "both requests must be in one shared batch: {slowlog:?}"
+    );
+    // The stats reply exposes the per-tier cache block.
+    let stats = client.remote_stats().unwrap();
+    let cache = stats.get("cache").expect("stats carries a cache block");
+    for key in [
+        "pinned_pages",
+        "evictable_pages",
+        "evictable_capacity",
+        "pinned_hit_rate",
+        "evictable_hit_rate",
+    ] {
+        assert!(
+            cache.get(key).is_some(),
+            "cache block lacks {key}: {cache:?}"
+        );
+    }
+    server.shutdown();
+    server.wait();
+}
